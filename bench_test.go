@@ -1,0 +1,290 @@
+package kstreams_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/internal/experiments"
+	"kstreams/internal/protocol"
+	"kstreams/internal/storage"
+	"kstreams/internal/store"
+	"kstreams/internal/wal"
+)
+
+// The macro-benchmarks below regenerate the paper's figures and tables at
+// reduced scale (cmd/ksbench runs the full-size versions). Each reports
+// throughput and latency via b.ReportMetric, so `go test -bench=.` prints
+// the figure's series. See DESIGN.md §3 for the experiment index.
+
+func benchCluster() experiments.ClusterParams {
+	p := experiments.DefaultCluster()
+	// Trimmed latencies keep bench wall time reasonable while preserving
+	// the RPC-count-driven shapes.
+	p.RPCLatency = 40 * time.Microsecond
+	p.Jitter = 10 * time.Microsecond
+	p.AppendLatency = 5 * time.Microsecond
+	return p
+}
+
+// BenchmarkFig5aPartitions reproduces Figure 5.a: EOS vs ALOS throughput
+// and latency as the number of output partitions grows.
+func BenchmarkFig5aPartitions(b *testing.B) {
+	for _, parts := range []int32{1, 10, 100} {
+		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			p := experiments.DefaultFig5a()
+			p.Cluster = benchCluster()
+			p.Partitions = []int32{parts}
+			p.Records = 20000
+			p.LatencyRate = 200
+			p.LatencyWindow = time.Second
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunFig5a(p, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(r.EOSThroughput, "eos-msg/s")
+				b.ReportMetric(r.ALOSThroughput, "alos-msg/s")
+				b.ReportMetric(float64(r.EOSLatency.Milliseconds()), "eos-lat-ms")
+				b.ReportMetric(float64(r.ALOSLatency.Milliseconds()), "alos-lat-ms")
+				b.ReportMetric(r.OverheadPct, "overhead-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5bCommitInterval reproduces Figure 5.b: Streams-EOS vs the
+// Flink-like checkpointing baseline across commit/checkpoint intervals.
+func BenchmarkFig5bCommitInterval(b *testing.B) {
+	for _, interval := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		b.Run(fmt.Sprintf("interval=%v", interval), func(b *testing.B) {
+			p := experiments.DefaultFig5b()
+			p.Cluster = benchCluster()
+			p.Intervals = []time.Duration{interval}
+			p.Records = 15000
+			p.LatencyRate = 200
+			p.LatencyWindow = time.Second
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunFig5b(p, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := rows[0]
+				b.ReportMetric(r.StreamsTput, "streams-msg/s")
+				b.ReportMetric(float64(r.StreamsLatency.Milliseconds()), "streams-lat-ms")
+				b.ReportMetric(r.FlinkTput, "flink-msg/s")
+				b.ReportMetric(float64(r.FlinkLatency.Milliseconds()), "flink-lat-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkBloombergEOSOverhead reproduces the Section 6.1 finding: the
+// MxFlow pipeline's EOS overhead across load points.
+func BenchmarkBloombergEOSOverhead(b *testing.B) {
+	p := experiments.DefaultBloomberg()
+	p.Cluster = benchCluster()
+	p.Threads = 2
+	p.Partitions = 8
+	p.Loads = []int{20000}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunBloomberg(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].EOSTput, "eos-msg/s")
+		b.ReportMetric(rows[0].ALOSTput, "alos-msg/s")
+		b.ReportMetric(rows[0].OverheadPct, "overhead-%")
+	}
+}
+
+// BenchmarkExpediaCommitInterval reproduces the Section 6.2 trade-off:
+// sub-second enrichment at 100ms commits and consolidated aggregation
+// output at 1500ms.
+func BenchmarkExpediaCommitInterval(b *testing.B) {
+	p := experiments.DefaultExpedia()
+	p.Cluster = benchCluster()
+	p.Events = 2000
+	p.LatencyWindow = time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunExpedia(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.EnrichLatencyMean.Milliseconds()), "enrich-lat-ms")
+		b.ReportMetric(float64(res.AggOutputsEager), "agg-out-eager")
+		b.ReportMetric(float64(res.AggOutputsConsolidated), "agg-out-1500ms")
+	}
+}
+
+// BenchmarkAblationGracePeriod sweeps the per-operator grace period
+// (Section 5) against 20% out-of-order input.
+func BenchmarkAblationGracePeriod(b *testing.B) {
+	for _, grace := range []int64{0, 500, 2000} {
+		b.Run(fmt.Sprintf("grace=%dms", grace), func(b *testing.B) {
+			p := experiments.DefaultGrace()
+			p.Cluster = benchCluster()
+			p.Records = 8000
+			p.Graces = []int64{grace}
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunGrace(p, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows[0].DroppedPct, "late-dropped-%")
+				b.ReportMetric(float64(rows[0].Revisions), "revisions")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSuppression measures the output-volume reduction from
+// the suppress operator (Sections 5, 6.2).
+func BenchmarkAblationSuppression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSuppression(benchCluster(), 3000, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.EagerOutputs), "eager-outputs")
+		b.ReportMetric(float64(res.SuppressedOutputs), "suppressed-outputs")
+		b.ReportMetric(res.ReductionPct, "reduction-%")
+	}
+}
+
+// BenchmarkAblationEOSVersions compares per-thread (eos-v2) and per-task
+// (eos-v1) transactional producers (Section 6.1 / Kafka 2.6).
+func BenchmarkAblationEOSVersions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunEOSVersions(benchCluster(), 15000, 8, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, r.Mode+"-msg/s")
+			b.ReportMetric(float64(r.RPCs), r.Mode+"-rpcs")
+		}
+	}
+}
+
+// BenchmarkAblationIdempotence measures the idempotent producer's overhead
+// on the plain produce path (Section 4.3: "negligible").
+func BenchmarkAblationIdempotence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunIdempotence(benchCluster(), 10000, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, r.Mode+"-msg/s")
+		}
+	}
+}
+
+// --- micro-benchmarks on the substrate ---
+
+func sampleBenchBatch(n int) *protocol.RecordBatch {
+	batch := &protocol.RecordBatch{ProducerID: 1, BaseSequence: 0}
+	for i := 0; i < n; i++ {
+		batch.Records = append(batch.Records, protocol.Record{
+			Key:       []byte(fmt.Sprintf("key-%06d", i)),
+			Value:     make([]byte, 100),
+			Timestamp: int64(i),
+		})
+	}
+	return batch
+}
+
+func BenchmarkBatchEncode(b *testing.B) {
+	batch := sampleBenchBatch(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		protocol.EncodeBatch(batch)
+	}
+}
+
+func BenchmarkBatchDecode(b *testing.B) {
+	enc := protocol.EncodeBatch(sampleBenchBatch(100))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := protocol.DecodeBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogAppend(b *testing.B) {
+	l, err := wal.Open(storage.NewMem(), "bench/p0", wal.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	seq := int32(0)
+	for i := 0; i < b.N; i++ {
+		batch := &protocol.RecordBatch{
+			ProducerID:   1,
+			BaseSequence: seq,
+			Records: []protocol.Record{{
+				Key: []byte("key"), Value: make([]byte, 100), Timestamp: int64(i),
+			}},
+		}
+		if res := l.Append(batch); res.Err != protocol.ErrNone {
+			b.Fatal(res.Err)
+		}
+		seq++
+	}
+}
+
+func BenchmarkLogRead(b *testing.B) {
+	l, err := wal.Open(storage.NewMem(), "bench/p0", wal.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 1000; i++ {
+		l.Append(&protocol.RecordBatch{
+			ProducerID:   protocol.NoProducerID,
+			BaseSequence: protocol.NoSequence,
+			Records: []protocol.Record{{
+				Key: []byte("key"), Value: make([]byte, 100), Timestamp: int64(i),
+			}},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i % 900)
+		if _, err := l.Read(off, off+50, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStorePut(b *testing.B) {
+	kv := store.NewKV()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kv.Put([]byte(fmt.Sprintf("key-%06d", i%10000)), []byte("value"))
+	}
+}
+
+func BenchmarkWindowStorePut(b *testing.B) {
+	w := store.NewWindow()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Put([]byte(fmt.Sprintf("key-%04d", i%100)), int64(i%1000)*1000, []byte("value"))
+	}
+}
+
+func BenchmarkCachingKVPut(b *testing.B) {
+	c := store.NewCachingKV(store.NewKV())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put([]byte(fmt.Sprintf("key-%04d", i%100)), []byte("value"), int64(i))
+		if i%1000 == 999 {
+			c.Flush(nil)
+		}
+	}
+}

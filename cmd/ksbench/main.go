@@ -1,0 +1,161 @@
+// Command ksbench regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md §3 for the experiment index):
+//
+//	ksbench -experiment fig5a        # Figure 5.a: EOS impact vs #partitions
+//	ksbench -experiment fig5b        # Figure 5.b: interval sweep vs Flink-like
+//	ksbench -experiment bloomberg    # §6.1 MxFlow EOS overhead band
+//	ksbench -experiment expedia      # §6.2 CP commit-interval configurations
+//	ksbench -experiment grace        # ablation: grace period vs completeness
+//	ksbench -experiment suppression  # ablation: suppress on/off output volume
+//	ksbench -experiment eos-version  # ablation: eos-v1 vs eos-v2 producers
+//	ksbench -experiment idempotence  # ablation: idempotent produce overhead
+//	ksbench -experiment all
+//
+// -quick shrinks record counts and sweep ranges for a fast sanity pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kstreams/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment to run")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	verbose := flag.Bool("v", true, "narrate progress")
+	flag.Parse()
+
+	var prog *experiments.Progress
+	if *verbose {
+		prog = &experiments.Progress{W: os.Stderr}
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "--- running %s ---\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig5a", func() error {
+		p := experiments.DefaultFig5a()
+		if *quick {
+			p.Partitions = []int32{1, 10, 100}
+			p.Records = 40000
+			p.LatencyWindow = time.Second
+		}
+		rows, err := experiments.RunFig5a(p, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig5aTable(rows))
+		return nil
+	})
+
+	run("fig5b", func() error {
+		p := experiments.DefaultFig5b()
+		if *quick {
+			p.Intervals = []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second}
+			p.Records = 30000
+			p.LatencyWindow = time.Second
+		}
+		rows, err := experiments.RunFig5b(p, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig5bTable(rows))
+		return nil
+	})
+
+	run("bloomberg", func() error {
+		p := experiments.DefaultBloomberg()
+		if *quick {
+			p.Loads = []int{20000, 40000}
+			p.Threads = 2
+		}
+		rows, err := experiments.RunBloomberg(p, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.BloombergTable(rows))
+		return nil
+	})
+
+	run("expedia", func() error {
+		p := experiments.DefaultExpedia()
+		if *quick {
+			p.Events = 2000
+			p.LatencyWindow = time.Second
+		}
+		res, err := experiments.RunExpedia(p, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.ExpediaTable(res))
+		return nil
+	})
+
+	run("grace", func() error {
+		p := experiments.DefaultGrace()
+		if *quick {
+			p.Records = 5000
+			p.Graces = []int64{0, 500, 2000}
+		}
+		rows, err := experiments.RunGrace(p, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.GraceTable(rows))
+		return nil
+	})
+
+	run("suppression", func() error {
+		records := 10000
+		if *quick {
+			records = 3000
+		}
+		res, err := experiments.RunSuppression(experiments.DefaultCluster(), records, prog)
+		if err != nil {
+			return err
+		}
+		t := experiments.SuppressionTable(res)
+		fmt.Println(t)
+		return nil
+	})
+
+	run("eos-version", func() error {
+		records := 20000
+		if *quick {
+			records = 5000
+		}
+		rows, err := experiments.RunEOSVersions(experiments.DefaultCluster(), records, 8, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.EOSVersionTable(rows))
+		return nil
+	})
+
+	run("idempotence", func() error {
+		records := 50000
+		if *quick {
+			records = 10000
+		}
+		rows, err := experiments.RunIdempotence(experiments.DefaultCluster(), records, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.IdempotenceTable(rows))
+		return nil
+	})
+}

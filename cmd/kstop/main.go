@@ -1,0 +1,131 @@
+// Command kstop ("kafka-streams top") spins up a demo cluster and
+// application, then prints an operator's-eye inspection of everything the
+// paper's architecture is made of: topic/partition placement with leaders
+// and ISRs, high watermarks and last stable offsets, consumer group
+// commits, internal repartition/changelog topics, and the compiled
+// processing topology. It doubles as a smoke test of the metadata paths.
+//
+// Run with: go run ./cmd/kstop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/harness"
+	"kstreams/internal/protocol"
+	"kstreams/internal/workload"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+func main() {
+	records := flag.Int("records", 5000, "records to run through the demo app")
+	crash := flag.Bool("crash", true, "crash and restart a broker mid-run")
+	flag.Parse()
+
+	cluster, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	must(cluster.CreateTopic("events", 4, false))
+	must(cluster.CreateTopic("totals", 4, false))
+
+	b := streams.NewBuilder("kstop-demo")
+	b.Stream("events", streams.StringSerde, streams.StringSerde).
+		GroupBy(func(k, v any) any { return v }, streams.StringSerde).
+		Count("totals-store").
+		ToStream().
+		To("totals")
+	app, err := streams.NewApp(b, streams.Config{
+		Cluster:        cluster,
+		Guarantee:      streams.ExactlyOnce,
+		CommitInterval: 100 * time.Millisecond,
+	})
+	must(err)
+	must(app.Start())
+	defer app.Close()
+
+	prod, err := cluster.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 256})
+	must(err)
+	gen := workload.NewStream(1, workload.StreamSpec{Keys: 40})
+	for i := 0; i < *records; i++ {
+		k, v, ts := gen.Next()
+		must(prod.Send("events", kafka.Record{Key: k, Value: v, Timestamp: ts}))
+		if *crash && i == *records/2 {
+			must(prod.Flush())
+			victim := cluster.LeaderOf("events", 0)
+			fmt.Printf(">>> crashing broker %d mid-run (leader of events-0)\n", victim)
+			cluster.CrashBroker(victim)
+			must(cluster.RestartBroker(victim))
+		}
+	}
+	must(prod.Flush())
+	prod.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for app.Metrics().Processed < int64(*records) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // let the final commits land
+
+	fmt.Println("\n=== processing topology ===")
+	fmt.Print(app.Describe())
+
+	// Raw metadata via the same RPCs clients use.
+	net := cluster.Net()
+	self := net.AllocClientID()
+	net.Register(self, func(int32, any) any { return nil })
+	resp, err := net.Send(self, cluster.Controller(), &protocol.MetadataRequest{})
+	must(err)
+	md := resp.(*protocol.MetadataResponse)
+
+	fmt.Printf("\n=== cluster: %d live brokers, %d topics ===\n", len(md.Brokers), len(md.Topics))
+	tbl := harness.NewTable("partitions", "topic", "part", "leader", "isr", "start", "hw", "lso")
+	cons := client.NewConsumer(net, client.ConsumerConfig{Controller: cluster.Controller()})
+	defer cons.Close()
+	for _, topic := range md.Topics {
+		for _, pm := range topic.Partitions {
+			tp := protocol.TopicPartition{Topic: topic.Name, Partition: pm.Partition}
+			start, _ := cons.BeginningOffset(tp)
+			hw, _ := cons.EndOffset(tp)
+			lso, _ := cons.StableOffset(tp)
+			tbl.Add(topic.Name, pm.Partition, pm.Leader, fmt.Sprint(pm.ISR), start, hw, lso)
+		}
+	}
+	fmt.Println(tbl)
+
+	fmt.Println("=== consumer group: kstop-demo committed offsets ===")
+	gtbl := harness.NewTable("", "partition", "committed offset")
+	var tps []protocol.TopicPartition
+	for _, topic := range md.Topics {
+		for _, pm := range topic.Partitions {
+			tps = append(tps, protocol.TopicPartition{Topic: topic.Name, Partition: pm.Partition})
+		}
+	}
+	gcons := client.NewConsumer(net, client.ConsumerConfig{Controller: cluster.Controller(), Group: "kstop-demo"})
+	defer gcons.Close()
+	offs, err := gcons.Committed(tps...)
+	must(err)
+	for _, tp := range tps {
+		if off := offs[tp]; off >= 0 {
+			gtbl.Add(tp.String(), off)
+		}
+	}
+	fmt.Println(gtbl)
+
+	m := app.Metrics()
+	fmt.Printf("app metrics: processed=%d emitted=%d commits=%d restores=%d\n",
+		m.Processed, m.Emitted, m.Commits, m.Restores)
+	fmt.Printf("network: %d RPCs total\n", cluster.RPCCount())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

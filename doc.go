@@ -1,0 +1,17 @@
+// Package kstreams is a from-scratch Go reproduction of "Consistency and
+// Completeness: Rethinking Distributed Stream Processing in Apache Kafka"
+// (Wang et al., SIGMOD 2021).
+//
+// The public API lives in two sub-packages:
+//
+//   - kstreams/kafka — an embedded Kafka-like cluster: replicated
+//     append-only logs, idempotent and transactional producers, consumer
+//     groups, read-committed isolation, and failure injection.
+//   - kstreams/streams — a Kafka-Streams-style DSL and runtime: streams,
+//     tables, windowed aggregations, joins, suppression, and exactly-once
+//     or at-least-once processing.
+//
+// The benchmark entry points in bench_test.go and cmd/ksbench regenerate
+// every figure and table of the paper's evaluation; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured results.
+package kstreams

@@ -1,0 +1,3 @@
+module kstreams
+
+go 1.22

@@ -1,0 +1,213 @@
+package broker
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/storage"
+	"kstreams/internal/wal"
+)
+
+func TestCoordinatorPartitionStableAndBounded(t *testing.T) {
+	for _, key := range []string{"", "group-a", "app-1-0_3", "x"} {
+		a := CoordinatorPartition(key, 8)
+		b := CoordinatorPartition(key, 8)
+		if a != b {
+			t.Fatalf("unstable hash for %q", key)
+		}
+		if a < 0 || a >= 8 {
+			t.Fatalf("out of range: %d", a)
+		}
+	}
+	// Keys spread across partitions.
+	seen := map[int32]bool{}
+	for i := 0; i < 64; i++ {
+		seen[CoordinatorPartition(string(rune('a'+i)), 8)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("poor spread: %d partitions used", len(seen))
+	}
+}
+
+func TestOffsetRecordCodec(t *testing.T) {
+	tp := protocol.TopicPartition{Topic: "events", Partition: 3}
+	k := offsetKey("my-group", tp)
+	group, gotTP, ok := parseOffsetKey(k)
+	if !ok || group != "my-group" || gotTP != tp {
+		t.Fatalf("key roundtrip: %q %v %v", group, gotTP, ok)
+	}
+	if _, _, ok := parseOffsetKey([]byte("garbage")); ok {
+		t.Fatal("garbage key parsed")
+	}
+	if _, _, ok := parseOffsetKey([]byte("c|g|t|notanumber")); ok {
+		t.Fatal("non-numeric partition parsed")
+	}
+
+	e := protocol.OffsetEntry{TP: tp, Offset: 12345, Metadata: "m"}
+	got, ok := parseOffsetValue(tp, offsetValue(e))
+	if !ok || got != e {
+		t.Fatalf("value roundtrip: %+v %v", got, ok)
+	}
+	if _, ok := parseOffsetValue(tp, []byte{1}); ok {
+		t.Fatal("short value parsed")
+	}
+}
+
+func TestTxnMetaJSONRoundTrip(t *testing.T) {
+	in := txnMeta{
+		ID: "app-1", PID: 7, Epoch: 3, State: TxnPrepareCommit,
+		Partitions: []protocol.TopicPartition{{Topic: "out", Partition: 1}},
+		TimeoutMs:  30000,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out txnMeta
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.PID != in.PID || out.State != in.State || len(out.Partitions) != 1 {
+		t.Fatalf("roundtrip: %+v", out)
+	}
+}
+
+func TestTxnStateStrings(t *testing.T) {
+	for st, want := range map[TxnState]string{
+		TxnEmpty: "Empty", TxnOngoing: "Ongoing",
+		TxnPrepareCommit: "PrepareCommit", TxnPrepareAbort: "PrepareAbort",
+		TxnCompleteCommit: "CompleteCommit", TxnCompleteAbort: "CompleteAbort",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d -> %q", st, st.String())
+		}
+	}
+	if TxnState(99).String() == "" {
+		t.Fatal("unknown state must format")
+	}
+}
+
+func newTestPartition(t *testing.T) *partition {
+	t.Helper()
+	l, err := wal.Open(storage.NewMem(), "t/0", wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newPartition(protocol.TopicPartition{Topic: "t", Partition: 0},
+		protocol.TopicConfig{}, 1, l, 0)
+}
+
+func TestPartitionHWAdvancesWithISRReports(t *testing.T) {
+	p := newTestPartition(t)
+	p.becomeLeader(0, []int32{1, 2, 3}, []int32{1, 2, 3})
+
+	done := make(chan protocol.ProduceResult, 1)
+	go func() {
+		done <- p.appendAsLeader(1, &protocol.RecordBatch{
+			ProducerID:   protocol.NoProducerID,
+			BaseSequence: protocol.NoSequence,
+			Records:      []protocol.Record{{Key: []byte("k"), Value: []byte("v")}},
+		})
+	}()
+	// Only one follower reports: HW held.
+	time.Sleep(10 * time.Millisecond)
+	p.fetchAsLeader(1, 2, 1, 1<<20, 0, protocol.ReadUncommitted)
+	select {
+	case res := <-done:
+		t.Fatalf("append acked with partial ISR: %+v", res)
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Second follower catches up: append completes.
+	p.fetchAsLeader(1, 3, 1, 1<<20, 0, protocol.ReadUncommitted)
+	select {
+	case res := <-done:
+		if res.Err != protocol.ErrNone {
+			t.Fatalf("append: %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("append never acknowledged")
+	}
+	if p.highWatermark() != 1 {
+		t.Fatalf("hw = %d", p.highWatermark())
+	}
+}
+
+func TestPartitionSoleReplicaImmediateAck(t *testing.T) {
+	p := newTestPartition(t)
+	p.becomeLeader(0, []int32{1}, []int32{1})
+	res := p.appendAsLeader(1, &protocol.RecordBatch{
+		ProducerID:   protocol.NoProducerID,
+		BaseSequence: protocol.NoSequence,
+		Records:      []protocol.Record{{Key: []byte("k"), Value: []byte("v")}},
+	})
+	if res.Err != protocol.ErrNone || p.highWatermark() != 1 {
+		t.Fatalf("sole-replica append: %+v hw=%d", res, p.highWatermark())
+	}
+}
+
+func TestPartitionRejectsWhenNotLeader(t *testing.T) {
+	p := newTestPartition(t)
+	p.becomeFollower(0, 2, []int32{1, 2}, []int32{1, 2})
+	res := p.appendAsLeader(1, &protocol.RecordBatch{
+		ProducerID:   protocol.NoProducerID,
+		BaseSequence: protocol.NoSequence,
+		Records:      []protocol.Record{{Key: []byte("k")}},
+	})
+	if res.Err != protocol.ErrNotLeader {
+		t.Fatalf("append on follower: %v", res.Err)
+	}
+	out := p.fetchAsLeader(1, -1, 0, 1<<20, 0, protocol.ReadUncommitted)
+	if out.Err != protocol.ErrNotLeader {
+		t.Fatalf("fetch on follower: %v", out.Err)
+	}
+}
+
+func TestPartitionBecomeFollowerTruncatesToHW(t *testing.T) {
+	p := newTestPartition(t)
+	p.becomeLeader(0, []int32{1, 2}, []int32{1, 2})
+	// Append without waiting (background) so the record stays above HW.
+	go p.appendAsLeader(1, &protocol.RecordBatch{
+		ProducerID:   protocol.NoProducerID,
+		BaseSequence: protocol.NoSequence,
+		Records:      []protocol.Record{{Key: []byte("k")}},
+	})
+	deadline := time.Now().Add(time.Second)
+	for p.log.EndOffset() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.log.EndOffset() != 1 {
+		t.Fatal("append never landed")
+	}
+	// Demote: the uncommitted record (above HW=0) is dropped.
+	if err := p.becomeFollower(1, 2, []int32{1, 2}, []int32{2}); err != nil {
+		t.Fatal(err)
+	}
+	if p.log.EndOffset() != 0 {
+		t.Fatalf("follower kept uncommitted records: end=%d", p.log.EndOffset())
+	}
+}
+
+func TestLastStableReflectsOpenTxn(t *testing.T) {
+	p := newTestPartition(t)
+	p.becomeLeader(0, []int32{1}, []int32{1})
+	p.appendAsLeader(1, &protocol.RecordBatch{
+		ProducerID:   protocol.NoProducerID,
+		BaseSequence: protocol.NoSequence,
+		Records:      []protocol.Record{{Key: []byte("a")}},
+	})
+	b := &protocol.RecordBatch{
+		ProducerID: 9, ProducerEpoch: 0, BaseSequence: 0, Transactional: true,
+		Records: []protocol.Record{{Key: []byte("txn")}},
+	}
+	p.appendAsLeader(1, b)
+	if got := p.lastStable(); got != 1 {
+		t.Fatalf("lso = %d, want 1 (open txn at offset 1)", got)
+	}
+	mk := protocol.NewMarkerBatch(9, 0, 0, protocol.ControlMarker{Type: protocol.MarkerCommit})
+	p.appendAsLeader(1, mk)
+	if got := p.lastStable(); got != p.highWatermark() {
+		t.Fatalf("lso = %d after marker, hw = %d", got, p.highWatermark())
+	}
+}

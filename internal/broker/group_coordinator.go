@@ -1,0 +1,614 @@
+package broker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"kstreams/internal/protocol"
+)
+
+// Group coordinator: manages consumer group membership (join/sync/
+// heartbeat generations with member fencing) and committed offsets for the
+// groups hashed to the __consumer_offsets partitions this broker leads.
+// Offset commits are appends to the offsets partition — "offset commits in
+// Kafka are translated internally as appends to an internal Kafka topic"
+// (paper Section 4.2) — so transactional offset commits become visible
+// atomically with the transaction's data when the commit marker lands.
+
+type groupState int
+
+const (
+	groupEmpty groupState = iota
+	groupPreparing
+	groupAwaitingSync
+	groupStable
+)
+
+type member struct {
+	id             string
+	subscription   []string
+	userData       []byte
+	sessionTimeout time.Duration
+	lastSeen       time.Time
+	joined         bool
+	assignment     []protocol.TopicPartition
+	assignUserData []byte
+}
+
+type group struct {
+	name    string
+	partIdx int32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state      groupState
+	generation int32
+	members    map[string]*member
+	leader     string
+	nextMember int
+
+	// committed holds materialized offsets; pendingTxn stages transactional
+	// offset commits until their marker resolves them.
+	committed  map[protocol.TopicPartition]protocol.OffsetEntry
+	pendingTxn map[int64][]protocol.OffsetEntry
+}
+
+func newGroup(name string, partIdx int32) *group {
+	g := &group{
+		name:       name,
+		partIdx:    partIdx,
+		members:    make(map[string]*member),
+		committed:  make(map[protocol.TopicPartition]protocol.OffsetEntry),
+		pendingTxn: make(map[int64][]protocol.OffsetEntry),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+type groupCoordinator struct {
+	b *Broker
+
+	mu     sync.Mutex
+	owned  map[int32]*partition
+	groups map[string]*group
+}
+
+func newGroupCoordinator(b *Broker) *groupCoordinator {
+	return &groupCoordinator{
+		b:      b,
+		owned:  make(map[int32]*partition),
+		groups: make(map[string]*group),
+	}
+}
+
+// takePartition makes this broker the coordinator for the groups hashed to
+// the given offsets partition: it replays the partition log to materialize
+// committed offsets, then subscribes to marker appends.
+func (gc *groupCoordinator) takePartition(idx int32, p *partition) {
+	gc.mu.Lock()
+	gc.owned[idx] = p
+	gc.mu.Unlock()
+	gc.replay(idx, p)
+	p.mu.Lock()
+	p.onAppend = func(b *protocol.RecordBatch) { gc.observeBatch(idx, b) }
+	p.mu.Unlock()
+}
+
+func (gc *groupCoordinator) dropPartition(idx int32) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if p, ok := gc.owned[idx]; ok {
+		p.mu.Lock()
+		p.onAppend = nil
+		p.mu.Unlock()
+	}
+	delete(gc.owned, idx)
+	// Groups on this partition move with the new coordinator; members will
+	// rediscover it and rejoin there. Drop local state.
+	for name, g := range gc.groups {
+		if g.partIdx == idx {
+			g.mu.Lock()
+			g.state = groupEmpty
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			delete(gc.groups, name)
+		}
+	}
+}
+
+// replay rebuilds offset state from the partition log.
+func (gc *groupCoordinator) replay(idx int32, p *partition) {
+	off := p.log.StartOffset()
+	end := p.log.EndOffset()
+	for off < end {
+		batches, err := p.log.Read(off, end, 1<<20)
+		if err != nil || len(batches) == 0 {
+			return
+		}
+		for _, b := range batches {
+			gc.observeBatch(idx, b)
+			off = b.LastOffset() + 1
+		}
+	}
+}
+
+// observeBatch materializes offset records and transaction markers landing
+// on an owned offsets partition.
+func (gc *groupCoordinator) observeBatch(idx int32, b *protocol.RecordBatch) {
+	if b.Control {
+		m, err := b.Marker()
+		if err != nil {
+			return
+		}
+		gc.resolvePending(idx, b.ProducerID, m.Type == protocol.MarkerCommit)
+		return
+	}
+	for i := range b.Records {
+		groupName, tp, ok := parseOffsetKey(b.Records[i].Key)
+		if !ok {
+			continue
+		}
+		entry, ok := parseOffsetValue(tp, b.Records[i].Value)
+		if !ok {
+			continue
+		}
+		g := gc.groupFor(groupName, false)
+		if g == nil {
+			g = gc.groupFor(groupName, true)
+		}
+		g.mu.Lock()
+		if b.Transactional {
+			g.pendingTxn[b.ProducerID] = append(g.pendingTxn[b.ProducerID], entry)
+		} else {
+			g.committed[entry.TP] = entry
+		}
+		g.mu.Unlock()
+	}
+}
+
+// resolvePending commits or discards staged transactional offsets when the
+// producer's marker arrives (paper Section 4.2.3: committed offsets "are
+// also only reflected when the ongoing transaction is committed").
+func (gc *groupCoordinator) resolvePending(idx int32, pid int64, commit bool) {
+	gc.mu.Lock()
+	groups := make([]*group, 0, len(gc.groups))
+	for _, g := range gc.groups {
+		if g.partIdx == idx {
+			groups = append(groups, g)
+		}
+	}
+	gc.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		if staged, ok := g.pendingTxn[pid]; ok {
+			if commit {
+				for _, e := range staged {
+					g.committed[e.TP] = e
+				}
+			}
+			delete(g.pendingTxn, pid)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// groupFor returns the group state, optionally creating it.
+func (gc *groupCoordinator) groupFor(name string, create bool) *group {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	g, ok := gc.groups[name]
+	if !ok && create {
+		g = newGroup(name, CoordinatorPartition(name, gc.b.cfg.OffsetsPartitions))
+		gc.groups[name] = g
+	}
+	return g
+}
+
+// ownsGroup checks the coordinator hash routing.
+func (gc *groupCoordinator) ownsGroup(name string) (*partition, bool) {
+	idx := CoordinatorPartition(name, gc.b.cfg.OffsetsPartitions)
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	p, ok := gc.owned[idx]
+	return p, ok
+}
+
+// --- membership ---
+
+func (gc *groupCoordinator) handleJoin(r *protocol.JoinGroupRequest) *protocol.JoinGroupResponse {
+	if _, ok := gc.ownsGroup(r.Group); !ok {
+		return &protocol.JoinGroupResponse{Err: protocol.ErrNotCoordinator}
+	}
+	g := gc.groupFor(r.Group, true)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	id := r.MemberID
+	if id == "" {
+		g.nextMember++
+		id = fmt.Sprintf("%s-%s-%d", r.Group, r.ClientID, g.nextMember)
+	} else if _, ok := g.members[id]; !ok {
+		return &protocol.JoinGroupResponse{Err: protocol.ErrUnknownMemberID}
+	}
+	m, ok := g.members[id]
+	if !ok {
+		m = &member{id: id}
+		g.members[id] = m
+	}
+	m.subscription = r.Subscription
+	m.userData = r.UserData
+	m.sessionTimeout = time.Duration(r.SessionTimeoutMs) * time.Millisecond
+	if m.sessionTimeout <= 0 {
+		m.sessionTimeout = 10 * time.Second
+	}
+	m.lastSeen = time.Now()
+	m.joined = true
+
+	if g.state != groupPreparing {
+		// Start a new rebalance round: everyone else must rejoin.
+		g.state = groupPreparing
+		for _, other := range g.members {
+			if other != m {
+				other.joined = false
+			}
+		}
+		g.cond.Broadcast()
+	}
+
+	deadline := time.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
+	for g.state == groupPreparing && !g.allJoinedLocked() && time.Now().Before(deadline) {
+		g.waitLocked(deadline)
+	}
+	if g.state == groupPreparing {
+		// Complete the round (possibly evicting stragglers).
+		for mid, other := range g.members {
+			if !other.joined {
+				delete(g.members, mid)
+			}
+		}
+		g.generation++
+		g.leader = ""
+		for mid := range g.members {
+			if g.leader == "" || mid < g.leader {
+				g.leader = mid
+			}
+		}
+		g.state = groupAwaitingSync
+		g.cond.Broadcast()
+	}
+
+	if _, still := g.members[id]; !still {
+		return &protocol.JoinGroupResponse{Err: protocol.ErrUnknownMemberID}
+	}
+	resp := &protocol.JoinGroupResponse{
+		GenerationID: g.generation,
+		MemberID:     id,
+		LeaderID:     g.leader,
+	}
+	if id == g.leader {
+		for _, other := range g.members {
+			resp.Members = append(resp.Members, protocol.JoinGroupMember{
+				MemberID:     other.id,
+				Subscription: other.subscription,
+				UserData:     other.userData,
+			})
+		}
+	}
+	return resp
+}
+
+func (g *group) allJoinedLocked() bool {
+	for _, m := range g.members {
+		if !m.joined {
+			return false
+		}
+	}
+	return true
+}
+
+// waitLocked waits on the group condition with a timeout pulse.
+func (g *group) waitLocked(deadline time.Time) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(20 * time.Millisecond):
+			g.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	g.cond.Wait()
+	close(done)
+	_ = deadline
+}
+
+func (gc *groupCoordinator) handleSync(r *protocol.SyncGroupRequest) *protocol.SyncGroupResponse {
+	if _, ok := gc.ownsGroup(r.Group); !ok {
+		return &protocol.SyncGroupResponse{Err: protocol.ErrNotCoordinator}
+	}
+	g := gc.groupFor(r.Group, false)
+	if g == nil {
+		return &protocol.SyncGroupResponse{Err: protocol.ErrUnknownMemberID}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[r.MemberID]
+	if !ok {
+		return &protocol.SyncGroupResponse{Err: protocol.ErrUnknownMemberID}
+	}
+	if r.GenerationID != g.generation {
+		return &protocol.SyncGroupResponse{Err: protocol.ErrIllegalGeneration}
+	}
+	if g.state == groupPreparing {
+		return &protocol.SyncGroupResponse{Err: protocol.ErrRebalanceInProgress}
+	}
+	if g.state == groupAwaitingSync && r.MemberID == g.leader {
+		for _, a := range r.Assignments {
+			if target, ok := g.members[a.MemberID]; ok {
+				target.assignment = a.Partitions
+				target.assignUserData = a.UserData
+			}
+		}
+		g.state = groupStable
+		g.cond.Broadcast()
+	}
+	deadline := time.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
+	for g.state == groupAwaitingSync && r.GenerationID == g.generation && time.Now().Before(deadline) {
+		g.waitLocked(deadline)
+	}
+	if g.state != groupStable || r.GenerationID != g.generation {
+		return &protocol.SyncGroupResponse{Err: protocol.ErrRebalanceInProgress}
+	}
+	m.lastSeen = time.Now()
+	return &protocol.SyncGroupResponse{
+		Partitions: m.assignment,
+		UserData:   m.assignUserData,
+	}
+}
+
+func (gc *groupCoordinator) handleHeartbeat(r *protocol.HeartbeatRequest) *protocol.HeartbeatResponse {
+	if _, ok := gc.ownsGroup(r.Group); !ok {
+		return &protocol.HeartbeatResponse{Err: protocol.ErrNotCoordinator}
+	}
+	g := gc.groupFor(r.Group, false)
+	if g == nil {
+		return &protocol.HeartbeatResponse{Err: protocol.ErrUnknownMemberID}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[r.MemberID]
+	if !ok {
+		return &protocol.HeartbeatResponse{Err: protocol.ErrUnknownMemberID}
+	}
+	if r.GenerationID != g.generation {
+		return &protocol.HeartbeatResponse{Err: protocol.ErrIllegalGeneration}
+	}
+	m.lastSeen = time.Now()
+	if g.state != groupStable {
+		return &protocol.HeartbeatResponse{Err: protocol.ErrRebalanceInProgress}
+	}
+	return &protocol.HeartbeatResponse{}
+}
+
+func (gc *groupCoordinator) handleLeave(r *protocol.LeaveGroupRequest) *protocol.LeaveGroupResponse {
+	if _, ok := gc.ownsGroup(r.Group); !ok {
+		return &protocol.LeaveGroupResponse{Err: protocol.ErrNotCoordinator}
+	}
+	g := gc.groupFor(r.Group, false)
+	if g == nil {
+		return &protocol.LeaveGroupResponse{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[r.MemberID]; ok {
+		delete(g.members, r.MemberID)
+		if len(g.members) == 0 {
+			g.state = groupEmpty
+		} else if g.state == groupStable || g.state == groupAwaitingSync {
+			g.state = groupPreparing
+			for _, other := range g.members {
+				other.joined = false
+			}
+		}
+		g.cond.Broadcast()
+	}
+	return &protocol.LeaveGroupResponse{}
+}
+
+// tick evicts members whose session expired, triggering a rebalance.
+func (gc *groupCoordinator) tick() {
+	gc.mu.Lock()
+	groups := make([]*group, 0, len(gc.groups))
+	for _, g := range gc.groups {
+		groups = append(groups, g)
+	}
+	gc.mu.Unlock()
+	now := time.Now()
+	for _, g := range groups {
+		g.mu.Lock()
+		changed := false
+		for id, m := range g.members {
+			if g.state == groupPreparing && !m.joined {
+				continue // the join round's own deadline handles these
+			}
+			if now.Sub(m.lastSeen) > m.sessionTimeout {
+				delete(g.members, id)
+				changed = true
+			}
+		}
+		if changed {
+			if len(g.members) == 0 {
+				g.state = groupEmpty
+			} else {
+				g.state = groupPreparing
+				for _, m := range g.members {
+					m.joined = false
+				}
+			}
+			g.cond.Broadcast()
+		}
+		g.mu.Unlock()
+	}
+}
+
+// --- offsets ---
+
+func offsetKey(groupName string, tp protocol.TopicPartition) []byte {
+	return []byte(fmt.Sprintf("c|%s|%s|%d", groupName, tp.Topic, tp.Partition))
+}
+
+func parseOffsetKey(k []byte) (string, protocol.TopicPartition, bool) {
+	parts := strings.Split(string(k), "|")
+	if len(parts) != 4 || parts[0] != "c" {
+		return "", protocol.TopicPartition{}, false
+	}
+	var pnum int32
+	if _, err := fmt.Sscanf(parts[3], "%d", &pnum); err != nil {
+		return "", protocol.TopicPartition{}, false
+	}
+	return parts[1], protocol.TopicPartition{Topic: parts[2], Partition: pnum}, true
+}
+
+func offsetValue(e protocol.OffsetEntry) []byte {
+	out := make([]byte, 8+len(e.Metadata))
+	binary.BigEndian.PutUint64(out[:8], uint64(e.Offset))
+	copy(out[8:], e.Metadata)
+	return out
+}
+
+func parseOffsetValue(tp protocol.TopicPartition, v []byte) (protocol.OffsetEntry, bool) {
+	if len(v) < 8 {
+		return protocol.OffsetEntry{}, false
+	}
+	return protocol.OffsetEntry{
+		TP:       tp,
+		Offset:   int64(binary.BigEndian.Uint64(v[:8])),
+		Metadata: string(v[8:]),
+	}, true
+}
+
+// appendOffsets durably appends offset records to the group's partition.
+func (gc *groupCoordinator) appendOffsets(p *partition, groupName string, offsets []protocol.OffsetEntry, pid int64, epoch int16, txn bool) protocol.ErrorCode {
+	b := &protocol.RecordBatch{
+		ProducerID:    pid,
+		ProducerEpoch: epoch,
+		BaseSequence:  protocol.NoSequence,
+		Transactional: txn,
+	}
+	now := time.Now().UnixMilli()
+	for _, e := range offsets {
+		b.Records = append(b.Records, protocol.Record{
+			Key:       offsetKey(groupName, e.TP),
+			Value:     offsetValue(e),
+			Timestamp: now,
+		})
+	}
+	res := p.appendAsLeader(gc.b.cfg.ID, b)
+	if res.Err == protocol.ErrDuplicateSequence {
+		return protocol.ErrNone
+	}
+	return res.Err
+}
+
+func (gc *groupCoordinator) handleOffsetCommit(r *protocol.OffsetCommitRequest) *protocol.OffsetCommitResponse {
+	p, ok := gc.ownsGroup(r.Group)
+	if !ok {
+		return &protocol.OffsetCommitResponse{Err: protocol.ErrNotCoordinator}
+	}
+	g := gc.groupFor(r.Group, true)
+	if r.MemberID != "" {
+		g.mu.Lock()
+		m, known := g.members[r.MemberID]
+		gen := g.generation
+		g.mu.Unlock()
+		if !known {
+			return &protocol.OffsetCommitResponse{Err: protocol.ErrUnknownMemberID}
+		}
+		if r.GenerationID != gen {
+			return &protocol.OffsetCommitResponse{Err: protocol.ErrIllegalGeneration}
+		}
+		g.mu.Lock()
+		m.lastSeen = time.Now()
+		g.mu.Unlock()
+	}
+	if err := gc.appendOffsets(p, r.Group, r.Offsets, protocol.NoProducerID, 0, false); err != protocol.ErrNone {
+		return &protocol.OffsetCommitResponse{Err: err}
+	}
+	// The append hook materialized the offsets; nothing more to do.
+	return &protocol.OffsetCommitResponse{}
+}
+
+func (gc *groupCoordinator) handleTxnOffsetCommit(r *protocol.TxnOffsetCommitRequest) *protocol.TxnOffsetCommitResponse {
+	p, ok := gc.ownsGroup(r.Group)
+	if !ok {
+		return &protocol.TxnOffsetCommitResponse{Err: protocol.ErrNotCoordinator}
+	}
+	if r.MemberID != "" {
+		// Group-metadata fencing: a committer whose generation is stale has
+		// lost its tasks to a rebalance and must not commit their offsets.
+		g := gc.groupFor(r.Group, false)
+		if g == nil {
+			return &protocol.TxnOffsetCommitResponse{Err: protocol.ErrUnknownMemberID}
+		}
+		g.mu.Lock()
+		_, known := g.members[r.MemberID]
+		gen := g.generation
+		g.mu.Unlock()
+		if !known {
+			return &protocol.TxnOffsetCommitResponse{Err: protocol.ErrUnknownMemberID}
+		}
+		if r.GenerationID != gen {
+			return &protocol.TxnOffsetCommitResponse{Err: protocol.ErrIllegalGeneration}
+		}
+	}
+	if err := gc.appendOffsets(p, r.Group, r.Offsets, r.ProducerID, r.ProducerEpoch, true); err != protocol.ErrNone {
+		return &protocol.TxnOffsetCommitResponse{Err: err}
+	}
+	return &protocol.TxnOffsetCommitResponse{}
+}
+
+func (gc *groupCoordinator) handleOffsetFetch(r *protocol.OffsetFetchRequest) *protocol.OffsetFetchResponse {
+	if _, ok := gc.ownsGroup(r.Group); !ok {
+		return &protocol.OffsetFetchResponse{Err: protocol.ErrNotCoordinator}
+	}
+	g := gc.groupFor(r.Group, false)
+	resp := &protocol.OffsetFetchResponse{}
+	if g != nil {
+		// A transactional offset commit awaiting its marker makes the
+		// requested offsets unstable: the fetch must retry until the
+		// transaction resolves, or a consumer could read a stale position
+		// and reprocess committed input (Kafka's UNSTABLE_OFFSET_COMMIT).
+		g.mu.Lock()
+		unstable := false
+		for _, staged := range g.pendingTxn {
+			for _, e := range staged {
+				for _, tp := range r.TPs {
+					if e.TP == tp {
+						unstable = true
+					}
+				}
+			}
+		}
+		g.mu.Unlock()
+		if unstable {
+			return &protocol.OffsetFetchResponse{Err: protocol.ErrUnstableOffsetCommit}
+		}
+	}
+	for _, tp := range r.TPs {
+		e := protocol.OffsetFetchEntry{TP: tp, Offset: -1}
+		if g != nil {
+			g.mu.Lock()
+			if c, ok := g.committed[tp]; ok {
+				e.Offset = c.Offset
+				e.Err = protocol.ErrNone
+			}
+			g.mu.Unlock()
+		}
+		resp.Offsets = append(resp.Offsets, e)
+	}
+	return resp
+}

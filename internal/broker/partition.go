@@ -1,0 +1,402 @@
+// Package broker implements one Kafka broker: partition replicas with
+// leader/follower roles, the produce path with idempotent de-duplication,
+// the fetch path with read-committed filtering, follower replication and
+// high-watermark tracking, the consumer group coordinator, and the
+// transaction coordinator (paper Sections 3 and 4).
+package broker
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/wal"
+)
+
+// produceTimeout bounds how long an acks=all append waits for replication
+// before reporting ErrRequestTimedOut.
+const produceTimeout = 10 * time.Second
+
+// partition is one replica of a topic partition hosted by this broker.
+type partition struct {
+	tp   protocol.TopicPartition
+	cfg  protocol.TopicConfig
+	self int32 // hosting broker's id
+	log  *wal.Log
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	leaderID    int32
+	leaderEpoch int32
+	replicas    []int32
+	isr         []int32
+	isLeader    bool
+	stopped     bool
+
+	// hw is the high watermark: the largest offset known to be replicated
+	// to every in-sync replica. Never regresses.
+	hw int64
+	// followerLEO tracks, on the leader, each follower's log end offset as
+	// reported by its replica fetches.
+	followerLEO map[int32]int64
+	// lastFetch records each follower's last replica fetch (diagnostics).
+	lastFetch map[int32]time.Time
+
+	// appendDelay models storage latency per leader append.
+	appendDelay time.Duration
+
+	// onAppend, when set by a coordinator that owns this partition, runs
+	// after every successful leader append (data and markers) so the
+	// coordinator can materialize state from its own log.
+	onAppend func(*protocol.RecordBatch)
+
+	// onISRChange notifies the broker that the leader wants the ISR
+	// changed (follower caught up); the broker forwards to the controller.
+	onISRChange func(tp protocol.TopicPartition, epoch int32, isr []int32)
+}
+
+func newPartition(tp protocol.TopicPartition, cfg protocol.TopicConfig, self int32, log *wal.Log, appendDelay time.Duration) *partition {
+	p := &partition{
+		tp:          tp,
+		cfg:         cfg,
+		self:        self,
+		log:         log,
+		followerLEO: make(map[int32]int64),
+		lastFetch:   make(map[int32]time.Time),
+		appendDelay: appendDelay,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	// A recovered replica trusts its local log up to its end; the controller
+	// will make it a follower first, which truncates to the leader's state.
+	p.hw = log.EndOffset()
+	return p
+}
+
+// becomeLeader installs leadership state. The high watermark is preserved
+// (it never regresses); follower progress is re-learned from their fetches.
+func (p *partition) becomeLeader(epoch int32, replicas, isr []int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaderEpoch = epoch
+	p.leaderID = p.self
+	p.replicas = replicas
+	p.isr = isr
+	p.isLeader = true
+	p.followerLEO = make(map[int32]int64)
+	p.lastFetch = make(map[int32]time.Time)
+	// The ISR may have shrunk (e.g. to the leader alone): recompute the
+	// watermark so waiting appends are released.
+	p.advanceHWLocked()
+	p.cond.Broadcast()
+}
+
+// becomeFollower drops leadership and truncates the log to the high
+// watermark: records above it were never committed and will be re-fetched
+// from the new leader, which (being in the ISR) has everything below it.
+func (p *partition) becomeFollower(epoch int32, leader int32, replicas, isr []int32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaderEpoch = epoch
+	p.leaderID = leader
+	p.replicas = replicas
+	p.isr = isr
+	p.isLeader = false
+	p.cond.Broadcast()
+	return p.log.TruncateTo(p.hw)
+}
+
+// setISR applies a controller-confirmed ISR (e.g. after a broker crash).
+func (p *partition) setISR(epoch int32, isr []int32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch < p.leaderEpoch {
+		return
+	}
+	p.leaderEpoch = epoch
+	p.isr = isr
+	p.advanceHWLocked()
+	p.cond.Broadcast()
+}
+
+func (p *partition) stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stopped = true
+	p.cond.Broadcast()
+}
+
+func (p *partition) leader() (int32, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leaderID, p.isLeader
+}
+
+func (p *partition) highWatermark() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hw
+}
+
+// lastStable returns the last stable offset: min(high watermark, first
+// offset of any open transaction). Read-committed fetches stop here
+// (paper Section 4.2.3).
+func (p *partition) lastStable() int64 {
+	hw := p.highWatermark()
+	if fu := p.log.FirstUnstable(); fu >= 0 && fu < hw {
+		return fu
+	}
+	return hw
+}
+
+// advanceHWLocked recomputes the high watermark as the minimum log end
+// offset across the leader and all in-sync followers.
+func (p *partition) advanceHWLocked() {
+	min := p.log.EndOffset()
+	for _, id := range p.isr {
+		if id == p.self {
+			continue // the leader's own LEO is the starting minimum
+		}
+		leo, ok := p.followerLEO[id]
+		if !ok {
+			// Unknown progress for an in-sync follower: hold the watermark.
+			return
+		}
+		if leo < min {
+			min = leo
+		}
+	}
+	if min > p.hw {
+		p.hw = min
+		p.cond.Broadcast()
+	}
+}
+
+// isrContains reports membership; caller holds the lock.
+func isrContains(isr []int32, id int32) bool {
+	for _, m := range isr {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// selfOnly reports whether the leader is the only replica expected in sync.
+func (p *partition) soleReplicaLocked(selfID int32) bool {
+	for _, id := range p.isr {
+		if id != selfID {
+			return false
+		}
+	}
+	return true
+}
+
+// appendAsLeader validates and appends a batch, then waits until it is
+// replicated to the full ISR (acks=all). Returns the assigned base offset.
+func (p *partition) appendAsLeader(selfID int32, b *protocol.RecordBatch) protocol.ProduceResult {
+	res, wait := p.appendOnly(selfID, b)
+	if wait != nil {
+		if code := wait(); code != protocol.ErrNone {
+			res.Err = code
+		}
+	}
+	return res
+}
+
+// appendOnly validates and appends a batch without waiting for
+// replication. It returns the produce result and, on success, a wait
+// function that blocks until the batch is committed (high watermark past
+// it) and then fires the coordinator append hook. Multi-partition produce
+// requests append everything first and run the waits afterwards, so the
+// replication round-trips of independent partitions overlap.
+func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.ProduceResult, func() protocol.ErrorCode) {
+	res := protocol.ProduceResult{TP: p.tp}
+	p.mu.Lock()
+	if !p.isLeader || p.stopped {
+		p.mu.Unlock()
+		res.Err = protocol.ErrNotLeader
+		return res, nil
+	}
+	epoch := p.leaderEpoch
+	p.mu.Unlock()
+
+	if p.appendDelay > 0 {
+		time.Sleep(p.appendDelay)
+	}
+	ar := p.log.Append(b)
+	switch ar.Err {
+	case protocol.ErrNone:
+	case protocol.ErrDuplicateSequence:
+		// Already appended by an earlier attempt: acknowledge with the
+		// original offset without waiting again.
+		res.Err = protocol.ErrDuplicateSequence
+		res.BaseOffset = ar.BaseOffset
+		return res, nil
+	default:
+		res.Err = ar.Err
+		return res, nil
+	}
+	res.BaseOffset = ar.BaseOffset
+	last := b.LastOffset()
+
+	p.mu.Lock()
+	if p.soleReplicaLocked(selfID) {
+		p.advanceHWLocked()
+	}
+	p.mu.Unlock()
+
+	return res, func() protocol.ErrorCode {
+		if code := p.waitCommitted(selfID, epoch, last); code != protocol.ErrNone {
+			return code
+		}
+		p.mu.Lock()
+		hook := p.onAppend
+		p.mu.Unlock()
+		if hook != nil {
+			hook(b)
+		}
+		return protocol.ErrNone
+	}
+}
+
+// waitCommitted blocks until the high watermark passes last.
+func (p *partition) waitCommitted(selfID int32, epoch int32, last int64) protocol.ErrorCode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	deadline := time.Now().Add(produceTimeout)
+	for p.hw <= last {
+		if !p.isLeader || p.stopped || p.leaderEpoch != epoch {
+			return protocol.ErrNotLeader
+		}
+		if time.Now().After(deadline) {
+			isr := append([]int32(nil), p.isr...)
+			leo := make(map[int32]int64, len(p.followerLEO))
+			for id, off := range p.followerLEO {
+				leo[id] = off
+			}
+			hw := p.hw
+			ages := make(map[int32]time.Duration, len(p.lastFetch))
+			for id, at := range p.lastFetch {
+				ages[id] = time.Since(at).Round(time.Millisecond)
+			}
+			log.Printf("broker %d: produce to %s timed out waiting for replication: hw=%d last=%d leo=%d isr=%v followerLEO=%v fetchAges=%v",
+				selfID, p.tp, hw, last, p.log.EndOffset(), isr, leo, ages)
+			return protocol.ErrRequestTimedOut
+		}
+		p.waitLocked(deadline)
+	}
+	return protocol.ErrNone
+}
+
+// waitLocked blocks on the condition variable with a coarse timeout pulse
+// so deadline checks make progress even without state changes.
+func (p *partition) waitLocked(deadline time.Time) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(10 * time.Millisecond):
+			p.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	p.cond.Wait()
+	close(done)
+}
+
+// fetchAsLeader serves a replica or consumer fetch for this partition.
+func (p *partition) fetchAsLeader(selfID, replicaID int32, offset int64, maxBytes, maxRecords int, iso protocol.IsolationLevel) protocol.FetchPartition {
+	out := protocol.FetchPartition{TP: p.tp}
+	p.mu.Lock()
+	if !p.isLeader || p.stopped {
+		p.mu.Unlock()
+		out.Err = protocol.ErrNotLeader
+		return out
+	}
+	if replicaID >= 0 {
+		// Replica fetch: the offset is the follower's log end offset.
+		p.lastFetch[replicaID] = time.Now()
+		if prev, ok := p.followerLEO[replicaID]; !ok || offset > prev {
+			p.followerLEO[replicaID] = offset
+			p.advanceHWLocked()
+		}
+		// A caught-up follower rejoins the ISR.
+		if !isrContains(p.isr, replicaID) && isrContains(p.replicas, replicaID) && offset >= p.hw {
+			newISR := append(append([]int32(nil), p.isr...), replicaID)
+			epoch := p.leaderEpoch
+			notify := p.onISRChange
+			p.mu.Unlock()
+			if notify != nil {
+				notify(p.tp, epoch, newISR)
+			}
+			p.mu.Lock()
+		}
+	}
+	hw := p.hw
+	p.mu.Unlock()
+
+	out.HighWatermark = hw
+	out.LastStableOffset = p.lastStable()
+	out.LogStartOffset = p.log.StartOffset()
+
+	maxOffset := p.log.EndOffset() // replicas read everything
+	if replicaID < 0 {
+		if iso == protocol.ReadCommitted {
+			maxOffset = out.LastStableOffset
+		} else {
+			maxOffset = hw
+		}
+		if maxRecords > 0 && offset+int64(maxRecords) < maxOffset {
+			// Offsets are dense outside compaction gaps, so this bounds
+			// the record count without a second decode pass.
+			maxOffset = offset + int64(maxRecords)
+		}
+	}
+	batches, err := p.log.Read(offset, maxOffset, maxBytes)
+	if err != nil {
+		out.Err = protocol.ErrOffsetOutOfRange
+		return out
+	}
+	out.Batches = batches
+	if replicaID < 0 && iso == protocol.ReadCommitted && len(batches) > 0 {
+		end := batches[len(batches)-1].LastOffset() + 1
+		for _, a := range p.log.AbortedIn(offset, end) {
+			out.AbortedTxns = append(out.AbortedTxns, protocol.AbortedTxn{
+				ProducerID:  a.ProducerID,
+				FirstOffset: a.FirstOffset,
+			})
+		}
+	}
+	return out
+}
+
+// appendAsFollower applies leader-assigned batches from a replica fetch and
+// adopts the leader's high watermark and log start offset.
+func (p *partition) appendAsFollower(batches []*protocol.RecordBatch, leaderHW, leaderStart int64) error {
+	for _, b := range batches {
+		if b.BaseOffset < p.log.EndOffset() {
+			continue // already have it
+		}
+		if err := p.log.AppendAssigned(b); err != nil {
+			return err
+		}
+	}
+	if leaderStart > p.log.StartOffset() {
+		if _, err := p.log.AdvanceStartOffset(leaderStart); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	leo := p.log.EndOffset()
+	if leaderHW > p.hw {
+		if leaderHW > leo {
+			leaderHW = leo
+		}
+		if leaderHW > p.hw {
+			p.hw = leaderHW
+		}
+	}
+	p.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,84 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// Admin performs topic-level administrative operations: Streams uses it to
+// create its internal repartition and changelog topics at startup and to
+// purge consumed repartition records after commits (paper Section 3.2).
+type Admin struct {
+	net        *transport.Network
+	self       int32
+	controller int32
+	meta       *metadata
+}
+
+// NewAdmin registers an admin client on the network.
+func NewAdmin(net *transport.Network, controller int32) *Admin {
+	self := net.AllocClientID()
+	net.Register(self, func(int32, any) any { return nil })
+	return &Admin{
+		net:        net,
+		self:       self,
+		controller: controller,
+		meta:       newMetadata(net, self, controller),
+	}
+}
+
+// CreateTopic creates a topic; an existing topic is not an error (Streams
+// instances race to create internal topics at startup).
+func (a *Admin) CreateTopic(name string, partitions int32, rf int, cfg protocol.TopicConfig) error {
+	resp, err := a.net.Send(a.self, a.controller, &protocol.CreateTopicRequest{
+		Name: name, Partitions: partitions, ReplicationFactor: rf, Config: cfg,
+	})
+	if err != nil {
+		return err
+	}
+	code := resp.(*protocol.CreateTopicResponse).Err
+	if code == protocol.ErrNone || code == protocol.ErrTopicAlreadyExists {
+		return nil
+	}
+	return code.Err()
+}
+
+// Partitions returns a topic's partition count.
+func (a *Admin) Partitions(topic string) (int32, error) {
+	return a.meta.partitions(topic)
+}
+
+// DeleteRecords advances a partition's log start offset (repartition topic
+// purging). Failures are returned but callers may treat purging as best
+// effort — it reclaims space, it is not needed for correctness.
+func (a *Admin) DeleteRecords(tp protocol.TopicPartition, beforeOffset int64) error {
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		leader, err := a.meta.leaderFor(tp)
+		if err == nil {
+			resp, serr := a.net.Send(a.self, leader, &protocol.DeleteRecordsRequest{
+				TP: tp, BeforeOffset: beforeOffset,
+			})
+			if serr == nil {
+				code := resp.(*protocol.DeleteRecordsResponse).Err
+				if code == protocol.ErrNone {
+					return nil
+				}
+				if !code.Retriable() {
+					return code.Err()
+				}
+			}
+			a.meta.invalidate(tp.Topic)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: delete records on %s timed out", tp)
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// Close releases the network endpoint.
+func (a *Admin) Close() { a.net.Unregister(a.self) }

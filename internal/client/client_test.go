@@ -1,0 +1,146 @@
+package client
+
+import (
+	"testing"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+func TestRangeAssignor(t *testing.T) {
+	a := RangeAssignor{}
+	if a.Name() != "range" {
+		t.Fatal("name")
+	}
+	members := []protocol.JoinGroupMember{
+		{MemberID: "m2", Subscription: []string{"t"}},
+		{MemberID: "m1", Subscription: []string{"t"}},
+	}
+	parts, _ := a.Assign(members, func(string) int32 { return 5 })
+	if len(parts["m1"]) != 3 || len(parts["m2"]) != 2 {
+		t.Fatalf("split: m1=%v m2=%v", parts["m1"], parts["m2"])
+	}
+	seen := map[int32]bool{}
+	for _, tps := range parts {
+		for _, tp := range tps {
+			if seen[tp.Partition] {
+				t.Fatalf("partition %d assigned twice", tp.Partition)
+			}
+			seen[tp.Partition] = true
+		}
+	}
+	// Subscriptions are respected.
+	members = []protocol.JoinGroupMember{
+		{MemberID: "a", Subscription: []string{"x"}},
+		{MemberID: "b", Subscription: []string{"y"}},
+	}
+	parts, _ = a.Assign(members, func(topic string) int32 { return 2 })
+	for _, tp := range parts["a"] {
+		if tp.Topic != "x" {
+			t.Fatalf("member a got %v", tp)
+		}
+	}
+}
+
+func TestPartitionHashStable(t *testing.T) {
+	if Partition([]byte("key"), 8) != Partition([]byte("key"), 8) {
+		t.Fatal("unstable")
+	}
+	spread := map[int32]bool{}
+	for i := 0; i < 100; i++ {
+		spread[Partition([]byte{byte(i)}, 8)] = true
+	}
+	if len(spread) < 4 {
+		t.Fatalf("poor spread: %d", len(spread))
+	}
+}
+
+// fakeController serves metadata for the metadata-cache tests.
+func fakeController(net *transport.Network, leaders map[string][]int32) {
+	net.Register(0, func(_ int32, req any) any {
+		switch r := req.(type) {
+		case *protocol.MetadataRequest:
+			resp := &protocol.MetadataResponse{Brokers: []int32{1, 2}}
+			names := r.Topics
+			if len(names) == 0 {
+				for n := range leaders {
+					names = append(names, n)
+				}
+			}
+			for _, n := range names {
+				ls, ok := leaders[n]
+				if !ok {
+					resp.Topics = append(resp.Topics, protocol.TopicMetadata{
+						Name: n, Err: protocol.ErrUnknownTopicOrPartition,
+					})
+					continue
+				}
+				tm := protocol.TopicMetadata{Name: n}
+				for p, l := range ls {
+					tm.Partitions = append(tm.Partitions, protocol.PartitionMetadata{
+						Partition: int32(p), Leader: l,
+					})
+				}
+				resp.Topics = append(resp.Topics, tm)
+			}
+			return resp
+		case *protocol.FindCoordinatorRequest:
+			return &protocol.FindCoordinatorResponse{NodeID: 1}
+		}
+		return nil
+	})
+}
+
+func TestMetadataCache(t *testing.T) {
+	net := transport.New(transport.Options{})
+	leaders := map[string][]int32{"t": {1, 2}}
+	fakeController(net, leaders)
+	m := newMetadata(net, net.AllocClientID(), 0)
+
+	l, err := m.leaderFor(protocol.TopicPartition{Topic: "t", Partition: 1})
+	if err != nil || l != 2 {
+		t.Fatalf("leader: %d %v", l, err)
+	}
+	n, err := m.partitions("t")
+	if err != nil || n != 2 {
+		t.Fatalf("partitions: %d %v", n, err)
+	}
+	if _, err := m.partitions("missing"); err == nil {
+		t.Fatal("missing topic resolved")
+	}
+	// Invalidate forces a refresh that observes leadership changes.
+	leaders["t"][1] = 1
+	if l, _ := m.leaderFor(protocol.TopicPartition{Topic: "t", Partition: 1}); l != 2 {
+		t.Fatalf("cache should still hold old leader, got %d", l)
+	}
+	m.invalidate("t")
+	if l, _ := m.leaderFor(protocol.TopicPartition{Topic: "t", Partition: 1}); l != 1 {
+		t.Fatalf("refresh missed new leader: %d", l)
+	}
+	if coord, err := m.findCoordinator("g", protocol.CoordinatorGroup); err != nil || coord != 1 {
+		t.Fatalf("coordinator: %d %v", coord, err)
+	}
+}
+
+func TestProducerValidation(t *testing.T) {
+	net := transport.New(transport.Options{})
+	fakeController(net, map[string][]int32{})
+	p, err := NewProducer(net, ProducerConfig{Controller: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.BeginTxn(); err == nil {
+		t.Fatal("BeginTxn on non-transactional producer accepted")
+	}
+	if err := p.CommitTxn(); err == nil {
+		t.Fatal("CommitTxn without txn accepted")
+	}
+	if err := p.SendOffsetsToTxn("g", nil, "", 0); err == nil {
+		t.Fatal("SendOffsetsToTxn without txn accepted")
+	}
+	p.Close()
+	if err := p.SendTo(protocol.TopicPartition{Topic: "t"}, protocol.Record{}); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+}

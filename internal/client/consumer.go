@@ -1,0 +1,804 @@
+package client
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+var debugOn = os.Getenv("KSTREAMS_DEBUG") != ""
+
+// ResetPolicy says where to start when a partition has no committed offset.
+type ResetPolicy int
+
+const (
+	ResetEarliest ResetPolicy = iota
+	ResetLatest
+)
+
+// Assignor computes partition assignments on the group leader. Streams
+// plugs in its sticky, task-aware assignor; the default is a range
+// assignor.
+type Assignor interface {
+	Name() string
+	// Assign maps each member to partitions. partitionsOf resolves topic
+	// partition counts. The returned userData (optional, keyed by member)
+	// travels back to each member with its assignment.
+	Assign(members []protocol.JoinGroupMember, partitionsOf func(string) int32) (map[string][]protocol.TopicPartition, map[string][]byte)
+}
+
+// RangeAssignor splits each topic's partitions contiguously across members.
+type RangeAssignor struct{}
+
+// Name implements Assignor.
+func (RangeAssignor) Name() string { return "range" }
+
+// Assign implements Assignor.
+func (RangeAssignor) Assign(members []protocol.JoinGroupMember, partitionsOf func(string) int32) (map[string][]protocol.TopicPartition, map[string][]byte) {
+	out := make(map[string][]protocol.TopicPartition, len(members))
+	sort.Slice(members, func(i, j int) bool { return members[i].MemberID < members[j].MemberID })
+	byTopic := make(map[string][]string) // topic -> subscribed member ids
+	for _, m := range members {
+		for _, t := range m.Subscription {
+			byTopic[t] = append(byTopic[t], m.MemberID)
+		}
+	}
+	for topic, subs := range byTopic {
+		n := int(partitionsOf(topic))
+		if n == 0 || len(subs) == 0 {
+			continue
+		}
+		per := n / len(subs)
+		extra := n % len(subs)
+		next := 0
+		for i, mid := range subs {
+			count := per
+			if i < extra {
+				count++
+			}
+			for j := 0; j < count && next < n; j++ {
+				out[mid] = append(out[mid], protocol.TopicPartition{Topic: topic, Partition: int32(next)})
+				next++
+			}
+		}
+	}
+	return out, nil
+}
+
+// ConsumerConfig configures a consumer.
+type ConsumerConfig struct {
+	// Controller is the controller node id.
+	Controller int32
+	// Group enables consumer-group membership; empty means manual
+	// assignment via Assign.
+	Group string
+	// ClientID labels the member in generated member ids.
+	ClientID string
+	// Isolation selects read-committed or read-uncommitted fetches.
+	Isolation protocol.IsolationLevel
+	// Reset is the position policy without a committed offset.
+	Reset ResetPolicy
+	// SessionTimeout and HeartbeatInterval tune group liveness.
+	SessionTimeout    time.Duration
+	HeartbeatInterval time.Duration
+	// MaxPollRecords caps records returned per Poll.
+	MaxPollRecords int
+	// Assignor is used if this member becomes group leader.
+	Assignor Assignor
+	// UserData is called at each join to produce assignor input (e.g.
+	// Streams' previously-owned tasks for stickiness).
+	UserData func() []byte
+	// OnRevoked and OnAssigned run around rebalances, inside Poll.
+	OnRevoked  func([]protocol.TopicPartition)
+	OnAssigned func([]protocol.TopicPartition)
+}
+
+// Message is one consumed record.
+type Message struct {
+	TP     protocol.TopicPartition
+	Offset int64
+	Record protocol.Record
+}
+
+// Consumer reads records from partition leaders, optionally as a consumer
+// group member with coordinator-managed assignment and committed offsets.
+type Consumer struct {
+	net  *transport.Network
+	self int32
+	cfg  ConsumerConfig
+	meta *metadata
+
+	mu           sync.Mutex
+	closed       bool
+	subscription []string
+	assignment   []protocol.TopicPartition
+	assignData   []byte
+	pos          map[protocol.TopicPartition]int64
+
+	memberID    string
+	generation  int32
+	coordinator int32
+	inGroup     bool
+
+	needRejoin atomic.Bool
+	hbStop     chan struct{}
+	hbDone     sync.WaitGroup
+}
+
+// NewConsumer registers a consumer client on the network.
+func NewConsumer(net *transport.Network, cfg ConsumerConfig) *Consumer {
+	if cfg.MaxPollRecords <= 0 {
+		cfg.MaxPollRecords = 2048
+	}
+	if cfg.SessionTimeout <= 0 {
+		cfg.SessionTimeout = 10 * time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.Assignor == nil {
+		cfg.Assignor = RangeAssignor{}
+	}
+	self := net.AllocClientID()
+	net.Register(self, func(int32, any) any { return nil })
+	return &Consumer{
+		net:  net,
+		self: self,
+		cfg:  cfg,
+		meta: newMetadata(net, self, cfg.Controller),
+		pos:  make(map[protocol.TopicPartition]int64),
+	}
+}
+
+// Subscribe sets the topics for group-managed assignment.
+func (c *Consumer) Subscribe(topics ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subscription = topics
+	c.needRejoin.Store(true)
+}
+
+// Assign sets a manual (non-group) partition assignment.
+func (c *Consumer) Assign(tps ...protocol.TopicPartition) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.assignment = tps
+}
+
+// Assignment returns the current assignment.
+func (c *Consumer) Assignment() []protocol.TopicPartition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]protocol.TopicPartition(nil), c.assignment...)
+}
+
+// AssignmentUserData returns the assignor user data received with the
+// current assignment (Streams task metadata).
+func (c *Consumer) AssignmentUserData() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.assignData
+}
+
+// MemberID returns the coordinator-assigned member id.
+func (c *Consumer) MemberID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memberID
+}
+
+// Generation returns the current group generation.
+func (c *Consumer) Generation() int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
+}
+
+// ResetPositions drops all in-memory fetch positions; the next Poll
+// re-initializes them from committed offsets (or the reset policy). An
+// exactly-once processor calls this after aborting a transaction so the
+// input rewinds to the last committed cycle.
+func (c *Consumer) ResetPositions() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pos = make(map[protocol.TopicPartition]int64)
+}
+
+// Seek overrides the fetch position of a partition.
+func (c *Consumer) Seek(tp protocol.TopicPartition, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pos[tp] = offset
+}
+
+// Position returns the next offset to fetch for a partition (-1 if not
+// yet initialized).
+func (c *Consumer) Position(tp protocol.TopicPartition) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if off, ok := c.pos[tp]; ok {
+		return off
+	}
+	return -1
+}
+
+// Poll fetches the next slice of records, managing group membership as
+// needed. It returns an empty slice when no data is ready.
+func (c *Consumer) Poll() ([]Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	group := c.cfg.Group != "" && len(c.subscription) > 0
+	c.mu.Unlock()
+	if group {
+		if err := c.ensureMembership(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.ensurePositions(); err != nil {
+		return nil, err
+	}
+	return c.fetch()
+}
+
+// ensureMembership joins or rejoins the group when required.
+func (c *Consumer) ensureMembership() error {
+	c.mu.Lock()
+	joined := c.inGroup
+	c.mu.Unlock()
+	if joined && !c.needRejoin.Load() {
+		return nil
+	}
+	// Revoke the old assignment before rebalancing so the application can
+	// commit and release state.
+	c.mu.Lock()
+	old := c.assignment
+	c.mu.Unlock()
+	if len(old) > 0 && c.cfg.OnRevoked != nil {
+		c.cfg.OnRevoked(old)
+	}
+	if err := c.joinGroup(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	assigned := append([]protocol.TopicPartition(nil), c.assignment...)
+	c.mu.Unlock()
+	if c.cfg.OnAssigned != nil {
+		c.cfg.OnAssigned(assigned)
+	}
+	return nil
+}
+
+func (c *Consumer) joinGroup() error {
+	deadline := time.Now().Add(requestTimeout * 2)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: join group %q timed out", c.cfg.Group)
+		}
+		coord, err := c.meta.findCoordinator(c.cfg.Group, protocol.CoordinatorGroup)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.coordinator = coord
+		memberID := c.memberID
+		subs := append([]string(nil), c.subscription...)
+		c.mu.Unlock()
+		var userData []byte
+		if c.cfg.UserData != nil {
+			userData = c.cfg.UserData()
+		}
+		resp, serr := c.net.Send(c.self, coord, &protocol.JoinGroupRequest{
+			Group:            c.cfg.Group,
+			MemberID:         memberID,
+			ClientID:         c.cfg.ClientID,
+			SessionTimeoutMs: int64(c.cfg.SessionTimeout / time.Millisecond),
+			Subscription:     subs,
+			ProtocolName:     c.cfg.Assignor.Name(),
+			UserData:         userData,
+		})
+		if serr != nil {
+			time.Sleep(retryBackoff)
+			continue
+		}
+		jr := resp.(*protocol.JoinGroupResponse)
+		if debugOn && jr.Err != protocol.ErrNone {
+			fmt.Printf("[debug] consumer %s: join error %v\n", memberID, jr.Err)
+		}
+		switch jr.Err {
+		case protocol.ErrNone:
+		case protocol.ErrUnknownMemberID:
+			c.mu.Lock()
+			c.memberID = ""
+			c.mu.Unlock()
+			continue
+		case protocol.ErrNotCoordinator, protocol.ErrCoordinatorNotAvailable:
+			time.Sleep(retryBackoff)
+			continue
+		default:
+			if jr.Err.Retriable() {
+				time.Sleep(retryBackoff)
+				continue
+			}
+			return jr.Err.Err()
+		}
+
+		c.mu.Lock()
+		c.memberID = jr.MemberID
+		c.generation = jr.GenerationID
+		c.mu.Unlock()
+
+		sync := &protocol.SyncGroupRequest{
+			Group:        c.cfg.Group,
+			MemberID:     jr.MemberID,
+			GenerationID: jr.GenerationID,
+		}
+		if jr.MemberID == jr.LeaderID {
+			assignments, userDatas := c.cfg.Assignor.Assign(jr.Members, func(topic string) int32 {
+				n, err := c.meta.partitions(topic)
+				if err != nil {
+					return 0
+				}
+				return n
+			})
+			for mid, tps := range assignments {
+				sync.Assignments = append(sync.Assignments, protocol.MemberAssignment{
+					MemberID:   mid,
+					Partitions: tps,
+					UserData:   userDatas[mid],
+				})
+			}
+		}
+		sresp, serr := c.net.Send(c.self, coord, sync)
+		if serr != nil {
+			time.Sleep(retryBackoff)
+			continue
+		}
+		sr := sresp.(*protocol.SyncGroupResponse)
+		if debugOn && sr.Err != protocol.ErrNone {
+			fmt.Printf("[debug] consumer %s: sync error %v\n", jr.MemberID, sr.Err)
+		}
+		switch sr.Err {
+		case protocol.ErrNone:
+		case protocol.ErrRebalanceInProgress, protocol.ErrIllegalGeneration:
+			continue
+		case protocol.ErrUnknownMemberID:
+			c.mu.Lock()
+			c.memberID = ""
+			c.mu.Unlock()
+			continue
+		default:
+			if sr.Err.Retriable() {
+				time.Sleep(retryBackoff)
+				continue
+			}
+			return sr.Err.Err()
+		}
+
+		c.mu.Lock()
+		c.assignment = sr.Partitions
+		c.assignData = sr.UserData
+		// Positions for partitions we no longer own are dropped; newly
+		// assigned partitions initialize from committed offsets.
+		pos := make(map[protocol.TopicPartition]int64)
+		for _, tp := range sr.Partitions {
+			if off, ok := c.pos[tp]; ok {
+				pos[tp] = off
+			}
+		}
+		c.pos = pos
+		c.inGroup = true
+		c.mu.Unlock()
+		c.needRejoin.Store(false)
+		c.startHeartbeat()
+		return nil
+	}
+}
+
+func (c *Consumer) startHeartbeat() {
+	c.stopHeartbeat()
+	c.mu.Lock()
+	stop := make(chan struct{})
+	c.hbStop = stop
+	coord := c.coordinator
+	memberID := c.memberID
+	gen := c.generation
+	c.mu.Unlock()
+	c.hbDone.Add(1)
+	go func() {
+		defer c.hbDone.Done()
+		t := time.NewTicker(c.cfg.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			resp, err := c.net.Send(c.self, coord, &protocol.HeartbeatRequest{
+				Group: c.cfg.Group, MemberID: memberID, GenerationID: gen,
+			})
+			if err != nil {
+				c.needRejoin.Store(true)
+				return
+			}
+			if hr := resp.(*protocol.HeartbeatResponse); hr.Err != protocol.ErrNone {
+				if debugOn {
+					fmt.Printf("[debug] consumer %s gen %d: heartbeat error %v\n", memberID, gen, hr.Err)
+				}
+				c.needRejoin.Store(true)
+				return
+			}
+		}
+	}()
+}
+
+func (c *Consumer) stopHeartbeat() {
+	c.mu.Lock()
+	stop := c.hbStop
+	c.hbStop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	c.hbDone.Wait()
+}
+
+// ensurePositions initializes fetch positions from committed offsets or
+// the reset policy.
+func (c *Consumer) ensurePositions() error {
+	c.mu.Lock()
+	var missing []protocol.TopicPartition
+	for _, tp := range c.assignment {
+		if _, ok := c.pos[tp]; !ok {
+			missing = append(missing, tp)
+		}
+	}
+	group := c.cfg.Group
+	c.mu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	committed := make(map[protocol.TopicPartition]int64)
+	if group != "" {
+		offs, err := c.Committed(missing...)
+		if err != nil {
+			// Falling back to the reset policy here would silently rewind
+			// and reprocess committed input; surface the error instead.
+			return err
+		}
+		for tp, off := range offs {
+			committed[tp] = off
+		}
+	}
+	for _, tp := range missing {
+		off, ok := committed[tp]
+		if !ok || off < 0 {
+			var err error
+			if c.cfg.Reset == ResetLatest {
+				off, err = c.listOffset(tp, -1)
+			} else {
+				off, err = c.listOffset(tp, -2)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		c.mu.Lock()
+		c.pos[tp] = off
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+func (c *Consumer) listOffset(tp protocol.TopicPartition, t int64) (int64, error) {
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		leader, err := c.meta.leaderFor(tp)
+		if err == nil {
+			resp, serr := c.net.Send(c.self, leader, &protocol.ListOffsetsRequest{TP: tp, Time: t})
+			if serr == nil {
+				lr := resp.(*protocol.ListOffsetsResponse)
+				if lr.Err == protocol.ErrNone {
+					return lr.Offset, nil
+				}
+				if !lr.Err.Retriable() {
+					return -1, lr.Err.Err()
+				}
+			}
+			c.meta.invalidate(tp.Topic)
+		}
+		if time.Now().After(deadline) {
+			return -1, fmt.Errorf("client: list offsets for %s timed out", tp)
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// BeginningOffset and EndOffset expose log bounds (used for restoration).
+func (c *Consumer) BeginningOffset(tp protocol.TopicPartition) (int64, error) {
+	return c.listOffset(tp, -2)
+}
+
+// EndOffset returns the current readable end (high watermark).
+func (c *Consumer) EndOffset(tp protocol.TopicPartition) (int64, error) {
+	return c.listOffset(tp, -1)
+}
+
+// StableOffset returns the last stable offset: the read-committed end of
+// the partition. Streams restoration replays changelogs up to this bound.
+func (c *Consumer) StableOffset(tp protocol.TopicPartition) (int64, error) {
+	return c.listOffset(tp, -3)
+}
+
+// fetch reads every assigned partition from its leader, one RPC per
+// leader, in parallel.
+func (c *Consumer) fetch() ([]Message, error) {
+	c.mu.Lock()
+	byLeader := make(map[int32][]protocol.FetchEntry)
+	for _, tp := range c.assignment {
+		off, ok := c.pos[tp]
+		if !ok {
+			continue
+		}
+		leader, err := c.meta.leaderFor(tp)
+		if err != nil {
+			continue
+		}
+		byLeader[leader] = append(byLeader[leader], protocol.FetchEntry{TP: tp, Offset: off})
+	}
+	iso := c.cfg.Isolation
+	c.mu.Unlock()
+
+	type result struct {
+		parts []protocol.FetchPartition
+	}
+	results := make(chan result, len(byLeader))
+	var wg sync.WaitGroup
+	for leader, entries := range byLeader {
+		wg.Add(1)
+		go func(leader int32, entries []protocol.FetchEntry) {
+			defer wg.Done()
+			resp, err := c.net.Send(c.self, leader, &protocol.FetchRequest{
+				ReplicaID:  -1,
+				Isolation:  iso,
+				MaxBytes:   1 << 20,
+				MaxRecords: c.cfg.MaxPollRecords,
+				Entries:    entries,
+			})
+			if err != nil {
+				for _, e := range entries {
+					c.meta.invalidate(e.TP.Topic)
+				}
+				return
+			}
+			results <- result{parts: resp.(*protocol.FetchResponse).Parts}
+		}(leader, entries)
+	}
+	wg.Wait()
+	close(results)
+
+	var msgs []Message
+	for r := range results {
+		for _, part := range r.parts {
+			switch part.Err {
+			case protocol.ErrNone:
+			case protocol.ErrNotLeader, protocol.ErrUnknownTopicOrPartition:
+				c.meta.invalidate(part.TP.Topic)
+				continue
+			case protocol.ErrOffsetOutOfRange:
+				c.resetPosition(part.TP)
+				continue
+			default:
+				continue
+			}
+			msgs = append(msgs, c.deliver(part)...)
+		}
+	}
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].TP != msgs[j].TP {
+			return msgs[i].TP.String() < msgs[j].TP.String()
+		}
+		return msgs[i].Offset < msgs[j].Offset
+	})
+	if len(msgs) > c.cfg.MaxPollRecords {
+		// Rewind positions beyond the cap so the surplus is refetched.
+		for _, m := range msgs[c.cfg.MaxPollRecords:] {
+			c.mu.Lock()
+			if cur := c.pos[m.TP]; m.Offset < cur {
+				c.pos[m.TP] = m.Offset
+			}
+			c.mu.Unlock()
+		}
+		msgs = msgs[:c.cfg.MaxPollRecords]
+	}
+	return msgs, nil
+}
+
+func (c *Consumer) resetPosition(tp protocol.TopicPartition) {
+	t := int64(-2)
+	if c.cfg.Reset == ResetLatest {
+		t = -1
+	}
+	if off, err := c.listOffset(tp, t); err == nil {
+		c.mu.Lock()
+		c.pos[tp] = off
+		c.mu.Unlock()
+	}
+}
+
+// deliver converts fetched batches to messages, dropping aborted
+// transactional data and control markers under read-committed isolation
+// (paper Section 4.2.3) and advancing the partition position.
+func (c *Consumer) deliver(part protocol.FetchPartition) []Message {
+	c.mu.Lock()
+	pos, ok := c.pos[part.TP]
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	aborted := make(map[int64]int64) // pid -> first aborted offset
+	for _, a := range part.AbortedTxns {
+		if f, ok := aborted[a.ProducerID]; !ok || a.FirstOffset < f {
+			aborted[a.ProducerID] = a.FirstOffset
+		}
+	}
+	activeAborted := make(map[int64]bool)
+	var msgs []Message
+	for _, b := range part.Batches {
+		if b.LastOffset() < pos {
+			continue
+		}
+		if first, ok := aborted[b.ProducerID]; ok && b.BaseOffset >= first {
+			activeAborted[b.ProducerID] = true
+		}
+		if b.Control {
+			if m, err := b.Marker(); err == nil && m.Type == protocol.MarkerAbort {
+				delete(activeAborted, b.ProducerID)
+			}
+			pos = b.LastOffset() + 1
+			continue
+		}
+		skip := c.cfg.Isolation == protocol.ReadCommitted &&
+			b.Transactional && activeAborted[b.ProducerID]
+		if !skip {
+			for i := range b.Records {
+				off := b.BaseOffset + int64(i)
+				if off < pos {
+					continue
+				}
+				msgs = append(msgs, Message{TP: part.TP, Offset: off, Record: b.Records[i]})
+			}
+		}
+		pos = b.LastOffset() + 1
+	}
+	c.mu.Lock()
+	c.pos[part.TP] = pos
+	c.mu.Unlock()
+	return msgs
+}
+
+// Commit durably commits consumed offsets for the group (ALOS mode).
+func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
+	c.mu.Lock()
+	coord := c.coordinator
+	memberID := c.memberID
+	gen := c.generation
+	group := c.cfg.Group
+	c.mu.Unlock()
+	if group == "" {
+		return fmt.Errorf("client: commit without a group")
+	}
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		if coord == 0 {
+			var err error
+			coord, err = c.meta.findCoordinator(group, protocol.CoordinatorGroup)
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.coordinator = coord
+			c.mu.Unlock()
+		}
+		resp, err := c.net.Send(c.self, coord, &protocol.OffsetCommitRequest{
+			Group:        group,
+			MemberID:     memberID,
+			GenerationID: gen,
+			Offsets:      offsets,
+		})
+		if err == nil {
+			code := resp.(*protocol.OffsetCommitResponse).Err
+			switch {
+			case code == protocol.ErrNone:
+				return nil
+			case code == protocol.ErrIllegalGeneration, code == protocol.ErrUnknownMemberID,
+				code == protocol.ErrRebalanceInProgress:
+				c.needRejoin.Store(true)
+				return code.Err()
+			case !code.Retriable():
+				return code.Err()
+			}
+		} else {
+			coord = 0
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: offset commit timed out")
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// Committed returns the group's committed offsets (-1 when none).
+func (c *Consumer) Committed(tps ...protocol.TopicPartition) (map[protocol.TopicPartition]int64, error) {
+	group := c.cfg.Group
+	if group == "" {
+		return nil, fmt.Errorf("client: committed offsets without a group")
+	}
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		coord, err := c.meta.findCoordinator(group, protocol.CoordinatorGroup)
+		if err != nil {
+			return nil, err
+		}
+		resp, serr := c.net.Send(c.self, coord, &protocol.OffsetFetchRequest{Group: group, TPs: tps})
+		if serr == nil {
+			ofr := resp.(*protocol.OffsetFetchResponse)
+			if ofr.Err == protocol.ErrNone {
+				out := make(map[protocol.TopicPartition]int64, len(ofr.Offsets))
+				for _, e := range ofr.Offsets {
+					out[e.TP] = e.Offset
+				}
+				return out, nil
+			}
+			if !ofr.Err.Retriable() {
+				return nil, ofr.Err.Err()
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: offset fetch timed out")
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// Abandon releases the consumer without leaving the group — the crash
+// path: the coordinator discovers the death via session timeout.
+func (c *Consumer) Abandon() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.stopHeartbeat()
+	c.net.Unregister(c.self)
+}
+
+// Close leaves the group and releases the network endpoint.
+func (c *Consumer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	coord := c.coordinator
+	memberID := c.memberID
+	inGroup := c.inGroup
+	c.mu.Unlock()
+	c.stopHeartbeat()
+	if inGroup && memberID != "" {
+		c.net.Send(c.self, coord, &protocol.LeaveGroupRequest{Group: c.cfg.Group, MemberID: memberID})
+	}
+	c.net.Unregister(c.self)
+}

@@ -1,0 +1,131 @@
+// Package client implements the Kafka client side: an idempotent and
+// transactional producer (paper Sections 4.1-4.2) and a consumer with
+// group membership, offset management, and read-committed isolation
+// (Section 4.2.3). Both talk to brokers through the transport fabric and
+// are the building blocks the Streams runtime (internal/core) is made of.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// ErrFenced reports that this producer was fenced by a newer instance with
+// the same transactional id (a zombie, paper Section 2.1) and must close.
+var ErrFenced = errors.New("client: producer fenced by newer epoch")
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("client: closed")
+
+// requestTimeout bounds retry loops for metadata-dependent requests.
+const requestTimeout = 15 * time.Second
+
+const retryBackoff = 2 * time.Millisecond
+
+// metadata caches topic partition leadership, refreshed on routing errors.
+type metadata struct {
+	net        *transport.Network
+	self       int32
+	controller int32
+
+	mu     sync.Mutex
+	topics map[string][]protocol.PartitionMetadata
+}
+
+func newMetadata(net *transport.Network, self, controller int32) *metadata {
+	return &metadata{
+		net:        net,
+		self:       self,
+		controller: controller,
+		topics:     make(map[string][]protocol.PartitionMetadata),
+	}
+}
+
+// refresh fetches metadata for the named topics.
+func (m *metadata) refresh(topics ...string) error {
+	resp, err := m.net.Send(m.self, m.controller, &protocol.MetadataRequest{Topics: topics})
+	if err != nil {
+		return err
+	}
+	md := resp.(*protocol.MetadataResponse)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range md.Topics {
+		if t.Err != protocol.ErrNone {
+			delete(m.topics, t.Name)
+			continue
+		}
+		m.topics[t.Name] = t.Partitions
+	}
+	return nil
+}
+
+// leaderFor resolves the leader broker for a partition, refreshing on miss.
+func (m *metadata) leaderFor(tp protocol.TopicPartition) (int32, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		m.mu.Lock()
+		parts, ok := m.topics[tp.Topic]
+		m.mu.Unlock()
+		if ok && int(tp.Partition) < len(parts) {
+			if l := parts[tp.Partition].Leader; l >= 0 {
+				return l, nil
+			}
+		}
+		if err := m.refresh(tp.Topic); err != nil {
+			return -1, err
+		}
+	}
+	return -1, fmt.Errorf("client: no leader for %s", tp)
+}
+
+// partitions returns the partition count of a topic.
+func (m *metadata) partitions(topic string) (int32, error) {
+	m.mu.Lock()
+	parts, ok := m.topics[topic]
+	m.mu.Unlock()
+	if !ok {
+		if err := m.refresh(topic); err != nil {
+			return 0, err
+		}
+		m.mu.Lock()
+		parts, ok = m.topics[topic]
+		m.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("client: unknown topic %q", topic)
+		}
+	}
+	return int32(len(parts)), nil
+}
+
+// invalidate drops cached metadata for a topic after a routing error.
+func (m *metadata) invalidate(topic string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.topics, topic)
+}
+
+// findCoordinator resolves the group or transaction coordinator for a key.
+func (m *metadata) findCoordinator(key string, typ protocol.CoordinatorType) (int32, error) {
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		resp, err := m.net.Send(m.self, m.controller, &protocol.FindCoordinatorRequest{Key: key, Type: typ})
+		if err == nil {
+			fc := resp.(*protocol.FindCoordinatorResponse)
+			if fc.Err == protocol.ErrNone {
+				return fc.NodeID, nil
+			}
+			if !fc.Err.Retriable() {
+				return -1, fc.Err.Err()
+			}
+		}
+		if time.Now().After(deadline) {
+			return -1, fmt.Errorf("client: find coordinator for %q timed out", key)
+		}
+		time.Sleep(retryBackoff)
+	}
+}

@@ -1,0 +1,564 @@
+package client
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// ProducerConfig configures a producer.
+type ProducerConfig struct {
+	// Controller is the controller node id (cluster.Controller()).
+	Controller int32
+	// Idempotent enables sequence-numbered, de-duplicated appends
+	// (paper Section 4.1). Implied by TransactionalID.
+	Idempotent bool
+	// TransactionalID enables transactions: the producer registers the id
+	// with its transaction coordinator at init, fencing zombies
+	// (paper Section 4.2.1).
+	TransactionalID string
+	// TxnTimeout lets the coordinator abort an abandoned transaction.
+	TxnTimeout time.Duration
+	// BatchRecords flushes a partition's buffered records as one batch when
+	// this many have accumulated (Flush sends the remainder).
+	BatchRecords int
+}
+
+// Producer sends records to partition leaders with optional idempotence
+// and transactions. It is safe for use by a single goroutine (like the
+// embedded producers inside Streams tasks); Flush-level batching amortizes
+// RPC costs exactly as the paper's Section 4.3 relies on.
+type Producer struct {
+	net  *transport.Network
+	self int32
+	cfg  ProducerConfig
+	meta *metadata
+
+	mu     sync.Mutex
+	closed bool
+
+	pid   int64
+	epoch int16
+	seq   map[protocol.TopicPartition]int32
+
+	txnCoordinator int32
+	inTxn          bool
+	txnRegistered  map[protocol.TopicPartition]bool
+
+	buffered map[protocol.TopicPartition][]protocol.Record
+	rr       int // round-robin cursor for keyless records
+}
+
+// NewProducer registers a producer client on the network and, if
+// idempotent or transactional, obtains its producer id and epoch.
+func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) {
+	if cfg.BatchRecords <= 0 {
+		cfg.BatchRecords = 256
+	}
+	if cfg.TransactionalID != "" {
+		cfg.Idempotent = true
+	}
+	self := net.AllocClientID()
+	net.Register(self, func(int32, any) any { return nil })
+	p := &Producer{
+		net:           net,
+		self:          self,
+		cfg:           cfg,
+		meta:          newMetadata(net, self, cfg.Controller),
+		seq:           make(map[protocol.TopicPartition]int32),
+		pid:           protocol.NoProducerID,
+		txnRegistered: make(map[protocol.TopicPartition]bool),
+		buffered:      make(map[protocol.TopicPartition][]protocol.Record),
+	}
+	if cfg.Idempotent {
+		if err := p.initProducerID(); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// initProducerID performs the registration round-trip of Figure 4.b.
+func (p *Producer) initProducerID() error {
+	deadline := time.Now().Add(requestTimeout)
+	req := &protocol.InitProducerIDRequest{
+		TransactionalID: p.cfg.TransactionalID,
+		TxnTimeoutMs:    int64(p.cfg.TxnTimeout / time.Millisecond),
+	}
+	for {
+		coord, err := p.coordinator()
+		if err != nil {
+			return err
+		}
+		resp, err := p.net.Send(p.self, coord, req)
+		if err == nil {
+			ir := resp.(*protocol.InitProducerIDResponse)
+			switch {
+			case ir.Err == protocol.ErrNone:
+				p.pid = ir.ProducerID
+				p.epoch = ir.ProducerEpoch
+				p.seq = make(map[protocol.TopicPartition]int32)
+				return nil
+			case ir.Err == protocol.ErrProducerFenced:
+				return ErrFenced
+			case !ir.Err.Retriable():
+				return ir.Err.Err()
+			}
+		}
+		p.txnCoordinator = 0 // re-resolve
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: init producer id timed out")
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// coordinator resolves (and caches) the transaction coordinator; for
+// idempotent-only producers any broker serves the request.
+func (p *Producer) coordinator() (int32, error) {
+	if p.txnCoordinator != 0 {
+		return p.txnCoordinator, nil
+	}
+	key := p.cfg.TransactionalID
+	id, err := p.meta.findCoordinator(key, protocol.CoordinatorTxn)
+	if err != nil {
+		return -1, err
+	}
+	p.txnCoordinator = id
+	return id, nil
+}
+
+// PID returns the producer session identity (tests and tools).
+func (p *Producer) PID() (int64, int16) { return p.pid, p.epoch }
+
+// PartitionFor returns the partition a key routes to, using the same
+// FNV-1a hash brokers use for coordinator routing.
+func (p *Producer) PartitionFor(topic string, key []byte) (int32, error) {
+	n, err := p.meta.partitions(topic)
+	if err != nil {
+		return 0, err
+	}
+	if len(key) == 0 {
+		p.mu.Lock()
+		p.rr++
+		rr := p.rr
+		p.mu.Unlock()
+		return int32(rr) % n, nil
+	}
+	return Partition(key, n), nil
+}
+
+// Partition hashes a key onto one of n partitions.
+func Partition(key []byte, n int32) int32 {
+	h := fnv.New32a()
+	h.Write(key)
+	return int32(h.Sum32() % uint32(n))
+}
+
+// BeginTxn starts a transaction. At most one may be ongoing.
+func (p *Producer) BeginTxn() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.TransactionalID == "" {
+		return fmt.Errorf("client: BeginTxn on non-transactional producer")
+	}
+	if p.inTxn {
+		return fmt.Errorf("client: transaction already in progress")
+	}
+	p.inTxn = true
+	p.txnRegistered = make(map[protocol.TopicPartition]bool)
+	return nil
+}
+
+// Send buffers a record for the partition chosen by its key.
+func (p *Producer) Send(topic string, rec protocol.Record) error {
+	part, err := p.PartitionFor(topic, rec.Key)
+	if err != nil {
+		return err
+	}
+	return p.SendTo(protocol.TopicPartition{Topic: topic, Partition: part}, rec)
+}
+
+// SendTo buffers a record for an explicit partition, flushing the
+// partition's batch when it reaches the configured size.
+func (p *Producer) SendTo(tp protocol.TopicPartition, rec protocol.Record) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.buffered[tp] = append(p.buffered[tp], rec)
+	full := len(p.buffered[tp]) >= p.cfg.BatchRecords
+	p.mu.Unlock()
+	if full {
+		return p.flushPartition(tp)
+	}
+	return nil
+}
+
+// Flush sends every buffered batch and waits for acknowledgement. New
+// transactional partitions are registered in a single coordinator request
+// (paper Section 4.3: "producers can batch multiple writing partitions in
+// a single registration request") and batches are grouped into one produce
+// RPC per leader broker.
+func (p *Producer) Flush() error {
+	type pendingBatch struct {
+		tp    protocol.TopicPartition
+		batch *protocol.RecordBatch
+	}
+	p.mu.Lock()
+	var pend []pendingBatch
+	var newTPs []protocol.TopicPartition
+	for tp, recs := range p.buffered {
+		if len(recs) == 0 {
+			continue
+		}
+		baseSeq := protocol.NoSequence
+		if p.cfg.Idempotent {
+			baseSeq = p.seq[tp]
+		}
+		pend = append(pend, pendingBatch{tp: tp, batch: &protocol.RecordBatch{
+			ProducerID:    p.pid,
+			ProducerEpoch: p.epoch,
+			BaseSequence:  baseSeq,
+			Transactional: p.inTxn,
+			Records:       recs,
+		}})
+		p.buffered[tp] = nil
+		if p.inTxn && !p.txnRegistered[tp] {
+			newTPs = append(newTPs, tp)
+		}
+	}
+	inTxn := p.inTxn
+	p.mu.Unlock()
+	if len(pend) == 0 {
+		return nil
+	}
+	if inTxn && len(newTPs) > 0 {
+		if err := p.addPartitionsToTxn(newTPs); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		for _, tp := range newTPs {
+			p.txnRegistered[tp] = true
+		}
+		p.mu.Unlock()
+	}
+
+	// First pass: one produce RPC per leader broker.
+	byLeader := make(map[int32][]pendingBatch)
+	var fallback []pendingBatch
+	for _, pb := range pend {
+		leader, err := p.meta.leaderFor(pb.tp)
+		if err != nil {
+			fallback = append(fallback, pb)
+			continue
+		}
+		byLeader[leader] = append(byLeader[leader], pb)
+	}
+	ok := func(pb pendingBatch) {
+		if p.cfg.Idempotent {
+			p.mu.Lock()
+			p.seq[pb.tp] = pb.batch.BaseSequence + int32(len(pb.batch.Records))
+			p.mu.Unlock()
+		}
+	}
+	for leader, group := range byLeader {
+		req := &protocol.ProduceRequest{TransactionalID: p.cfg.TransactionalID}
+		for _, pb := range group {
+			req.Entries = append(req.Entries, protocol.ProduceEntry{TP: pb.tp, Batch: pb.batch})
+		}
+		resp, err := p.net.Send(p.self, leader, req)
+		if err != nil {
+			fallback = append(fallback, group...)
+			continue
+		}
+		results := resp.(*protocol.ProduceResponse).Results
+		for i, res := range results {
+			switch res.Err {
+			case protocol.ErrNone, protocol.ErrDuplicateSequence:
+				ok(group[i])
+			case protocol.ErrProducerFenced:
+				return ErrFenced
+			default:
+				if !res.Err.Retriable() {
+					return res.Err.Err()
+				}
+				p.meta.invalidate(group[i].tp.Topic)
+				fallback = append(fallback, group[i])
+			}
+		}
+	}
+	// Second pass: retry stragglers through the per-partition path.
+	for _, pb := range fallback {
+		if err := p.produce(pb.tp, pb.batch); err != nil {
+			return err
+		}
+		ok(pb)
+	}
+	return nil
+}
+
+func (p *Producer) flushPartition(tp protocol.TopicPartition) error {
+	p.mu.Lock()
+	recs := p.buffered[tp]
+	if len(recs) == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	p.buffered[tp] = nil
+	inTxn := p.inTxn
+	needRegister := inTxn && !p.txnRegistered[tp]
+	baseSeq := protocol.NoSequence
+	if p.cfg.Idempotent {
+		baseSeq = p.seq[tp]
+	}
+	batch := &protocol.RecordBatch{
+		ProducerID:    p.pid,
+		ProducerEpoch: p.epoch,
+		BaseSequence:  baseSeq,
+		Transactional: inTxn,
+		Records:       recs,
+	}
+	p.mu.Unlock()
+
+	if needRegister {
+		if err := p.addPartitionsToTxn([]protocol.TopicPartition{tp}); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.txnRegistered[tp] = true
+		p.mu.Unlock()
+	}
+	if err := p.produce(tp, batch); err != nil {
+		return err
+	}
+	if p.cfg.Idempotent {
+		p.mu.Lock()
+		p.seq[tp] = baseSeq + int32(len(recs))
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// produce sends one batch with retries: the retry on a lost acknowledgement
+// is exactly the duplicated-append hazard idempotence neutralizes
+// (paper Section 2.1, "the inter-processor RPC can fail").
+func (p *Producer) produce(tp protocol.TopicPartition, batch *protocol.RecordBatch) error {
+	deadline := time.Now().Add(requestTimeout)
+	req := &protocol.ProduceRequest{
+		TransactionalID: p.cfg.TransactionalID,
+		Entries:         []protocol.ProduceEntry{{TP: tp, Batch: batch}},
+	}
+	for {
+		leader, err := p.meta.leaderFor(tp)
+		if err == nil {
+			resp, serr := p.net.Send(p.self, leader, req)
+			if serr == nil {
+				res := resp.(*protocol.ProduceResponse).Results[0]
+				switch res.Err {
+				case protocol.ErrNone, protocol.ErrDuplicateSequence:
+					return nil
+				case protocol.ErrProducerFenced:
+					return ErrFenced
+				default:
+					if !res.Err.Retriable() {
+						return res.Err.Err()
+					}
+					p.meta.invalidate(tp.Topic)
+				}
+			} else {
+				p.meta.invalidate(tp.Topic)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: produce to %s timed out", tp)
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// addPartitionsToTxn registers partitions with the coordinator before the
+// first write of the transaction touches them (paper Figure 4.c).
+func (p *Producer) addPartitionsToTxn(tps []protocol.TopicPartition) error {
+	req := &protocol.AddPartitionsToTxnRequest{
+		TransactionalID: p.cfg.TransactionalID,
+		ProducerID:      p.pid,
+		ProducerEpoch:   p.epoch,
+		Partitions:      tps,
+	}
+	return p.txnRequest(func(coord int32) (protocol.ErrorCode, error) {
+		resp, err := p.net.Send(p.self, coord, req)
+		if err != nil {
+			return protocol.ErrBrokerUnavailable, nil
+		}
+		return resp.(*protocol.AddPartitionsToTxnResponse).Err, nil
+	})
+}
+
+// SendOffsetsToTxn adds the group's consumed offsets to the transaction so
+// they commit atomically with the produced records (paper Section 4.2.2).
+// memberID and generation, when non-empty, enable group-metadata fencing:
+// the commit fails with ErrIllegalGeneration if the group has rebalanced
+// past this committer (eos-v2 zombie fencing).
+func (p *Producer) SendOffsetsToTxn(group string, offsets []protocol.OffsetEntry, memberID string, generation int32) error {
+	p.mu.Lock()
+	if !p.inTxn {
+		p.mu.Unlock()
+		return fmt.Errorf("client: SendOffsetsToTxn outside a transaction")
+	}
+	p.mu.Unlock()
+	// The group's offsets partition must carry the commit marker, so it is
+	// registered with the transaction like any data partition.
+	n, err := p.meta.partitions("__consumer_offsets")
+	if err != nil {
+		return err
+	}
+	otp := protocol.TopicPartition{Topic: "__consumer_offsets", Partition: coordinatorPartition(group, n)}
+	p.mu.Lock()
+	registered := p.txnRegistered[otp]
+	p.mu.Unlock()
+	if !registered {
+		if err := p.addPartitionsToTxn([]protocol.TopicPartition{otp}); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.txnRegistered[otp] = true
+		p.mu.Unlock()
+	}
+	req := &protocol.TxnOffsetCommitRequest{
+		TransactionalID: p.cfg.TransactionalID,
+		ProducerID:      p.pid,
+		ProducerEpoch:   p.epoch,
+		Group:           group,
+		MemberID:        memberID,
+		GenerationID:    generation,
+		Offsets:         offsets,
+	}
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		coord, err := p.meta.findCoordinator(group, protocol.CoordinatorGroup)
+		if err != nil {
+			return err
+		}
+		resp, serr := p.net.Send(p.self, coord, req)
+		if serr == nil {
+			code := resp.(*protocol.TxnOffsetCommitResponse).Err
+			switch {
+			case code == protocol.ErrNone:
+				return nil
+			case code == protocol.ErrProducerFenced:
+				return ErrFenced
+			case !code.Retriable():
+				return code.Err()
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: txn offset commit timed out")
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// CommitTxn flushes all pending records and commits the transaction
+// (phase one of Figure 4.e; markers follow asynchronously).
+func (p *Producer) CommitTxn() error { return p.endTxn(true) }
+
+// AbortTxn aborts the ongoing transaction; buffered unsent records are
+// discarded.
+func (p *Producer) AbortTxn() error { return p.endTxn(false) }
+
+func (p *Producer) endTxn(commit bool) error {
+	p.mu.Lock()
+	if !p.inTxn {
+		p.mu.Unlock()
+		return fmt.Errorf("client: no transaction in progress")
+	}
+	if !commit {
+		p.buffered = make(map[protocol.TopicPartition][]protocol.Record)
+	}
+	p.mu.Unlock()
+	if commit {
+		if err := p.Flush(); err != nil {
+			return err
+		}
+	}
+	req := &protocol.EndTxnRequest{
+		TransactionalID: p.cfg.TransactionalID,
+		ProducerID:      p.pid,
+		ProducerEpoch:   p.epoch,
+		Commit:          commit,
+	}
+	err := p.txnRequest(func(coord int32) (protocol.ErrorCode, error) {
+		resp, err := p.net.Send(p.self, coord, req)
+		if err != nil {
+			return protocol.ErrBrokerUnavailable, nil
+		}
+		return resp.(*protocol.EndTxnResponse).Err, nil
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.inTxn = false
+	p.txnRegistered = make(map[protocol.TopicPartition]bool)
+	p.mu.Unlock()
+	return nil
+}
+
+// txnRequest runs a coordinator request with retry and fencing handling.
+func (p *Producer) txnRequest(do func(coord int32) (protocol.ErrorCode, error)) error {
+	deadline := time.Now().Add(requestTimeout)
+	for {
+		coord, err := p.coordinator()
+		if err != nil {
+			return err
+		}
+		code, err := do(coord)
+		if err != nil {
+			return err
+		}
+		switch {
+		case code == protocol.ErrNone:
+			return nil
+		case code == protocol.ErrProducerFenced:
+			return ErrFenced
+		case code == protocol.ErrTransactionAborted:
+			return code.Err()
+		case !code.Retriable():
+			return code.Err()
+		}
+		if code == protocol.ErrNotCoordinator || code == protocol.ErrBrokerUnavailable {
+			p.txnCoordinator = 0
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: transaction request timed out")
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
+// Close releases the client's network endpoint.
+func (p *Producer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.net.Unregister(p.self)
+}
+
+// coordinatorPartition mirrors broker.CoordinatorPartition without
+// importing the broker package into the client.
+func coordinatorPartition(key string, n int32) int32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int32(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,227 @@
+// Package cluster assembles a complete in-process Kafka cluster: a
+// controller (metadata, replica placement, leader election, ISR
+// management, producer-id allocation) plus N brokers wired together over
+// the transport fabric. It is the failure-injection surface for tests and
+// benchmarks: brokers can be crashed and restarted, recovering from their
+// retained storage backends exactly like a broker restarting off its disk.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kstreams/internal/broker"
+	"kstreams/internal/protocol"
+	"kstreams/internal/storage"
+	"kstreams/internal/transport"
+)
+
+// ControllerNode is the controller's node id on the transport network.
+// Brokers are numbered 1..N.
+const ControllerNode int32 = 0
+
+// Config parameterizes the cluster.
+type Config struct {
+	// Brokers is the number of brokers (default 3, as in the paper's
+	// evaluation testbed).
+	Brokers int
+	// ReplicationFactor for internal topics and the CreateTopic default;
+	// capped at Brokers (default min(3, Brokers)).
+	ReplicationFactor int
+	// RPCLatency and Jitter configure the transport fabric.
+	RPCLatency time.Duration
+	Jitter     time.Duration
+	// AppendLatency models per-append storage latency on partition leaders.
+	AppendLatency time.Duration
+	// SegmentBytes is the log segment roll threshold.
+	SegmentBytes int64
+	// DataDir, when non-empty, stores logs on the real filesystem under
+	// DataDir/broker-<id>; otherwise logs live in memory.
+	DataDir string
+	// OffsetsPartitions / TxnPartitions size the internal topics.
+	OffsetsPartitions int32
+	TxnPartitions     int32
+	// CleanerInterval enables background compaction on brokers when > 0.
+	CleanerInterval time.Duration
+	// GroupRebalanceTimeout bounds consumer group rebalance rounds.
+	GroupRebalanceTimeout time.Duration
+	// TxnTimeout aborts idle transactions.
+	TxnTimeout time.Duration
+	// Seed makes transport jitter deterministic.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Brokers <= 0 {
+		c.Brokers = 3
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 3
+	}
+	if c.ReplicationFactor > c.Brokers {
+		c.ReplicationFactor = c.Brokers
+	}
+	if c.OffsetsPartitions <= 0 {
+		c.OffsetsPartitions = 8
+	}
+	if c.TxnPartitions <= 0 {
+		c.TxnPartitions = 8
+	}
+}
+
+// Cluster owns the controller and brokers.
+type Cluster struct {
+	cfg Config
+	net *transport.Network
+
+	mu       sync.Mutex
+	brokers  map[int32]*broker.Broker
+	backends map[int32]storage.Backend
+
+	ctl *controller
+}
+
+// New starts a cluster and creates the internal coordinator topics.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{
+		cfg:      cfg,
+		net:      transport.New(transport.Options{RPCLatency: cfg.RPCLatency, Jitter: cfg.Jitter, Seed: cfg.Seed}),
+		brokers:  make(map[int32]*broker.Broker),
+		backends: make(map[int32]storage.Backend),
+	}
+	c.ctl = newController(c)
+	c.net.Register(ControllerNode, c.ctl.handleRPC)
+	for i := 1; i <= cfg.Brokers; i++ {
+		id := int32(i)
+		be, err := c.newBackend(id)
+		if err != nil {
+			return nil, err
+		}
+		c.backends[id] = be
+		c.brokers[id] = c.startBroker(id, be)
+		c.ctl.registerBroker(id)
+	}
+	if err := c.CreateTopic(broker.OffsetsTopic, cfg.OffsetsPartitions, 0,
+		protocol.TopicConfig{Compacted: true}); err != nil {
+		return nil, fmt.Errorf("cluster: creating offsets topic: %w", err)
+	}
+	if err := c.CreateTopic(broker.TxnTopic, cfg.TxnPartitions, 0,
+		protocol.TopicConfig{Compacted: true}); err != nil {
+		return nil, fmt.Errorf("cluster: creating txn topic: %w", err)
+	}
+	return c, nil
+}
+
+func (c *Cluster) newBackend(id int32) (storage.Backend, error) {
+	if c.cfg.DataDir == "" {
+		return storage.NewMem(), nil
+	}
+	return storage.NewFS(fmt.Sprintf("%s/broker-%d", c.cfg.DataDir, id))
+}
+
+func (c *Cluster) startBroker(id int32, be storage.Backend) *broker.Broker {
+	return broker.New(c.net, broker.Config{
+		ID:                    id,
+		ControllerID:          ControllerNode,
+		Backend:               be,
+		SegmentBytes:          c.cfg.SegmentBytes,
+		AppendLatency:         c.cfg.AppendLatency,
+		CleanerInterval:       c.cfg.CleanerInterval,
+		GroupRebalanceTimeout: c.cfg.GroupRebalanceTimeout,
+		OffsetsPartitions:     c.cfg.OffsetsPartitions,
+		TxnPartitions:         c.cfg.TxnPartitions,
+		TxnTimeout:            c.cfg.TxnTimeout,
+	})
+}
+
+// Net exposes the transport fabric (clients register on it).
+func (c *Cluster) Net() *transport.Network { return c.net }
+
+// Controller returns the controller's node id for client RPCs.
+func (c *Cluster) Controller() int32 { return ControllerNode }
+
+// CreateTopic creates a topic with the given partition count. rf=0 uses the
+// cluster default replication factor.
+func (c *Cluster) CreateTopic(name string, partitions int32, rf int, cfg protocol.TopicConfig) error {
+	if rf <= 0 {
+		rf = c.cfg.ReplicationFactor
+	}
+	resp := c.ctl.handleCreateTopic(&protocol.CreateTopicRequest{
+		Name: name, Partitions: partitions, ReplicationFactor: rf, Config: cfg,
+	})
+	return resp.Err.Err()
+}
+
+// CrashBroker stops a broker abruptly: its node becomes unreachable, its
+// leaderships move to ISR survivors. Storage is retained for restart.
+func (c *Cluster) CrashBroker(id int32) {
+	c.mu.Lock()
+	b := c.brokers[id]
+	delete(c.brokers, id)
+	c.mu.Unlock()
+	if b == nil {
+		return
+	}
+	c.net.Crash(id)
+	b.Stop()
+	c.ctl.brokerFailed(id)
+}
+
+// RestartBroker brings a crashed broker back on its retained storage; it
+// recovers logs, follows current leaders, and rejoins ISRs as it catches up.
+func (c *Cluster) RestartBroker(id int32) error {
+	c.mu.Lock()
+	if _, running := c.brokers[id]; running {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: broker %d already running", id)
+	}
+	be, ok := c.backends[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: unknown broker %d", id)
+	}
+	c.net.Restore(id)
+	b := c.startBroker(id, be)
+	c.mu.Lock()
+	c.brokers[id] = b
+	c.mu.Unlock()
+	c.ctl.brokerReturned(id)
+	return nil
+}
+
+// Broker returns a running broker by id (nil if crashed), for tests that
+// need to poke broker internals (e.g. forced compaction).
+func (c *Cluster) Broker(id int32) *broker.Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brokers[id]
+}
+
+// LeaderOf returns the current leader broker id for a partition, or -1.
+func (c *Cluster) LeaderOf(tp protocol.TopicPartition) int32 {
+	return c.ctl.leaderOf(tp)
+}
+
+// RPCCount proxies the transport's RPC counter.
+func (c *Cluster) RPCCount() int64 { return c.net.RPCCount() }
+
+// Close stops all brokers. Each broker is retired through the controller
+// first (ISR shrink and leader re-election), so in-flight transaction
+// marker writes on surviving leaders are not left waiting for acks from
+// already-stopped followers.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	brokers := make(map[int32]*broker.Broker, len(c.brokers))
+	for id, b := range c.brokers {
+		brokers[id] = b
+	}
+	c.brokers = make(map[int32]*broker.Broker)
+	c.mu.Unlock()
+	for id, b := range brokers {
+		c.ctl.brokerFailed(id)
+		b.Stop()
+	}
+	c.net.Unregister(ControllerNode)
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"sync"
+
+	"kstreams/internal/broker"
+	"kstreams/internal/protocol"
+)
+
+// controller is the cluster's metadata authority: it places replicas,
+// elects leaders from the ISR on failures, arbitrates ISR changes (so that
+// a partitioned leader cannot unilaterally shrink the ISR and advance the
+// high watermark), resolves coordinators, and allocates producer ids.
+type controller struct {
+	c *Cluster
+
+	mu      sync.Mutex
+	topics  map[string]*topicState
+	live    map[int32]bool
+	nextPID int64
+}
+
+type partState struct {
+	leader      int32
+	leaderEpoch int32
+	replicas    []int32
+	isr         []int32
+}
+
+type topicState struct {
+	name       string
+	cfg        protocol.TopicConfig
+	partitions []*partState
+}
+
+func newController(c *Cluster) *controller {
+	return &controller{
+		c:      c,
+		topics: make(map[string]*topicState),
+		live:   make(map[int32]bool),
+	}
+}
+
+func (ct *controller) registerBroker(id int32) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.live[id] = true
+}
+
+func (ct *controller) handleRPC(from int32, req any) any {
+	switch r := req.(type) {
+	case *protocol.MetadataRequest:
+		return ct.handleMetadata(r)
+	case *protocol.CreateTopicRequest:
+		return ct.handleCreateTopic(r)
+	case *protocol.FindCoordinatorRequest:
+		return ct.handleFindCoordinator(r)
+	case *protocol.AlterISRRequest:
+		return ct.handleAlterISR(r)
+	case *protocol.AllocatePIDRequest:
+		return ct.handleAllocatePID()
+	default:
+		return &protocol.MetadataResponse{}
+	}
+}
+
+func (ct *controller) handleAllocatePID() *protocol.AllocatePIDResponse {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.nextPID++
+	return &protocol.AllocatePIDResponse{ProducerID: ct.nextPID}
+}
+
+func (ct *controller) handleCreateTopic(r *protocol.CreateTopicRequest) *protocol.CreateTopicResponse {
+	ct.mu.Lock()
+	if _, exists := ct.topics[r.Name]; exists {
+		ct.mu.Unlock()
+		return &protocol.CreateTopicResponse{Err: protocol.ErrTopicAlreadyExists}
+	}
+	var liveIDs []int32
+	for id, up := range ct.live {
+		if up {
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	sortInt32(liveIDs)
+	rf := r.ReplicationFactor
+	if rf <= 0 {
+		rf = ct.c.cfg.ReplicationFactor
+	}
+	if rf > len(liveIDs) {
+		ct.mu.Unlock()
+		return &protocol.CreateTopicResponse{Err: protocol.ErrBrokerUnavailable}
+	}
+	if rf <= 0 {
+		ct.mu.Unlock()
+		return &protocol.CreateTopicResponse{Err: protocol.ErrBrokerUnavailable}
+	}
+	ts := &topicState{name: r.Name, cfg: r.Config}
+	for p := int32(0); p < r.Partitions; p++ {
+		replicas := make([]int32, rf)
+		for j := 0; j < rf; j++ {
+			replicas[j] = liveIDs[(int(p)+j)%len(liveIDs)]
+		}
+		ts.partitions = append(ts.partitions, &partState{
+			leader:   replicas[0],
+			replicas: replicas,
+			isr:      append([]int32(nil), replicas...),
+		})
+	}
+	ct.topics[r.Name] = ts
+	ct.mu.Unlock()
+
+	for p := range ts.partitions {
+		ct.pushLeaderAndISR(ts, int32(p), true)
+	}
+	return &protocol.CreateTopicResponse{}
+}
+
+// pushLeaderAndISR sends the partition's current state to all its replicas.
+func (ct *controller) pushLeaderAndISR(ts *topicState, p int32, isNew bool) {
+	ct.mu.Lock()
+	ps := ts.partitions[p]
+	req := &protocol.LeaderAndISRRequest{
+		TP:          protocol.TopicPartition{Topic: ts.name, Partition: p},
+		Leader:      ps.leader,
+		LeaderEpoch: ps.leaderEpoch,
+		Replicas:    append([]int32(nil), ps.replicas...),
+		ISR:         append([]int32(nil), ps.isr...),
+		Config:      ts.cfg,
+		IsNew:       isNew,
+	}
+	replicas := append([]int32(nil), ps.replicas...)
+	ct.mu.Unlock()
+	for _, id := range replicas {
+		ct.c.net.Send(ControllerNode, id, req) // unreachable replicas catch up on restart
+	}
+}
+
+func (ct *controller) handleMetadata(r *protocol.MetadataRequest) *protocol.MetadataResponse {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	resp := &protocol.MetadataResponse{}
+	for id, up := range ct.live {
+		if up {
+			resp.Brokers = append(resp.Brokers, id)
+		}
+	}
+	sortInt32(resp.Brokers)
+	names := r.Topics
+	if len(names) == 0 {
+		for n := range ct.topics {
+			names = append(names, n)
+		}
+	}
+	for _, n := range names {
+		ts, ok := ct.topics[n]
+		if !ok {
+			resp.Topics = append(resp.Topics, protocol.TopicMetadata{
+				Name: n, Err: protocol.ErrUnknownTopicOrPartition,
+			})
+			continue
+		}
+		tm := protocol.TopicMetadata{Name: n, Config: ts.cfg}
+		for p, ps := range ts.partitions {
+			tm.Partitions = append(tm.Partitions, protocol.PartitionMetadata{
+				Partition:   int32(p),
+				Leader:      ps.leader,
+				LeaderEpoch: ps.leaderEpoch,
+				Replicas:    append([]int32(nil), ps.replicas...),
+				ISR:         append([]int32(nil), ps.isr...),
+			})
+		}
+		resp.Topics = append(resp.Topics, tm)
+	}
+	return resp
+}
+
+func (ct *controller) handleFindCoordinator(r *protocol.FindCoordinatorRequest) *protocol.FindCoordinatorResponse {
+	topic := broker.OffsetsTopic
+	numParts := ct.c.cfg.OffsetsPartitions
+	if r.Type == protocol.CoordinatorTxn {
+		topic = broker.TxnTopic
+		numParts = ct.c.cfg.TxnPartitions
+	}
+	idx := broker.CoordinatorPartition(r.Key, numParts)
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ts, ok := ct.topics[topic]
+	if !ok || int(idx) >= len(ts.partitions) || ts.partitions[idx].leader < 0 {
+		return &protocol.FindCoordinatorResponse{Err: protocol.ErrCoordinatorNotAvailable}
+	}
+	return &protocol.FindCoordinatorResponse{NodeID: ts.partitions[idx].leader}
+}
+
+// handleAlterISR arbitrates a leader-requested ISR change (follower
+// rejoin). Requests with stale epochs are rejected.
+func (ct *controller) handleAlterISR(r *protocol.AlterISRRequest) *protocol.AlterISRResponse {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ts, ok := ct.topics[r.TP.Topic]
+	if !ok || int(r.TP.Partition) >= len(ts.partitions) {
+		return &protocol.AlterISRResponse{Err: protocol.ErrUnknownTopicOrPartition}
+	}
+	ps := ts.partitions[r.TP.Partition]
+	if r.LeaderEpoch != ps.leaderEpoch {
+		return &protocol.AlterISRResponse{Err: protocol.ErrNotLeader}
+	}
+	// Only accept additions of live replicas; the controller is the sole
+	// authority for removals (on broker failure).
+	newISR := ps.isr
+	for _, id := range r.NewISR {
+		if !containsInt32(newISR, id) && ct.live[id] && containsInt32(ps.replicas, id) {
+			newISR = append(newISR, id)
+		}
+	}
+	ps.isr = newISR
+	return &protocol.AlterISRResponse{ISR: append([]int32(nil), ps.isr...)}
+}
+
+// brokerFailed removes the broker from all ISRs and re-elects leaders for
+// the partitions it led, notifying surviving replicas.
+func (ct *controller) brokerFailed(id int32) {
+	ct.mu.Lock()
+	ct.live[id] = false
+	type push struct {
+		ts *topicState
+		p  int32
+	}
+	var pushes []push
+	for _, ts := range ct.topics {
+		for p, ps := range ts.partitions {
+			inISR := containsInt32(ps.isr, id)
+			wasLeader := ps.leader == id
+			if !inISR && !wasLeader {
+				continue
+			}
+			// Keep the failed broker in the ISR if it is the only member:
+			// its data is the only complete copy (no unclean election).
+			if inISR && len(ps.isr) > 1 {
+				ps.isr = removeInt32(ps.isr, id)
+			}
+			if wasLeader {
+				ps.leader = -1
+				for _, cand := range ps.isr {
+					if ct.live[cand] {
+						ps.leader = cand
+						break
+					}
+				}
+				ps.leaderEpoch++
+			}
+			pushes = append(pushes, push{ts, int32(p)})
+		}
+	}
+	ct.mu.Unlock()
+	for _, u := range pushes {
+		ct.pushLeaderAndISR(u.ts, u.p, false)
+	}
+}
+
+// brokerReturned marks the broker live again and re-installs its replicas;
+// offline partitions whose only ISR member returned get their leader back.
+func (ct *controller) brokerReturned(id int32) {
+	ct.mu.Lock()
+	ct.live[id] = true
+	type push struct {
+		ts *topicState
+		p  int32
+	}
+	var pushes []push
+	for _, ts := range ct.topics {
+		for p, ps := range ts.partitions {
+			if !containsInt32(ps.replicas, id) {
+				continue
+			}
+			if ps.leader < 0 && containsInt32(ps.isr, id) {
+				ps.leader = id
+				ps.leaderEpoch++
+			}
+			pushes = append(pushes, push{ts, int32(p)})
+		}
+	}
+	ct.mu.Unlock()
+	for _, u := range pushes {
+		ct.pushLeaderAndISR(u.ts, u.p, false)
+	}
+}
+
+func (ct *controller) leaderOf(tp protocol.TopicPartition) int32 {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ts, ok := ct.topics[tp.Topic]
+	if !ok || int(tp.Partition) >= len(ts.partitions) {
+		return -1
+	}
+	return ts.partitions[tp.Partition].leader
+}
+
+func containsInt32(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeInt32(s []int32, v int32) []int32 {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,586 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+)
+
+func testCluster(t *testing.T, brokers int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Brokers:               brokers,
+		OffsetsPartitions:     4,
+		TxnPartitions:         4,
+		GroupRebalanceTimeout: 300 * time.Millisecond,
+		TxnTimeout:            30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func rec(key, val string, ts int64) protocol.Record {
+	return protocol.Record{Key: []byte(key), Value: []byte(val), Timestamp: ts}
+}
+
+func pollAll(t *testing.T, cons *client.Consumer, want int, timeout time.Duration) []client.Message {
+	t.Helper()
+	var out []client.Message
+	deadline := time.Now().Add(timeout)
+	for len(out) < want && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		out = append(out, msgs...)
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return out
+}
+
+func TestProduceConsumeRoundTrip(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("events", 4, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{Controller: c.Controller()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for i := 0; i < 100; i++ {
+		if err := prod.Send("events", rec(fmt.Sprintf("k%d", i%7), fmt.Sprintf("v%d", i), int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cons := client.NewConsumer(c.Net(), client.ConsumerConfig{Controller: c.Controller()})
+	defer cons.Close()
+	var tps []protocol.TopicPartition
+	for p := int32(0); p < 4; p++ {
+		tps = append(tps, protocol.TopicPartition{Topic: "events", Partition: p})
+	}
+	cons.Assign(tps...)
+	msgs := pollAll(t, cons, 100, 5*time.Second)
+	if len(msgs) != 100 {
+		t.Fatalf("consumed %d of 100", len(msgs))
+	}
+	seen := make(map[string]bool)
+	for _, m := range msgs {
+		seen[string(m.Record.Value)] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("unique values %d of 100 (duplicates or loss)", len(seen))
+	}
+}
+
+func TestKeyRoutingIsStable(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("routed", 8, 0, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{Controller: c.Controller()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	p1, _ := prod.PartitionFor("routed", []byte("alpha"))
+	p2, _ := prod.PartitionFor("routed", []byte("alpha"))
+	if p1 != p2 {
+		t.Fatalf("same key routed to %d and %d", p1, p2)
+	}
+	if client.Partition([]byte("alpha"), 8) != p1 {
+		t.Fatal("Partition helper disagrees with producer routing")
+	}
+}
+
+func TestTransactionCommitVisibility(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("out", 2, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), TransactionalID: "app-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+
+	rc := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Isolation: protocol.ReadCommitted,
+	})
+	defer rc.Close()
+	rc.Assign(protocol.TopicPartition{Topic: "out", Partition: 0},
+		protocol.TopicPartition{Topic: "out", Partition: 1})
+
+	if err := prod.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := prod.Send("out", rec(fmt.Sprintf("k%d", i), "v", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Open transaction: read-committed sees nothing.
+	if msgs := pollAll(t, rc, 1, 150*time.Millisecond); len(msgs) != 0 {
+		t.Fatalf("read committed saw %d records from an open txn", len(msgs))
+	}
+	if err := prod.CommitTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := pollAll(t, rc, 10, 5*time.Second); len(msgs) != 10 {
+		t.Fatalf("after commit: %d of 10", len(msgs))
+	}
+}
+
+func TestTransactionAbortInvisibility(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("out", 1, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), TransactionalID: "app-2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+
+	// Aborted transaction, then a committed one.
+	if err := prod.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	prod.Send("out", rec("a", "aborted", 1))
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.AbortTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	prod.Send("out", rec("b", "committed", 2))
+	if err := prod.CommitTxn(); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Isolation: protocol.ReadCommitted,
+	})
+	defer rc.Close()
+	rc.Assign(protocol.TopicPartition{Topic: "out", Partition: 0})
+	msgs := pollAll(t, rc, 1, 5*time.Second)
+	if len(msgs) != 1 || string(msgs[0].Record.Value) != "committed" {
+		t.Fatalf("read committed got %+v", msgs)
+	}
+	// Read-uncommitted sees both (the aborted record is in the log).
+	ru := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Isolation: protocol.ReadUncommitted,
+	})
+	defer ru.Close()
+	ru.Assign(protocol.TopicPartition{Topic: "out", Partition: 0})
+	if msgs := pollAll(t, ru, 2, 5*time.Second); len(msgs) != 2 {
+		t.Fatalf("read uncommitted got %d records", len(msgs))
+	}
+}
+
+func TestZombieFencing(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("out", 1, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// First instance of the application.
+	zombie, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), TransactionalID: "app-x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zombie.Close()
+	if err := zombie.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	zombie.Send("out", rec("k", "zombie-write", 1))
+	if err := zombie.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A replacement instance registers the same transactional id: the
+	// coordinator bumps the epoch, aborting the zombie's open transaction.
+	fresh, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), TransactionalID: "app-x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+
+	// The zombie can neither write nor commit.
+	if err := zombie.CommitTxn(); !errors.Is(err, client.ErrFenced) {
+		t.Fatalf("zombie commit: %v, want fenced", err)
+	}
+
+	// The fresh instance works, and the zombie's record is aborted.
+	if err := fresh.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Send("out", rec("k", "fresh-write", 2))
+	if err := fresh.CommitTxn(); err != nil {
+		t.Fatal(err)
+	}
+	rc := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Isolation: protocol.ReadCommitted,
+	})
+	defer rc.Close()
+	rc.Assign(protocol.TopicPartition{Topic: "out", Partition: 0})
+	msgs := pollAll(t, rc, 1, 5*time.Second)
+	if len(msgs) != 1 || string(msgs[0].Record.Value) != "fresh-write" {
+		t.Fatalf("visible records: %+v", msgs)
+	}
+}
+
+func TestTransactionalOffsetsAtomicity(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("out", 1, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), TransactionalID: "app-o",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	src := protocol.TopicPartition{Topic: "src", Partition: 0}
+
+	// Abort: offsets must not become visible.
+	if err := prod.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	prod.Send("out", rec("k", "v1", 1))
+	if err := prod.SendOffsetsToTxn("group-a", []protocol.OffsetEntry{{TP: src, Offset: 5}}, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.AbortTxn(); err != nil {
+		t.Fatal(err)
+	}
+	checker := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Group: "group-a",
+	})
+	defer checker.Close()
+	offs, err := checker.Committed(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offs[src] != -1 {
+		t.Fatalf("aborted offsets visible: %d", offs[src])
+	}
+
+	// Commit: offsets visible.
+	if err := prod.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	prod.Send("out", rec("k", "v2", 2))
+	if err := prod.SendOffsetsToTxn("group-a", []protocol.OffsetEntry{{TP: src, Offset: 7}}, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod.CommitTxn(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		offs, err = checker.Committed(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if offs[src] == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("committed offset = %d, want 7", offs[src])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConsumerGroupRebalance(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("in", 4, 0, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *client.Consumer {
+		return client.NewConsumer(c.Net(), client.ConsumerConfig{
+			Controller:        c.Controller(),
+			Group:             "g1",
+			SessionTimeout:    500 * time.Millisecond,
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+	}
+	c1 := mk()
+	defer c1.Close()
+	c1.Subscribe("in")
+	if _, err := c1.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c1.Assignment()); got != 4 {
+		t.Fatalf("solo member owns %d of 4 partitions", got)
+	}
+
+	c2 := mk()
+	c2.Subscribe("in")
+	// Joins block until all known members rejoin, so each consumer polls
+	// from its own goroutine (as real client threads do). c1 learns about
+	// the rebalance via heartbeat and rejoins.
+	pollLoop := func(c *client.Consumer, stop <-chan struct{}) {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Poll()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	stop := make(chan struct{})
+	go pollLoop(c1, stop)
+	go pollLoop(c2, stop)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c1.Assignment()) == 2 && len(c2.Assignment()) == 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(c1.Assignment()) != 2 || len(c2.Assignment()) != 2 {
+		close(stop)
+		t.Fatalf("assignment after join: c1=%d c2=%d", len(c1.Assignment()), len(c2.Assignment()))
+	}
+	close(stop)
+	time.Sleep(10 * time.Millisecond)
+	// A member leaving returns its partitions to the survivor.
+	c2.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c1.Poll()
+		if len(c1.Assignment()) == 4 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(c1.Assignment()) != 4 {
+		t.Fatalf("assignment after leave: %d", len(c1.Assignment()))
+	}
+}
+
+func TestBrokerCrashLeaderFailover(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("ha", 1, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	tp := protocol.TopicPartition{Topic: "ha", Partition: 0}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), Idempotent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for i := 0; i < 50; i++ {
+		if err := prod.Send("ha", rec(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	leader := c.LeaderOf(tp)
+	if leader < 0 {
+		t.Fatal("no leader")
+	}
+	c.CrashBroker(leader)
+	newLeader := c.LeaderOf(tp)
+	if newLeader < 0 || newLeader == leader {
+		t.Fatalf("failover leader = %d (was %d)", newLeader, leader)
+	}
+
+	// Producing continues against the new leader.
+	for i := 50; i < 100; i++ {
+		if err := prod.Send("ha", rec(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), int64(i))); err != nil {
+			t.Fatalf("send after failover: %v", err)
+		}
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cons := client.NewConsumer(c.Net(), client.ConsumerConfig{Controller: c.Controller()})
+	defer cons.Close()
+	cons.Assign(tp)
+	msgs := pollAll(t, cons, 100, 5*time.Second)
+	unique := make(map[string]bool)
+	for _, m := range msgs {
+		unique[string(m.Record.Value)] = true
+	}
+	if len(unique) != 100 {
+		t.Fatalf("after failover: %d unique of 100 (loss or duplication)", len(unique))
+	}
+
+	// The crashed broker restarts, catches up, and rejoins the ISR.
+	if err := c.RestartBroker(leader); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		md := c.ctl.handleMetadata(&protocol.MetadataRequest{Topics: []string{"ha"}})
+		if len(md.Topics) == 1 && len(md.Topics[0].Partitions) == 1 &&
+			len(md.Topics[0].Partitions[0].ISR) == 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("restarted broker never rejoined the ISR")
+}
+
+func TestCommittedDataSurvivesFullFailoverChain(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("chain", 1, 3, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	tp := protocol.TopicPartition{Topic: "chain", Partition: 0}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{
+		Controller: c.Controller(), Idempotent: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+
+	total := 0
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 20; i++ {
+			if err := prod.Send("chain", rec(fmt.Sprintf("r%d-k%d", round, i), "v", int64(total))); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+		if err := prod.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		leader := c.LeaderOf(tp)
+		c.CrashBroker(leader)
+		defer c.RestartBroker(leader)
+		if c.LeaderOf(tp) < 0 {
+			t.Fatal("partition offline with survivors in ISR")
+		}
+	}
+	cons := client.NewConsumer(c.Net(), client.ConsumerConfig{Controller: c.Controller()})
+	defer cons.Close()
+	cons.Assign(tp)
+	msgs := pollAll(t, cons, total, 5*time.Second)
+	unique := make(map[string]bool)
+	for _, m := range msgs {
+		unique[string(m.Record.Key)] = true
+	}
+	if len(unique) != total {
+		t.Fatalf("%d unique keys of %d after two failovers", len(unique), total)
+	}
+}
+
+func TestGroupCoordinatorFailover(t *testing.T) {
+	c := testCluster(t, 3)
+	if err := c.CreateTopic("in", 1, 0, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	tp := protocol.TopicPartition{Topic: "in", Partition: 0}
+	cons := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Group: "durable-group",
+	})
+	defer cons.Close()
+	if err := cons.Commit([]protocol.OffsetEntry{{TP: tp, Offset: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the coordinator broker; the offsets partition fails over and the
+	// new coordinator replays the log.
+	idx := coordinatorPartitionForTest("durable-group", 4)
+	coord := c.LeaderOf(protocol.TopicPartition{Topic: "__consumer_offsets", Partition: idx})
+	c.CrashBroker(coord)
+	defer c.RestartBroker(coord)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		offs, err := cons.Committed(tp)
+		if err == nil && offs[tp] == 42 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("committed offset after coordinator failover: %v (err %v)", offs, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDeleteRecords(t *testing.T) {
+	c := testCluster(t, 1)
+	if err := c.CreateTopic("purge", 1, 1, protocol.TopicConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	tp := protocol.TopicPartition{Topic: "purge", Partition: 0}
+	prod, err := client.NewProducer(c.Net(), client.ProducerConfig{Controller: c.Controller()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for i := 0; i < 10; i++ {
+		prod.Send("purge", rec(fmt.Sprintf("k%d", i), "v", int64(i)))
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Net().Send(c.Net().AllocClientID(), 1, &protocol.DeleteRecordsRequest{TP: tp, BeforeOffset: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := resp.(*protocol.DeleteRecordsResponse)
+	if dr.Err != protocol.ErrNone || dr.LogStartOffset != 6 {
+		t.Fatalf("delete records: %+v", dr)
+	}
+	cons := client.NewConsumer(c.Net(), client.ConsumerConfig{Controller: c.Controller()})
+	defer cons.Close()
+	cons.Assign(tp)
+	msgs := pollAll(t, cons, 4, 5*time.Second)
+	if len(msgs) != 4 || msgs[0].Offset != 6 {
+		t.Fatalf("after purge: %d msgs, first offset %d", len(msgs), msgs[0].Offset)
+	}
+}
+
+// coordinatorPartitionForTest mirrors broker.CoordinatorPartition.
+func coordinatorPartitionForTest(key string, n int32) int32 {
+	h := int32(0)
+	_ = h
+	// FNV-1a, as in broker.CoordinatorPartition.
+	const offset32, prime32 = 2166136261, 16777619
+	v := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		v ^= uint32(key[i])
+		v *= prime32
+	}
+	return int32(v % uint32(n))
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// AppConfig configures a Streams application instance.
+type AppConfig struct {
+	// ApplicationID doubles as the consumer group id and prefixes internal
+	// topic names.
+	ApplicationID string
+	// InstanceID distinguishes instances of the same application (paper
+	// Section 3.3: "deployed on multiple computing nodes as instances").
+	InstanceID string
+	// Net and Controller locate the cluster.
+	Net        *transport.Network
+	Controller int32
+	// Guarantee switches between at-least-once and exactly-once with a
+	// single configuration (paper Section 4.3).
+	Guarantee Guarantee
+	// CommitInterval is the transaction/offset commit cadence.
+	CommitInterval time.Duration
+	// NumThreads is the stream thread count per instance.
+	NumThreads int
+	// TxnTimeout bounds abandoned transactions.
+	TxnTimeout time.Duration
+	// InternalReplication is the replication factor for repartition and
+	// changelog topics (0 = cluster default).
+	InternalReplication int
+	// SessionTimeout / HeartbeatInterval tune group liveness.
+	SessionTimeout    time.Duration
+	HeartbeatInterval time.Duration
+	// DisablePurge turns off repartition-topic purging.
+	DisablePurge bool
+}
+
+func (c *AppConfig) fill() {
+	if c.InstanceID == "" {
+		c.InstanceID = "i1"
+	}
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 100 * time.Millisecond
+	}
+	if c.NumThreads <= 0 {
+		c.NumThreads = 1
+	}
+	if c.TxnTimeout <= 0 {
+		c.TxnTimeout = 10 * time.Second
+	}
+}
+
+// App is one instance of a Streams application: it owns the topology's
+// runtime, creates internal topics, and runs stream threads.
+type App struct {
+	cfg      AppConfig
+	topology *Topology
+
+	registry *StoreRegistry
+	metrics  *AtomicMetrics
+
+	mu         sync.Mutex
+	threads    []*Thread
+	partitions map[string]int32
+	started    bool
+	nextThread int
+}
+
+// NewApp validates the topology and prepares an application instance.
+func NewApp(topology *Topology, cfg AppConfig) (*App, error) {
+	cfg.fill()
+	if cfg.ApplicationID == "" {
+		return nil, fmt.Errorf("core: ApplicationID required")
+	}
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("core: Net required")
+	}
+	if len(topology.SubTopologies()) == 0 {
+		if err := topology.Build(); err != nil {
+			return nil, err
+		}
+	}
+	return &App{
+		cfg:      cfg,
+		topology: topology,
+		registry: NewStoreRegistry(),
+		metrics:  &AtomicMetrics{},
+	}, nil
+}
+
+// ChangelogTopic names a store's changelog, mirroring Kafka Streams'
+// <application.id>-<store>-changelog convention.
+func (a *App) ChangelogTopic(storeName string) string {
+	return a.cfg.ApplicationID + "-" + storeName + "-changelog"
+}
+
+// Start creates internal topics, resolves partition counts, and launches
+// the stream threads.
+func (a *App) Start() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.started {
+		return fmt.Errorf("core: app already started")
+	}
+	admin := client.NewAdmin(a.cfg.Net, a.cfg.Controller)
+	defer admin.Close()
+
+	parts := make(map[string]int32)
+
+	// 1. Resolve external source topic partitions.
+	external := make([]string, 0)
+	maxExternal := int32(0)
+	for _, sub := range a.topology.SubTopologies() {
+		for _, topic := range sub.SourceTopics {
+			if _, isRep := a.topology.RepartitionTopics[topic]; isRep {
+				continue
+			}
+			n, err := admin.Partitions(topic)
+			if err != nil {
+				return fmt.Errorf("core: resolving source topic %q: %w", topic, err)
+			}
+			parts[topic] = n
+			external = append(external, topic)
+			if n > maxExternal {
+				maxExternal = n
+			}
+		}
+	}
+	if maxExternal == 0 {
+		return fmt.Errorf("core: no external source topics resolved")
+	}
+
+	// 2. Create repartition topics (partitions default to the widest
+	// external source, preserving the app's parallelism).
+	for topic, want := range a.topology.RepartitionTopics {
+		n := want
+		if n <= 0 {
+			n = maxExternal
+		}
+		if err := admin.CreateTopic(topic, n, a.cfg.InternalReplication, protocol.TopicConfig{}); err != nil {
+			return fmt.Errorf("core: creating repartition topic %q: %w", topic, err)
+		}
+		got, err := admin.Partitions(topic)
+		if err != nil {
+			return err
+		}
+		parts[topic] = got
+	}
+
+	// 3. Task counts per sub-topology, then changelog topics (co-partitioned
+	// with their sub-topology's tasks).
+	taskCount := make(map[int]int32)
+	for _, sub := range a.topology.SubTopologies() {
+		n := int32(0)
+		for _, topic := range sub.SourceTopics {
+			if parts[topic] > n {
+				n = parts[topic]
+			}
+		}
+		taskCount[sub.ID] = n
+		for _, storeName := range sub.Stores {
+			spec := a.topology.Stores()[storeName]
+			if !spec.Changelog {
+				continue
+			}
+			clTopic := a.ChangelogTopic(storeName)
+			if err := admin.CreateTopic(clTopic, n, a.cfg.InternalReplication,
+				protocol.TopicConfig{Compacted: !spec.Windowed}); err != nil {
+				return fmt.Errorf("core: creating changelog topic %q: %w", clTopic, err)
+			}
+			parts[clTopic] = n
+		}
+	}
+
+	// 4. Resolve sink topic partitions.
+	for _, name := range a.topology.order {
+		n := a.topology.nodes[name]
+		if n.Type != NodeSink {
+			continue
+		}
+		if _, done := parts[n.Topic]; done {
+			continue
+		}
+		count, err := admin.Partitions(n.Topic)
+		if err != nil {
+			return fmt.Errorf("core: resolving sink topic %q: %w", n.Topic, err)
+		}
+		parts[n.Topic] = count
+	}
+	a.partitions = parts
+
+	// 5. Launch threads.
+	sourceTopics := make([]string, 0)
+	repTopics := make(map[string]bool)
+	for _, sub := range a.topology.SubTopologies() {
+		sourceTopics = append(sourceTopics, sub.SourceTopics...)
+	}
+	for topic := range a.topology.RepartitionTopics {
+		repTopics[topic] = true
+	}
+	partitionsOf := func(topic string) int32 { return a.partitions[topic] }
+	for i := 0; i < a.cfg.NumThreads; i++ {
+		th, err := NewThread(ThreadConfig{
+			AppID:             a.cfg.ApplicationID,
+			InstanceID:        a.cfg.InstanceID,
+			Index:             i,
+			Net:               a.cfg.Net,
+			Controller:        a.cfg.Controller,
+			Guarantee:         a.cfg.Guarantee,
+			CommitInterval:    a.cfg.CommitInterval,
+			TxnTimeout:        a.cfg.TxnTimeout,
+			Topology:          a.topology,
+			Registry:          a.registry,
+			Metrics:           a.metrics,
+			PartitionsOf:      partitionsOf,
+			ChangelogTopic:    a.ChangelogTopic,
+			SourceTopics:      sourceTopics,
+			RepartitionTopics: repTopics,
+			SessionTimeout:    a.cfg.SessionTimeout,
+			HeartbeatInterval: a.cfg.HeartbeatInterval,
+			PurgeRepartition:  !a.cfg.DisablePurge,
+		})
+		if err != nil {
+			return err
+		}
+		a.threads = append(a.threads, th)
+	}
+	for _, th := range a.threads {
+		th.Start()
+	}
+	a.nextThread = a.cfg.NumThreads
+	a.started = true
+	return nil
+}
+
+// Kill stops all threads abruptly (no commit, no group leave), simulating
+// an instance crash.
+func (a *App) Kill() {
+	a.mu.Lock()
+	threads := a.threads
+	a.threads = nil
+	a.started = false
+	a.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, th := range threads {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			th.Kill()
+		}(th)
+	}
+	wg.Wait()
+}
+
+// Close stops all threads (committing in-flight work cleanly).
+func (a *App) Close() {
+	a.mu.Lock()
+	threads := a.threads
+	a.threads = nil
+	a.started = false
+	a.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, th := range threads {
+		wg.Add(1)
+		go func(th *Thread) {
+			defer wg.Done()
+			th.Stop()
+		}(th)
+	}
+	wg.Wait()
+}
+
+// Metrics returns an aggregate counter snapshot.
+func (a *App) Metrics() Metrics { return a.metrics.Snapshot() }
+
+// QueryKV reads a key from a materialized key-value store hosted by this
+// instance (interactive queries). It returns false when the key is absent
+// or this instance does not host its task.
+func (a *App) QueryKV(storeName string, key any) (any, bool) {
+	spec, ok := a.topology.Stores()[storeName]
+	if !ok || spec.Windowed {
+		return nil, false
+	}
+	return a.registry.QueryKV(storeName, spec, key)
+}
+
+// RangeKV folds every locally hosted entry of a key-value store.
+func (a *App) RangeKV(storeName string, fn func(key, value any) bool) {
+	if spec, ok := a.topology.Stores()[storeName]; ok && !spec.Windowed {
+		a.registry.RangeKV(storeName, spec, fn)
+	}
+}
+
+// QueryWindow reads (key, window start) from a local windowed store.
+func (a *App) QueryWindow(storeName string, key any, start int64) (any, bool) {
+	spec, ok := a.topology.Stores()[storeName]
+	if !ok || !spec.Windowed {
+		return nil, false
+	}
+	return a.registry.QueryWindow(storeName, spec, key, start)
+}
+
+// AddThread scales the instance up by one stream thread at runtime; the
+// group rebalances and tasks migrate with sticky assignment (the live
+// scaling direction of the paper's Section 8).
+func (a *App) AddThread() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.started {
+		return fmt.Errorf("core: app not started")
+	}
+	idx := a.nextThread
+	a.nextThread++
+	partitionsOf := func(topic string) int32 { return a.partitions[topic] }
+	sourceTopics := make([]string, 0)
+	repTopics := make(map[string]bool)
+	for _, sub := range a.topology.SubTopologies() {
+		sourceTopics = append(sourceTopics, sub.SourceTopics...)
+	}
+	for topic := range a.topology.RepartitionTopics {
+		repTopics[topic] = true
+	}
+	th, err := NewThread(ThreadConfig{
+		AppID:             a.cfg.ApplicationID,
+		InstanceID:        a.cfg.InstanceID,
+		Index:             idx,
+		Net:               a.cfg.Net,
+		Controller:        a.cfg.Controller,
+		Guarantee:         a.cfg.Guarantee,
+		CommitInterval:    a.cfg.CommitInterval,
+		TxnTimeout:        a.cfg.TxnTimeout,
+		Topology:          a.topology,
+		Registry:          a.registry,
+		Metrics:           a.metrics,
+		PartitionsOf:      partitionsOf,
+		ChangelogTopic:    a.ChangelogTopic,
+		SourceTopics:      sourceTopics,
+		RepartitionTopics: repTopics,
+		SessionTimeout:    a.cfg.SessionTimeout,
+		HeartbeatInterval: a.cfg.HeartbeatInterval,
+		PurgeRepartition:  !a.cfg.DisablePurge,
+	})
+	if err != nil {
+		return err
+	}
+	a.threads = append(a.threads, th)
+	th.Start()
+	return nil
+}
+
+// RemoveThread scales the instance down by one thread (the most recently
+// added), committing its work and releasing its tasks to the group.
+func (a *App) RemoveThread() error {
+	a.mu.Lock()
+	if len(a.threads) <= 1 {
+		a.mu.Unlock()
+		return fmt.Errorf("core: cannot remove the last thread")
+	}
+	th := a.threads[len(a.threads)-1]
+	a.threads = a.threads[:len(a.threads)-1]
+	a.mu.Unlock()
+	th.Stop()
+	return nil
+}
+
+// NumThreads reports the current thread count.
+func (a *App) NumThreads() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.threads)
+}
+
+// Topology exposes the application's topology (for description/tools).
+func (a *App) Topology() *Topology { return a.topology }
+
+// Err returns the first thread error, if any.
+func (a *App) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, th := range a.threads {
+		if err := th.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Threads returns the running stream threads (tests/tools).
+func (a *App) Threads() []*Thread {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]*Thread(nil), a.threads...)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+)
+
+// AssignorUserData travels inside the consumer-group join protocol: each
+// Streams thread reports its instance and previously-owned tasks so the
+// leader can assign stickily, minimizing state migration
+// (paper Section 3.3).
+type AssignorUserData struct {
+	Instance  string   `json:"instance"`
+	PrevTasks []string `json:"prev_tasks"`
+}
+
+// EncodeUserData serializes assignor user data.
+func EncodeUserData(d AssignorUserData) []byte {
+	b, _ := json.Marshal(d)
+	return b
+}
+
+// StreamsAssignor assigns tasks (not raw partitions) to group members: all
+// source partitions of one task always land on the same member. It is
+// sticky (previous owners keep their tasks when capacity allows) and
+// balances task counts across members.
+type StreamsAssignor struct {
+	Topology *Topology
+}
+
+// Name implements client.Assignor.
+func (a *StreamsAssignor) Name() string { return "streams" }
+
+// Assign implements client.Assignor; it runs on the group leader.
+func (a *StreamsAssignor) Assign(members []protocol.JoinGroupMember, partitionsOf func(string) int32) (map[string][]protocol.TopicPartition, map[string][]byte) {
+	// Enumerate all tasks from the topology and live partition counts.
+	var tasks []TaskID
+	for _, sub := range a.Topology.SubTopologies() {
+		n := int32(0)
+		for _, topic := range sub.SourceTopics {
+			if p := partitionsOf(topic); p > n {
+				n = p
+			}
+		}
+		for p := int32(0); p < n; p++ {
+			tasks = append(tasks, TaskID{SubTopology: sub.ID, Partition: p})
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].SubTopology != tasks[j].SubTopology {
+			return tasks[i].SubTopology < tasks[j].SubTopology
+		}
+		return tasks[i].Partition < tasks[j].Partition
+	})
+	sort.Slice(members, func(i, j int) bool { return members[i].MemberID < members[j].MemberID })
+
+	prevOwner := make(map[string]string) // task string -> member id
+	for _, m := range members {
+		var ud AssignorUserData
+		if err := json.Unmarshal(m.UserData, &ud); err != nil {
+			continue
+		}
+		for _, t := range ud.PrevTasks {
+			if _, taken := prevOwner[t]; !taken {
+				prevOwner[t] = m.MemberID
+			}
+		}
+	}
+
+	capacity := (len(tasks) + len(members) - 1) / len(members)
+	assigned := make(map[string][]TaskID, len(members))
+	memberSet := make(map[string]bool, len(members))
+	for _, m := range members {
+		memberSet[m.MemberID] = true
+		assigned[m.MemberID] = nil
+	}
+
+	// Sticky pass: previous owners keep their tasks up to capacity.
+	var unplaced []TaskID
+	for _, t := range tasks {
+		owner, ok := prevOwner[t.String()]
+		if ok && memberSet[owner] && len(assigned[owner]) < capacity {
+			assigned[owner] = append(assigned[owner], t)
+			continue
+		}
+		unplaced = append(unplaced, t)
+	}
+	// Balance pass: remaining tasks go to the least-loaded member
+	// (deterministic order).
+	for _, t := range unplaced {
+		best := ""
+		for _, m := range members {
+			if best == "" || len(assigned[m.MemberID]) < len(assigned[best]) {
+				best = m.MemberID
+			}
+		}
+		assigned[best] = append(assigned[best], t)
+	}
+
+	// Translate tasks to partitions and echo the task list as user data.
+	outParts := make(map[string][]protocol.TopicPartition, len(members))
+	outData := make(map[string][]byte, len(members))
+	for mid, ts := range assigned {
+		var tps []protocol.TopicPartition
+		var names []string
+		for _, t := range ts {
+			names = append(names, t.String())
+			sub := a.Topology.SubTopologies()[t.SubTopology]
+			for _, topic := range sub.SourceTopics {
+				tps = append(tps, protocol.TopicPartition{Topic: topic, Partition: t.Partition})
+			}
+		}
+		outParts[mid] = tps
+		outData[mid], _ = json.Marshal(AssignorUserData{PrevTasks: names})
+	}
+	return outParts, outData
+}
+
+// TasksFromAssignment groups a consumer's partition assignment back into
+// task ids using the topology.
+func TasksFromAssignment(t *Topology, tps []protocol.TopicPartition) map[TaskID][]protocol.TopicPartition {
+	out := make(map[TaskID][]protocol.TopicPartition)
+	for _, tp := range tps {
+		sub := t.SubTopologyFor(tp.Topic)
+		if sub == nil {
+			continue
+		}
+		id := TaskID{SubTopology: sub.ID, Partition: tp.Partition}
+		out[id] = append(out[id], tp)
+	}
+	return out
+}
+
+var _ client.Assignor = (*StreamsAssignor)(nil)

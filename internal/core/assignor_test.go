@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"kstreams/internal/protocol"
+)
+
+func twoSubTopology(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	topo.AddSource("s0", "alpha", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("p0", nopSupplier, "s0")
+	topo.AddSource("s1", "beta", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("p1", nopSupplier, "s1")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func partsOf(counts map[string]int32) func(string) int32 {
+	return func(topic string) int32 { return counts[topic] }
+}
+
+func TestAssignorBalancesTasks(t *testing.T) {
+	topo := twoSubTopology(t)
+	a := &StreamsAssignor{Topology: topo}
+	members := []protocol.JoinGroupMember{
+		{MemberID: "m1"}, {MemberID: "m2"},
+	}
+	parts, userData := a.Assign(members, partsOf(map[string]int32{"alpha": 2, "beta": 2}))
+	if len(parts["m1"]) != 2 || len(parts["m2"]) != 2 {
+		t.Fatalf("partition split: m1=%v m2=%v", parts["m1"], parts["m2"])
+	}
+	// No partition assigned twice.
+	seen := map[protocol.TopicPartition]string{}
+	for mid, tps := range parts {
+		for _, tp := range tps {
+			if prev, dup := seen[tp]; dup {
+				t.Fatalf("%s assigned to both %s and %s", tp, prev, mid)
+			}
+			seen[tp] = mid
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("assigned %d partitions, want 4", len(seen))
+	}
+	if len(userData["m1"]) == 0 {
+		t.Fatal("missing assignment user data")
+	}
+}
+
+func TestAssignorSticky(t *testing.T) {
+	topo := twoSubTopology(t)
+	a := &StreamsAssignor{Topology: topo}
+	// m2 previously owned task 0_1 (alpha partition 1); it should keep it.
+	members := []protocol.JoinGroupMember{
+		{MemberID: "m1", UserData: EncodeUserData(AssignorUserData{PrevTasks: []string{"0_0", "1_0"}})},
+		{MemberID: "m2", UserData: EncodeUserData(AssignorUserData{PrevTasks: []string{"0_1", "1_1"}})},
+	}
+	parts, _ := a.Assign(members, partsOf(map[string]int32{"alpha": 2, "beta": 2}))
+	owns := func(mid string, tp protocol.TopicPartition) bool {
+		for _, x := range parts[mid] {
+			if x == tp {
+				return true
+			}
+		}
+		return false
+	}
+	if !owns("m2", protocol.TopicPartition{Topic: "alpha", Partition: 1}) {
+		t.Fatalf("stickiness lost: m2=%v", parts["m2"])
+	}
+	if !owns("m1", protocol.TopicPartition{Topic: "alpha", Partition: 0}) {
+		t.Fatalf("stickiness lost: m1=%v", parts["m1"])
+	}
+}
+
+func TestAssignorTaskIntegrity(t *testing.T) {
+	// All source partitions of one task must land on the same member.
+	topo := NewTopology()
+	topo.AddSource("l", "left", fakeSerde{}, fakeSerde{})
+	topo.AddSource("r", "right", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("lj", nopSupplier, "l")
+	topo.AddProcessor("rj", nopSupplier, "r")
+	topo.AddStore(StoreSpec{Name: "buf", Windowed: true, KeySerde: fakeSerde{}, ValSerde: fakeSerde{}}, "lj", "rj")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	a := &StreamsAssignor{Topology: topo}
+	members := []protocol.JoinGroupMember{{MemberID: "m1"}, {MemberID: "m2"}, {MemberID: "m3"}}
+	parts, _ := a.Assign(members, partsOf(map[string]int32{"left": 3, "right": 3}))
+	owner := map[int32]string{}
+	for mid, tps := range parts {
+		for _, tp := range tps {
+			if prev, ok := owner[tp.Partition]; ok && prev != mid {
+				t.Fatalf("task partition %d split across %s and %s", tp.Partition, prev, mid)
+			}
+			owner[tp.Partition] = mid
+		}
+	}
+	if len(owner) != 3 {
+		t.Fatalf("placed %d tasks, want 3", len(owner))
+	}
+}
+
+func TestTasksFromAssignment(t *testing.T) {
+	topo := twoSubTopology(t)
+	tps := []protocol.TopicPartition{
+		{Topic: "alpha", Partition: 0},
+		{Topic: "beta", Partition: 0},
+		{Topic: "beta", Partition: 2},
+		{Topic: "unknown", Partition: 1},
+	}
+	tasks := TasksFromAssignment(topo, tps)
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %v", tasks)
+	}
+	alphaSub := topo.SubTopologyFor("alpha").ID
+	if got := tasks[TaskID{SubTopology: alphaSub, Partition: 0}]; len(got) != 1 {
+		t.Fatalf("alpha task partitions = %v", got)
+	}
+}
+
+func TestGuaranteeAndTaskIDStrings(t *testing.T) {
+	if AtLeastOnce.String() != "at-least-once" || ExactlyOnceV2.String() != "exactly-once-v2" ||
+		ExactlyOnceV1.String() != "exactly-once-v1" {
+		t.Fatal("guarantee strings wrong")
+	}
+	if Guarantee(99).String() == "" {
+		t.Fatal("unknown guarantee must format")
+	}
+	if (TaskID{SubTopology: 2, Partition: 5}).String() != "2_5" {
+		t.Fatal("task id format")
+	}
+	if (WindowedKey{Key: "k", Start: 1, End: 2}).String() == "" {
+		t.Fatal("windowed key format")
+	}
+}

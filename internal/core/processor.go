@@ -1,0 +1,99 @@
+package core
+
+// Processor is the per-task operator instance: it receives one record at a
+// time and forwards results to child nodes through its Context. Operators
+// within a sub-topology are fused — Forward is a direct method call, with
+// no network hop (paper Section 3.2).
+type Processor interface {
+	// Init runs once per task before any record.
+	Init(ctx *Context)
+	// Process handles one input record.
+	Process(key, value any, ts int64)
+	// Close runs at task shutdown.
+	Close()
+}
+
+// BaseProcessor provides no-op Init/Close for simple operators.
+type BaseProcessor struct{ Ctx *Context }
+
+// Init stores the context.
+func (b *BaseProcessor) Init(ctx *Context) { b.Ctx = ctx }
+
+// Close does nothing.
+func (b *BaseProcessor) Close() {}
+
+// Context connects a processor instance to its task: forwarding, state
+// store access, stream time, and punctuation scheduling.
+type Context struct {
+	task *Task
+	node *Node
+}
+
+// Forward sends a record to every child node.
+func (c *Context) Forward(key, value any, ts int64) {
+	for _, child := range c.node.children {
+		c.task.deliver(child, key, value, ts)
+	}
+}
+
+// ForwardTo sends a record to one named child.
+func (c *Context) ForwardTo(child string, key, value any, ts int64) {
+	c.task.deliver(child, key, value, ts)
+}
+
+// KV returns a connected key-value store by name.
+func (c *Context) KV(name string) *TaskKV {
+	s, ok := c.task.kvs[name]
+	if !ok {
+		panic("core: processor " + c.node.Name + " accessed unconnected store " + name)
+	}
+	return s
+}
+
+// Window returns a connected window store by name.
+func (c *Context) Window(name string) *TaskWindow {
+	s, ok := c.task.windows[name]
+	if !ok {
+		panic("core: processor " + c.node.Name + " accessed unconnected window store " + name)
+	}
+	return s
+}
+
+// StreamTime returns the task's observed stream time: the maximum record
+// timestamp seen so far, which drives grace-period expiry (Section 5).
+func (c *Context) StreamTime() int64 { return c.task.streamTime }
+
+// TaskID identifies the executing task.
+func (c *Context) TaskID() TaskID { return c.task.id }
+
+// SchedulePunctuation registers fn to run whenever stream time crosses a
+// multiple of interval (milliseconds of event time). Used by operators
+// that must act on the passage of time, such as the stream-stream left
+// join's expiry of unmatched records.
+func (c *Context) SchedulePunctuation(interval int64, fn func(streamTime int64)) {
+	c.task.punctuations = append(c.task.punctuations, &punctuation{
+		interval: interval,
+		next:     -1,
+		fn:       fn,
+	})
+}
+
+// CountLateDrop increments the completeness metric for a record discarded
+// beyond its operator's grace period.
+func (c *Context) CountLateDrop() {
+	c.task.metrics.LateDropped++
+	c.task.metrics.shared.lateDropped.Add(1)
+}
+
+// CountRevision increments the revision metric for an emitted update that
+// overwrites a previous result.
+func (c *Context) CountRevision() {
+	c.task.metrics.Revisions++
+	c.task.metrics.shared.revisions.Add(1)
+}
+
+type punctuation struct {
+	interval int64
+	next     int64
+	fn       func(streamTime int64)
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/internal/store"
+)
+
+// Collector sends a task's output records. The stream thread implements it
+// on top of its (transactional) producer; every forward to a sink or
+// changelog becomes a log append through this interface — the paper's core
+// move of capturing "all processing state updates and result outputs ...
+// as log appends".
+type Collector interface {
+	Send(topic string, partition int32, key, value []byte, ts int64) error
+}
+
+// AtomicMetrics is the thread-safe counter set shared by an app's tasks.
+type AtomicMetrics struct {
+	processed   atomic.Int64
+	emitted     atomic.Int64
+	lateDropped atomic.Int64
+	revisions   atomic.Int64
+	commits     atomic.Int64
+	restores    atomic.Int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting.
+func (m *AtomicMetrics) Snapshot() Metrics {
+	return Metrics{
+		Processed:   m.processed.Load(),
+		Emitted:     m.emitted.Load(),
+		LateDropped: m.lateDropped.Load(),
+		Revisions:   m.revisions.Load(),
+		Commits:     m.commits.Load(),
+		Restores:    m.restores.Load(),
+	}
+}
+
+// AddCommit counts one commit cycle (called by the thread).
+func (m *AtomicMetrics) AddCommit() { m.commits.Add(1) }
+
+// taskConfig carries the app-level context a task needs.
+type taskConfig struct {
+	topology       *Topology
+	changelogTopic func(storeName string) string
+	partitionsOf   func(topic string) int32
+	registry       *StoreRegistry
+	metrics        *AtomicMetrics
+}
+
+// Task executes one sub-topology instance for one input partition: it
+// buffers fetched records per source partition, processes them in
+// timestamp order (deterministic record choice, paper Section 7), and
+// tracks positions for the commit (paper Section 3.3).
+type Task struct {
+	id  TaskID
+	sub *SubTopology
+	cfg taskConfig
+
+	collector Collector
+
+	procs   map[string]Processor
+	kvs     map[string]*TaskKV
+	kvOrder []string // flush order: topology order of owning processors
+	windows map[string]*TaskWindow
+
+	queues     map[protocol.TopicPartition][]client.Message
+	queueOrder []protocol.TopicPartition
+	positions  map[protocol.TopicPartition]int64
+
+	streamTime   int64
+	punctuations []*punctuation
+
+	metrics *taskMetrics
+	procErr error
+
+	dirty bool // uncommitted writes exist (EOS wipes stores on unclean close)
+}
+
+// taskMetrics are task-local shims over the shared atomic counters.
+type taskMetrics struct {
+	shared *AtomicMetrics
+	// Task-local copies for per-task reporting.
+	Processed   int64
+	Emitted     int64
+	LateDropped int64
+	Revisions   int64
+}
+
+func (tm *taskMetrics) addProcessed() { tm.Processed++; tm.shared.processed.Add(1) }
+func (tm *taskMetrics) addEmitted()   { tm.Emitted++; tm.shared.emitted.Add(1) }
+
+// NewTask instantiates processors and stores for a task.
+func NewTask(id TaskID, sub *SubTopology, cfg taskConfig, collector Collector) (*Task, error) {
+	t := &Task{
+		id:         id,
+		sub:        sub,
+		cfg:        cfg,
+		collector:  collector,
+		procs:      make(map[string]Processor),
+		kvs:        make(map[string]*TaskKV),
+		windows:    make(map[string]*TaskWindow),
+		queues:     make(map[protocol.TopicPartition][]client.Message),
+		positions:  make(map[protocol.TopicPartition]int64),
+		streamTime: -1,
+		metrics:    &taskMetrics{shared: cfg.metrics},
+	}
+	for _, topic := range sub.SourceTopics {
+		tp := protocol.TopicPartition{Topic: topic, Partition: id.Partition}
+		t.queues[tp] = nil
+		t.queueOrder = append(t.queueOrder, tp)
+	}
+	for _, storeName := range sub.Stores {
+		spec, ok := cfg.topology.specs[storeName]
+		if !ok {
+			return nil, fmt.Errorf("core: task %s references undeclared store %q", id, storeName)
+		}
+		entry := cfg.registry.acquire(id, storeName, spec)
+		clTopic := ""
+		if spec.Changelog {
+			clTopic = cfg.changelogTopic(storeName)
+		}
+		if spec.Windowed {
+			t.windows[storeName] = &TaskWindow{task: t, spec: spec, inner: entry.win, changelogTopic: clTopic}
+		} else {
+			kv := &TaskKV{task: t, spec: spec, inner: entry.kv, changelogTopic: clTopic}
+			if spec.Cached {
+				kv.cache = store.NewCachingKV(entry.kv)
+			}
+			t.kvs[storeName] = kv
+		}
+	}
+	// Instantiate and initialize processors in topological (insertion)
+	// order so parents init before children, and record store flush order:
+	// flushing upstream caches first lets their emissions land in (and be
+	// flushed out of) downstream caches within the same commit, keeping the
+	// transaction's state updates complete.
+	seenStore := make(map[string]bool)
+	for _, name := range cfg.topology.order {
+		n := cfg.topology.nodes[name]
+		if n.Type != NodeProcessor || !containsStr(sub.Nodes, name) {
+			continue
+		}
+		p := n.Supplier()
+		t.procs[name] = p
+		p.Init(&Context{task: t, node: n})
+		for _, st := range n.Stores {
+			if !seenStore[st] && t.kvs[st] != nil {
+				seenStore[st] = true
+				t.kvOrder = append(t.kvOrder, st)
+			}
+		}
+	}
+	for name := range t.kvs {
+		if !seenStore[name] {
+			t.kvOrder = append(t.kvOrder, name)
+		}
+	}
+	return t, nil
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ID returns the task id.
+func (t *Task) ID() TaskID { return t.id }
+
+// SourcePartitions lists the input partitions this task consumes.
+func (t *Task) SourcePartitions() []protocol.TopicPartition {
+	return append([]protocol.TopicPartition(nil), t.queueOrder...)
+}
+
+// AddRecords buffers fetched records for processing.
+func (t *Task) AddRecords(tp protocol.TopicPartition, msgs []client.Message) {
+	t.queues[tp] = append(t.queues[tp], msgs...)
+}
+
+// Buffered returns the number of records waiting to be processed.
+func (t *Task) Buffered() int {
+	n := 0
+	for _, q := range t.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// ProcessOne processes the buffered record with the smallest timestamp
+// (ties broken by partition order for determinism). It reports whether a
+// record was processed and any processing error.
+func (t *Task) ProcessOne() (bool, error) {
+	var pick protocol.TopicPartition
+	found := false
+	var bestTs int64
+	for _, tp := range t.queueOrder {
+		q := t.queues[tp]
+		if len(q) == 0 {
+			continue
+		}
+		ts := q[0].Record.Timestamp
+		if !found || ts < bestTs {
+			found = true
+			bestTs = ts
+			pick = tp
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	msg := t.queues[pick][0]
+	t.queues[pick] = t.queues[pick][1:]
+
+	src := t.sub.sourceByTopic[pick.Topic]
+	key := decodeOrNil(src.KeySerde, msg.Record.Key)
+	val := decodeOrNil(src.ValueSerde, msg.Record.Value)
+	ts := msg.Record.Timestamp
+	if ts > t.streamTime {
+		t.streamTime = ts
+	}
+	t.metrics.addProcessed()
+	t.dirty = true
+	for _, child := range src.children {
+		t.deliver(child, key, val, ts)
+	}
+	t.positions[pick] = msg.Offset + 1
+	t.maybePunctuate()
+	return true, t.procErr
+}
+
+func decodeOrNil(s Serde, p []byte) any {
+	if p == nil {
+		return nil
+	}
+	return s.Decode(p)
+}
+
+// deliver routes a forwarded record to a child node: a fused processor
+// call or a sink append.
+func (t *Task) deliver(nodeName string, key, value any, ts int64) {
+	n := t.cfg.topology.nodes[nodeName]
+	switch n.Type {
+	case NodeProcessor:
+		t.procs[nodeName].Process(key, value, ts)
+	case NodeSink:
+		var kb, vb []byte
+		if key != nil {
+			kb = n.KeySerde.Encode(key)
+		}
+		if value != nil {
+			vb = n.ValueSerde.Encode(value)
+		}
+		numParts := t.cfg.partitionsOf(n.Topic)
+		var part int32
+		if n.Partitioner != nil {
+			part = n.Partitioner(key, kb, numParts)
+		} else if kb != nil {
+			part = client.Partition(kb, numParts)
+		} else {
+			part = t.id.Partition % numParts
+		}
+		if err := t.collector.Send(n.Topic, part, kb, vb, ts); err != nil && t.procErr == nil {
+			t.procErr = err
+		}
+		t.metrics.addEmitted()
+	default:
+		if t.procErr == nil {
+			t.procErr = fmt.Errorf("core: forward to source node %q", nodeName)
+		}
+	}
+}
+
+// logChange appends a state update to a changelog topic, co-partitioned
+// with the task.
+func (t *Task) logChange(topic string, kb, vb []byte, ts int64) {
+	numParts := t.cfg.partitionsOf(topic)
+	part := t.id.Partition % numParts
+	if err := t.collector.Send(topic, part, kb, vb, ts); err != nil && t.procErr == nil {
+		t.procErr = err
+	}
+}
+
+func (t *Task) maybePunctuate() {
+	for _, p := range t.punctuations {
+		if p.next < 0 {
+			p.next = (t.streamTime/p.interval + 1) * p.interval
+			continue
+		}
+		if t.streamTime >= p.next {
+			p.fn(t.streamTime)
+			p.next = (t.streamTime/p.interval + 1) * p.interval
+		}
+	}
+}
+
+// FlushStores pushes cached store updates to changelogs and downstream in
+// topology order (upstream first, so cascading cache writes flush within
+// the same commit); part of the commit cycle before offsets are committed.
+func (t *Task) FlushStores() error {
+	for _, name := range t.kvOrder {
+		t.kvs[name].Flush()
+	}
+	return t.procErr
+}
+
+// Positions returns the offsets to commit: one past the last processed
+// record of each source partition (only partitions with progress).
+func (t *Task) Positions() map[protocol.TopicPartition]int64 {
+	out := make(map[protocol.TopicPartition]int64, len(t.positions))
+	for tp, off := range t.positions {
+		out[tp] = off
+	}
+	return out
+}
+
+// MarkClean records a successful commit: the store registry entries now
+// exactly reflect the committed changelog.
+func (t *Task) MarkClean() {
+	t.dirty = false
+	t.cfg.registry.setClean(t.id, true)
+}
+
+// MarkDirty flags uncommitted writes (set implicitly by processing).
+func (t *Task) MarkDirty() {
+	t.cfg.registry.setClean(t.id, false)
+}
+
+// Close shuts down processors and releases stores. If clean is false (the
+// task is abandoned mid-transaction under EOS), registry entries are
+// wiped so the next owner restores purely from the committed changelog.
+func (t *Task) Close(clean bool) {
+	for _, name := range t.cfg.topology.order {
+		if p, ok := t.procs[name]; ok {
+			p.Close()
+		}
+	}
+	t.cfg.registry.release(t.id, clean && !t.dirty)
+}
+
+// Metrics returns task-local counters.
+func (t *Task) Metrics() (processed, emitted int64) {
+	return t.metrics.Processed, t.metrics.Emitted
+}
+
+// StreamTime exposes the observed stream time.
+func (t *Task) StreamTime() int64 { return t.streamTime }
+
+// --- store registry (instance-level stickiness) ---
+
+// StoreRegistry keeps store instances across task reassignments on the
+// same Streams instance, so a task migrating back does not replay its full
+// changelog ("task stickiness to minimize the amount of state migration",
+// paper Section 3.3). Entries record how far restoration has progressed.
+type StoreRegistry struct {
+	mu      sync.Mutex
+	entries map[string]*registryEntry
+}
+
+type registryEntry struct {
+	kv             store.KV
+	win            store.Window
+	restoredOffset int64
+	clean          bool
+	inUse          bool
+}
+
+// NewStoreRegistry returns an empty registry.
+func NewStoreRegistry() *StoreRegistry {
+	return &StoreRegistry{entries: make(map[string]*registryEntry)}
+}
+
+func regKey(id TaskID, storeName string) string {
+	return id.String() + "/" + storeName
+}
+
+func (r *StoreRegistry) acquire(id TaskID, storeName string, spec *StoreSpec) *registryEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := regKey(id, storeName)
+	e, ok := r.entries[k]
+	if !ok || !e.clean {
+		// Fresh store (or wiped after an unclean close): restore from zero.
+		e = &registryEntry{restoredOffset: 0, clean: true}
+		if spec.Windowed {
+			e.win = store.NewWindow()
+		} else {
+			e.kv = store.NewKV()
+		}
+		r.entries[k] = e
+	}
+	e.inUse = true
+	return e
+}
+
+func (r *StoreRegistry) release(id TaskID, clean bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, e := range r.entries {
+		if hasTaskPrefix(k, id) {
+			e.inUse = false
+			if !clean {
+				delete(r.entries, k) // wipe: next owner replays the changelog
+			}
+		}
+	}
+}
+
+func (r *StoreRegistry) setClean(id TaskID, clean bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, e := range r.entries {
+		if hasTaskPrefix(k, id) {
+			e.clean = clean
+		}
+	}
+}
+
+// QueryKV looks up a key in a task's key-value store instance, across all
+// live entries of the registry (interactive queries, the paper's Section 8
+// "consistent state query serving" direction). Reads see committed state
+// plus the owning thread's in-flight writes (uncached stores) — like Kafka
+// Streams' interactive queries, reads are not transactionally isolated.
+func (r *StoreRegistry) QueryKV(storeName string, spec *StoreSpec, key any) (any, bool) {
+	kb := spec.KeySerde.Encode(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	suffix := "/" + storeName
+	for k, e := range r.entries {
+		if e.kv == nil || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
+			continue
+		}
+		if vb, ok := e.kv.Get(kb); ok && vb != nil {
+			return spec.ValSerde.Decode(vb), true
+		}
+	}
+	return nil, false
+}
+
+// RangeKV folds every entry of a named store across all tasks.
+func (r *StoreRegistry) RangeKV(storeName string, spec *StoreSpec, fn func(key, value any) bool) {
+	r.mu.Lock()
+	entries := make([]*registryEntry, 0)
+	suffix := "/" + storeName
+	for k, e := range r.entries {
+		if e.kv != nil && len(k) >= len(suffix) && k[len(k)-len(suffix):] == suffix {
+			entries = append(entries, e)
+		}
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		for _, kv := range e.kv.Range(nil, nil) {
+			if !fn(spec.KeySerde.Decode(kv.Key), spec.ValSerde.Decode(kv.Value)) {
+				return
+			}
+		}
+	}
+}
+
+// QueryWindow looks up (key, window start) in a windowed store across tasks.
+func (r *StoreRegistry) QueryWindow(storeName string, spec *StoreSpec, key any, start int64) (any, bool) {
+	kb := spec.KeySerde.Encode(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	suffix := "/" + storeName
+	for k, e := range r.entries {
+		if e.win == nil || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
+			continue
+		}
+		if vb, ok := e.win.Get(kb, start); ok && vb != nil {
+			return spec.ValSerde.Decode(vb), true
+		}
+	}
+	return nil, false
+}
+
+// RestoredOffset returns how far a store's changelog replay progressed.
+func (r *StoreRegistry) RestoredOffset(id TaskID, storeName string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[regKey(id, storeName)]; ok {
+		return e.restoredOffset
+	}
+	return 0
+}
+
+// SetRestoredOffset records restoration progress.
+func (r *StoreRegistry) SetRestoredOffset(id TaskID, storeName string, off int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[regKey(id, storeName)]; ok {
+		e.restoredOffset = off
+	}
+}
+
+func hasTaskPrefix(k string, id TaskID) bool {
+	p := id.String() + "/"
+	return len(k) > len(p) && k[:len(p)] == p
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+)
+
+type sentRecord struct {
+	topic     string
+	partition int32
+	key, val  string
+	ts        int64
+}
+
+type captureCollector struct {
+	sent []sentRecord
+}
+
+func (c *captureCollector) Send(topic string, partition int32, key, value []byte, ts int64) error {
+	c.sent = append(c.sent, sentRecord{topic, partition, string(key), string(value), ts})
+	return nil
+}
+
+type orderProc struct {
+	BaseProcessor
+	seen *[]string
+}
+
+func (p *orderProc) Process(k, v any, ts int64) {
+	*p.seen = append(*p.seen, fmt.Sprintf("%v@%d", k, ts))
+	p.Ctx.Forward(k, v, ts)
+}
+
+func buildTask(t *testing.T, topo *Topology, sub *SubTopology, col Collector) *Task {
+	t.Helper()
+	task, err := NewTask(TaskID{SubTopology: sub.ID, Partition: 0}, sub, taskConfig{
+		topology:       topo,
+		changelogTopic: func(s string) string { return "app-" + s + "-changelog" },
+		partitionsOf:   func(string) int32 { return 2 },
+		registry:       NewStoreRegistry(),
+		metrics:        &AtomicMetrics{},
+	}, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func msg(topic string, part int32, off int64, key string, ts int64) (protocol.TopicPartition, client.Message) {
+	tp := protocol.TopicPartition{Topic: topic, Partition: part}
+	return tp, client.Message{TP: tp, Offset: off, Record: protocol.Record{
+		Key: []byte(key), Value: []byte("v"), Timestamp: ts,
+	}}
+}
+
+// TestTimestampOrderedProcessing: with two source partitions buffered, the
+// task picks records in timestamp order — the paper's deterministic record
+// choice (Section 7).
+func TestTimestampOrderedProcessing(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSource("a", "alpha", fakeSerde{}, fakeSerde{})
+	topo.AddSource("b", "beta", fakeSerde{}, fakeSerde{})
+	var seen []string
+	topo.AddProcessor("p", func() Processor { return &orderProc{seen: &seen} }, "a", "b")
+	topo.AddStore(StoreSpec{Name: "glue", KeySerde: fakeSerde{}, ValSerde: fakeSerde{}}, "p")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	task := buildTask(t, topo, topo.SubTopologies()[0], &captureCollector{})
+
+	tpA, m1 := msg("alpha", 0, 0, "a1", 100)
+	_, m2 := msg("alpha", 0, 1, "a2", 300)
+	tpB, m3 := msg("beta", 0, 0, "b1", 50)
+	_, m4 := msg("beta", 0, 1, "b2", 200)
+	task.AddRecords(tpA, []client.Message{m1, m2})
+	task.AddRecords(tpB, []client.Message{m3, m4})
+	for task.Buffered() > 0 {
+		if ok, err := task.ProcessOne(); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+	want := []string{"b1@50", "a1@100", "b2@200", "a2@300"}
+	if fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", seen, want)
+	}
+	if task.StreamTime() != 300 {
+		t.Fatalf("stream time = %d", task.StreamTime())
+	}
+	pos := task.Positions()
+	if pos[tpA] != 2 || pos[tpB] != 2 {
+		t.Fatalf("positions: %v", pos)
+	}
+}
+
+type punctProc struct {
+	BaseProcessor
+	fired *[]int64
+}
+
+func (p *punctProc) Init(ctx *Context) {
+	p.BaseProcessor.Init(ctx)
+	ctx.SchedulePunctuation(100, func(st int64) { *p.fired = append(*p.fired, st) })
+}
+
+func (p *punctProc) Process(k, v any, ts int64) {}
+
+func TestStreamTimePunctuation(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSource("s", "in", fakeSerde{}, fakeSerde{})
+	var fired []int64
+	topo.AddProcessor("p", func() Processor { return &punctProc{fired: &fired} }, "s")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	task := buildTask(t, topo, topo.SubTopologies()[0], &captureCollector{})
+
+	tp := protocol.TopicPartition{Topic: "in", Partition: 0}
+	for i, ts := range []int64{10, 50, 120, 130, 350} {
+		_, m := msg("in", 0, int64(i), "k", ts)
+		task.AddRecords(tp, []client.Message{m})
+		task.ProcessOne()
+	}
+	// First record arms the schedule (next=100); crossing 100 and 300 fire.
+	if len(fired) != 2 || fired[0] != 120 || fired[1] != 350 {
+		t.Fatalf("punctuations = %v", fired)
+	}
+}
+
+type storeWriter struct {
+	BaseProcessor
+	store string
+	kv    *TaskKV
+}
+
+func (p *storeWriter) Init(ctx *Context) {
+	p.BaseProcessor.Init(ctx)
+	p.kv = ctx.KV(p.store)
+}
+
+func (p *storeWriter) Process(k, v any, ts int64) {
+	p.kv.Put(k, v, ts)
+}
+
+func TestChangelogRoutingAndCachedFlush(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSource("s", "in", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("w", func() Processor { return &storeWriter{store: "st"} }, "s")
+	topo.AddStore(StoreSpec{
+		Name: "st", KeySerde: fakeSerde{}, ValSerde: fakeSerde{},
+		Changelog: true, Cached: true,
+	}, "w")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	col := &captureCollector{}
+	task := buildTask(t, topo, topo.SubTopologies()[0], col)
+
+	tp := protocol.TopicPartition{Topic: "in", Partition: 0}
+	for i := 0; i < 5; i++ {
+		_, m := msg("in", 0, int64(i), "same-key", int64(i))
+		task.AddRecords(tp, []client.Message{m})
+		task.ProcessOne()
+	}
+	// Cached: nothing reaches the changelog until flush.
+	if len(col.sent) != 0 {
+		t.Fatalf("cached store leaked %d records before flush", len(col.sent))
+	}
+	if err := task.FlushStores(); err != nil {
+		t.Fatal(err)
+	}
+	// Five writes to one key consolidate into one changelog append, routed
+	// to the changelog topic co-partitioned with the task.
+	if len(col.sent) != 1 {
+		t.Fatalf("changelog records = %d, want 1 (consolidation)", len(col.sent))
+	}
+	if col.sent[0].topic != "app-st-changelog" || col.sent[0].partition != 0 {
+		t.Fatalf("changelog routing: %+v", col.sent[0])
+	}
+}
+
+func TestStoreRegistryStickinessAndWipe(t *testing.T) {
+	reg := NewStoreRegistry()
+	spec := &StoreSpec{Name: "s", KeySerde: fakeSerde{}, ValSerde: fakeSerde{}}
+	id := TaskID{SubTopology: 0, Partition: 1}
+
+	e1 := reg.acquire(id, "s", spec)
+	e1.kv.Put([]byte("k"), []byte("v"))
+	reg.SetRestoredOffset(id, "s", 42)
+	reg.release(id, true) // clean close keeps the store
+
+	e2 := reg.acquire(id, "s", spec)
+	if _, ok := e2.kv.Get([]byte("k")); !ok {
+		t.Fatal("clean close lost the store")
+	}
+	if reg.RestoredOffset(id, "s") != 42 {
+		t.Fatalf("restored offset = %d", reg.RestoredOffset(id, "s"))
+	}
+
+	reg.release(id, false) // unclean close wipes
+	e3 := reg.acquire(id, "s", spec)
+	if _, ok := e3.kv.Get([]byte("k")); ok {
+		t.Fatal("unclean close kept dirty state")
+	}
+	if reg.RestoredOffset(id, "s") != 0 {
+		t.Fatal("restored offset survived wipe")
+	}
+}
+
+func TestTaskSinkPartitioning(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSource("s", "in", fakeSerde{}, fakeSerde{})
+	topo.AddSink("out", "out-topic", fakeSerde{}, fakeSerde{}, nil, "s")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	col := &captureCollector{}
+	task := buildTask(t, topo, topo.SubTopologies()[0], col)
+	tp := protocol.TopicPartition{Topic: "in", Partition: 0}
+	_, m := msg("in", 0, 0, "route-key", 1)
+	task.AddRecords(tp, []client.Message{m})
+	task.ProcessOne()
+	if len(col.sent) != 1 {
+		t.Fatalf("sent = %d", len(col.sent))
+	}
+	want := client.Partition([]byte("route-key"), 2)
+	if col.sent[0].partition != want {
+		t.Fatalf("sink partition = %d, want %d", col.sent[0].partition, want)
+	}
+	processed, emitted := task.Metrics()
+	if processed != 1 || emitted != 1 {
+		t.Fatalf("metrics: %d %d", processed, emitted)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"kstreams/internal/store"
+)
+
+// TaskKV is a task-scoped key-value store: serdes on top of a byte store,
+// optional write-back caching, and changelog capture. Every write is
+// (eventually) an append to the store's changelog topic, making the store
+// a disposable materialized view of that log (paper Section 4).
+type TaskKV struct {
+	task *Task
+	spec *StoreSpec
+
+	inner store.KV
+	cache *store.CachingKV
+
+	changelogTopic string
+
+	// flushListener receives consolidated updates when the cache flushes
+	// (or immediately, uncached); operators use it to forward downstream.
+	flushListener func(keyBytes, newBytes, oldBytes []byte, ts int64)
+}
+
+// SetFlushListener registers the downstream-forwarding hook.
+func (s *TaskKV) SetFlushListener(fn func(keyBytes, newBytes, oldBytes []byte, ts int64)) {
+	s.flushListener = fn
+}
+
+// Spec returns the store's declaration.
+func (s *TaskKV) Spec() *StoreSpec { return s.spec }
+
+// Get returns the decoded value for a key.
+func (s *TaskKV) Get(key any) (any, bool) {
+	kb := s.spec.KeySerde.Encode(key)
+	var vb []byte
+	var ok bool
+	if s.cache != nil {
+		vb, ok = s.cache.Get(kb)
+	} else {
+		vb, ok = s.inner.Get(kb)
+	}
+	if !ok || vb == nil {
+		return nil, false
+	}
+	return s.spec.ValSerde.Decode(vb), true
+}
+
+// Put stores a value (nil deletes). Uncached stores emit the update (to
+// the changelog and flush listener) immediately; cached stores defer and
+// consolidate until Flush.
+func (s *TaskKV) Put(key, value any, ts int64) {
+	kb := s.spec.KeySerde.Encode(key)
+	var vb []byte
+	if value != nil {
+		vb = s.spec.ValSerde.Encode(value)
+	}
+	if s.cache != nil {
+		s.cache.Put(kb, vb, ts)
+		return
+	}
+	old, _ := s.inner.Get(kb)
+	s.inner.Put(kb, vb)
+	s.emit(kb, vb, old, ts)
+}
+
+// Delete removes a key.
+func (s *TaskKV) Delete(key any, ts int64) { s.Put(key, nil, ts) }
+
+// Len returns the number of live keys (committed plus dirty is not
+// distinguished; cached stores report the inner store's size).
+func (s *TaskKV) Len() int { return s.inner.Len() }
+
+// Range iterates decoded entries in key order (inner store only; cached
+// dirty entries are not visible until flush).
+func (s *TaskKV) Range(fn func(key, value any) bool) {
+	for _, e := range s.inner.Range(nil, nil) {
+		if !fn(s.spec.KeySerde.Decode(e.Key), s.spec.ValSerde.Decode(e.Value)) {
+			return
+		}
+	}
+}
+
+// Flush pushes dirty cached entries to the inner store, the changelog, and
+// the flush listener. Called by the task at commit time.
+func (s *TaskKV) Flush() {
+	if s.cache == nil {
+		return
+	}
+	s.cache.Flush(func(e store.DirtyEntry) {
+		s.emit(e.Key, e.Value, e.OldValue, e.Ts)
+	})
+}
+
+func (s *TaskKV) emit(kb, vb, old []byte, ts int64) {
+	if s.changelogTopic != "" {
+		s.task.logChange(s.changelogTopic, kb, vb, ts)
+	}
+	if s.flushListener != nil {
+		s.flushListener(kb, vb, old, ts)
+	}
+}
+
+// restore applies one changelog record directly to the inner store,
+// bypassing cache, changelog, and listeners.
+func (s *TaskKV) restore(kb, vb []byte) {
+	if vb == nil {
+		s.inner.Delete(kb)
+		return
+	}
+	s.inner.Put(kb, vb)
+}
+
+// TaskWindow is a task-scoped window store with serdes and changelog
+// capture. Window stores are uncached: windowed operators emit updates
+// eagerly (the speculative processing of Section 5) and a downstream
+// suppress operator consolidates when desired.
+type TaskWindow struct {
+	task *Task
+	spec *StoreSpec
+
+	inner store.Window
+
+	changelogTopic string
+}
+
+// Spec returns the store's declaration.
+func (s *TaskWindow) Spec() *StoreSpec { return s.spec }
+
+// Put stores a windowed value (nil deletes) and logs the change.
+func (s *TaskWindow) Put(key any, start int64, value any, ts int64) {
+	kb := s.spec.KeySerde.Encode(key)
+	var vb []byte
+	if value != nil {
+		vb = s.spec.ValSerde.Encode(value)
+	}
+	s.inner.Put(kb, start, vb)
+	if s.changelogTopic != "" {
+		s.task.logChange(s.changelogTopic, store.EncodeWindowKey(kb, start), vb, ts)
+	}
+}
+
+// Get returns the decoded value for (key, window start).
+func (s *TaskWindow) Get(key any, start int64) (any, bool) {
+	vb, ok := s.inner.Get(s.spec.KeySerde.Encode(key), start)
+	if !ok || vb == nil {
+		return nil, false
+	}
+	return s.spec.ValSerde.Decode(vb), true
+}
+
+// Fetch returns this key's windows with from <= start <= to.
+func (s *TaskWindow) Fetch(key any, from, to int64) []store.WindowEntry {
+	return s.inner.Fetch(s.spec.KeySerde.Encode(key), from, to)
+}
+
+// FetchAll returns all windows in the start range across keys.
+func (s *TaskWindow) FetchAll(from, to int64) []store.WindowEntry {
+	return s.inner.FetchAll(from, to)
+}
+
+// DecodeValue decodes a fetched entry's value.
+func (s *TaskWindow) DecodeValue(vb []byte) any { return s.spec.ValSerde.Decode(vb) }
+
+// DecodeKey decodes a fetched entry's key.
+func (s *TaskWindow) DecodeKey(kb []byte) any { return s.spec.KeySerde.Decode(kb) }
+
+// DropBefore garbage-collects windows older than bound (stream time minus
+// retention), the expiry of Figure 6.d.
+func (s *TaskWindow) DropBefore(bound int64) int {
+	return s.inner.DropBefore(bound)
+}
+
+// Len returns the number of live windowed entries.
+func (s *TaskWindow) Len() int { return s.inner.Len() }
+
+// restore applies one changelog record directly to the inner store.
+func (s *TaskWindow) restore(kb, vb []byte) {
+	key, start, ok := store.DecodeWindowKey(kb)
+	if !ok {
+		return
+	}
+	s.inner.Put(key, start, vb)
+}

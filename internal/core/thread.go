@@ -1,0 +1,698 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// debugOn enables stall diagnostics via KSTREAMS_DEBUG=1.
+var debugOn = os.Getenv("KSTREAMS_DEBUG") != ""
+
+// ThreadConfig parameterizes a stream thread.
+type ThreadConfig struct {
+	AppID      string
+	InstanceID string
+	Index      int
+
+	Net        *transport.Network
+	Controller int32
+
+	Guarantee      Guarantee
+	CommitInterval time.Duration
+	TxnTimeout     time.Duration
+
+	Topology          *Topology
+	Registry          *StoreRegistry
+	Metrics           *AtomicMetrics
+	PartitionsOf      func(topic string) int32
+	ChangelogTopic    func(storeName string) string
+	SourceTopics      []string
+	RepartitionTopics map[string]bool
+
+	// PollInterval is the idle sleep between empty polls.
+	PollInterval time.Duration
+	// SessionTimeout / HeartbeatInterval tune group liveness.
+	SessionTimeout    time.Duration
+	HeartbeatInterval time.Duration
+	// PurgeRepartition enables delete-records on consumed repartition
+	// topics after commits (paper Section 3.2). Default true.
+	PurgeRepartition bool
+}
+
+// Thread runs read-process-write cycles: poll records, process them
+// through tasks in timestamp order, and commit on the commit interval —
+// atomically under exactly-once (paper Section 4.2), flush-then-commit
+// under at-least-once (Section 3.3).
+type Thread struct {
+	cfg  ThreadConfig
+	name string
+
+	consumer        *client.Consumer
+	restoreConsumer *client.Consumer
+	admin           *client.Admin
+
+	producer      *client.Producer            // eos-v2 and alos
+	taskProducers map[TaskID]*client.Producer // eos-v1
+
+	tasks       map[TaskID]*Task
+	inTxn       bool
+	taskTxnOpen map[TaskID]bool
+
+	lastCommit    time.Time
+	lastCommitted map[protocol.TopicPartition]int64
+
+	stopCh chan struct{}
+	done   chan struct{}
+	killed atomic.Bool
+	runErr error
+}
+
+// NewThread builds a thread with its consumer and producer clients.
+func NewThread(cfg ThreadConfig) (*Thread, error) {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Microsecond
+	}
+	name := fmt.Sprintf("%s-%s-%d", cfg.AppID, cfg.InstanceID, cfg.Index)
+	th := &Thread{
+		cfg:           cfg,
+		name:          name,
+		tasks:         make(map[TaskID]*Task),
+		taskProducers: make(map[TaskID]*client.Producer),
+		taskTxnOpen:   make(map[TaskID]bool),
+		lastCommitted: make(map[protocol.TopicPartition]int64),
+		stopCh:        make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	iso := protocol.ReadUncommitted
+	if cfg.Guarantee != AtLeastOnce {
+		iso = protocol.ReadCommitted
+	}
+	th.consumer = client.NewConsumer(cfg.Net, client.ConsumerConfig{
+		Controller:        cfg.Controller,
+		Group:             cfg.AppID,
+		ClientID:          name,
+		Isolation:         iso,
+		Reset:             client.ResetEarliest,
+		SessionTimeout:    cfg.SessionTimeout,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		Assignor:          &StreamsAssignor{Topology: cfg.Topology},
+		UserData:          th.userData,
+		OnRevoked:         th.onRevoked,
+		OnAssigned:        th.onAssigned,
+	})
+	th.restoreConsumer = client.NewConsumer(cfg.Net, client.ConsumerConfig{
+		Controller: cfg.Controller,
+		Isolation:  protocol.ReadCommitted,
+		Reset:      client.ResetEarliest,
+	})
+	th.admin = client.NewAdmin(cfg.Net, cfg.Controller)
+	switch cfg.Guarantee {
+	case ExactlyOnceV2:
+		p, err := client.NewProducer(cfg.Net, client.ProducerConfig{
+			Controller:      cfg.Controller,
+			TransactionalID: name,
+			TxnTimeout:      cfg.TxnTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		th.producer = p
+	case AtLeastOnce:
+		p, err := client.NewProducer(cfg.Net, client.ProducerConfig{Controller: cfg.Controller})
+		if err != nil {
+			return nil, err
+		}
+		th.producer = p
+	case ExactlyOnceV1:
+		// Producers are created per task at assignment time.
+	}
+	return th, nil
+}
+
+// Name returns the thread's client id.
+func (th *Thread) Name() string { return th.name }
+
+// userData reports current task ownership for sticky assignment.
+func (th *Thread) userData() []byte {
+	var names []string
+	for id := range th.tasks {
+		names = append(names, id.String())
+	}
+	return EncodeUserData(AssignorUserData{Instance: th.cfg.InstanceID, PrevTasks: names})
+}
+
+// Start launches the processing loop.
+func (th *Thread) Start() {
+	th.consumer.Subscribe(th.cfg.SourceTopics...)
+	go th.run()
+}
+
+// Stop terminates the loop and waits for the final commit.
+func (th *Thread) Stop() {
+	select {
+	case <-th.stopCh:
+	default:
+		close(th.stopCh)
+	}
+	<-th.done
+}
+
+// Kill terminates the loop abruptly — no final commit, no group leave —
+// simulating a crashed instance (paper Section 2.1 failure scenarios).
+// In-flight transactions are left open for the coordinator to abort.
+func (th *Thread) Kill() {
+	th.killed.Store(true)
+	select {
+	case <-th.stopCh:
+	default:
+		close(th.stopCh)
+	}
+	<-th.done
+}
+
+// Err returns the fatal error that stopped the thread, if any.
+func (th *Thread) Err() error { return th.runErr }
+
+func (th *Thread) run() {
+	defer close(th.done)
+	th.lastCommit = time.Now()
+	lastDebug := time.Now()
+	for {
+		if debugOn && time.Since(lastDebug) > time.Second {
+			lastDebug = time.Now()
+			buf := 0
+			pos := ""
+			for id, t := range th.tasks {
+				buf += t.Buffered()
+				pos += fmt.Sprintf(" %s:%v", id, t.Positions())
+			}
+			fmt.Printf("[debug] thread %s: tasks=%d buffered=%d inTxn=%v commitAge=%v pos=%s assign=%v\n",
+				th.name, len(th.tasks), buf, th.inTxn, time.Since(th.lastCommit), pos, th.consumer.Assignment())
+		}
+		select {
+		case <-th.stopCh:
+			th.shutdown()
+			return
+		default:
+		}
+		msgs, err := th.consumer.Poll()
+		if err != nil {
+			if errors.Is(err, client.ErrClosed) {
+				th.shutdown()
+				return
+			}
+			time.Sleep(th.cfg.PollInterval)
+			continue
+		}
+		for _, m := range msgs {
+			sub := th.cfg.Topology.SubTopologyFor(m.TP.Topic)
+			if sub == nil {
+				continue
+			}
+			id := TaskID{SubTopology: sub.ID, Partition: m.TP.Partition}
+			if t, ok := th.tasks[id]; ok {
+				t.AddRecords(m.TP, []client.Message{m})
+			}
+		}
+		worked := false
+		for _, t := range th.tasks {
+			for t.Buffered() > 0 {
+				ok, perr := t.ProcessOne()
+				if perr != nil {
+					if th.handleFatal(perr) {
+						return
+					}
+					break
+				}
+				if ok {
+					worked = true
+				}
+			}
+		}
+		if time.Since(th.lastCommit) >= th.cfg.CommitInterval {
+			if err := th.commit(); err != nil {
+				if debugOn {
+					fmt.Printf("[debug] thread %s: commit error: %v\n", th.name, err)
+				}
+				if th.handleFatal(err) {
+					return
+				}
+			}
+		}
+		if !worked && len(msgs) == 0 {
+			select {
+			case <-th.stopCh:
+			case <-time.After(th.cfg.PollInterval):
+			}
+		}
+	}
+}
+
+// handleFatal reacts to a processing or commit error. Fencing-class errors
+// mean this thread's tasks migrated: abort, wipe local state, and rejoin
+// (Kafka Streams' TaskMigrated handling). It reports whether the thread
+// must terminate.
+func (th *Thread) handleFatal(err error) bool {
+	if isFencingErr(err) {
+		if debugOn {
+			fmt.Printf("[debug] thread %s: fencing error, rejoining: %v\n", th.name, err)
+		}
+		th.abortAndRejoin()
+		return false
+	}
+	th.runErr = err
+	th.shutdown()
+	return true
+}
+
+func isFencingErr(err error) bool {
+	if errors.Is(err, client.ErrFenced) {
+		return true
+	}
+	switch protocol.CodeOf(err) {
+	case protocol.ErrIllegalGeneration, protocol.ErrUnknownMemberID, protocol.ErrRebalanceInProgress:
+		return true
+	}
+	return false
+}
+
+// abortAndRejoin aborts in-flight transactions, wipes task state (the
+// committed changelog is the only source of truth), recreates fenced
+// producers, and rejoins the group.
+func (th *Thread) abortAndRejoin() {
+	switch th.cfg.Guarantee {
+	case ExactlyOnceV2:
+		if th.inTxn {
+			th.producer.AbortTxn() // best effort; fenced producers cannot
+			th.inTxn = false
+		}
+	case ExactlyOnceV1:
+		for id, open := range th.taskTxnOpen {
+			if open {
+				th.taskProducers[id].AbortTxn()
+				th.taskTxnOpen[id] = false
+			}
+		}
+	}
+	for id, t := range th.tasks {
+		t.Close(false)
+		delete(th.tasks, id)
+	}
+	if th.cfg.Guarantee == ExactlyOnceV2 {
+		// Re-init the producer: a fresh epoch unfences it if the old one was
+		// fenced (e.g. by a txn-timeout abort).
+		th.producer.Close()
+		if p, err := client.NewProducer(th.cfg.Net, client.ProducerConfig{
+			Controller:      th.cfg.Controller,
+			TransactionalID: th.name,
+			TxnTimeout:      th.cfg.TxnTimeout,
+		}); err == nil {
+			th.producer = p
+		}
+	}
+	for id, p := range th.taskProducers {
+		p.Close()
+		delete(th.taskProducers, id)
+	}
+	// The aborted transaction's consumed records were never committed:
+	// rewind to the committed offsets or they would be skipped.
+	th.consumer.ResetPositions()
+	th.consumer.Subscribe(th.cfg.SourceTopics...) // forces a rejoin
+}
+
+// onRevoked commits in-progress work before partitions are taken away.
+func (th *Thread) onRevoked([]protocol.TopicPartition) {
+	clean := th.commit() == nil
+	if !clean {
+		// The failed commit leaves uncommitted input consumed: abort the
+		// open transaction and rewind to committed offsets.
+		if th.cfg.Guarantee == ExactlyOnceV2 && th.inTxn {
+			th.producer.AbortTxn()
+			th.inTxn = false
+		}
+		if th.cfg.Guarantee == ExactlyOnceV1 {
+			for id, open := range th.taskTxnOpen {
+				if open {
+					th.taskProducers[id].AbortTxn()
+					th.taskTxnOpen[id] = false
+				}
+			}
+		}
+		th.consumer.ResetPositions()
+	}
+	for id, t := range th.tasks {
+		t.Close(clean)
+		delete(th.tasks, id)
+	}
+	if th.cfg.Guarantee == ExactlyOnceV1 {
+		for id, p := range th.taskProducers {
+			p.Close()
+			delete(th.taskProducers, id)
+		}
+		th.taskTxnOpen = make(map[TaskID]bool)
+	}
+}
+
+// onAssigned builds tasks for the new assignment, restoring their stores
+// from changelogs before processing resumes (paper Section 3.3: "an exact
+// copy of the state is restored by replaying the corresponding changelog
+// topics").
+func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
+	th.lastCommitted = make(map[protocol.TopicPartition]int64)
+	for id := range TasksFromAssignment(th.cfg.Topology, tps) {
+		if _, exists := th.tasks[id]; exists {
+			continue
+		}
+		collector := th.collectorFor(id)
+		t, err := NewTask(id, th.cfg.Topology.SubTopologies()[id.SubTopology], taskConfig{
+			topology:       th.cfg.Topology,
+			changelogTopic: th.cfg.ChangelogTopic,
+			partitionsOf:   th.cfg.PartitionsOf,
+			registry:       th.cfg.Registry,
+			metrics:        th.cfg.Metrics,
+		}, collector)
+		if err != nil {
+			th.runErr = err
+			continue
+		}
+		if err := th.restoreTask(t); err != nil {
+			th.runErr = err
+		}
+		th.tasks[id] = t
+		if th.cfg.Guarantee == ExactlyOnceV1 {
+			// Eager init fences the task's previous owner immediately and
+			// guarantees a producer exists for offset-only commits.
+			if _, err := th.ensureTaskProducer(id); err != nil {
+				th.runErr = err
+			}
+		}
+	}
+}
+
+// ensureTaskProducer returns (creating if needed) the eos-v1 per-task
+// transactional producer, whose id is appID-taskID so that a migrated
+// task's new owner fences the old one.
+func (th *Thread) ensureTaskProducer(id TaskID) (*client.Producer, error) {
+	if p, ok := th.taskProducers[id]; ok {
+		return p, nil
+	}
+	p, err := client.NewProducer(th.cfg.Net, client.ProducerConfig{
+		Controller:      th.cfg.Controller,
+		TransactionalID: th.cfg.AppID + "-" + id.String(),
+		TxnTimeout:      th.cfg.TxnTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	th.taskProducers[id] = p
+	return p, nil
+}
+
+func (th *Thread) collectorFor(id TaskID) Collector {
+	if th.cfg.Guarantee != ExactlyOnceV1 {
+		return &threadCollector{th: th}
+	}
+	return &taskCollector{th: th, id: id}
+}
+
+// restoreTask replays changelogs into the task's stores, resuming from the
+// instance-local restored offset (sticky reuse).
+func (th *Thread) restoreTask(t *Task) error {
+	restoreOne := func(storeName, topic string, apply func(kb, vb []byte)) error {
+		tp := protocol.TopicPartition{Topic: topic, Partition: t.id.Partition % th.cfg.PartitionsOf(topic)}
+		from := th.cfg.Registry.RestoredOffset(t.id, storeName)
+		// The previous owner's final transaction may still be completing
+		// (markers in flight): wait until the changelog has no open
+		// transaction, or the restore would miss its committed tail and
+		// resume from newer offsets with stale state.
+		var end int64
+		stableBy := time.Now().Add(30 * time.Second)
+		for {
+			lso, err := th.restoreConsumer.StableOffset(tp)
+			if err != nil {
+				return err
+			}
+			hw, err := th.restoreConsumer.EndOffset(tp)
+			if err != nil {
+				return err
+			}
+			if lso >= hw {
+				end = lso
+				break
+			}
+			if time.Now().After(stableBy) {
+				return fmt.Errorf("core: changelog %s never stabilized (lso=%d hw=%d)", tp, lso, hw)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if from >= end {
+			return nil
+		}
+		th.restoreConsumer.Assign(tp)
+		th.restoreConsumer.Seek(tp, from)
+		deadline := time.Now().Add(30 * time.Second)
+		for th.restoreConsumer.Position(tp) < end {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("core: restoring %s from %s stalled", storeName, tp)
+			}
+			msgs, err := th.restoreConsumer.Poll()
+			if err != nil {
+				return err
+			}
+			for _, m := range msgs {
+				apply(m.Record.Key, m.Record.Value)
+				th.cfg.Metrics.restores.Add(1)
+			}
+			if len(msgs) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		th.cfg.Registry.SetRestoredOffset(t.id, storeName, th.restoreConsumer.Position(tp))
+		return nil
+	}
+	for name, kv := range t.kvs {
+		if kv.changelogTopic == "" {
+			continue
+		}
+		if err := restoreOne(name, kv.changelogTopic, kv.restore); err != nil {
+			return err
+		}
+	}
+	for name, w := range t.windows {
+		if w.changelogTopic == "" {
+			continue
+		}
+		if err := restoreOne(name, w.changelogTopic, w.restore); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commit runs one commit cycle per the configured guarantee.
+func (th *Thread) commit() error {
+	defer func() { th.lastCommit = time.Now() }()
+	for _, t := range th.tasks {
+		if err := t.FlushStores(); err != nil {
+			return err
+		}
+	}
+	switch th.cfg.Guarantee {
+	case ExactlyOnceV2:
+		return th.commitEOSv2()
+	case ExactlyOnceV1:
+		return th.commitEOSv1()
+	default:
+		return th.commitALOS()
+	}
+}
+
+func (th *Thread) newOffsets(only *TaskID) []protocol.OffsetEntry {
+	var out []protocol.OffsetEntry
+	for id, t := range th.tasks {
+		if only != nil && id != *only {
+			continue
+		}
+		for tp, off := range t.Positions() {
+			if th.lastCommitted[tp] != off {
+				out = append(out, protocol.OffsetEntry{TP: tp, Offset: off})
+			}
+		}
+	}
+	return out
+}
+
+func (th *Thread) commitEOSv2() error {
+	offsets := th.newOffsets(nil)
+	if !th.inTxn && len(offsets) == 0 {
+		return nil
+	}
+	if !th.inTxn {
+		if err := th.producer.BeginTxn(); err != nil {
+			return err
+		}
+		th.inTxn = true
+	}
+	if len(offsets) > 0 {
+		if err := th.producer.SendOffsetsToTxn(th.cfg.AppID, offsets,
+			th.consumer.MemberID(), th.consumer.Generation()); err != nil {
+			return err
+		}
+	}
+	if err := th.producer.CommitTxn(); err != nil {
+		return err
+	}
+	th.inTxn = false
+	th.finishCommit(offsets)
+	return nil
+}
+
+func (th *Thread) commitEOSv1() error {
+	for id, t := range th.tasks {
+		offsets := th.newOffsets(&id)
+		open := th.taskTxnOpen[id]
+		if !open && len(offsets) == 0 {
+			continue
+		}
+		prod := th.taskProducers[id]
+		if prod == nil {
+			continue
+		}
+		if !open {
+			if err := prod.BeginTxn(); err != nil {
+				return err
+			}
+			th.taskTxnOpen[id] = true
+		}
+		if len(offsets) > 0 {
+			if err := prod.SendOffsetsToTxn(th.cfg.AppID, offsets,
+				th.consumer.MemberID(), th.consumer.Generation()); err != nil {
+				return err
+			}
+		}
+		if err := prod.CommitTxn(); err != nil {
+			return err
+		}
+		th.taskTxnOpen[id] = false
+		th.finishCommit(offsets)
+		_ = t
+	}
+	return nil
+}
+
+func (th *Thread) commitALOS() error {
+	// Flush outputs first, then commit positions: the at-least-once order
+	// of paper Section 3.3 (a crash in between reprocesses records).
+	if err := th.producer.Flush(); err != nil {
+		return err
+	}
+	offsets := th.newOffsets(nil)
+	if len(offsets) == 0 {
+		return nil
+	}
+	if err := th.consumer.Commit(offsets); err != nil {
+		return err
+	}
+	th.finishCommit(offsets)
+	return nil
+}
+
+func (th *Thread) finishCommit(offsets []protocol.OffsetEntry) {
+	for _, e := range offsets {
+		th.lastCommitted[e.TP] = e.Offset
+	}
+	for _, t := range th.tasks {
+		t.MarkClean()
+	}
+	th.cfg.Metrics.AddCommit()
+	if th.cfg.PurgeRepartition {
+		for _, e := range offsets {
+			if th.cfg.RepartitionTopics[e.TP.Topic] {
+				th.admin.DeleteRecords(e.TP, e.Offset) // best effort
+			}
+		}
+	}
+}
+
+// shutdown commits, closes tasks, and releases clients. A killed thread
+// skips the commit and abandons its tasks unclean.
+func (th *Thread) shutdown() {
+	clean := false
+	if !th.killed.Load() {
+		clean = th.commit() == nil
+	}
+	for id, t := range th.tasks {
+		t.Close(clean)
+		delete(th.tasks, id)
+	}
+	if th.killed.Load() {
+		// Drop off the network without leaving the group: the session
+		// timeout (or a replacement's join) triggers the rebalance, and the
+		// transaction timeout aborts any open transaction.
+		th.consumer.Abandon()
+		th.restoreConsumer.Abandon()
+	} else {
+		th.consumer.Close()
+		th.restoreConsumer.Close()
+	}
+	th.admin.Close()
+	if th.producer != nil {
+		th.producer.Close()
+	}
+	for _, p := range th.taskProducers {
+		p.Close()
+	}
+}
+
+// TaskIDs returns the thread's current task set (for tests/tools).
+func (th *Thread) TaskIDs() []TaskID {
+	out := make([]TaskID, 0, len(th.tasks))
+	for id := range th.tasks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// --- collectors ---
+
+type threadCollector struct{ th *Thread }
+
+func (c *threadCollector) Send(topic string, partition int32, key, value []byte, ts int64) error {
+	th := c.th
+	if th.cfg.Guarantee == ExactlyOnceV2 && !th.inTxn {
+		if err := th.producer.BeginTxn(); err != nil {
+			return err
+		}
+		th.inTxn = true
+	}
+	return th.producer.SendTo(protocol.TopicPartition{Topic: topic, Partition: partition},
+		protocol.Record{Key: key, Value: value, Timestamp: ts})
+}
+
+type taskCollector struct {
+	th *Thread
+	id TaskID
+}
+
+func (c *taskCollector) Send(topic string, partition int32, key, value []byte, ts int64) error {
+	th := c.th
+	prod, err := th.ensureTaskProducer(c.id)
+	if err != nil {
+		return err
+	}
+	if !th.taskTxnOpen[c.id] {
+		if err := prod.BeginTxn(); err != nil {
+			return err
+		}
+		th.taskTxnOpen[c.id] = true
+	}
+	return prod.SendTo(protocol.TopicPartition{Topic: topic, Partition: partition},
+		protocol.Record{Key: key, Value: value, Timestamp: ts})
+}

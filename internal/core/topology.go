@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeType distinguishes topology nodes.
+type NodeType int
+
+const (
+	NodeSource NodeType = iota
+	NodeProcessor
+	NodeSink
+)
+
+// Partitioner routes a sink record to an output partition; nil uses
+// hash-of-key.
+type Partitioner func(key any, keyBytes []byte, numPartitions int32) int32
+
+// Node is one operator in the topology graph.
+type Node struct {
+	Name string
+	Type NodeType
+
+	// Topic, KeySerde, ValueSerde apply to sources and sinks.
+	Topic       string
+	KeySerde    Serde
+	ValueSerde  Serde
+	Partitioner Partitioner
+
+	// Supplier builds the per-task processor instance (processors only).
+	Supplier func() Processor
+
+	// Stores lists state store names this processor accesses.
+	Stores []string
+
+	children []string
+	parents  []string
+}
+
+// StoreSpec declares a state store attached to processors.
+type StoreSpec struct {
+	Name string
+	// Windowed selects a window store instead of a key-value store.
+	Windowed bool
+	KeySerde Serde
+	ValSerde Serde
+	// Changelog enables capture to a compacted changelog topic named
+	// <appID>-<store>-changelog (paper Section 3.2).
+	Changelog bool
+	// Cached wraps the store with the write-back cache that consolidates
+	// downstream emissions per commit interval (KV stores only).
+	Cached bool
+	// RetentionMs bounds how long windowed entries are kept beyond stream
+	// time (window size + grace).
+	RetentionMs int64
+}
+
+// Topology is the operator graph an application executes.
+type Topology struct {
+	nodes map[string]*Node
+	order []string // insertion order for deterministic iteration
+	specs map[string]*StoreSpec
+
+	// RepartitionTopics marks internal topics (created by the app, purged
+	// after consumption). Values are the requested partition counts
+	// (0 = infer).
+	RepartitionTopics map[string]int32
+
+	subs []*SubTopology
+}
+
+// SubTopology is a fused group of operators with no network shuffle inside
+// (paper Section 3.2).
+type SubTopology struct {
+	ID           int
+	Nodes        []string
+	SourceTopics []string
+	// sourceByTopic resolves the source node consuming each topic.
+	sourceByTopic map[string]*Node
+	Stores        []string
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		nodes:             make(map[string]*Node),
+		specs:             make(map[string]*StoreSpec),
+		RepartitionTopics: make(map[string]int32),
+	}
+}
+
+func (t *Topology) add(n *Node) *Node {
+	if _, dup := t.nodes[n.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate node name %q", n.Name))
+	}
+	t.nodes[n.Name] = n
+	t.order = append(t.order, n.Name)
+	return n
+}
+
+// AddSource registers a source node reading a topic.
+func (t *Topology) AddSource(name, topic string, keySerde, valSerde Serde) *Node {
+	return t.add(&Node{Name: name, Type: NodeSource, Topic: topic, KeySerde: keySerde, ValueSerde: valSerde})
+}
+
+// AddProcessor registers a processor node under the given parents.
+func (t *Topology) AddProcessor(name string, supplier func() Processor, parents ...string) *Node {
+	t.checkParents(name, parents)
+	n := t.add(&Node{Name: name, Type: NodeProcessor, Supplier: supplier})
+	t.connect(n, parents)
+	return n
+}
+
+// AddSink registers a sink node writing a topic.
+func (t *Topology) AddSink(name, topic string, keySerde, valSerde Serde, partitioner Partitioner, parents ...string) *Node {
+	t.checkParents(name, parents)
+	n := t.add(&Node{Name: name, Type: NodeSink, Topic: topic, KeySerde: keySerde, ValueSerde: valSerde, Partitioner: partitioner})
+	t.connect(n, parents)
+	return n
+}
+
+func (t *Topology) checkParents(name string, parents []string) {
+	for _, p := range parents {
+		if _, ok := t.nodes[p]; !ok {
+			panic(fmt.Sprintf("core: unknown parent %q of %q", p, name))
+		}
+	}
+}
+
+func (t *Topology) connect(n *Node, parents []string) {
+	for _, p := range parents {
+		parent, ok := t.nodes[p]
+		if !ok {
+			panic(fmt.Sprintf("core: unknown parent %q of %q", p, n.Name))
+		}
+		parent.children = append(parent.children, n.Name)
+		n.parents = append(n.parents, p)
+	}
+}
+
+// AddStore declares a store and connects it to processors.
+func (t *Topology) AddStore(spec StoreSpec, processors ...string) {
+	if _, dup := t.specs[spec.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate store %q", spec.Name))
+	}
+	sp := spec
+	t.specs[spec.Name] = &sp
+	for _, pn := range processors {
+		n, ok := t.nodes[pn]
+		if !ok {
+			panic(fmt.Sprintf("core: unknown processor %q for store %q", pn, spec.Name))
+		}
+		n.Stores = append(n.Stores, spec.Name)
+	}
+}
+
+// MarkRepartition flags a topic as an internal repartition topic with an
+// optional explicit partition count.
+func (t *Topology) MarkRepartition(topic string, partitions int32) {
+	t.RepartitionTopics[topic] = partitions
+}
+
+// Node returns a node by name.
+func (t *Topology) Node(name string) *Node { return t.nodes[name] }
+
+// Stores returns the declared store specs.
+func (t *Topology) Stores() map[string]*StoreSpec { return t.specs }
+
+// Build computes sub-topologies: connected components of the node graph.
+// Edges never cross topics, so components are exactly the operator groups
+// with no shuffle inside (paper Section 3.2). Components are numbered in
+// a deterministic order (by smallest source topic name).
+func (t *Topology) Build() error {
+	parent := make(map[string]string, len(t.nodes))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for name := range t.nodes {
+		parent[name] = name
+	}
+	for _, name := range t.order {
+		for _, c := range t.nodes[name].children {
+			union(name, c)
+		}
+	}
+	// Nodes sharing a state store must execute in the same task (e.g. both
+	// sides of a join access the same buffers), so they join one
+	// sub-topology even without a direct edge.
+	storeUsers := make(map[string]string)
+	for _, name := range t.order {
+		for _, st := range t.nodes[name].Stores {
+			if first, ok := storeUsers[st]; ok {
+				union(first, name)
+			} else {
+				storeUsers[st] = name
+			}
+		}
+	}
+	groups := make(map[string][]string)
+	for _, name := range t.order {
+		r := find(name)
+		groups[r] = append(groups[r], name)
+	}
+
+	var subs []*SubTopology
+	for _, members := range groups {
+		sub := &SubTopology{sourceByTopic: make(map[string]*Node)}
+		storeSet := make(map[string]bool)
+		for _, name := range members {
+			n := t.nodes[name]
+			sub.Nodes = append(sub.Nodes, name)
+			if n.Type == NodeSource {
+				if _, dup := sub.sourceByTopic[n.Topic]; dup {
+					return fmt.Errorf("core: two sources read topic %q in one sub-topology", n.Topic)
+				}
+				sub.sourceByTopic[n.Topic] = n
+				sub.SourceTopics = append(sub.SourceTopics, n.Topic)
+			}
+			for _, s := range n.Stores {
+				if !storeSet[s] {
+					storeSet[s] = true
+					sub.Stores = append(sub.Stores, s)
+				}
+			}
+		}
+		if len(sub.SourceTopics) == 0 {
+			return fmt.Errorf("core: sub-topology %v has no source", sub.Nodes)
+		}
+		sort.Strings(sub.SourceTopics)
+		sort.Strings(sub.Stores)
+		sort.Strings(sub.Nodes)
+		subs = append(subs, sub)
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		return subs[i].SourceTopics[0] < subs[j].SourceTopics[0]
+	})
+	for i, sub := range subs {
+		sub.ID = i
+	}
+	t.subs = subs
+	return nil
+}
+
+// SubTopologies returns the computed sub-topologies (after Build).
+func (t *Topology) SubTopologies() []*SubTopology { return t.subs }
+
+// SubTopologyFor returns the sub-topology consuming a topic, or nil.
+func (t *Topology) SubTopologyFor(topic string) *SubTopology {
+	for _, sub := range t.subs {
+		if _, ok := sub.sourceByTopic[topic]; ok {
+			return sub
+		}
+	}
+	return nil
+}
+
+// Describe renders the topology like Kafka Streams' Topology#describe.
+func (t *Topology) Describe() string {
+	out := ""
+	for _, sub := range t.subs {
+		out += fmt.Sprintf("Sub-topology: %d\n", sub.ID)
+		for _, name := range sub.Nodes {
+			n := t.nodes[name]
+			switch n.Type {
+			case NodeSource:
+				out += fmt.Sprintf("  Source: %s (topic: %s) --> %v\n", n.Name, n.Topic, n.children)
+			case NodeProcessor:
+				out += fmt.Sprintf("  Processor: %s (stores: %v) --> %v\n", n.Name, n.Stores, n.children)
+			case NodeSink:
+				out += fmt.Sprintf("  Sink: %s (topic: %s)\n", n.Name, n.Topic)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+type nopProc struct{ BaseProcessor }
+
+func (nopProc) Process(k, v any, ts int64) {}
+
+func nopSupplier() Processor { return &nopProc{} }
+
+type fakeSerde struct{}
+
+func (fakeSerde) Encode(v any) []byte { return []byte(v.(string)) }
+func (fakeSerde) Decode(p []byte) any { return string(p) }
+
+func TestBuildSplitsAtRepartitionTopics(t *testing.T) {
+	// Mirrors Figure 3: source -> filter -> map -> repartition sink |
+	// repartition source -> aggregate -> sink.
+	topo := NewTopology()
+	topo.AddSource("src", "pageview-events", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("filter", nopSupplier, "src")
+	topo.AddProcessor("map", nopSupplier, "filter")
+	topo.MarkRepartition("rep", 0)
+	topo.AddSink("rep-sink", "rep", fakeSerde{}, fakeSerde{}, nil, "map")
+	topo.AddSource("rep-src", "rep", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("agg", nopSupplier, "rep-src")
+	topo.AddStore(StoreSpec{Name: "agg-store", KeySerde: fakeSerde{}, ValSerde: fakeSerde{}, Changelog: true}, "agg")
+	topo.AddSink("out", "pageview-windowed-counts", fakeSerde{}, fakeSerde{}, nil, "agg")
+
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	subs := topo.SubTopologies()
+	if len(subs) != 2 {
+		t.Fatalf("sub-topologies = %d, want 2", len(subs))
+	}
+	first := topo.SubTopologyFor("pageview-events")
+	second := topo.SubTopologyFor("rep")
+	if first == nil || second == nil || first == second {
+		t.Fatalf("topic routing wrong: %v / %v", first, second)
+	}
+	if len(second.Stores) != 1 || second.Stores[0] != "agg-store" {
+		t.Fatalf("store placement: %v", second.Stores)
+	}
+	if len(first.Stores) != 0 {
+		t.Fatalf("first sub-topology should be stateless: %v", first.Stores)
+	}
+	desc := topo.Describe()
+	if !strings.Contains(desc, "Sub-topology: 0") || !strings.Contains(desc, "Sub-topology: 1") {
+		t.Fatalf("describe:\n%s", desc)
+	}
+}
+
+func TestBuildUnionsNodesSharingStores(t *testing.T) {
+	// Two independent source chains joined only through a shared store
+	// (the stream-stream join buffer pattern) must form one sub-topology.
+	topo := NewTopology()
+	topo.AddSource("l-src", "left", fakeSerde{}, fakeSerde{})
+	topo.AddSource("r-src", "right", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("l-join", nopSupplier, "l-src")
+	topo.AddProcessor("r-join", nopSupplier, "r-src")
+	topo.AddStore(StoreSpec{Name: "buf", Windowed: true, KeySerde: fakeSerde{}, ValSerde: fakeSerde{}}, "l-join", "r-join")
+
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.SubTopologies()) != 1 {
+		t.Fatalf("sub-topologies = %d, want 1 (store must fuse them)", len(topo.SubTopologies()))
+	}
+	sub := topo.SubTopologies()[0]
+	if len(sub.SourceTopics) != 2 {
+		t.Fatalf("source topics = %v", sub.SourceTopics)
+	}
+}
+
+func TestBuildRejectsDuplicateTopicInOneSubTopology(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSource("a", "same", fakeSerde{}, fakeSerde{})
+	topo.AddSource("b", "same", fakeSerde{}, fakeSerde{})
+	topo.AddProcessor("m", nopSupplier, "a", "b")
+	if err := topo.Build(); err == nil {
+		t.Fatal("two sources on one topic in one sub-topology must be rejected")
+	}
+}
+
+func TestBuildRejectsSourcelessComponent(t *testing.T) {
+	topo := NewTopology()
+	topo.AddProcessor("orphan", nopSupplier)
+	if err := topo.Build(); err == nil {
+		t.Fatal("sub-topology without a source must be rejected")
+	}
+}
+
+func TestTopologyPanicsOnDuplicatesAndUnknowns(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSource("s", "t", fakeSerde{}, fakeSerde{})
+	mustPanic(t, func() { topo.AddSource("s", "t2", fakeSerde{}, fakeSerde{}) })
+	mustPanic(t, func() { topo.AddProcessor("p", nopSupplier, "missing") })
+	topo.AddProcessor("p", nopSupplier, "s")
+	topo.AddStore(StoreSpec{Name: "st", KeySerde: fakeSerde{}, ValSerde: fakeSerde{}}, "p")
+	mustPanic(t, func() { topo.AddStore(StoreSpec{Name: "st"}, "p") })
+	mustPanic(t, func() { topo.AddStore(StoreSpec{Name: "st2"}, "missing") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestDeterministicSubTopologyNumbering(t *testing.T) {
+	build := func() *Topology {
+		topo := NewTopology()
+		topo.AddSource("z", "zebra", fakeSerde{}, fakeSerde{})
+		topo.AddSource("a", "alpha", fakeSerde{}, fakeSerde{})
+		topo.AddProcessor("pz", nopSupplier, "z")
+		topo.AddProcessor("pa", nopSupplier, "a")
+		if err := topo.Build(); err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	t1, t2 := build(), build()
+	for i := range t1.SubTopologies() {
+		if t1.SubTopologies()[i].SourceTopics[0] != t2.SubTopologies()[i].SourceTopics[0] {
+			t.Fatal("sub-topology numbering not deterministic")
+		}
+	}
+	if t1.SubTopologyFor("alpha").ID != 0 {
+		t.Fatalf("alpha should be sub-topology 0, got %d", t1.SubTopologyFor("alpha").ID)
+	}
+}

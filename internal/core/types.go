@@ -1,0 +1,97 @@
+// Package core is the Kafka Streams runtime — the paper's primary
+// contribution. It models processing as read-process-write cycles
+// (Section 3): a topology of operators compiled into sub-topologies
+// connected by repartition topics, executed as tasks (one per source
+// partition) on stream threads. All state updates and outputs are log
+// appends; exactly-once processing commits sink appends, changelog appends
+// and source offsets in one transaction (Section 4); out-of-order data is
+// handled by speculative emission with revisions under per-operator grace
+// periods (Section 5).
+package core
+
+import "fmt"
+
+// Serde converts between application values and the byte slices stored in
+// Kafka topics and state stores.
+type Serde interface {
+	Encode(v any) []byte
+	Decode(p []byte) any
+}
+
+// Change is the value type flowing through table streams: the new value
+// and the value it replaces. Downstream table consumers retract the effect
+// of Old and accumulate New (paper Section 5: "retracting the effect of
+// old update records and accumulating the effect of new update records").
+type Change struct {
+	New any
+	Old any
+}
+
+// WindowedKey keys a windowed table entry: the record key plus the window
+// start (results are "indexed by the window start time", Figure 6).
+type WindowedKey struct {
+	Key   any
+	Start int64
+	End   int64
+}
+
+func (w WindowedKey) String() string {
+	return fmt.Sprintf("[%v@%d/%d]", w.Key, w.Start, w.End)
+}
+
+// TaskID identifies a task: the sub-topology it executes and the input
+// partition it owns (paper Section 3.3).
+type TaskID struct {
+	SubTopology int
+	Partition   int32
+}
+
+func (t TaskID) String() string { return fmt.Sprintf("%d_%d", t.SubTopology, t.Partition) }
+
+// Guarantee selects the processing guarantee.
+type Guarantee int
+
+const (
+	// AtLeastOnce flushes outputs then commits offsets non-atomically; a
+	// crash between the two reprocesses records (paper Section 3.3).
+	AtLeastOnce Guarantee = iota
+	// ExactlyOnceV2 wraps each thread's read-process-write cycles in one
+	// transaction per commit interval, with one transactional producer per
+	// thread (Kafka 2.6 semantics, paper Section 6.1).
+	ExactlyOnceV2
+	// ExactlyOnceV1 uses one transactional producer per task
+	// (the pre-2.6 design); kept for the producer-count ablation.
+	ExactlyOnceV1
+)
+
+func (g Guarantee) String() string {
+	switch g {
+	case AtLeastOnce:
+		return "at-least-once"
+	case ExactlyOnceV2:
+		return "exactly-once-v2"
+	case ExactlyOnceV1:
+		return "exactly-once-v1"
+	default:
+		return fmt.Sprintf("Guarantee(%d)", int(g))
+	}
+}
+
+// Metrics aggregates counters across an application's tasks.
+type Metrics struct {
+	// Processed counts input records processed by source nodes.
+	Processed int64
+	// Emitted counts records sent to sink topics.
+	Emitted int64
+	// LateDropped counts records discarded because they arrived beyond an
+	// operator's grace period (completeness bound, paper Section 5).
+	LateDropped int64
+	// Revisions counts emitted updates that overwrote a previously emitted
+	// result for the same (key, window).
+	Revisions int64
+	// Commits counts completed commit cycles.
+	Commits int64
+	// Restores counts records replayed from changelogs during state
+	// restoration.
+	Restores int64
+}

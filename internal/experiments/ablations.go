@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kstreams/internal/harness"
+	"kstreams/internal/workload"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// --- Ablation: grace period vs completeness (Section 5 / Figure 6) ---
+
+// GraceParams sweeps the per-operator grace period against an out-of-order
+// workload, measuring the completeness trade-off: longer grace accepts
+// more stragglers (fewer drops, more revisions) at the cost of more
+// retained state.
+type GraceParams struct {
+	Cluster            ClusterParams
+	Records            int
+	OutOfOrderFraction float64
+	MaxDelayMs         int64
+	WindowMs           int64
+	Graces             []int64 // ms
+}
+
+// DefaultGrace returns the sweep used in EXPERIMENTS.md.
+func DefaultGrace() GraceParams {
+	return GraceParams{
+		Cluster:            DefaultCluster(),
+		Records:            20000,
+		OutOfOrderFraction: 0.2,
+		MaxDelayMs:         2000,
+		WindowMs:           1000,
+		Graces:             []int64{0, 100, 500, 1000, 2000, 5000},
+	}
+}
+
+// GraceRow is one grace setting's outcome.
+type GraceRow struct {
+	GraceMs     int64
+	LateDropped int64
+	DroppedPct  float64
+	Revisions   int64
+	Emitted     int64
+}
+
+// RunGrace sweeps grace periods.
+func RunGrace(p GraceParams, prog *Progress) ([]GraceRow, error) {
+	var rows []GraceRow
+	for _, grace := range p.Graces {
+		c, err := p.Cluster.start()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.CreateTopic("grace-in", 4, false); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := c.CreateTopic("grace-out", 4, false); err != nil {
+			c.Close()
+			return nil, err
+		}
+		b := streams.NewBuilder("grace")
+		b.Stream("grace-in", streams.StringSerde, streams.BytesSerde).
+			GroupByKey().
+			WindowedBy(streams.TimeWindows{SizeMs: p.WindowMs, AdvanceMs: p.WindowMs, GraceMs: grace}).
+			Count("grace-count").
+			ToStream().
+			ToWith("grace-out", streams.WindowedSerde(streams.StringSerde), streams.Int64Serde, nil)
+		app, err := streams.NewApp(b, streams.Config{
+			Cluster: c, Guarantee: streams.ExactlyOnce,
+			CommitInterval: 100 * time.Millisecond, NumThreads: 1,
+			SessionTimeout: 5 * time.Second, HeartbeatInterval: 200 * time.Millisecond,
+			TxnTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 512})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		gen := workload.NewStream(p.Cluster.Seed, workload.StreamSpec{
+			Keys: 200, OutOfOrderFraction: p.OutOfOrderFraction, MaxDelayMs: p.MaxDelayMs,
+		})
+		for i := 0; i < p.Records; i++ {
+			k, v, ts := gen.Next()
+			prod.Send("grace-in", kafka.Record{Key: k, Value: v, Timestamp: ts})
+		}
+		if err := prod.Flush(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		prod.Close()
+		if err := app.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := awaitProcessed(app, int64(p.Records), 10*time.Minute); err != nil {
+			app.Close()
+			c.Close()
+			return nil, err
+		}
+		m := app.Metrics()
+		app.Close()
+		c.Close()
+		row := GraceRow{
+			GraceMs:     grace,
+			LateDropped: m.LateDropped,
+			DroppedPct:  float64(m.LateDropped) / float64(p.Records) * 100,
+			Revisions:   m.Revisions,
+			Emitted:     m.Emitted,
+		}
+		prog.logf("grace=%dms: dropped %d (%.2f%%), revisions %d",
+			grace, row.LateDropped, row.DroppedPct, row.Revisions)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GraceTable renders the completeness sweep.
+func GraceTable(rows []GraceRow) *harness.Table {
+	t := harness.NewTable("Ablation — grace period vs completeness (20% out-of-order input)",
+		"grace", "late dropped", "dropped %", "revisions", "emitted")
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%dms", r.GraceMs), r.LateDropped, r.DroppedPct, r.Revisions, r.Emitted)
+	}
+	return t
+}
+
+// --- Ablation: suppression on/off (Section 5 / 6.2) ---
+
+// SuppressionResult compares windowed-aggregate output volume with eager
+// revision emission vs a suppress operator that emits one final result.
+type SuppressionResult struct {
+	EagerOutputs      int64
+	SuppressedOutputs int64
+	ReductionPct      float64
+}
+
+// RunSuppression measures the consolidation.
+func RunSuppression(cp ClusterParams, records int, prog *Progress) (*SuppressionResult, error) {
+	run := func(suppress bool) (int64, error) {
+		c, err := cp.start()
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		for _, topic := range []string{"sup-in", "sup-out"} {
+			if err := c.CreateTopic(topic, 2, false); err != nil {
+				return 0, err
+			}
+		}
+		b := streams.NewBuilder("sup")
+		wt := b.Stream("sup-in", streams.StringSerde, streams.BytesSerde).
+			GroupByKey().
+			WindowedBy(streams.TimeWindowsOf(1000).WithGrace(500)).
+			Count("sup-count")
+		if suppress {
+			wt = wt.Suppress("sup-buffer")
+		}
+		wt.ToStream().ToWith("sup-out", streams.WindowedSerde(streams.StringSerde), streams.Int64Serde, nil)
+		app, err := streams.NewApp(b, streams.Config{
+			Cluster: c, Guarantee: streams.ExactlyOnce,
+			CommitInterval: 100 * time.Millisecond, NumThreads: 1,
+			SessionTimeout: 5 * time.Second, HeartbeatInterval: 200 * time.Millisecond,
+			TxnTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return 0, err
+		}
+		prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 512})
+		if err != nil {
+			return 0, err
+		}
+		gen := workload.NewStream(cp.Seed, workload.StreamSpec{Keys: 20, OutOfOrderFraction: 0.1, MaxDelayMs: 400})
+		for i := 0; i < records; i++ {
+			k, v, ts := gen.Next()
+			prod.Send("sup-in", kafka.Record{Key: k, Value: v, Timestamp: ts})
+		}
+		if err := prod.Flush(); err != nil {
+			return 0, err
+		}
+		prod.Close()
+		if err := app.Start(); err != nil {
+			return 0, err
+		}
+		if err := awaitProcessed(app, int64(records), 10*time.Minute); err != nil {
+			app.Close()
+			return 0, err
+		}
+		app.Close()
+		return app.Metrics().Emitted, nil
+	}
+	eager, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	sup, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &SuppressionResult{EagerOutputs: eager, SuppressedOutputs: sup}
+	if eager > 0 {
+		res.ReductionPct = float64(eager-sup) / float64(eager) * 100
+	}
+	prog.logf("suppression: eager=%d suppressed=%d (%.1f%% fewer)", eager, sup, res.ReductionPct)
+	return res, nil
+}
+
+// SuppressionTable renders the suppression ablation.
+func SuppressionTable(r *SuppressionResult) *harness.Table {
+	t := harness.NewTable("Ablation — suppression of intermediate revisions (Sections 5, 6.2)",
+		"mode", "output records")
+	t.Add("eager revisions", r.EagerOutputs)
+	t.Add("suppressed (emit-final)", r.SuppressedOutputs)
+	t.Add("reduction %", r.ReductionPct)
+	return t
+}
+
+// --- Ablation: eos-v1 (per-task) vs eos-v2 (per-thread) producers ---
+
+// EOSVersionRow compares the transactional-producer scaling of the two EOS
+// modes (the Kafka 2.6 change discussed in Section 6.1).
+type EOSVersionRow struct {
+	Mode       string
+	Tasks      int
+	Throughput float64
+	RPCs       int64
+}
+
+// RunEOSVersions runs the reduce app under both EOS modes and reports
+// throughput and total RPC counts (coordination overhead).
+func RunEOSVersions(cp ClusterParams, records int, partitions int32, prog *Progress) ([]EOSVersionRow, error) {
+	var rows []EOSVersionRow
+	for _, mode := range []streams.Guarantee{streams.ExactlyOnceV2, streams.ExactlyOnceV1} {
+		c, err := cp.start()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.CreateTopic("ver-in", partitions, false); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := c.CreateTopic("ver-out", partitions, false); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := preload(c, "ver-in", records, 1000, cp.Seed); err != nil {
+			c.Close()
+			return nil, err
+		}
+		app, err := reduceApp("ver", "ver-in", "ver-out", c, mode, 100*time.Millisecond)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		rpcBefore := c.RPCCount()
+		start := time.Now()
+		if err := app.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := awaitProcessed(app, int64(records), 10*time.Minute); err != nil {
+			app.Close()
+			c.Close()
+			return nil, err
+		}
+		tput := float64(records) / time.Since(start).Seconds()
+		app.Close()
+		rpcs := c.RPCCount() - rpcBefore
+		c.Close()
+		rows = append(rows, EOSVersionRow{
+			Mode: mode.String(), Tasks: int(partitions), Throughput: tput, RPCs: rpcs,
+		})
+		prog.logf("%s: %.0f msg/s, %d RPCs", mode, tput, rpcs)
+	}
+	return rows, nil
+}
+
+// EOSVersionTable renders the producer-scaling ablation.
+func EOSVersionTable(rows []EOSVersionRow) *harness.Table {
+	t := harness.NewTable("Ablation — eos-v2 (per-thread producer) vs eos-v1 (per-task producer)",
+		"mode", "tasks", "msg/s", "total RPCs")
+	for _, r := range rows {
+		t.Add(r.Mode, r.Tasks, r.Throughput, r.RPCs)
+	}
+	return t
+}
+
+// --- Ablation: idempotence on/off (Section 4.3: "idempotence ... adds
+// negligible overhead") ---
+
+// IdempotenceRow compares raw produce throughput.
+type IdempotenceRow struct {
+	Mode       string
+	Throughput float64
+}
+
+// RunIdempotence measures plain produce throughput with and without
+// idempotent sequencing.
+func RunIdempotence(cp ClusterParams, records int, prog *Progress) ([]IdempotenceRow, error) {
+	var rows []IdempotenceRow
+	for _, idem := range []bool{false, true} {
+		c, err := cp.start()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.CreateTopic("idem", 4, false); err != nil {
+			c.Close()
+			return nil, err
+		}
+		p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: idem, BatchRecords: 256})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		gen := workload.NewStream(cp.Seed, workload.StreamSpec{Keys: 1000, ValueBytes: 64})
+		// Warm the produce path (leader metadata, segment allocation) so
+		// both modes measure steady state.
+		for i := 0; i < 2000; i++ {
+			k, v, ts := gen.Next()
+			p.Send("idem", kafka.Record{Key: k, Value: v, Timestamp: ts})
+		}
+		if err := p.Flush(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < records; i++ {
+			k, v, ts := gen.Next()
+			p.Send("idem", kafka.Record{Key: k, Value: v, Timestamp: ts})
+		}
+		if err := p.Flush(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		tput := float64(records) / time.Since(start).Seconds()
+		p.Close()
+		c.Close()
+		mode := "plain"
+		if idem {
+			mode = "idempotent"
+		}
+		rows = append(rows, IdempotenceRow{Mode: mode, Throughput: tput})
+		prog.logf("produce %s: %.0f msg/s", mode, tput)
+	}
+	return rows, nil
+}
+
+// IdempotenceTable renders the produce-path ablation.
+func IdempotenceTable(rows []IdempotenceRow) *harness.Table {
+	t := harness.NewTable("Ablation — idempotent producer overhead (paper: negligible)",
+		"mode", "msg/s")
+	for _, r := range rows {
+		t.Add(r.Mode, r.Throughput)
+	}
+	return t
+}

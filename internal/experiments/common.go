@@ -1,0 +1,241 @@
+// Package experiments implements the paper's evaluation: every figure and
+// table has a runner here that builds the workload, drives the system, and
+// reports the same rows/series the paper shows. cmd/ksbench and the root
+// bench_test.go are thin wrappers over these runners (see DESIGN.md §3 for
+// the experiment index).
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"kstreams/internal/harness"
+	"kstreams/internal/workload"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// ClusterParams are the simulated-testbed knobs shared by experiments.
+// The defaults stand in for the paper's three-node i3.large cluster: RPC
+// latency makes coordination round-trips cost wall time, append latency
+// models broker storage writes.
+type ClusterParams struct {
+	Brokers       int
+	RPCLatency    time.Duration
+	Jitter        time.Duration
+	AppendLatency time.Duration
+	Seed          int64
+}
+
+// DefaultCluster mirrors the paper's testbed scale.
+func DefaultCluster() ClusterParams {
+	return ClusterParams{
+		Brokers:       3,
+		RPCLatency:    80 * time.Microsecond,
+		Jitter:        20 * time.Microsecond,
+		AppendLatency: 10 * time.Microsecond,
+		Seed:          1,
+	}
+}
+
+func (p ClusterParams) start() (*kafka.Cluster, error) {
+	return kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               p.Brokers,
+		RPCLatency:            p.RPCLatency,
+		Jitter:                p.Jitter,
+		AppendLatency:         p.AppendLatency,
+		TxnTimeout:            30 * time.Second,
+		GroupRebalanceTimeout: 500 * time.Millisecond,
+		Seed:                  p.Seed,
+	})
+}
+
+// stampValue embeds the record creation wall-clock time so the verifying
+// consumer can compute end-to-end latency per record, exactly as the paper
+// measures it ("based on the record creation time when produced to the
+// input topic, and the consumer reception time", Section 4.3).
+func stampValue(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(out[:8], uint64(time.Now().UnixNano()))
+	copy(out[8:], payload)
+	return out
+}
+
+func stampedLatency(value []byte) (time.Duration, bool) {
+	if len(value) < 8 {
+		return 0, false
+	}
+	created := int64(binary.BigEndian.Uint64(value[:8]))
+	return time.Duration(time.Now().UnixNano() - created), true
+}
+
+// keepLatest is the stateful reduce of the paper's benchmark application.
+func keepLatest(agg, v any) any { return v }
+
+// reduceApp builds the evaluation application of Section 4.3: read the
+// input, reduce per key into a state store, emit to the output topic.
+func reduceApp(appID string, in, out string, cluster *kafka.Cluster, g streams.Guarantee, commit time.Duration) (*streams.App, error) {
+	b := streams.NewBuilder(appID)
+	b.Stream(in, streams.StringSerde, streams.BytesSerde).
+		GroupByKey().
+		Reduce(keepLatest, appID+"-reduce").
+		ToStream().
+		To(out)
+	return streams.NewApp(b, streams.Config{
+		Cluster:           cluster,
+		Guarantee:         g,
+		CommitInterval:    commit,
+		NumThreads:        1,
+		SessionTimeout:    5 * time.Second,
+		HeartbeatInterval: 200 * time.Millisecond,
+		TxnTimeout:        30 * time.Second,
+	})
+}
+
+// preload writes n keyed, stamped records and returns when durable.
+func preload(c *kafka.Cluster, topic string, n int, keys int, seed int64) error {
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 512})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	gen := workload.NewStream(seed, workload.StreamSpec{Keys: keys, ValueBytes: 64})
+	for i := 0; i < n; i++ {
+		k, v, ts := gen.Next()
+		if err := p.Send(topic, kafka.Record{Key: k, Value: stampValue(v), Timestamp: ts}); err != nil {
+			return err
+		}
+	}
+	return p.Flush()
+}
+
+// awaitProcessed polls app metrics until n records were processed.
+func awaitProcessed(app *streams.App, n int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if app.Metrics().Processed >= n {
+			return nil
+		}
+		if err := app.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiments: processed %d of %d before timeout",
+				app.Metrics().Processed, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// steadyThroughput measures records/sec between 10%% and 100%% of the
+// workload, excluding startup (group join, store restoration, producer
+// initialization) from the denominator.
+func steadyThroughput(app *streams.App, n int64, timeout time.Duration) (float64, error) {
+	warm := n / 10
+	if warm < 1 {
+		warm = 1
+	}
+	if err := awaitProcessed(app, warm, timeout); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	base := app.Metrics().Processed
+	if err := awaitProcessed(app, n, timeout); err != nil {
+		return 0, err
+	}
+	done := app.Metrics().Processed
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+	return float64(done-base) / el, nil
+}
+
+// measureLatency drives paced stamped records into `in` while a
+// read-committed consumer on `out` records per-record end-to-end latency.
+func measureLatency(c *kafka.Cluster, in, out string, outParts int32, ratePerSec float64, duration time.Duration, seed int64) (*harness.Latencies, error) {
+	lat := &harness.Latencies{}
+	stop := make(chan struct{})
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted, FromLatest: true})
+		defer cons.Close()
+		ps := make([]int32, outParts)
+		for i := range ps {
+			ps[i] = int32(i)
+		}
+		cons.Assign(out, ps...)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			msgs, err := cons.Poll()
+			if err != nil {
+				return
+			}
+			for _, m := range msgs {
+				if d, ok := stampedLatency(m.Value); ok {
+					lat.Add(d)
+				}
+			}
+			if len(msgs) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 64})
+	if err != nil {
+		close(stop)
+		<-consumerDone
+		return nil, err
+	}
+	gen := workload.NewStream(seed, workload.StreamSpec{Keys: 1000, ValueBytes: 64})
+	pacer := harness.NewPacer(ratePerSec)
+	end := time.Now().Add(duration)
+	for time.Now().Before(end) {
+		pacer.Wait()
+		k, v, ts := gen.Next()
+		p.Send(in, kafka.Record{Key: k, Value: stampValue(v), Timestamp: ts})
+		p.Flush()
+	}
+	p.Close()
+	// Give in-flight records one commit interval's worth of slack to land.
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	<-consumerDone
+	return lat, nil
+}
+
+// pacedLoad produces n stamped records at the given rate while the app is
+// running (so commits interleave with arrival, unlike preload).
+func pacedLoad(c *kafka.Cluster, topic string, n int, ratePerSec float64, seed int64, encode func(i int) ([]byte, []byte, int64)) error {
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 64})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	pacer := harness.NewPacer(ratePerSec)
+	for i := 0; i < n; i++ {
+		pacer.Wait()
+		k, v, ts := encode(i)
+		if err := p.Send(topic, kafka.Record{Key: k, Value: v, Timestamp: ts}); err != nil {
+			return err
+		}
+	}
+	return p.Flush()
+}
+
+// Progress is where experiments narrate; nil means silent.
+type Progress struct{ W io.Writer }
+
+func (p *Progress) logf(format string, args ...any) {
+	if p != nil && p.W != nil {
+		fmt.Fprintf(p.W, format+"\n", args...)
+	}
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"kstreams/internal/harness"
+	"kstreams/internal/workload"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// --- Section 6.1: Bloomberg MxFlow ---
+
+// BloombergParams configures the Section 6.1 reproduction: the market-data
+// pipeline (outlier filter -> profile windows -> weighted aggregation) run
+// under EOS and ALOS across increasing load, reporting the EOS overhead
+// band (the paper observes 6-10% at 10-25k msg/s).
+type BloombergParams struct {
+	Cluster    ClusterParams
+	Threads    int   // paper: 32; scaled default 4
+	Partitions int32 // input partitions (paper: ~100 per thread)
+	Records    int
+	Loads      []int // records per run (stands in for msg/s load points)
+	Symbols    int
+}
+
+// DefaultBloomberg returns scaled-down Section 6.1 parameters.
+func DefaultBloomberg() BloombergParams {
+	return BloombergParams{
+		Cluster:    DefaultCluster(),
+		Threads:    4,
+		Partitions: 16,
+		Records:    20000,
+		Loads:      []int{40000, 60000, 80000, 100000},
+		Symbols:    500,
+	}
+}
+
+// BloombergRow is one load point.
+type BloombergRow struct {
+	Load        int
+	EOSTput     float64
+	ALOSTput    float64
+	OverheadPct float64
+	// TxnProducers is the number of transactional producers coordinating,
+	// which under eos-v2 scales with threads, not partitions (the Kafka 2.6
+	// insight of Section 6.1).
+	TxnProducers int
+}
+
+// mxflowApp builds the three-stage MxFlow pipeline.
+func mxflowApp(appID string, c *kafka.Cluster, g streams.Guarantee, threads int) (*streams.App, error) {
+	tickSerde := streams.JSONSerde[workload.Tick]()
+	b := streams.NewBuilder(appID)
+	b.Stream("ticks", streams.StringSerde, tickSerde).
+		// Stage 1: outlier signal detection — drop crossed/absurd quotes.
+		Filter(func(k, v any) bool {
+			t := v.(workload.Tick)
+			return t.Bid > 0 && t.Ask > t.Bid && (t.Ask-t.Bid) < t.Bid*0.05
+		}).
+		// Stage 2: dynamic profile-based windowing (1s profile windows).
+		GroupByKey().
+		WindowedBy(streams.TimeWindowsOf(1000).WithGrace(2000)).
+		// Stage 3: size-weighted price aggregation.
+		Aggregate(func() any { return []float64{0, 0} },
+			func(k, v, agg any) any {
+				t := v.(workload.Tick)
+				a := agg.([]float64)
+				mid := (t.Bid + t.Ask) / 2
+				return []float64{a[0] + mid*float64(t.Size), a[1] + float64(t.Size)}
+			},
+			appID+"-vwap", streams.JSONSerde[[]float64]()).
+		ToStream().
+		ToWith("market-insights", streams.WindowedSerde(streams.StringSerde),
+			streams.JSONSerde[[]float64](), nil)
+	return streams.NewApp(b, streams.Config{
+		Cluster:           c,
+		Guarantee:         g,
+		CommitInterval:    100 * time.Millisecond,
+		NumThreads:        threads,
+		SessionTimeout:    5 * time.Second,
+		HeartbeatInterval: 200 * time.Millisecond,
+		TxnTimeout:        30 * time.Second,
+	})
+}
+
+// RunBloomberg measures EOS overhead across load points.
+func RunBloomberg(p BloombergParams, prog *Progress) ([]BloombergRow, error) {
+	var rows []BloombergRow
+	for _, load := range p.Loads {
+		row := BloombergRow{Load: load, TxnProducers: p.Threads}
+		for _, g := range []streams.Guarantee{streams.ExactlyOnce, streams.AtLeastOnce} {
+			c, err := p.Cluster.start()
+			if err != nil {
+				return nil, err
+			}
+			if err := c.CreateTopic("ticks", p.Partitions, false); err != nil {
+				c.Close()
+				return nil, err
+			}
+			if err := c.CreateTopic("market-insights", p.Partitions, false); err != nil {
+				c.Close()
+				return nil, err
+			}
+			// Preload `load` tick records.
+			prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 512})
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			gen := workload.NewTicks(p.Cluster.Seed, p.Symbols, 0.02)
+			tickSerde := streams.JSONSerde[workload.Tick]()
+			for i := 0; i < load; i++ {
+				tick, ts := gen.Next()
+				prod.Send("ticks", kafka.Record{
+					Key: []byte(tick.Symbol), Value: tickSerde.Encode(tick), Timestamp: ts,
+				})
+			}
+			if err := prod.Flush(); err != nil {
+				c.Close()
+				return nil, err
+			}
+			prod.Close()
+
+			app, err := mxflowApp("mxflow", c, g, p.Threads)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			if err := app.Start(); err != nil {
+				c.Close()
+				return nil, err
+			}
+			tput, err := steadyThroughput(app, int64(load), 10*time.Minute)
+			if err != nil {
+				app.Close()
+				c.Close()
+				return nil, fmt.Errorf("bloomberg %v load=%d: %w", g, load, err)
+			}
+			app.Close()
+			c.Close()
+			if g == streams.ExactlyOnce {
+				row.EOSTput = tput
+			} else {
+				row.ALOSTput = tput
+			}
+		}
+		if row.ALOSTput > 0 {
+			row.OverheadPct = (row.ALOSTput - row.EOSTput) / row.ALOSTput * 100
+		}
+		prog.logf("bloomberg load=%d: EOS %.0f msg/s, ALOS %.0f msg/s, overhead %.1f%%",
+			load, row.EOSTput, row.ALOSTput, row.OverheadPct)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BloombergTable renders Section 6.1's insight.
+func BloombergTable(rows []BloombergRow) *harness.Table {
+	t := harness.NewTable("Section 6.1 — MxFlow pipeline: EOS vs ALOS overhead across load (paper: 6-10%)",
+		"records", "EOS msg/s", "ALOS msg/s", "overhead %", "txn producers")
+	for _, r := range rows {
+		t.Add(r.Load, r.EOSTput, r.ALOSTput, r.OverheadPct, r.TxnProducers)
+	}
+	return t
+}
+
+// --- Section 6.2: Expedia Conversational Platform ---
+
+// ExpediaParams configures the Section 6.2 reproduction: a simple
+// enrichment service at a 100ms commit interval (sub-second end-to-end)
+// vs the conversation-view aggregation at 1500ms with suppression.
+type ExpediaParams struct {
+	Cluster       ClusterParams
+	Conversations int
+	Events        int
+	LatencyRate   float64
+	LatencyWindow time.Duration
+}
+
+// DefaultExpedia returns Section 6.2 parameters.
+func DefaultExpedia() ExpediaParams {
+	return ExpediaParams{
+		Cluster:       DefaultCluster(),
+		Conversations: 200,
+		Events:        5000,
+		LatencyRate:   100,
+		LatencyWindow: 3 * time.Second,
+	}
+}
+
+// ExpediaResult reports both services' behaviour.
+type ExpediaResult struct {
+	EnrichLatencyMean time.Duration
+	EnrichLatencyP99  time.Duration
+	EnrichSubSecond   bool
+	// Aggregation output volume with and without suppression-style
+	// consolidation (the cached aggregate at a long commit interval).
+	AggOutputsConsolidated int64
+	AggOutputsEager        int64
+	ReductionPct           float64
+}
+
+// RunExpedia measures the enrichment path latency and the consolidation
+// effect of the long commit interval plus caching on the aggregate.
+func RunExpedia(p ExpediaParams, prog *Progress) (*ExpediaResult, error) {
+	res := &ExpediaResult{}
+
+	// Enrichment service: stateless transform, commit interval 100ms.
+	{
+		c, err := p.Cluster.start()
+		if err != nil {
+			return nil, err
+		}
+		for _, topic := range []string{"cp-in", "cp-enriched"} {
+			if err := c.CreateTopic(topic, 4, false); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		b := streams.NewBuilder("cp-enrich")
+		b.Stream("cp-in", streams.StringSerde, streams.BytesSerde).
+			MapValues(func(v any) any { return v }, streams.BytesSerde). // redaction/translation stand-in
+			To("cp-enriched")
+		app, err := streams.NewApp(b, streams.Config{
+			Cluster: c, Guarantee: streams.ExactlyOnce,
+			CommitInterval: 100 * time.Millisecond, NumThreads: 1,
+			SessionTimeout: 5 * time.Second, HeartbeatInterval: 200 * time.Millisecond,
+			TxnTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := app.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		lat, err := measureLatency(c, "cp-in", "cp-enriched", 4, p.LatencyRate, p.LatencyWindow, p.Cluster.Seed)
+		app.Close()
+		c.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.EnrichLatencyMean = lat.Mean()
+		res.EnrichLatencyP99 = lat.Percentile(99)
+		res.EnrichSubSecond = lat.Percentile(99) < time.Second && lat.Count() > 0
+		prog.logf("expedia enrichment: %s", lat.Summary())
+	}
+
+	// Conversation-view aggregation: 1500ms commit + cached aggregate
+	// consolidates revisions vs a 10ms commit behaving near-eagerly.
+	countAggOutputs := func(commit time.Duration) (int64, error) {
+		c, err := p.Cluster.start()
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		for _, topic := range []string{"cp-events", "cp-views"} {
+			if err := c.CreateTopic(topic, 4, false); err != nil {
+				return 0, err
+			}
+		}
+		evSerde := streams.JSONSerde[workload.ConversationEvent]()
+		b := streams.NewBuilder("cp-view")
+		b.Stream("cp-events", streams.StringSerde, evSerde).
+			GroupByKey().
+			Count("cp-view-count"). // conversation-view aggregate stand-in
+			ToStream().
+			To("cp-views")
+		app, err := streams.NewApp(b, streams.Config{
+			Cluster: c, Guarantee: streams.ExactlyOnce,
+			CommitInterval: commit, NumThreads: 1,
+			SessionTimeout: 5 * time.Second, HeartbeatInterval: 200 * time.Millisecond,
+			TxnTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := app.Start(); err != nil {
+			return 0, err
+		}
+		// Pace the events over ~3 seconds so commit intervals interleave
+		// with arrival (a burst would be absorbed by a single commit).
+		gen := workload.NewConversations(p.Cluster.Seed, p.Conversations)
+		if err := pacedLoad(c, "cp-events", p.Events, float64(p.Events)/3.0, p.Cluster.Seed,
+			func(i int) ([]byte, []byte, int64) {
+				ev, ts := gen.Next()
+				return []byte(ev.ConversationID), evSerde.Encode(ev), ts
+			}); err != nil {
+			app.Close()
+			return 0, err
+		}
+		if err := awaitProcessed(app, int64(p.Events), 10*time.Minute); err != nil {
+			app.Close()
+			return 0, err
+		}
+		app.Close() // final commit flushes the cache
+		return app.Metrics().Emitted, nil
+	}
+	eager, err := countAggOutputs(10 * time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	consolidated, err := countAggOutputs(1500 * time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	res.AggOutputsEager = eager
+	res.AggOutputsConsolidated = consolidated
+	if eager > 0 {
+		res.ReductionPct = float64(eager-consolidated) / float64(eager) * 100
+	}
+	prog.logf("expedia aggregation outputs: 10ms commit=%d, 1500ms commit=%d (%.1f%% reduction)",
+		eager, consolidated, res.ReductionPct)
+	return res, nil
+}
+
+// ExpediaTable renders Section 6.2's configuration trade-off.
+func ExpediaTable(r *ExpediaResult) *harness.Table {
+	t := harness.NewTable("Section 6.2 — Conversational Platform configurations",
+		"service", "commit interval", "result")
+	t.Add("enrichment", "100ms", fmt.Sprintf("e2e mean %v, p99 %v, sub-second=%v",
+		r.EnrichLatencyMean.Round(time.Millisecond), r.EnrichLatencyP99.Round(time.Millisecond), r.EnrichSubSecond))
+	t.Add("view aggregation", "10ms", fmt.Sprintf("%d output records (near-eager)", r.AggOutputsEager))
+	t.Add("view aggregation", "1500ms", fmt.Sprintf("%d output records (%.1f%% I/O reduction)",
+		r.AggOutputsConsolidated, r.ReductionPct))
+	return t
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"kstreams/internal/flinklike"
+	"kstreams/internal/harness"
+	"kstreams/internal/objstore"
+	"kstreams/streams"
+)
+
+// Fig5aParams configures the Figure 5.a reproduction: exactly-once impact
+// vs the number of output (transactional) partitions, commit interval
+// fixed at 100ms.
+type Fig5aParams struct {
+	Cluster        ClusterParams
+	Partitions     []int32 // paper: 1, 10, 100, 1000
+	Records        int     // throughput phase size
+	CommitInterval time.Duration
+	LatencyRate    float64 // paced records/sec for the latency phase
+	LatencyWindow  time.Duration
+}
+
+// DefaultFig5a returns paper-faithful parameters (scaled record counts).
+func DefaultFig5a() Fig5aParams {
+	return Fig5aParams{
+		Cluster:        DefaultCluster(),
+		Partitions:     []int32{1, 10, 100, 1000},
+		Records:        150000,
+		CommitInterval: 100 * time.Millisecond,
+		LatencyRate:    300,
+		LatencyWindow:  2 * time.Second,
+	}
+}
+
+// Fig5aRow is one x-axis point of Figure 5.a.
+type Fig5aRow struct {
+	Partitions     int32
+	EOSThroughput  float64 // records/sec
+	ALOSThroughput float64
+	EOSLatency     time.Duration // mean end-to-end
+	ALOSLatency    time.Duration
+	OverheadPct    float64 // (ALOS-EOS)/ALOS * 100
+}
+
+// RunFig5a measures EOS vs ALOS throughput and latency per output
+// partition count.
+func RunFig5a(p Fig5aParams, prog *Progress) ([]Fig5aRow, error) {
+	var rows []Fig5aRow
+	for _, parts := range p.Partitions {
+		row := Fig5aRow{Partitions: parts}
+		for _, g := range []streams.Guarantee{streams.ExactlyOnce, streams.AtLeastOnce} {
+			tput, lat, err := runReduceBench(p.Cluster, parts, g, p.CommitInterval,
+				p.Records, p.LatencyRate, p.LatencyWindow, prog)
+			if err != nil {
+				return nil, fmt.Errorf("fig5a partitions=%d %v: %w", parts, g, err)
+			}
+			if g == streams.AtLeastOnce {
+				row.ALOSThroughput = tput
+				row.ALOSLatency = lat.Percentile(50)
+			} else {
+				row.EOSThroughput = tput
+				row.EOSLatency = lat.Percentile(50)
+			}
+		}
+		if row.ALOSThroughput > 0 {
+			row.OverheadPct = (row.ALOSThroughput - row.EOSThroughput) / row.ALOSThroughput * 100
+		}
+		prog.logf("fig5a partitions=%d: EOS %.0f msg/s %v | ALOS %.0f msg/s %v | overhead %.1f%%",
+			parts, row.EOSThroughput, row.EOSLatency.Round(time.Millisecond),
+			row.ALOSThroughput, row.ALOSLatency.Round(time.Millisecond), row.OverheadPct)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runReduceBench runs one configuration: a throughput phase over preloaded
+// records, then a paced latency phase.
+func runReduceBench(cp ClusterParams, outParts int32, g streams.Guarantee, commit time.Duration,
+	records int, latRate float64, latWindow time.Duration, prog *Progress) (float64, *harness.Latencies, error) {
+	c, err := cp.start()
+	if err != nil {
+		return 0, nil, err
+	}
+	defer c.Close()
+	if err := c.CreateTopic("bench-in", 4, false); err != nil {
+		return 0, nil, err
+	}
+	if err := c.CreateTopic("bench-out", outParts, false); err != nil {
+		return 0, nil, err
+	}
+	// Spread keys over enough values that every output partition gets
+	// traffic (the transaction registers all of them).
+	keys := int(outParts) * 4
+	if keys < 1000 {
+		keys = 1000
+	}
+	if err := preload(c, "bench-in", records, keys, cp.Seed); err != nil {
+		return 0, nil, err
+	}
+
+	app, err := reduceApp("bench", "bench-in", "bench-out", c, g, commit)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := app.Start(); err != nil {
+		return 0, nil, err
+	}
+	defer app.Close()
+	tput, err := steadyThroughput(app, int64(records), 10*time.Minute)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Let the commit/marker backlog from the saturation phase drain before
+	// measuring steady-state end-to-end latency.
+	settle := 2 * commit
+	if settle < time.Second {
+		settle = time.Second
+	}
+	time.Sleep(settle)
+	lat, err := measureLatency(c, "bench-in", "bench-out", outParts, latRate, latWindow, cp.Seed+1)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tput, lat, nil
+}
+
+// Fig5aTable renders the experiment like the paper's figure axes.
+func Fig5aTable(rows []Fig5aRow) *harness.Table {
+	t := harness.NewTable("Figure 5.a — exactly-once impact vs number of partitions (commit interval 100ms)",
+		"partitions", "EOS msg/s", "ALOS msg/s", "overhead %", "EOS latency", "ALOS latency")
+	for _, r := range rows {
+		t.Add(r.Partitions, r.EOSThroughput, r.ALOSThroughput, r.OverheadPct, r.EOSLatency, r.ALOSLatency)
+	}
+	return t
+}
+
+// --- Figure 5.b ---
+
+// Fig5bParams configures the commit/checkpoint interval sweep with the
+// Flink-like baseline, 10 output partitions.
+type Fig5bParams struct {
+	Cluster       ClusterParams
+	Intervals     []time.Duration // paper: 10ms .. 10s
+	Records       int
+	LatencyRate   float64
+	LatencyWindow time.Duration
+	// S3PutLatency is the per-object checkpoint cost (the per-file
+	// granularity the paper blames for the baseline's latency gap).
+	S3PutLatency time.Duration
+}
+
+// DefaultFig5b returns paper-faithful parameters.
+func DefaultFig5b() Fig5bParams {
+	return Fig5bParams{
+		Cluster:       DefaultCluster(),
+		Intervals:     []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second, 10 * time.Second},
+		Records:       100000,
+		LatencyRate:   300,
+		LatencyWindow: 2 * time.Second,
+		S3PutLatency:  25 * time.Millisecond,
+	}
+}
+
+// Fig5bRow is one x-axis point of Figure 5.b.
+type Fig5bRow struct {
+	Interval        time.Duration
+	StreamsTput     float64
+	StreamsLatency  time.Duration
+	FlinkTput       float64
+	FlinkLatency    time.Duration
+	FlinkFilesPerCk float64
+}
+
+// RunFig5b compares Streams-EOS against the Flink-like checkpointing
+// baseline across commit/checkpoint intervals.
+func RunFig5b(p Fig5bParams, prog *Progress) ([]Fig5bRow, error) {
+	var rows []Fig5bRow
+	for _, interval := range p.Intervals {
+		row := Fig5bRow{Interval: interval}
+		window := p.LatencyWindow
+		if 3*interval > window {
+			window = 3 * interval
+		}
+
+		tput, lat, err := runReduceBench(p.Cluster, 10, streams.ExactlyOnce, interval,
+			p.Records, p.LatencyRate, window, prog)
+		if err != nil {
+			return nil, fmt.Errorf("fig5b streams interval=%v: %w", interval, err)
+		}
+		row.StreamsTput = tput
+		row.StreamsLatency = lat.Percentile(50)
+
+		ftput, flat, files, err := runFlinkBench(p, interval, window, prog)
+		if err != nil {
+			return nil, fmt.Errorf("fig5b flink interval=%v: %w", interval, err)
+		}
+		row.FlinkTput = ftput
+		row.FlinkLatency = flat.Percentile(50)
+		row.FlinkFilesPerCk = files
+
+		prog.logf("fig5b interval=%v: Streams %.0f msg/s %v | Flink-like %.0f msg/s %v (%.1f files/ckpt)",
+			interval, row.StreamsTput, row.StreamsLatency.Round(time.Millisecond),
+			row.FlinkTput, row.FlinkLatency.Round(time.Millisecond), row.FlinkFilesPerCk)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runFlinkBench(p Fig5bParams, interval, latWindow time.Duration, prog *Progress) (float64, *harness.Latencies, float64, error) {
+	c, err := p.Cluster.start()
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	defer c.Close()
+	if err := c.CreateTopic("bench-in", 4, false); err != nil {
+		return 0, nil, 0, err
+	}
+	if err := c.CreateTopic("bench-out", 10, false); err != nil {
+		return 0, nil, 0, err
+	}
+	if err := preload(c, "bench-in", p.Records, 1000, p.Cluster.Seed); err != nil {
+		return 0, nil, 0, err
+	}
+	os := objstore.New(objstore.Config{PutLatency: p.S3PutLatency, PerKB: 20 * time.Microsecond})
+	job, err := flinklike.NewJob(flinklike.Config{
+		Net: c.Net(), Controller: c.Controller(),
+		JobID: "flink-bench", InputTopic: "bench-in", OutputTopic: "bench-out",
+		Parallelism: 4, CheckpointInterval: interval,
+		ObjStore: os,
+		Reduce:   func(state, value []byte) []byte { return value }, // keep latest
+	})
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if err := job.Start(); err != nil {
+		return 0, nil, 0, err
+	}
+	defer job.Stop()
+	await := func(n int64) error {
+		deadline := time.Now().Add(10 * time.Minute)
+		for job.Metrics().Processed < n {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("flink bench stalled at %d", job.Metrics().Processed)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	if err := await(int64(p.Records) / 10); err != nil {
+		return 0, nil, 0, err
+	}
+	start := time.Now()
+	base := job.Metrics().Processed
+	if err := await(int64(p.Records)); err != nil {
+		return 0, nil, 0, err
+	}
+	tput := float64(job.Metrics().Processed-base) / time.Since(start).Seconds()
+
+	settle := 2 * interval
+	if settle < time.Second {
+		settle = time.Second
+	}
+	time.Sleep(settle)
+	lat, err := measureLatency(c, "bench-in", "bench-out", 10, p.LatencyRate, latWindow, p.Cluster.Seed+1)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	m := job.Metrics()
+	files := 0.0
+	if m.Checkpoints > 0 {
+		files = float64(m.FilesUploaded) / float64(m.Checkpoints)
+	}
+	return tput, lat, files, nil
+}
+
+// Fig5bTable renders the interval sweep.
+func Fig5bTable(rows []Fig5bRow) *harness.Table {
+	t := harness.NewTable("Figure 5.b — EOS throughput/latency vs commit (checkpoint) interval, 10 partitions",
+		"interval", "Streams msg/s", "Streams latency", "Flink-like msg/s", "Flink-like latency", "files/ckpt")
+	for _, r := range rows {
+		t.Add(r.Interval, r.StreamsTput, r.StreamsLatency, r.FlinkTput, r.FlinkLatency, r.FlinkFilesPerCk)
+	}
+	return t
+}
+
+// int64Value decodes the bench reduce value (unused helper retained for
+// symmetric codecs in tests).
+func int64Value(b []byte) int64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"kstreams/streams"
+)
+
+// TestFig5aHundredPartitions reproduces the replication stall observed at
+// 100 output partitions (kept as a regression test).
+func TestFig5aHundredPartitions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cp := DefaultCluster()
+	cp.RPCLatency = 20 * time.Microsecond
+	cp.Jitter = 0
+	cp.AppendLatency = 0
+	tput, _, err := runReduceBench(cp, 100, streams.ExactlyOnce, 100*time.Millisecond,
+		3000, 100, 500*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput < 100 {
+		t.Fatalf("throughput %f implausibly low", tput)
+	}
+}

@@ -1,0 +1,484 @@
+// Package flinklike is the checkpoint-based baseline the paper compares
+// against in Figure 5.b: a dataflow engine with Chandy-Lamport-style
+// aligned checkpoint barriers, incremental per-file state snapshots to a
+// simulated S3 object store, and a two-phase-commit transactional Kafka
+// sink whose output becomes visible only when the checkpoint completes
+// (paper Sections 2.1, 4.3, 7).
+//
+// The job shape mirrors the paper's evaluation application: read an input
+// topic, apply a keyed stateful reduce, and write to an output topic. Each
+// input partition runs as one subtask (source -> reduce -> sink fused,
+// like the Streams bench app, so barriers align trivially; the alignment
+// machinery still gates snapshots on barrier receipt).
+package flinklike
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/objstore"
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// Config parameterizes a job.
+type Config struct {
+	// Net and Controller locate the Kafka cluster used for input/output.
+	Net        *transport.Network
+	Controller int32
+
+	JobID       string
+	InputTopic  string
+	OutputTopic string
+	Parallelism int32 // = input partition count
+
+	// CheckpointInterval is the barrier cadence (Figure 5.b x-axis).
+	CheckpointInterval time.Duration
+
+	// ObjStore receives state snapshots.
+	ObjStore *objstore.Store
+	// StateFiles is the per-subtask file count over which keyed state is
+	// hashed; a checkpoint uploads every file containing a dirty key
+	// (incremental, per-file granularity).
+	StateFiles int
+
+	// Reduce folds a record value into the key's state.
+	Reduce func(state, value []byte) []byte
+
+	// PollInterval paces idle source polls.
+	PollInterval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.StateFiles <= 0 {
+		c.StateFiles = 32
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Microsecond
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = time.Second
+	}
+	if c.Reduce == nil {
+		c.Reduce = func(state, value []byte) []byte { return value }
+	}
+}
+
+// Metrics summarizes a job's progress.
+type Metrics struct {
+	Processed       int64
+	Emitted         int64
+	Checkpoints     int64
+	FilesUploaded   int64
+	LastCheckpoint  time.Duration // duration of the last completed checkpoint
+	TotalCheckpoint time.Duration // cumulative checkpoint time
+}
+
+// Job is a running Flink-like streaming job.
+type Job struct {
+	cfg Config
+
+	subtasks []*subtask
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	processed   atomic.Int64
+	emitted     atomic.Int64
+	checkpoints atomic.Int64
+	files       atomic.Int64
+	lastCkpt    atomic.Int64 // nanoseconds
+	totalCkpt   atomic.Int64
+}
+
+// checkpointMeta is the coordinator's completed-checkpoint record.
+type checkpointMeta struct {
+	ID      int64            `json:"id"`
+	Offsets map[int32]int64  `json:"offsets"`
+	Files   map[string][]int `json:"files"` // subtask -> uploaded file ids (bookkeeping)
+}
+
+// NewJob builds a job; Start launches it.
+func NewJob(cfg Config) (*Job, error) {
+	cfg.fill()
+	if cfg.ObjStore == nil {
+		return nil, fmt.Errorf("flinklike: ObjStore required")
+	}
+	if cfg.Parallelism <= 0 {
+		return nil, fmt.Errorf("flinklike: Parallelism required")
+	}
+	j := &Job{cfg: cfg, stopCh: make(chan struct{})}
+	return j, nil
+}
+
+// Start restores from the latest completed checkpoint (if any) and runs
+// the subtasks and the checkpoint coordinator.
+func (j *Job) Start() error {
+	restored := j.latestCheckpoint()
+	for p := int32(0); p < j.cfg.Parallelism; p++ {
+		st, err := newSubtask(j, p, restored)
+		if err != nil {
+			j.Stop()
+			return err
+		}
+		j.subtasks = append(j.subtasks, st)
+	}
+	for _, st := range j.subtasks {
+		j.wg.Add(1)
+		go st.run()
+	}
+	j.wg.Add(1)
+	go j.coordinate(restoredID(restored))
+	return nil
+}
+
+func restoredID(m *checkpointMeta) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.ID
+}
+
+// latestCheckpoint loads the newest completed checkpoint metadata.
+func (j *Job) latestCheckpoint() *checkpointMeta {
+	keys := j.cfg.ObjStore.List(j.cfg.JobID + "/meta/")
+	if len(keys) == 0 {
+		return nil
+	}
+	data, ok := j.cfg.ObjStore.Get(keys[len(keys)-1])
+	if !ok {
+		return nil
+	}
+	var m checkpointMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil
+	}
+	return &m
+}
+
+// coordinate triggers barriers on the interval and finalizes checkpoints:
+// once every subtask has acknowledged its snapshot, the checkpoint is
+// durable, the metadata is written, and subtasks are told to commit their
+// pre-committed transactions (output becomes visible only now — the
+// latency coupling of Figure 5.b).
+func (j *Job) coordinate(fromID int64) {
+	defer j.wg.Done()
+	id := fromID
+	ticker := time.NewTicker(j.cfg.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.stopCh:
+			return
+		case <-ticker.C:
+		}
+		id++
+		start := time.Now()
+		meta := checkpointMeta{ID: id, Offsets: make(map[int32]int64), Files: make(map[string][]int)}
+		acks := make(chan snapshotAck, len(j.subtasks))
+		for _, st := range j.subtasks {
+			st.requestBarrier(id, acks)
+		}
+		ok := true
+		for range j.subtasks {
+			select {
+			case ack := <-acks:
+				meta.Offsets[ack.partition] = ack.offset
+				meta.Files[fmt.Sprint(ack.partition)] = ack.files
+			case <-j.stopCh:
+				return
+			}
+		}
+		if !ok {
+			continue
+		}
+		data, _ := json.Marshal(meta)
+		j.cfg.ObjStore.Put(fmt.Sprintf("%s/meta/%020d", j.cfg.JobID, id), data)
+		// Notify completion: subtasks commit their pre-committed txns.
+		for _, st := range j.subtasks {
+			st.notifyComplete(id)
+		}
+		d := time.Since(start)
+		j.checkpoints.Add(1)
+		j.lastCkpt.Store(int64(d))
+		j.totalCkpt.Add(int64(d))
+	}
+}
+
+// Stop halts the job without a final checkpoint (crash-consistent: the
+// next Start restores the last completed checkpoint).
+func (j *Job) Stop() {
+	select {
+	case <-j.stopCh:
+	default:
+		close(j.stopCh)
+	}
+	j.wg.Wait()
+	for _, st := range j.subtasks {
+		st.close()
+	}
+}
+
+// Metrics snapshots progress counters.
+func (j *Job) Metrics() Metrics {
+	return Metrics{
+		Processed:       j.processed.Load(),
+		Emitted:         j.emitted.Load(),
+		Checkpoints:     j.checkpoints.Load(),
+		FilesUploaded:   j.files.Load(),
+		LastCheckpoint:  time.Duration(j.lastCkpt.Load()),
+		TotalCheckpoint: time.Duration(j.totalCkpt.Load()),
+	}
+}
+
+// --- subtask ---
+
+type snapshotAck struct {
+	partition int32
+	offset    int64
+	files     []int
+}
+
+type barrierReq struct {
+	id   int64
+	acks chan snapshotAck
+}
+
+// subtask runs one partition's source -> reduce -> 2PC sink pipeline.
+type subtask struct {
+	j         *Job
+	partition int32
+
+	consumer *client.Consumer
+	// Two alternating transactional producers, like Flink's producer pool:
+	// the pre-committed transaction of checkpoint N stays open on one
+	// producer while processing continues on the other.
+	producers [2]*client.Producer
+	active    int
+	// preCommitted holds the producer awaiting notifyCheckpointComplete.
+	preCommitted *client.Producer
+
+	state      map[string][]byte
+	dirtyFiles map[int]bool
+	offset     int64
+
+	barrierCh  chan barrierReq
+	completeCh chan int64
+}
+
+func newSubtask(j *Job, partition int32, restored *checkpointMeta) (*subtask, error) {
+	st := &subtask{
+		j:          j,
+		partition:  partition,
+		state:      make(map[string][]byte),
+		dirtyFiles: make(map[int]bool),
+		barrierCh:  make(chan barrierReq, 4),
+		completeCh: make(chan int64, 4),
+	}
+	st.consumer = client.NewConsumer(j.cfg.Net, client.ConsumerConfig{
+		Controller: j.cfg.Controller,
+		Isolation:  protocol.ReadCommitted,
+		Reset:      client.ResetEarliest,
+	})
+	for i := 0; i < 2; i++ {
+		p, err := client.NewProducer(j.cfg.Net, client.ProducerConfig{
+			Controller:      j.cfg.Controller,
+			TransactionalID: fmt.Sprintf("%s-sink-%d-%d", j.cfg.JobID, partition, i),
+			TxnTimeout:      30 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.producers[i] = p
+	}
+	// Restore keyed state and the source offset from the checkpoint.
+	if restored != nil {
+		st.offset = restored.Offsets[partition]
+		for _, key := range j.cfg.ObjStore.List(st.filePrefix()) {
+			data, ok := j.cfg.ObjStore.Get(key)
+			if ok {
+				st.loadFile(data)
+			}
+		}
+	}
+	tp := protocol.TopicPartition{Topic: j.cfg.InputTopic, Partition: partition}
+	st.consumer.Assign(tp)
+	st.consumer.Seek(tp, st.offset)
+	return st, nil
+}
+
+func (st *subtask) filePrefix() string {
+	return fmt.Sprintf("%s/state/%d/", st.j.cfg.JobID, st.partition)
+}
+
+func (st *subtask) fileOf(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32()) % st.j.cfg.StateFiles
+}
+
+func (st *subtask) requestBarrier(id int64, acks chan snapshotAck) {
+	select {
+	case st.barrierCh <- barrierReq{id: id, acks: acks}:
+	case <-st.j.stopCh:
+	}
+}
+
+func (st *subtask) notifyComplete(id int64) {
+	select {
+	case st.completeCh <- id:
+	case <-st.j.stopCh:
+	}
+}
+
+func (st *subtask) run() {
+	defer st.j.wg.Done()
+	if err := st.producers[st.active].BeginTxn(); err != nil {
+		return
+	}
+	for {
+		select {
+		case <-st.j.stopCh:
+			return
+		case req := <-st.barrierCh:
+			// Barrier received (aligned by construction): snapshot state,
+			// pre-commit the sink transaction, switch producers.
+			st.snapshot(req)
+		case id := <-st.completeCh:
+			_ = id
+			if st.preCommitted != nil {
+				st.preCommitted.CommitTxn()
+				st.preCommitted = nil
+			}
+		default:
+			msgs, err := st.consumer.Poll()
+			if err != nil {
+				return
+			}
+			if len(msgs) == 0 {
+				select {
+				case <-st.j.stopCh:
+					return
+				case <-time.After(st.j.cfg.PollInterval):
+				}
+				continue
+			}
+			for _, m := range msgs {
+				st.process(m)
+			}
+		}
+	}
+}
+
+func (st *subtask) process(m client.Message) {
+	key := string(m.Record.Key)
+	next := st.j.cfg.Reduce(st.state[key], m.Record.Value)
+	st.state[key] = next
+	st.dirtyFiles[st.fileOf(m.Record.Key)] = true
+	st.offset = m.Offset + 1
+	st.j.processed.Add(1)
+	// Emit through the open (uncommitted) transaction; downstream
+	// read-committed consumers will not see it until the checkpoint
+	// completes and the txn commits.
+	st.producers[st.active].SendTo(
+		protocol.TopicPartition{Topic: st.j.cfg.OutputTopic, Partition: st.partition % st.outputParts()},
+		protocol.Record{Key: m.Record.Key, Value: next, Timestamp: m.Record.Timestamp},
+	)
+	st.j.emitted.Add(1)
+}
+
+var outputPartsCache sync.Map // topic -> int32 per (net is shared in-process)
+
+func (st *subtask) outputParts() int32 {
+	if v, ok := outputPartsCache.Load(st.j.cfg.JobID + "/" + st.j.cfg.OutputTopic); ok {
+		return v.(int32)
+	}
+	admin := client.NewAdmin(st.j.cfg.Net, st.j.cfg.Controller)
+	defer admin.Close()
+	n, err := admin.Partitions(st.j.cfg.OutputTopic)
+	if err != nil || n <= 0 {
+		n = 1
+	}
+	outputPartsCache.Store(st.j.cfg.JobID+"/"+st.j.cfg.OutputTopic, n)
+	return n
+}
+
+// snapshot uploads dirty state files (per-file incremental checkpointing),
+// pre-commits the sink transaction, and acknowledges to the coordinator.
+func (st *subtask) snapshot(req barrierReq) {
+	var uploaded []int
+	for fid := range st.dirtyFiles {
+		st.j.cfg.ObjStore.Put(fmt.Sprintf("%s%06d", st.filePrefix(), fid), st.encodeFile(fid))
+		uploaded = append(uploaded, fid)
+		st.j.files.Add(1)
+	}
+	st.dirtyFiles = make(map[int]bool)
+
+	// Two-phase-commit sink, phase one: flush everything; the transaction
+	// stays open until the coordinator confirms the checkpoint.
+	cur := st.producers[st.active]
+	cur.Flush()
+	st.preCommitted = cur
+	st.active = 1 - st.active
+	st.producers[st.active].BeginTxn()
+
+	select {
+	case req.acks <- snapshotAck{partition: st.partition, offset: st.offset, files: uploaded}:
+	case <-st.j.stopCh:
+	}
+}
+
+// encodeFile serializes every key hashed to the file.
+func (st *subtask) encodeFile(fid int) []byte {
+	var out []byte
+	var scratch [4]byte
+	for k, v := range st.state {
+		if st.fileOf([]byte(k)) != fid {
+			continue
+		}
+		binary.BigEndian.PutUint32(scratch[:], uint32(len(k)))
+		out = append(out, scratch[:]...)
+		out = append(out, k...)
+		binary.BigEndian.PutUint32(scratch[:], uint32(len(v)))
+		out = append(out, scratch[:]...)
+		out = append(out, v...)
+	}
+	return out
+}
+
+func (st *subtask) loadFile(data []byte) {
+	for len(data) >= 4 {
+		kn := binary.BigEndian.Uint32(data[:4])
+		data = data[4:]
+		if int(kn) > len(data) {
+			return
+		}
+		k := string(data[:kn])
+		data = data[kn:]
+		if len(data) < 4 {
+			return
+		}
+		vn := binary.BigEndian.Uint32(data[:4])
+		data = data[4:]
+		if int(vn) > len(data) {
+			return
+		}
+		st.state[k] = append([]byte(nil), data[:vn]...)
+		data = data[vn:]
+	}
+}
+
+func (st *subtask) close() {
+	st.consumer.Close()
+	for _, p := range st.producers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package flinklike
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/cluster"
+	"kstreams/internal/objstore"
+	"kstreams/internal/protocol"
+)
+
+func sumReduce(state, value []byte) []byte {
+	var cur int64
+	if len(state) == 8 {
+		cur = int64(binary.BigEndian.Uint64(state))
+	}
+	var v int64
+	if len(value) == 8 {
+		v = int64(binary.BigEndian.Uint64(value))
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(cur+v))
+	return out
+}
+
+func i64b(v int64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, uint64(v))
+	return out
+}
+
+func testSetup(t *testing.T, parts int32) (*cluster.Cluster, *objstore.Store) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Brokers: 3, TxnTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for _, topic := range []string{"fin", "fout"} {
+		if err := c.CreateTopic(topic, parts, 0, protocol.TopicConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, objstore.New(objstore.Config{})
+}
+
+func produceInts(t *testing.T, c *cluster.Cluster, topic string, keys []string, each int) {
+	t.Helper()
+	if err := produceIntsErr(c, topic, keys, each); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func produceIntsErr(c *cluster.Cluster, topic string, keys []string, each int) error {
+	p, err := client.NewProducer(c.Net(), client.ProducerConfig{Controller: c.Controller(), Idempotent: true})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	for i := 0; i < each; i++ {
+		for _, k := range keys {
+			if err := p.Send(topic, protocol.Record{
+				Key: []byte(k), Value: i64b(1), Timestamp: int64(i),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return p.Flush()
+}
+
+// readFinal folds the read-committed output into latest-value-per-key.
+func readFinal(t *testing.T, c *cluster.Cluster, topic string, parts int32,
+	want func(map[string]int64) bool, timeout time.Duration) map[string]int64 {
+	t.Helper()
+	cons := client.NewConsumer(c.Net(), client.ConsumerConfig{
+		Controller: c.Controller(), Isolation: protocol.ReadCommitted,
+	})
+	defer cons.Close()
+	var tps []protocol.TopicPartition
+	for p := int32(0); p < parts; p++ {
+		tps = append(tps, protocol.TopicPartition{Topic: topic, Partition: p})
+	}
+	cons.Assign(tps...)
+	out := map[string]int64{}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			out[string(m.Record.Key)] = int64(binary.BigEndian.Uint64(m.Record.Value))
+		}
+		if want(out) {
+			return out
+		}
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return out
+}
+
+func TestCheckpointGatesOutputVisibility(t *testing.T) {
+	c, os := testSetup(t, 1)
+	job, err := NewJob(Config{
+		Net: c.Net(), Controller: c.Controller(),
+		JobID: "vis", InputTopic: "fin", OutputTopic: "fout",
+		Parallelism: 1, CheckpointInterval: 300 * time.Millisecond,
+		ObjStore: os, Reduce: sumReduce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	produceInts(t, c, "fin", []string{"k"}, 5)
+
+	// Before the first checkpoint completes, read-committed sees nothing.
+	early := readFinal(t, c, "fout", 1, func(m map[string]int64) bool { return len(m) > 0 }, 150*time.Millisecond)
+	if len(early) != 0 {
+		t.Fatalf("output visible before checkpoint: %v", early)
+	}
+	final := readFinal(t, c, "fout", 1, func(m map[string]int64) bool { return m["k"] == 5 }, 10*time.Second)
+	if final["k"] != 5 {
+		t.Fatalf("final sum = %v, want 5 (metrics %+v)", final, job.Metrics())
+	}
+	m := job.Metrics()
+	if m.Checkpoints == 0 || m.FilesUploaded == 0 {
+		t.Fatalf("no checkpoints recorded: %+v", m)
+	}
+	puts, _, _ := os.Stats()
+	if puts == 0 {
+		t.Fatal("no objects uploaded")
+	}
+}
+
+func TestExactlyOnceAcrossJobRestart(t *testing.T) {
+	c, os := testSetup(t, 2)
+	mk := func() *Job {
+		job, err := NewJob(Config{
+			Net: c.Net(), Controller: c.Controller(),
+			JobID: "eos", InputTopic: "fin", OutputTopic: "fout",
+			Parallelism: 2, CheckpointInterval: 100 * time.Millisecond,
+			ObjStore: os, Reduce: sumReduce,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+	job := mk()
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := []string{"a", "b", "c", "d"}
+	prodDone := make(chan error, 1)
+	go func() {
+		prodDone <- produceIntsErr(c, "fin", keys, 100)
+	}()
+
+	// Let it checkpoint at least once, then kill it mid-flight.
+	time.Sleep(350 * time.Millisecond)
+	job.Stop()
+
+	job2 := mk()
+	if err := job2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer job2.Stop()
+
+	if err := <-prodDone; err != nil {
+		t.Fatal(err)
+	}
+	final := readFinal(t, c, "fout", 2, func(m map[string]int64) bool {
+		for _, k := range keys {
+			if m[k] != 100 {
+				return false
+			}
+		}
+		return true
+	}, 30*time.Second)
+	for _, k := range keys {
+		if final[k] != 100 {
+			t.Fatalf("key %s = %d, want 100 (duplicates or loss across restart); metrics=%+v",
+				k, final[k], job2.Metrics())
+		}
+	}
+}
+
+func TestIncrementalCheckpointUploadsOnlyDirtyFiles(t *testing.T) {
+	c, os := testSetup(t, 1)
+	job, err := NewJob(Config{
+		Net: c.Net(), Controller: c.Controller(),
+		JobID: "inc", InputTopic: "fin", OutputTopic: "fout",
+		Parallelism: 1, CheckpointInterval: 100 * time.Millisecond,
+		ObjStore: os, Reduce: sumReduce, StateFiles: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	// One hot key: every checkpoint should upload ~1 state file, not 16.
+	produceInts(t, c, "fin", []string{"hot"}, 50)
+	readFinal(t, c, "fout", 1, func(m map[string]int64) bool { return m["hot"] == 50 }, 10*time.Second)
+
+	m := job.Metrics()
+	if m.Checkpoints == 0 {
+		t.Fatal("no checkpoints")
+	}
+	perCkpt := float64(m.FilesUploaded) / float64(m.Checkpoints)
+	if perCkpt > 2 {
+		t.Fatalf("%.1f files per checkpoint for a single hot key, want ~1 (incremental broken)", perCkpt)
+	}
+}
+
+func TestCheckpointIntervalDrivesLatency(t *testing.T) {
+	// The Figure 5.b mechanism in miniature: end-to-end latency is bounded
+	// below by the checkpoint interval, because the 2PC sink only commits
+	// on checkpoint completion.
+	c, os := testSetup(t, 1)
+	interval := 400 * time.Millisecond
+	job, err := NewJob(Config{
+		Net: c.Net(), Controller: c.Controller(),
+		JobID: "lat", InputTopic: "fin", OutputTopic: "fout",
+		Parallelism: 1, CheckpointInterval: interval,
+		ObjStore: os, Reduce: sumReduce,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+
+	time.Sleep(50 * time.Millisecond) // let the first barrier cycle settle
+	start := time.Now()
+	produceInts(t, c, "fin", []string{"k"}, 1)
+	readFinal(t, c, "fout", 1, func(m map[string]int64) bool { return m["k"] == 1 }, 10*time.Second)
+	e2e := time.Since(start)
+	if e2e < interval/4 {
+		t.Fatalf("end-to-end latency %v implausibly below the checkpoint gate (interval %v)", e2e, interval)
+	}
+}
+
+func TestJobMetricsAndStateEncoding(t *testing.T) {
+	st := &subtask{j: &Job{cfg: Config{StateFiles: 4}}, state: map[string][]byte{}}
+	st.j.cfg.fill()
+	st.state["alpha"] = []byte("1")
+	st.state["beta"] = []byte("22")
+	fidA := st.fileOf([]byte("alpha"))
+	data := st.encodeFile(fidA)
+	st2 := &subtask{j: st.j, state: map[string][]byte{}}
+	st2.loadFile(data)
+	if string(st2.state["alpha"]) != "1" {
+		t.Fatalf("file roundtrip lost alpha: %v", st2.state)
+	}
+	for k := range st2.state {
+		if st.fileOf([]byte(k)) != fidA {
+			t.Fatalf("file contains foreign key %q", k)
+		}
+	}
+	// Corrupt/truncated files load what they can without panicking.
+	st3 := &subtask{j: st.j, state: map[string][]byte{}}
+	st3.loadFile(data[:len(data)-1])
+	st3.loadFile([]byte{0, 0})
+	_ = fmt.Sprint(st3.state)
+}

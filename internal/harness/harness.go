@@ -1,0 +1,215 @@
+// Package harness provides the measurement plumbing for the experiment
+// suite: latency recording with percentiles, throughput windows, fixed-rate
+// pacing, and figure/table renderers that print the same rows and series
+// the paper's evaluation reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Latencies records latency samples and reports percentiles.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (l *Latencies) Add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100), or 0 if empty.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), l.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p/100*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Mean returns the average sample, or 0 if empty.
+func (l *Latencies) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Summary formats count/mean/p50/p99.
+func (l *Latencies) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v",
+		l.Count(), l.Mean().Round(time.Microsecond),
+		l.Percentile(50).Round(time.Microsecond),
+		l.Percentile(99).Round(time.Microsecond))
+}
+
+// Pacer emits load at a fixed rate.
+type Pacer struct {
+	interval time.Duration
+	next     time.Time
+}
+
+// NewPacer targets ratePerSec events per second.
+func NewPacer(ratePerSec float64) *Pacer {
+	if ratePerSec <= 0 {
+		return &Pacer{}
+	}
+	return &Pacer{interval: time.Duration(float64(time.Second) / ratePerSec)}
+}
+
+// Wait blocks until the next slot; zero-rate pacers never block.
+func (p *Pacer) Wait() {
+	if p.interval == 0 {
+		return
+	}
+	now := time.Now()
+	if p.next.IsZero() {
+		p.next = now
+	}
+	if d := p.next.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+	p.next = p.next.Add(p.interval)
+}
+
+// Table renders experiment rows aligned like the paper's tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable sets the column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Add appends a row (values are formatted with %v).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(100 * time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Counter tracks throughput over a wall-clock window.
+type Counter struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Time
+}
+
+// NewCounter starts the window now.
+func NewCounter() *Counter { return &Counter{start: time.Now()} }
+
+// Add counts n events.
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+// Rate returns events/second since the window started.
+func (c *Counter) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := time.Since(c.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(c.n) / el
+}
+
+// Total returns the event count.
+func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

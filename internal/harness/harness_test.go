@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatenciesPercentiles(t *testing.T) {
+	l := &Latencies{}
+	if l.Percentile(50) != 0 || l.Mean() != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if !strings.Contains(l.Summary(), "n=100") {
+		t.Fatalf("summary = %q", l.Summary())
+	}
+}
+
+func TestPacerRate(t *testing.T) {
+	p := NewPacer(1000) // 1ms interval
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		p.Wait()
+	}
+	el := time.Since(start)
+	if el < 15*time.Millisecond {
+		t.Fatalf("20 events at 1000/s took only %v", el)
+	}
+	// Zero rate never blocks.
+	z := NewPacer(0)
+	start = time.Now()
+	for i := 0; i < 1000; i++ {
+		z.Wait()
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("zero-rate pacer blocked")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value", "ratio")
+	tb.Add("alpha", 42, 3.14159)
+	tb.Add("a-very-long-name", time.Duration(1500)*time.Microsecond, 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and separator have equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add(10)
+	c.Add(5)
+	if c.Total() != 15 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	time.Sleep(10 * time.Millisecond)
+	if c.Rate() <= 0 {
+		t.Fatalf("rate = %f", c.Rate())
+	}
+}

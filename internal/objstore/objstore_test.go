@@ -1,0 +1,70 @@
+package objstore
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(Config{})
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing object returned")
+	}
+	s.Put("a/b", []byte("hello"))
+	got, ok := s.Get("a/b")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("get: %q %v", got, ok)
+	}
+	// Stored data is isolated from caller mutations.
+	data := []byte("mut")
+	s.Put("m", data)
+	data[0] = 'X'
+	if got, _ := s.Get("m"); string(got) != "mut" {
+		t.Fatalf("aliasing: %q", got)
+	}
+	got2, _ := s.Get("m")
+	got2[0] = 'Y'
+	if got3, _ := s.Get("m"); string(got3) != "mut" {
+		t.Fatalf("returned slice aliases store: %q", got3)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	s := New(Config{})
+	s.Put("job/meta/001", nil)
+	s.Put("job/meta/002", nil)
+	s.Put("job/state/0", nil)
+	got := s.List("job/meta/")
+	if !reflect.DeepEqual(got, []string{"job/meta/001", "job/meta/002"}) {
+		t.Fatalf("list: %v", got)
+	}
+	s.Delete("job/meta/001")
+	if got := s.List("job/meta/"); len(got) != 1 {
+		t.Fatalf("after delete: %v", got)
+	}
+	s.Delete("nope") // idempotent
+}
+
+func TestLatencyCharged(t *testing.T) {
+	s := New(Config{PutLatency: 5 * time.Millisecond, PerKB: time.Millisecond})
+	start := time.Now()
+	s.Put("k", make([]byte, 4096)) // 5ms + 4ms
+	if d := time.Since(start); d < 8*time.Millisecond {
+		t.Fatalf("put took only %v", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(Config{})
+	s.Put("a", make([]byte, 10))
+	s.Put("b", make([]byte, 20))
+	s.Get("a")
+	puts, gets, bytes := s.Stats()
+	if puts != 2 || gets != 1 || bytes != 30 {
+		t.Fatalf("stats: %d %d %d", puts, gets, bytes)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string form")
+	}
+}

@@ -1,0 +1,297 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// RecordBatch is the unit of appending, replication, and fetching. All
+// records in a batch share the producer identity and transactional flag;
+// sequence numbers are inferred monotonically from BaseSequence (paper
+// Section 4.1: only the first record's sequence number is encoded).
+type RecordBatch struct {
+	// BaseOffset is the log offset of the first record, assigned by the
+	// leader on append. Producers send it as 0.
+	BaseOffset int64
+	// ProducerID and ProducerEpoch identify the (possibly idempotent or
+	// transactional) producer session. NoProducerID means a plain append.
+	ProducerID    int64
+	ProducerEpoch int16
+	// BaseSequence is the per-partition sequence number of the first record,
+	// used by brokers to de-duplicate retried appends.
+	BaseSequence int32
+	// Transactional marks the batch as part of an ongoing transaction;
+	// read-committed consumers withhold it until a marker resolves it.
+	Transactional bool
+	// Control marks a transaction marker batch written by the coordinator.
+	Control bool
+	Records []Record
+}
+
+// LastOffset returns the offset of the final record in the batch.
+func (b *RecordBatch) LastOffset() int64 {
+	return b.BaseOffset + int64(len(b.Records)) - 1
+}
+
+// LastSequence returns the sequence number of the final record, or
+// NoSequence for non-idempotent batches.
+func (b *RecordBatch) LastSequence() int32 {
+	if b.BaseSequence == NoSequence {
+		return NoSequence
+	}
+	return b.BaseSequence + int32(len(b.Records)) - 1
+}
+
+// MaxTimestamp returns the largest record timestamp in the batch.
+func (b *RecordBatch) MaxTimestamp() int64 {
+	var max int64 = -1
+	for i := range b.Records {
+		if b.Records[i].Timestamp > max {
+			max = b.Records[i].Timestamp
+		}
+	}
+	return max
+}
+
+// Marker decodes the control marker carried by a control batch.
+func (b *RecordBatch) Marker() (ControlMarker, error) {
+	if !b.Control || len(b.Records) != 1 {
+		return ControlMarker{}, errors.New("protocol: not a control batch")
+	}
+	return DecodeMarker(b.Records[0].Value)
+}
+
+const (
+	batchMagic byte = 2
+
+	flagTransactional byte = 1 << 0
+	flagControl       byte = 1 << 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptBatch reports a CRC mismatch or malformed framing on decode.
+var ErrCorruptBatch = errors.New("protocol: corrupt record batch")
+
+// EncodeBatch serializes the batch with a leading total-length frame so that
+// consecutive batches can be scanned out of a segment file. Layout after the
+// uint32 length: magic, flags, crc32c (over the remainder), baseOffset,
+// producerID, producerEpoch, baseSequence, recordCount, records.
+func EncodeBatch(b *RecordBatch) []byte {
+	body := make([]byte, 0, 64+32*len(b.Records))
+	var scratch [8]byte
+
+	put64 := func(v int64) {
+		binary.BigEndian.PutUint64(scratch[:8], uint64(v))
+		body = append(body, scratch[:8]...)
+	}
+	put32 := func(v int32) {
+		binary.BigEndian.PutUint32(scratch[:4], uint32(v))
+		body = append(body, scratch[:4]...)
+	}
+	put16 := func(v int16) {
+		binary.BigEndian.PutUint16(scratch[:2], uint16(v))
+		body = append(body, scratch[:2]...)
+	}
+	putBytes := func(p []byte) {
+		if p == nil {
+			put32(-1)
+			return
+		}
+		put32(int32(len(p)))
+		body = append(body, p...)
+	}
+
+	put64(b.BaseOffset)
+	put64(b.ProducerID)
+	put16(b.ProducerEpoch)
+	put32(b.BaseSequence)
+	put32(int32(len(b.Records)))
+	for i := range b.Records {
+		r := &b.Records[i]
+		put64(r.Timestamp)
+		putBytes(r.Key)
+		putBytes(r.Value)
+		put32(int32(len(r.Headers)))
+		for _, h := range r.Headers {
+			putBytes([]byte(h.Key))
+			putBytes(h.Value)
+		}
+	}
+
+	var flags byte
+	if b.Transactional {
+		flags |= flagTransactional
+	}
+	if b.Control {
+		flags |= flagControl
+	}
+	crc := crc32.Checksum(body, castagnoli)
+
+	out := make([]byte, 4+2+4+len(body))
+	binary.BigEndian.PutUint32(out[0:4], uint32(2+4+len(body)))
+	out[4] = batchMagic
+	out[5] = flags
+	binary.BigEndian.PutUint32(out[6:10], crc)
+	copy(out[10:], body)
+	return out
+}
+
+// DecodeBatch reads one length-framed batch from the front of buf and
+// returns it together with the total number of bytes consumed.
+func DecodeBatch(buf []byte) (RecordBatch, int, error) {
+	if len(buf) < 4 {
+		return RecordBatch{}, 0, ErrCorruptBatch
+	}
+	frame := int(binary.BigEndian.Uint32(buf[0:4]))
+	if frame < 6 || len(buf) < 4+frame {
+		return RecordBatch{}, 0, ErrCorruptBatch
+	}
+	total := 4 + frame
+	if buf[4] != batchMagic {
+		return RecordBatch{}, 0, fmt.Errorf("%w: bad magic %d", ErrCorruptBatch, buf[4])
+	}
+	flags := buf[5]
+	crc := binary.BigEndian.Uint32(buf[6:10])
+	body := buf[10:total]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return RecordBatch{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorruptBatch)
+	}
+
+	pos := 0
+	fail := func() (RecordBatch, int, error) { return RecordBatch{}, 0, ErrCorruptBatch }
+	get64 := func() (int64, bool) {
+		if pos+8 > len(body) {
+			return 0, false
+		}
+		v := int64(binary.BigEndian.Uint64(body[pos : pos+8]))
+		pos += 8
+		return v, true
+	}
+	get32 := func() (int32, bool) {
+		if pos+4 > len(body) {
+			return 0, false
+		}
+		v := int32(binary.BigEndian.Uint32(body[pos : pos+4]))
+		pos += 4
+		return v, true
+	}
+	get16 := func() (int16, bool) {
+		if pos+2 > len(body) {
+			return 0, false
+		}
+		v := int16(binary.BigEndian.Uint16(body[pos : pos+2]))
+		pos += 2
+		return v, true
+	}
+	getBytes := func() ([]byte, bool) {
+		n, ok := get32()
+		if !ok {
+			return nil, false
+		}
+		if n < 0 {
+			return nil, true
+		}
+		if pos+int(n) > len(body) {
+			return nil, false
+		}
+		p := make([]byte, n)
+		copy(p, body[pos:pos+int(n)])
+		pos += int(n)
+		return p, true
+	}
+
+	var b RecordBatch
+	b.Transactional = flags&flagTransactional != 0
+	b.Control = flags&flagControl != 0
+
+	var ok bool
+	if b.BaseOffset, ok = get64(); !ok {
+		return fail()
+	}
+	if b.ProducerID, ok = get64(); !ok {
+		return fail()
+	}
+	if b.ProducerEpoch, ok = get16(); !ok {
+		return fail()
+	}
+	if b.BaseSequence, ok = get32(); !ok {
+		return fail()
+	}
+	count, ok := get32()
+	if !ok || count < 0 {
+		return fail()
+	}
+	b.Records = make([]Record, 0, count)
+	for i := int32(0); i < count; i++ {
+		var r Record
+		if r.Timestamp, ok = get64(); !ok {
+			return fail()
+		}
+		if r.Key, ok = getBytes(); !ok {
+			return fail()
+		}
+		if r.Value, ok = getBytes(); !ok {
+			return fail()
+		}
+		hc, ok := get32()
+		if !ok || hc < 0 {
+			return fail()
+		}
+		for j := int32(0); j < hc; j++ {
+			k, ok := getBytes()
+			if !ok {
+				return fail()
+			}
+			v, ok := getBytes()
+			if !ok {
+				return fail()
+			}
+			r.Headers = append(r.Headers, Header{Key: string(k), Value: v})
+		}
+		b.Records = append(b.Records, r)
+	}
+	if pos != len(body) {
+		return fail()
+	}
+	return b, total, nil
+}
+
+// EncodeMarker serializes a control marker into a record value.
+func EncodeMarker(m ControlMarker) []byte {
+	out := make([]byte, 5)
+	out[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(out[1:5], uint32(m.CoordinatorEpoch))
+	return out
+}
+
+// DecodeMarker parses a control marker from a control record's value.
+func DecodeMarker(p []byte) (ControlMarker, error) {
+	if len(p) != 5 {
+		return ControlMarker{}, fmt.Errorf("protocol: marker payload length %d", len(p))
+	}
+	m := ControlMarker{
+		Type:             MarkerType(p[0]),
+		CoordinatorEpoch: int32(binary.BigEndian.Uint32(p[1:5])),
+	}
+	if m.Type != MarkerCommit && m.Type != MarkerAbort {
+		return ControlMarker{}, fmt.Errorf("protocol: unknown marker type %d", p[0])
+	}
+	return m, nil
+}
+
+// NewMarkerBatch builds the control batch the transaction coordinator
+// appends to each registered partition during phase two of a commit or
+// abort (paper Figure 4.f).
+func NewMarkerBatch(pid int64, epoch int16, now int64, m ControlMarker) *RecordBatch {
+	return &RecordBatch{
+		ProducerID:    pid,
+		ProducerEpoch: epoch,
+		BaseSequence:  NoSequence,
+		Transactional: true,
+		Control:       true,
+		Records:       []Record{{Timestamp: now, Value: EncodeMarker(m)}},
+	}
+}

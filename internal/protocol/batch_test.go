@@ -1,0 +1,249 @@
+package protocol
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleBatch() *RecordBatch {
+	return &RecordBatch{
+		BaseOffset:    42,
+		ProducerID:    7,
+		ProducerEpoch: 3,
+		BaseSequence:  100,
+		Transactional: true,
+		Records: []Record{
+			{Key: []byte("k1"), Value: []byte("v1"), Timestamp: 1111},
+			{Key: nil, Value: []byte("v2"), Timestamp: 2222,
+				Headers: []Header{{Key: "h", Value: []byte("hv")}}},
+			{Key: []byte("k3"), Value: nil, Timestamp: 3333},
+		},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := sampleBatch()
+	buf := EncodeBatch(in)
+	out, n, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("roundtrip mismatch:\n in=%+v\nout=%+v", *in, out)
+	}
+}
+
+func TestBatchRoundTripEmptyAndNil(t *testing.T) {
+	in := &RecordBatch{
+		BaseSequence: NoSequence,
+		ProducerID:   NoProducerID,
+		Records: []Record{
+			{Key: []byte{}, Value: []byte{}, Timestamp: 0},
+		},
+	}
+	out, _, err := DecodeBatch(EncodeBatch(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Records[0].Key == nil || out.Records[0].Value == nil {
+		t.Fatalf("empty (non-nil) slices must stay non-nil, got %+v", out.Records[0])
+	}
+	in2 := &RecordBatch{Records: []Record{{Timestamp: 5}}}
+	out2, _, err := DecodeBatch(EncodeBatch(in2))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out2.Records[0].Key != nil || out2.Records[0].Value != nil {
+		t.Fatalf("nil slices must stay nil, got %+v", out2.Records[0])
+	}
+}
+
+func TestBatchScanMultiple(t *testing.T) {
+	var buf []byte
+	var want []RecordBatch
+	for i := 0; i < 5; i++ {
+		b := sampleBatch()
+		b.BaseOffset = int64(i * 10)
+		want = append(want, *b)
+		buf = append(buf, EncodeBatch(b)...)
+	}
+	var got []RecordBatch
+	for len(buf) > 0 {
+		b, n, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got = append(got, b)
+		buf = buf[n:]
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("scan mismatch: want %d batches, got %d", len(want), len(got))
+	}
+}
+
+func TestBatchCorruptionDetected(t *testing.T) {
+	buf := EncodeBatch(sampleBatch())
+	for _, i := range []int{4, 6, 10, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0xff
+		if _, _, err := DecodeBatch(bad); err == nil {
+			t.Errorf("flipping byte %d went undetected", i)
+		}
+	}
+	if _, _, err := DecodeBatch(buf[:3]); err == nil {
+		t.Error("truncated frame went undetected")
+	}
+	if _, _, err := DecodeBatch(buf[:len(buf)-2]); err == nil {
+		t.Error("short buffer went undetected")
+	}
+}
+
+func TestBatchDerivedFields(t *testing.T) {
+	b := sampleBatch()
+	if got := b.LastOffset(); got != 44 {
+		t.Errorf("LastOffset = %d, want 44", got)
+	}
+	if got := b.LastSequence(); got != 102 {
+		t.Errorf("LastSequence = %d, want 102", got)
+	}
+	if got := b.MaxTimestamp(); got != 3333 {
+		t.Errorf("MaxTimestamp = %d, want 3333", got)
+	}
+	b.BaseSequence = NoSequence
+	if got := b.LastSequence(); got != NoSequence {
+		t.Errorf("LastSequence = %d, want NoSequence", got)
+	}
+}
+
+func TestMarkerRoundTrip(t *testing.T) {
+	for _, typ := range []MarkerType{MarkerCommit, MarkerAbort} {
+		m := ControlMarker{Type: typ, CoordinatorEpoch: 9}
+		got, err := DecodeMarker(EncodeMarker(m))
+		if err != nil {
+			t.Fatalf("decode %v: %v", typ, err)
+		}
+		if got != m {
+			t.Errorf("roundtrip %v: got %+v", typ, got)
+		}
+	}
+	if _, err := DecodeMarker([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown marker type accepted")
+	}
+	if _, err := DecodeMarker([]byte{1}); err == nil {
+		t.Error("short marker accepted")
+	}
+}
+
+func TestMarkerBatch(t *testing.T) {
+	mb := NewMarkerBatch(5, 2, 1234, ControlMarker{Type: MarkerAbort, CoordinatorEpoch: 1})
+	out, _, err := DecodeBatch(EncodeBatch(mb))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !out.Control || !out.Transactional {
+		t.Fatalf("marker batch flags lost: %+v", out)
+	}
+	m, err := out.Marker()
+	if err != nil {
+		t.Fatalf("Marker: %v", err)
+	}
+	if m.Type != MarkerAbort || m.CoordinatorEpoch != 1 {
+		t.Errorf("marker = %+v", m)
+	}
+	data := sampleBatch()
+	if _, err := data.Marker(); err == nil {
+		t.Error("Marker on data batch should fail")
+	}
+}
+
+// genRecords builds a random but valid record slice from quick-generated
+// bytes, keeping sizes small so the property test stays fast.
+func genRecords(r *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	blob := func() []byte {
+		if r.Intn(5) == 0 {
+			return nil
+		}
+		p := make([]byte, r.Intn(40))
+		r.Read(p)
+		return p
+	}
+	for i := range recs {
+		recs[i] = Record{Key: blob(), Value: blob(), Timestamp: r.Int63n(1 << 40)}
+		for j := r.Intn(3); j > 0; j-- {
+			recs[i].Headers = append(recs[i].Headers,
+				Header{Key: string(blob()), Value: blob()})
+		}
+	}
+	return recs
+}
+
+func TestBatchRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64, txn, ctrl bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := RecordBatch{
+			BaseOffset:    r.Int63n(1 << 32),
+			ProducerID:    r.Int63n(1000) - 1,
+			ProducerEpoch: int16(r.Intn(100)),
+			BaseSequence:  int32(r.Intn(1000)) - 1,
+			Transactional: txn,
+			Control:       ctrl,
+			Records:       genRecords(r, 1+r.Intn(8)),
+		}
+		buf := EncodeBatch(&in)
+		out, n, err := DecodeBatch(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchEncodeDeterministic(t *testing.T) {
+	a := EncodeBatch(sampleBatch())
+	b := EncodeBatch(sampleBatch())
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+func TestErrorCodes(t *testing.T) {
+	if ErrNone.Err() != nil {
+		t.Error("ErrNone.Err() must be nil")
+	}
+	err := ErrNotLeader.Err()
+	if err == nil || CodeOf(err) != ErrNotLeader {
+		t.Errorf("CodeOf roundtrip failed: %v", err)
+	}
+	if CodeOf(nil) != ErrNone {
+		t.Error("CodeOf(nil) must be ErrNone")
+	}
+	if !ErrNotLeader.Retriable() || ErrOutOfOrderSequence.Retriable() {
+		t.Error("retriable classification wrong")
+	}
+	if ErrorCode(999).String() == "" {
+		t.Error("unknown code must still format")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := Record{Key: []byte("k"), Value: []byte("v"), Timestamp: 1,
+		Headers: []Header{{Key: "h", Value: []byte("x")}}}
+	c := r.Clone()
+	r.Key[0] = 'z'
+	r.Value[0] = 'z'
+	r.Headers[0].Value[0] = 'z'
+	if string(c.Key) != "k" || string(c.Value) != "v" || string(c.Headers[0].Value) != "x" {
+		t.Fatalf("clone aliases original: %+v", c)
+	}
+}

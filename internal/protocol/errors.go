@@ -1,0 +1,139 @@
+package protocol
+
+import "fmt"
+
+// ErrorCode is the broker-side error taxonomy carried in RPC responses,
+// mirroring (a subset of) Kafka's protocol error codes. Code zero means
+// success so that zero-valued responses are OK responses.
+type ErrorCode int16
+
+const (
+	ErrNone ErrorCode = iota
+	// ErrUnknownTopicOrPartition: the topic or partition does not exist on
+	// this broker's metadata view.
+	ErrUnknownTopicOrPartition
+	// ErrNotLeader: this broker does not host the leader replica; the client
+	// must refresh metadata and retry.
+	ErrNotLeader
+	// ErrOutOfOrderSequence: an idempotent append skipped sequence numbers,
+	// indicating lost intermediate batches; the producer must fail.
+	ErrOutOfOrderSequence
+	// ErrDuplicateSequence: the batch was already appended; the broker
+	// acknowledges without re-appending. Clients treat this as success.
+	ErrDuplicateSequence
+	// ErrUnknownProducerID: the broker has no state for this producer id.
+	ErrUnknownProducerID
+	// ErrProducerFenced: a newer epoch for the same producer or
+	// transactional id exists; this producer is a zombie and must stop.
+	ErrProducerFenced
+	// ErrInvalidTxnState: the requested transition is illegal for the
+	// transaction's current state.
+	ErrInvalidTxnState
+	// ErrConcurrentTransactions: the previous transaction is still
+	// completing; the client should retry shortly.
+	ErrConcurrentTransactions
+	// ErrCoordinatorNotAvailable: the coordinator partition has no leader.
+	ErrCoordinatorNotAvailable
+	// ErrNotCoordinator: this broker is not the coordinator for the key.
+	ErrNotCoordinator
+	// ErrOffsetOutOfRange: a fetch offset is below the log start or above
+	// the log end offset.
+	ErrOffsetOutOfRange
+	// ErrRebalanceInProgress: the group is rebalancing; rejoin.
+	ErrRebalanceInProgress
+	// ErrUnknownMemberID: the member is not part of the group generation.
+	ErrUnknownMemberID
+	// ErrIllegalGeneration: the request's generation is stale.
+	ErrIllegalGeneration
+	// ErrTopicAlreadyExists: create-topic for an existing topic.
+	ErrTopicAlreadyExists
+	// ErrBrokerUnavailable: the target broker is crashed or unreachable.
+	ErrBrokerUnavailable
+	// ErrRequestTimedOut: the broker could not satisfy acks in time.
+	ErrRequestTimedOut
+	// ErrInvalidRecord: the batch failed validation (CRC, framing).
+	ErrInvalidRecord
+	// ErrTransactionAborted: the ongoing transaction was aborted (e.g. by
+	// timeout) and the producer must start a new one.
+	ErrTransactionAborted
+	// ErrGroupIDNotFound: offset fetch for an unknown group.
+	ErrGroupIDNotFound
+	// ErrUnstableOffsetCommit: a transactional offset commit for the
+	// requested partitions is awaiting its marker; fetch again shortly.
+	ErrUnstableOffsetCommit
+)
+
+var errText = map[ErrorCode]string{
+	ErrNone:                    "none",
+	ErrUnknownTopicOrPartition: "unknown topic or partition",
+	ErrNotLeader:               "not leader for partition",
+	ErrOutOfOrderSequence:      "out of order sequence number",
+	ErrDuplicateSequence:       "duplicate sequence number",
+	ErrUnknownProducerID:       "unknown producer id",
+	ErrProducerFenced:          "producer fenced by newer epoch",
+	ErrInvalidTxnState:         "invalid transaction state transition",
+	ErrConcurrentTransactions:  "concurrent transactions",
+	ErrCoordinatorNotAvailable: "coordinator not available",
+	ErrNotCoordinator:          "not coordinator",
+	ErrOffsetOutOfRange:        "offset out of range",
+	ErrRebalanceInProgress:     "group rebalance in progress",
+	ErrUnknownMemberID:         "unknown member id",
+	ErrIllegalGeneration:       "illegal generation",
+	ErrTopicAlreadyExists:      "topic already exists",
+	ErrBrokerUnavailable:       "broker unavailable",
+	ErrRequestTimedOut:         "request timed out",
+	ErrInvalidRecord:           "invalid record",
+	ErrTransactionAborted:      "transaction aborted",
+	ErrGroupIDNotFound:         "group id not found",
+	ErrUnstableOffsetCommit:    "unstable offset commit pending",
+}
+
+func (e ErrorCode) String() string {
+	if s, ok := errText[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("ErrorCode(%d)", int16(e))
+}
+
+// Err converts the code to a Go error, or nil for ErrNone.
+func (e ErrorCode) Err() error {
+	if e == ErrNone {
+		return nil
+	}
+	return &Error{Code: e}
+}
+
+// Retriable reports whether a client may transparently retry the request
+// (after refreshing metadata where appropriate).
+func (e ErrorCode) Retriable() bool {
+	switch e {
+	case ErrNotLeader, ErrConcurrentTransactions, ErrCoordinatorNotAvailable,
+		ErrNotCoordinator, ErrBrokerUnavailable, ErrRequestTimedOut,
+		ErrRebalanceInProgress, ErrUnstableOffsetCommit,
+		// A replica that has not (re)installed the partition yet reports
+		// it unknown; clients refresh metadata and retry, as in Kafka.
+		ErrUnknownTopicOrPartition:
+		return true
+	default:
+		return false
+	}
+}
+
+// Error wraps an ErrorCode as a Go error.
+type Error struct {
+	Code ErrorCode
+}
+
+func (e *Error) Error() string { return "kafka: " + e.Code.String() }
+
+// CodeOf extracts the ErrorCode from an error produced by Err, or ErrNone
+// for nil, or -1 for foreign errors.
+func CodeOf(err error) ErrorCode {
+	if err == nil {
+		return ErrNone
+	}
+	if pe, ok := err.(*Error); ok {
+		return pe.Code
+	}
+	return -1
+}

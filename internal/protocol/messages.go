@@ -1,0 +1,437 @@
+package protocol
+
+// This file defines the request/response vocabulary exchanged between
+// clients, brokers, and the controller. RPCs travel in-process through
+// internal/transport, so they stay as Go structs; only record batches (the
+// data that is persisted and replicated) use the binary codec in batch.go.
+
+// IsolationLevel selects which records a fetch may return.
+type IsolationLevel int8
+
+const (
+	// ReadUncommitted returns every appended record up to the high
+	// watermark, including open and aborted transactional data.
+	ReadUncommitted IsolationLevel = iota
+	// ReadCommitted returns records only up to the last stable offset and
+	// filters out aborted transactions (paper Section 4.2.3).
+	ReadCommitted
+)
+
+// CoordinatorType selects which coordinator FindCoordinator resolves.
+type CoordinatorType int8
+
+const (
+	CoordinatorGroup CoordinatorType = iota
+	CoordinatorTxn
+)
+
+// --- Metadata and admin ---
+
+// TopicConfig carries per-topic settings at creation time.
+type TopicConfig struct {
+	// Compacted enables log compaction (changelog topics): the cleaner
+	// retains only the latest record per key.
+	Compacted bool
+	// RetentionBytes bounds partition size for non-compacted topics;
+	// 0 means unlimited.
+	RetentionBytes int64
+}
+
+// CreateTopicRequest asks the controller to create a topic.
+type CreateTopicRequest struct {
+	Name              string
+	Partitions        int32
+	ReplicationFactor int
+	Config            TopicConfig
+}
+
+// CreateTopicResponse reports creation success or failure.
+type CreateTopicResponse struct {
+	Err ErrorCode
+}
+
+// MetadataRequest fetches cluster and topic metadata. Empty Topics means
+// all topics.
+type MetadataRequest struct {
+	Topics []string
+}
+
+// PartitionMetadata describes one partition's replica placement.
+type PartitionMetadata struct {
+	Partition   int32
+	Leader      int32 // broker id, -1 if none
+	LeaderEpoch int32
+	Replicas    []int32
+	ISR         []int32
+}
+
+// TopicMetadata describes one topic.
+type TopicMetadata struct {
+	Name       string
+	Err        ErrorCode
+	Config     TopicConfig
+	Partitions []PartitionMetadata
+}
+
+// MetadataResponse lists live brokers and requested topics.
+type MetadataResponse struct {
+	Brokers []int32
+	Topics  []TopicMetadata
+}
+
+// --- Produce / fetch ---
+
+// ProduceEntry is one batch destined for one partition.
+type ProduceEntry struct {
+	TP    TopicPartition
+	Batch *RecordBatch
+}
+
+// ProduceRequest appends batches. TransactionalID is set for transactional
+// producers so brokers can sanity-check partition registration.
+type ProduceRequest struct {
+	TransactionalID string
+	Entries         []ProduceEntry
+}
+
+// ProduceResult is the per-partition outcome of a produce.
+type ProduceResult struct {
+	TP         TopicPartition
+	Err        ErrorCode
+	BaseOffset int64
+}
+
+// ProduceResponse carries one result per request entry.
+type ProduceResponse struct {
+	Results []ProduceResult
+}
+
+// FetchEntry names one partition and the offset to read from.
+type FetchEntry struct {
+	TP     TopicPartition
+	Offset int64
+}
+
+// FetchRequest reads records from one or more partitions. ReplicaID >= 0
+// marks an internal follower fetch, which additionally conveys the
+// follower's log end offsets (the entry offsets) for ISR and high-watermark
+// tracking on the leader.
+type FetchRequest struct {
+	ReplicaID int32 // -1 for consumer fetches
+	MaxBytes  int   // per-partition byte cap
+	// MaxRecords bounds records returned per partition (0 = unbounded); it
+	// lets consumers honor their poll cap without over-fetching.
+	MaxRecords int
+	Isolation  IsolationLevel
+	Entries    []FetchEntry
+}
+
+// AbortedTxn identifies an aborted transaction overlapping the fetched
+// range; read-committed consumers drop its records.
+type AbortedTxn struct {
+	ProducerID  int64
+	FirstOffset int64
+}
+
+// FetchPartition is the per-partition fetch outcome.
+type FetchPartition struct {
+	TP               TopicPartition
+	Err              ErrorCode
+	HighWatermark    int64
+	LastStableOffset int64
+	LogStartOffset   int64
+	Batches          []*RecordBatch
+	AbortedTxns      []AbortedTxn
+}
+
+// FetchResponse returns one entry per requested partition.
+type FetchResponse struct {
+	Parts []FetchPartition
+}
+
+// ListOffsetsRequest resolves a timestamp to an offset. Time -1 means the
+// log end offset ("latest"), -2 the log start offset ("earliest").
+type ListOffsetsRequest struct {
+	TP   TopicPartition
+	Time int64
+}
+
+// ListOffsetsResponse returns the resolved offset.
+type ListOffsetsResponse struct {
+	Err    ErrorCode
+	Offset int64
+}
+
+// DeleteRecordsRequest advances the log start offset of a partition, used
+// by Streams to purge consumed repartition data (paper Section 3.2).
+type DeleteRecordsRequest struct {
+	TP           TopicPartition
+	BeforeOffset int64
+}
+
+// DeleteRecordsResponse acknowledges the purge.
+type DeleteRecordsResponse struct {
+	Err            ErrorCode
+	LogStartOffset int64
+}
+
+// --- Coordinators ---
+
+// FindCoordinatorRequest locates the group or transaction coordinator for
+// a key (group id or transactional id).
+type FindCoordinatorRequest struct {
+	Key  string
+	Type CoordinatorType
+}
+
+// FindCoordinatorResponse names the coordinator broker.
+type FindCoordinatorResponse struct {
+	Err    ErrorCode
+	NodeID int32
+}
+
+// --- Transactions (KIP-98-style) ---
+
+// InitProducerIDRequest registers a transactional id (or requests a fresh
+// idempotent producer id when TransactionalID is empty). The coordinator
+// completes any open transaction for the id and bumps the epoch, fencing
+// zombies (paper Section 4.2.1).
+type InitProducerIDRequest struct {
+	TransactionalID string
+	TxnTimeoutMs    int64
+}
+
+// InitProducerIDResponse returns the producer session identity.
+type InitProducerIDResponse struct {
+	Err           ErrorCode
+	ProducerID    int64
+	ProducerEpoch int16
+}
+
+// AddPartitionsToTxnRequest registers partitions about to receive writes in
+// the current transaction (paper Figure 4.c).
+type AddPartitionsToTxnRequest struct {
+	TransactionalID string
+	ProducerID      int64
+	ProducerEpoch   int16
+	Partitions      []TopicPartition
+}
+
+// AddPartitionsToTxnResponse acknowledges registration.
+type AddPartitionsToTxnResponse struct {
+	Err ErrorCode
+}
+
+// EndTxnRequest initiates the two-phase commit (or abort) of the ongoing
+// transaction (paper Figure 4.e).
+type EndTxnRequest struct {
+	TransactionalID string
+	ProducerID      int64
+	ProducerEpoch   int16
+	Commit          bool
+}
+
+// EndTxnResponse acknowledges that phase one (the PrepareCommit /
+// PrepareAbort record in the transaction log) is durable; phase two
+// proceeds asynchronously.
+type EndTxnResponse struct {
+	Err ErrorCode
+}
+
+// WriteTxnMarkersRequest is the coordinator-to-broker phase-two RPC that
+// appends commit/abort control markers to registered partitions.
+type WriteTxnMarkersRequest struct {
+	ProducerID       int64
+	ProducerEpoch    int16
+	CoordinatorEpoch int32
+	Type             MarkerType
+	Partitions       []TopicPartition
+}
+
+// WriteTxnMarkersResponse reports per-partition marker append outcomes.
+type WriteTxnMarkersResponse struct {
+	Results []ProduceResult
+}
+
+// OffsetEntry is one partition's committed position.
+type OffsetEntry struct {
+	TP       TopicPartition
+	Offset   int64
+	Metadata string
+}
+
+// TxnOffsetCommitRequest adds consumed-offset commits to the ongoing
+// transaction so that they become visible atomically with the outputs.
+// MemberID and GenerationID, when set, carry the committing application's
+// consumer group metadata: the coordinator rejects commits from stale
+// generations, fencing zombie Streams threads whose tasks migrated away
+// (the eos-v2 fencing model, paper Section 6.1 / Kafka 2.6).
+type TxnOffsetCommitRequest struct {
+	TransactionalID string
+	ProducerID      int64
+	ProducerEpoch   int16
+	Group           string
+	MemberID        string
+	GenerationID    int32
+	Offsets         []OffsetEntry
+}
+
+// TxnOffsetCommitResponse acknowledges the staged offsets.
+type TxnOffsetCommitResponse struct {
+	Err ErrorCode
+}
+
+// --- Consumer groups ---
+
+// JoinGroupRequest enters a member into a consumer group generation.
+type JoinGroupRequest struct {
+	Group            string
+	MemberID         string // empty on first join; coordinator assigns one
+	ClientID         string
+	SessionTimeoutMs int64
+	// Subscription lists the topics the member wants; the elected leader
+	// receives everyone's subscription to compute assignments.
+	Subscription []string
+	// ProtocolName lets Streams request its sticky task-aware assignor.
+	ProtocolName string
+	// UserData is opaque assignor input (e.g. previously owned tasks).
+	UserData []byte
+}
+
+// JoinGroupMember is a member's subscription as seen by the group leader.
+type JoinGroupMember struct {
+	MemberID     string
+	Subscription []string
+	UserData     []byte
+}
+
+// JoinGroupResponse tells the member its id, the generation, and — if it
+// was elected leader — the full membership for assignment.
+type JoinGroupResponse struct {
+	Err          ErrorCode
+	GenerationID int32
+	MemberID     string
+	LeaderID     string
+	Members      []JoinGroupMember // populated only for the leader
+}
+
+// MemberAssignment is the leader-computed assignment for one member.
+type MemberAssignment struct {
+	MemberID   string
+	Partitions []TopicPartition
+	UserData   []byte
+}
+
+// SyncGroupRequest distributes assignments: the leader includes them, the
+// followers send empty assignments and receive their own back.
+type SyncGroupRequest struct {
+	Group        string
+	MemberID     string
+	GenerationID int32
+	Assignments  []MemberAssignment
+}
+
+// SyncGroupResponse returns the caller's assignment.
+type SyncGroupResponse struct {
+	Err        ErrorCode
+	Partitions []TopicPartition
+	UserData   []byte
+}
+
+// HeartbeatRequest keeps a member alive and learns about rebalances.
+type HeartbeatRequest struct {
+	Group        string
+	MemberID     string
+	GenerationID int32
+}
+
+// HeartbeatResponse may demand a rejoin via ErrRebalanceInProgress.
+type HeartbeatResponse struct {
+	Err ErrorCode
+}
+
+// LeaveGroupRequest removes a member, triggering a rebalance.
+type LeaveGroupRequest struct {
+	Group    string
+	MemberID string
+}
+
+// LeaveGroupResponse acknowledges departure.
+type LeaveGroupResponse struct {
+	Err ErrorCode
+}
+
+// OffsetCommitRequest commits offsets outside a transaction (ALOS mode).
+type OffsetCommitRequest struct {
+	Group        string
+	MemberID     string
+	GenerationID int32
+	Offsets      []OffsetEntry
+}
+
+// OffsetCommitResponse acknowledges the commit.
+type OffsetCommitResponse struct {
+	Err ErrorCode
+}
+
+// OffsetFetchRequest reads a group's committed offsets.
+type OffsetFetchRequest struct {
+	Group string
+	TPs   []TopicPartition
+}
+
+// OffsetFetchEntry is one partition's committed offset; -1 if none.
+type OffsetFetchEntry struct {
+	TP     TopicPartition
+	Offset int64
+	Err    ErrorCode
+}
+
+// OffsetFetchResponse lists committed offsets.
+type OffsetFetchResponse struct {
+	Err     ErrorCode
+	Offsets []OffsetFetchEntry
+}
+
+// --- Controller-to-broker ---
+
+// LeaderAndISRRequest installs a partition replica on a broker: whether it
+// leads or follows, the leader epoch, and the current ISR.
+type LeaderAndISRRequest struct {
+	TP          TopicPartition
+	Leader      int32
+	LeaderEpoch int32
+	Replicas    []int32
+	ISR         []int32
+	Config      TopicConfig
+	// IsNew marks initial placement (create the local log).
+	IsNew bool
+}
+
+// LeaderAndISRResponse acknowledges the state change.
+type LeaderAndISRResponse struct {
+	Err ErrorCode
+}
+
+// AlterISRRequest is sent by a partition leader to the controller when a
+// caught-up follower should (re)join the ISR.
+type AlterISRRequest struct {
+	TP          TopicPartition
+	LeaderEpoch int32
+	NewISR      []int32
+}
+
+// AlterISRResponse confirms (or rejects, on stale epoch) the change.
+type AlterISRResponse struct {
+	Err ErrorCode
+	ISR []int32
+}
+
+// AllocatePIDRequest asks the controller for a fresh producer id.
+type AllocatePIDRequest struct{}
+
+// AllocatePIDResponse returns the allocated producer id.
+type AllocatePIDResponse struct {
+	Err        ErrorCode
+	ProducerID int64
+}

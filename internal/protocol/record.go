@@ -1,0 +1,94 @@
+// Package protocol defines the wire-level data model shared by brokers and
+// clients: records, record batches, transaction control markers, topic
+// coordinates, and the error codes surfaced by broker RPCs.
+//
+// The binary batch format is a simplified cousin of Kafka's record batch
+// format v2: a fixed header carrying offset/producer/transaction metadata
+// followed by length-prefixed records, the whole batch protected by a CRC.
+package protocol
+
+import "fmt"
+
+// Record is a single timestamped key-value event. Key and Value are opaque
+// byte slices; Timestamp is event time in milliseconds since the Unix epoch
+// and is assigned by the producer (or the application) rather than the
+// broker, so that log (offset) order and event-time order may legitimately
+// disagree — the out-of-order scenario the paper's Section 5 addresses.
+type Record struct {
+	Key       []byte
+	Value     []byte
+	Timestamp int64
+	Headers   []Header
+}
+
+// Header is an application-defined key-value annotation on a record.
+type Header struct {
+	Key   string
+	Value []byte
+}
+
+// Clone returns a deep copy of the record so that callers may retain it
+// beyond the lifetime of the buffer it was decoded from.
+func (r Record) Clone() Record {
+	c := Record{Timestamp: r.Timestamp}
+	if r.Key != nil {
+		c.Key = append([]byte(nil), r.Key...)
+	}
+	if r.Value != nil {
+		c.Value = append([]byte(nil), r.Value...)
+	}
+	if r.Headers != nil {
+		c.Headers = make([]Header, len(r.Headers))
+		for i, h := range r.Headers {
+			c.Headers[i] = Header{Key: h.Key, Value: append([]byte(nil), h.Value...)}
+		}
+	}
+	return c
+}
+
+// TopicPartition names one partition of one topic.
+type TopicPartition struct {
+	Topic     string
+	Partition int32
+}
+
+func (tp TopicPartition) String() string {
+	return fmt.Sprintf("%s-%d", tp.Topic, tp.Partition)
+}
+
+// MarkerType distinguishes transaction control markers.
+type MarkerType int8
+
+const (
+	// MarkerCommit marks all records appended by the marker's producer id
+	// before this offset (since the previous marker) as committed.
+	MarkerCommit MarkerType = iota + 1
+	// MarkerAbort marks them as aborted; read-committed consumers must not
+	// deliver them.
+	MarkerAbort
+)
+
+func (m MarkerType) String() string {
+	switch m {
+	case MarkerCommit:
+		return "COMMIT"
+	case MarkerAbort:
+		return "ABORT"
+	default:
+		return fmt.Sprintf("MarkerType(%d)", int8(m))
+	}
+}
+
+// ControlMarker is the payload of a control batch: the transaction
+// coordinator writes one to every partition registered in a transaction
+// during the second phase of the two-phase commit (paper Figure 4.f).
+type ControlMarker struct {
+	Type             MarkerType
+	CoordinatorEpoch int32
+}
+
+// NoProducerID is the producer id of non-idempotent appends.
+const NoProducerID int64 = -1
+
+// NoSequence is the base sequence of non-idempotent appends.
+const NoSequence int32 = -1

@@ -1,0 +1,296 @@
+// Package storage provides the byte-level persistence abstraction under the
+// log layer: append-only files addressed by name, with a real filesystem
+// backend and an in-memory backend. Brokers default to the in-memory
+// backend in tests and benchmarks (durability semantics — offsets, replay,
+// compaction — are identical), and can use the filesystem backend when a
+// data directory is configured.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports a missing file.
+var ErrNotFound = errors.New("storage: file not found")
+
+// File is an append-only, randomly readable file.
+type File interface {
+	io.ReaderAt
+	// Append writes p at the end of the file and returns the position at
+	// which it was written.
+	Append(p []byte) (pos int64, err error)
+	// Size returns the current length in bytes.
+	Size() int64
+	// Truncate discards everything at and beyond size.
+	Truncate(size int64) error
+	// Sync flushes buffered data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// Backend creates, opens, lists, and removes files by name. Names may
+// contain '/' separators; backends treat them as opaque hierarchical keys.
+type Backend interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	// List returns names with the given prefix in lexicographic order.
+	List(prefix string) ([]string, error)
+	Remove(name string) error
+	// Rename atomically replaces newName with oldName's content.
+	Rename(oldName, newName string) error
+}
+
+// --- In-memory backend ---
+
+type memFile struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+func (f *memFile) Append(p []byte) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pos := int64(len(f.buf))
+	f.buf = append(f.buf, p...)
+	return pos, nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Size() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.buf))
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if size < 0 || size > int64(len(f.buf)) {
+		return fmt.Errorf("storage: truncate size %d out of range [0,%d]", size, len(f.buf))
+	}
+	f.buf = f.buf[:size]
+	return nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+// Mem is an in-memory Backend. The zero value is not usable; call NewMem.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]*memFile)}
+}
+
+// Create makes (or resets) the named file.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return f, nil
+}
+
+// Open returns the named file.
+func (m *Mem) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// List returns names with the prefix, sorted.
+func (m *Mem) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes the named file.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Rename moves oldName over newName.
+func (m *Mem) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldName)
+	}
+	delete(m.files, oldName)
+	m.files[newName] = f
+	return nil
+}
+
+// --- Filesystem backend ---
+
+// FS stores files under a root directory.
+type FS struct {
+	root string
+}
+
+// NewFS returns a filesystem backend rooted at dir, creating it if needed.
+func NewFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FS{root: dir}, nil
+}
+
+func (s *FS) path(name string) string {
+	return filepath.Join(s.root, filepath.FromSlash(name))
+}
+
+type fsFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+func (f *fsFile) Append(p []byte) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pos := f.size
+	if _, err := f.f.WriteAt(p, pos); err != nil {
+		return 0, err
+	}
+	f.size += int64(len(p))
+	return pos, nil
+}
+
+func (f *fsFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *fsFile) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+func (f *fsFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	return nil
+}
+
+func (f *fsFile) Sync() error  { return f.f.Sync() }
+func (f *fsFile) Close() error { return f.f.Close() }
+
+// Create makes (or resets) the named file.
+func (s *FS) Create(name string) (File, error) {
+	p := s.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &fsFile{f: f}, nil
+}
+
+// Open returns the named file positioned for appends at its end.
+func (s *FS) Open(name string) (File, error) {
+	f, err := os.OpenFile(s.path(name), os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fsFile{f: f, size: st.Size()}, nil
+}
+
+// List returns names with the prefix, sorted, using '/'-separated keys.
+func (s *FS) List(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes the named file.
+func (s *FS) Remove(name string) error {
+	err := os.Remove(s.path(name))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return err
+}
+
+// Rename moves oldName over newName.
+func (s *FS) Rename(oldName, newName string) error {
+	if err := os.MkdirAll(filepath.Dir(s.path(newName)), 0o755); err != nil {
+		return err
+	}
+	err := os.Rename(s.path(oldName), s.path(newName))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, oldName)
+	}
+	return err
+}

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	fs, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{"mem": NewMem(), "fs": fs}
+}
+
+func TestBackendContract(t *testing.T) {
+	for name, be := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			// Missing files error with ErrNotFound.
+			if _, err := be.Open("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("open missing: %v", err)
+			}
+			if err := be.Remove("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("remove missing: %v", err)
+			}
+
+			f, err := be.Create("dir/a.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pos, err := f.Append([]byte("hello"))
+			if err != nil || pos != 0 {
+				t.Fatalf("append: %d %v", pos, err)
+			}
+			pos, err = f.Append([]byte("world"))
+			if err != nil || pos != 5 {
+				t.Fatalf("second append: %d %v", pos, err)
+			}
+			if f.Size() != 10 {
+				t.Fatalf("size = %d", f.Size())
+			}
+			buf := make([]byte, 5)
+			if _, err := f.ReadAt(buf, 5); err != nil && err != io.EOF {
+				t.Fatalf("read: %v", err)
+			}
+			if string(buf) != "world" {
+				t.Fatalf("read = %q", buf)
+			}
+			// Reading past the end reports EOF.
+			if n, err := f.ReadAt(buf, 100); n != 0 || err == nil {
+				t.Fatalf("past-end read: %d %v", n, err)
+			}
+			if err := f.Truncate(5); err != nil {
+				t.Fatal(err)
+			}
+			if f.Size() != 5 {
+				t.Fatalf("size after truncate = %d", f.Size())
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen sees the same bytes (size survives).
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			g, err := be.Open("dir/a.log")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Size() != 5 {
+				t.Fatalf("reopened size = %d", g.Size())
+			}
+			g.Close()
+
+			// List with prefix, sorted.
+			be.Create("dir/b.log")
+			be.Create("other/c.log")
+			got, err := be.List("dir/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, []string{"dir/a.log", "dir/b.log"}) {
+				t.Fatalf("list: %v", got)
+			}
+
+			// Rename replaces the destination.
+			if err := be.Rename("dir/b.log", "dir/a.log"); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := be.List("dir/"); len(got) != 1 {
+				t.Fatalf("after rename: %v", got)
+			}
+			if err := be.Rename("missing", "x"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("rename missing: %v", err)
+			}
+
+			// Remove.
+			if err := be.Remove("dir/a.log"); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := be.List("dir/"); len(got) != 0 {
+				t.Fatalf("after remove: %v", got)
+			}
+		})
+	}
+}
+
+func TestMemTruncateBounds(t *testing.T) {
+	be := NewMem()
+	f, _ := be.Create("x")
+	f.Append([]byte("abc"))
+	if err := f.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
+	}
+	if err := f.Truncate(99); err == nil {
+		t.Fatal("oversize truncate accepted")
+	}
+}
+
+func TestCreateResetsExisting(t *testing.T) {
+	for name, be := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := be.Create("r")
+			f.Append([]byte("old"))
+			f.Close()
+			g, _ := be.Create("r")
+			if g.Size() != 0 {
+				t.Fatalf("create did not reset: %d", g.Size())
+			}
+			g.Close()
+		})
+	}
+}

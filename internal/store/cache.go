@@ -1,0 +1,103 @@
+package store
+
+import "sync"
+
+// DirtyEntry is one cached write pending flush, carrying both the new
+// value and the value it replaced so downstream table consumers can
+// retract-and-accumulate (paper Section 5).
+type DirtyEntry struct {
+	Key      []byte
+	Value    []byte // nil = tombstone
+	OldValue []byte // value before the first dirty write in this interval
+	Ts       int64
+}
+
+// CachingKV is a write-back cache over a KV store. Writes coalesce per key
+// between flushes; Flush applies them to the inner store and hands the
+// consolidated entries (one per key, latest value, original old value) to
+// the callback, which forwards them downstream and to the changelog. This
+// is the state-store cache of paper Sections 5 and 6.2 ("output
+// suppression caching") that consolidates multiple revisions of the same
+// key into a single emitted record per commit interval.
+type CachingKV struct {
+	mu    sync.Mutex
+	inner KV
+	dirty map[string]*DirtyEntry
+	order []string // flush in first-write order for determinism
+}
+
+// NewCachingKV wraps a KV store with a write-back cache.
+func NewCachingKV(inner KV) *CachingKV {
+	return &CachingKV{inner: inner, dirty: make(map[string]*DirtyEntry)}
+}
+
+// Get returns the cached value if dirty, else the inner store's value.
+func (c *CachingKV) Get(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.dirty[string(key)]; ok {
+		return e.Value, e.Value != nil
+	}
+	return c.inner.Get(key)
+}
+
+// Put stages a write. The pre-image is captured on the first dirty write
+// for the key in this flush interval.
+func (c *CachingKV) Put(key, value []byte, ts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := string(key)
+	if e, ok := c.dirty[k]; ok {
+		e.Value = value
+		e.Ts = ts
+		return
+	}
+	old, _ := c.inner.Get(key)
+	c.dirty[k] = &DirtyEntry{
+		Key:      append([]byte(nil), key...),
+		Value:    value,
+		OldValue: old,
+		Ts:       ts,
+	}
+	c.order = append(c.order, k)
+}
+
+// Delete stages a tombstone.
+func (c *CachingKV) Delete(key []byte, ts int64) { c.Put(key, nil, ts) }
+
+// Flush applies dirty entries to the inner store and invokes emit for each
+// consolidated entry. Entries whose final value equals their pre-image are
+// still emitted (a same-value update is a legitimate revision); entries
+// that were never written are not.
+func (c *CachingKV) Flush(emit func(DirtyEntry)) {
+	c.mu.Lock()
+	entries := make([]*DirtyEntry, 0, len(c.order))
+	for _, k := range c.order {
+		entries = append(entries, c.dirty[k])
+	}
+	c.dirty = make(map[string]*DirtyEntry)
+	c.order = c.order[:0]
+	for _, e := range entries {
+		if e.Value == nil {
+			c.inner.Delete(e.Key)
+		} else {
+			c.inner.Put(e.Key, e.Value)
+		}
+	}
+	c.mu.Unlock()
+	if emit != nil {
+		for _, e := range entries {
+			emit(*e)
+		}
+	}
+}
+
+// DirtyLen returns the number of keys pending flush.
+func (c *CachingKV) DirtyLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dirty)
+}
+
+// Inner exposes the wrapped store (for restoration and queries).
+func (c *CachingKV) Inner() KV { return c.inner }

@@ -1,0 +1,141 @@
+// Package store provides the state stores backing stateful Streams
+// operators (paper Section 3.2): key-value stores, window stores for
+// windowed aggregations and stream-stream join buffers, and a write-back
+// caching layer that consolidates downstream emissions. Stores are
+// disposable materialized views: the changelog topics capturing their
+// updates are the source of truth (paper Section 4), so stores here are
+// in-memory structures rebuilt by changelog replay on task migration.
+package store
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
+
+// Entry is one key-value pair returned by iteration.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// KV is a byte-oriented key-value store with ordered iteration.
+type KV interface {
+	Get(key []byte) ([]byte, bool)
+	// Put stores value under key; a nil value is a tombstone (delete).
+	Put(key, value []byte)
+	Delete(key []byte)
+	// Range returns entries with from <= key < to in key order; nil bounds
+	// are open.
+	Range(from, to []byte) []Entry
+	// Len returns the number of live keys.
+	Len() int
+	// Reset drops all contents (before a full restore).
+	Reset()
+}
+
+// memKV is a sorted in-memory KV store. A copy-on-read sorted key index is
+// rebuilt lazily after writes; point lookups are map-speed.
+type memKV struct {
+	mu     sync.RWMutex
+	m      map[string][]byte
+	keys   []string
+	sorted bool
+}
+
+// NewKV returns an empty in-memory store.
+func NewKV() KV {
+	return &memKV{m: make(map[string][]byte)}
+}
+
+func (s *memKV) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[string(key)]
+	return v, ok
+}
+
+func (s *memKV) Put(key, value []byte) {
+	if value == nil {
+		s.Delete(key)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := string(key)
+	if _, existed := s.m[k]; !existed {
+		s.sorted = false
+	}
+	s.m[k] = value
+}
+
+func (s *memKV) Delete(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := string(key)
+	if _, existed := s.m[k]; existed {
+		delete(s.m, k)
+		s.sorted = false
+	}
+}
+
+func (s *memKV) ensureSortedLocked() {
+	if s.sorted {
+		return
+	}
+	s.keys = s.keys[:0]
+	for k := range s.m {
+		s.keys = append(s.keys, k)
+	}
+	sort.Strings(s.keys)
+	s.sorted = true
+}
+
+func (s *memKV) Range(from, to []byte) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSortedLocked()
+	lo := 0
+	if from != nil {
+		lo = sort.SearchStrings(s.keys, string(from))
+	}
+	hi := len(s.keys)
+	if to != nil {
+		hi = sort.SearchStrings(s.keys, string(to))
+	}
+	out := make([]Entry, 0, hi-lo)
+	for _, k := range s.keys[lo:hi] {
+		out = append(out, Entry{Key: []byte(k), Value: s.m[k]})
+	}
+	return out
+}
+
+func (s *memKV) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+func (s *memKV) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string][]byte)
+	s.keys = nil
+	s.sorted = false
+}
+
+// prefixEnd returns the smallest byte string greater than every string with
+// the given prefix, or nil when the prefix is all 0xff.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// equalBytes is bytes.Equal with nil == empty semantics.
+func equalBytes(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,266 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBasics(t *testing.T) {
+	s := NewKV()
+	if _, ok := s.Get([]byte("a")); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("b"), []byte("2"))
+	if v, ok := s.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("get a: %q %v", v, ok)
+	}
+	s.Put([]byte("a"), []byte("3"))
+	if v, _ := s.Get([]byte("a")); string(v) != "3" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Delete([]byte("a"))
+	if _, ok := s.Get([]byte("a")); ok {
+		t.Fatal("deleted key still present")
+	}
+	// Put with nil value is a delete.
+	s.Put([]byte("b"), nil)
+	if s.Len() != 0 {
+		t.Fatalf("len after tombstone = %d", s.Len())
+	}
+}
+
+func TestKVRange(t *testing.T) {
+	s := NewKV()
+	for _, k := range []string{"d", "a", "c", "b", "e"} {
+		s.Put([]byte(k), []byte("v"+k))
+	}
+	got := s.Range([]byte("b"), []byte("e"))
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d entries", len(got))
+	}
+	for i, e := range got {
+		if string(e.Key) != want[i] {
+			t.Fatalf("entry %d = %q, want %q", i, e.Key, want[i])
+		}
+	}
+	// Open bounds.
+	if all := s.Range(nil, nil); len(all) != 5 || string(all[0].Key) != "a" {
+		t.Fatalf("open range: %d entries, first %q", len(all), all[0].Key)
+	}
+	// Range is consistent after deletes.
+	s.Delete([]byte("c"))
+	if got := s.Range([]byte("b"), []byte("e")); len(got) != 2 {
+		t.Fatalf("range after delete: %d entries", len(got))
+	}
+}
+
+// TestKVMatchesModel property-checks the store against a plain map.
+func TestKVMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewKV()
+		model := map[string]string{}
+		keys := []string{"a", "b", "c", "d", "e", "f"}
+		for i := 0; i < 200; i++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", i)
+				s.Put([]byte(k), []byte(v))
+				model[k] = v
+			case 2:
+				s.Delete([]byte(k))
+				delete(model, k)
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow()
+	w.Put([]byte("k"), 10, []byte("a"))
+	w.Put([]byte("k"), 15, []byte("b"))
+	w.Put([]byte("j"), 10, []byte("c"))
+	if v, ok := w.Get([]byte("k"), 10); !ok || string(v) != "a" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	// Overwrite does not change length.
+	w.Put([]byte("k"), 10, []byte("a2"))
+	if w.Len() != 3 {
+		t.Fatalf("len after overwrite = %d", w.Len())
+	}
+	es := w.Fetch([]byte("k"), 0, 20)
+	if len(es) != 2 || es[0].Start != 10 || es[1].Start != 15 {
+		t.Fatalf("fetch: %+v", es)
+	}
+	all := w.FetchAll(10, 10)
+	if len(all) != 2 || string(all[0].Key) != "j" || string(all[1].Key) != "k" {
+		t.Fatalf("fetch all: %+v", all)
+	}
+	// Nil put deletes.
+	w.Put([]byte("k"), 15, nil)
+	if _, ok := w.Get([]byte("k"), 15); ok || w.Len() != 2 {
+		t.Fatal("windowed tombstone failed")
+	}
+}
+
+func TestWindowDropBefore(t *testing.T) {
+	w := NewWindow()
+	for start := int64(0); start < 50; start += 10 {
+		w.Put([]byte("k"), start, []byte("v"))
+	}
+	if n := w.DropBefore(30); n != 3 {
+		t.Fatalf("dropped %d, want 3", n)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if _, ok := w.Get([]byte("k"), 20); ok {
+		t.Fatal("expired window still present")
+	}
+	if _, ok := w.Get([]byte("k"), 30); !ok {
+		t.Fatal("retained window lost")
+	}
+}
+
+func TestWindowKeyCodec(t *testing.T) {
+	for _, key := range [][]byte{[]byte("k"), {}, []byte("longer-key")} {
+		enc := EncodeWindowKey(key, 12345)
+		k, start, ok := DecodeWindowKey(enc)
+		if !ok || start != 12345 || !bytes.Equal(k, key) {
+			t.Fatalf("roundtrip %q: %q %d %v", key, k, start, ok)
+		}
+	}
+	if _, _, ok := DecodeWindowKey([]byte{1, 2}); ok {
+		t.Fatal("short window key accepted")
+	}
+}
+
+func TestCachingKVCoalesces(t *testing.T) {
+	inner := NewKV()
+	inner.Put([]byte("k"), []byte("v0"))
+	c := NewCachingKV(inner)
+
+	c.Put([]byte("k"), []byte("v1"), 1)
+	c.Put([]byte("k"), []byte("v2"), 2)
+	c.Put([]byte("x"), []byte("y"), 3)
+
+	// Reads see dirty values; the inner store is untouched until flush.
+	if v, _ := c.Get([]byte("k")); string(v) != "v2" {
+		t.Fatalf("cached get = %q", v)
+	}
+	if v, _ := inner.Get([]byte("k")); string(v) != "v0" {
+		t.Fatalf("inner mutated early: %q", v)
+	}
+	if c.DirtyLen() != 2 {
+		t.Fatalf("dirty len = %d", c.DirtyLen())
+	}
+
+	var emitted []DirtyEntry
+	c.Flush(func(e DirtyEntry) { emitted = append(emitted, e) })
+
+	// Three writes consolidated to two emissions; the k emission carries
+	// the latest value and the pre-cache old value.
+	if len(emitted) != 2 {
+		t.Fatalf("emitted %d entries", len(emitted))
+	}
+	if string(emitted[0].Key) != "k" || string(emitted[0].Value) != "v2" ||
+		string(emitted[0].OldValue) != "v0" || emitted[0].Ts != 2 {
+		t.Fatalf("k emission: %+v", emitted[0])
+	}
+	if v, _ := inner.Get([]byte("k")); string(v) != "v2" {
+		t.Fatalf("inner after flush = %q", v)
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatal("cache not drained")
+	}
+	// A second flush emits nothing.
+	c.Flush(func(e DirtyEntry) { t.Fatalf("unexpected emission %+v", e) })
+}
+
+func TestCachingKVTombstone(t *testing.T) {
+	inner := NewKV()
+	inner.Put([]byte("k"), []byte("v0"))
+	c := NewCachingKV(inner)
+	c.Delete([]byte("k"), 5)
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Fatal("cached delete not visible")
+	}
+	var emitted []DirtyEntry
+	c.Flush(func(e DirtyEntry) { emitted = append(emitted, e) })
+	if len(emitted) != 1 || emitted[0].Value != nil || string(emitted[0].OldValue) != "v0" {
+		t.Fatalf("tombstone emission: %+v", emitted)
+	}
+	if _, ok := inner.Get([]byte("k")); ok {
+		t.Fatal("inner still has deleted key")
+	}
+}
+
+// TestCachingEquivalence: with or without the cache, the final store
+// contents are identical (the cache only affects emission granularity).
+func TestCachingEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		plain := NewKV()
+		cached := NewCachingKV(NewKV())
+		keys := []string{"a", "b", "c"}
+		for i := 0; i < 100; i++ {
+			k := []byte(keys[rng.Intn(len(keys))])
+			if rng.Intn(5) == 0 {
+				plain.Delete(k)
+				cached.Delete(k, int64(i))
+			} else {
+				v := []byte(fmt.Sprintf("v%d", i))
+				plain.Put(k, v)
+				cached.Put(k, v, int64(i))
+			}
+			if rng.Intn(10) == 0 {
+				cached.Flush(nil)
+			}
+		}
+		cached.Flush(nil)
+		a := plain.Range(nil, nil)
+		b := cached.Inner().Range(nil, nil)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := prefixEnd([]byte("ab")); string(got) != "ac" {
+		t.Fatalf("prefixEnd(ab) = %q", got)
+	}
+	if got := prefixEnd([]byte{0x61, 0xff}); !bytes.Equal(got, []byte{0x62}) {
+		t.Fatalf("prefixEnd(a,ff) = %v", got)
+	}
+	if got := prefixEnd([]byte{0xff, 0xff}); got != nil {
+		t.Fatalf("prefixEnd(ff,ff) = %v", got)
+	}
+}

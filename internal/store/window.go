@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// WindowKey identifies one window instance of one key.
+type WindowKey struct {
+	Key   []byte
+	Start int64
+}
+
+// WindowEntry is one windowed value returned by fetches.
+type WindowEntry struct {
+	Key   []byte
+	Start int64
+	Value []byte
+}
+
+// Window is a windowed store: values are addressed by (key, window start).
+// It backs windowed aggregations (Figure 6) and stream-stream join buffers,
+// and supports retention-based garbage collection driven by stream time —
+// the grace-period expiry of paper Section 5: "the grace period here only
+// controls how much old state Kafka Streams would need to maintain".
+type Window interface {
+	// Put stores the value for (key, start); nil deletes.
+	Put(key []byte, start int64, value []byte)
+	// Get returns the value for (key, start).
+	Get(key []byte, start int64) ([]byte, bool)
+	// Fetch returns this key's windows with from <= start <= to, ascending.
+	Fetch(key []byte, from, to int64) []WindowEntry
+	// FetchAll returns every window with from <= start <= to across keys,
+	// ordered by (start, key).
+	FetchAll(from, to int64) []WindowEntry
+	// DropBefore removes all windows with start < bound, returning how many
+	// entries were evicted.
+	DropBefore(bound int64) int
+	Len() int
+	Reset()
+}
+
+// memWindow stores windows in two indexes: by key (for aggregation lookups)
+// and by start time (for retention and expiry scans).
+type memWindow struct {
+	mu     sync.RWMutex
+	byKey  map[string]map[int64][]byte
+	byTime map[int64]map[string][]byte
+	n      int
+}
+
+// NewWindow returns an empty in-memory window store.
+func NewWindow() Window {
+	return &memWindow{
+		byKey:  make(map[string]map[int64][]byte),
+		byTime: make(map[int64]map[string][]byte),
+	}
+}
+
+func (s *memWindow) Put(key []byte, start int64, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := string(key)
+	if value == nil {
+		if wins, ok := s.byKey[k]; ok {
+			if _, had := wins[start]; had {
+				delete(wins, start)
+				if len(wins) == 0 {
+					delete(s.byKey, k)
+				}
+				delete(s.byTime[start], k)
+				if len(s.byTime[start]) == 0 {
+					delete(s.byTime, start)
+				}
+				s.n--
+			}
+		}
+		return
+	}
+	wins, ok := s.byKey[k]
+	if !ok {
+		wins = make(map[int64][]byte)
+		s.byKey[k] = wins
+	}
+	if _, had := wins[start]; !had {
+		s.n++
+	}
+	wins[start] = value
+	times, ok := s.byTime[start]
+	if !ok {
+		times = make(map[string][]byte)
+		s.byTime[start] = times
+	}
+	times[k] = value
+}
+
+func (s *memWindow) Get(key []byte, start int64) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	wins, ok := s.byKey[string(key)]
+	if !ok {
+		return nil, false
+	}
+	v, ok := wins[start]
+	return v, ok
+}
+
+func (s *memWindow) Fetch(key []byte, from, to int64) []WindowEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	wins, ok := s.byKey[string(key)]
+	if !ok {
+		return nil
+	}
+	var out []WindowEntry
+	for start, v := range wins {
+		if start >= from && start <= to {
+			out = append(out, WindowEntry{Key: key, Start: start, Value: v})
+		}
+	}
+	sortWindowEntries(out)
+	return out
+}
+
+func (s *memWindow) FetchAll(from, to int64) []WindowEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []WindowEntry
+	for start, keys := range s.byTime {
+		if start < from || start > to {
+			continue
+		}
+		for k, v := range keys {
+			out = append(out, WindowEntry{Key: []byte(k), Start: start, Value: v})
+		}
+	}
+	sortWindowEntries(out)
+	return out
+}
+
+func (s *memWindow) DropBefore(bound int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for start, keys := range s.byTime {
+		if start >= bound {
+			continue
+		}
+		for k := range keys {
+			wins := s.byKey[k]
+			delete(wins, start)
+			if len(wins) == 0 {
+				delete(s.byKey, k)
+			}
+			dropped++
+		}
+		delete(s.byTime, start)
+	}
+	s.n -= dropped
+	return dropped
+}
+
+func (s *memWindow) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func (s *memWindow) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byKey = make(map[string]map[int64][]byte)
+	s.byTime = make(map[int64]map[string][]byte)
+	s.n = 0
+}
+
+func sortWindowEntries(es []WindowEntry) {
+	// Insertion sort: fetches are small (few windows per key).
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && windowEntryLess(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func windowEntryLess(a, b WindowEntry) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return string(a.Key) < string(b.Key)
+}
+
+// EncodeWindowKey serializes (key, start) for changelog records: 8-byte
+// big-endian start followed by the key bytes.
+func EncodeWindowKey(key []byte, start int64) []byte {
+	out := make([]byte, 8+len(key))
+	binary.BigEndian.PutUint64(out[:8], uint64(start))
+	copy(out[8:], key)
+	return out
+}
+
+// DecodeWindowKey parses a changelog window key.
+func DecodeWindowKey(p []byte) (key []byte, start int64, ok bool) {
+	if len(p) < 8 {
+		return nil, 0, false
+	}
+	start = int64(binary.BigEndian.Uint64(p[:8]))
+	key = append([]byte(nil), p[8:]...)
+	return key, start, true
+}

@@ -1,0 +1,160 @@
+// Package transport is the in-process RPC fabric connecting clients,
+// brokers, and the controller. Every endpoint registers a handler under an
+// integer node id; Send invokes the destination handler synchronously in
+// the caller's goroutine after an injected network delay.
+//
+// The fabric doubles as the failure injector for the whole test bed:
+// endpoints can be crashed (all RPCs to them fail), pairs of endpoints can
+// be partitioned (for zombie-instance scenarios), and per-RPC latency with
+// deterministic jitter makes RPC-count effects — the marker writes and
+// coordinator round-trips whose cost Figure 5 measures — visible in wall
+// time without real machines.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnreachable reports that the destination is crashed, unregistered, or
+// partitioned away from the sender.
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// Handler processes one request and returns the response.
+type Handler func(from int32, req any) any
+
+// Options configures a Network.
+type Options struct {
+	// RPCLatency is the base one-way-plus-return delay charged per Send.
+	RPCLatency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed makes jitter deterministic; 0 uses a fixed default seed.
+	Seed int64
+}
+
+// Network is the shared fabric. The zero value is not usable; call New.
+type Network struct {
+	opts Options
+
+	mu          sync.RWMutex
+	handlers    map[int32]Handler
+	crashed     map[int32]bool
+	partitioned map[[2]int32]bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	nextClientID atomic.Int32
+	rpcs         atomic.Int64
+}
+
+// New creates a network with the given options.
+func New(opts Options) *Network {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n := &Network{
+		opts:        opts,
+		handlers:    make(map[int32]Handler),
+		crashed:     make(map[int32]bool),
+		partitioned: make(map[[2]int32]bool),
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+	n.nextClientID.Store(1000)
+	return n
+}
+
+// Register installs (or replaces) the handler for a node id.
+func (n *Network) Register(id int32, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+	delete(n.crashed, id)
+}
+
+// Unregister removes a node entirely.
+func (n *Network) Unregister(id int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, id)
+}
+
+// AllocClientID returns a fresh node id for a client endpoint.
+func (n *Network) AllocClientID() int32 {
+	return n.nextClientID.Add(1)
+}
+
+// Crash makes all RPCs to id fail until Restore. The handler stays
+// registered so the node can be restored with its identity intact.
+func (n *Network) Crash(id int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restore undoes Crash.
+func (n *Network) Restore(id int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+func pairKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// Partition blocks traffic between a and b in both directions.
+func (n *Network) Partition(a, b int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[pairKey(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (n *Network) Heal(a, b int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, pairKey(a, b))
+}
+
+// RPCCount returns the total number of Sends attempted, a cheap proxy for
+// the "write amplification" cost discussed in paper Section 4.3.
+func (n *Network) RPCCount() int64 { return n.rpcs.Load() }
+
+// Send delivers req to the destination handler and returns its response,
+// after charging the configured latency. It fails with ErrUnreachable when
+// the destination is crashed, missing, or partitioned from the sender.
+func (n *Network) Send(from, to int32, req any) (any, error) {
+	n.rpcs.Add(1)
+	n.delay()
+	n.mu.RLock()
+	h, ok := n.handlers[to]
+	dead := n.crashed[to] || n.crashed[from]
+	cut := n.partitioned[pairKey(from, to)]
+	n.mu.RUnlock()
+	if !ok || dead || cut {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
+	}
+	return h(from, req), nil
+}
+
+func (n *Network) delay() {
+	d := n.opts.RPCLatency
+	if n.opts.Jitter > 0 {
+		n.rngMu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+		n.rngMu.Unlock()
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

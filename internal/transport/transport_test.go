@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRoundTrip(t *testing.T) {
+	n := New(Options{})
+	n.Register(1, func(from int32, req any) any {
+		if from != 2 {
+			t.Errorf("from = %d", from)
+		}
+		return req.(int) + 1
+	})
+	resp, err := n.Send(2, 1, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(int) != 42 {
+		t.Fatalf("resp = %v", resp)
+	}
+	if n.RPCCount() != 1 {
+		t.Fatalf("rpc count = %d", n.RPCCount())
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New(Options{})
+	if _, err := n.Send(1, 9, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("missing node: %v", err)
+	}
+	n.Register(9, func(int32, any) any { return "ok" })
+	if _, err := n.Send(1, 9, "x"); err != nil {
+		t.Fatalf("registered node: %v", err)
+	}
+	n.Crash(9)
+	if _, err := n.Send(1, 9, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("crashed node: %v", err)
+	}
+	n.Restore(9)
+	if _, err := n.Send(1, 9, "x"); err != nil {
+		t.Fatalf("restored node: %v", err)
+	}
+	n.Unregister(9)
+	if _, err := n.Send(1, 9, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unregistered node: %v", err)
+	}
+}
+
+func TestCrashedSenderCannotSend(t *testing.T) {
+	n := New(Options{})
+	n.Register(1, func(int32, any) any { return "ok" })
+	n.Register(2, func(int32, any) any { return "ok" })
+	n.Crash(2)
+	if _, err := n.Send(2, 1, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("crashed sender: %v", err)
+	}
+}
+
+func TestPartitionIsSymmetricAndHealable(t *testing.T) {
+	n := New(Options{})
+	n.Register(1, func(int32, any) any { return "a" })
+	n.Register(2, func(int32, any) any { return "b" })
+	n.Partition(1, 2)
+	if _, err := n.Send(1, 2, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("1->2 should be cut")
+	}
+	if _, err := n.Send(2, 1, "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("2->1 should be cut")
+	}
+	n.Heal(2, 1) // reversed order heals the same pair
+	if _, err := n.Send(1, 2, "x"); err != nil {
+		t.Fatalf("healed: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	n := New(Options{RPCLatency: 2 * time.Millisecond})
+	n.Register(1, func(int32, any) any { return nil })
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		n.Send(2, 1, nil)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("5 RPCs at 2ms took only %v", d)
+	}
+}
+
+func TestAllocClientIDUnique(t *testing.T) {
+	n := New(Options{})
+	seen := make(map[int32]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := n.AllocClientID()
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[id] {
+				t.Errorf("duplicate client id %d", id)
+			}
+			seen[id] = true
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New(Options{Jitter: time.Microsecond})
+	var sum int64
+	var mu sync.Mutex
+	n.Register(1, func(_ int32, req any) any {
+		mu.Lock()
+		sum += int64(req.(int))
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Send(2, 1, 1)
+		}()
+	}
+	wg.Wait()
+	if sum != 100 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

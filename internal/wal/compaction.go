@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"fmt"
+
+	"kstreams/internal/protocol"
+)
+
+// Compact rewrites the cleanable region of a compacted log keeping only the
+// record with the highest offset for every key, exactly what Kafka's log
+// cleaner provides for changelog topics (paper Section 3.2): "brokers ...
+// remove records for which another record was appended with the same key
+// but a higher offset".
+//
+// Like Kafka's cleaner, only whole, non-active segments are compacted. The
+// cleanable region is further bounded by cleanUpTo (typically the high
+// watermark) and by the first offset of any open transaction, so that only
+// resolved transactions are rewritten and read-committed filtering state
+// for open transactions is never disturbed. Aborted records and resolved
+// control markers inside the region are dropped; surviving records keep
+// their original offsets (consumers tolerate offset gaps). Tombstones (nil
+// values) survive as the latest value for their key so that table deletions
+// replay correctly.
+func (l *Log) Compact(cleanUpTo int64) error {
+	if !l.cfg.Compacted {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	end := cleanUpTo
+	for _, off := range l.ongoing {
+		if off < end {
+			end = off
+		}
+	}
+	active := l.segments[len(l.segments)-1]
+	if active.base < end {
+		end = active.base
+	}
+	if end <= l.startOffset {
+		return nil
+	}
+
+	// Select the whole segments that fall entirely below the bound.
+	var region []*segment
+	for _, seg := range l.segments[:len(l.segments)-1] {
+		if seg.lastOffset() < end {
+			region = append(region, seg)
+		}
+	}
+	if len(region) == 0 {
+		return nil
+	}
+	regionEnd := region[len(region)-1].lastOffset() + 1
+
+	// Pass 1: decode the region, recording the highest offset per key.
+	type rec struct {
+		offset int64
+		r      protocol.Record
+	}
+	isAborted := func(pid, off int64) bool {
+		for _, a := range l.aborted {
+			if a.ProducerID == pid && off >= a.FirstOffset && off < a.LastOffset {
+				return true
+			}
+		}
+		return false
+	}
+	latest := make(map[string]int64)
+	var regionRecs []rec
+	for _, seg := range region {
+		for _, m := range seg.metas {
+			buf := make([]byte, m.size)
+			if _, err := seg.file.ReadAt(buf, m.pos); err != nil {
+				return err
+			}
+			b, _, err := protocol.DecodeBatch(buf)
+			if err != nil {
+				return err
+			}
+			if b.Control {
+				continue // resolved marker; drop
+			}
+			for i := range b.Records {
+				off := b.BaseOffset + int64(i)
+				if off < l.startOffset {
+					continue
+				}
+				if b.Transactional && isAborted(b.ProducerID, off) {
+					continue
+				}
+				regionRecs = append(regionRecs, rec{offset: off, r: b.Records[i]})
+				latest[string(b.Records[i].Key)] = off
+			}
+		}
+	}
+
+	// Pass 2: write survivors into a fresh segment file, then swap it in.
+	base := region[0].base
+	cleanName := fmt.Sprintf("%s/%020d.log.clean", l.dir, base)
+	finalName := fmt.Sprintf("%s/%020d.log", l.dir, base)
+	cf, err := l.backend.Create(cleanName)
+	if err != nil {
+		return err
+	}
+	clean := &segment{base: base, name: finalName, file: cf}
+	for _, rr := range regionRecs {
+		if latest[string(rr.r.Key)] != rr.offset {
+			continue
+		}
+		b := &protocol.RecordBatch{
+			BaseOffset:   rr.offset,
+			ProducerID:   protocol.NoProducerID,
+			BaseSequence: protocol.NoSequence,
+			Records:      []protocol.Record{rr.r},
+		}
+		enc := protocol.EncodeBatch(b)
+		pos, err := cf.Append(enc)
+		if err != nil {
+			return err
+		}
+		clean.metas = append(clean.metas, batchMeta{
+			baseOffset:   rr.offset,
+			lastOffset:   rr.offset,
+			pos:          pos,
+			size:         int32(len(enc)),
+			maxTimestamp: rr.r.Timestamp,
+			producerID:   protocol.NoProducerID,
+		})
+	}
+	for _, seg := range region {
+		seg.file.Close()
+		if err := l.backend.Remove(seg.name); err != nil {
+			return err
+		}
+	}
+	if err := l.backend.Rename(cleanName, finalName); err != nil {
+		return err
+	}
+	l.segments = append([]*segment{clean}, l.segments[len(region):]...)
+
+	// Aborted ranges fully below the compacted boundary no longer matter.
+	var liveAborted []AbortedRange
+	for _, a := range l.aborted {
+		if a.LastOffset >= regionEnd {
+			liveAborted = append(liveAborted, a)
+		}
+	}
+	l.aborted = liveAborted
+	l.compactions++
+	return nil
+}
+
+// RollSegment closes the active segment and opens a new one at the log end
+// offset, making the closed segment eligible for compaction. The broker's
+// cleaner calls this before compacting a partition that has accumulated
+// enough dirty data in its active segment.
+func (l *Log) RollSegment() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	active := l.segments[len(l.segments)-1]
+	if len(active.metas) == 0 {
+		return nil
+	}
+	return l.rollLocked(l.nextOffset)
+}

@@ -1,0 +1,565 @@
+// Package wal implements the replicated log's local storage: a segmented
+// append-only log of record batches with offset assignment, idempotent
+// producer state (sequence-number de-duplication, paper Section 4.1),
+// ongoing-transaction tracking for the last stable offset, an aborted
+// transaction index for read-committed fetches, and key-based log
+// compaction for changelog topics.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/storage"
+)
+
+// Config controls one log's behaviour.
+type Config struct {
+	// SegmentBytes is the roll threshold for the active segment.
+	SegmentBytes int64
+	// Compacted enables latest-per-key compaction via Compact.
+	Compacted bool
+	// Fsync forces a sync after every append (filesystem backend only).
+	Fsync bool
+}
+
+// DefaultSegmentBytes is used when Config.SegmentBytes is zero.
+const DefaultSegmentBytes = 4 << 20
+
+// AbortedRange records one aborted transaction's data range, used to
+// filter fetches under read-committed isolation.
+type AbortedRange struct {
+	ProducerID  int64
+	FirstOffset int64
+	LastOffset  int64 // offset of the abort marker
+}
+
+type batchMeta struct {
+	baseOffset    int64
+	lastOffset    int64
+	pos           int64 // byte position within the segment file
+	size          int32 // encoded size
+	maxTimestamp  int64
+	producerID    int64
+	transactional bool
+	control       bool
+}
+
+type segment struct {
+	base  int64
+	name  string
+	file  storage.File
+	metas []batchMeta
+}
+
+func (s *segment) size() int64 { return s.file.Size() }
+
+func (s *segment) lastOffset() int64 {
+	if len(s.metas) == 0 {
+		return s.base - 1
+	}
+	return s.metas[len(s.metas)-1].lastOffset
+}
+
+// Log is one partition's local log.
+type Log struct {
+	mu       sync.RWMutex
+	backend  storage.Backend
+	dir      string
+	cfg      Config
+	segments []*segment
+
+	startOffset int64
+	nextOffset  int64
+
+	producers *producerStateTable
+	// ongoing maps producer id to the first offset of its open transaction.
+	ongoing map[int64]int64
+	aborted []AbortedRange
+
+	// compactions counts completed compaction passes (metrics/tests).
+	compactions int
+}
+
+// ErrOffsetOutOfRange reports a read below the log start or above the end.
+var ErrOffsetOutOfRange = errors.New("wal: offset out of range")
+
+// Open creates or recovers the log stored under dir within the backend.
+func Open(backend storage.Backend, dir string, cfg Config) (*Log, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	l := &Log{
+		backend:   backend,
+		dir:       dir,
+		cfg:       cfg,
+		producers: newProducerStateTable(),
+		ongoing:   make(map[int64]int64),
+	}
+	names, err := backend.List(dir + "/")
+	if err != nil {
+		return nil, err
+	}
+	var segNames []string
+	for _, n := range names {
+		if len(n) > 4 && n[len(n)-4:] == ".log" {
+			segNames = append(segNames, n)
+		}
+	}
+	sort.Strings(segNames)
+	if len(segNames) == 0 {
+		if err := l.readMetaFile(); err != nil {
+			return nil, err
+		}
+		l.nextOffset = l.startOffset
+		if err := l.rollLocked(l.startOffset); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	if err := l.readMetaFile(); err != nil {
+		return nil, err
+	}
+	for _, name := range segNames {
+		f, err := backend.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		var base int64
+		if _, err := fmt.Sscanf(name[len(dir)+1:], "%020d.log", &base); err != nil {
+			return nil, fmt.Errorf("wal: bad segment name %q: %v", name, err)
+		}
+		seg := &segment{base: base, name: name, file: f}
+		if err := l.recoverSegment(seg); err != nil {
+			return nil, err
+		}
+		l.segments = append(l.segments, seg)
+	}
+	last := l.segments[len(l.segments)-1]
+	l.nextOffset = last.lastOffset() + 1
+	if l.nextOffset < l.startOffset {
+		l.nextOffset = l.startOffset
+	}
+	return l, nil
+}
+
+// recoverSegment scans a segment file, rebuilding batch metadata, producer
+// state, ongoing-transaction tracking and the aborted index. A trailing
+// partial write (torn append) is truncated away.
+func (l *Log) recoverSegment(seg *segment) error {
+	size := seg.file.Size()
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := seg.file.ReadAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	var pos int64
+	for pos < size {
+		b, n, err := protocol.DecodeBatch(buf[pos:])
+		if err != nil {
+			// Torn tail: discard the rest.
+			if terr := seg.file.Truncate(pos); terr != nil {
+				return terr
+			}
+			break
+		}
+		l.indexBatch(seg, &b, pos, int32(n))
+		pos += int64(n)
+	}
+	return nil
+}
+
+// indexBatch appends metadata for a decoded batch and updates producer and
+// transaction state. Caller holds the lock (or is single-threaded setup).
+func (l *Log) indexBatch(seg *segment, b *protocol.RecordBatch, pos int64, size int32) {
+	seg.metas = append(seg.metas, batchMeta{
+		baseOffset:    b.BaseOffset,
+		lastOffset:    b.LastOffset(),
+		pos:           pos,
+		size:          size,
+		maxTimestamp:  b.MaxTimestamp(),
+		producerID:    b.ProducerID,
+		transactional: b.Transactional,
+		control:       b.Control,
+	})
+	l.trackBatch(b)
+}
+
+// trackBatch updates producer sequences and transaction ranges for an
+// appended or recovered batch.
+func (l *Log) trackBatch(b *protocol.RecordBatch) {
+	if b.ProducerID == protocol.NoProducerID {
+		return
+	}
+	if b.Control {
+		m, err := b.Marker()
+		if err == nil {
+			if first, ok := l.ongoing[b.ProducerID]; ok {
+				if m.Type == protocol.MarkerAbort {
+					l.aborted = append(l.aborted, AbortedRange{
+						ProducerID:  b.ProducerID,
+						FirstOffset: first,
+						LastOffset:  b.BaseOffset,
+					})
+				}
+				delete(l.ongoing, b.ProducerID)
+			}
+		}
+		l.producers.observeEpoch(b.ProducerID, b.ProducerEpoch)
+		return
+	}
+	l.producers.record(b)
+	if b.Transactional {
+		if _, ok := l.ongoing[b.ProducerID]; !ok {
+			l.ongoing[b.ProducerID] = b.BaseOffset
+		}
+	}
+}
+
+func (l *Log) rollLocked(base int64) error {
+	name := fmt.Sprintf("%s/%020d.log", l.dir, base)
+	f, err := l.backend.Create(name)
+	if err != nil {
+		return err
+	}
+	l.segments = append(l.segments, &segment{base: base, name: name, file: f})
+	return nil
+}
+
+// AppendResult reports the outcome of an idempotent append attempt.
+type AppendResult struct {
+	Err        protocol.ErrorCode
+	BaseOffset int64
+}
+
+// Append validates the batch against producer state, assigns offsets, and
+// appends it. Duplicate sequences return ErrDuplicateSequence with the
+// original base offset (the client treats this as success); gaps return
+// ErrOutOfOrderSequence; stale epochs return ErrProducerFenced.
+func (l *Log) Append(b *protocol.RecordBatch) AppendResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !b.Control {
+		if code, off := l.producers.check(b); code != protocol.ErrNone {
+			return AppendResult{Err: code, BaseOffset: off}
+		}
+	}
+	b.BaseOffset = l.nextOffset
+	if err := l.appendLocked(b); err != nil {
+		return AppendResult{Err: protocol.ErrInvalidRecord}
+	}
+	return AppendResult{BaseOffset: b.BaseOffset}
+}
+
+// AppendAssigned appends a batch whose offsets were already assigned by a
+// leader (follower replication path). The batch must continue the log.
+func (l *Log) AppendAssigned(b *protocol.RecordBatch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b.BaseOffset != l.nextOffset {
+		return fmt.Errorf("wal: non-contiguous append: batch base %d, log end %d",
+			b.BaseOffset, l.nextOffset)
+	}
+	return l.appendLocked(b)
+}
+
+func (l *Log) appendLocked(b *protocol.RecordBatch) error {
+	if len(b.Records) == 0 {
+		return errors.New("wal: empty batch")
+	}
+	seg := l.segments[len(l.segments)-1]
+	if seg.size() >= l.cfg.SegmentBytes && len(seg.metas) > 0 {
+		if err := l.rollLocked(l.nextOffset); err != nil {
+			return err
+		}
+		seg = l.segments[len(l.segments)-1]
+	}
+	enc := protocol.EncodeBatch(b)
+	pos, err := seg.file.Append(enc)
+	if err != nil {
+		return err
+	}
+	if l.cfg.Fsync {
+		if err := seg.file.Sync(); err != nil {
+			return err
+		}
+	}
+	l.indexBatch(seg, b, pos, int32(len(enc)))
+	l.nextOffset = b.LastOffset() + 1
+	return nil
+}
+
+// StartOffset returns the log start offset (first available record).
+func (l *Log) StartOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.startOffset
+}
+
+// EndOffset returns the next offset to be assigned (log end offset).
+func (l *Log) EndOffset() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nextOffset
+}
+
+// FirstUnstable returns the first offset of the earliest open transaction,
+// or -1 when no transaction is open. The last stable offset is
+// min(FirstUnstable, high watermark); the broker combines the two.
+func (l *Log) FirstUnstable() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	first := int64(-1)
+	for _, off := range l.ongoing {
+		if first < 0 || off < first {
+			first = off
+		}
+	}
+	return first
+}
+
+// AbortedIn returns aborted transaction ranges overlapping [from, to).
+func (l *Log) AbortedIn(from, to int64) []AbortedRange {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []AbortedRange
+	for _, a := range l.aborted {
+		if a.LastOffset >= from && a.FirstOffset < to {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Read returns consecutive batches starting at the batch containing offset
+// (or the next batch after a compaction gap), stopping before maxOffset and
+// after maxBytes of encoded data (at least one batch is always returned
+// when data is available). It reports ErrOffsetOutOfRange for offsets below
+// the log start or above the log end.
+func (l *Log) Read(offset, maxOffset int64, maxBytes int) ([]*protocol.RecordBatch, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if offset < l.startOffset || offset > l.nextOffset {
+		return nil, ErrOffsetOutOfRange
+	}
+	if maxOffset > l.nextOffset {
+		maxOffset = l.nextOffset
+	}
+	if offset >= maxOffset {
+		return nil, nil
+	}
+	si := sort.Search(len(l.segments), func(i int) bool {
+		return l.segments[i].lastOffset() >= offset
+	})
+	var out []*protocol.RecordBatch
+	total := 0
+	for ; si < len(l.segments); si++ {
+		seg := l.segments[si]
+		mi := sort.Search(len(seg.metas), func(i int) bool {
+			return seg.metas[i].lastOffset >= offset
+		})
+		for ; mi < len(seg.metas); mi++ {
+			m := seg.metas[mi]
+			if m.baseOffset >= maxOffset {
+				return out, nil
+			}
+			if total > 0 && total+int(m.size) > maxBytes {
+				return out, nil
+			}
+			buf := make([]byte, m.size)
+			if _, err := seg.file.ReadAt(buf, m.pos); err != nil {
+				return nil, err
+			}
+			b, _, err := protocol.DecodeBatch(buf)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &b)
+			total += int(m.size)
+		}
+	}
+	return out, nil
+}
+
+// OffsetForTimestamp returns the first offset whose batch max timestamp is
+// at least ts, or -1 when no such batch exists.
+func (l *Log) OffsetForTimestamp(ts int64) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, seg := range l.segments {
+		for _, m := range seg.metas {
+			if m.maxTimestamp >= ts {
+				return m.baseOffset
+			}
+		}
+	}
+	return -1
+}
+
+// TruncateTo discards all records at and beyond offset, rebuilding producer
+// and transaction state from the remaining log. Used when a replica becomes
+// a follower and must drop uncommitted records.
+func (l *Log) TruncateTo(offset int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset >= l.nextOffset {
+		return nil
+	}
+	if offset < l.startOffset {
+		offset = l.startOffset
+	}
+	// Drop whole segments beyond the cut.
+	for len(l.segments) > 1 && l.segments[len(l.segments)-1].base >= offset {
+		seg := l.segments[len(l.segments)-1]
+		seg.file.Close()
+		if err := l.backend.Remove(seg.name); err != nil {
+			return err
+		}
+		l.segments = l.segments[:len(l.segments)-1]
+	}
+	// Cut within the now-last segment.
+	seg := l.segments[len(l.segments)-1]
+	cut := sort.Search(len(seg.metas), func(i int) bool {
+		return seg.metas[i].lastOffset >= offset
+	})
+	if cut < len(seg.metas) {
+		if err := seg.file.Truncate(seg.metas[cut].pos); err != nil {
+			return err
+		}
+		seg.metas = seg.metas[:cut]
+	}
+	l.nextOffset = offset
+	l.rebuildStateLocked()
+	return nil
+}
+
+// rebuildStateLocked rescans all batch metadata to reconstruct producer
+// sequences, open transactions, and the aborted index after truncation.
+func (l *Log) rebuildStateLocked() {
+	l.producers = newProducerStateTable()
+	l.ongoing = make(map[int64]int64)
+	l.aborted = nil
+	for _, seg := range l.segments {
+		for _, m := range seg.metas {
+			buf := make([]byte, m.size)
+			if _, err := seg.file.ReadAt(buf, m.pos); err != nil {
+				continue
+			}
+			b, _, err := protocol.DecodeBatch(buf)
+			if err != nil {
+				continue
+			}
+			l.trackBatch(&b)
+		}
+	}
+}
+
+// AdvanceStartOffset raises the log start offset (delete-records), dropping
+// whole segments that fall entirely below it.
+func (l *Log) AdvanceStartOffset(offset int64) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset > l.nextOffset {
+		offset = l.nextOffset
+	}
+	if offset <= l.startOffset {
+		return l.startOffset, nil
+	}
+	l.startOffset = offset
+	for len(l.segments) > 1 && l.segments[1].base <= offset {
+		seg := l.segments[0]
+		seg.file.Close()
+		if err := l.backend.Remove(seg.name); err != nil {
+			return 0, err
+		}
+		l.segments = l.segments[1:]
+	}
+	if err := l.writeMetaFileLocked(); err != nil {
+		return 0, err
+	}
+	return l.startOffset, nil
+}
+
+// Size returns the total byte size of all segments.
+func (l *Log) Size() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var n int64
+	for _, seg := range l.segments {
+		n += seg.size()
+	}
+	return n
+}
+
+// Compactions returns how many compaction passes have completed.
+func (l *Log) Compactions() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.compactions
+}
+
+// ProducerEpoch returns the latest observed epoch for a producer id, or -1.
+func (l *Log) ProducerEpoch(pid int64) int16 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.producers.epochOf(pid)
+}
+
+// HasOngoing reports whether the producer has an open transaction here.
+func (l *Log) HasOngoing(pid int64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.ongoing[pid]
+	return ok
+}
+
+// Close releases all segment files.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var first error
+	for _, seg := range l.segments {
+		if err := seg.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- log start offset persistence ---
+
+func (l *Log) metaName() string { return l.dir + "/meta" }
+
+func (l *Log) readMetaFile() error {
+	f, err := l.backend.Open(l.metaName())
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return nil // treat unreadable meta as absent
+	}
+	l.startOffset = int64(binary.BigEndian.Uint64(buf[:]))
+	return nil
+}
+
+func (l *Log) writeMetaFileLocked() error {
+	f, err := l.backend.Create(l.metaName())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(l.startOffset))
+	_, err = f.Append(buf[:])
+	return err
+}

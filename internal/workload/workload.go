@@ -1,0 +1,260 @@
+// Package workload generates the synthetic input streams used by the
+// benchmark harness and examples, substituting for the paper's production
+// traffic (Section 6) and its streaming data generator (Section 4.3):
+// keyed event streams with configurable key skew, event-time spacing, and
+// out-of-order arrivals, plus domain-specific generators for pageviews
+// (Figure 2), market ticks (Bloomberg MxFlow), and conversation events
+// (Expedia CP).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StreamSpec shapes a synthetic keyed stream.
+type StreamSpec struct {
+	// Keys is the key-space size; keys are "key-000042"-style strings.
+	Keys int
+	// ZipfS > 1 skews key popularity (Zipf exponent); 0 means uniform.
+	ZipfS float64
+	// OutOfOrderFraction of records carry a timestamp earlier than the
+	// current event-time head.
+	OutOfOrderFraction float64
+	// MaxDelayMs bounds how far back an out-of-order timestamp may fall.
+	MaxDelayMs int64
+	// StartTs is the first event timestamp (ms).
+	StartTs int64
+	// IntervalMs advances event time per record.
+	IntervalMs int64
+	// ValueBytes pads values to this size (minimum value content applies).
+	ValueBytes int
+}
+
+func (s *StreamSpec) fill() {
+	if s.Keys <= 0 {
+		s.Keys = 100
+	}
+	if s.IntervalMs <= 0 {
+		s.IntervalMs = 1
+	}
+	if s.MaxDelayMs <= 0 {
+		s.MaxDelayMs = 1000
+	}
+	if s.StartTs <= 0 {
+		s.StartTs = 1_600_000_000_000
+	}
+}
+
+// Stream emits records deterministically from a seed.
+type Stream struct {
+	spec StreamSpec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	head int64 // event-time head
+	n    int64
+}
+
+// NewStream builds a deterministic generator.
+func NewStream(seed int64, spec StreamSpec) *Stream {
+	spec.fill()
+	rng := rand.New(rand.NewSource(seed))
+	s := &Stream{spec: spec, rng: rng, head: spec.StartTs}
+	if spec.ZipfS > 1 {
+		s.zipf = rand.NewZipf(rng, spec.ZipfS, 1, uint64(spec.Keys-1))
+	}
+	return s
+}
+
+// Next returns the next record.
+func (s *Stream) Next() (key, value []byte, ts int64) {
+	var k int
+	if s.zipf != nil {
+		k = int(s.zipf.Uint64())
+	} else {
+		k = s.rng.Intn(s.spec.Keys)
+	}
+	s.head += s.spec.IntervalMs
+	ts = s.head
+	if s.spec.OutOfOrderFraction > 0 && s.rng.Float64() < s.spec.OutOfOrderFraction {
+		ts -= 1 + s.rng.Int63n(s.spec.MaxDelayMs)
+	}
+	s.n++
+	key = []byte(fmt.Sprintf("key-%06d", k))
+	v := fmt.Sprintf("v-%d", s.n)
+	if pad := s.spec.ValueBytes - len(v); pad > 0 {
+		buf := make([]byte, s.spec.ValueBytes)
+		copy(buf, v)
+		for i := len(v); i < len(buf); i++ {
+			buf[i] = 'x'
+		}
+		value = buf
+	} else {
+		value = []byte(v)
+	}
+	return key, value, ts
+}
+
+// Count returns how many records were generated.
+func (s *Stream) Count() int64 { return s.n }
+
+// PageView is the Figure 2 event type: a view of a page in a category
+// with a dwell period in milliseconds.
+type PageView struct {
+	Page     string `json:"page"`
+	Category string `json:"category"`
+	Period   int64  `json:"period"`
+	UserID   string `json:"user_id"`
+}
+
+// PageViews generates pageview events.
+type PageViews struct {
+	rng        *rand.Rand
+	categories []string
+	head       int64
+	oooFrac    float64
+	maxDelay   int64
+}
+
+// NewPageViews builds a deterministic pageview generator.
+func NewPageViews(seed int64, categories int, oooFraction float64, maxDelayMs int64) *PageViews {
+	cats := make([]string, categories)
+	for i := range cats {
+		cats[i] = fmt.Sprintf("category-%02d", i)
+	}
+	return &PageViews{
+		rng:        rand.New(rand.NewSource(seed)),
+		categories: cats,
+		head:       1_600_000_000_000,
+		oooFrac:    oooFraction,
+		maxDelay:   maxDelayMs,
+	}
+}
+
+// Next returns a pageview and its event timestamp.
+func (g *PageViews) Next() (PageView, int64) {
+	g.head += int64(1 + g.rng.Intn(20))
+	ts := g.head
+	if g.oooFrac > 0 && g.rng.Float64() < g.oooFrac {
+		ts -= 1 + g.rng.Int63n(g.maxDelay)
+	}
+	return PageView{
+		Page:     fmt.Sprintf("/page/%d", g.rng.Intn(1000)),
+		Category: g.categories[g.rng.Intn(len(g.categories))],
+		Period:   int64(g.rng.Intn(120_000)), // dwell up to 2 minutes
+		UserID:   fmt.Sprintf("user-%04d", g.rng.Intn(5000)),
+	}, ts
+}
+
+// Tick is a market data event (Bloomberg MxFlow substitute): a quote for
+// a derivative symbol.
+type Tick struct {
+	Symbol string  `json:"symbol"`
+	Bid    float64 `json:"bid"`
+	Ask    float64 `json:"ask"`
+	Size   int64   `json:"size"`
+}
+
+// Ticks generates market ticks with Zipf symbol popularity (a few hot
+// symbols take most updates, like real derivatives flow).
+type Ticks struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	symbols []string
+	mid     []float64
+	head    int64
+	oooFrac float64
+}
+
+// NewTicks builds a deterministic tick generator.
+func NewTicks(seed int64, symbols int, oooFraction float64) *Ticks {
+	rng := rand.New(rand.NewSource(seed))
+	syms := make([]string, symbols)
+	mid := make([]float64, symbols)
+	for i := range syms {
+		syms[i] = fmt.Sprintf("SYM%04d", i)
+		mid[i] = 20 + rng.Float64()*480
+	}
+	return &Ticks{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, 1.2, 1, uint64(symbols-1)),
+		symbols: syms,
+		mid:     mid,
+		head:    1_600_000_000_000,
+		oooFrac: oooFraction,
+	}
+}
+
+// Next returns a tick and its event timestamp.
+func (g *Ticks) Next() (Tick, int64) {
+	i := int(g.zipf.Uint64())
+	g.mid[i] *= 1 + (g.rng.Float64()-0.5)*0.002
+	spread := g.mid[i] * 0.001
+	g.head++
+	ts := g.head
+	if g.oooFrac > 0 && g.rng.Float64() < g.oooFrac {
+		ts -= 1 + g.rng.Int63n(500)
+	}
+	return Tick{
+		Symbol: g.symbols[i],
+		Bid:    g.mid[i] - spread,
+		Ask:    g.mid[i] + spread,
+		Size:   int64(1 + g.rng.Intn(1000)),
+	}, ts
+}
+
+// ConversationEvent is an Expedia CP-style dialogue event.
+type ConversationEvent struct {
+	ConversationID string `json:"conversation_id"`
+	Seq            int    `json:"seq"`
+	Kind           string `json:"kind"` // message, intent, booking, close
+	Text           string `json:"text"`
+}
+
+// Conversations generates strictly ordered events per conversation,
+// interleaved across many live conversations.
+type Conversations struct {
+	rng  *rand.Rand
+	live []conv
+	head int64
+	next int
+}
+
+type conv struct {
+	id  string
+	seq int
+}
+
+// NewConversations builds a deterministic conversation generator.
+func NewConversations(seed int64, concurrent int) *Conversations {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Conversations{rng: rng, head: 1_600_000_000_000}
+	for i := 0; i < concurrent; i++ {
+		g.live = append(g.live, conv{id: fmt.Sprintf("conv-%05d", i)})
+	}
+	g.next = concurrent
+	return g
+}
+
+var kinds = []string{"message", "message", "message", "intent", "booking", "close"}
+
+// Next returns an event and its timestamp; closed conversations are
+// replaced with fresh ones.
+func (g *Conversations) Next() (ConversationEvent, int64) {
+	i := g.rng.Intn(len(g.live))
+	c := &g.live[i]
+	kind := kinds[g.rng.Intn(len(kinds))]
+	c.seq++
+	ev := ConversationEvent{
+		ConversationID: c.id,
+		Seq:            c.seq,
+		Kind:           kind,
+		Text:           fmt.Sprintf("event %d in %s", c.seq, c.id),
+	}
+	g.head += int64(1 + g.rng.Intn(50))
+	if kind == "close" {
+		g.live[i] = conv{id: fmt.Sprintf("conv-%05d", g.next)}
+		g.next++
+	}
+	return ev, g.head
+}

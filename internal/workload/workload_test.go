@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := NewStream(7, StreamSpec{Keys: 10, OutOfOrderFraction: 0.3})
+	b := NewStream(7, StreamSpec{Keys: 10, OutOfOrderFraction: 0.3})
+	for i := 0; i < 100; i++ {
+		ka, va, ta := a.Next()
+		kb, vb, tb := b.Next()
+		if string(ka) != string(kb) || string(va) != string(vb) || ta != tb {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	if a.Count() != 100 {
+		t.Fatalf("count = %d", a.Count())
+	}
+}
+
+func TestStreamOutOfOrderFraction(t *testing.T) {
+	g := NewStream(1, StreamSpec{Keys: 10, OutOfOrderFraction: 0.25, MaxDelayMs: 5000, IntervalMs: 100})
+	ooo := 0
+	var head int64
+	for i := 0; i < 2000; i++ {
+		_, _, ts := g.Next()
+		if ts < head {
+			ooo++
+		}
+		if ts > head {
+			head = ts
+		}
+	}
+	frac := float64(ooo) / 2000
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("out-of-order fraction = %.2f, want ~0.25", frac)
+	}
+}
+
+func TestStreamZipfSkew(t *testing.T) {
+	g := NewStream(1, StreamSpec{Keys: 100, ZipfS: 1.5})
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		k, _, _ := g.Next()
+		counts[string(k)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000/10 {
+		t.Fatalf("hottest key only %d of 5000 — no skew", max)
+	}
+}
+
+func TestStreamValuePadding(t *testing.T) {
+	g := NewStream(1, StreamSpec{Keys: 3, ValueBytes: 64})
+	_, v, _ := g.Next()
+	if len(v) != 64 {
+		t.Fatalf("value length = %d", len(v))
+	}
+}
+
+func TestPageViews(t *testing.T) {
+	g := NewPageViews(3, 4, 0.2, 1000)
+	cats := map[string]bool{}
+	var prev int64
+	ooo := 0
+	for i := 0; i < 1000; i++ {
+		pv, ts := g.Next()
+		cats[pv.Category] = true
+		if pv.Period < 0 || pv.Period > 120000 {
+			t.Fatalf("period out of range: %d", pv.Period)
+		}
+		if ts < prev {
+			ooo++
+		}
+		if ts > prev {
+			prev = ts
+		}
+	}
+	if len(cats) != 4 {
+		t.Fatalf("categories = %d", len(cats))
+	}
+	if ooo == 0 {
+		t.Fatal("no out-of-order events at 20% fraction")
+	}
+}
+
+func TestTicksPlausible(t *testing.T) {
+	g := NewTicks(5, 20, 0)
+	syms := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		tick, _ := g.Next()
+		syms[tick.Symbol]++
+		if tick.Bid <= 0 || tick.Ask <= tick.Bid {
+			t.Fatalf("implausible tick: %+v", tick)
+		}
+		if tick.Size <= 0 || tick.Size > 1000 {
+			t.Fatalf("size out of range: %d", tick.Size)
+		}
+	}
+	// Zipf skew: the hottest symbol dominates.
+	max := 0
+	for _, c := range syms {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 300 {
+		t.Fatalf("hottest symbol only %d of 2000", max)
+	}
+}
+
+func TestConversationsOrderedPerConversation(t *testing.T) {
+	g := NewConversations(9, 10)
+	lastSeq := map[string]int{}
+	closedThenContinued := false
+	closed := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		ev, _ := g.Next()
+		if closed[ev.ConversationID] {
+			closedThenContinued = true
+		}
+		if ev.Seq != lastSeq[ev.ConversationID]+1 {
+			t.Fatalf("conversation %s: seq %d after %d", ev.ConversationID, ev.Seq, lastSeq[ev.ConversationID])
+		}
+		lastSeq[ev.ConversationID] = ev.Seq
+		if ev.Kind == "close" {
+			closed[ev.ConversationID] = true
+		}
+	}
+	if closedThenContinued {
+		t.Fatal("events emitted for a closed conversation")
+	}
+	if len(lastSeq) <= 10 {
+		t.Fatal("no conversation turnover")
+	}
+}

@@ -1,0 +1,301 @@
+// Package kafka is the public facade over the embedded Kafka cluster and
+// its clients: an in-process, replicated, transactional event log platform
+// (brokers, controller, coordinators) plus producer/consumer clients. It
+// is the substrate the streams package runs on, and is usable on its own
+// for plain produce/consume workloads with idempotent and transactional
+// semantics (paper Sections 3-4).
+package kafka
+
+import (
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/cluster"
+	"kstreams/internal/protocol"
+	"kstreams/internal/transport"
+)
+
+// Record is a timestamped key-value event (event time in milliseconds).
+type Record struct {
+	Key       []byte
+	Value     []byte
+	Timestamp int64
+}
+
+// Message is a consumed record with its position.
+type Message struct {
+	Topic     string
+	Partition int32
+	Offset    int64
+	Key       []byte
+	Value     []byte
+	Timestamp int64
+}
+
+// Offset names a committed position.
+type Offset struct {
+	Topic     string
+	Partition int32
+	Offset    int64
+}
+
+// Isolation selects consumer isolation.
+type Isolation = protocol.IsolationLevel
+
+// Isolation levels.
+const (
+	ReadUncommitted = protocol.ReadUncommitted
+	ReadCommitted   = protocol.ReadCommitted
+)
+
+// ErrFenced reports a zombie producer fenced by a newer instance.
+var ErrFenced = client.ErrFenced
+
+// ClusterConfig sizes the embedded cluster.
+type ClusterConfig struct {
+	// Brokers is the broker count (default 3, the paper's testbed).
+	Brokers int
+	// ReplicationFactor is the default topic RF (capped at Brokers).
+	ReplicationFactor int
+	// RPCLatency (plus Jitter) is charged per RPC on the in-process
+	// network, standing in for the testbed's real network.
+	RPCLatency time.Duration
+	Jitter     time.Duration
+	// AppendLatency models broker storage latency per leader append.
+	AppendLatency time.Duration
+	// DataDir, when set, persists broker logs on the filesystem.
+	DataDir string
+	// TxnTimeout aborts abandoned transactions.
+	TxnTimeout time.Duration
+	// GroupRebalanceTimeout bounds consumer group rebalance rounds.
+	GroupRebalanceTimeout time.Duration
+	// Seed makes network jitter deterministic.
+	Seed int64
+}
+
+// Cluster is an embedded Kafka cluster.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster starts an embedded cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	c, err := cluster.New(cluster.Config{
+		Brokers:               cfg.Brokers,
+		ReplicationFactor:     cfg.ReplicationFactor,
+		RPCLatency:            cfg.RPCLatency,
+		Jitter:                cfg.Jitter,
+		AppendLatency:         cfg.AppendLatency,
+		DataDir:               cfg.DataDir,
+		TxnTimeout:            cfg.TxnTimeout,
+		GroupRebalanceTimeout: cfg.GroupRebalanceTimeout,
+		Seed:                  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: c}, nil
+}
+
+// CreateTopic creates a topic with the default replication factor.
+func (c *Cluster) CreateTopic(name string, partitions int32, compacted bool) error {
+	return c.inner.CreateTopic(name, partitions, 0, protocol.TopicConfig{Compacted: compacted})
+}
+
+// CrashBroker kills a broker (1-based id); its leaderships fail over.
+func (c *Cluster) CrashBroker(id int32) { c.inner.CrashBroker(id) }
+
+// RestartBroker restarts a crashed broker from its retained storage.
+func (c *Cluster) RestartBroker(id int32) error { return c.inner.RestartBroker(id) }
+
+// LeaderOf returns the leader broker id of a partition (-1 if offline).
+func (c *Cluster) LeaderOf(topic string, partition int32) int32 {
+	return c.inner.LeaderOf(protocol.TopicPartition{Topic: topic, Partition: partition})
+}
+
+// RPCCount returns the total RPCs carried by the network, a proxy for the
+// coordination cost studied in the paper's Section 4.3.
+func (c *Cluster) RPCCount() int64 { return c.inner.RPCCount() }
+
+// Close stops all brokers.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// Net exposes the transport fabric for the streams runtime.
+func (c *Cluster) Net() *transport.Network { return c.inner.Net() }
+
+// Controller exposes the controller node id for the streams runtime.
+func (c *Cluster) Controller() int32 { return c.inner.Controller() }
+
+// --- Producer ---
+
+// ProducerConfig configures a producer.
+type ProducerConfig struct {
+	// Idempotent enables de-duplicated appends (paper Section 4.1).
+	Idempotent bool
+	// TransactionalID enables transactions and zombie fencing.
+	TransactionalID string
+	// TxnTimeout lets the coordinator abort abandoned transactions.
+	TxnTimeout time.Duration
+	// BatchRecords is the per-partition batch size.
+	BatchRecords int
+}
+
+// Producer appends records to topic partitions.
+type Producer struct {
+	inner *client.Producer
+}
+
+// NewProducer creates a producer against the cluster.
+func (c *Cluster) NewProducer(cfg ProducerConfig) (*Producer, error) {
+	p, err := client.NewProducer(c.inner.Net(), client.ProducerConfig{
+		Controller:      c.inner.Controller(),
+		Idempotent:      cfg.Idempotent,
+		TransactionalID: cfg.TransactionalID,
+		TxnTimeout:      cfg.TxnTimeout,
+		BatchRecords:    cfg.BatchRecords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{inner: p}, nil
+}
+
+// Send buffers a record, routed by key hash.
+func (p *Producer) Send(topic string, r Record) error {
+	return p.inner.Send(topic, protocol.Record{Key: r.Key, Value: r.Value, Timestamp: r.Timestamp})
+}
+
+// SendTo buffers a record for an explicit partition.
+func (p *Producer) SendTo(topic string, partition int32, r Record) error {
+	return p.inner.SendTo(protocol.TopicPartition{Topic: topic, Partition: partition},
+		protocol.Record{Key: r.Key, Value: r.Value, Timestamp: r.Timestamp})
+}
+
+// Flush sends all buffered batches and awaits acknowledgement.
+func (p *Producer) Flush() error { return p.inner.Flush() }
+
+// BeginTxn / CommitTxn / AbortTxn manage the producer's transaction.
+func (p *Producer) BeginTxn() error  { return p.inner.BeginTxn() }
+func (p *Producer) CommitTxn() error { return p.inner.CommitTxn() }
+func (p *Producer) AbortTxn() error  { return p.inner.AbortTxn() }
+
+// SendOffsetsToTxn stages group offsets inside the transaction.
+func (p *Producer) SendOffsetsToTxn(group string, offsets []Offset) error {
+	entries := make([]protocol.OffsetEntry, len(offsets))
+	for i, o := range offsets {
+		entries[i] = protocol.OffsetEntry{
+			TP:     protocol.TopicPartition{Topic: o.Topic, Partition: o.Partition},
+			Offset: o.Offset,
+		}
+	}
+	return p.inner.SendOffsetsToTxn(group, entries, "", 0)
+}
+
+// Close releases the producer.
+func (p *Producer) Close() { p.inner.Close() }
+
+// --- Consumer ---
+
+// ConsumerConfig configures a consumer.
+type ConsumerConfig struct {
+	// Group enables coordinated assignment and committed offsets.
+	Group string
+	// Isolation selects read-committed or read-uncommitted delivery.
+	Isolation Isolation
+	// FromLatest starts at the log end when no offset is committed.
+	FromLatest bool
+	// SessionTimeout / HeartbeatInterval tune group liveness.
+	SessionTimeout    time.Duration
+	HeartbeatInterval time.Duration
+}
+
+// Consumer reads records, optionally as a group member.
+type Consumer struct {
+	inner *client.Consumer
+}
+
+// NewConsumer creates a consumer against the cluster.
+func (c *Cluster) NewConsumer(cfg ConsumerConfig) *Consumer {
+	reset := client.ResetEarliest
+	if cfg.FromLatest {
+		reset = client.ResetLatest
+	}
+	return &Consumer{inner: client.NewConsumer(c.inner.Net(), client.ConsumerConfig{
+		Controller:        c.inner.Controller(),
+		Group:             cfg.Group,
+		Isolation:         cfg.Isolation,
+		Reset:             reset,
+		SessionTimeout:    cfg.SessionTimeout,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+	})}
+}
+
+// Subscribe joins the group for the topics.
+func (c *Consumer) Subscribe(topics ...string) { c.inner.Subscribe(topics...) }
+
+// Assign sets a manual assignment.
+func (c *Consumer) Assign(topic string, partitions ...int32) {
+	tps := make([]protocol.TopicPartition, len(partitions))
+	for i, p := range partitions {
+		tps[i] = protocol.TopicPartition{Topic: topic, Partition: p}
+	}
+	c.inner.Assign(tps...)
+}
+
+// AssignParts sets a manual assignment across topics.
+func (c *Consumer) AssignParts(offsets []Offset) {
+	var tps []protocol.TopicPartition
+	for _, o := range offsets {
+		tp := protocol.TopicPartition{Topic: o.Topic, Partition: o.Partition}
+		tps = append(tps, tp)
+		if o.Offset >= 0 {
+			c.inner.Seek(tp, o.Offset)
+		}
+	}
+	c.inner.Assign(tps...)
+}
+
+// Poll returns the next batch of messages (possibly empty).
+func (c *Consumer) Poll() ([]Message, error) {
+	msgs, err := c.inner.Poll()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Message, len(msgs))
+	for i, m := range msgs {
+		out[i] = Message{
+			Topic:     m.TP.Topic,
+			Partition: m.TP.Partition,
+			Offset:    m.Offset,
+			Key:       m.Record.Key,
+			Value:     m.Record.Value,
+			Timestamp: m.Record.Timestamp,
+		}
+	}
+	return out, nil
+}
+
+// Commit durably commits consumed offsets.
+func (c *Consumer) Commit(offsets []Offset) error {
+	entries := make([]protocol.OffsetEntry, len(offsets))
+	for i, o := range offsets {
+		entries[i] = protocol.OffsetEntry{
+			TP:     protocol.TopicPartition{Topic: o.Topic, Partition: o.Partition},
+			Offset: o.Offset,
+		}
+	}
+	return c.inner.Commit(entries)
+}
+
+// Seek overrides the fetch position.
+func (c *Consumer) Seek(topic string, partition int32, offset int64) {
+	c.inner.Seek(protocol.TopicPartition{Topic: topic, Partition: partition}, offset)
+}
+
+// EndOffset returns the readable end of a partition.
+func (c *Consumer) EndOffset(topic string, partition int32) (int64, error) {
+	return c.inner.EndOffset(protocol.TopicPartition{Topic: topic, Partition: partition})
+}
+
+// Close leaves the group and releases the consumer.
+func (c *Consumer) Close() { c.inner.Close() }

@@ -1,0 +1,208 @@
+package kafka_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+)
+
+func newCluster(t *testing.T) *kafka.Cluster {
+	t.Helper()
+	c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicProduceConsume(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("t", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		if err := p.Send("t", kafka.Record{
+			Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v"), Timestamp: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	cons := c.NewConsumer(kafka.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("t", 0, 1)
+	seen := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for seen < 20 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen += len(msgs)
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if seen != 20 {
+		t.Fatalf("consumed %d of 20", seen)
+	}
+}
+
+func TestPublicTransactionsAndFencing(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("tx", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.NewProducer(kafka.ProducerConfig{TransactionalID: "pub-app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if err := p1.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	p1.Send("tx", kafka.Record{Key: []byte("a"), Value: []byte("1")})
+	if err := p1.CommitTxn(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := c.NewProducer(kafka.ProducerConfig{TransactionalID: "pub-app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if err := p1.BeginTxn(); err != nil {
+		t.Fatal(err)
+	}
+	p1.Send("tx", kafka.Record{Key: []byte("b"), Value: []byte("2")})
+	if err := p1.CommitTxn(); !errors.Is(err, kafka.ErrFenced) {
+		t.Fatalf("zombie commit: %v", err)
+	}
+}
+
+func TestPublicGroupOffsets(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("g", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	cons := c.NewConsumer(kafka.ConsumerConfig{Group: "pub-group"})
+	defer cons.Close()
+	if err := cons.Commit([]kafka.Offset{{Topic: "g", Partition: 0, Offset: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh consumer in the same group resumes from the commit.
+	c2 := c.NewConsumer(kafka.ConsumerConfig{Group: "pub-group"})
+	defer c2.Close()
+	c2.Assign("g", 0)
+	p, _ := c.NewProducer(kafka.ProducerConfig{})
+	defer p.Close()
+	for i := 0; i < 10; i++ {
+		p.SendTo("g", 0, kafka.Record{Key: []byte("k"), Value: []byte(fmt.Sprint(i))})
+	}
+	p.Flush()
+	deadline := time.Now().Add(5 * time.Second)
+	var first int64 = -1
+	for first < 0 && time.Now().Before(deadline) {
+		msgs, err := c2.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) > 0 {
+			first = msgs[0].Offset
+		}
+	}
+	if first != 7 {
+		t.Fatalf("resumed at %d, want 7", first)
+	}
+}
+
+func TestPublicCrashRestart(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("cr", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Send("cr", kafka.Record{Key: []byte("k"), Value: []byte("v")})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	leader := c.LeaderOf("cr", 0)
+	c.CrashBroker(leader)
+	if got := c.LeaderOf("cr", 0); got == leader || got < 0 {
+		t.Fatalf("failover leader = %d", got)
+	}
+	if err := c.RestartBroker(leader); err != nil {
+		t.Fatal(err)
+	}
+	// Data survives; producing continues.
+	p.Send("cr", kafka.Record{Key: []byte("k2"), Value: []byte("v2")})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cons := c.NewConsumer(kafka.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("cr", 0)
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < 2 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(msgs)
+	}
+	if got != 2 {
+		t.Fatalf("records after crash/restart = %d", got)
+	}
+	if c.RPCCount() == 0 {
+		t.Fatal("rpc counter dead")
+	}
+}
+
+func TestPublicSeekAndEndOffset(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("s", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.NewProducer(kafka.ProducerConfig{})
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		p.SendTo("s", 0, kafka.Record{Value: []byte(fmt.Sprint(i))})
+	}
+	p.Flush()
+	cons := c.NewConsumer(kafka.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("s", 0)
+	cons.Seek("s", 0, 3)
+	end, err := cons.EndOffset("s", 0)
+	if err != nil || end != 5 {
+		t.Fatalf("end offset = %d %v", end, err)
+	}
+	msgs, err := cons.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(msgs) == 0 && time.Now().Before(deadline) {
+		msgs, _ = cons.Poll()
+	}
+	if len(msgs) == 0 || msgs[0].Offset != 3 {
+		t.Fatalf("seek ignored: %+v", msgs)
+	}
+}

@@ -1,0 +1,121 @@
+package streams
+
+import (
+	"time"
+
+	"kstreams/internal/core"
+	"kstreams/kafka"
+)
+
+// Guarantee selects the processing guarantee; switching is a single
+// configuration change (paper Section 4.3).
+type Guarantee = core.Guarantee
+
+// Guarantees.
+const (
+	AtLeastOnce   = core.AtLeastOnce
+	ExactlyOnceV2 = core.ExactlyOnceV2
+	ExactlyOnceV1 = core.ExactlyOnceV1
+	ExactlyOnce   = core.ExactlyOnceV2 // alias for the default EOS mode
+)
+
+// Metrics is the application counter snapshot.
+type Metrics = core.Metrics
+
+// Config configures a Streams application instance.
+type Config struct {
+	// Cluster is the Kafka cluster to run against.
+	Cluster *kafka.Cluster
+	// InstanceID distinguishes instances of the same application deployed
+	// on different nodes.
+	InstanceID string
+	// Guarantee is the processing guarantee (default AtLeastOnce).
+	Guarantee Guarantee
+	// CommitInterval is the transaction/offset commit cadence (default
+	// 100ms, the paper's Figure 5.a setting).
+	CommitInterval time.Duration
+	// NumThreads is the stream thread count for this instance.
+	NumThreads int
+	// TxnTimeout bounds abandoned transactions under exactly-once.
+	TxnTimeout time.Duration
+	// SessionTimeout / HeartbeatInterval tune group liveness.
+	SessionTimeout    time.Duration
+	HeartbeatInterval time.Duration
+	// DisablePurge keeps consumed repartition records (default purge on).
+	DisablePurge bool
+}
+
+// App is a running (or runnable) Streams application instance.
+type App struct {
+	inner *core.App
+}
+
+// NewApp builds an application from the builder's topology.
+func NewApp(b *Builder, cfg Config) (*App, error) {
+	topo, err := b.Topology()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewApp(topo, core.AppConfig{
+		ApplicationID:     b.appID,
+		InstanceID:        cfg.InstanceID,
+		Net:               cfg.Cluster.Net(),
+		Controller:        cfg.Cluster.Controller(),
+		Guarantee:         cfg.Guarantee,
+		CommitInterval:    cfg.CommitInterval,
+		NumThreads:        cfg.NumThreads,
+		TxnTimeout:        cfg.TxnTimeout,
+		SessionTimeout:    cfg.SessionTimeout,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		DisablePurge:      cfg.DisablePurge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &App{inner: inner}, nil
+}
+
+// Start creates internal topics and launches stream threads.
+func (a *App) Start() error { return a.inner.Start() }
+
+// Close stops the instance, committing in-flight work.
+func (a *App) Close() { a.inner.Close() }
+
+// Kill crashes the instance: no final commit, no group leave. Open
+// transactions abort via the coordinator timeout; another instance (or a
+// restart) takes over the tasks and restores state from the changelogs.
+func (a *App) Kill() { a.inner.Kill() }
+
+// Metrics returns processing counters.
+func (a *App) Metrics() Metrics { return a.inner.Metrics() }
+
+// Err surfaces the first fatal thread error, if any.
+func (a *App) Err() error { return a.inner.Err() }
+
+// Describe renders the compiled topology.
+func (a *App) Describe() string { return a.inner.Topology().Describe() }
+
+// QueryKV reads a key from a locally hosted materialized store
+// (interactive queries over the running application's state).
+func (a *App) QueryKV(storeName string, key any) (any, bool) {
+	return a.inner.QueryKV(storeName, key)
+}
+
+// RangeKV folds every locally hosted entry of a key-value store.
+func (a *App) RangeKV(storeName string, fn func(key, value any) bool) {
+	a.inner.RangeKV(storeName, fn)
+}
+
+// QueryWindow reads (key, window start) from a locally hosted window store.
+func (a *App) QueryWindow(storeName string, key any, start int64) (any, bool) {
+	return a.inner.QueryWindow(storeName, key, start)
+}
+
+// AddThread scales this instance up by one stream thread at runtime.
+func (a *App) AddThread() error { return a.inner.AddThread() }
+
+// RemoveThread scales this instance down by one stream thread.
+func (a *App) RemoveThread() error { return a.inner.RemoveThread() }
+
+// NumThreads reports the live stream thread count.
+func (a *App) NumThreads() int { return a.inner.NumThreads() }

@@ -1,0 +1,92 @@
+package streams_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestExactlyOnceUnderBrokerCrash is DESIGN.md invariant 3 for broker
+// failures: a broker (possibly a leader of source, sink, changelog, and
+// coordinator partitions) crashes and restarts while an exactly-once app
+// is processing; the final counts must equal exactly the input.
+func TestExactlyOnceUnderBrokerCrash(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("bc-in", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("bc-out", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("broker-crash")
+	b.Stream("bc-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("bc-store").
+		ToStream().
+		To("bc-out")
+	cfg := appConfig(c, streams.ExactlyOnce)
+	cfg.CommitInterval = 50 * time.Millisecond
+	app, err := streams.NewApp(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	const rounds = 60
+	for r := 0; r < rounds; r++ {
+		for _, k := range keys {
+			prod.Send("bc-in", kafka.Record{Key: []byte(k), Value: []byte("v"), Timestamp: int64(r)})
+		}
+		if err := prod.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		switch r {
+		case 20:
+			// Crash the leader of an input partition mid-stream.
+			victim := c.LeaderOf("bc-in", 0)
+			c.CrashBroker(victim)
+			if err := c.RestartBroker(victim); err != nil {
+				t.Fatal(err)
+			}
+		case 40:
+			// And later, whichever broker now leads the output.
+			victim := c.LeaderOf("bc-out", 1)
+			c.CrashBroker(victim)
+			if err := c.RestartBroker(victim); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	table := consumeTable(t, c, "bc-out", 4, str, i64, func(m map[any]any) bool {
+		for _, k := range keys {
+			if m[k] != int64(rounds) {
+				return false
+			}
+		}
+		return true
+	}, 30*time.Second)
+	for _, k := range keys {
+		if table[k] != int64(rounds) {
+			t.Fatalf("key %s = %v, want %d (err=%v, metrics=%+v)",
+				k, table[k], rounds, app.Err(), app.Metrics())
+		}
+	}
+	if err := app.Err(); err != nil {
+		t.Fatalf("thread died: %v", err)
+	}
+	_ = fmt.Sprint()
+}

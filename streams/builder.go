@@ -1,0 +1,546 @@
+package streams
+
+import (
+	"fmt"
+
+	"kstreams/internal/core"
+)
+
+// Builder assembles a processing topology via the DSL. The application id
+// prefixes internal (repartition and changelog) topic names.
+type Builder struct {
+	appID string
+	t     *core.Topology
+	n     int
+}
+
+// NewBuilder returns an empty builder for the given application id.
+func NewBuilder(appID string) *Builder {
+	return &Builder{appID: appID, t: core.NewTopology()}
+}
+
+func (b *Builder) name(prefix string) string {
+	b.n++
+	return fmt.Sprintf("%s-%04d", prefix, b.n)
+}
+
+// Topology finalizes and returns the built topology.
+func (b *Builder) Topology() (*core.Topology, error) {
+	if err := b.t.Build(); err != nil {
+		return nil, err
+	}
+	return b.t, nil
+}
+
+// Describe renders the topology's sub-topology structure.
+func (b *Builder) Describe() (string, error) {
+	t, err := b.Topology()
+	if err != nil {
+		return "", err
+	}
+	return t.Describe(), nil
+}
+
+// Stream declares an input stream over a topic.
+func (b *Builder) Stream(topic string, keySerde, valSerde Serde) *KStream {
+	src := b.t.AddSource(b.name("source"), topic, keySerde, valSerde)
+	return &KStream{b: b, node: src.Name, keySerde: keySerde, valSerde: valSerde}
+}
+
+// Table declares a topic as a time-evolving table, materialized into a
+// changelogged store (paper Section 5: "a time-evolving table that can
+// also be represented by its changelog stream").
+func (b *Builder) Table(topic string, keySerde, valSerde Serde, storeName string) *KTable {
+	src := b.t.AddSource(b.name("table-source"), topic, keySerde, valSerde)
+	mat := b.t.AddProcessor(b.name("table-materialize"),
+		func() core.Processor { return &materializeProc{storeName: storeName} }, src.Name)
+	b.t.AddStore(core.StoreSpec{
+		Name: storeName, KeySerde: keySerde, ValSerde: valSerde, Changelog: true,
+	}, mat.Name)
+	return &KTable{b: b, node: mat.Name, storeName: storeName, keySerde: keySerde, valSerde: valSerde}
+}
+
+// KStream is an append-only record stream.
+type KStream struct {
+	b          *Builder
+	node       string
+	keySerde   Serde
+	valSerde   Serde
+	keyChanged bool // a repartition is required before key-based operations
+}
+
+func (s *KStream) derive(node string) *KStream {
+	out := *s
+	out.node = node
+	return &out
+}
+
+// Filter keeps records matching pred.
+func (s *KStream) Filter(pred func(k, v any) bool) *KStream {
+	n := s.b.t.AddProcessor(s.b.name("filter"), func() core.Processor {
+		return &filterProc{pred: pred}
+	}, s.node)
+	return s.derive(n.Name)
+}
+
+// FilterNot keeps records not matching pred.
+func (s *KStream) FilterNot(pred func(k, v any) bool) *KStream {
+	return s.Filter(func(k, v any) bool { return !pred(k, v) })
+}
+
+// Peek observes records without changing them.
+func (s *KStream) Peek(fn func(k, v any)) *KStream {
+	n := s.b.t.AddProcessor(s.b.name("peek"), func() core.Processor {
+		return &mapProc{fn: func(k, v any, ts int64) (any, any) { fn(k, v); return k, v }}
+	}, s.node)
+	return s.derive(n.Name)
+}
+
+// MapValues transforms values, keeping keys and partitioning.
+func (s *KStream) MapValues(fn func(v any) any, valSerde Serde) *KStream {
+	n := s.b.t.AddProcessor(s.b.name("mapvalues"), func() core.Processor {
+		return &mapProc{fn: func(k, v any, ts int64) (any, any) { return k, fn(v) }}
+	}, s.node)
+	out := s.derive(n.Name)
+	out.valSerde = valSerde
+	return out
+}
+
+// Map transforms keys and values; a later key-based operation will insert
+// a repartition topic, exactly like the map in the paper's Figure 2/3.
+func (s *KStream) Map(fn func(k, v any) (any, any), keySerde, valSerde Serde) *KStream {
+	n := s.b.t.AddProcessor(s.b.name("map"), func() core.Processor {
+		return &mapProc{fn: func(k, v any, ts int64) (any, any) { return fn(k, v) }}
+	}, s.node)
+	out := s.derive(n.Name)
+	out.keySerde = keySerde
+	out.valSerde = valSerde
+	out.keyChanged = true
+	return out
+}
+
+// SelectKey rekeys the stream.
+func (s *KStream) SelectKey(fn func(k, v any) any, keySerde Serde) *KStream {
+	return s.Map(func(k, v any) (any, any) { return fn(k, v), v }, keySerde, s.valSerde)
+}
+
+// Merge combines two streams (with compatible serdes) into one.
+func (s *KStream) Merge(other *KStream) *KStream {
+	n := s.b.t.AddProcessor(s.b.name("merge"), func() core.Processor {
+		return &mapProc{fn: func(k, v any, ts int64) (any, any) { return k, v }}
+	}, s.node, other.node)
+	out := s.derive(n.Name)
+	out.keyChanged = s.keyChanged || other.keyChanged
+	return out
+}
+
+// Branch splits the stream by the first matching predicate; records
+// matching none are dropped.
+func (s *KStream) Branch(preds ...func(k, v any) bool) []*KStream {
+	childNames := make([]string, len(preds))
+	parent := s.b.t.AddProcessor(s.b.name("branch"), func() core.Processor {
+		return &branchProc{preds: preds, children: childNames}
+	}, s.node)
+	out := make([]*KStream, len(preds))
+	for i := range preds {
+		child := s.b.t.AddProcessor(s.b.name(fmt.Sprintf("branch-%d", i)), func() core.Processor {
+			return &mapProc{fn: func(k, v any, ts int64) (any, any) { return k, v }}
+		}, parent.Name)
+		childNames[i] = child.Name
+		out[i] = s.derive(child.Name)
+	}
+	return out
+}
+
+// To pipes the stream to a sink topic with the stream's serdes.
+func (s *KStream) To(topic string) {
+	s.b.t.AddSink(s.b.name("sink"), topic, s.keySerde, s.valSerde, nil, s.node)
+}
+
+// ToWith pipes with explicit serdes and an optional partitioner.
+func (s *KStream) ToWith(topic string, keySerde, valSerde Serde, partitioner core.Partitioner) {
+	s.b.t.AddSink(s.b.name("sink"), topic, keySerde, valSerde, partitioner, s.node)
+}
+
+// Process inserts a custom processor; stores must be declared separately
+// on the returned stream's builder if needed.
+func (s *KStream) Process(supplier func() core.Processor, stores ...core.StoreSpec) *KStream {
+	n := s.b.t.AddProcessor(s.b.name("process"), supplier, s.node)
+	for _, spec := range stores {
+		s.b.t.AddStore(spec, n.Name)
+	}
+	return s.derive(n.Name)
+}
+
+// Repartition forces a shuffle through an internal topic (0 partitions =
+// inherit the app's default parallelism).
+func (s *KStream) Repartition(partitions int32) *KStream {
+	return s.repartition("repartition", partitions)
+}
+
+func (s *KStream) repartition(hint string, partitions int32) *KStream {
+	topic := fmt.Sprintf("%s-%s-repartition", s.b.appID, s.b.name(hint))
+	s.b.t.MarkRepartition(topic, partitions)
+	s.b.t.AddSink(s.b.name("repartition-sink"), topic, s.keySerde, s.valSerde, nil, s.node)
+	src := s.b.t.AddSource(s.b.name("repartition-source"), topic, s.keySerde, s.valSerde)
+	out := s.derive(src.Name)
+	out.keyChanged = false
+	return out
+}
+
+// GroupByKey groups by the current key, repartitioning only if the key was
+// changed upstream (paper Section 3.2).
+func (s *KStream) GroupByKey() *KGroupedStream {
+	g := s
+	if s.keyChanged {
+		g = s.repartition("grouped", 0)
+	}
+	return &KGroupedStream{s: g}
+}
+
+// GroupBy rekeys then groups (always repartitions).
+func (s *KStream) GroupBy(fn func(k, v any) any, keySerde Serde) *KGroupedStream {
+	return s.SelectKey(fn, keySerde).GroupByKey()
+}
+
+// Join is a windowed inner stream-stream join; inputs must be
+// co-partitioned on the join key.
+func (s *KStream) Join(other *KStream, joiner func(l, r any) any, win JoinWindows, outSerde Serde) *KStream {
+	return s.join(other, joiner, win, outSerde, false)
+}
+
+// LeftJoin is a windowed left stream-stream join. Unmatched left records
+// emit joiner(l, nil) — but only once the join window plus grace has
+// passed, because the output is an append-only stream whose records cannot
+// be revoked (paper Section 5).
+func (s *KStream) LeftJoin(other *KStream, joiner func(l, r any) any, win JoinWindows, outSerde Serde) *KStream {
+	return s.join(other, joiner, win, outSerde, true)
+}
+
+func (s *KStream) join(other *KStream, joiner func(l, r any) any, win JoinWindows, outSerde Serde, leftJoin bool) *KStream {
+	left := s
+	if left.keyChanged {
+		left = left.repartition("join-left", 0)
+	}
+	right := other
+	if right.keyChanged {
+		right = right.repartition("join-right", 0)
+	}
+	base := s.b.name("stream-join")
+	leftBuf, rightBuf, pending := base+"-left-buf", base+"-right-buf", base+"-pending"
+	retention := win.Retention()
+
+	mergerName := s.b.name("join-merger")
+	leftProc := s.b.t.AddProcessor(base+"-l", func() core.Processor {
+		return &streamJoinProc{
+			isLeft: true, leftJoin: leftJoin, joiner: joiner,
+			thisBuf: leftBuf, otherBuf: rightBuf, pendingBuf: pending,
+			before: win.BeforeMs, after: win.AfterMs, grace: win.GraceMs,
+			retention: retention, merger: mergerName,
+		}
+	}, left.node)
+	rightProc := s.b.t.AddProcessor(base+"-r", func() core.Processor {
+		return &streamJoinProc{
+			isLeft: false, leftJoin: leftJoin, joiner: joiner,
+			thisBuf: rightBuf, otherBuf: leftBuf, pendingBuf: pending,
+			before: win.BeforeMs, after: win.AfterMs, grace: win.GraceMs,
+			retention: retention, merger: mergerName,
+		}
+	}, right.node)
+	merger := s.b.t.AddProcessor(mergerName, func() core.Processor {
+		return &mapProc{fn: func(k, v any, ts int64) (any, any) { return k, v }}
+	}, leftProc.Name, rightProc.Name)
+
+	s.b.t.AddStore(core.StoreSpec{
+		Name: leftBuf, Windowed: true, KeySerde: left.keySerde,
+		ValSerde: listSerde{inner: left.valSerde}, Changelog: true, RetentionMs: retention,
+	}, leftProc.Name, rightProc.Name)
+	s.b.t.AddStore(core.StoreSpec{
+		Name: rightBuf, Windowed: true, KeySerde: left.keySerde,
+		ValSerde: listSerde{inner: right.valSerde}, Changelog: true, RetentionMs: retention,
+	}, leftProc.Name, rightProc.Name)
+	if leftJoin {
+		s.b.t.AddStore(core.StoreSpec{
+			Name: pending, Windowed: true, KeySerde: left.keySerde,
+			ValSerde: listSerde{inner: left.valSerde}, Changelog: true, RetentionMs: retention,
+		}, leftProc.Name, rightProc.Name)
+	}
+	out := left.derive(merger.Name)
+	out.valSerde = outSerde
+	return out
+}
+
+// JoinTable enriches the stream with a table lookup (inner).
+func (s *KStream) JoinTable(table *KTable, joiner func(v, tv any) any, outSerde Serde) *KStream {
+	return s.joinTable(table, joiner, outSerde, false)
+}
+
+// LeftJoinTable enriches with joiner(v, nil) when the table has no entry.
+func (s *KStream) LeftJoinTable(table *KTable, joiner func(v, tv any) any, outSerde Serde) *KStream {
+	return s.joinTable(table, joiner, outSerde, true)
+}
+
+func (s *KStream) joinTable(table *KTable, joiner func(v, tv any) any, outSerde Serde, left bool) *KStream {
+	in := s
+	if in.keyChanged {
+		in = in.repartition("st-join", 0)
+	}
+	n := s.b.t.AddProcessor(s.b.name("stream-table-join"), func() core.Processor {
+		return &streamTableJoinProc{store: table.storeName, joiner: joiner, leftJoin: left}
+	}, in.node)
+	// Declare store usage so the join lands in the table's task.
+	s.b.t.Node(n.Name).Stores = append(s.b.t.Node(n.Name).Stores, table.storeName)
+	out := in.derive(n.Name)
+	out.valSerde = outSerde
+	return out
+}
+
+// KGroupedStream is a stream grouped by key, ready for aggregation.
+type KGroupedStream struct {
+	s *KStream
+}
+
+// Count counts records per key into a table.
+func (g *KGroupedStream) Count(storeName string) *KTable {
+	return g.Aggregate(func() any { return int64(0) },
+		func(k, v, agg any) any { return agg.(int64) + 1 },
+		storeName, Int64Serde)
+}
+
+// Reduce combines values per key.
+func (g *KGroupedStream) Reduce(fn func(agg, v any) any, storeName string) *KTable {
+	return g.Aggregate(func() any { return nil },
+		func(k, v, agg any) any {
+			if agg == nil {
+				return v
+			}
+			return fn(agg, v)
+		},
+		storeName, g.s.valSerde)
+}
+
+// Aggregate folds records per key into a table (materialized, cached, and
+// changelogged).
+func (g *KGroupedStream) Aggregate(init func() any, add func(k, v, agg any) any, storeName string, aggSerde Serde) *KTable {
+	n := g.s.b.t.AddProcessor(g.s.b.name("aggregate"), func() core.Processor {
+		return &aggProc{store: storeName, init: init, add: add}
+	}, g.s.node)
+	g.s.b.t.AddStore(core.StoreSpec{
+		Name: storeName, KeySerde: g.s.keySerde, ValSerde: aggSerde,
+		Changelog: true, Cached: true,
+	}, n.Name)
+	return &KTable{b: g.s.b, node: n.Name, storeName: storeName, keySerde: g.s.keySerde, valSerde: aggSerde}
+}
+
+// WindowedBy moves to windowed aggregation.
+func (g *KGroupedStream) WindowedBy(w TimeWindows) *WindowedStream {
+	return &WindowedStream{s: g.s, win: w}
+}
+
+// WindowedStream is a grouped stream with a window specification.
+type WindowedStream struct {
+	s   *KStream
+	win TimeWindows
+}
+
+// Count counts records per key and window (the paper's Figure 2 example).
+func (w *WindowedStream) Count(storeName string) *WindowedTable {
+	return w.Aggregate(func() any { return int64(0) },
+		func(k, v, agg any) any { return agg.(int64) + 1 },
+		storeName, Int64Serde)
+}
+
+// Reduce combines values per key and window.
+func (w *WindowedStream) Reduce(fn func(agg, v any) any, storeName string) *WindowedTable {
+	return w.Aggregate(func() any { return nil },
+		func(k, v, agg any) any {
+			if agg == nil {
+				return v
+			}
+			return fn(agg, v)
+		},
+		storeName, w.s.valSerde)
+}
+
+// Aggregate folds records per key and window into a windowed table.
+// Results are emitted speculatively on every update; out-of-order records
+// within the grace period produce revisions, later ones are dropped and
+// counted (paper Section 5 / Figure 6).
+func (w *WindowedStream) Aggregate(init func() any, add func(k, v, agg any) any, storeName string, aggSerde Serde) *WindowedTable {
+	win := w.win
+	n := w.s.b.t.AddProcessor(w.s.b.name("windowed-aggregate"), func() core.Processor {
+		return &windowedAggProc{store: storeName, win: win, init: init, add: add}
+	}, w.s.node)
+	w.s.b.t.AddStore(core.StoreSpec{
+		Name: storeName, Windowed: true, KeySerde: w.s.keySerde, ValSerde: aggSerde,
+		Changelog: true, RetentionMs: win.Retention(),
+	}, n.Name)
+	return &WindowedTable{
+		b: w.s.b, node: n.Name, storeName: storeName,
+		keySerde: w.s.keySerde, valSerde: aggSerde, win: win,
+	}
+}
+
+// KTable is a time-evolving table; updates flow as Change records.
+type KTable struct {
+	b         *Builder
+	node      string
+	storeName string
+	keySerde  Serde
+	valSerde  Serde
+}
+
+// ToStream converts updates to a plain record stream of new values.
+func (t *KTable) ToStream() *KStream {
+	n := t.b.t.AddProcessor(t.b.name("to-stream"), func() core.Processor {
+		return &toStreamProc{}
+	}, t.node)
+	return &KStream{b: t.b, node: n.Name, keySerde: t.keySerde, valSerde: t.valSerde}
+}
+
+// Filter derives a table keeping rows that match; removed rows propagate
+// as tombstones.
+func (t *KTable) Filter(pred func(k, v any) bool, storeName string) *KTable {
+	fn := t.b.t.AddProcessor(t.b.name("table-filter"), func() core.Processor {
+		return &tableFilterProc{pred: pred}
+	}, t.node)
+	mat := t.b.t.AddProcessor(t.b.name("table-materialize"), func() core.Processor {
+		return &materializeProc{storeName: storeName}
+	}, fn.Name)
+	t.b.t.AddStore(core.StoreSpec{
+		Name: storeName, KeySerde: t.keySerde, ValSerde: t.valSerde, Changelog: true,
+	}, mat.Name)
+	return &KTable{b: t.b, node: mat.Name, storeName: storeName, keySerde: t.keySerde, valSerde: t.valSerde}
+}
+
+// MapValues derives a table with transformed values.
+func (t *KTable) MapValues(fn func(v any) any, valSerde Serde, storeName string) *KTable {
+	mp := t.b.t.AddProcessor(t.b.name("table-mapvalues"), func() core.Processor {
+		return &tableMapValuesProc{fn: fn}
+	}, t.node)
+	mat := t.b.t.AddProcessor(t.b.name("table-materialize"), func() core.Processor {
+		return &materializeProc{storeName: storeName}
+	}, mp.Name)
+	t.b.t.AddStore(core.StoreSpec{
+		Name: storeName, KeySerde: t.keySerde, ValSerde: valSerde, Changelog: true,
+	}, mat.Name)
+	return &KTable{b: t.b, node: mat.Name, storeName: storeName, keySerde: t.keySerde, valSerde: valSerde}
+}
+
+// Join is a table-table inner join: updates on either side emit revised
+// join results eagerly — table output admits amendment semantics, so no
+// delay is needed (paper Section 5).
+func (t *KTable) Join(other *KTable, joiner func(l, r any) any, storeName string, outSerde Serde) *KTable {
+	return t.join(other, joiner, storeName, outSerde, false)
+}
+
+// LeftJoin keeps left rows without a right match, passing nil to joiner.
+func (t *KTable) LeftJoin(other *KTable, joiner func(l, r any) any, storeName string, outSerde Serde) *KTable {
+	return t.join(other, joiner, storeName, outSerde, true)
+}
+
+func (t *KTable) join(other *KTable, joiner func(l, r any) any, storeName string, outSerde Serde, left bool) *KTable {
+	lp := t.b.t.AddProcessor(t.b.name("table-join-l"), func() core.Processor {
+		return &tableJoinProc{isLeft: true, leftJoin: left, thisStore: t.storeName, otherStore: other.storeName, joiner: joiner}
+	}, t.node)
+	rp := t.b.t.AddProcessor(t.b.name("table-join-r"), func() core.Processor {
+		return &tableJoinProc{isLeft: false, leftJoin: left, thisStore: other.storeName, otherStore: t.storeName, joiner: joiner}
+	}, other.node)
+	// Join processors read both materialized sides.
+	t.b.t.Node(lp.Name).Stores = append(t.b.t.Node(lp.Name).Stores, t.storeName, other.storeName)
+	t.b.t.Node(rp.Name).Stores = append(t.b.t.Node(rp.Name).Stores, other.storeName, t.storeName)
+	mat := t.b.t.AddProcessor(t.b.name("table-materialize"), func() core.Processor {
+		return &materializeProc{storeName: storeName}
+	}, lp.Name, rp.Name)
+	t.b.t.AddStore(core.StoreSpec{
+		Name: storeName, KeySerde: t.keySerde, ValSerde: outSerde, Changelog: true,
+	}, mat.Name)
+	return &KTable{b: t.b, node: mat.Name, storeName: storeName, keySerde: t.keySerde, valSerde: outSerde}
+}
+
+// GroupBy rekeys table updates for re-aggregation; old and new values
+// travel through the repartition topic so the downstream aggregation can
+// retract and accumulate (paper Section 5).
+func (t *KTable) GroupBy(fn func(k, v any) (any, any), keySerde, valSerde Serde) *KGroupedTable {
+	sel := t.b.t.AddProcessor(t.b.name("table-groupby"), func() core.Processor {
+		return &tableGroupByProc{fn: fn}
+	}, t.node)
+	topic := fmt.Sprintf("%s-%s-repartition", t.b.appID, t.b.name("table-grouped"))
+	t.b.t.MarkRepartition(topic, 0)
+	pairSerde := changePairSerde{inner: valSerde}
+	t.b.t.AddSink(t.b.name("repartition-sink"), topic, keySerde, pairSerde, nil, sel.Name)
+	src := t.b.t.AddSource(t.b.name("repartition-source"), topic, keySerde, pairSerde)
+	return &KGroupedTable{b: t.b, node: src.Name, keySerde: keySerde, valSerde: valSerde}
+}
+
+// StoreName exposes the table's materialized store.
+func (t *KTable) StoreName() string { return t.storeName }
+
+// KGroupedTable re-aggregates table updates under a new key.
+type KGroupedTable struct {
+	b        *Builder
+	node     string
+	keySerde Serde
+	valSerde Serde
+}
+
+// Aggregate folds adds and retractions into a new table.
+func (g *KGroupedTable) Aggregate(init func() any, add func(k, v, agg any) any, sub func(k, v, agg any) any, storeName string, aggSerde Serde) *KTable {
+	n := g.b.t.AddProcessor(g.b.name("table-aggregate"), func() core.Processor {
+		return &tableAggProc{store: storeName, init: init, add: add, sub: sub}
+	}, g.node)
+	g.b.t.AddStore(core.StoreSpec{
+		Name: storeName, KeySerde: g.keySerde, ValSerde: aggSerde,
+		Changelog: true, Cached: true,
+	}, n.Name)
+	return &KTable{b: g.b, node: n.Name, storeName: storeName, keySerde: g.keySerde, valSerde: aggSerde}
+}
+
+// Count counts rows per new key, retracting on updates and deletes.
+func (g *KGroupedTable) Count(storeName string) *KTable {
+	return g.Aggregate(func() any { return int64(0) },
+		func(k, v, agg any) any { return agg.(int64) + 1 },
+		func(k, v, agg any) any { return agg.(int64) - 1 },
+		storeName, Int64Serde)
+}
+
+// WindowedTable is a windowed aggregation result: a table keyed by
+// (key, window).
+type WindowedTable struct {
+	b         *Builder
+	node      string
+	storeName string
+	keySerde  Serde
+	valSerde  Serde
+	win       TimeWindows
+}
+
+// ToStream converts windowed updates to a stream keyed by WindowedKey.
+func (t *WindowedTable) ToStream() *KStream {
+	n := t.b.t.AddProcessor(t.b.name("to-stream"), func() core.Processor {
+		return &toStreamProc{}
+	}, t.node)
+	return &KStream{b: t.b, node: n.Name, keySerde: WindowedSerde(t.keySerde), valSerde: t.valSerde}
+}
+
+// Suppress buffers intermediate revisions and emits one final result per
+// (key, window) when the window closes — the output-consolidating suppress
+// operator of paper Sections 5 and 6.2.
+func (t *WindowedTable) Suppress(storeName string) *WindowedTable {
+	win := t.win
+	keySerde := t.keySerde
+	n := t.b.t.AddProcessor(t.b.name("suppress"), func() core.Processor {
+		return &suppressProc{store: storeName, win: win}
+	}, t.node)
+	t.b.t.AddStore(core.StoreSpec{
+		Name: storeName, Windowed: true, KeySerde: keySerde, ValSerde: t.valSerde,
+		Changelog: true, RetentionMs: win.Retention(),
+	}, n.Name)
+	out := *t
+	out.node = n.Name
+	out.storeName = storeName
+	return &out
+}
+
+// StoreName exposes the windowed store.
+func (t *WindowedTable) StoreName() string { return t.storeName }

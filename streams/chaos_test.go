@@ -1,0 +1,119 @@
+package streams_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestChaosExactlyOnce drives an exactly-once pipeline through a jittery
+// network, repeated broker crash/restarts, and one application instance
+// crash-and-replace — and requires the final counts to equal exactly the
+// input. This is DESIGN.md invariant 3 under combined failures ("a number
+// of failure scenarios which may even occur at the same time in practice",
+// paper Section 2.1).
+func TestChaosExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is slow")
+	}
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               3,
+		RPCLatency:            30 * time.Microsecond,
+		Jitter:                150 * time.Microsecond,
+		TxnTimeout:            2 * time.Second,
+		GroupRebalanceTimeout: 300 * time.Millisecond,
+		Seed:                  99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("chaos-in", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("chaos-out", 4, false); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("chaos")
+		b.Stream("chaos-in", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("chaos-store").
+			ToStream().
+			To("chaos-out")
+		return b
+	}
+	cfg := appConfig(c, streams.ExactlyOnce)
+	cfg.CommitInterval = 40 * time.Millisecond
+	app, err := streams.NewApp(build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%02d", i)
+	}
+	const rounds = 80
+	for r := 0; r < rounds; r++ {
+		for _, k := range keys {
+			prod.Send("chaos-in", kafka.Record{Key: []byte(k), Value: []byte("v"), Timestamp: int64(r)})
+		}
+		if err := prod.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case r == 25 || r == 55:
+			victim := int32(1 + rng.Intn(3))
+			c.CrashBroker(victim)
+			if err := c.RestartBroker(victim); err != nil {
+				t.Fatal(err)
+			}
+		case r == 40:
+			// Crash the app instance mid-transaction; a replacement takes
+			// over from the committed changelogs.
+			app.Kill()
+			cfg2 := appConfig(c, streams.ExactlyOnce)
+			cfg2.CommitInterval = 40 * time.Millisecond
+			cfg2.InstanceID = "replacement"
+			app, err = streams.NewApp(build(), cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Start(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	defer app.Close()
+
+	table := consumeTable(t, c, "chaos-out", 4, str, i64, func(m map[any]any) bool {
+		for _, k := range keys {
+			if m[k] != int64(rounds) {
+				return false
+			}
+		}
+		return true
+	}, 60*time.Second)
+	for _, k := range keys {
+		if table[k] != int64(rounds) {
+			t.Fatalf("key %s = %v, want %d under chaos (err=%v)", k, table[k], rounds, app.Err())
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package streams
+
+import (
+	"kstreams/internal/core"
+)
+
+// --- stateless operators (order-agnostic: no reordering delay, records
+// forward immediately — paper Section 5) ---
+
+type filterProc struct {
+	core.BaseProcessor
+	pred func(k, v any) bool
+}
+
+func (p *filterProc) Process(k, v any, ts int64) {
+	if p.pred(k, v) {
+		p.Ctx.Forward(k, v, ts)
+	}
+}
+
+type mapProc struct {
+	core.BaseProcessor
+	fn func(k, v any, ts int64) (any, any)
+}
+
+func (p *mapProc) Process(k, v any, ts int64) {
+	k2, v2 := p.fn(k, v, ts)
+	p.Ctx.Forward(k2, v2, ts)
+}
+
+type branchProc struct {
+	core.BaseProcessor
+	preds    []func(k, v any) bool
+	children []string
+}
+
+func (p *branchProc) Process(k, v any, ts int64) {
+	for i, pred := range p.preds {
+		if pred(k, v) {
+			p.Ctx.ForwardTo(p.children[i], k, v, ts)
+			return
+		}
+	}
+}
+
+type toStreamProc struct {
+	core.BaseProcessor
+}
+
+func (p *toStreamProc) Process(k, v any, ts int64) {
+	c, ok := v.(Change)
+	if !ok {
+		p.Ctx.Forward(k, v, ts)
+		return
+	}
+	p.Ctx.Forward(k, c.New, ts)
+}
+
+// --- table materialization ---
+
+// materializeProc turns a stream of plain values (nil = delete) into a
+// table: it writes the store and forwards Change records downstream. With
+// an uncached store the update forwards immediately (speculative emission);
+// with a cached store updates consolidate per commit interval.
+type materializeProc struct {
+	core.BaseProcessor
+	storeName string
+	kv        *core.TaskKV
+}
+
+func (p *materializeProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.kv = ctx.KV(p.storeName)
+	spec := p.kv.Spec()
+	p.kv.SetFlushListener(func(kb, nb, ob []byte, ts int64) {
+		change := Change{}
+		if nb != nil {
+			change.New = spec.ValSerde.Decode(nb)
+		}
+		if ob != nil {
+			change.Old = spec.ValSerde.Decode(ob)
+			if nb != nil {
+				ctx.CountRevision()
+			}
+		}
+		ctx.Forward(spec.KeySerde.Decode(kb), change, ts)
+	})
+}
+
+func (p *materializeProc) Process(k, v any, ts int64) {
+	p.kv.Put(k, v, ts)
+}
+
+// --- aggregations ---
+
+// aggProc folds a grouped record stream into a table.
+type aggProc struct {
+	core.BaseProcessor
+	store string
+	init  func() any
+	add   func(k, v, agg any) any
+	kv    *core.TaskKV
+}
+
+func (p *aggProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.kv = ctx.KV(p.store)
+	spec := p.kv.Spec()
+	p.kv.SetFlushListener(func(kb, nb, ob []byte, ts int64) {
+		change := Change{}
+		if nb != nil {
+			change.New = spec.ValSerde.Decode(nb)
+		}
+		if ob != nil {
+			change.Old = spec.ValSerde.Decode(ob)
+			if nb != nil {
+				ctx.CountRevision()
+			}
+		}
+		ctx.Forward(spec.KeySerde.Decode(kb), change, ts)
+	})
+}
+
+func (p *aggProc) Process(k, v any, ts int64) {
+	if v == nil {
+		return // stream aggregations skip tombstones
+	}
+	agg, ok := p.kv.Get(k)
+	if !ok {
+		agg = p.init()
+	}
+	p.kv.Put(k, p.add(k, v, agg), ts)
+}
+
+// tableAggProc folds a re-keyed table changelog: retractions apply the
+// subtractor, additions the adder (paper Section 5: "retracting the effect
+// of old update records and accumulating the effect of new update
+// records").
+type tableAggProc struct {
+	core.BaseProcessor
+	store string
+	init  func() any
+	add   func(k, v, agg any) any
+	sub   func(k, v, agg any) any
+	kv    *core.TaskKV
+}
+
+func (p *tableAggProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.kv = ctx.KV(p.store)
+	spec := p.kv.Spec()
+	p.kv.SetFlushListener(func(kb, nb, ob []byte, ts int64) {
+		change := Change{}
+		if nb != nil {
+			change.New = spec.ValSerde.Decode(nb)
+		}
+		if ob != nil {
+			change.Old = spec.ValSerde.Decode(ob)
+			if nb != nil {
+				ctx.CountRevision()
+			}
+		}
+		ctx.Forward(spec.KeySerde.Decode(kb), change, ts)
+	})
+}
+
+func (p *tableAggProc) Process(k, v any, ts int64) {
+	c, ok := v.(Change)
+	if !ok {
+		return
+	}
+	agg, have := p.kv.Get(k)
+	if !have {
+		agg = p.init()
+	}
+	if c.Old != nil {
+		agg = p.sub(k, c.Old, agg)
+	}
+	if c.New != nil {
+		agg = p.add(k, c.New, agg)
+	}
+	p.kv.Put(k, agg, ts)
+}
+
+// windowedAggProc is the windowed aggregation of Figure 6: speculative
+// eager emission, revisions for out-of-order records within grace, drops
+// (counted) beyond it, and stream-time-driven garbage collection.
+type windowedAggProc struct {
+	core.BaseProcessor
+	store string
+	win   TimeWindows
+	init  func() any
+	add   func(k, v, agg any) any
+	ws    *core.TaskWindow
+}
+
+func (p *windowedAggProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.ws = ctx.Window(p.store)
+}
+
+func (p *windowedAggProc) Process(k, v any, ts int64) {
+	if v == nil {
+		return
+	}
+	streamTime := p.Ctx.StreamTime()
+	retention := p.win.Retention()
+	accepted := false
+	for _, start := range p.win.WindowsFor(ts) {
+		end := start + p.win.SizeMs
+		if end+p.win.GraceMs <= streamTime {
+			continue // this window is past its grace period
+		}
+		accepted = true
+		agg, ok := p.ws.Get(k, start)
+		if !ok {
+			agg = p.init()
+		} else if ts < streamTime {
+			// Updating an existing window out of order: the emitted record
+			// revises a previously emitted result (Figure 6.c).
+			p.Ctx.CountRevision()
+		}
+		next := p.add(k, v, agg)
+		p.ws.Put(k, start, next, ts)
+		wk := WindowedKey{Key: k, Start: start, End: end}
+		change := Change{New: next}
+		if ok {
+			change.Old = agg
+		}
+		p.Ctx.Forward(wk, change, ts)
+	}
+	if !accepted {
+		p.Ctx.CountLateDrop()
+	}
+	// Expire windows beyond retention (Figure 6.d).
+	p.ws.DropBefore(streamTime - retention + 1)
+}
+
+// suppressProc buffers windowed revisions and emits a single final result
+// per (key, window) once the window closes (end + grace passed), the
+// suppress operator of paper Sections 5 / 6.2.
+type suppressProc struct {
+	core.BaseProcessor
+	store string
+	win   TimeWindows
+	ws    *core.TaskWindow
+}
+
+func (p *suppressProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.ws = ctx.Window(p.store)
+	interval := p.win.AdvanceMs
+	if interval > 1000 {
+		interval = 1000
+	}
+	if interval < 1 {
+		interval = 1
+	}
+	ctx.SchedulePunctuation(interval, p.emitClosed)
+}
+
+func (p *suppressProc) Process(k, v any, ts int64) {
+	wk, ok := k.(WindowedKey)
+	if !ok {
+		return
+	}
+	c, ok := v.(Change)
+	if !ok {
+		return
+	}
+	p.ws.Put(wk.Key, wk.Start, c.New, ts)
+	p.emitClosed(p.Ctx.StreamTime())
+}
+
+func (p *suppressProc) emitClosed(streamTime int64) {
+	bound := streamTime - p.win.SizeMs - p.win.GraceMs
+	if bound <= 0 {
+		return
+	}
+	for _, e := range p.ws.FetchAll(0, bound-1) {
+		key := p.ws.DecodeKey(e.Key)
+		val := p.ws.DecodeValue(e.Value)
+		wk := WindowedKey{Key: key, Start: e.Start, End: e.Start + p.win.SizeMs}
+		p.Ctx.Forward(wk, Change{New: val}, e.Start+p.win.SizeMs-1)
+		p.ws.Put(key, e.Start, nil, streamTime)
+	}
+}
+
+// --- joins ---
+
+// streamJoinProc is one side of a windowed stream-stream join. Matches
+// emit immediately; for a left join, unmatched left records are held in a
+// pending buffer and emitted as (l, nil) only after the window plus grace
+// has passed — append-only output cannot be revoked (paper Section 5).
+type streamJoinProc struct {
+	core.BaseProcessor
+	isLeft   bool
+	leftJoin bool
+	joiner   func(l, r any) any
+
+	thisBuf, otherBuf, pendingBuf string
+	before, after, grace          int64
+	retention                     int64
+	merger                        string
+
+	this, other, pending *core.TaskWindow
+}
+
+func (p *streamJoinProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.this = ctx.Window(p.thisBuf)
+	p.other = ctx.Window(p.otherBuf)
+	if p.leftJoin {
+		p.pending = ctx.Window(p.pendingBuf)
+		if p.isLeft {
+			interval := p.retention / 4
+			if interval < 1 {
+				interval = 1
+			}
+			ctx.SchedulePunctuation(interval, p.expirePending)
+		}
+	}
+}
+
+func (p *streamJoinProc) Process(k, v any, ts int64) {
+	streamTime := p.Ctx.StreamTime()
+	if ts < streamTime-p.retention {
+		p.Ctx.CountLateDrop()
+		return
+	}
+	// Buffer this record.
+	var list []any
+	if cur, ok := p.this.Get(k, ts); ok {
+		list = cur.([]any)
+	}
+	list = append(list, v)
+	p.this.Put(k, ts, list, ts)
+
+	// Scan the other side's buffer within the window.
+	var lo, hi int64
+	if p.isLeft {
+		lo, hi = ts-p.before, ts+p.after
+	} else {
+		lo, hi = ts-p.after, ts+p.before
+	}
+	matched := false
+	for _, e := range p.other.Fetch(k, lo, hi) {
+		others := p.other.DecodeValue(e.Value).([]any)
+		for _, ov := range others {
+			matched = true
+			outTs := ts
+			if e.Start > outTs {
+				outTs = e.Start
+			}
+			var joined any
+			if p.isLeft {
+				joined = p.joiner(v, ov)
+			} else {
+				joined = p.joiner(ov, v)
+			}
+			p.Ctx.ForwardTo(p.merger, k, joined, outTs)
+		}
+		if !p.isLeft && p.leftJoin {
+			// Right arrival satisfied these left records: drop them from
+			// the pending (unmatched) buffer.
+			p.pending.Put(p.other.DecodeKey(e.Key), e.Start, nil, ts)
+		}
+	}
+	if p.isLeft && p.leftJoin && !matched {
+		p.pending.Put(k, ts, list, ts)
+	}
+	if p.isLeft && p.leftJoin && matched {
+		p.pending.Put(k, ts, nil, ts)
+	}
+	// Expire buffered records beyond the join window plus grace.
+	p.this.DropBefore(streamTime - p.retention + 1)
+}
+
+// expirePending emits (l, nil) for left records whose join window closed
+// without a match.
+func (p *streamJoinProc) expirePending(streamTime int64) {
+	bound := streamTime - p.after - p.grace
+	if bound <= 0 {
+		return
+	}
+	for _, e := range p.pending.FetchAll(0, bound-1) {
+		key := p.pending.DecodeKey(e.Key)
+		for _, lv := range p.pending.DecodeValue(e.Value).([]any) {
+			p.Ctx.ForwardTo(p.merger, key, p.joiner(lv, nil), e.Start)
+		}
+		p.pending.Put(key, e.Start, nil, streamTime)
+	}
+}
+
+// streamTableJoinProc enriches stream records with a table lookup.
+type streamTableJoinProc struct {
+	core.BaseProcessor
+	store    string
+	joiner   func(v, tv any) any
+	leftJoin bool
+	kv       *core.TaskKV
+}
+
+func (p *streamTableJoinProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.kv = ctx.KV(p.store)
+}
+
+func (p *streamTableJoinProc) Process(k, v any, ts int64) {
+	tv, ok := p.kv.Get(k)
+	if !ok && !p.leftJoin {
+		return
+	}
+	p.Ctx.Forward(k, p.joiner(v, tv), ts)
+}
+
+// tableJoinProc is one side of a table-table join: each side's update is
+// joined against the other side's materialized view and forwarded eagerly
+// as a (possibly nil) new join result; the shared materializer derives the
+// Change. Out-of-order updates within grace simply produce more revisions
+// — amendment semantics make this correct (paper Section 5).
+type tableJoinProc struct {
+	core.BaseProcessor
+	isLeft     bool
+	leftJoin   bool
+	thisStore  string
+	otherStore string
+	joiner     func(l, r any) any
+	other      *core.TaskKV
+}
+
+func (p *tableJoinProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.other = ctx.KV(p.otherStore)
+}
+
+func (p *tableJoinProc) Process(k, v any, ts int64) {
+	c, ok := v.(Change)
+	if !ok {
+		return
+	}
+	ov, _ := p.other.Get(k)
+	var l, r any
+	if p.isLeft {
+		l, r = c.New, ov
+	} else {
+		l, r = ov, c.New
+	}
+	var joined any
+	switch {
+	case l == nil:
+		joined = nil
+	case r == nil && !p.leftJoin:
+		joined = nil
+	default:
+		joined = p.joiner(l, r)
+	}
+	p.Ctx.Forward(k, joined, ts)
+}
+
+// tableFilterProc filters table updates; rows falling out of the predicate
+// become tombstones.
+type tableFilterProc struct {
+	core.BaseProcessor
+	pred func(k, v any) bool
+}
+
+func (p *tableFilterProc) Process(k, v any, ts int64) {
+	c, ok := v.(Change)
+	if !ok {
+		return
+	}
+	var out any
+	if c.New != nil && p.pred(k, c.New) {
+		out = c.New
+	}
+	p.Ctx.Forward(k, out, ts)
+}
+
+// tableMapValuesProc transforms table values.
+type tableMapValuesProc struct {
+	core.BaseProcessor
+	fn func(v any) any
+}
+
+func (p *tableMapValuesProc) Process(k, v any, ts int64) {
+	c, ok := v.(Change)
+	if !ok {
+		return
+	}
+	var out any
+	if c.New != nil {
+		out = p.fn(c.New)
+	}
+	p.Ctx.Forward(k, out, ts)
+}
+
+// tableGroupByProc splits a table update into a retraction at the old key
+// and an addition at the new key, sent through the repartition topic with
+// changePairSerde.
+type tableGroupByProc struct {
+	core.BaseProcessor
+	fn func(k, v any) (any, any)
+}
+
+func (p *tableGroupByProc) Process(k, v any, ts int64) {
+	c, ok := v.(Change)
+	if !ok {
+		return
+	}
+	if c.Old != nil {
+		ko, vo := p.fn(k, c.Old)
+		if ko != nil {
+			p.Ctx.Forward(ko, Change{Old: vo}, ts)
+		}
+	}
+	if c.New != nil {
+		kn, vn := p.fn(k, c.New)
+		if kn != nil {
+			p.Ctx.Forward(kn, Change{New: vn}, ts)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package streams_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// collectValues drains a topic (read committed) until want values arrive.
+func collectValues(t *testing.T, c *kafka.Cluster, topic string, parts int32, want int, wait time.Duration) []string {
+	t.Helper()
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	ps := make([]int32, parts)
+	for i := range ps {
+		ps[i] = int32(i)
+	}
+	cons.Assign(topic, ps...)
+	var out []string
+	deadline := time.Now().Add(wait)
+	for len(out) < want && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if m.Value != nil {
+				out = append(out, string(m.Value))
+			}
+		}
+		if len(msgs) == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return out
+}
+
+func TestBranchMergeAndFilterNot(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"bm-in", "bm-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("branchy")
+	branches := b.Stream("bm-in", streams.StringSerde, streams.StringSerde).
+		FilterNot(func(k, v any) bool { return strings.HasPrefix(v.(string), "drop") }).
+		Branch(
+			func(k, v any) bool { return strings.HasPrefix(v.(string), "a") },
+			func(k, v any) bool { return true },
+		)
+	evens := branches[0].MapValues(func(v any) any { return "A:" + v.(string) }, streams.StringSerde)
+	odds := branches[1].MapValues(func(v any) any { return "B:" + v.(string) }, streams.StringSerde)
+	evens.Merge(odds).To("bm-out")
+
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	produceWords(t, c, "bm-in", []string{"apple", "banana", "avocado", "drop-me", "cherry"})
+	got := collectValues(t, c, "bm-out", 1, 4, 10*time.Second)
+	byPrefix := map[string]int{}
+	for _, v := range got {
+		byPrefix[v[:2]]++
+		if strings.Contains(v, "drop") {
+			t.Fatalf("dropped record leaked: %v", got)
+		}
+	}
+	if byPrefix["A:"] != 2 || byPrefix["B:"] != 2 {
+		t.Fatalf("branch routing: %v", got)
+	}
+}
+
+func TestStreamTableJoin(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"stj-orders", "stj-users", "stj-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("stj")
+	users := b.Table("stj-users", streams.StringSerde, streams.StringSerde, "users-tbl")
+	b.Stream("stj-orders", streams.StringSerde, streams.StringSerde).
+		LeftJoinTable(users, func(order, user any) any {
+			if user == nil {
+				return order.(string) + " by <unknown>"
+			}
+			return order.(string) + " by " + user.(string)
+		}, streams.StringSerde).
+		To("stj-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Table row first, then a matching order, then an unmatched one.
+	p.Send("stj-users", kafka.Record{Key: []byte("u1"), Value: []byte("alice"), Timestamp: 1})
+	p.Flush()
+	time.Sleep(150 * time.Millisecond) // let the table materialize
+	p.Send("stj-orders", kafka.Record{Key: []byte("u1"), Value: []byte("order-1"), Timestamp: 2})
+	p.Send("stj-orders", kafka.Record{Key: []byte("u9"), Value: []byte("order-2"), Timestamp: 3})
+	p.Flush()
+
+	got := collectValues(t, c, "stj-out", 1, 2, 10*time.Second)
+	joined := strings.Join(got, "|")
+	if !strings.Contains(joined, "order-1 by alice") {
+		t.Fatalf("join result missing: %v", got)
+	}
+	if !strings.Contains(joined, "order-2 by <unknown>") {
+		t.Fatalf("left join null missing: %v", got)
+	}
+}
+
+func TestStreamStreamInnerJoin(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"ssi-l", "ssi-r", "ssi-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("ssi")
+	l := b.Stream("ssi-l", streams.StringSerde, streams.StringSerde)
+	r := b.Stream("ssi-r", streams.StringSerde, streams.StringSerde)
+	l.Join(r, func(lv, rv any) any { return lv.(string) + "+" + rv.(string) },
+		streams.JoinWindowsOf(1000), streams.StringSerde).
+		To("ssi-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Send("ssi-l", kafka.Record{Key: []byte("k"), Value: []byte("L1"), Timestamp: 1000})
+	p.Send("ssi-r", kafka.Record{Key: []byte("k"), Value: []byte("R1"), Timestamp: 1500}) // in window
+	p.Send("ssi-r", kafka.Record{Key: []byte("k"), Value: []byte("R2"), Timestamp: 5000}) // out of window
+	p.Flush()
+
+	got := collectValues(t, c, "ssi-out", 1, 1, 10*time.Second)
+	if len(got) != 1 || got[0] != "L1+R1" {
+		t.Fatalf("inner join = %v, want [L1+R1] only", got)
+	}
+	// Wait a moment to confirm no spurious L1+R2 arrives.
+	time.Sleep(200 * time.Millisecond)
+	extra := collectValues(t, c, "ssi-out", 1, 2, 200*time.Millisecond)
+	if len(extra) > 1 {
+		t.Fatalf("out-of-window join leaked: %v", extra)
+	}
+}
+
+func TestHoppingWindowCounts(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"hop-in", "hop-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("hop")
+	b.Stream("hop-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		WindowedBy(streams.TimeWindowsOf(10000).AdvanceBy(5000).WithGrace(10000)).
+		Count("hop-store").
+		ToStream().
+		ToWith("hop-out", streams.WindowedSerde(streams.StringSerde), streams.Int64Serde, nil)
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// ts=12000 lands in hopping windows [5000,15000) and [10000,20000).
+	p.Send("hop-in", kafka.Record{Key: []byte("k"), Value: []byte("v"), Timestamp: 12000})
+	p.Flush()
+
+	wkSerde := streams.WindowedSerde(streams.StringSerde)
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	cons.Assign("hop-out", 0)
+	starts := map[int64]int64{}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(starts) < 2 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			wk := wkSerde.Decode(m.Key).(streams.WindowedKey)
+			starts[wk.Start] = streams.Int64Serde.Decode(m.Value).(int64)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if starts[5000] != 1 || starts[10000] != 1 {
+		t.Fatalf("hopping windows = %v, want counts in [5000) and [10000)", starts)
+	}
+}
+
+func TestTableFilterAndMapValues(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"tf-in", "tf-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("tf")
+	b.Table("tf-in", streams.StringSerde, streams.StringSerde, "tf-src").
+		Filter(func(k, v any) bool { return v.(string) != "hide" }, "tf-filtered").
+		MapValues(func(v any) any { return strings.ToUpper(v.(string)) }, streams.StringSerde, "tf-upper").
+		ToStream().
+		To("tf-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Send("tf-in", kafka.Record{Key: []byte("a"), Value: []byte("show"), Timestamp: 1})
+	p.Send("tf-in", kafka.Record{Key: []byte("b"), Value: []byte("hide"), Timestamp: 2})
+	p.Flush()
+
+	got := collectValues(t, c, "tf-out", 1, 1, 10*time.Second)
+	if len(got) < 1 || got[0] != "SHOW" {
+		t.Fatalf("table chain = %v, want [SHOW]", got)
+	}
+	// Updating a row out of the filter emits a tombstone downstream.
+	p.Send("tf-in", kafka.Record{Key: []byte("a"), Value: []byte("hide"), Timestamp: 3})
+	p.Flush()
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	cons.Assign("tf-out", 0)
+	sawTombstone := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !sawTombstone && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if string(m.Key) == "a" && m.Value == nil {
+				sawTombstone = true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawTombstone {
+		t.Fatal("filtered-out row did not propagate a tombstone")
+	}
+}
+
+func TestReduceAndPeek(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"rp-in", "rp-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var peeked int
+	b := streams.NewBuilder("rp")
+	b.Stream("rp-in", streams.StringSerde, streams.StringSerde).
+		Peek(func(k, v any) { peeked++ }).
+		GroupByKey().
+		Reduce(func(agg, v any) any { return agg.(string) + "," + v.(string) }, "rp-store").
+		ToStream().
+		To("rp-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 1; i <= 3; i++ {
+		p.Send("rp-in", kafka.Record{Key: []byte("k"), Value: []byte(fmt.Sprintf("v%d", i)), Timestamp: int64(i)})
+	}
+	p.Flush()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := app.QueryKV("rp-store", "k"); ok && v == "v1,v2,v3" {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v, _ := app.QueryKV("rp-store", "k"); v != "v1,v2,v3" {
+		t.Fatalf("reduce = %v", v)
+	}
+	if peeked != 3 {
+		t.Fatalf("peeked %d records", peeked)
+	}
+}

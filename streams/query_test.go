@@ -1,0 +1,207 @@
+package streams_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestInteractiveQueries exercises the paper's Section 8 "consistent state
+// query serving" direction: reading a running application's materialized
+// stores directly.
+func TestInteractiveQueries(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("iq-in", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("iq-out", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("iq")
+	b.Stream("iq-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("iq-store").
+		ToStream().
+		To("iq-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	produceWords(t, c, "iq-in", []string{"x", "x", "y", "x"})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := app.QueryKV("iq-store", "x"); ok && v == int64(3) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v, ok := app.QueryKV("iq-store", "x"); !ok || v != int64(3) {
+		t.Fatalf("QueryKV(x) = %v %v, want 3", v, ok)
+	}
+	if v, ok := app.QueryKV("iq-store", "y"); !ok || v != int64(1) {
+		t.Fatalf("QueryKV(y) = %v %v, want 1", v, ok)
+	}
+	if _, ok := app.QueryKV("iq-store", "missing"); ok {
+		t.Fatal("missing key found")
+	}
+	if _, ok := app.QueryKV("no-such-store", "x"); ok {
+		t.Fatal("unknown store answered")
+	}
+	total := int64(0)
+	app.RangeKV("iq-store", func(k, v any) bool {
+		total += v.(int64)
+		return true
+	})
+	if total != 4 {
+		t.Fatalf("RangeKV sum = %d, want 4", total)
+	}
+}
+
+func TestInteractiveWindowQueries(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("iqw-in", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("iqw-out", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("iqw")
+	b.Stream("iqw-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		WindowedBy(streams.TimeWindowsOf(5000).WithGrace(5000)).
+		Count("iqw-store").
+		ToStream().
+		ToWith("iqw-out", streams.WindowedSerde(streams.StringSerde), streams.Int64Serde, nil)
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, ts := range []int64{12000, 13000, 16000} {
+		p.Send("iqw-in", kafka.Record{Key: []byte("k"), Value: []byte("v"), Timestamp: ts})
+	}
+	p.Flush()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := app.QueryWindow("iqw-store", "k", 10000); ok && v == int64(2) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if v, ok := app.QueryWindow("iqw-store", "k", 10000); !ok || v != int64(2) {
+		t.Fatalf("window [10,15) = %v %v, want 2", v, ok)
+	}
+	if v, ok := app.QueryWindow("iqw-store", "k", 15000); !ok || v != int64(1) {
+		t.Fatalf("window [15,20) = %v %v, want 1", v, ok)
+	}
+}
+
+// TestLiveScaling adds and removes stream threads at runtime (the live
+// reconfiguration direction of the paper's Section 8): tasks rebalance and
+// processing continues exactly-once throughout.
+func TestLiveScaling(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("ls-in", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("ls-out", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("livescale")
+	b.Stream("ls-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("ls-store").
+		ToStream().
+		To("ls-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if app.NumThreads() != 1 {
+		t.Fatalf("threads = %d", app.NumThreads())
+	}
+
+	prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	rounds := 0
+	produceRound := func() {
+		for _, k := range keys {
+			prod.Send("ls-in", kafka.Record{Key: []byte(k), Value: []byte("v"), Timestamp: int64(rounds)})
+		}
+		if err := prod.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+	}
+
+	for i := 0; i < 10; i++ {
+		produceRound()
+	}
+	// Scale up mid-stream, keep producing, scale back down.
+	if err := app.AddThread(); err != nil {
+		t.Fatal(err)
+	}
+	if app.NumThreads() != 2 {
+		t.Fatalf("threads after add = %d", app.NumThreads())
+	}
+	for i := 0; i < 10; i++ {
+		produceRound()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := app.RemoveThread(); err != nil {
+		t.Fatal(err)
+	}
+	if app.NumThreads() != 1 {
+		t.Fatalf("threads after remove = %d", app.NumThreads())
+	}
+	for i := 0; i < 10; i++ {
+		produceRound()
+	}
+
+	want := int64(rounds)
+	table := consumeTable(t, c, "ls-out", 4, str, i64, func(m map[any]any) bool {
+		for _, k := range keys {
+			if m[k] != want {
+				return false
+			}
+		}
+		return true
+	}, 30*time.Second)
+	for _, k := range keys {
+		if table[k] != want {
+			t.Fatalf("key %s = %v, want %d (scaling broke exactly-once); err=%v",
+				k, table[k], want, app.Err())
+		}
+	}
+	// Removing the last thread is refused.
+	if err := app.RemoveThread(); err == nil {
+		t.Fatal("removed the last thread")
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,228 @@
+// Package streams is the public Kafka-Streams-style DSL: build a topology
+// of streams and tables (filter, map, group, window, aggregate, join,
+// suppress), then run it as an application with at-least-once or
+// exactly-once processing against a kafka.Cluster.
+//
+// It is the Go analogue of the Java DSL in the paper's Figure 2:
+//
+//	builder := streams.NewBuilder("pageview-app")
+//	builder.Stream("pageview-events", streams.StringSerde, viewSerde).
+//	        Filter(func(k, v any) bool { return v.(View).Period >= 30000 }).
+//	        Map(remap, streams.StringSerde, viewSerde).
+//	        GroupByKey().
+//	        WindowedBy(streams.TimeWindowsOf(5000)).
+//	        Count("counts").
+//	        ToStream().
+//	        To("pageview-windowed-counts")
+package streams
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"kstreams/internal/core"
+)
+
+// Serde converts between application values and bytes; see the concrete
+// serdes below or implement your own.
+type Serde = core.Serde
+
+// WindowedKey is the key type of windowed table records.
+type WindowedKey = core.WindowedKey
+
+// Change carries a table update (new and previous value) through table
+// streams; user-facing in custom processors and table join results.
+type Change = core.Change
+
+type stringSerde struct{}
+
+func (stringSerde) Encode(v any) []byte { return []byte(v.(string)) }
+func (stringSerde) Decode(p []byte) any { return string(p) }
+
+// StringSerde encodes Go strings.
+var StringSerde Serde = stringSerde{}
+
+type bytesSerde struct{}
+
+func (bytesSerde) Encode(v any) []byte { return v.([]byte) }
+func (bytesSerde) Decode(p []byte) any { return p }
+
+// BytesSerde passes byte slices through unchanged.
+var BytesSerde Serde = bytesSerde{}
+
+type int64Serde struct{}
+
+func (int64Serde) Encode(v any) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(toInt64(v)))
+	return buf[:]
+}
+
+func (int64Serde) Decode(p []byte) any {
+	if len(p) != 8 {
+		panic(fmt.Sprintf("streams: int64 serde: %d bytes", len(p)))
+	}
+	return int64(binary.BigEndian.Uint64(p))
+}
+
+func toInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	default:
+		panic(fmt.Sprintf("streams: int64 serde: %T", v))
+	}
+}
+
+// Int64Serde encodes int64 (and int/int32) values big-endian.
+var Int64Serde Serde = int64Serde{}
+
+type float64Serde struct{}
+
+func (float64Serde) Encode(v any) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.(float64)))
+	return buf[:]
+}
+
+func (float64Serde) Decode(p []byte) any {
+	if len(p) != 8 {
+		panic(fmt.Sprintf("streams: float64 serde: %d bytes", len(p)))
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(p))
+}
+
+// Float64Serde encodes float64 values.
+var Float64Serde Serde = float64Serde{}
+
+type jsonSerde[T any] struct{}
+
+func (jsonSerde[T]) Encode(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("streams: json encode: %v", err))
+	}
+	return b
+}
+
+func (jsonSerde[T]) Decode(p []byte) any {
+	var v T
+	if err := json.Unmarshal(p, &v); err != nil {
+		panic(fmt.Sprintf("streams: json decode: %v", err))
+	}
+	return v
+}
+
+// JSONSerde returns a serde that round-trips values of type T via JSON.
+func JSONSerde[T any]() Serde { return jsonSerde[T]{} }
+
+// windowedSerde encodes a WindowedKey as start, end, then the inner key.
+type windowedSerde struct{ inner Serde }
+
+func (s windowedSerde) Encode(v any) []byte {
+	wk := v.(WindowedKey)
+	kb := s.inner.Encode(wk.Key)
+	out := make([]byte, 16+len(kb))
+	binary.BigEndian.PutUint64(out[:8], uint64(wk.Start))
+	binary.BigEndian.PutUint64(out[8:16], uint64(wk.End))
+	copy(out[16:], kb)
+	return out
+}
+
+func (s windowedSerde) Decode(p []byte) any {
+	if len(p) < 16 {
+		panic("streams: windowed serde: short key")
+	}
+	return WindowedKey{
+		Start: int64(binary.BigEndian.Uint64(p[:8])),
+		End:   int64(binary.BigEndian.Uint64(p[8:16])),
+		Key:   s.inner.Decode(p[16:]),
+	}
+}
+
+// WindowedSerde wraps an inner key serde for WindowedKey values, used when
+// piping windowed results to sink topics.
+func WindowedSerde(inner Serde) Serde { return windowedSerde{inner: inner} }
+
+// listSerde encodes a slice of values (stream-stream join buffers hold all
+// records of one key and timestamp).
+type listSerde struct{ inner Serde }
+
+func (s listSerde) Encode(v any) []byte {
+	items := v.([]any)
+	var out []byte
+	var scratch [4]byte
+	for _, it := range items {
+		b := s.inner.Encode(it)
+		binary.BigEndian.PutUint32(scratch[:], uint32(len(b)))
+		out = append(out, scratch[:]...)
+		out = append(out, b...)
+	}
+	return out
+}
+
+func (s listSerde) Decode(p []byte) any {
+	var items []any
+	for len(p) >= 4 {
+		n := int(binary.BigEndian.Uint32(p[:4]))
+		p = p[4:]
+		if n > len(p) {
+			panic("streams: list serde: truncated")
+		}
+		items = append(items, s.inner.Decode(p[:n]))
+		p = p[n:]
+	}
+	return items
+}
+
+// changePairSerde carries table Change values (old and new) through
+// repartition topics for table group-by aggregations, so downstream
+// adders/subtractors can retract and accumulate (paper Section 5).
+type changePairSerde struct{ inner Serde }
+
+func (s changePairSerde) Encode(v any) []byte {
+	c := v.(Change)
+	enc := func(x any) []byte {
+		if x == nil {
+			return nil
+		}
+		return s.inner.Encode(x)
+	}
+	nb, ob := enc(c.New), enc(c.Old)
+	out := make([]byte, 8+len(nb)+len(ob))
+	writeLen := func(dst []byte, b []byte) {
+		if b == nil {
+			binary.BigEndian.PutUint32(dst, 0xffffffff)
+		} else {
+			binary.BigEndian.PutUint32(dst, uint32(len(b)))
+		}
+	}
+	writeLen(out[:4], nb)
+	copy(out[4:], nb)
+	writeLen(out[4+len(nb):8+len(nb)], ob)
+	copy(out[8+len(nb):], ob)
+	return out
+}
+
+func (s changePairSerde) Decode(p []byte) any {
+	read := func() any {
+		n := binary.BigEndian.Uint32(p[:4])
+		p = p[4:]
+		if n == 0xffffffff {
+			return nil
+		}
+		v := s.inner.Decode(p[:n])
+		p = p[n:]
+		return v
+	}
+	c := Change{}
+	c.New = read()
+	c.Old = read()
+	return c
+}

@@ -1,0 +1,125 @@
+package streams
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringSerde(t *testing.T) {
+	if got := StringSerde.Decode(StringSerde.Encode("hello")); got != "hello" {
+		t.Fatalf("roundtrip: %v", got)
+	}
+	if got := StringSerde.Decode(StringSerde.Encode("")); got != "" {
+		t.Fatalf("empty roundtrip: %v", got)
+	}
+}
+
+func TestInt64Serde(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if got := Int64Serde.Decode(Int64Serde.Encode(v)); got != v {
+			t.Fatalf("roundtrip %d: %v", v, got)
+		}
+	}
+	// int and int32 are accepted on encode.
+	if got := Int64Serde.Decode(Int64Serde.Encode(int(7))); got != int64(7) {
+		t.Fatalf("int encode: %v", got)
+	}
+	if got := Int64Serde.Decode(Int64Serde.Encode(int32(9))); got != int64(9) {
+		t.Fatalf("int32 encode: %v", got)
+	}
+	mustPanicS(t, func() { Int64Serde.Encode("nope") })
+	mustPanicS(t, func() { Int64Serde.Decode([]byte{1, 2}) })
+}
+
+func TestFloat64Serde(t *testing.T) {
+	for _, v := range []float64{0, 3.14159, -2.5e300} {
+		if got := Float64Serde.Decode(Float64Serde.Encode(v)); got != v {
+			t.Fatalf("roundtrip %v: %v", v, got)
+		}
+	}
+}
+
+func TestBytesSerde(t *testing.T) {
+	in := []byte{1, 2, 3}
+	if got := BytesSerde.Decode(BytesSerde.Encode(in)); !reflect.DeepEqual(got, in) {
+		t.Fatalf("roundtrip: %v", got)
+	}
+}
+
+type thing struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func TestJSONSerde(t *testing.T) {
+	s := JSONSerde[thing]()
+	in := thing{Name: "x", N: 42}
+	got := s.Decode(s.Encode(in))
+	if got != in {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	mustPanicS(t, func() { s.Decode([]byte("{nope")) })
+}
+
+func TestWindowedSerdeRoundTrip(t *testing.T) {
+	s := WindowedSerde(StringSerde)
+	in := WindowedKey{Key: "k", Start: 10000, End: 15000}
+	got := s.Decode(s.Encode(in)).(WindowedKey)
+	if got != in {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	mustPanicS(t, func() { s.Decode([]byte{1, 2, 3}) })
+}
+
+func TestWindowedSerdeProperty(t *testing.T) {
+	s := WindowedSerde(StringSerde)
+	f := func(key string, start, size int64) bool {
+		if size < 0 {
+			size = -size
+		}
+		in := WindowedKey{Key: key, Start: start, End: start + size}
+		return s.Decode(s.Encode(in)).(WindowedKey) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListSerde(t *testing.T) {
+	s := listSerde{inner: StringSerde}
+	in := []any{"a", "bb", "", "ccc"}
+	got := s.Decode(s.Encode(in)).([]any)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("roundtrip: %v", got)
+	}
+	if got, _ := s.Decode(s.Encode([]any(nil))).([]any); len(got) != 0 {
+		t.Fatalf("nil list: %v", got)
+	}
+}
+
+func TestChangePairSerde(t *testing.T) {
+	s := changePairSerde{inner: StringSerde}
+	cases := []Change{
+		{New: "n", Old: "o"},
+		{New: "n"},
+		{Old: "o"},
+		{},
+	}
+	for _, in := range cases {
+		got := s.Decode(s.Encode(in)).(Change)
+		if got != in {
+			t.Fatalf("roundtrip %+v: %+v", in, got)
+		}
+	}
+}
+
+func mustPanicS(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}

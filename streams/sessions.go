@@ -1,0 +1,158 @@
+package streams
+
+import (
+	"encoding/binary"
+
+	"kstreams/internal/core"
+)
+
+// SessionWindows groups records into activity sessions: records of one key
+// closer than Gap belong to one session; out-of-order records within Grace
+// can merge previously separate sessions, emitting revisions for the
+// retracted parts (Section 5's amendment semantics applied to sessions).
+type SessionWindows struct {
+	GapMs   int64
+	GraceMs int64
+}
+
+// SessionWindowsOf returns session windows with the given inactivity gap.
+func SessionWindowsOf(gapMs int64) SessionWindows {
+	return SessionWindows{GapMs: gapMs}
+}
+
+// WithGrace sets the out-of-order tolerance.
+func (w SessionWindows) WithGrace(graceMs int64) SessionWindows {
+	w.GraceMs = graceMs
+	return w
+}
+
+// SessionWindowedBy moves to session-windowed aggregation.
+func (g *KGroupedStream) SessionWindowedBy(w SessionWindows) *SessionStream {
+	return &SessionStream{s: g.s, win: w}
+}
+
+// SessionStream is a grouped stream with a session window specification.
+type SessionStream struct {
+	s   *KStream
+	win SessionWindows
+}
+
+// Count counts records per session.
+func (w *SessionStream) Count(storeName string) *WindowedTable {
+	return w.Aggregate(func() any { return int64(0) },
+		func(k, v, agg any) any { return agg.(int64) + 1 },
+		func(a, b any) any { return a.(int64) + b.(int64) },
+		storeName, Int64Serde)
+}
+
+// Aggregate folds records per session; merge combines the aggregates of
+// sessions united by a bridging record.
+func (w *SessionStream) Aggregate(init func() any, add func(k, v, agg any) any, merge func(a, b any) any, storeName string, aggSerde Serde) *WindowedTable {
+	win := w.win
+	n := w.s.b.t.AddProcessor(w.s.b.name("session-aggregate"), func() core.Processor {
+		return &sessionAggProc{store: storeName, win: win, init: init, add: add, merge: merge}
+	}, w.s.node)
+	w.s.b.t.AddStore(core.StoreSpec{
+		Name: storeName, Windowed: true, KeySerde: w.s.keySerde,
+		ValSerde:  sessionStateSerde{inner: aggSerde},
+		Changelog: true, RetentionMs: win.GapMs + win.GraceMs,
+	}, n.Name)
+	return &WindowedTable{
+		b: w.s.b, node: n.Name, storeName: storeName,
+		keySerde: w.s.keySerde, valSerde: aggSerde,
+		win: TimeWindows{SizeMs: win.GapMs, AdvanceMs: win.GapMs, GraceMs: win.GraceMs},
+	}
+}
+
+// sessionState is a session's end timestamp plus its aggregate; sessions
+// are stored in the window store keyed by their start timestamp.
+type sessionState struct {
+	end int64
+	agg any
+}
+
+type sessionStateSerde struct{ inner Serde }
+
+func (s sessionStateSerde) Encode(v any) []byte {
+	st := v.(sessionState)
+	ab := s.inner.Encode(st.agg)
+	out := make([]byte, 8+len(ab))
+	binary.BigEndian.PutUint64(out[:8], uint64(st.end))
+	copy(out[8:], ab)
+	return out
+}
+
+func (s sessionStateSerde) Decode(p []byte) any {
+	if len(p) < 8 {
+		panic("streams: session state too short")
+	}
+	return sessionState{
+		end: int64(binary.BigEndian.Uint64(p[:8])),
+		agg: s.inner.Decode(p[8:]),
+	}
+}
+
+// sessionAggProc merges each record into the sessions it touches. A record
+// at ts extends (or bridges) any session within GapMs; merged-away sessions
+// emit tombstone revisions so downstream tables retract them.
+type sessionAggProc struct {
+	core.BaseProcessor
+	store string
+	win   SessionWindows
+	init  func() any
+	add   func(k, v, agg any) any
+	merge func(a, b any) any
+	ws    *core.TaskWindow
+}
+
+func (p *sessionAggProc) Init(ctx *core.Context) {
+	p.BaseProcessor.Init(ctx)
+	p.ws = ctx.Window(p.store)
+}
+
+func (p *sessionAggProc) Process(k, v any, ts int64) {
+	if v == nil {
+		return
+	}
+	streamTime := p.Ctx.StreamTime()
+	if ts+p.win.GapMs+p.win.GraceMs <= streamTime {
+		p.Ctx.CountLateDrop()
+		return
+	}
+	// Find sessions overlapping [ts-gap, ts+gap]: their starts lie in
+	// [ts-gap-maxSessionLength, ts+gap], but since we cannot bound session
+	// length cheaply we scan a generous range and check ends.
+	lo := ts - p.win.GapMs - p.win.GraceMs - p.win.GapMs*16
+	hi := ts + p.win.GapMs
+	start, end := ts, ts
+	agg := p.add(k, v, p.init())
+	merged := false
+	for _, e := range p.ws.Fetch(k, lo, hi) {
+		st := p.ws.DecodeValue(e.Value).(sessionState)
+		if e.Start > ts+p.win.GapMs || st.end < ts-p.win.GapMs {
+			continue // not adjacent to this record
+		}
+		// Merge: retract the old session downstream, absorb its aggregate.
+		old := sessionWindowKey(k, e.Start, st.end)
+		p.Ctx.Forward(old, Change{Old: st.agg}, ts)
+		p.ws.Put(k, e.Start, nil, ts)
+		if e.Start < start {
+			start = e.Start
+		}
+		if st.end > end {
+			end = st.end
+		}
+		agg = p.merge(agg, st.agg)
+		merged = true
+		p.Ctx.CountRevision()
+	}
+	_ = merged
+	p.ws.Put(k, start, sessionState{end: end, agg: agg}, ts)
+	p.Ctx.Forward(sessionWindowKey(k, start, end), Change{New: agg}, ts)
+	// Expire sessions no longer mergeable.
+	p.ws.DropBefore(streamTime - p.win.GapMs - p.win.GraceMs - p.win.GapMs*16)
+}
+
+func sessionWindowKey(k any, start, end int64) WindowedKey {
+	return WindowedKey{Key: k, Start: start, End: end}
+}

@@ -1,0 +1,102 @@
+package streams_test
+
+import (
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestSessionWindows: records within the gap share a session; a bridging
+// out-of-order record merges two sessions, retracting the old ones.
+func TestSessionWindows(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"sess-in", "sess-out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("sess")
+	b.Stream("sess-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		SessionWindowedBy(streams.SessionWindowsOf(1000).WithGrace(5000)).
+		Count("sess-store").
+		ToStream().
+		ToWith("sess-out", streams.WindowedSerde(streams.StringSerde), streams.Int64Serde, nil)
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Two activity bursts more than a gap apart, then a bridging record
+	// arriving out of order that unites them into one session.
+	for _, ts := range []int64{1000, 1500, 4000, 4300} {
+		p.Send("sess-in", kafka.Record{Key: []byte("u"), Value: []byte("click"), Timestamp: ts})
+	}
+	p.Flush()
+
+	wkSerde := streams.WindowedSerde(streams.StringSerde)
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	cons.Assign("sess-out", 0)
+	sessions := map[[2]int64]int64{} // [start,end] -> count (nil value deletes)
+	read := func(until func() bool, wait time.Duration) {
+		deadline := time.Now().Add(wait)
+		for time.Now().Before(deadline) {
+			msgs, err := cons.Poll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range msgs {
+				wk := wkSerde.Decode(m.Key).(streams.WindowedKey)
+				key := [2]int64{wk.Start, wk.End}
+				if m.Value == nil {
+					delete(sessions, key)
+					continue
+				}
+				sessions[key] = streams.Int64Serde.Decode(m.Value).(int64)
+			}
+			if until() {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	read(func() bool {
+		return sessions[[2]int64{1000, 1500}] == 2 && sessions[[2]int64{4000, 4300}] == 2
+	}, 10*time.Second)
+	if sessions[[2]int64{1000, 1500}] != 2 || sessions[[2]int64{4000, 4300}] != 2 {
+		t.Fatalf("initial sessions = %v", sessions)
+	}
+
+	// The bridge: ts=2400 is within gap of 1500 and... not of 4000 (gap
+	// 1000 < 1600); extend with 3200 too so everything chains together.
+	p.Send("sess-in", kafka.Record{Key: []byte("u"), Value: []byte("bridge1"), Timestamp: 2400})
+	p.Send("sess-in", kafka.Record{Key: []byte("u"), Value: []byte("bridge2"), Timestamp: 3200})
+	p.Flush()
+
+	want := [2]int64{1000, 4300}
+	read(func() bool { return sessions[want] == 6 }, 10*time.Second)
+	if sessions[want] != 6 {
+		t.Fatalf("merged session = %v, want %v -> 6", sessions, want)
+	}
+	// The fragments must have been retracted.
+	for k := range sessions {
+		if k != want && sessions[k] != 0 {
+			t.Fatalf("unretracted fragment %v in %v", k, sessions)
+		}
+	}
+	if app.Metrics().Revisions == 0 {
+		t.Fatal("no revisions counted for session merges")
+	}
+}

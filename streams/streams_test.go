@@ -1,0 +1,946 @@
+package streams_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+func testCluster(t *testing.T) *kafka.Cluster {
+	t.Helper()
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               3,
+		TxnTimeout:            2 * time.Second,
+		GroupRebalanceTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func appConfig(c *kafka.Cluster, g streams.Guarantee) streams.Config {
+	return streams.Config{
+		Cluster:           c,
+		Guarantee:         g,
+		CommitInterval:    30 * time.Millisecond,
+		SessionTimeout:    time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		TxnTimeout:        2 * time.Second,
+	}
+}
+
+func produceWords(t *testing.T, c *kafka.Cluster, topic string, words []string) {
+	t.Helper()
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i, w := range words {
+		if err := p.Send(topic, kafka.Record{
+			Key: []byte(w), Value: []byte(w), Timestamp: int64(1000 + i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// consumeTable folds a read-committed view of an output changelog stream
+// into its latest-value-per-key table until the expected keys stabilize or
+// the deadline passes.
+func consumeTable(t *testing.T, c *kafka.Cluster, topic string, partitions int32,
+	decodeKey, decodeVal func([]byte) any, stable func(map[any]any) bool, wait time.Duration) map[any]any {
+	t.Helper()
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	ps := make([]int32, partitions)
+	for i := range ps {
+		ps[i] = int32(i)
+	}
+	cons.Assign(topic, ps...)
+	table := make(map[any]any)
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if m.Value == nil {
+				delete(table, decodeKey(m.Key))
+				continue
+			}
+			table[decodeKey(m.Key)] = decodeVal(m.Value)
+		}
+		if stable(table) {
+			return table
+		}
+		if len(msgs) == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return table
+}
+
+func str(b []byte) any { return string(b) }
+func i64(b []byte) any { return streams.Int64Serde.Decode(b) }
+
+func TestWordCountExactlyOnce(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("words", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("counts", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("wordcount")
+	b.Stream("words", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("word-counts").
+		ToStream().
+		To("counts")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	words := []string{"a", "b", "a", "c", "a", "b"}
+	produceWords(t, c, "words", words)
+
+	table := consumeTable(t, c, "counts", 2, str, i64, func(m map[any]any) bool {
+		return m["a"] == int64(3) && m["b"] == int64(2) && m["c"] == int64(1)
+	}, 10*time.Second)
+	if table["a"] != int64(3) || table["b"] != int64(2) || table["c"] != int64(1) {
+		t.Fatalf("counts = %v (err=%v)", table, app.Err())
+	}
+	m := app.Metrics()
+	if m.Processed < int64(len(words)) {
+		t.Fatalf("processed %d of %d", m.Processed, len(words))
+	}
+}
+
+func TestRepartitionPipeline(t *testing.T) {
+	// The paper's Figure 2/3 shape: filter -> map (key change) ->
+	// groupByKey -> count, with the map forcing a repartition topic and a
+	// second sub-topology.
+	c := testCluster(t)
+	if err := c.CreateTopic("views", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("category-counts", 3, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("pageviews")
+	b.Stream("views", streams.StringSerde, streams.StringSerde).
+		Filter(func(k, v any) bool { return v.(string) != "skip" }).
+		Map(func(k, v any) (any, any) { return v, v }, streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("by-category").
+		ToStream().
+		To("category-counts")
+
+	topo, err := b.Topology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.SubTopologies()); got != 2 {
+		t.Fatalf("sub-topologies = %d, want 2 (map must split the topology)\n%s", got, topo.Describe())
+	}
+
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	produceWords(t, c, "views", []string{"sports", "news", "sports", "skip", "news", "sports"})
+	table := consumeTable(t, c, "category-counts", 3, str, i64, func(m map[any]any) bool {
+		return m["sports"] == int64(3) && m["news"] == int64(2)
+	}, 10*time.Second)
+	if table["sports"] != int64(3) || table["news"] != int64(2) {
+		t.Fatalf("counts = %v (err=%v)", table, app.Err())
+	}
+	if _, leaked := table["skip"]; leaked {
+		t.Fatal("filtered record reached the aggregate")
+	}
+}
+
+func TestWindowedCountWithRevisions(t *testing.T) {
+	// Figure 6: 5s windows; a late record within grace revises the count of
+	// an already-emitted window; a record beyond grace is dropped.
+	c := testCluster(t)
+	if err := c.CreateTopic("in", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("win-counts", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("fig6")
+	b.Stream("in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		WindowedBy(streams.TimeWindowsOf(5000).WithGrace(5000)).
+		Count("windowed").
+		ToStream().
+		To("win-counts")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Timestamps (seconds) from Figure 6: 12, 16, 14 (late, in grace), 23
+	// (advances stream time, expiring window [10,15)), then 12 again
+	// (late, beyond grace, dropped).
+	for _, ts := range []int64{12000, 16000, 14000, 23000, 12000} {
+		if err := p.Send("in", kafka.Record{Key: []byte("k"), Value: []byte("v"), Timestamp: ts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	wkSerde := streams.WindowedSerde(streams.StringSerde)
+	table := consumeTable(t, c, "win-counts", 1,
+		func(kb []byte) any { return wkSerde.Decode(kb).(streams.WindowedKey).Start },
+		i64,
+		func(m map[any]any) bool {
+			return m[int64(10000)] == int64(2) && m[int64(15000)] == int64(1) && m[int64(20000)] == int64(1)
+		}, 10*time.Second)
+	if table[int64(10000)] != int64(2) {
+		t.Fatalf("window [10,15) count = %v, want 2 (revision lost); table=%v err=%v",
+			table[int64(10000)], table, app.Err())
+	}
+	if table[int64(15000)] != int64(1) || table[int64(20000)] != int64(1) {
+		t.Fatalf("windows = %v", table)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m := app.Metrics()
+		if m.LateDropped == 1 && m.Revisions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics = %+v, want 1 late drop and >=1 revision", m)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSuppressEmitsFinalOnly(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("in", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("final", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("suppress")
+	b.Stream("in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		WindowedBy(streams.TimeWindowsOf(5000).WithGrace(0)).
+		Count("wc").
+		Suppress("wc-suppress").
+		ToStream().
+		To("final")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Three updates to window [0,5s), then a record far enough to close it.
+	for _, ts := range []int64{1000, 2000, 3000, 11000} {
+		p.Send("in", kafka.Record{Key: []byte("k"), Value: []byte("v"), Timestamp: ts})
+	}
+	p.Flush()
+
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	cons.Assign("final", 0)
+	var got []kafka.Message
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && len(got) < 1 {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, msgs...)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Wait a little longer to catch spurious intermediate emissions.
+	time.Sleep(200 * time.Millisecond)
+	msgs, _ := cons.Poll()
+	got = append(got, msgs...)
+
+	finals := 0
+	for _, m := range got {
+		wk := streams.WindowedSerde(streams.StringSerde).Decode(m.Key).(streams.WindowedKey)
+		if wk.Start == 0 {
+			finals++
+			if v := streams.Int64Serde.Decode(m.Value); v != int64(3) {
+				t.Fatalf("final count = %v, want 3", v)
+			}
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("window [0,5s) emitted %d times through suppress, want exactly 1 (err=%v)", finals, app.Err())
+	}
+}
+
+func TestTableTableJoinRevisions(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"left", "right", "joined"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("ttjoin")
+	left := b.Table("left", streams.StringSerde, streams.StringSerde, "left-store")
+	right := b.Table("right", streams.StringSerde, streams.StringSerde, "right-store")
+	left.LeftJoin(right, func(l, r any) any {
+		if r == nil {
+			return l.(string) + "+null"
+		}
+		return l.(string) + "+" + r.(string)
+	}, "join-store", streams.StringSerde).
+		ToStream().
+		To("joined")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Left arrives first: speculative (a, null); right later amends it —
+	// the paper's Section 5 table-table example.
+	p.Send("left", kafka.Record{Key: []byte("k"), Value: []byte("a"), Timestamp: 100})
+	p.Flush()
+	time.Sleep(150 * time.Millisecond)
+	p.Send("right", kafka.Record{Key: []byte("k"), Value: []byte("b"), Timestamp: 90})
+	p.Flush()
+
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	cons.Assign("joined", 0)
+	var vals []string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if m.Value != nil {
+				vals = append(vals, string(m.Value))
+			}
+		}
+		if len(vals) >= 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(vals) < 2 || vals[0] != "a+null" || vals[len(vals)-1] != "a+b" {
+		t.Fatalf("join emissions = %v, want [a+null ... a+b] (err=%v)", vals, app.Err())
+	}
+}
+
+func TestStreamStreamLeftJoinHoldsNulls(t *testing.T) {
+	c := testCluster(t)
+	for _, topic := range []string{"ls", "rs", "out"} {
+		if err := c.CreateTopic(topic, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := streams.NewBuilder("ssjoin")
+	ls := b.Stream("ls", streams.StringSerde, streams.StringSerde)
+	rs := b.Stream("rs", streams.StringSerde, streams.StringSerde)
+	ls.LeftJoin(rs, func(l, r any) any {
+		if r == nil {
+			return l.(string) + "+null"
+		}
+		return l.(string) + "+" + r.(string)
+	}, streams.JoinWindowsOf(1000).WithGrace(1000), streams.StringSerde).
+		To("out")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// k1 left at t=1000 matches right at t=1500 (in window) -> a+b.
+	// k2 left at t=1000 never matches -> (a2, null), emitted only after the
+	// window+grace passes (driven by the t=10000 record).
+	p.Send("ls", kafka.Record{Key: []byte("k1"), Value: []byte("a"), Timestamp: 1000})
+	p.Send("ls", kafka.Record{Key: []byte("k2"), Value: []byte("a2"), Timestamp: 1000})
+	p.Flush()
+	time.Sleep(100 * time.Millisecond)
+	p.Send("rs", kafka.Record{Key: []byte("k1"), Value: []byte("b"), Timestamp: 1500})
+	p.Flush()
+	time.Sleep(100 * time.Millisecond)
+	// No null for k2 may exist yet (window still open).
+	p.Send("ls", kafka.Record{Key: []byte("k3"), Value: []byte("advance"), Timestamp: 10000})
+	p.Flush()
+
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	cons.Assign("out", 0)
+	got := map[string]string{}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && len(got) < 2 {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			got[string(m.Key)] = string(m.Value)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got["k1"] != "a+b" {
+		t.Fatalf("k1 join = %q, want a+b (all: %v, err=%v)", got["k1"], got, app.Err())
+	}
+	if got["k2"] != "a2+null" {
+		t.Fatalf("k2 join = %q, want a2+null (held until window close)", got["k2"])
+	}
+}
+
+func TestTableGroupByRetractions(t *testing.T) {
+	// A table re-grouped by its value: moving a key between groups must
+	// retract from the old group and add to the new one (paper Section 5).
+	c := testCluster(t)
+	if err := c.CreateTopic("users", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("region-counts", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("regroup")
+	b.Table("users", streams.StringSerde, streams.StringSerde, "users-store").
+		GroupBy(func(k, v any) (any, any) { return v, v }, streams.StringSerde, streams.StringSerde).
+		Count("region-count").
+		ToStream().
+		To("region-counts")
+	app, err := streams.NewApp(b, appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Send("users", kafka.Record{Key: []byte("alice"), Value: []byte("us"), Timestamp: 1})
+	p.Send("users", kafka.Record{Key: []byte("bob"), Value: []byte("us"), Timestamp: 2})
+	p.Flush()
+	time.Sleep(200 * time.Millisecond)
+	// alice moves us -> eu: us count must drop to 1, eu count to 1.
+	p.Send("users", kafka.Record{Key: []byte("alice"), Value: []byte("eu"), Timestamp: 3})
+	p.Flush()
+
+	table := consumeTable(t, c, "region-counts", 1, str, i64, func(m map[any]any) bool {
+		return m["us"] == int64(1) && m["eu"] == int64(1)
+	}, 10*time.Second)
+	if table["us"] != int64(1) || table["eu"] != int64(1) {
+		t.Fatalf("region counts = %v (err=%v)", table, app.Err())
+	}
+}
+
+func TestStateRestorationAcrossRestart(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("words", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("counts", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("restore")
+		b.Stream("words", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("rc").
+			ToStream().
+			To("counts")
+		return b
+	}
+	app1, err := streams.NewApp(build(), appConfig(c, streams.ExactlyOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	produceWords(t, c, "words", []string{"x", "x", "y"})
+	consumeTable(t, c, "counts", 1, str, i64, func(m map[any]any) bool {
+		return m["x"] == int64(2) && m["y"] == int64(1)
+	}, 10*time.Second)
+	app1.Close() // clean shutdown commits everything
+
+	// A brand-new instance (fresh store registry) must restore counts from
+	// the changelog and continue, not restart from zero.
+	cfg := appConfig(c, streams.ExactlyOnce)
+	cfg.InstanceID = "i2"
+	app2, err := streams.NewApp(build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Close()
+	produceWords(t, c, "words", []string{"x"})
+	table := consumeTable(t, c, "counts", 1, str, i64, func(m map[any]any) bool {
+		return m["x"] == int64(3)
+	}, 10*time.Second)
+	if table["x"] != int64(3) {
+		t.Fatalf("count after restart = %v, want 3 (state lost) err=%v", table["x"], app2.Err())
+	}
+	if app2.Metrics().Restores == 0 {
+		t.Fatal("no changelog records were restored")
+	}
+}
+
+func TestExactlyOnceUnderInstanceCrash(t *testing.T) {
+	// Invariant 3 from DESIGN.md: kill an instance mid-stream; the
+	// replacement restores committed state, the aborted transaction's
+	// effects vanish, and the final counts equal exactly the input.
+	c := testCluster(t)
+	if err := c.CreateTopic("events", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("totals", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("crash-eos")
+		b.Stream("events", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("totals-store").
+			ToStream().
+			To("totals")
+		return b
+	}
+	cfg := appConfig(c, streams.ExactlyOnce)
+	cfg.CommitInterval = 50 * time.Millisecond
+	app1, err := streams.NewApp(build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app1.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 400
+	keys := []string{"k0", "k1", "k2", "k3", "k4"}
+	go func() {
+		p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+		if err != nil {
+			return
+		}
+		defer p.Close()
+		for i := 0; i < n; i++ {
+			p.Send("events", kafka.Record{
+				Key: []byte(keys[i%len(keys)]), Value: []byte("v"), Timestamp: int64(i),
+			})
+			if i%50 == 0 {
+				p.Flush()
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		p.Flush()
+	}()
+
+	// Let it process some, then crash the instance mid-transaction.
+	time.Sleep(150 * time.Millisecond)
+	app1.Kill()
+
+	cfg2 := appConfig(c, streams.ExactlyOnce)
+	cfg2.CommitInterval = 50 * time.Millisecond
+	cfg2.InstanceID = "replacement"
+	app2, err := streams.NewApp(build(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Close()
+
+	want := map[any]any{}
+	for i := 0; i < n; i++ {
+		k := keys[i%len(keys)]
+		if cur, ok := want[k]; ok {
+			want[k] = cur.(int64) + 1
+		} else {
+			want[k] = int64(1)
+		}
+	}
+	table := consumeTable(t, c, "totals", 2, str, i64, func(m map[any]any) bool {
+		for k, v := range want {
+			if m[k] != v {
+				return false
+			}
+		}
+		return true
+	}, 30*time.Second)
+	for k, v := range want {
+		if table[k] != v {
+			t.Fatalf("key %v: count %v, want %v (duplicate or loss under crash); table=%v err=%v",
+				k, table[k], v, table, app2.Err())
+		}
+	}
+}
+
+func TestALOSNeverLosesData(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("events", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("alos-out", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("alos")
+	b.Stream("events", streams.StringSerde, streams.StringSerde).
+		MapValues(func(v any) any { return v.(string) + "!" }, streams.StringSerde).
+		To("alos-out")
+	app, err := streams.NewApp(b, appConfig(c, streams.AtLeastOnce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	var words []string
+	for i := 0; i < 50; i++ {
+		words = append(words, fmt.Sprintf("w%02d", i))
+	}
+	produceWords(t, c, "events", words)
+
+	cons := c.NewConsumer(kafka.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("alos-out", 0)
+	seen := map[string]bool{}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && len(seen) < 50 {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			seen[string(m.Value)] = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("saw %d of 50 distinct values (err=%v)", len(seen), app.Err())
+	}
+}
+
+func TestTwoInstancesSplitTasks(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("in", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("out4", 4, false); err != nil {
+		t.Fatal(err)
+	}
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("pair")
+		b.Stream("in", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("pair-counts").
+			ToStream().
+			To("out4")
+		return b
+	}
+	cfg1 := appConfig(c, streams.ExactlyOnce)
+	cfg1.InstanceID = "a"
+	app1, err := streams.NewApp(build(), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app1.Close()
+	cfg2 := appConfig(c, streams.ExactlyOnce)
+	cfg2.InstanceID = "b"
+	app2, err := streams.NewApp(build(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Close()
+
+	// Produce rounds of 12 keys until both instances have processed some
+	// records (the second instance's join may lag the first batch).
+	prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	rounds := 0
+	deadline := time.Now().Add(20 * time.Second)
+	for rounds < 5 || app1.Metrics().Processed == 0 || app2.Metrics().Processed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("work never split: p1=%d p2=%d after %d rounds (err1=%v err2=%v)",
+				app1.Metrics().Processed, app2.Metrics().Processed, rounds, app1.Err(), app2.Err())
+		}
+		for i := 0; i < 12; i++ {
+			prod.Send("in", kafka.Record{
+				Key: []byte(fmt.Sprintf("key-%02d", i)), Value: []byte("v"),
+				Timestamp: int64(1000 + rounds),
+			})
+		}
+		if err := prod.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	want := int64(rounds)
+	table := consumeTable(t, c, "out4", 4, str, i64, func(m map[any]any) bool {
+		if len(m) != 12 {
+			return false
+		}
+		for _, v := range m {
+			if v != want {
+				return false
+			}
+		}
+		return true
+	}, 20*time.Second)
+	if len(table) != 12 {
+		t.Fatalf("keys = %d, want 12: %v (err1=%v err2=%v)", len(table), table, app1.Err(), app2.Err())
+	}
+	for k, v := range table {
+		if v != want {
+			t.Fatalf("key %v = %v, want %d", k, v, want)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Invariant 9: with EOS and deterministic operators, repeated runs over
+	// the same input produce identical output sequences per partition.
+	run := func() []string {
+		c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.CreateTopic("in", 1, false)
+		c.CreateTopic("out", 1, false)
+		b := streams.NewBuilder("det")
+		b.Stream("in", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("det-store").
+			ToStream().
+			To("out")
+		cfg := appConfig(c, streams.ExactlyOnce)
+		cfg.CommitInterval = 500 * time.Millisecond // one big txn: stable batching
+		app, err := streams.NewApp(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer app.Close()
+		produceWords(t, c, "in", []string{"a", "b", "a", "c", "b", "a"})
+
+		cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+		defer cons.Close()
+		cons.Assign("out", 0)
+		var seq []string
+		// The cached count store consolidates updates per commit interval:
+		// with one commit spanning all input, exactly one record per key
+		// (a=3, b=2, c=1) is emitted.
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) && len(seq) < 3 {
+			msgs, err := cons.Poll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range msgs {
+				seq = append(seq, fmt.Sprintf("%s=%d", m.Key, streams.Int64Serde.Decode(m.Value)))
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	sa, sb := fmt.Sprint(a), fmt.Sprint(b)
+	if sa != sb {
+		t.Fatalf("replays differ:\n%s\n%s", sa, sb)
+	}
+	if len(a) != 3 {
+		t.Fatalf("emitted %d consolidated records, want 3", len(a))
+	}
+	want := map[string]bool{"a=3": true, "b=2": true, "c=1": true}
+	for _, rec := range a {
+		if !want[rec] {
+			t.Fatalf("unexpected final record %q in %v", rec, a)
+		}
+	}
+}
+
+func TestTopologyDescribe(t *testing.T) {
+	b := streams.NewBuilder("desc")
+	b.Stream("in", streams.StringSerde, streams.StringSerde).
+		Filter(func(k, v any) bool { return true }).
+		Map(func(k, v any) (any, any) { return v, k }, streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("c").
+		ToStream().
+		To("out")
+	desc, err := b.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc == "" {
+		t.Fatal("empty description")
+	}
+	// Two sub-topologies and a repartition topic must appear.
+	if !contains(desc, "Sub-topology: 0") || !contains(desc, "Sub-topology: 1") {
+		t.Fatalf("description missing sub-topologies:\n%s", desc)
+	}
+	if !contains(desc, "repartition") {
+		t.Fatalf("description missing repartition topic:\n%s", desc)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func sortedKeys(m map[any]any) []string {
+	var out []string
+	for k := range m {
+		out = append(out, fmt.Sprint(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestWordCountExactlyOnceV1(t *testing.T) {
+	// The pre-2.6 per-task-producer mode must provide the same guarantee;
+	// it is also exercised under instance crash.
+	c := testCluster(t)
+	if err := c.CreateTopic("v1-words", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("v1-counts", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("wordcount-v1")
+		b.Stream("v1-words", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("v1-store").
+			ToStream().
+			To("v1-counts")
+		return b
+	}
+	cfg := appConfig(c, streams.ExactlyOnceV1)
+	app, err := streams.NewApp(build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	produceWords(t, c, "v1-words", []string{"a", "b", "a", "a", "c"})
+	consumeTable(t, c, "v1-counts", 2, str, i64, func(m map[any]any) bool {
+		return m["a"] == int64(3) && m["b"] == int64(1) && m["c"] == int64(1)
+	}, 10*time.Second)
+
+	// Crash and replace: per-task transactional ids fence the old owner.
+	app.Kill()
+	cfg2 := appConfig(c, streams.ExactlyOnceV1)
+	cfg2.InstanceID = "v1-replacement"
+	app2, err := streams.NewApp(build(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app2.Close()
+	produceWords(t, c, "v1-words", []string{"a", "b"})
+	table := consumeTable(t, c, "v1-counts", 2, str, i64, func(m map[any]any) bool {
+		return m["a"] == int64(4) && m["b"] == int64(2)
+	}, 20*time.Second)
+	if table["a"] != int64(4) || table["b"] != int64(2) || table["c"] != int64(1) {
+		t.Fatalf("eos-v1 counts after crash = %v (err=%v)", table, app2.Err())
+	}
+}

@@ -1,0 +1,86 @@
+package streams
+
+import "fmt"
+
+// TimeWindows defines fixed-size (tumbling or hopping) event-time windows
+// with a grace period for out-of-order data (paper Section 5: "users can
+// specify a per-operator grace period for those order-sensitive stateful
+// operators").
+type TimeWindows struct {
+	// SizeMs is the window length in event-time milliseconds.
+	SizeMs int64
+	// AdvanceMs is the hop; equal to SizeMs for tumbling windows.
+	AdvanceMs int64
+	// GraceMs is how long after a window's end out-of-order records are
+	// still accepted. Records later than this are dropped (and counted).
+	GraceMs int64
+}
+
+// TimeWindowsOf returns tumbling windows of the given size with zero grace.
+func TimeWindowsOf(sizeMs int64) TimeWindows {
+	return TimeWindows{SizeMs: sizeMs, AdvanceMs: sizeMs}
+}
+
+// WithGrace sets the grace period (the Figure 6 example uses 10 seconds).
+func (w TimeWindows) WithGrace(graceMs int64) TimeWindows {
+	w.GraceMs = graceMs
+	return w
+}
+
+// AdvanceBy turns the windows into hopping windows.
+func (w TimeWindows) AdvanceBy(advanceMs int64) TimeWindows {
+	w.AdvanceMs = advanceMs
+	return w
+}
+
+// WindowsFor returns the start timestamps of every window containing ts.
+func (w TimeWindows) WindowsFor(ts int64) []int64 {
+	if w.AdvanceMs <= 0 || w.SizeMs <= 0 {
+		panic(fmt.Sprintf("streams: invalid windows %+v", w))
+	}
+	var starts []int64
+	first := ts - w.SizeMs + w.AdvanceMs
+	if first < 0 {
+		first = 0
+	}
+	// Align to the advance grid.
+	first = first - (first % w.AdvanceMs)
+	for s := first; s <= ts; s += w.AdvanceMs {
+		if s+w.SizeMs > ts {
+			starts = append(starts, s)
+		}
+	}
+	return starts
+}
+
+// Retention is how long windowed state must be kept past stream time.
+func (w TimeWindows) Retention() int64 { return w.SizeMs + w.GraceMs }
+
+// JoinWindows bounds a stream-stream join: a left record at time t joins
+// right records in [t-BeforeMs, t+AfterMs], accepting out-of-order arrivals
+// within GraceMs.
+type JoinWindows struct {
+	BeforeMs int64
+	AfterMs  int64
+	GraceMs  int64
+}
+
+// JoinWindowsOf returns symmetric join windows of the given half-width.
+func JoinWindowsOf(diffMs int64) JoinWindows {
+	return JoinWindows{BeforeMs: diffMs, AfterMs: diffMs}
+}
+
+// WithGrace sets the join grace period.
+func (w JoinWindows) WithGrace(graceMs int64) JoinWindows {
+	w.GraceMs = graceMs
+	return w
+}
+
+// Retention is how long join buffers must be kept past stream time.
+func (w JoinWindows) Retention() int64 {
+	m := w.BeforeMs
+	if w.AfterMs > m {
+		m = w.AfterMs
+	}
+	return m + w.GraceMs + 1
+}

@@ -1,0 +1,74 @@
+package streams
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTumblingWindowsFor(t *testing.T) {
+	w := TimeWindowsOf(5000)
+	cases := map[int64][]int64{
+		0:     {0},
+		4999:  {0},
+		5000:  {5000},
+		12000: {10000}, // Figure 6: ts 12s -> window [10,15)
+		16000: {15000},
+		23000: {20000},
+	}
+	for ts, want := range cases {
+		if got := w.WindowsFor(ts); !reflect.DeepEqual(got, want) {
+			t.Errorf("WindowsFor(%d) = %v, want %v", ts, got, want)
+		}
+	}
+}
+
+func TestHoppingWindowsFor(t *testing.T) {
+	w := TimeWindowsOf(10000).AdvanceBy(5000)
+	got := w.WindowsFor(12000)
+	want := []int64{5000, 10000} // [5,15) and [10,20) both contain 12
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hopping WindowsFor(12000) = %v, want %v", got, want)
+	}
+	// Every returned window must actually contain the timestamp.
+	f := func(ts int64) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		ts %= 1 << 40
+		for _, start := range w.WindowsFor(ts) {
+			if ts < start || ts >= start+w.SizeMs {
+				return false
+			}
+		}
+		return len(w.WindowsFor(ts)) == 2 || ts < w.SizeMs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowRetentionAndGrace(t *testing.T) {
+	w := TimeWindowsOf(5000).WithGrace(10000)
+	if w.Retention() != 15000 {
+		t.Fatalf("retention = %d", w.Retention())
+	}
+	if w.GraceMs != 10000 {
+		t.Fatalf("grace = %d", w.GraceMs)
+	}
+	mustPanicS(t, func() { TimeWindows{}.WindowsFor(5) })
+}
+
+func TestJoinWindows(t *testing.T) {
+	jw := JoinWindowsOf(1000).WithGrace(500)
+	if jw.BeforeMs != 1000 || jw.AfterMs != 1000 || jw.GraceMs != 500 {
+		t.Fatalf("join windows: %+v", jw)
+	}
+	if jw.Retention() != 1501 {
+		t.Fatalf("retention = %d", jw.Retention())
+	}
+	asym := JoinWindows{BeforeMs: 100, AfterMs: 2000}
+	if asym.Retention() != 2001 {
+		t.Fatalf("asymmetric retention = %d", asym.Retention())
+	}
+}
