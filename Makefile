@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet fmt test test-race build
+
+check: vet fmt test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -short ./...

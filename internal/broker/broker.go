@@ -411,6 +411,10 @@ func (b *Broker) handleWriteTxnMarkers(r *protocol.WriteTxnMarkersRequest) *prot
 			// No open transaction here (e.g. a marker retry already landed):
 			// acknowledge idempotently.
 			if _, lead := p.leader(); lead {
+				if debugOn {
+					log.Printf("broker %d: marker %v for pid=%d on %v: no ongoing txn, idempotent ack",
+						b.cfg.ID, r.Type, r.ProducerID, tp)
+				}
 				resp.Results = append(resp.Results, protocol.ProduceResult{TP: tp})
 				continue
 			}
@@ -418,7 +422,12 @@ func (b *Broker) handleWriteTxnMarkers(r *protocol.WriteTxnMarkersRequest) *prot
 		mb := protocol.NewMarkerBatch(r.ProducerID, r.ProducerEpoch,
 			time.Now().UnixMilli(),
 			protocol.ControlMarker{Type: r.Type, CoordinatorEpoch: r.CoordinatorEpoch})
-		resp.Results = append(resp.Results, p.appendAsLeader(b.cfg.ID, mb))
+		res := p.appendAsLeader(b.cfg.ID, mb)
+		if debugOn {
+			log.Printf("broker %d: marker %v for pid=%d on %v: appended base=%d err=%v",
+				b.cfg.ID, r.Type, r.ProducerID, tp, res.BaseOffset, res.Err)
+		}
+		resp.Results = append(resp.Results, res)
 	}
 	return resp
 }

@@ -3,6 +3,7 @@ package broker
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -108,7 +109,11 @@ func (tc *txnCoordinator) takePartition(idx int32, p *partition) {
 
 	off := p.log.StartOffset()
 	end := p.log.EndOffset()
-	var resume []*txnEntry
+	type resumption struct {
+		e      *txnEntry
+		commit bool
+	}
+	var resume []resumption
 	for off < end {
 		batches, err := p.log.Read(off, end, 1<<20)
 		if err != nil || len(batches) == 0 {
@@ -139,13 +144,13 @@ func (tc *txnCoordinator) takePartition(idx int32, p *partition) {
 			continue
 		}
 		if e.meta.State == TxnPrepareCommit || e.meta.State == TxnPrepareAbort {
-			resume = append(resume, e)
+			resume = append(resume, resumption{e, e.meta.State == TxnPrepareCommit})
 		}
 	}
 	tc.mu.Unlock()
-	for _, e := range resume {
+	for _, r := range resume {
 		tc.wg.Add(1)
-		go tc.completeTxn(e, e.meta.State == TxnPrepareCommit)
+		go tc.completeTxn(r.e, r.commit)
 	}
 }
 
@@ -232,7 +237,7 @@ func (tc *txnCoordinator) handleInitProducerID(r *protocol.InitProducerIDRequest
 		return &protocol.InitProducerIDResponse{Err: errc}
 	}
 
-	m := e.meta
+	m := tc.getMeta(e)
 	if m.PID < 0 {
 		pid, errc := tc.allocatePID()
 		if errc != protocol.ErrNone {
@@ -253,9 +258,7 @@ func (tc *txnCoordinator) handleInitProducerID(r *protocol.InitProducerIDRequest
 		if errc := tc.awaitCompletion(e); errc != protocol.ErrNone {
 			return &protocol.InitProducerIDResponse{Err: errc}
 		}
-		tc.mu.Lock()
-		m = e.meta
-		tc.mu.Unlock()
+		m = tc.getMeta(e)
 	} else {
 		m.Epoch++
 	}
@@ -268,7 +271,6 @@ func (tc *txnCoordinator) handleInitProducerID(r *protocol.InitProducerIDRequest
 		return &protocol.InitProducerIDResponse{Err: errc}
 	}
 	tc.setMeta(e, m)
-	e.last = time.Now()
 	return &protocol.InitProducerIDResponse{
 		ProducerID:    m.PID,
 		ProducerEpoch: m.Epoch,
@@ -297,22 +299,33 @@ func (tc *txnCoordinator) awaitCompletion(e *txnEntry) protocol.ErrorCode {
 	}
 }
 
-// setMeta publishes a metadata update; callers hold e.opMu.
+// setMeta publishes a metadata update and refreshes the activity clock
+// that tick's timeout scan reads; callers hold e.opMu.
 func (tc *txnCoordinator) setMeta(e *txnEntry, m txnMeta) {
 	tc.mu.Lock()
 	e.meta = m
+	e.last = time.Now()
 	tc.mu.Unlock()
 }
 
-// checkIdentity validates the producer session; callers hold e.opMu.
-func (tc *txnCoordinator) checkIdentity(e *txnEntry, pid int64, epoch int16) protocol.ErrorCode {
-	if e.meta.PID != pid {
+// getMeta snapshots the entry's metadata. Handlers hold e.opMu, but the
+// phase-two completion goroutine publishes its terminal state under tc.mu
+// only, so reads must take tc.mu too.
+func (tc *txnCoordinator) getMeta(e *txnEntry) txnMeta {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return e.meta
+}
+
+// checkIdentity validates the producer session against a metadata snapshot.
+func checkIdentity(m txnMeta, pid int64, epoch int16) protocol.ErrorCode {
+	if m.PID != pid {
 		return protocol.ErrUnknownProducerID
 	}
-	if epoch < e.meta.Epoch {
+	if epoch < m.Epoch {
 		return protocol.ErrProducerFenced
 	}
-	if epoch > e.meta.Epoch {
+	if epoch > m.Epoch {
 		return protocol.ErrInvalidTxnState
 	}
 	return protocol.ErrNone
@@ -328,10 +341,11 @@ func (tc *txnCoordinator) handleAddPartitions(r *protocol.AddPartitionsToTxnRequ
 	e := tc.entry(r.TransactionalID)
 	e.opMu.Lock()
 	defer e.opMu.Unlock()
-	if errc := tc.checkIdentity(e, r.ProducerID, r.ProducerEpoch); errc != protocol.ErrNone {
+	m := tc.getMeta(e)
+	if errc := checkIdentity(m, r.ProducerID, r.ProducerEpoch); errc != protocol.ErrNone {
 		return &protocol.AddPartitionsToTxnResponse{Err: errc}
 	}
-	m := e.meta
+	prevState := m.State
 	switch m.State {
 	case TxnPrepareCommit, TxnPrepareAbort:
 		return &protocol.AddPartitionsToTxnResponse{Err: protocol.ErrConcurrentTransactions}
@@ -351,13 +365,12 @@ func (tc *txnCoordinator) handleAddPartitions(r *protocol.AddPartitionsToTxnRequ
 			added = true
 		}
 	}
-	if added || m.State != e.meta.State {
+	if added || m.State != prevState {
 		if errc := tc.persist(p, m); errc != protocol.ErrNone {
 			return &protocol.AddPartitionsToTxnResponse{Err: errc}
 		}
 	}
 	tc.setMeta(e, m)
-	e.last = time.Now()
 	return &protocol.AddPartitionsToTxnResponse{}
 }
 
@@ -372,10 +385,10 @@ func (tc *txnCoordinator) handleEndTxn(r *protocol.EndTxnRequest) *protocol.EndT
 	e := tc.entry(r.TransactionalID)
 	e.opMu.Lock()
 	defer e.opMu.Unlock()
-	if errc := tc.checkIdentity(e, r.ProducerID, r.ProducerEpoch); errc != protocol.ErrNone {
+	m := tc.getMeta(e)
+	if errc := checkIdentity(m, r.ProducerID, r.ProducerEpoch); errc != protocol.ErrNone {
 		return &protocol.EndTxnResponse{Err: errc}
 	}
-	m := e.meta
 	switch m.State {
 	case TxnEmpty:
 		// Nothing to commit or abort.
@@ -402,7 +415,6 @@ func (tc *txnCoordinator) handleEndTxn(r *protocol.EndTxnRequest) *protocol.EndT
 		return &protocol.EndTxnResponse{Err: errc}
 	}
 	tc.setMeta(e, m)
-	e.last = time.Now()
 	tc.runCompletion(e, r.Commit)
 	return &protocol.EndTxnResponse{}
 }
@@ -424,6 +436,11 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 	mtype := protocol.MarkerAbort
 	if commit {
 		mtype = protocol.MarkerCommit
+	}
+	if debugOn {
+		log.Printf("txn %s: completeTxn start commit=%v pid=%d epoch=%d state=%v parts=%v",
+			m.ID, commit, m.PID, m.Epoch, m.State, m.Partitions)
+		defer log.Printf("txn %s: completeTxn done commit=%v", m.ID, commit)
 	}
 	pending := make(map[protocol.TopicPartition]bool, len(m.Partitions))
 	for _, tp := range m.Partitions {

@@ -2,9 +2,10 @@ package client
 
 import (
 	"fmt"
-	"time"
+	"sync"
 
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
 
@@ -16,17 +17,29 @@ type Admin struct {
 	self       int32
 	controller int32
 	meta       *metadata
+
+	closeCh chan struct{}
+	cancel  <-chan struct{}
+
+	mu     sync.Mutex
+	closed bool
 }
 
-// NewAdmin registers an admin client on the network.
-func NewAdmin(net *transport.Network, controller int32) *Admin {
+// NewAdmin registers an admin client on the network. cancel, when
+// non-nil, interrupts in-flight retries when it closes, in addition to
+// Close (a stream thread passes its kill signal).
+func NewAdmin(net *transport.Network, controller int32, cancel <-chan struct{}) *Admin {
 	self := net.AllocClientID()
 	net.Register(self, func(int32, any) any { return nil })
+	closeCh := make(chan struct{})
+	merged := mergeCancel(closeCh, cancel)
 	return &Admin{
 		net:        net,
 		self:       self,
 		controller: controller,
-		meta:       newMetadata(net, self, controller),
+		meta:       newMetadata(net, self, controller, retry.Policy{}, merged),
+		closeCh:    closeCh,
+		cancel:     merged,
 	}
 }
 
@@ -55,30 +68,40 @@ func (a *Admin) Partitions(topic string) (int32, error) {
 // purging). Failures are returned but callers may treat purging as best
 // effort — it reclaims space, it is not needed for correctness.
 func (a *Admin) DeleteRecords(tp protocol.TopicPartition, beforeOffset int64) error {
-	deadline := time.Now().Add(requestTimeout)
-	for {
+	budget := retry.NewBudget(requestTimeout)
+	return retryErr(fmt.Sprintf("delete records on %s", tp), retry.Do(retry.Policy{}, budget, a.cancel, func(int) (bool, error) {
 		leader, err := a.meta.leaderFor(tp)
-		if err == nil {
-			resp, serr := a.net.Send(a.self, leader, &protocol.DeleteRecordsRequest{
-				TP: tp, BeforeOffset: beforeOffset,
-			})
-			if serr == nil {
-				code := resp.(*protocol.DeleteRecordsResponse).Err
-				if code == protocol.ErrNone {
-					return nil
-				}
-				if !code.Retriable() {
-					return code.Err()
-				}
-			}
+		if err != nil {
+			return false, err
+		}
+		resp, serr := a.net.Send(a.self, leader, &protocol.DeleteRecordsRequest{
+			TP: tp, BeforeOffset: beforeOffset,
+		})
+		if serr != nil {
 			a.meta.invalidate(tp.Topic)
+			return false, serr
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: delete records on %s timed out", tp)
+		code := resp.(*protocol.DeleteRecordsResponse).Err
+		if code == protocol.ErrNone {
+			return true, nil
 		}
-		time.Sleep(retryBackoff)
-	}
+		if !code.Retriable() {
+			return true, code.Err()
+		}
+		a.meta.invalidate(tp.Topic)
+		return false, code.Err()
+	}))
 }
 
-// Close releases the network endpoint.
-func (a *Admin) Close() { a.net.Unregister(a.self) }
+// Close releases the network endpoint and interrupts in-flight retries.
+func (a *Admin) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	close(a.closeCh)
+	a.mu.Unlock()
+	a.net.Unregister(a.self)
+}

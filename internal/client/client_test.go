@@ -2,8 +2,10 @@ package client
 
 import (
 	"testing"
+	"time"
 
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
 
@@ -95,7 +97,7 @@ func TestMetadataCache(t *testing.T) {
 	net := transport.New(transport.Options{})
 	leaders := map[string][]int32{"t": {1, 2}}
 	fakeController(net, leaders)
-	m := newMetadata(net, net.AllocClientID(), 0)
+	m := newMetadata(net, net.AllocClientID(), 0, retry.Policy{}, nil)
 
 	l, err := m.leaderFor(protocol.TopicPartition{Topic: "t", Partition: 1})
 	if err != nil || l != 2 {
@@ -117,8 +119,51 @@ func TestMetadataCache(t *testing.T) {
 	if l, _ := m.leaderFor(protocol.TopicPartition{Topic: "t", Partition: 1}); l != 1 {
 		t.Fatalf("refresh missed new leader: %d", l)
 	}
-	if coord, err := m.findCoordinator("g", protocol.CoordinatorGroup); err != nil || coord != 1 {
+	if coord, err := m.findCoordinator("g", protocol.CoordinatorGroup, retry.NewBudget(time.Second)); err != nil || coord != 1 {
 		t.Fatalf("coordinator: %d %v", coord, err)
+	}
+}
+
+// TestDeliverSkipsOnlyAbortedRanges covers a read-committed fetch whose
+// batches span an aborted transaction, its marker, and a later committed
+// transaction from the same producer: only the aborted range may be
+// dropped. (A regression here dropped every batch at or past the aborted
+// range's first offset, losing committed records whenever one fetch
+// spanned the whole sequence.)
+func TestDeliverSkipsOnlyAbortedRanges(t *testing.T) {
+	net := transport.New(transport.Options{})
+	c := NewConsumer(net, ConsumerConfig{Isolation: protocol.ReadCommitted})
+	defer c.Close()
+	tp := protocol.TopicPartition{Topic: "t", Partition: 0}
+	c.pos[tp] = 0
+
+	data := func(base int64, val string) *protocol.RecordBatch {
+		return &protocol.RecordBatch{
+			BaseOffset: base, ProducerID: 1, Transactional: true,
+			Records: []protocol.Record{{Key: []byte("k"), Value: []byte(val)}},
+		}
+	}
+	marker := func(base int64, typ protocol.MarkerType) *protocol.RecordBatch {
+		b := protocol.NewMarkerBatch(1, 0, 0, protocol.ControlMarker{Type: typ})
+		b.BaseOffset = base
+		return b
+	}
+	part := protocol.FetchPartition{
+		TP: tp,
+		Batches: []*protocol.RecordBatch{
+			data(0, "aborted"),
+			marker(1, protocol.MarkerAbort),
+			data(2, "committed"),
+			marker(3, protocol.MarkerCommit),
+		},
+		AbortedTxns: []protocol.AbortedTxn{{ProducerID: 1, FirstOffset: 0}},
+	}
+	msgs := c.deliver(part)
+	if len(msgs) != 1 || string(msgs[0].Record.Value) != "committed" {
+		t.Fatalf("deliver returned %+v, want exactly the committed record", msgs)
+	}
+	if c.pos[tp] != 4 {
+		t.Fatalf("position advanced to %d, want 4", c.pos[tp])
 	}
 }
 

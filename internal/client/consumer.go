@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
 
@@ -97,6 +98,12 @@ type ConsumerConfig struct {
 	// OnRevoked and OnAssigned run around rebalances, inside Poll.
 	OnRevoked  func([]protocol.TopicPartition)
 	OnAssigned func([]protocol.TopicPartition)
+	// Retry overrides the backoff schedule for request loops; the zero
+	// value uses the package defaults (see internal/retry).
+	Retry retry.Policy
+	// Cancel, when non-nil, interrupts in-flight retries when it closes,
+	// in addition to Close (a stream thread passes its kill signal).
+	Cancel <-chan struct{}
 }
 
 // Message is one consumed record.
@@ -113,6 +120,11 @@ type Consumer struct {
 	self int32
 	cfg  ConsumerConfig
 	meta *metadata
+
+	// closeCh fires on Close/Abandon; cancel additionally fires on
+	// cfg.Cancel and is what unblocks in-flight retry waits.
+	closeCh chan struct{}
+	cancel  <-chan struct{}
 
 	mu           sync.Mutex
 	closed       bool
@@ -147,12 +159,16 @@ func NewConsumer(net *transport.Network, cfg ConsumerConfig) *Consumer {
 	}
 	self := net.AllocClientID()
 	net.Register(self, func(int32, any) any { return nil })
+	closeCh := make(chan struct{})
+	cancel := mergeCancel(closeCh, cfg.Cancel)
 	return &Consumer{
-		net:  net,
-		self: self,
-		cfg:  cfg,
-		meta: newMetadata(net, self, cfg.Controller),
-		pos:  make(map[protocol.TopicPartition]int64),
+		net:     net,
+		self:    self,
+		cfg:     cfg,
+		meta:    newMetadata(net, self, cfg.Controller, cfg.Retry, cancel),
+		closeCh: closeCh,
+		cancel:  cancel,
+		pos:     make(map[protocol.TopicPartition]int64),
 	}
 }
 
@@ -278,12 +294,22 @@ func (c *Consumer) ensureMembership() error {
 }
 
 func (c *Consumer) joinGroup() error {
-	deadline := time.Now().Add(requestTimeout * 2)
+	// One budget spans the whole join round, including every nested
+	// findCoordinator lookup — the inner calls spend the same allowance
+	// instead of starting fresh timers, so join cannot overshoot its
+	// stated deadline.
+	budget := retry.NewBudget(requestTimeout * 2)
+	loop := retry.New(c.cfg.Retry, budget, c.cancel)
+	fail := func(err error) error {
+		return retryErr(fmt.Sprintf("join group %q", c.cfg.Group), err)
+	}
 	for {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: join group %q timed out", c.cfg.Group)
+		// Check (not Wait) at loop top: the retry-immediately branches
+		// below re-enter here and must still observe deadline and close.
+		if err := loop.Check(); err != nil {
+			return fail(err)
 		}
-		coord, err := c.meta.findCoordinator(c.cfg.Group, protocol.CoordinatorGroup)
+		coord, err := c.meta.findCoordinator(c.cfg.Group, protocol.CoordinatorGroup, budget)
 		if err != nil {
 			return err
 		}
@@ -306,7 +332,9 @@ func (c *Consumer) joinGroup() error {
 			UserData:         userData,
 		})
 		if serr != nil {
-			time.Sleep(retryBackoff)
+			if err := loop.Wait(); err != nil {
+				return fail(err)
+			}
 			continue
 		}
 		jr := resp.(*protocol.JoinGroupResponse)
@@ -321,11 +349,15 @@ func (c *Consumer) joinGroup() error {
 			c.mu.Unlock()
 			continue
 		case protocol.ErrNotCoordinator, protocol.ErrCoordinatorNotAvailable:
-			time.Sleep(retryBackoff)
+			if err := loop.Wait(); err != nil {
+				return fail(err)
+			}
 			continue
 		default:
 			if jr.Err.Retriable() {
-				time.Sleep(retryBackoff)
+				if err := loop.Wait(); err != nil {
+					return fail(err)
+				}
 				continue
 			}
 			return jr.Err.Err()
@@ -359,7 +391,9 @@ func (c *Consumer) joinGroup() error {
 		}
 		sresp, serr := c.net.Send(c.self, coord, sync)
 		if serr != nil {
-			time.Sleep(retryBackoff)
+			if err := loop.Wait(); err != nil {
+				return fail(err)
+			}
 			continue
 		}
 		sr := sresp.(*protocol.SyncGroupResponse)
@@ -377,7 +411,9 @@ func (c *Consumer) joinGroup() error {
 			continue
 		default:
 			if sr.Err.Retriable() {
-				time.Sleep(retryBackoff)
+				if err := loop.Wait(); err != nil {
+					return fail(err)
+				}
 				continue
 			}
 			return sr.Err.Err()
@@ -500,27 +536,33 @@ func (c *Consumer) ensurePositions() error {
 }
 
 func (c *Consumer) listOffset(tp protocol.TopicPartition, t int64) (int64, error) {
-	deadline := time.Now().Add(requestTimeout)
-	for {
+	budget := retry.NewBudget(requestTimeout)
+	offset := int64(-1)
+	err := retry.Do(c.cfg.Retry, budget, c.cancel, func(int) (bool, error) {
 		leader, err := c.meta.leaderFor(tp)
-		if err == nil {
-			resp, serr := c.net.Send(c.self, leader, &protocol.ListOffsetsRequest{TP: tp, Time: t})
-			if serr == nil {
-				lr := resp.(*protocol.ListOffsetsResponse)
-				if lr.Err == protocol.ErrNone {
-					return lr.Offset, nil
-				}
-				if !lr.Err.Retriable() {
-					return -1, lr.Err.Err()
-				}
-			}
+		if err != nil {
+			return false, err
+		}
+		resp, serr := c.net.Send(c.self, leader, &protocol.ListOffsetsRequest{TP: tp, Time: t})
+		if serr != nil {
 			c.meta.invalidate(tp.Topic)
+			return false, serr
 		}
-		if time.Now().After(deadline) {
-			return -1, fmt.Errorf("client: list offsets for %s timed out", tp)
+		lr := resp.(*protocol.ListOffsetsResponse)
+		if lr.Err == protocol.ErrNone {
+			offset = lr.Offset
+			return true, nil
 		}
-		time.Sleep(retryBackoff)
+		if !lr.Err.Retriable() {
+			return true, lr.Err.Err()
+		}
+		c.meta.invalidate(tp.Topic)
+		return false, lr.Err.Err()
+	})
+	if err != nil {
+		return -1, retryErr(fmt.Sprintf("list offsets for %s", tp), err)
 	}
+	return offset, nil
 }
 
 // BeginningOffset and EndOffset expose log bounds (used for restoration).
@@ -645,11 +687,16 @@ func (c *Consumer) deliver(part protocol.FetchPartition) []Message {
 	if !ok {
 		return nil
 	}
-	aborted := make(map[int64]int64) // pid -> first aborted offset
+	// Each aborted range runs from its first offset to the producer's next
+	// abort marker. Ranges must be consumed as their markers pass: a batch
+	// the same producer writes after an abort marker belongs to a new
+	// transaction, not the closed range.
+	abortedStarts := make(map[int64][]int64) // pid -> ascending range starts
 	for _, a := range part.AbortedTxns {
-		if f, ok := aborted[a.ProducerID]; !ok || a.FirstOffset < f {
-			aborted[a.ProducerID] = a.FirstOffset
-		}
+		abortedStarts[a.ProducerID] = append(abortedStarts[a.ProducerID], a.FirstOffset)
+	}
+	for _, starts := range abortedStarts {
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
 	}
 	activeAborted := make(map[int64]bool)
 	var msgs []Message
@@ -657,12 +704,15 @@ func (c *Consumer) deliver(part protocol.FetchPartition) []Message {
 		if b.LastOffset() < pos {
 			continue
 		}
-		if first, ok := aborted[b.ProducerID]; ok && b.BaseOffset >= first {
+		if starts := abortedStarts[b.ProducerID]; len(starts) > 0 && b.BaseOffset >= starts[0] {
 			activeAborted[b.ProducerID] = true
 		}
 		if b.Control {
 			if m, err := b.Marker(); err == nil && m.Type == protocol.MarkerAbort {
 				delete(activeAborted, b.ProducerID)
+				if starts := abortedStarts[b.ProducerID]; len(starts) > 0 && starts[0] <= b.BaseOffset {
+					abortedStarts[b.ProducerID] = starts[1:]
+				}
 			}
 			pos = b.LastOffset() + 1
 			continue
@@ -697,13 +747,13 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 	if group == "" {
 		return fmt.Errorf("client: commit without a group")
 	}
-	deadline := time.Now().Add(requestTimeout)
-	for {
+	budget := retry.NewBudget(requestTimeout)
+	return retryErr("offset commit", retry.Do(c.cfg.Retry, budget, c.cancel, func(int) (bool, error) {
 		if coord == 0 {
 			var err error
-			coord, err = c.meta.findCoordinator(group, protocol.CoordinatorGroup)
+			coord, err = c.meta.findCoordinator(group, protocol.CoordinatorGroup, budget)
 			if err != nil {
-				return err
+				return true, err
 			}
 			c.mu.Lock()
 			c.coordinator = coord
@@ -715,26 +765,23 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 			GenerationID: gen,
 			Offsets:      offsets,
 		})
-		if err == nil {
-			code := resp.(*protocol.OffsetCommitResponse).Err
-			switch {
-			case code == protocol.ErrNone:
-				return nil
-			case code == protocol.ErrIllegalGeneration, code == protocol.ErrUnknownMemberID,
-				code == protocol.ErrRebalanceInProgress:
-				c.needRejoin.Store(true)
-				return code.Err()
-			case !code.Retriable():
-				return code.Err()
-			}
-		} else {
+		if err != nil {
 			coord = 0
+			return false, err
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: offset commit timed out")
+		code := resp.(*protocol.OffsetCommitResponse).Err
+		switch {
+		case code == protocol.ErrNone:
+			return true, nil
+		case code == protocol.ErrIllegalGeneration, code == protocol.ErrUnknownMemberID,
+			code == protocol.ErrRebalanceInProgress:
+			c.needRejoin.Store(true)
+			return true, code.Err()
+		case !code.Retriable():
+			return true, code.Err()
 		}
-		time.Sleep(retryBackoff)
-	}
+		return false, code.Err()
+	}))
 }
 
 // Committed returns the group's committed offsets (-1 when none).
@@ -743,31 +790,34 @@ func (c *Consumer) Committed(tps ...protocol.TopicPartition) (map[protocol.Topic
 	if group == "" {
 		return nil, fmt.Errorf("client: committed offsets without a group")
 	}
-	deadline := time.Now().Add(requestTimeout)
-	for {
-		coord, err := c.meta.findCoordinator(group, protocol.CoordinatorGroup)
+	budget := retry.NewBudget(requestTimeout)
+	var out map[protocol.TopicPartition]int64
+	err := retry.Do(c.cfg.Retry, budget, c.cancel, func(int) (bool, error) {
+		coord, err := c.meta.findCoordinator(group, protocol.CoordinatorGroup, budget)
 		if err != nil {
-			return nil, err
+			return true, err
 		}
 		resp, serr := c.net.Send(c.self, coord, &protocol.OffsetFetchRequest{Group: group, TPs: tps})
-		if serr == nil {
-			ofr := resp.(*protocol.OffsetFetchResponse)
-			if ofr.Err == protocol.ErrNone {
-				out := make(map[protocol.TopicPartition]int64, len(ofr.Offsets))
-				for _, e := range ofr.Offsets {
-					out[e.TP] = e.Offset
-				}
-				return out, nil
-			}
-			if !ofr.Err.Retriable() {
-				return nil, ofr.Err.Err()
-			}
+		if serr != nil {
+			return false, serr
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("client: offset fetch timed out")
+		ofr := resp.(*protocol.OffsetFetchResponse)
+		if ofr.Err == protocol.ErrNone {
+			out = make(map[protocol.TopicPartition]int64, len(ofr.Offsets))
+			for _, e := range ofr.Offsets {
+				out[e.TP] = e.Offset
+			}
+			return true, nil
 		}
-		time.Sleep(retryBackoff)
+		if !ofr.Err.Retriable() {
+			return true, ofr.Err.Err()
+		}
+		return false, ofr.Err.Err()
+	})
+	if err != nil {
+		return nil, retryErr("offset fetch", err)
 	}
+	return out, nil
 }
 
 // Abandon releases the consumer without leaving the group — the crash
@@ -779,12 +829,16 @@ func (c *Consumer) Abandon() {
 		return
 	}
 	c.closed = true
+	close(c.closeCh)
 	c.mu.Unlock()
 	c.stopHeartbeat()
 	c.net.Unregister(c.self)
 }
 
-// Close leaves the group and releases the network endpoint.
+// Close leaves the group and releases the network endpoint. Closing
+// fires the cancellation channel, so a retry blocked on an unreachable
+// coordinator unblocks promptly instead of holding its goroutine (and
+// the stream thread driving it) for the full deadline.
 func (c *Consumer) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -792,6 +846,7 @@ func (c *Consumer) Close() {
 		return
 	}
 	c.closed = true
+	close(c.closeCh)
 	coord := c.coordinator
 	memberID := c.memberID
 	inGroup := c.inGroup

@@ -3,6 +3,12 @@
 // group membership, offset management, and read-committed isolation
 // (Section 4.2.3). Both talk to brokers through the transport fabric and
 // are the building blocks the Streams runtime (internal/core) is made of.
+//
+// All request loops route through internal/retry: exponential backoff
+// with deterministic jitter, one deadline budget per logical operation
+// (propagated through nested calls like joinGroup → findCoordinator),
+// and cancellation tied to the client's Close so a blocked retry never
+// outlives its owner.
 package client
 
 import (
@@ -12,6 +18,7 @@ import (
 	"time"
 
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
 
@@ -22,26 +29,65 @@ var ErrFenced = errors.New("client: producer fenced by newer epoch")
 // ErrClosed reports use after Close.
 var ErrClosed = errors.New("client: closed")
 
-// requestTimeout bounds retry loops for metadata-dependent requests.
+// requestTimeout is the default deadline budget for one logical
+// metadata-dependent operation, nested lookups included.
 const requestTimeout = 15 * time.Second
 
-const retryBackoff = 2 * time.Millisecond
+// retryErr annotates a retry loop give-up with the operation name.
+// Cancellation maps onto ErrClosed so callers that already handle a
+// closed client (e.g. the stream thread) treat an interrupted retry the
+// same way.
+func retryErr(op string, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, retry.ErrCanceled):
+		return fmt.Errorf("client: %s interrupted: %w", op, ErrClosed)
+	case errors.Is(err, retry.ErrBudgetExhausted):
+		return fmt.Errorf("client: %s timed out: %w", op, err)
+	default:
+		return err
+	}
+}
+
+// mergeCancel returns a channel that closes when either input fires.
+// closeCh is always non-nil and always closed eventually (on Close), so
+// the relay goroutine cannot leak; extra is an optional external cancel
+// (a stream thread's kill signal).
+func mergeCancel(closeCh <-chan struct{}, extra <-chan struct{}) <-chan struct{} {
+	if extra == nil {
+		return closeCh
+	}
+	out := make(chan struct{})
+	go func() {
+		select {
+		case <-closeCh:
+		case <-extra:
+		}
+		close(out)
+	}()
+	return out
+}
 
 // metadata caches topic partition leadership, refreshed on routing errors.
 type metadata struct {
 	net        *transport.Network
 	self       int32
 	controller int32
+	policy     retry.Policy
+	cancel     <-chan struct{}
 
 	mu     sync.Mutex
 	topics map[string][]protocol.PartitionMetadata
 }
 
-func newMetadata(net *transport.Network, self, controller int32) *metadata {
+func newMetadata(net *transport.Network, self, controller int32, policy retry.Policy, cancel <-chan struct{}) *metadata {
 	return &metadata{
 		net:        net,
 		self:       self,
 		controller: controller,
+		policy:     policy,
+		cancel:     cancel,
 		topics:     make(map[string][]protocol.PartitionMetadata),
 	}
 }
@@ -109,23 +155,29 @@ func (m *metadata) invalidate(topic string) {
 	delete(m.topics, topic)
 }
 
-// findCoordinator resolves the group or transaction coordinator for a key.
-func (m *metadata) findCoordinator(key string, typ protocol.CoordinatorType) (int32, error) {
-	deadline := time.Now().Add(requestTimeout)
-	for {
+// findCoordinator resolves the group or transaction coordinator for a
+// key. The caller's budget bounds the lookup, so a nested resolution
+// (joinGroup → findCoordinator) spends the outer operation's allowance
+// instead of starting a fresh timer.
+func (m *metadata) findCoordinator(key string, typ protocol.CoordinatorType, budget *retry.Budget) (int32, error) {
+	var node int32
+	err := retry.Do(m.policy, budget, m.cancel, func(int) (bool, error) {
 		resp, err := m.net.Send(m.self, m.controller, &protocol.FindCoordinatorRequest{Key: key, Type: typ})
-		if err == nil {
-			fc := resp.(*protocol.FindCoordinatorResponse)
-			if fc.Err == protocol.ErrNone {
-				return fc.NodeID, nil
-			}
-			if !fc.Err.Retriable() {
-				return -1, fc.Err.Err()
-			}
+		if err != nil {
+			return false, err
 		}
-		if time.Now().After(deadline) {
-			return -1, fmt.Errorf("client: find coordinator for %q timed out", key)
+		fc := resp.(*protocol.FindCoordinatorResponse)
+		switch {
+		case fc.Err == protocol.ErrNone:
+			node = fc.NodeID
+			return true, nil
+		case !fc.Err.Retriable():
+			return true, fc.Err.Err()
 		}
-		time.Sleep(retryBackoff)
+		return false, fc.Err.Err()
+	})
+	if err != nil {
+		return -1, retryErr(fmt.Sprintf("find coordinator for %q", key), err)
 	}
+	return node, nil
 }

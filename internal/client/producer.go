@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
 
@@ -26,6 +27,12 @@ type ProducerConfig struct {
 	// BatchRecords flushes a partition's buffered records as one batch when
 	// this many have accumulated (Flush sends the remainder).
 	BatchRecords int
+	// Retry overrides the backoff schedule for request loops; the zero
+	// value uses the package defaults (see internal/retry).
+	Retry retry.Policy
+	// Cancel, when non-nil, interrupts in-flight retries when it closes,
+	// in addition to Close (a stream thread passes its kill signal).
+	Cancel <-chan struct{}
 }
 
 // Producer sends records to partition leaders with optional idempotence
@@ -37,6 +44,11 @@ type Producer struct {
 	self int32
 	cfg  ProducerConfig
 	meta *metadata
+
+	// closeCh fires on Close; cancel additionally fires on cfg.Cancel and
+	// is what unblocks in-flight retry waits.
+	closeCh chan struct{}
+	cancel  <-chan struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -64,11 +76,15 @@ func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) 
 	}
 	self := net.AllocClientID()
 	net.Register(self, func(int32, any) any { return nil })
+	closeCh := make(chan struct{})
+	cancel := mergeCancel(closeCh, cfg.Cancel)
 	p := &Producer{
 		net:           net,
 		self:          self,
 		cfg:           cfg,
-		meta:          newMetadata(net, self, cfg.Controller),
+		meta:          newMetadata(net, self, cfg.Controller, cfg.Retry, cancel),
+		closeCh:       closeCh,
+		cancel:        cancel,
 		seq:           make(map[protocol.TopicPartition]int32),
 		pid:           protocol.NoProducerID,
 		txnRegistered: make(map[protocol.TopicPartition]bool),
@@ -85,47 +101,47 @@ func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) 
 
 // initProducerID performs the registration round-trip of Figure 4.b.
 func (p *Producer) initProducerID() error {
-	deadline := time.Now().Add(requestTimeout)
+	budget := retry.NewBudget(requestTimeout)
 	req := &protocol.InitProducerIDRequest{
 		TransactionalID: p.cfg.TransactionalID,
 		TxnTimeoutMs:    int64(p.cfg.TxnTimeout / time.Millisecond),
 	}
-	for {
-		coord, err := p.coordinator()
+	return retryErr("init producer id", retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+		coord, err := p.coordinator(budget)
 		if err != nil {
-			return err
+			return true, err
 		}
 		resp, err := p.net.Send(p.self, coord, req)
-		if err == nil {
-			ir := resp.(*protocol.InitProducerIDResponse)
-			switch {
-			case ir.Err == protocol.ErrNone:
-				p.pid = ir.ProducerID
-				p.epoch = ir.ProducerEpoch
-				p.seq = make(map[protocol.TopicPartition]int32)
-				return nil
-			case ir.Err == protocol.ErrProducerFenced:
-				return ErrFenced
-			case !ir.Err.Retriable():
-				return ir.Err.Err()
-			}
+		if err != nil {
+			p.txnCoordinator = 0 // re-resolve
+			return false, err
+		}
+		ir := resp.(*protocol.InitProducerIDResponse)
+		switch {
+		case ir.Err == protocol.ErrNone:
+			p.pid = ir.ProducerID
+			p.epoch = ir.ProducerEpoch
+			p.seq = make(map[protocol.TopicPartition]int32)
+			return true, nil
+		case ir.Err == protocol.ErrProducerFenced:
+			return true, ErrFenced
+		case !ir.Err.Retriable():
+			return true, ir.Err.Err()
 		}
 		p.txnCoordinator = 0 // re-resolve
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: init producer id timed out")
-		}
-		time.Sleep(retryBackoff)
-	}
+		return false, ir.Err.Err()
+	}))
 }
 
 // coordinator resolves (and caches) the transaction coordinator; for
-// idempotent-only producers any broker serves the request.
-func (p *Producer) coordinator() (int32, error) {
+// idempotent-only producers any broker serves the request. The lookup is
+// charged against the calling operation's budget.
+func (p *Producer) coordinator(budget *retry.Budget) (int32, error) {
 	if p.txnCoordinator != 0 {
 		return p.txnCoordinator, nil
 	}
 	key := p.cfg.TransactionalID
-	id, err := p.meta.findCoordinator(key, protocol.CoordinatorTxn)
+	id, err := p.meta.findCoordinator(key, protocol.CoordinatorTxn, budget)
 	if err != nil {
 		return -1, err
 	}
@@ -350,37 +366,35 @@ func (p *Producer) flushPartition(tp protocol.TopicPartition) error {
 // is exactly the duplicated-append hazard idempotence neutralizes
 // (paper Section 2.1, "the inter-processor RPC can fail").
 func (p *Producer) produce(tp protocol.TopicPartition, batch *protocol.RecordBatch) error {
-	deadline := time.Now().Add(requestTimeout)
+	budget := retry.NewBudget(requestTimeout)
 	req := &protocol.ProduceRequest{
 		TransactionalID: p.cfg.TransactionalID,
 		Entries:         []protocol.ProduceEntry{{TP: tp, Batch: batch}},
 	}
-	for {
+	return retryErr(fmt.Sprintf("produce to %s", tp), retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
 		leader, err := p.meta.leaderFor(tp)
-		if err == nil {
-			resp, serr := p.net.Send(p.self, leader, req)
-			if serr == nil {
-				res := resp.(*protocol.ProduceResponse).Results[0]
-				switch res.Err {
-				case protocol.ErrNone, protocol.ErrDuplicateSequence:
-					return nil
-				case protocol.ErrProducerFenced:
-					return ErrFenced
-				default:
-					if !res.Err.Retriable() {
-						return res.Err.Err()
-					}
-					p.meta.invalidate(tp.Topic)
-				}
-			} else {
-				p.meta.invalidate(tp.Topic)
+		if err != nil {
+			return false, err
+		}
+		resp, serr := p.net.Send(p.self, leader, req)
+		if serr != nil {
+			p.meta.invalidate(tp.Topic)
+			return false, serr
+		}
+		res := resp.(*protocol.ProduceResponse).Results[0]
+		switch res.Err {
+		case protocol.ErrNone, protocol.ErrDuplicateSequence:
+			return true, nil
+		case protocol.ErrProducerFenced:
+			return true, ErrFenced
+		default:
+			if !res.Err.Retriable() {
+				return true, res.Err.Err()
 			}
+			p.meta.invalidate(tp.Topic)
+			return false, res.Err.Err()
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: produce to %s timed out", tp)
-		}
-		time.Sleep(retryBackoff)
-	}
+	}))
 }
 
 // addPartitionsToTxn registers partitions with the coordinator before the
@@ -440,29 +454,27 @@ func (p *Producer) SendOffsetsToTxn(group string, offsets []protocol.OffsetEntry
 		GenerationID:    generation,
 		Offsets:         offsets,
 	}
-	deadline := time.Now().Add(requestTimeout)
-	for {
-		coord, err := p.meta.findCoordinator(group, protocol.CoordinatorGroup)
+	budget := retry.NewBudget(requestTimeout)
+	return retryErr("txn offset commit", retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+		coord, err := p.meta.findCoordinator(group, protocol.CoordinatorGroup, budget)
 		if err != nil {
-			return err
+			return true, err
 		}
 		resp, serr := p.net.Send(p.self, coord, req)
-		if serr == nil {
-			code := resp.(*protocol.TxnOffsetCommitResponse).Err
-			switch {
-			case code == protocol.ErrNone:
-				return nil
-			case code == protocol.ErrProducerFenced:
-				return ErrFenced
-			case !code.Retriable():
-				return code.Err()
-			}
+		if serr != nil {
+			return false, serr
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: txn offset commit timed out")
+		code := resp.(*protocol.TxnOffsetCommitResponse).Err
+		switch {
+		case code == protocol.ErrNone:
+			return true, nil
+		case code == protocol.ErrProducerFenced:
+			return true, ErrFenced
+		case !code.Retriable():
+			return true, code.Err()
 		}
-		time.Sleep(retryBackoff)
-	}
+		return false, code.Err()
+	}))
 }
 
 // CommitTxn flushes all pending records and commits the transaction
@@ -513,37 +525,36 @@ func (p *Producer) endTxn(commit bool) error {
 
 // txnRequest runs a coordinator request with retry and fencing handling.
 func (p *Producer) txnRequest(do func(coord int32) (protocol.ErrorCode, error)) error {
-	deadline := time.Now().Add(requestTimeout)
-	for {
-		coord, err := p.coordinator()
+	budget := retry.NewBudget(requestTimeout)
+	return retryErr("transaction request", retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+		coord, err := p.coordinator(budget)
 		if err != nil {
-			return err
+			return true, err
 		}
 		code, err := do(coord)
 		if err != nil {
-			return err
+			return true, err
 		}
 		switch {
 		case code == protocol.ErrNone:
-			return nil
+			return true, nil
 		case code == protocol.ErrProducerFenced:
-			return ErrFenced
+			return true, ErrFenced
 		case code == protocol.ErrTransactionAborted:
-			return code.Err()
+			return true, code.Err()
 		case !code.Retriable():
-			return code.Err()
+			return true, code.Err()
 		}
 		if code == protocol.ErrNotCoordinator || code == protocol.ErrBrokerUnavailable {
 			p.txnCoordinator = 0
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("client: transaction request timed out")
-		}
-		time.Sleep(retryBackoff)
-	}
+		return false, code.Err()
+	}))
 }
 
-// Close releases the client's network endpoint.
+// Close releases the client's network endpoint. Closing fires the
+// cancellation channel, so a retry blocked on an unreachable broker
+// unblocks promptly instead of holding its goroutine for the deadline.
 func (p *Producer) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -551,6 +562,7 @@ func (p *Producer) Close() {
 		return
 	}
 	p.closed = true
+	close(p.closeCh)
 	p.mu.Unlock()
 	p.net.Unregister(p.self)
 }

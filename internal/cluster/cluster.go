@@ -204,8 +204,13 @@ func (c *Cluster) LeaderOf(tp protocol.TopicPartition) int32 {
 	return c.ctl.leaderOf(tp)
 }
 
-// RPCCount proxies the transport's RPC counter.
+// RPCCount proxies the transport's delivered-RPC counter (the Figure-5
+// write-amplification proxy).
 func (c *Cluster) RPCCount() int64 { return c.net.RPCCount() }
+
+// RPCAttempts proxies the transport's attempted-RPC counter, which also
+// counts sends that failed fast against unreachable destinations.
+func (c *Cluster) RPCAttempts() int64 { return c.net.RPCAttempts() }
 
 // Close stops all brokers. Each broker is retired through the controller
 // first (ISR shrink and leader re-election), so in-flight transaction

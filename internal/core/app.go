@@ -107,7 +107,7 @@ func (a *App) Start() error {
 	if a.started {
 		return fmt.Errorf("core: app already started")
 	}
-	admin := client.NewAdmin(a.cfg.Net, a.cfg.Controller)
+	admin := client.NewAdmin(a.cfg.Net, a.cfg.Controller, nil)
 	defer admin.Close()
 
 	parts := make(map[string]int32)

@@ -9,8 +9,14 @@ import (
 
 	"kstreams/internal/client"
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
+
+// restorePolicy paces the changelog stabilize/replay polls during task
+// restoration: tighter than the client default because restoration
+// latency is on the rebalance critical path.
+var restorePolicy = retry.Policy{Initial: time.Millisecond, Max: 10 * time.Millisecond}
 
 // debugOn enables stall diagnostics via KSTREAMS_DEBUG=1.
 var debugOn = os.Getenv("KSTREAMS_DEBUG") != ""
@@ -69,6 +75,11 @@ type Thread struct {
 	lastCommitted map[protocol.TopicPartition]int64
 
 	stopCh chan struct{}
+	// killCh fires only on Kill (the simulated-crash path) and is threaded
+	// into every client as its retry-cancel signal: a killed thread blocked
+	// in a retry unblocks promptly instead of serving out the deadline. A
+	// graceful Stop does not fire it, so the final commit can still run.
+	killCh chan struct{}
 	done   chan struct{}
 	killed atomic.Bool
 	runErr error
@@ -88,6 +99,7 @@ func NewThread(cfg ThreadConfig) (*Thread, error) {
 		taskTxnOpen:   make(map[TaskID]bool),
 		lastCommitted: make(map[protocol.TopicPartition]int64),
 		stopCh:        make(chan struct{}),
+		killCh:        make(chan struct{}),
 		done:          make(chan struct{}),
 	}
 	iso := protocol.ReadUncommitted
@@ -106,26 +118,29 @@ func NewThread(cfg ThreadConfig) (*Thread, error) {
 		UserData:          th.userData,
 		OnRevoked:         th.onRevoked,
 		OnAssigned:        th.onAssigned,
+		Cancel:            th.killCh,
 	})
 	th.restoreConsumer = client.NewConsumer(cfg.Net, client.ConsumerConfig{
 		Controller: cfg.Controller,
 		Isolation:  protocol.ReadCommitted,
 		Reset:      client.ResetEarliest,
+		Cancel:     th.killCh,
 	})
-	th.admin = client.NewAdmin(cfg.Net, cfg.Controller)
+	th.admin = client.NewAdmin(cfg.Net, cfg.Controller, th.killCh)
 	switch cfg.Guarantee {
 	case ExactlyOnceV2:
 		p, err := client.NewProducer(cfg.Net, client.ProducerConfig{
 			Controller:      cfg.Controller,
 			TransactionalID: name,
 			TxnTimeout:      cfg.TxnTimeout,
+			Cancel:          th.killCh,
 		})
 		if err != nil {
 			return nil, err
 		}
 		th.producer = p
 	case AtLeastOnce:
-		p, err := client.NewProducer(cfg.Net, client.ProducerConfig{Controller: cfg.Controller})
+		p, err := client.NewProducer(cfg.Net, client.ProducerConfig{Controller: cfg.Controller, Cancel: th.killCh})
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +184,11 @@ func (th *Thread) Stop() {
 // In-flight transactions are left open for the coordinator to abort.
 func (th *Thread) Kill() {
 	th.killed.Store(true)
+	select {
+	case <-th.killCh:
+	default:
+		close(th.killCh)
+	}
 	select {
 	case <-th.stopCh:
 	default:
@@ -313,6 +333,7 @@ func (th *Thread) abortAndRejoin() {
 			Controller:      th.cfg.Controller,
 			TransactionalID: th.name,
 			TxnTimeout:      th.cfg.TxnTimeout,
+			Cancel:          th.killCh,
 		}); err == nil {
 			th.producer = p
 		}
@@ -383,7 +404,13 @@ func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
 			continue
 		}
 		if err := th.restoreTask(t); err != nil {
-			th.runErr = err
+			// A restore interrupted by Stop/Kill is part of shutting down,
+			// not a thread failure.
+			select {
+			case <-th.stopCh:
+			default:
+				th.runErr = err
+			}
 		}
 		th.tasks[id] = t
 		if th.cfg.Guarantee == ExactlyOnceV1 {
@@ -407,6 +434,7 @@ func (th *Thread) ensureTaskProducer(id TaskID) (*client.Producer, error) {
 		Controller:      th.cfg.Controller,
 		TransactionalID: th.cfg.AppID + "-" + id.String(),
 		TxnTimeout:      th.cfg.TxnTimeout,
+		Cancel:          th.killCh,
 	})
 	if err != nil {
 		return nil, err
@@ -433,7 +461,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		// transaction, or the restore would miss its committed tail and
 		// resume from newer offsets with stale state.
 		var end int64
-		stableBy := time.Now().Add(30 * time.Second)
+		stabilize := retry.New(restorePolicy, retry.NewBudget(30*time.Second), th.stopCh)
 		for {
 			lso, err := th.restoreConsumer.StableOffset(tp)
 			if err != nil {
@@ -447,21 +475,17 @@ func (th *Thread) restoreTask(t *Task) error {
 				end = lso
 				break
 			}
-			if time.Now().After(stableBy) {
-				return fmt.Errorf("core: changelog %s never stabilized (lso=%d hw=%d)", tp, lso, hw)
+			if werr := stabilize.Wait(); werr != nil {
+				return fmt.Errorf("core: changelog %s never stabilized (lso=%d hw=%d): %w", tp, lso, hw, werr)
 			}
-			time.Sleep(time.Millisecond)
 		}
 		if from >= end {
 			return nil
 		}
 		th.restoreConsumer.Assign(tp)
 		th.restoreConsumer.Seek(tp, from)
-		deadline := time.Now().Add(30 * time.Second)
+		drain := retry.New(restorePolicy, retry.NewBudget(30*time.Second), th.stopCh)
 		for th.restoreConsumer.Position(tp) < end {
-			if time.Now().After(deadline) {
-				return fmt.Errorf("core: restoring %s from %s stalled", storeName, tp)
-			}
 			msgs, err := th.restoreConsumer.Poll()
 			if err != nil {
 				return err
@@ -471,7 +495,9 @@ func (th *Thread) restoreTask(t *Task) error {
 				th.cfg.Metrics.restores.Add(1)
 			}
 			if len(msgs) == 0 {
-				time.Sleep(time.Millisecond)
+				if werr := drain.Wait(); werr != nil {
+					return fmt.Errorf("core: restoring %s from %s stalled: %w", storeName, tp, werr)
+				}
 			}
 		}
 		th.cfg.Registry.SetRestoredOffset(t.id, storeName, th.restoreConsumer.Position(tp))

@@ -399,7 +399,7 @@ func (st *subtask) outputParts() int32 {
 	if v, ok := outputPartsCache.Load(st.j.cfg.JobID + "/" + st.j.cfg.OutputTopic); ok {
 		return v.(int32)
 	}
-	admin := client.NewAdmin(st.j.cfg.Net, st.j.cfg.Controller)
+	admin := client.NewAdmin(st.j.cfg.Net, st.j.cfg.Controller, nil)
 	defer admin.Close()
 	n, err := admin.Partitions(st.j.cfg.OutputTopic)
 	if err != nil || n <= 0 {

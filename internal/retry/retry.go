@@ -1,0 +1,245 @@
+// Package retry is the shared policy engine behind every client retry
+// loop: exponential backoff with deterministic jitter, a single
+// wall-clock budget that propagates through nested calls (so an inner
+// lookup cannot extend its caller's deadline), a retriable-error
+// classification hook, and prompt cancellation via a close channel.
+//
+// The paper's exactly-once protocol assumes clients transparently retry
+// through broker failures, leadership moves, and fenced epochs ("the
+// inter-processor RPC can fail", Section 2.1). Centralizing the retry
+// schedule keeps those loops from spinning hot against a crashed broker
+// — which would inflate the RPC-count write-amplification proxy the
+// Figure-5 experiments measure — and lets Close interrupt a retry that
+// would otherwise hold its goroutine for the full deadline.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrCanceled reports that the loop's cancel channel fired while waiting
+// to retry (typically: the owning client was closed).
+var ErrCanceled = errors.New("retry: canceled")
+
+// ErrBudgetExhausted reports that the operation's deadline budget ran out
+// before an attempt succeeded.
+var ErrBudgetExhausted = errors.New("retry: deadline budget exhausted")
+
+// Classifier decides whether an attempt error is retriable. A nil
+// classifier treats every error as retriable (the caller filters
+// permanent errors before waiting).
+type Classifier func(error) bool
+
+// Policy is an exponential-backoff schedule. The zero value is usable
+// and backs off from DefaultInitial to DefaultMax with DefaultMultiplier
+// growth and DefaultJitter randomization.
+type Policy struct {
+	// Initial is the first backoff interval.
+	Initial time.Duration
+	// Max caps the grown interval (jitter may exceed it slightly).
+	Max time.Duration
+	// Multiplier grows the interval after each wait.
+	Multiplier float64
+	// Jitter randomizes each wait within ±(Jitter/2)·interval to
+	// de-synchronize competing clients. Jitter is deterministic under
+	// Seed so failure runs stay reproducible.
+	Jitter float64
+	// Seed selects the jitter stream; 0 uses a fixed default so unseeded
+	// runs are still deterministic.
+	Seed uint64
+	// Retriable classifies attempt errors for Do; nil retries everything.
+	Retriable Classifier
+}
+
+// Defaults for zero Policy fields.
+const (
+	DefaultInitial    = 2 * time.Millisecond
+	DefaultMax        = 50 * time.Millisecond
+	DefaultMultiplier = 2.0
+	DefaultJitter     = 0.2
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = DefaultInitial
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x6b737472656d7301 // arbitrary fixed default
+	}
+	return p
+}
+
+// Budget is the wall-clock allowance of one logical operation. One
+// budget is threaded through nested calls (joinGroup → findCoordinator)
+// so the whole operation observes a single deadline instead of stacking
+// independent timers. A nil *Budget means unlimited.
+type Budget struct {
+	deadline time.Time
+}
+
+// NewBudget starts a budget of d from now.
+func NewBudget(d time.Duration) *Budget {
+	return &Budget{deadline: time.Now().Add(d)}
+}
+
+// Expired reports whether the budget has no time left.
+func (b *Budget) Expired() bool {
+	return b != nil && !time.Now().Before(b.deadline)
+}
+
+// Remaining returns the time left (negative once expired); a nil budget
+// reports a very large remainder.
+func (b *Budget) Remaining() time.Duration {
+	if b == nil {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Until(b.deadline)
+}
+
+// clamp bounds a wait to the remaining budget.
+func (b *Budget) clamp(d time.Duration) time.Duration {
+	if b == nil {
+		return d
+	}
+	if rem := time.Until(b.deadline); rem < d {
+		return rem
+	}
+	return d
+}
+
+// Loop drives one retry loop. Callers run an attempt, then call Wait to
+// back off; Wait fails once the budget is exhausted or cancel fires.
+type Loop struct {
+	p      Policy
+	budget *Budget
+	cancel <-chan struct{}
+	next   time.Duration
+	rng    uint64
+	waits  int
+	slept  time.Duration
+}
+
+// New starts a loop over policy p charged against budget (nil for
+// unlimited) and canceled when cancel closes (nil for never).
+func New(p Policy, budget *Budget, cancel <-chan struct{}) *Loop {
+	p = p.withDefaults()
+	return &Loop{p: p, budget: budget, cancel: cancel, next: p.Initial, rng: p.Seed}
+}
+
+// Waits returns how many backoff waits have completed (== retries so far).
+func (l *Loop) Waits() int { return l.waits }
+
+// Slept returns the total time spent backing off.
+func (l *Loop) Slept() time.Duration { return l.slept }
+
+// Check is the non-blocking half of Wait: it reports cancellation or
+// budget exhaustion without consuming a backoff interval. Loops with
+// retry-immediately branches call it at the top so even sleepless
+// iterations observe the deadline and the close signal.
+func (l *Loop) Check() error {
+	select {
+	case <-l.cancel:
+		return ErrCanceled
+	default:
+	}
+	if l.budget.Expired() {
+		return ErrBudgetExhausted
+	}
+	return nil
+}
+
+// NextDelay computes and consumes the next jittered backoff interval
+// without sleeping. Exposed so tests and simulations can inspect the
+// schedule deterministically.
+func (l *Loop) NextDelay() time.Duration {
+	d := l.next
+	grown := time.Duration(float64(l.next) * l.p.Multiplier)
+	if grown > l.p.Max {
+		grown = l.p.Max
+	}
+	l.next = grown
+	if j := l.p.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j/2 + j*l.rand01()))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// rand01 is a splitmix64 step mapped onto [0, 1): deterministic,
+// allocation-free, and independent of the global math/rand state.
+func (l *Loop) rand01() float64 {
+	l.rng += 0x9e3779b97f4a7c15
+	z := l.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Wait blocks for the next backoff interval, clamped to the remaining
+// budget. It returns ErrCanceled the moment cancel fires and
+// ErrBudgetExhausted when the budget ran out (including when it ran out
+// during the wait), so a blocked retry never outlives its client.
+func (l *Loop) Wait() error {
+	if err := l.Check(); err != nil {
+		return err
+	}
+	d := l.budget.clamp(l.NextDelay())
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-l.cancel:
+			return ErrCanceled
+		case <-t.C:
+		}
+		l.slept += d
+	}
+	l.waits++
+	if l.budget.Expired() {
+		return ErrBudgetExhausted
+	}
+	return nil
+}
+
+// Do runs op until it succeeds, fails permanently, or the loop gives up.
+// op reports (done, err): done with a nil or permanent error ends the
+// loop with that error; otherwise Do consults the policy's Retriable
+// classifier — a non-retriable error returns immediately — and backs
+// off before the next attempt. When the budget or cancellation ends the
+// loop, the wait error is returned annotated with the last attempt error
+// so callers see why the retries were failing.
+func Do(p Policy, budget *Budget, cancel <-chan struct{}, op func(attempt int) (bool, error)) error {
+	l := New(p, budget, cancel)
+	for {
+		done, err := op(l.waits)
+		if done {
+			return err
+		}
+		if err != nil && p.Retriable != nil && !p.Retriable(err) {
+			return err
+		}
+		if werr := l.Wait(); werr != nil {
+			if err != nil {
+				return fmt.Errorf("%w (last attempt: %v)", werr, err)
+			}
+			return werr
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowth: the undithered schedule doubles from Initial up to
+// the Max cap and stays there.
+func TestBackoffGrowth(t *testing.T) {
+	l := New(Policy{Initial: 2 * time.Millisecond, Max: 16 * time.Millisecond, Multiplier: 2}, nil, nil)
+	l.p.Jitter = 0 // inspect the undithered schedule
+	want := []time.Duration{2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		if got := l.NextDelay(); got != w*time.Millisecond {
+			t.Fatalf("delay %d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestJitterDeterminism: two loops with the same seed produce identical
+// schedules; different seeds diverge.
+func TestJitterDeterminism(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		l := New(Policy{Initial: time.Millisecond, Max: 64 * time.Millisecond, Multiplier: 2, Jitter: 0.5, Seed: seed}, nil, nil)
+		out := make([]time.Duration, 10)
+		for i := range out {
+			out[i] = l.NextDelay()
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Jitter stays within the ±Jitter/2 band around the base interval.
+	base := time.Millisecond
+	for i, d := range a[:1] {
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestBudgetExhaustion: Wait gives up once the shared budget runs out,
+// and the loop never sleeps meaningfully past the deadline.
+func TestBudgetExhaustion(t *testing.T) {
+	b := NewBudget(30 * time.Millisecond)
+	l := New(Policy{Initial: 4 * time.Millisecond, Max: 8 * time.Millisecond}, b, nil)
+	start := time.Now()
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = l.Wait(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if el := time.Since(start); el > 150*time.Millisecond {
+		t.Fatalf("loop overshot budget: ran %v on a 30ms budget", el)
+	}
+	if l.Waits() == 0 {
+		t.Fatal("expected at least one completed wait before exhaustion")
+	}
+}
+
+// TestSharedBudgetPropagates: a nested loop on the same budget cannot
+// extend the outer deadline (the joinGroup → findCoordinator case).
+func TestSharedBudgetPropagates(t *testing.T) {
+	b := NewBudget(20 * time.Millisecond)
+	inner := New(Policy{Initial: 5 * time.Millisecond, Max: 5 * time.Millisecond}, b, nil)
+	for inner.Wait() == nil {
+	}
+	outer := New(Policy{Initial: time.Millisecond}, b, nil)
+	if err := outer.Wait(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("outer loop on spent budget: err = %v, want ErrBudgetExhausted", err)
+	}
+	if err := outer.Check(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Check on spent budget: err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestCancellationLatency: closing the cancel channel unblocks a waiting
+// loop promptly, long before the pending backoff interval elapses.
+func TestCancellationLatency(t *testing.T) {
+	cancel := make(chan struct{})
+	l := New(Policy{Initial: 5 * time.Second, Max: 5 * time.Second}, nil, cancel)
+	errc := make(chan error, 1)
+	go func() { errc <- l.Wait() }()
+	time.Sleep(10 * time.Millisecond) // let the wait park
+	start := time.Now()
+	close(cancel)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if el := time.Since(start); el > 100*time.Millisecond {
+			t.Fatalf("cancellation took %v, want ≪100ms", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not unblock on cancel")
+	}
+	// A canceled loop stays canceled.
+	if err := l.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check after cancel: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestDo: success, permanent failure via the classifier, and budget
+// exhaustion annotated with the last attempt error.
+func TestDo(t *testing.T) {
+	// Succeeds on the third attempt.
+	attempts := 0
+	err := Do(Policy{Initial: time.Millisecond}, nil, nil, func(int) (bool, error) {
+		attempts++
+		return attempts == 3, nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+
+	// A non-retriable error stops immediately.
+	permanent := errors.New("permanent")
+	attempts = 0
+	p := Policy{Initial: time.Millisecond, Retriable: func(err error) bool { return err != permanent }}
+	err = Do(p, nil, nil, func(int) (bool, error) {
+		attempts++
+		return false, permanent
+	})
+	if !errors.Is(err, permanent) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want permanent after 1 attempt", err, attempts)
+	}
+
+	// Budget exhaustion surfaces the last attempt error.
+	flaky := errors.New("broker unavailable")
+	err = Do(Policy{Initial: 2 * time.Millisecond}, NewBudget(10*time.Millisecond), nil, func(int) (bool, error) {
+		return false, flaky
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestNilBudgetAndCancel: nil budget never expires, nil cancel never fires.
+func TestNilBudgetAndCancel(t *testing.T) {
+	var b *Budget
+	if b.Expired() {
+		t.Fatal("nil budget expired")
+	}
+	if b.Remaining() < time.Hour {
+		t.Fatal("nil budget remaining too small")
+	}
+	l := New(Policy{Initial: time.Microsecond, Max: time.Microsecond}, nil, nil)
+	for i := 0; i < 10; i++ {
+		if err := l.Wait(); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+}

@@ -50,7 +50,8 @@ type Network struct {
 	rng   *rand.Rand
 
 	nextClientID atomic.Int32
-	rpcs         atomic.Int64
+	rpcs         atomic.Int64 // every Send attempted
+	delivered    atomic.Int64 // Sends that reached a handler
 }
 
 // New creates a network with the given options.
@@ -126,15 +127,37 @@ func (n *Network) Heal(a, b int32) {
 	delete(n.partitioned, pairKey(a, b))
 }
 
-// RPCCount returns the total number of Sends attempted, a cheap proxy for
-// the "write amplification" cost discussed in paper Section 4.3.
-func (n *Network) RPCCount() int64 { return n.rpcs.Load() }
+// RPCCount returns the number of Sends actually delivered to a handler —
+// the proxy for the "write amplification" cost discussed in paper
+// Section 4.3 (Figure 5). Attempts that failed fast against a crashed,
+// partitioned, or unregistered destination are excluded so retry storms
+// during an outage do not skew the measurement; see RPCAttempts.
+func (n *Network) RPCCount() int64 { return n.delivered.Load() }
+
+// RPCAttempts returns every Send attempted, delivered or not. The gap
+// between RPCAttempts and RPCCount measures how hard clients hammered
+// unreachable destinations — the quantity the retry backoff bounds.
+func (n *Network) RPCAttempts() int64 { return n.rpcs.Load() }
+
+// unreachable reports whether from → to is currently undeliverable.
+func (n *Network) unreachable(from, to int32) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.handlers[to]
+	return !ok || n.crashed[to] || n.crashed[from] || n.partitioned[pairKey(from, to)]
+}
 
 // Send delivers req to the destination handler and returns its response,
 // after charging the configured latency. It fails with ErrUnreachable when
-// the destination is crashed, missing, or partitioned from the sender.
+// the destination is crashed, missing, or partitioned from the sender: an
+// already-unreachable destination fails fast (like a refused connection)
+// without the latency charge, while one that becomes unreachable during
+// the flight still costs the full round trip.
 func (n *Network) Send(from, to int32, req any) (any, error) {
 	n.rpcs.Add(1)
+	if n.unreachable(from, to) {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
+	}
 	n.delay()
 	n.mu.RLock()
 	h, ok := n.handlers[to]
@@ -144,6 +167,7 @@ func (n *Network) Send(from, to int32, req any) (any, error) {
 	if !ok || dead || cut {
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
+	n.delivered.Add(1)
 	return h(from, req), nil
 }
 

@@ -113,9 +113,15 @@ func (c *Cluster) LeaderOf(topic string, partition int32) int32 {
 	return c.inner.LeaderOf(protocol.TopicPartition{Topic: topic, Partition: partition})
 }
 
-// RPCCount returns the total RPCs carried by the network, a proxy for the
-// coordination cost studied in the paper's Section 4.3.
+// RPCCount returns the RPCs delivered by the network, a proxy for the
+// coordination cost studied in the paper's Section 4.3. Attempts that
+// failed against unreachable brokers are excluded; see RPCAttempts.
 func (c *Cluster) RPCCount() int64 { return c.inner.RPCCount() }
+
+// RPCAttempts returns every RPC attempted, including sends that failed
+// fast against crashed or partitioned brokers — the quantity the client
+// retry backoff keeps bounded during outages.
+func (c *Cluster) RPCAttempts() int64 { return c.inner.RPCAttempts() }
 
 // Close stops all brokers.
 func (c *Cluster) Close() { c.inner.Close() }

@@ -1,0 +1,240 @@
+package streams_test
+
+import (
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestRetryBoundedUnderCrashedLeader crashes a partition leader at the
+// transport level — the controller keeps advertising it, so the producer
+// must retry against a dead destination — and asserts the retry policy's
+// three properties: the producer recovers once the broker is restored,
+// the attempted-RPC count during the outage is bounded (backoff actually
+// grows instead of spinning at a fixed 2 ms), and Close interrupts a
+// blocked retry within ~100 ms instead of serving out the 15 s deadline.
+//
+// A single broker (RF=1) keeps the attempted-RPC counter clean: with
+// replicas there are follower fetch loops whose own retries against the
+// crashed broker would swamp the producer's share of the counter.
+func TestRetryBoundedUnderCrashedLeader(t *testing.T) {
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers: 1,
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("rc-in", 2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	// Prime metadata and the idempotent session before the outage.
+	for p := int32(0); p < 2; p++ {
+		if err := prod.SendTo("rc-in", p, kafka.Record{Key: []byte("k"), Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prod.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	leader := c.LeaderOf("rc-in", 0)
+	if leader < 0 {
+		t.Fatal("no leader for rc-in/0")
+	}
+	// Transport-level crash: unlike Cluster.CrashBroker, the controller is
+	// not told, so no failover happens and metadata keeps routing to the
+	// dead broker — the worst case for a retry loop.
+	c.Net().Crash(leader)
+
+	attemptsBefore := c.RPCAttempts()
+	flushed := make(chan error, 1)
+	go func() {
+		if err := prod.SendTo("rc-in", 0, kafka.Record{Key: []byte("k"), Value: []byte("v2")}); err != nil {
+			flushed <- err
+			return
+		}
+		flushed <- prod.Flush()
+	}()
+
+	const outage = 400 * time.Millisecond
+	select {
+	case err := <-flushed:
+		t.Fatalf("flush finished during the outage: %v", err)
+	case <-time.After(outage):
+	}
+	c.Net().Restore(leader)
+
+	// (a) The producer recovers once the broker is reachable again.
+	select {
+	case err := <-flushed:
+		if err != nil {
+			t.Fatalf("flush did not recover after restore: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush still blocked after restore")
+	}
+
+	// (b) Attempts during the outage are bounded by backoff growth. Each
+	// retry round costs ~2 RPCs (metadata refresh + produce attempt); a
+	// schedule growing 2→50 ms fits ~14 rounds in 400 ms, where the old
+	// flat 2 ms sleep would spin ~200 rounds (~400 attempts).
+	attempts := c.RPCAttempts() - attemptsBefore
+	if attempts > 100 {
+		t.Fatalf("retry attempts not bounded during outage: %d attempted RPCs", attempts)
+	}
+	if attempts < 4 {
+		t.Fatalf("suspiciously few attempts (%d): did the retry loop run at all?", attempts)
+	}
+
+	// (c) Close interrupts a retry blocked on the dead broker promptly.
+	prod2, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prod2.SendTo("rc-in", 0, kafka.Record{Key: []byte("k"), Value: []byte("v3")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := prod2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.Net().Crash(leader)
+	defer c.Net().Restore(leader)
+	blocked := make(chan error, 1)
+	go func() {
+		prod2.SendTo("rc-in", 0, kafka.Record{Key: []byte("k"), Value: []byte("v4")})
+		blocked <- prod2.Flush()
+	}()
+	time.Sleep(50 * time.Millisecond) // let the retry loop park in a backoff wait
+	start := time.Now()
+	prod2.Close()
+	select {
+	case err := <-blocked:
+		if err == nil {
+			t.Fatal("flush against a dead leader returned nil after Close")
+		}
+		if el := time.Since(start); el > 100*time.Millisecond {
+			t.Fatalf("Close took %v to interrupt a blocked retry, want ≤100ms", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt the blocked retry")
+	}
+}
+
+// TestConsumerCloseInterruptsJoin parks a group consumer in its join
+// retry loop against a transport-crashed coordinator and asserts Close
+// unblocks the in-flight Poll within ~100 ms (previously it slept
+// through bare time.Sleep calls until the full join deadline expired).
+func TestConsumerCloseInterruptsJoin(t *testing.T) {
+	c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("cj-in", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	// Crash every broker at the transport level: the controller still
+	// resolves a coordinator id, but joining it can never succeed.
+	for id := int32(1); id <= 3; id++ {
+		c.Net().Crash(id)
+	}
+	cons := c.NewConsumer(kafka.ConsumerConfig{Group: "cj-group"})
+	cons.Subscribe("cj-in")
+	polled := make(chan error, 1)
+	go func() {
+		_, err := cons.Poll()
+		polled <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the join retry park
+	start := time.Now()
+	cons.Close()
+	select {
+	case err := <-polled:
+		if err == nil {
+			t.Fatal("Poll returned nil while every broker was down")
+		}
+		if el := time.Since(start); el > 100*time.Millisecond {
+			t.Fatalf("Close took %v to interrupt the join retry, want ≤100ms", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not interrupt the blocked join")
+	}
+	for id := int32(1); id <= 3; id++ {
+		c.Net().Restore(id)
+	}
+}
+
+// TestKillInterruptsCommitRetry kills a streams app while its commit path
+// is retrying against a transport-crashed broker. The kill signal is
+// threaded into every embedded client as a retry cancel, so Kill must
+// return promptly instead of waiting out the client deadline. A single
+// broker (RF=1) keeps the failure on the client side: with replicas, a
+// transport-level crash leaves the controller's ISR view stale and an
+// in-flight produce blocks inside the broker's replication wait, which
+// no client-side cancel can (or should) interrupt.
+func TestKillInterruptsCommitRetry(t *testing.T) {
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               1,
+		TxnTimeout:            2 * time.Second,
+		GroupRebalanceTimeout: 300 * time.Millisecond,
+		Seed:                  13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("kc-in", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("kc-out", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	b := streams.NewBuilder("kill-commit")
+	b.Stream("kc-in", streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count("kc-store").
+		ToStream().
+		To("kc-out")
+	cfg := appConfig(c, streams.ExactlyOnce)
+	app, err := streams.NewApp(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	for r := 0; r < 10; r++ {
+		prod.Send("kc-in", kafka.Record{Key: []byte("k"), Value: []byte("v"), Timestamp: int64(r)})
+		if err := prod.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Crash the broker at the transport level so whatever RPC the commit
+	// cycle issues next (produce, coordinator, offsets) blocks in retries.
+	c.Net().Crash(1)
+	time.Sleep(100 * time.Millisecond) // let the thread hit the outage
+	start := time.Now()
+	app.Kill()
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("Kill took %v with the broker down, want prompt interrupt", el)
+	}
+	c.Net().Restore(1)
+}
