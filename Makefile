@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet fmt test test-race build
+.PHONY: check vet fmt test test-race test-obs bench-obs build
 
-check: vet fmt test-race
+check: vet fmt test-race bench-obs
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,11 @@ test:
 
 test-race:
 	$(GO) test -race -short ./...
+
+test-obs:
+	$(GO) test -race -count=1 ./internal/obs/
+
+# bench-obs proves the disabled/idle registry stays out of the hot path:
+# the benchmarks print per-op costs and the guard test enforces the bound.
+bench-obs:
+	$(GO) test ./internal/obs/ -bench Obs -benchtime 100x -run TestCounterOpOverheadGuard -count=1

@@ -27,6 +27,7 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment to run")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	verbose := flag.Bool("v", true, "narrate progress")
+	metrics := flag.Bool("metrics", false, "print the obs RPC/latency breakdown after fig5 runs")
 	flag.Parse()
 
 	var prog *experiments.Progress
@@ -59,6 +60,11 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.Fig5aTable(rows))
+		if *metrics {
+			for _, r := range rows {
+				fmt.Printf("-- metrics: partitions=%d (EOS run) --\n%s\n", r.Partitions, experiments.ObsBreakdown(r.Obs))
+			}
+		}
 		return nil
 	})
 
@@ -74,6 +80,11 @@ func main() {
 			return err
 		}
 		fmt.Println(experiments.Fig5bTable(rows))
+		if *metrics {
+			for _, r := range rows {
+				fmt.Printf("-- metrics: interval=%v (Streams run) --\n%s\n", r.Interval, experiments.ObsBreakdown(r.Obs))
+			}
+		}
 		return nil
 	})
 

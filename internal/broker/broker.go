@@ -5,9 +5,11 @@ import (
 	"hash/fnv"
 	"log"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/storage"
 	"kstreams/internal/transport"
@@ -91,8 +93,9 @@ func (c *Config) fill() {
 
 // Broker hosts partition replicas and the two coordinators.
 type Broker struct {
-	cfg Config
-	net *transport.Network
+	cfg     Config
+	net     *transport.Network
+	metrics *brokerMetrics
 
 	mu         sync.RWMutex
 	partitions map[protocol.TopicPartition]*partition
@@ -120,6 +123,7 @@ func New(net *transport.Network, cfg Config) *Broker {
 	b := &Broker{
 		cfg:        cfg,
 		net:        net,
+		metrics:    newBrokerMetrics(net.Obs()),
 		partitions: make(map[protocol.TopicPartition]*partition),
 		stopCh:     make(chan struct{}),
 	}
@@ -211,6 +215,7 @@ func (b *Broker) handleRPC(from int32, req any) any {
 }
 
 func (b *Broker) handleProduce(r *protocol.ProduceRequest) *protocol.ProduceResponse {
+	defer b.metrics.produceLat.ObserveSince(time.Now())
 	// Append every partition first, then wait for replication of all of
 	// them: the acks=all round-trips of independent partitions overlap.
 	resp := &protocol.ProduceResponse{}
@@ -239,6 +244,11 @@ func (b *Broker) handleProduce(r *protocol.ProduceRequest) *protocol.ProduceResp
 }
 
 func (b *Broker) handleFetch(r *protocol.FetchRequest) *protocol.FetchResponse {
+	fetchLat := b.metrics.fetchConsumer
+	if r.ReplicaID >= 0 {
+		fetchLat = b.metrics.fetchReplica
+	}
+	defer fetchLat.ObserveSince(time.Now())
 	resp := &protocol.FetchResponse{}
 	maxBytes := r.MaxBytes
 	if maxBytes <= 0 {
@@ -317,6 +327,13 @@ func (b *Broker) handleLeaderAndISR(r *protocol.LeaderAndISRRequest) *protocol.L
 		}
 		p = newPartition(r.TP, r.Config, b.cfg.ID, l, b.cfg.AppendLatency)
 		p.onISRChange = b.forwardISRChange
+		p.appendLat = b.metrics.appendLat
+		tpLabels := []obs.Label{
+			obs.L("topic", r.TP.Topic),
+			obs.L("partition", strconv.Itoa(int(r.TP.Partition))),
+		}
+		p.hwGauge = b.metrics.reg.Gauge("broker_partition_high_watermark", tpLabels...)
+		p.lsoGauge = b.metrics.reg.Gauge("broker_partition_last_stable_offset", tpLabels...)
 		b.partitions[r.TP] = p
 	}
 	b.mu.Unlock()

@@ -272,6 +272,7 @@ func (gc *groupCoordinator) handleJoin(r *protocol.JoinGroupRequest) *protocol.J
 			}
 		}
 		g.generation++
+		gc.b.metrics.rebalances.Inc()
 		g.leader = ""
 		for mid := range g.members {
 			if g.leader == "" || mid < g.leader {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/wal"
 )
@@ -46,6 +47,12 @@ type partition struct {
 
 	// appendDelay models storage latency per leader append.
 	appendDelay time.Duration
+
+	// Observability handles, set by the hosting broker after construction;
+	// nil handles no-op, so bare newPartition (tests) works uninstrumented.
+	appendLat *obs.Histogram
+	hwGauge   *obs.Gauge
+	lsoGauge  *obs.Gauge
 
 	// onAppend, when set by a coordinator that owns this partition, runs
 	// after every successful leader append (data and markers) so the
@@ -145,8 +152,9 @@ func (p *partition) highWatermark() int64 {
 func (p *partition) lastStable() int64 {
 	hw := p.highWatermark()
 	if fu := p.log.FirstUnstable(); fu >= 0 && fu < hw {
-		return fu
+		hw = fu
 	}
+	p.lsoGauge.Set(hw)
 	return hw
 }
 
@@ -169,6 +177,7 @@ func (p *partition) advanceHWLocked() {
 	}
 	if min > p.hw {
 		p.hw = min
+		p.hwGauge.Set(min)
 		p.cond.Broadcast()
 	}
 }
@@ -222,10 +231,12 @@ func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.
 	epoch := p.leaderEpoch
 	p.mu.Unlock()
 
+	appendStart := time.Now()
 	if p.appendDelay > 0 {
 		time.Sleep(p.appendDelay)
 	}
 	ar := p.log.Append(b)
+	p.appendLat.ObserveSince(appendStart)
 	switch ar.Err {
 	case protocol.ErrNone:
 	case protocol.ErrDuplicateSequence:

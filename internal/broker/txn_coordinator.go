@@ -411,8 +411,15 @@ func (tc *txnCoordinator) handleEndTxn(r *protocol.EndTxnRequest) *protocol.EndT
 	} else {
 		m.State = TxnPrepareAbort
 	}
+	prepareStart := time.Now()
 	if errc := tc.persist(p, m); errc != protocol.ErrNone {
 		return &protocol.EndTxnResponse{Err: errc}
+	}
+	tc.b.metrics.txnPrepareLat.ObserveSince(prepareStart)
+	if r.Commit {
+		tc.b.metrics.txnCommits.Inc()
+	} else {
+		tc.b.metrics.txnAborts.Inc()
 	}
 	tc.setMeta(e, m)
 	tc.runCompletion(e, r.Commit)
@@ -442,6 +449,11 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 			m.ID, commit, m.PID, m.Epoch, m.State, m.Partitions)
 		defer log.Printf("txn %s: completeTxn done commit=%v", m.ID, commit)
 	}
+	markerTPs := tc.b.metrics.markerAbortTPs
+	if commit {
+		markerTPs = tc.b.metrics.markerCommitTPs
+	}
+	markersStart := time.Now()
 	pending := make(map[protocol.TopicPartition]bool, len(m.Partitions))
 	for _, tp := range m.Partitions {
 		pending[tp] = true
@@ -490,6 +502,9 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 			for _, res := range br.resp.Results {
 				switch res.Err {
 				case protocol.ErrNone, protocol.ErrDuplicateSequence:
+					if pending[res.TP] {
+						markerTPs.Inc()
+					}
 					delete(pending, res.TP)
 					progress = true
 				case protocol.ErrNotLeader, protocol.ErrUnknownTopicOrPartition:
@@ -505,6 +520,8 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 			}
 		}
 	}
+
+	tc.b.metrics.txnMarkersLat.ObserveSince(markersStart)
 
 	// Phase two done: record completion. No handler mutates the entry while
 	// it is in a Prepare state (they wait or bail out), so opMu is not
@@ -526,9 +543,11 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 	} else {
 		done.State = TxnCompleteAbort
 	}
+	completeStart := time.Now()
 	if errc := tc.persist(p, done); errc != protocol.ErrNone {
 		return
 	}
+	tc.b.metrics.txnCompleteLat.ObserveSince(completeStart)
 	tc.mu.Lock()
 	e.meta = done
 	tc.mu.Unlock()

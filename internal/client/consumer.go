@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/retry"
 	"kstreams/internal/transport"
@@ -141,6 +142,12 @@ type Consumer struct {
 	needRejoin atomic.Bool
 	hbStop     chan struct{}
 	hbDone     sync.WaitGroup
+
+	metrics *clientMetrics
+	// trace, when attached, tags the consumer's offset-commit RPCs with
+	// spans (the ALOS commit path).
+	traceMu sync.Mutex
+	trace   *obs.Trace
 }
 
 // NewConsumer registers a consumer client on the network.
@@ -169,7 +176,16 @@ func NewConsumer(net *transport.Network, cfg ConsumerConfig) *Consumer {
 		closeCh: closeCh,
 		cancel:  cancel,
 		pos:     make(map[protocol.TopicPartition]int64),
+		metrics: newClientMetrics(net),
 	}
+}
+
+// AttachTrace tags the consumer's offset-commit RPCs with spans on tr
+// until detached (AttachTrace(nil)).
+func (c *Consumer) AttachTrace(tr *obs.Trace) {
+	c.traceMu.Lock()
+	c.trace = tr
+	c.traceMu.Unlock()
 }
 
 // Subscribe sets the topics for group-managed assignment.
@@ -300,10 +316,14 @@ func (c *Consumer) joinGroup() error {
 	// stated deadline.
 	budget := retry.NewBudget(requestTimeout * 2)
 	loop := retry.New(c.cfg.Retry, budget, c.cancel)
+	retries := c.metrics.retryAttempts("join_group")
 	fail := func(err error) error {
 		return retryErr(fmt.Sprintf("join group %q", c.cfg.Group), err)
 	}
-	for {
+	for round := 0; ; round++ {
+		if round > 0 {
+			retries.Inc()
+		}
 		// Check (not Wait) at loop top: the retry-immediately branches
 		// below re-enter here and must still observe deadline and close.
 		if err := loop.Check(); err != nil {
@@ -537,8 +557,12 @@ func (c *Consumer) ensurePositions() error {
 
 func (c *Consumer) listOffset(tp protocol.TopicPartition, t int64) (int64, error) {
 	budget := retry.NewBudget(requestTimeout)
+	retries := c.metrics.retryAttempts("list_offsets")
 	offset := int64(-1)
-	err := retry.Do(c.cfg.Retry, budget, c.cancel, func(int) (bool, error) {
+	err := retry.Do(c.cfg.Retry, budget, c.cancel, func(attempt int) (bool, error) {
+		if attempt > 0 {
+			retries.Inc()
+		}
 		leader, err := c.meta.leaderFor(tp)
 		if err != nil {
 			return false, err
@@ -584,6 +608,7 @@ func (c *Consumer) StableOffset(tp protocol.TopicPartition) (int64, error) {
 // fetch reads every assigned partition from its leader, one RPC per
 // leader, in parallel.
 func (c *Consumer) fetch() ([]Message, error) {
+	defer c.metrics.fetchLat.ObserveSince(time.Now())
 	c.mu.Lock()
 	byLeader := make(map[int32][]protocol.FetchEntry)
 	for _, tp := range c.assignment {
@@ -662,6 +687,7 @@ func (c *Consumer) fetch() ([]Message, error) {
 		}
 		msgs = msgs[:c.cfg.MaxPollRecords]
 	}
+	c.metrics.fetchRecords.Observe(int64(len(msgs)))
 	return msgs, nil
 }
 
@@ -733,6 +759,9 @@ func (c *Consumer) deliver(part protocol.FetchPartition) []Message {
 	c.mu.Lock()
 	c.pos[part.TP] = pos
 	c.mu.Unlock()
+	if lag := part.HighWatermark - pos; lag >= 0 {
+		c.metrics.fetchLag(part.TP.Topic, part.TP.Partition).Set(lag)
+	}
 	return msgs
 }
 
@@ -748,7 +777,14 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 		return fmt.Errorf("client: commit without a group")
 	}
 	budget := retry.NewBudget(requestTimeout)
-	return retryErr("offset commit", retry.Do(c.cfg.Retry, budget, c.cancel, func(int) (bool, error) {
+	retries := c.metrics.retryAttempts("offset_commit")
+	c.traceMu.Lock()
+	tr := c.trace
+	c.traceMu.Unlock()
+	return retryErr("offset commit", retry.Do(c.cfg.Retry, budget, c.cancel, func(attempt int) (bool, error) {
+		if attempt > 0 {
+			retries.Inc()
+		}
 		if coord == 0 {
 			var err error
 			coord, err = c.meta.findCoordinator(group, protocol.CoordinatorGroup, budget)
@@ -759,12 +795,12 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 			c.coordinator = coord
 			c.mu.Unlock()
 		}
-		resp, err := c.net.Send(c.self, coord, &protocol.OffsetCommitRequest{
+		resp, err := c.net.SendTraced(c.self, coord, &protocol.OffsetCommitRequest{
 			Group:        group,
 			MemberID:     memberID,
 			GenerationID: gen,
 			Offsets:      offsets,
-		})
+		}, tr)
 		if err != nil {
 			coord = 0
 			return false, err

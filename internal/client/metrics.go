@@ -1,0 +1,49 @@
+package client
+
+import (
+	"strconv"
+
+	"kstreams/internal/obs"
+	"kstreams/internal/transport"
+)
+
+// clientMetrics holds the client-layer instrument handles, shared by the
+// producer and consumer of the same network.
+type clientMetrics struct {
+	reg          *obs.Registry
+	produceLat   *obs.Histogram // one produce/flush operation, retries included
+	fetchLat     *obs.Histogram // one fetch round across all leaders
+	batchRecords *obs.Histogram // records per produced batch
+	fetchRecords *obs.Histogram // records per fetch round
+}
+
+func newClientMetrics(net *transport.Network) *clientMetrics {
+	reg := net.Obs()
+	return &clientMetrics{
+		reg:          reg,
+		produceLat:   reg.Histogram("client_produce_latency"),
+		fetchLat:     reg.Histogram("client_fetch_latency"),
+		batchRecords: reg.SizeHistogram("client_batch_records"),
+		fetchRecords: reg.SizeHistogram("client_fetch_records"),
+	}
+}
+
+// retryAttempts returns the retry counter for one operation kind; callers
+// look it up once per operation and Inc it per extra attempt.
+func (m *clientMetrics) retryAttempts(op string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("client_retry_attempts_total", obs.L("op", op))
+}
+
+// fetchLag returns the per-partition consumer lag gauge (high watermark
+// minus fetch position).
+func (m *clientMetrics) fetchLag(topic string, partition int32) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("client_fetch_lag",
+		obs.L("topic", topic),
+		obs.L("partition", strconv.Itoa(int(partition))))
+}

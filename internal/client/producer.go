@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/retry"
 	"kstreams/internal/transport"
@@ -63,6 +64,12 @@ type Producer struct {
 
 	buffered map[protocol.TopicPartition][]protocol.Record
 	rr       int // round-robin cursor for keyless records
+
+	metrics *clientMetrics
+	// trace, when attached, tags every RPC this producer sends with a span
+	// so an end-to-end commit decomposes into its broker round-trips.
+	traceMu sync.Mutex
+	trace   *obs.Trace
 }
 
 // NewProducer registers a producer client on the network and, if
@@ -89,6 +96,7 @@ func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) 
 		pid:           protocol.NoProducerID,
 		txnRegistered: make(map[protocol.TopicPartition]bool),
 		buffered:      make(map[protocol.TopicPartition][]protocol.Record),
+		metrics:       newClientMetrics(net),
 	}
 	if cfg.Idempotent {
 		if err := p.initProducerID(); err != nil {
@@ -99,19 +107,41 @@ func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) 
 	return p, nil
 }
 
+// AttachTrace tags every RPC the producer sends with spans on tr until
+// detached (AttachTrace(nil)). Callers scope it to one operation, e.g. a
+// Streams commit cycle.
+func (p *Producer) AttachTrace(tr *obs.Trace) {
+	p.traceMu.Lock()
+	p.trace = tr
+	p.traceMu.Unlock()
+}
+
+// send routes every producer RPC through the transport with the attached
+// trace, if any.
+func (p *Producer) send(to int32, req any) (any, error) {
+	p.traceMu.Lock()
+	tr := p.trace
+	p.traceMu.Unlock()
+	return p.net.SendTraced(p.self, to, req, tr)
+}
+
 // initProducerID performs the registration round-trip of Figure 4.b.
 func (p *Producer) initProducerID() error {
 	budget := retry.NewBudget(requestTimeout)
+	retries := p.metrics.retryAttempts("init_producer_id")
 	req := &protocol.InitProducerIDRequest{
 		TransactionalID: p.cfg.TransactionalID,
 		TxnTimeoutMs:    int64(p.cfg.TxnTimeout / time.Millisecond),
 	}
-	return retryErr("init producer id", retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+	return retryErr("init producer id", retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
+		if attempt > 0 {
+			retries.Inc()
+		}
 		coord, err := p.coordinator(budget)
 		if err != nil {
 			return true, err
 		}
-		resp, err := p.net.Send(p.self, coord, req)
+		resp, err := p.send(coord, req)
 		if err != nil {
 			p.txnCoordinator = 0 // re-resolve
 			return false, err
@@ -223,6 +253,7 @@ func (p *Producer) SendTo(tp protocol.TopicPartition, rec protocol.Record) error
 // a single registration request") and batches are grouped into one produce
 // RPC per leader broker.
 func (p *Producer) Flush() error {
+	defer p.metrics.produceLat.ObserveSince(time.Now())
 	type pendingBatch struct {
 		tp    protocol.TopicPartition
 		batch *protocol.RecordBatch
@@ -238,6 +269,7 @@ func (p *Producer) Flush() error {
 		if p.cfg.Idempotent {
 			baseSeq = p.seq[tp]
 		}
+		p.metrics.batchRecords.Observe(int64(len(recs)))
 		pend = append(pend, pendingBatch{tp: tp, batch: &protocol.RecordBatch{
 			ProducerID:    p.pid,
 			ProducerEpoch: p.epoch,
@@ -289,7 +321,7 @@ func (p *Producer) Flush() error {
 		for _, pb := range group {
 			req.Entries = append(req.Entries, protocol.ProduceEntry{TP: pb.tp, Batch: pb.batch})
 		}
-		resp, err := p.net.Send(p.self, leader, req)
+		resp, err := p.send(leader, req)
 		if err != nil {
 			fallback = append(fallback, group...)
 			continue
@@ -342,6 +374,8 @@ func (p *Producer) flushPartition(tp protocol.TopicPartition) error {
 		Records:       recs,
 	}
 	p.mu.Unlock()
+	defer p.metrics.produceLat.ObserveSince(time.Now())
+	p.metrics.batchRecords.Observe(int64(len(recs)))
 
 	if needRegister {
 		if err := p.addPartitionsToTxn([]protocol.TopicPartition{tp}); err != nil {
@@ -371,12 +405,16 @@ func (p *Producer) produce(tp protocol.TopicPartition, batch *protocol.RecordBat
 		TransactionalID: p.cfg.TransactionalID,
 		Entries:         []protocol.ProduceEntry{{TP: tp, Batch: batch}},
 	}
-	return retryErr(fmt.Sprintf("produce to %s", tp), retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+	retries := p.metrics.retryAttempts("produce")
+	return retryErr(fmt.Sprintf("produce to %s", tp), retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
+		if attempt > 0 {
+			retries.Inc()
+		}
 		leader, err := p.meta.leaderFor(tp)
 		if err != nil {
 			return false, err
 		}
-		resp, serr := p.net.Send(p.self, leader, req)
+		resp, serr := p.send(leader, req)
 		if serr != nil {
 			p.meta.invalidate(tp.Topic)
 			return false, serr
@@ -407,7 +445,7 @@ func (p *Producer) addPartitionsToTxn(tps []protocol.TopicPartition) error {
 		Partitions:      tps,
 	}
 	return p.txnRequest(func(coord int32) (protocol.ErrorCode, error) {
-		resp, err := p.net.Send(p.self, coord, req)
+		resp, err := p.send(coord, req)
 		if err != nil {
 			return protocol.ErrBrokerUnavailable, nil
 		}
@@ -455,12 +493,16 @@ func (p *Producer) SendOffsetsToTxn(group string, offsets []protocol.OffsetEntry
 		Offsets:         offsets,
 	}
 	budget := retry.NewBudget(requestTimeout)
-	return retryErr("txn offset commit", retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+	retries := p.metrics.retryAttempts("txn_offset_commit")
+	return retryErr("txn offset commit", retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
+		if attempt > 0 {
+			retries.Inc()
+		}
 		coord, err := p.meta.findCoordinator(group, protocol.CoordinatorGroup, budget)
 		if err != nil {
 			return true, err
 		}
-		resp, serr := p.net.Send(p.self, coord, req)
+		resp, serr := p.send(coord, req)
 		if serr != nil {
 			return false, serr
 		}
@@ -507,7 +549,7 @@ func (p *Producer) endTxn(commit bool) error {
 		Commit:          commit,
 	}
 	err := p.txnRequest(func(coord int32) (protocol.ErrorCode, error) {
-		resp, err := p.net.Send(p.self, coord, req)
+		resp, err := p.send(coord, req)
 		if err != nil {
 			return protocol.ErrBrokerUnavailable, nil
 		}
@@ -526,7 +568,11 @@ func (p *Producer) endTxn(commit bool) error {
 // txnRequest runs a coordinator request with retry and fencing handling.
 func (p *Producer) txnRequest(do func(coord int32) (protocol.ErrorCode, error)) error {
 	budget := retry.NewBudget(requestTimeout)
-	return retryErr("transaction request", retry.Do(p.cfg.Retry, budget, p.cancel, func(int) (bool, error) {
+	retries := p.metrics.retryAttempts("txn")
+	return retryErr("transaction request", retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
+		if attempt > 0 {
+			retries.Inc()
+		}
 		coord, err := p.coordinator(budget)
 		if err != nil {
 			return true, err

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"kstreams/internal/obs"
+	"kstreams/internal/transport"
+)
+
+// threadObs holds the stream-thread instrument handles, created once per
+// thread from the network's registry. Every handle is nil-safe, so an
+// uninstrumented network costs one nil check per operation.
+type threadObs struct {
+	reg            *obs.Registry
+	commitLat      *obs.Histogram // one completed commit cycle, idle wakeups excluded
+	restoreDur     *obs.Histogram // one changelog replay with at least one record
+	restoreRecords *obs.Counter
+	restoreBytes   *obs.Counter
+}
+
+func newThreadObs(net *transport.Network) *threadObs {
+	reg := net.Obs()
+	return &threadObs{
+		reg:            reg,
+		commitLat:      reg.Histogram("stream_commit_latency"),
+		restoreDur:     reg.Histogram("stream_restore_duration"),
+		restoreRecords: reg.Counter("stream_restore_records_total"),
+		restoreBytes:   reg.Counter("stream_restore_bytes_total"),
+	}
+}
+
+// taskLag returns the per-task event-time lag gauge: the freshest event
+// timestamp the thread has observed on any input minus the task's stream
+// time. Timestamps are logical in this simulation, so the gauge is in
+// event-time units, not wall-clock.
+func (o *threadObs) taskLag(id TaskID) *obs.Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge("stream_task_lag", obs.L("task", id.String()))
+}

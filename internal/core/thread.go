@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kstreams/internal/client"
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/retry"
 	"kstreams/internal/transport"
@@ -74,6 +75,14 @@ type Thread struct {
 	lastCommit    time.Time
 	lastCommitted map[protocol.TopicPartition]int64
 
+	obs *threadObs
+	// maxEventTs is the freshest event timestamp observed on any input;
+	// thread-confined, read at commit time for the per-task lag gauges.
+	maxEventTs int64
+	// cycleCommits counts finishCommit calls within the current commit
+	// cycle so idle wakeups stay out of the latency histogram.
+	cycleCommits int
+
 	stopCh chan struct{}
 	// killCh fires only on Kill (the simulated-crash path) and is threaded
 	// into every client as its retry-cancel signal: a killed thread blocked
@@ -102,6 +111,8 @@ func NewThread(cfg ThreadConfig) (*Thread, error) {
 		killCh:        make(chan struct{}),
 		done:          make(chan struct{}),
 	}
+	th.obs = newThreadObs(cfg.Net)
+	th.maxEventTs = -1
 	iso := protocol.ReadUncommitted
 	if cfg.Guarantee != AtLeastOnce {
 		iso = protocol.ReadCommitted
@@ -238,6 +249,9 @@ func (th *Thread) run() {
 			}
 			id := TaskID{SubTopology: sub.ID, Partition: m.TP.Partition}
 			if t, ok := th.tasks[id]; ok {
+				if m.Record.Timestamp > th.maxEventTs {
+					th.maxEventTs = m.Record.Timestamp
+				}
 				t.AddRecords(m.TP, []client.Message{m})
 			}
 		}
@@ -482,6 +496,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		if from >= end {
 			return nil
 		}
+		restoreStart := time.Now()
 		th.restoreConsumer.Assign(tp)
 		th.restoreConsumer.Seek(tp, from)
 		drain := retry.New(restorePolicy, retry.NewBudget(30*time.Second), th.stopCh)
@@ -493,6 +508,8 @@ func (th *Thread) restoreTask(t *Task) error {
 			for _, m := range msgs {
 				apply(m.Record.Key, m.Record.Value)
 				th.cfg.Metrics.restores.Add(1)
+				th.obs.restoreRecords.Inc()
+				th.obs.restoreBytes.Add(int64(len(m.Record.Key) + len(m.Record.Value)))
 			}
 			if len(msgs) == 0 {
 				if werr := drain.Wait(); werr != nil {
@@ -501,6 +518,7 @@ func (th *Thread) restoreTask(t *Task) error {
 			}
 		}
 		th.cfg.Registry.SetRestoredOffset(t.id, storeName, th.restoreConsumer.Position(tp))
+		th.obs.restoreDur.ObserveSince(restoreStart)
 		return nil
 	}
 	for name, kv := range t.kvs {
@@ -522,9 +540,33 @@ func (th *Thread) restoreTask(t *Task) error {
 	return nil
 }
 
+// attachTrace points every client the commit path touches at tr (nil
+// detaches), so the broker round-trips of one commit land in one trace.
+func (th *Thread) attachTrace(tr *obs.Trace) {
+	if th.producer != nil {
+		th.producer.AttachTrace(tr)
+	}
+	for _, p := range th.taskProducers {
+		p.AttachTrace(tr)
+	}
+	th.consumer.AttachTrace(tr)
+}
+
 // commit runs one commit cycle per the configured guarantee.
 func (th *Thread) commit() error {
-	defer func() { th.lastCommit = time.Now() }()
+	start := time.Now()
+	tr := obs.NewTrace(th.name + "-commit")
+	th.attachTrace(tr)
+	th.cycleCommits = 0
+	defer func() {
+		th.attachTrace(nil)
+		th.lastCommit = time.Now()
+		if th.cycleCommits > 0 {
+			tr.Finish()
+			th.obs.commitLat.ObserveSince(start)
+			th.obs.reg.RecordTrace(tr)
+		}
+	}()
 	for _, t := range th.tasks {
 		if err := t.FlushStores(); err != nil {
 			return err
@@ -636,6 +678,12 @@ func (th *Thread) finishCommit(offsets []protocol.OffsetEntry) {
 	}
 	for _, t := range th.tasks {
 		t.MarkClean()
+	}
+	th.cycleCommits++
+	for id, t := range th.tasks {
+		if st := t.StreamTime(); st >= 0 && th.maxEventTs >= 0 {
+			th.obs.taskLag(id).Set(th.maxEventTs - st)
+		}
 	}
 	th.cfg.Metrics.AddCommit()
 	if th.cfg.PurgeRepartition {

@@ -8,6 +8,7 @@ import (
 	"kstreams/internal/flinklike"
 	"kstreams/internal/harness"
 	"kstreams/internal/objstore"
+	"kstreams/internal/obs"
 	"kstreams/streams"
 )
 
@@ -43,6 +44,9 @@ type Fig5aRow struct {
 	EOSLatency     time.Duration // mean end-to-end
 	ALOSLatency    time.Duration
 	OverheadPct    float64 // (ALOS-EOS)/ALOS * 100
+	// Obs is the EOS run's final metrics snapshot: per-RPC-kind counts,
+	// txn phase latencies, and stream commit/restore stats for this point.
+	Obs *obs.Snapshot
 }
 
 // RunFig5a measures EOS vs ALOS throughput and latency per output
@@ -52,7 +56,7 @@ func RunFig5a(p Fig5aParams, prog *Progress) ([]Fig5aRow, error) {
 	for _, parts := range p.Partitions {
 		row := Fig5aRow{Partitions: parts}
 		for _, g := range []streams.Guarantee{streams.ExactlyOnce, streams.AtLeastOnce} {
-			tput, lat, err := runReduceBench(p.Cluster, parts, g, p.CommitInterval,
+			tput, lat, snap, err := runReduceBench(p.Cluster, parts, g, p.CommitInterval,
 				p.Records, p.LatencyRate, p.LatencyWindow, prog)
 			if err != nil {
 				return nil, fmt.Errorf("fig5a partitions=%d %v: %w", parts, g, err)
@@ -63,6 +67,7 @@ func RunFig5a(p Fig5aParams, prog *Progress) ([]Fig5aRow, error) {
 			} else {
 				row.EOSThroughput = tput
 				row.EOSLatency = lat.Percentile(50)
+				row.Obs = snap
 			}
 		}
 		if row.ALOSThroughput > 0 {
@@ -79,17 +84,17 @@ func RunFig5a(p Fig5aParams, prog *Progress) ([]Fig5aRow, error) {
 // runReduceBench runs one configuration: a throughput phase over preloaded
 // records, then a paced latency phase.
 func runReduceBench(cp ClusterParams, outParts int32, g streams.Guarantee, commit time.Duration,
-	records int, latRate float64, latWindow time.Duration, prog *Progress) (float64, *harness.Latencies, error) {
+	records int, latRate float64, latWindow time.Duration, prog *Progress) (float64, *harness.Latencies, *obs.Snapshot, error) {
 	c, err := cp.start()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer c.Close()
 	if err := c.CreateTopic("bench-in", 4, false); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if err := c.CreateTopic("bench-out", outParts, false); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	// Spread keys over enough values that every output partition gets
 	// traffic (the transaction registers all of them).
@@ -98,20 +103,20 @@ func runReduceBench(cp ClusterParams, outParts int32, g streams.Guarantee, commi
 		keys = 1000
 	}
 	if err := preload(c, "bench-in", records, keys, cp.Seed); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 
 	app, err := reduceApp("bench", "bench-in", "bench-out", c, g, commit)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if err := app.Start(); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer app.Close()
 	tput, err := steadyThroughput(app, int64(records), 10*time.Minute)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 
 	// Let the commit/marker backlog from the saturation phase drain before
@@ -123,9 +128,9 @@ func runReduceBench(cp ClusterParams, outParts int32, g streams.Guarantee, commi
 	time.Sleep(settle)
 	lat, err := measureLatency(c, "bench-in", "bench-out", outParts, latRate, latWindow, cp.Seed+1)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return tput, lat, nil
+	return tput, lat, c.ObsSnapshot(), nil
 }
 
 // Fig5aTable renders the experiment like the paper's figure axes.
@@ -173,6 +178,8 @@ type Fig5bRow struct {
 	FlinkTput       float64
 	FlinkLatency    time.Duration
 	FlinkFilesPerCk float64
+	// Obs is the Streams run's final metrics snapshot for this interval.
+	Obs *obs.Snapshot
 }
 
 // RunFig5b compares Streams-EOS against the Flink-like checkpointing
@@ -186,13 +193,14 @@ func RunFig5b(p Fig5bParams, prog *Progress) ([]Fig5bRow, error) {
 			window = 3 * interval
 		}
 
-		tput, lat, err := runReduceBench(p.Cluster, 10, streams.ExactlyOnce, interval,
+		tput, lat, snap, err := runReduceBench(p.Cluster, 10, streams.ExactlyOnce, interval,
 			p.Records, p.LatencyRate, window, prog)
 		if err != nil {
 			return nil, fmt.Errorf("fig5b streams interval=%v: %w", interval, err)
 		}
 		row.StreamsTput = tput
 		row.StreamsLatency = lat.Percentile(50)
+		row.Obs = snap
 
 		ftput, flat, files, err := runFlinkBench(p, interval, window, prog)
 		if err != nil {

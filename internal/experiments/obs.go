@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kstreams/internal/harness"
+	"kstreams/internal/obs"
+)
+
+// obsLatencyRows names the hot-path histograms the breakdown table reports,
+// in display order. Absent entries (e.g. txn phases under at-least-once)
+// are skipped.
+var obsLatencyRows = []string{
+	"broker_append_latency",
+	"broker_produce_latency",
+	"broker_fetch_latency{role=consumer}",
+	"broker_fetch_latency{role=replica}",
+	"client_produce_latency",
+	"client_fetch_latency",
+	"txn_phase_latency{phase=prepare}",
+	"txn_phase_latency{phase=markers}",
+	"txn_phase_latency{phase=complete}",
+	"stream_commit_latency",
+	"stream_restore_duration",
+}
+
+// ObsBreakdown renders the observability snapshot as the RPC/latency
+// breakdown printed under ksbench -metrics: per-RPC-kind counts and
+// latency percentiles, then the hot-path latency histograms, then the
+// headline counters.
+func ObsBreakdown(s *obs.Snapshot) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+
+	kinds := map[string]bool{}
+	for k := range s.Counters {
+		if obs.BaseName(k) == "transport_rpc_attempted_total" {
+			kinds[obs.LabelValue(k, "kind")] = true
+		}
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	rpc := harness.NewTable("RPCs by kind", "kind", "attempted", "delivered", "failed", "p50", "p95", "p99")
+	for _, kind := range names {
+		lbl := "{kind=" + kind + "}"
+		h := s.Histograms["transport_rpc_latency"+lbl]
+		rpc.Add(kind,
+			s.Counter("transport_rpc_attempted_total"+lbl),
+			s.Counter("transport_rpc_delivered_total"+lbl),
+			s.Counter("transport_rpc_failed_total"+lbl),
+			obs.FormatValue(h.P50, h.Unit),
+			obs.FormatValue(h.P95, h.Unit),
+			obs.FormatValue(h.P99, h.Unit))
+	}
+	b.WriteString(rpc.String())
+	b.WriteString("\n")
+
+	lat := harness.NewTable("Hot-path latencies", "metric", "count", "mean", "p50", "p95", "p99", "max")
+	for _, name := range obsLatencyRows {
+		h, ok := s.Histograms[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		lat.Add(name, h.Count,
+			obs.FormatValue(h.Mean, h.Unit),
+			obs.FormatValue(h.P50, h.Unit),
+			obs.FormatValue(h.P95, h.Unit),
+			obs.FormatValue(h.P99, h.Unit),
+			obs.FormatValue(h.Max, h.Unit))
+	}
+	b.WriteString(lat.String())
+
+	fmt.Fprintf(&b, "rpcs=%d commits(txn)=%d aborts=%d markers=%d rebalances=%d stream_commits=%d restore_records=%d restore_bytes=%d\n",
+		s.Counter("transport_rpcs_delivered"),
+		s.Counter("txn_commits_total"),
+		s.Counter("txn_aborts_total"),
+		s.SumCounter("txn_marker_partitions_total"),
+		s.Counter("group_rebalances_total"),
+		s.Histograms["stream_commit_latency"].Count,
+		s.Counter("stream_restore_records_total"),
+		s.Counter("stream_restore_bytes_total"))
+	return b.String()
+}

@@ -17,7 +17,7 @@ func TestFig5aHundredPartitions(t *testing.T) {
 	cp.RPCLatency = 20 * time.Microsecond
 	cp.Jitter = 0
 	cp.AppendLatency = 0
-	tput, _, err := runReduceBench(cp, 100, streams.ExactlyOnce, 100*time.Millisecond,
+	tput, _, _, err := runReduceBench(cp, 100, streams.ExactlyOnce, 100*time.Millisecond,
 		3000, 100, 500*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)

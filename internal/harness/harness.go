@@ -7,63 +7,44 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
-	"sync"
 	"time"
+
+	"kstreams/internal/obs"
 )
 
-// Latencies records latency samples and reports percentiles.
+// Latencies records latency samples and reports percentiles. It is backed
+// by the obs log-linear histogram, so percentiles carry that histogram's
+// bucket resolution (<= 6.25% relative error) while Mean, Min-side p0 and
+// Max-side p100 stay exact; in exchange recording is a fixed-size atomic
+// operation instead of an unbounded sample slice.
 type Latencies struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	h obs.Histogram
 }
 
 // Add records one sample.
 func (l *Latencies) Add(d time.Duration) {
-	l.mu.Lock()
-	l.samples = append(l.samples, d)
-	l.mu.Unlock()
+	l.h.Observe(int64(d))
 }
 
 // Count returns the number of samples.
 func (l *Latencies) Count() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.samples)
+	return int(l.h.Count())
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100), or 0 if empty.
 func (l *Latencies) Percentile(p float64) time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
-		return 0
-	}
-	s := append([]time.Duration(nil), l.samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p/100*float64(len(s))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
+	return time.Duration(l.h.Quantile(p))
 }
 
 // Mean returns the average sample, or 0 if empty.
 func (l *Latencies) Mean() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
-		return 0
-	}
-	var sum time.Duration
-	for _, d := range l.samples {
-		sum += d
-	}
-	return sum / time.Duration(len(l.samples))
+	return time.Duration(l.h.Mean())
+}
+
+// Hist exposes the backing histogram for callers that feed obs snapshots.
+func (l *Latencies) Hist() *obs.Histogram {
+	return &l.h
 }
 
 // Summary formats count/mean/p50/p99.
@@ -179,10 +160,10 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Counter tracks throughput over a wall-clock window.
+// Counter tracks throughput over a wall-clock window, pairing an obs
+// counter with the window's start time.
 type Counter struct {
-	mu    sync.Mutex
-	n     int64
+	n     obs.Counter
 	start time.Time
 }
 
@@ -191,25 +172,19 @@ func NewCounter() *Counter { return &Counter{start: time.Now()} }
 
 // Add counts n events.
 func (c *Counter) Add(n int64) {
-	c.mu.Lock()
-	c.n += n
-	c.mu.Unlock()
+	c.n.Add(n)
 }
 
 // Rate returns events/second since the window started.
 func (c *Counter) Rate() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	el := time.Since(c.start).Seconds()
 	if el <= 0 {
 		return 0
 	}
-	return float64(c.n) / el
+	return float64(c.n.Value()) / el
 }
 
 // Total returns the event count.
 func (c *Counter) Total() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+	return c.n.Value()
 }

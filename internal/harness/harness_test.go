@@ -17,15 +17,22 @@ func TestLatenciesPercentiles(t *testing.T) {
 	if l.Count() != 100 {
 		t.Fatalf("count = %d", l.Count())
 	}
-	if got := l.Percentile(50); got != 50*time.Millisecond {
+	// Percentiles come from the log-linear obs histogram: accurate to one
+	// bucket, i.e. within 6.25% above the true value.
+	within := func(got, want time.Duration) bool {
+		return got >= want && float64(got) <= float64(want)*1.0625
+	}
+	if got := l.Percentile(50); !within(got, 50*time.Millisecond) {
 		t.Fatalf("p50 = %v", got)
 	}
-	if got := l.Percentile(99); got != 99*time.Millisecond {
+	if got := l.Percentile(99); !within(got, 99*time.Millisecond) {
 		t.Fatalf("p99 = %v", got)
 	}
+	// p100 clamps to the observed max, so it is exact.
 	if got := l.Percentile(100); got != 100*time.Millisecond {
 		t.Fatalf("p100 = %v", got)
 	}
+	// Mean is exact: the histogram keeps an exact running sum.
 	if got := l.Mean(); got != 50500*time.Microsecond {
 		t.Fatalf("mean = %v", got)
 	}

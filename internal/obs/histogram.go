@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Unit describes what a histogram's values measure, for rendering.
+type Unit uint8
+
+const (
+	// UnitNanoseconds marks a latency histogram fed time.Duration values.
+	UnitNanoseconds Unit = iota
+	// UnitCount marks a dimensionless size histogram (records, bytes).
+	UnitCount
+)
+
+// Histogram bucketing is log-linear (HdrHistogram style): each power of
+// two is split into 2^histSubBits linear sub-buckets, bounding relative
+// error at 1/2^histSubBits (6.25%) while keeping the bucket array small
+// and fully atomic — Observe is two atomic adds plus a handful of
+// compare-and-swaps only when min/max move.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // 16
+	// 64-bit values span 60 exponent groups past the first linear run.
+	histBuckets = histSubCount * (64 - histSubBits + 1)
+)
+
+// Histogram is a lock-free fixed-bucket histogram of int64 samples.
+// Negative samples are clamped to zero. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // stored as value+1; 0 means "no samples yet"
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+	unit    Unit
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= histSubBits
+	shift := uint(exp - histSubBits)
+	return (exp-histSubBits+1)*histSubCount + int((u>>shift)&(histSubCount-1))
+}
+
+// bucketUpper returns the largest value mapping to bucket idx, the
+// representative reported for quantiles (so quantile estimates never
+// undershoot the true value by more than one bucket width).
+func bucketUpper(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	exp := idx/histSubCount + histSubBits - 1
+	sub := idx % histSubCount
+	shift := uint(exp - histSubBits)
+	return int64((uint64(sub)+histSubCount+1)<<shift) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		m := h.min.Load()
+		if m != 0 && m <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(m, v+1) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if v <= m {
+			break
+		}
+		if h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Mean returns the exact mean of recorded samples (0 if empty).
+func (h *Histogram) Mean() int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	m := h.min.Load()
+	if m == 0 {
+		return 0
+	}
+	return m - 1
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an estimate of the p-th percentile (p in [0,100]),
+// accurate to one log-linear bucket (<= 6.25% relative error) and clamped
+// to the observed [Min, Max], which makes p=0 and p=100 exact.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	v := h.Max()
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			v = bucketUpper(i)
+			break
+		}
+	}
+	if min := h.Min(); v < min {
+		v = min
+	}
+	if max := h.Max(); v > max {
+		v = max
+	}
+	return v
+}
+
+// Unit reports what the samples measure.
+func (h *Histogram) Unit() Unit {
+	if h == nil {
+		return UnitCount
+	}
+	return h.unit
+}

@@ -1,0 +1,258 @@
+// Package obs is the repo's dependency-free observability layer: a
+// metrics registry of atomic counters, gauges, and lock-cheap fixed-bucket
+// latency histograms, organized into labeled families, plus a lightweight
+// span/trace facility that attributes an end-to-end operation (a Streams
+// commit) to its constituent broker round-trips.
+//
+// The paper's figures are explained entirely by counts and cadences —
+// control-record RPCs per partition, coordinator round-trips per commit,
+// restore progress after failure — so every layer of the system reports
+// into one registry (owned by the transport Network, shared by the whole
+// embedded cluster) and experiments print a Snapshot of it next to
+// throughput numbers.
+//
+// All types are safe for concurrent use, and every operation is nil-safe:
+// a nil *Registry (observability disabled) hands out nil instruments whose
+// methods are no-ops, so instrumented code needs no guards.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric family.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// fullName renders "name{k1=v1,k2=v2}" with labels sorted by key, the
+// canonical identity of a metric inside the registry and its snapshots.
+func fullName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// BaseName strips the label block off a full metric name.
+func BaseName(full string) string {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i]
+	}
+	return full
+}
+
+// LabelValue extracts one label's value from a full metric name ("" if
+// absent).
+func LabelValue(full, key string) string {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return ""
+	}
+	for _, kv := range strings.Split(strings.TrimSuffix(full[i+1:], "}"), ",") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
+			return v
+		}
+	}
+	return ""
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (watermarks, lag, queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry holds metric families by canonical name. Instruments are
+// created on first use and live forever (no eviction): the families the
+// system emits — per-RPC-kind, per-topic-partition, per-stream-task — are
+// bounded by the workload's shape.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	traceMu sync.Mutex
+	traces  []*Trace // ring of recently finished traces
+	traceAt int
+}
+
+// recentTraceCap bounds the kept-trace ring.
+const recentTraceCap = 16
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter for name+labels. Hot
+// paths should hold on to the returned handle: the lookup takes a read
+// lock, while Counter.Add is a bare atomic op.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := fullName(name, labels)
+	r.mu.RLock()
+	c := r.counters[full]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[full]; c == nil {
+		c = &Counter{}
+		r.counters[full] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	full := fullName(name, labels)
+	r.mu.RLock()
+	g := r.gauges[full]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[full]; g == nil {
+		g = &Gauge{}
+		r.gauges[full] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) a latency histogram (nanosecond
+// unit) for name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.histogram(name, UnitNanoseconds, labels)
+}
+
+// SizeHistogram returns (creating if needed) a histogram of dimensionless
+// sizes (batch records, bytes) for name+labels.
+func (r *Registry) SizeHistogram(name string, labels ...Label) *Histogram {
+	return r.histogram(name, UnitCount, labels)
+}
+
+func (r *Registry) histogram(name string, unit Unit, labels []Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := fullName(name, labels)
+	r.mu.RLock()
+	h := r.hists[full]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[full]; h == nil {
+		h = &Histogram{unit: unit}
+		r.hists[full] = h
+	}
+	return h
+}
+
+// RecordTrace keeps a finished trace in the recent-trace ring for
+// snapshot-time attribution dumps.
+func (r *Registry) RecordTrace(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if len(r.traces) < recentTraceCap {
+		r.traces = append(r.traces, t)
+		return
+	}
+	r.traces[r.traceAt%recentTraceCap] = t
+	r.traceAt++
+}
+
+// RecentTraces returns the kept traces, oldest first.
+func (r *Registry) RecentTraces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	out := make([]*Trace, 0, len(r.traces))
+	if len(r.traces) == recentTraceCap {
+		at := r.traceAt % recentTraceCap
+		out = append(out, r.traces[at:]...)
+		out = append(out, r.traces[:at]...)
+		return out
+	}
+	return append(out, r.traces...)
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFullNameSortsLabels(t *testing.T) {
+	got := fullName("rpc", []Label{L("kind", "Produce"), L("broker", "1")})
+	want := "rpc{broker=1,kind=Produce}"
+	if got != want {
+		t.Fatalf("fullName = %q, want %q", got, want)
+	}
+	if fullName("rpc", nil) != "rpc" {
+		t.Fatalf("unlabeled name mangled")
+	}
+}
+
+func TestBaseNameAndLabelValue(t *testing.T) {
+	full := "rpc{broker=1,kind=Produce}"
+	if BaseName(full) != "rpc" {
+		t.Fatalf("BaseName = %q", BaseName(full))
+	}
+	if v := LabelValue(full, "kind"); v != "Produce" {
+		t.Fatalf("LabelValue(kind) = %q", v)
+	}
+	if v := LabelValue(full, "absent"); v != "" {
+		t.Fatalf("LabelValue(absent) = %q", v)
+	}
+	if v := LabelValue("rpc", "kind"); v != "" {
+		t.Fatalf("LabelValue on unlabeled = %q", v)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", L("k", "v"))
+	b := r.Counter("c", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	if r.Counter("c", L("k", "w")) == a {
+		t.Fatal("distinct labels shared a counter")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name returned distinct histograms")
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter recorded")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge recorded")
+	}
+	h := r.Histogram("h")
+	h.Observe(42)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Quantile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.Finish()
+	r.RecordTrace(tr)
+	if r.RecentTraces() != nil {
+		t.Fatal("nil registry kept traces")
+	}
+}
+
+func TestConcurrentIncObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			c := r.Counter("ops", L("g", "shared"))
+			h := r.Histogram("lat", L("g", "shared"))
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(rng.Int63n(1_000_000))
+				r.Gauge("depth").Set(int64(j))
+				if j%100 == 0 {
+					// Snapshots race with writers by design; they must
+					// stay internally sane, never panic.
+					s := r.Snapshot()
+					if s.Counter("ops{g=shared}") < 0 {
+						t.Error("negative counter in snapshot")
+					}
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("ops{g=shared}"); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	h := s.Histograms["lat{g=shared}"]
+	if h.Count != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	if h.P50 > h.P95 || h.P95 > h.P99 || h.P99 > h.Max {
+		t.Fatalf("quantiles not monotone: %+v", h)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Uniform 1..100ms in 1ms steps: quantiles are known exactly, and the
+	// log-linear buckets bound relative error at 1/16.
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * int64(time.Millisecond))
+	}
+	checks := []struct {
+		p    float64
+		want int64
+	}{
+		{0, int64(1 * time.Millisecond)},
+		{50, int64(50 * time.Millisecond)},
+		{95, int64(95 * time.Millisecond)},
+		{99, int64(99 * time.Millisecond)},
+		{100, int64(100 * time.Millisecond)},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.p)
+		lo := c.want - c.want/16
+		hi := c.want + c.want/16
+		if got < lo || got > hi {
+			t.Errorf("p%v = %v, want within 6.25%% of %v", c.p, got, c.want)
+		}
+	}
+	if h.Min() != int64(time.Millisecond) {
+		t.Errorf("Min = %d", h.Min())
+	}
+	if h.Max() != int64(100*time.Millisecond) {
+		t.Errorf("Max = %d", h.Max())
+	}
+	// Mean is tracked exactly, not from buckets.
+	if got := h.Mean(); got != int64(50500*time.Microsecond) {
+		t.Errorf("Mean = %d, want %d", got, int64(50500*time.Microsecond))
+	}
+}
+
+func TestHistogramPointMass(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(12345)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Quantile(p); got != 12345 {
+			t.Fatalf("p%v of point mass = %d", p, got)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(50) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Observe(-5) // clamped to 0
+	h.Observe(0)
+	if h.Count() != 2 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("zero-clamp: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Bucket mapping must be self-consistent across the full range.
+	for _, v := range []int64{0, 1, 15, 16, 17, 255, 256, 1 << 20, 1<<62 + 12345} {
+		idx := bucketIndex(v)
+		if up := bucketUpper(idx); up < v {
+			t.Errorf("bucketUpper(%d)=%d < value %d", idx, up, v)
+		}
+		if idx > 0 {
+			if low := bucketUpper(idx - 1); low >= v {
+				t.Errorf("value %d should be above bucket %d upper %d", v, idx-1, low)
+			}
+		}
+	}
+}
+
+func TestSnapshotTextStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total", L("kind", "Fetch")).Add(1)
+	r.Gauge("hw", L("tp", "t-0")).Set(9)
+	r.Histogram("lat").Observe(int64(3 * time.Millisecond))
+	text := r.Snapshot().Text()
+	if text != r.Snapshot().Text() {
+		t.Fatal("snapshot text not stable across identical snapshots")
+	}
+	for _, want := range []string{
+		"counter a_total{kind=Fetch} 1",
+		"counter b_total 2",
+		"gauge   hw{tp=t-0} 9",
+		"hist    lat count=1",
+		"p50=3.00ms",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	// Counters sort before their lexicographic successors: stable ordering.
+	if strings.Index(text, "a_total") > strings.Index(text, "b_total") {
+		t.Error("counters not sorted")
+	}
+}
+
+func TestSumCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc_total", L("kind", "Produce")).Add(3)
+	r.Counter("rpc_total", L("kind", "Fetch")).Add(4)
+	r.Counter("rpc_other").Add(100)
+	if got := r.Snapshot().SumCounter("rpc_total"); got != 7 {
+		t.Fatalf("SumCounter = %d, want 7", got)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("commit")
+	end := tr.StartSpan("EndTxn")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.StartSpan("WriteTxnMarkers")()
+	tr.Finish()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "EndTxn" || spans[0].Dur < time.Millisecond {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if tr.Dur() < spans[0].Dur {
+		t.Fatal("trace shorter than its span")
+	}
+	str := tr.String()
+	if !strings.Contains(str, "commit") || !strings.Contains(str, "EndTxn") {
+		t.Fatalf("String() = %q", str)
+	}
+	d := tr.Dur()
+	time.Sleep(2 * time.Millisecond)
+	if tr.Dur() != d {
+		t.Fatal("finished trace duration not frozen")
+	}
+}
+
+func TestRecentTracesRing(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < recentTraceCap+5; i++ {
+		tr := NewTrace("op")
+		tr.Finish()
+		r.RecordTrace(tr)
+	}
+	if got := len(r.RecentTraces()); got != recentTraceCap {
+		t.Fatalf("ring kept %d traces, want %d", got, recentTraceCap)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HistogramStat is a point-in-time summary of one histogram.
+type HistogramStat struct {
+	Count int64
+	Mean  int64
+	P50   int64
+	P95   int64
+	P99   int64
+	Max   int64
+	Unit  Unit
+}
+
+// Snapshot is a consistent-enough point-in-time view of a registry:
+// each instrument is read atomically, though the set as a whole is not
+// a single transaction (new samples may land between reads).
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramStat
+}
+
+// Snapshot captures every registered instrument.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = HistogramStat{
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(50),
+			P95:   h.Quantile(95),
+			P99:   h.Quantile(99),
+			Max:   h.Max(),
+			Unit:  h.Unit(),
+		}
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of one counter by full name
+// (0 if absent).
+func (s *Snapshot) Counter(full string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[full]
+}
+
+// SumCounter sums every counter in the snapshot whose base name (the part
+// before '{') equals base — the family total across all label sets.
+func (s *Snapshot) SumCounter(base string) int64 {
+	if s == nil {
+		return 0
+	}
+	var sum int64
+	for k, v := range s.Counters {
+		if BaseName(k) == base {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// FormatValue renders v per unit: durations scale to a readable unit,
+// counts print raw.
+func FormatValue(v int64, u Unit) string {
+	if u == UnitCount {
+		return fmt.Sprintf("%d", v)
+	}
+	d := time.Duration(v)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// WriteText dumps the snapshot in a stable, sorted, line-oriented format:
+//
+//	counter <name> <value>
+//	gauge   <name> <value>
+//	hist    <name> count=N mean=M p50=A p95=B p99=C max=D
+func WriteText(w io.Writer, s *Snapshot) {
+	if s == nil {
+		return
+	}
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "counter %s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "gauge   %s %d\n", k, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		fmt.Fprintf(w, "hist    %s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
+			k, h.Count,
+			FormatValue(h.Mean, h.Unit),
+			FormatValue(h.P50, h.Unit),
+			FormatValue(h.P95, h.Unit),
+			FormatValue(h.P99, h.Unit),
+			FormatValue(h.Max, h.Unit))
+	}
+}
+
+// Text renders WriteText to a string.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	WriteText(&b, s)
+	return b.String()
+}

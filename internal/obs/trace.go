@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed step inside a Trace — typically a single broker
+// round-trip attributed to the enclosing operation.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Trace collects the spans of one end-to-end operation (e.g. a Streams
+// commit): attach it to a producer, and every RPC the transport sends on
+// its behalf records a span, so the commit's wall time decomposes into
+// its broker round-trips.
+type Trace struct {
+	Name  string
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	dur   time.Duration
+	done  bool
+}
+
+// NewTrace starts a trace for a named operation.
+func NewTrace(name string) *Trace {
+	return &Trace{Name: name, Start: time.Now()}
+}
+
+// StartSpan opens a named span and returns the func that closes it.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: time.Since(start)})
+		t.mu.Unlock()
+	}
+}
+
+// Finish seals the trace, fixing its total duration.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.dur = time.Since(t.Start)
+	}
+	t.mu.Unlock()
+}
+
+// Dur returns the total duration (elapsed so far if not finished).
+func (t *Trace) Dur() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.dur
+	}
+	return time.Since(t.Start)
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// String renders the trace as one line per span with offsets relative to
+// the trace start, e.g.:
+//
+//	commit 3.1ms
+//	  +0.0ms EndTxn 1.2ms
+//	  +1.3ms WriteTxnMarkers 0.9ms
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %.1fms", t.Name, float64(t.Dur().Microseconds())/1000)
+	for _, s := range t.Spans() {
+		fmt.Fprintf(&b, "\n  +%.1fms %s %.1fms",
+			float64(s.Start.Sub(t.Start).Microseconds())/1000,
+			s.Name,
+			float64(s.Dur.Microseconds())/1000)
+	}
+	return b.String()
+}

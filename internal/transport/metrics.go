@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"kstreams/internal/obs"
+	"kstreams/internal/protocol"
+)
+
+// rpcKind names a request for per-kind metric families. Unknown payloads
+// (tests send ad-hoc structs) fall into "Other".
+func rpcKind(req any) string {
+	switch req.(type) {
+	case *protocol.ProduceRequest:
+		return "Produce"
+	case *protocol.FetchRequest:
+		return "Fetch"
+	case *protocol.MetadataRequest:
+		return "Metadata"
+	case *protocol.CreateTopicRequest:
+		return "CreateTopic"
+	case *protocol.ListOffsetsRequest:
+		return "ListOffsets"
+	case *protocol.DeleteRecordsRequest:
+		return "DeleteRecords"
+	case *protocol.FindCoordinatorRequest:
+		return "FindCoordinator"
+	case *protocol.InitProducerIDRequest:
+		return "InitProducerID"
+	case *protocol.AddPartitionsToTxnRequest:
+		return "AddPartitionsToTxn"
+	case *protocol.EndTxnRequest:
+		return "EndTxn"
+	case *protocol.WriteTxnMarkersRequest:
+		return "WriteTxnMarkers"
+	case *protocol.TxnOffsetCommitRequest:
+		return "TxnOffsetCommit"
+	case *protocol.JoinGroupRequest:
+		return "JoinGroup"
+	case *protocol.SyncGroupRequest:
+		return "SyncGroup"
+	case *protocol.HeartbeatRequest:
+		return "Heartbeat"
+	case *protocol.LeaveGroupRequest:
+		return "LeaveGroup"
+	case *protocol.OffsetCommitRequest:
+		return "OffsetCommit"
+	case *protocol.OffsetFetchRequest:
+		return "OffsetFetch"
+	case *protocol.LeaderAndISRRequest:
+		return "LeaderAndISR"
+	case *protocol.AlterISRRequest:
+		return "AlterISR"
+	case *protocol.AllocatePIDRequest:
+		return "AllocatePID"
+	default:
+		return "Other"
+	}
+}
+
+// kindMetrics caches the per-RPC-kind instrument handles so the Send hot
+// path does one lock-free sync.Map hit instead of three registry lookups.
+type kindMetrics struct {
+	attempted *obs.Counter
+	delivered *obs.Counter
+	failed    *obs.Counter
+	latency   *obs.Histogram
+}
+
+func (n *Network) kindMetrics(kind string) *kindMetrics {
+	if v, ok := n.kindCache.Load(kind); ok {
+		return v.(*kindMetrics)
+	}
+	m := &kindMetrics{
+		attempted: n.obs.Counter("transport_rpc_attempted_total", obs.L("kind", kind)),
+		delivered: n.obs.Counter("transport_rpc_delivered_total", obs.L("kind", kind)),
+		failed:    n.obs.Counter("transport_rpc_failed_total", obs.L("kind", kind)),
+		latency:   n.obs.Histogram("transport_rpc_latency", obs.L("kind", kind)),
+	}
+	v, _ := n.kindCache.LoadOrStore(kind, m)
+	return v.(*kindMetrics)
+}

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"kstreams/internal/obs"
 )
 
 // ErrUnreachable reports that the destination is crashed, unregistered, or
@@ -50,8 +52,13 @@ type Network struct {
 	rng   *rand.Rand
 
 	nextClientID atomic.Int32
-	rpcs         atomic.Int64 // every Send attempted
-	delivered    atomic.Int64 // Sends that reached a handler
+
+	// All metrics live in obs; rpcs/delivered back the legacy
+	// RPCCount/RPCAttempts accessors and are the cross-kind totals.
+	obs       *obs.Registry
+	rpcs      *obs.Counter // every Send attempted
+	delivered *obs.Counter // Sends that reached a handler
+	kindCache sync.Map     // rpc kind -> *kindMetrics
 }
 
 // New creates a network with the given options.
@@ -60,16 +67,24 @@ func New(opts Options) *Network {
 	if seed == 0 {
 		seed = 1
 	}
+	reg := obs.NewRegistry()
 	n := &Network{
 		opts:        opts,
 		handlers:    make(map[int32]Handler),
 		crashed:     make(map[int32]bool),
 		partitioned: make(map[[2]int32]bool),
 		rng:         rand.New(rand.NewSource(seed)),
+		obs:         reg,
+		rpcs:        reg.Counter("transport_rpcs_attempted"),
+		delivered:   reg.Counter("transport_rpcs_delivered"),
 	}
 	n.nextClientID.Store(1000)
 	return n
 }
+
+// Obs returns the network's metrics registry, the single registry shared
+// by every component of the embedded cluster.
+func (n *Network) Obs() *obs.Registry { return n.obs }
 
 // Register installs (or replaces) the handler for a node id.
 func (n *Network) Register(id int32, h Handler) {
@@ -132,12 +147,12 @@ func (n *Network) Heal(a, b int32) {
 // Section 4.3 (Figure 5). Attempts that failed fast against a crashed,
 // partitioned, or unregistered destination are excluded so retry storms
 // during an outage do not skew the measurement; see RPCAttempts.
-func (n *Network) RPCCount() int64 { return n.delivered.Load() }
+func (n *Network) RPCCount() int64 { return n.delivered.Value() }
 
 // RPCAttempts returns every Send attempted, delivered or not. The gap
 // between RPCAttempts and RPCCount measures how hard clients hammered
 // unreachable destinations — the quantity the retry backoff bounds.
-func (n *Network) RPCAttempts() int64 { return n.rpcs.Load() }
+func (n *Network) RPCAttempts() int64 { return n.rpcs.Value() }
 
 // unreachable reports whether from → to is currently undeliverable.
 func (n *Network) unreachable(from, to int32) bool {
@@ -154,10 +169,23 @@ func (n *Network) unreachable(from, to int32) bool {
 // without the latency charge, while one that becomes unreachable during
 // the flight still costs the full round trip.
 func (n *Network) Send(from, to int32, req any) (any, error) {
-	n.rpcs.Add(1)
+	return n.SendTraced(from, to, req, nil)
+}
+
+// SendTraced is Send with an optional trace: when tr is non-nil, the RPC
+// is recorded as a span named after its kind, attributing the round trip
+// to the end-to-end operation the trace represents.
+func (n *Network) SendTraced(from, to int32, req any, tr *obs.Trace) (any, error) {
+	kind := rpcKind(req)
+	km := n.kindMetrics(kind)
+	n.rpcs.Inc()
+	km.attempted.Inc()
 	if n.unreachable(from, to) {
+		km.failed.Inc()
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
+	endSpan := tr.StartSpan(kind)
+	start := time.Now()
 	n.delay()
 	n.mu.RLock()
 	h, ok := n.handlers[to]
@@ -165,10 +193,16 @@ func (n *Network) Send(from, to int32, req any) (any, error) {
 	cut := n.partitioned[pairKey(from, to)]
 	n.mu.RUnlock()
 	if !ok || dead || cut {
+		km.failed.Inc()
+		endSpan()
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
-	n.delivered.Add(1)
-	return h(from, req), nil
+	resp := h(from, req)
+	n.delivered.Inc()
+	km.delivered.Inc()
+	km.latency.ObserveSince(start)
+	endSpan()
+	return resp, nil
 }
 
 func (n *Network) delay() {

@@ -5,6 +5,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"kstreams/internal/obs"
+	"kstreams/internal/protocol"
 )
 
 func TestSendRoundTrip(t *testing.T) {
@@ -131,5 +134,49 @@ func TestConcurrentSends(t *testing.T) {
 	wg.Wait()
 	if sum != 100 {
 		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestPerKindMetricsAndTrace(t *testing.T) {
+	n := New(Options{})
+	n.Register(1, func(from int32, req any) any { return nil })
+	if _, err := n.Send(2, 1, &protocol.ProduceRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("op")
+	if _, err := n.SendTraced(2, 1, &protocol.FetchRequest{}, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(2, 9, &protocol.FetchRequest{}); err == nil {
+		t.Fatal("send to unregistered node succeeded")
+	}
+	tr.Finish()
+	s := n.Obs().Snapshot()
+	checks := map[string]int64{
+		"transport_rpc_attempted_total{kind=Produce}": 1,
+		"transport_rpc_delivered_total{kind=Produce}": 1,
+		"transport_rpc_attempted_total{kind=Fetch}":   2,
+		"transport_rpc_delivered_total{kind=Fetch}":   1,
+		"transport_rpc_failed_total{kind=Fetch}":      1,
+		"transport_rpcs_attempted":                    3,
+		"transport_rpcs_delivered":                    2,
+	}
+	for name, want := range checks {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if s.SumCounter("transport_rpc_delivered_total") != n.RPCCount() {
+		t.Error("per-kind delivered sum diverges from RPCCount")
+	}
+	if s.SumCounter("transport_rpc_attempted_total") != n.RPCAttempts() {
+		t.Error("per-kind attempted sum diverges from RPCAttempts")
+	}
+	if s.Histograms["transport_rpc_latency{kind=Fetch}"].Count != 1 {
+		t.Error("delivered Fetch did not record latency")
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "Fetch" {
+		t.Fatalf("trace spans = %+v", spans)
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"kstreams/internal/client"
 	"kstreams/internal/cluster"
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/transport"
 )
@@ -122,6 +123,13 @@ func (c *Cluster) RPCCount() int64 { return c.inner.RPCCount() }
 // fast against crashed or partitioned brokers — the quantity the client
 // retry backoff keeps bounded during outages.
 func (c *Cluster) RPCAttempts() int64 { return c.inner.RPCAttempts() }
+
+// Obs exposes the cluster-wide metrics registry: every RPC, broker,
+// client, and stream-thread instrument on this network registers here.
+func (c *Cluster) Obs() *obs.Registry { return c.inner.Net().Obs() }
+
+// ObsSnapshot captures a point-in-time view of every instrument.
+func (c *Cluster) ObsSnapshot() *obs.Snapshot { return c.Obs().Snapshot() }
 
 // Close stops all brokers.
 func (c *Cluster) Close() { c.inner.Close() }

@@ -1,0 +1,125 @@
+package streams_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// runPassthroughEOS runs a stateless exactly-once passthrough app over
+// outParts output partitions until at least minCommits transactions have
+// committed, then reports the average transactional partitions per commit
+// from the obs snapshot (markers written / transactions committed).
+func runPassthroughEOS(t *testing.T, outParts int32, minCommits int64) float64 {
+	t.Helper()
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               1,
+		TxnTimeout:            2 * time.Second,
+		GroupRebalanceTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("obs-in", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("obs-out", outParts, false); err != nil {
+		t.Fatal(err)
+	}
+
+	b := streams.NewBuilder(fmt.Sprintf("obs-cadence-%d", outParts))
+	b.Stream("obs-in", streams.StringSerde, streams.StringSerde).To("obs-out")
+	app, err := streams.NewApp(b, streams.Config{
+		Cluster:           c,
+		Guarantee:         streams.ExactlyOnce,
+		CommitInterval:    30 * time.Millisecond,
+		SessionTimeout:    time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		TxnTimeout:        2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep producing until enough commit cycles have completed; 256
+	// distinct keys per batch make every output partition see traffic in
+	// every cycle.
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	seq := 0
+	for c.ObsSnapshot().Counter("txn_commits_total") < minCommits {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d commits before deadline", c.ObsSnapshot().Counter("txn_commits_total"))
+		}
+		for i := 0; i < 256; i++ {
+			k := []byte(fmt.Sprintf("key-%03d", i))
+			if err := p.Send("obs-in", kafka.Record{Key: k, Value: k, Timestamp: int64(seq)}); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	app.Close()
+
+	s := c.ObsSnapshot()
+	commits := s.Counter("txn_commits_total")
+	markers := s.Counter("txn_marker_partitions_total{type=commit}")
+	if commits < minCommits {
+		t.Fatalf("commits = %d, want >= %d", commits, minCommits)
+	}
+	if aborts := s.Counter("txn_aborts_total"); aborts != 0 {
+		t.Fatalf("unexpected aborts: %d", aborts)
+	}
+	// The commit path is visible end to end in the snapshot: every commit
+	// is one EndTxn RPC, and the broker/stream histograms saw the traffic.
+	if got := s.Counter("transport_rpc_delivered_total{kind=EndTxn}"); got < commits {
+		t.Fatalf("EndTxn RPCs = %d, want >= %d commits", got, commits)
+	}
+	for _, h := range []string{"broker_append_latency", "client_produce_latency", "stream_commit_latency",
+		"txn_phase_latency{phase=markers}"} {
+		if s.Histograms[h].Count == 0 {
+			t.Fatalf("histogram %s recorded no samples:\n%s", h, s.Text())
+		}
+	}
+	return float64(markers) / float64(commits)
+}
+
+// TestCommitRPCCadenceScalesWithPartitions asserts the paper's Section 4.3
+// claim from the obs snapshot: the per-commit coordination cost (marker
+// writes per committed transaction) grows with the number of transactional
+// output partitions — each commit marks every touched output partition
+// plus the consumer-offsets partition, independent of the commit interval.
+func TestCommitRPCCadenceScalesWithPartitions(t *testing.T) {
+	perCommit1 := runPassthroughEOS(t, 1, 6)
+	perCommit8 := runPassthroughEOS(t, 8, 6)
+
+	// One output partition + the offsets partition ≈ 2 markers per commit;
+	// commits that caught a partially-filled cycle can only pull the
+	// average down, never up.
+	if perCommit1 < 1.0 || perCommit1 > 2.5 {
+		t.Fatalf("markers/commit at 1 partition = %.2f, want ~2", perCommit1)
+	}
+	// Eight output partitions ≈ 9 markers per commit.
+	if perCommit8 > 9.5 {
+		t.Fatalf("markers/commit at 8 partitions = %.2f, want <= ~9", perCommit8)
+	}
+	if perCommit8-perCommit1 < 4 {
+		t.Fatalf("per-commit marker count did not scale with partitions: 1p=%.2f 8p=%.2f",
+			perCommit1, perCommit8)
+	}
+}
