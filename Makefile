@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: check vet fmt test test-race test-obs bench-obs build
+.PHONY: check vet fmt lint test test-race test-obs bench-obs build
 
-check: vet fmt test-race bench-obs
+check: vet fmt lint test-race bench-obs
 
 build:
 	$(GO) build ./...
 
+# vet output is captured and sorted so diagnostics are machine-stable
+# across runs (package walk order is not guaranteed).
 vet:
-	$(GO) vet ./...
+	@out=$$($(GO) vet ./... 2>&1); st=$$?; \
+	if [ -n "$$out" ]; then echo "$$out" | sort; fi; \
+	exit $$st
+
+# kslint: the repo's own analyzers (internal/lint) — determinism, locking,
+# and observability invariants. Output is file:line sorted by the driver.
+lint:
+	$(GO) run ./cmd/kslint -root .
 
 fmt:
 	@out=$$(gofmt -l .); \

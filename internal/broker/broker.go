@@ -325,7 +325,7 @@ func (b *Broker) handleLeaderAndISR(r *protocol.LeaderAndISRRequest) *protocol.L
 			b.mu.Unlock()
 			return &protocol.LeaderAndISRResponse{Err: protocol.ErrInvalidRecord}
 		}
-		p = newPartition(r.TP, r.Config, b.cfg.ID, l, b.cfg.AppendLatency)
+		p = newPartition(r.TP, r.Config, b.cfg.ID, l, b.cfg.AppendLatency, b.net.Clock())
 		p.onISRChange = b.forwardISRChange
 		p.appendLat = b.metrics.appendLat
 		tpLabels := []obs.Label{

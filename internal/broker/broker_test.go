@@ -96,7 +96,7 @@ func newTestPartition(t *testing.T) *partition {
 		t.Fatal(err)
 	}
 	return newPartition(protocol.TopicPartition{Topic: "t", Partition: 0},
-		protocol.TopicConfig{}, 1, l, 0)
+		protocol.TopicConfig{}, 1, l, 0, nil)
 }
 
 func TestPartitionHWAdvancesWithISRReports(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 
 	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/wal"
 )
 
@@ -45,8 +46,10 @@ type partition struct {
 	// lastFetch records each follower's last replica fetch (diagnostics).
 	lastFetch map[int32]time.Time
 
-	// appendDelay models storage latency per leader append.
+	// appendDelay models storage latency per leader append, paced by the
+	// hosting broker's clock (the transport fabric's shared time source).
 	appendDelay time.Duration
+	clock       retry.Clock
 
 	// Observability handles, set by the hosting broker after construction;
 	// nil handles no-op, so bare newPartition (tests) works uninstrumented.
@@ -64,7 +67,7 @@ type partition struct {
 	onISRChange func(tp protocol.TopicPartition, epoch int32, isr []int32)
 }
 
-func newPartition(tp protocol.TopicPartition, cfg protocol.TopicConfig, self int32, log *wal.Log, appendDelay time.Duration) *partition {
+func newPartition(tp protocol.TopicPartition, cfg protocol.TopicConfig, self int32, log *wal.Log, appendDelay time.Duration, clock retry.Clock) *partition {
 	p := &partition{
 		tp:          tp,
 		cfg:         cfg,
@@ -73,6 +76,7 @@ func newPartition(tp protocol.TopicPartition, cfg protocol.TopicConfig, self int
 		followerLEO: make(map[int32]int64),
 		lastFetch:   make(map[int32]time.Time),
 		appendDelay: appendDelay,
+		clock:       retry.Or(clock),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	// A recovered replica trusts its local log up to its end; the controller
@@ -232,9 +236,7 @@ func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.
 	p.mu.Unlock()
 
 	appendStart := time.Now()
-	if p.appendDelay > 0 {
-		time.Sleep(p.appendDelay)
-	}
+	p.clock.Sleep(p.appendDelay)
 	ar := p.log.Append(b)
 	p.appendLat.ObserveSince(appendStart)
 	switch ar.Err {

@@ -46,9 +46,10 @@ func NewAdmin(net *transport.Network, controller int32, cancel <-chan struct{}) 
 // CreateTopic creates a topic; an existing topic is not an error (Streams
 // instances race to create internal topics at startup).
 func (a *Admin) CreateTopic(name string, partitions int32, rf int, cfg protocol.TopicConfig) error {
-	resp, err := a.net.Send(a.self, a.controller, &protocol.CreateTopicRequest{
+	// Admin operations carry no trace context: explicit nil trace.
+	resp, err := a.net.SendTraced(a.self, a.controller, &protocol.CreateTopicRequest{
 		Name: name, Partitions: partitions, ReplicationFactor: rf, Config: cfg,
-	})
+	}, nil)
 	if err != nil {
 		return err
 	}
@@ -74,9 +75,9 @@ func (a *Admin) DeleteRecords(tp protocol.TopicPartition, beforeOffset int64) er
 		if err != nil {
 			return false, err
 		}
-		resp, serr := a.net.Send(a.self, leader, &protocol.DeleteRecordsRequest{
+		resp, serr := a.net.SendTraced(a.self, leader, &protocol.DeleteRecordsRequest{
 			TP: tp, BeforeOffset: beforeOffset,
-		})
+		}, nil)
 		if serr != nil {
 			a.meta.invalidate(tp.Topic)
 			return false, serr

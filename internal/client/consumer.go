@@ -180,12 +180,22 @@ func NewConsumer(net *transport.Network, cfg ConsumerConfig) *Consumer {
 	}
 }
 
-// AttachTrace tags the consumer's offset-commit RPCs with spans on tr
-// until detached (AttachTrace(nil)).
+// AttachTrace tags the consumer's RPCs with spans on tr until detached
+// (AttachTrace(nil)); a stream thread scopes it to one commit cycle.
 func (c *Consumer) AttachTrace(tr *obs.Trace) {
 	c.traceMu.Lock()
 	c.trace = tr
 	c.traceMu.Unlock()
+}
+
+// send is the consumer's only RPC path: every round trip is attributed to
+// the trace attached at the time (nil when none), so the spans of an
+// operation — commit, join, fetch — stay complete.
+func (c *Consumer) send(to int32, req any) (any, error) {
+	c.traceMu.Lock()
+	tr := c.trace
+	c.traceMu.Unlock()
+	return c.net.SendTraced(c.self, to, req, tr)
 }
 
 // Subscribe sets the topics for group-managed assignment.
@@ -342,7 +352,7 @@ func (c *Consumer) joinGroup() error {
 		if c.cfg.UserData != nil {
 			userData = c.cfg.UserData()
 		}
-		resp, serr := c.net.Send(c.self, coord, &protocol.JoinGroupRequest{
+		resp, serr := c.send(coord, &protocol.JoinGroupRequest{
 			Group:            c.cfg.Group,
 			MemberID:         memberID,
 			ClientID:         c.cfg.ClientID,
@@ -409,7 +419,7 @@ func (c *Consumer) joinGroup() error {
 				})
 			}
 		}
-		sresp, serr := c.net.Send(c.self, coord, sync)
+		sresp, serr := c.send(coord, sync)
 		if serr != nil {
 			if err := loop.Wait(); err != nil {
 				return fail(err)
@@ -479,7 +489,7 @@ func (c *Consumer) startHeartbeat() {
 				return
 			case <-t.C:
 			}
-			resp, err := c.net.Send(c.self, coord, &protocol.HeartbeatRequest{
+			resp, err := c.send(coord, &protocol.HeartbeatRequest{
 				Group: c.cfg.Group, MemberID: memberID, GenerationID: gen,
 			})
 			if err != nil {
@@ -567,7 +577,7 @@ func (c *Consumer) listOffset(tp protocol.TopicPartition, t int64) (int64, error
 		if err != nil {
 			return false, err
 		}
-		resp, serr := c.net.Send(c.self, leader, &protocol.ListOffsetsRequest{TP: tp, Time: t})
+		resp, serr := c.send(leader, &protocol.ListOffsetsRequest{TP: tp, Time: t})
 		if serr != nil {
 			c.meta.invalidate(tp.Topic)
 			return false, serr
@@ -634,7 +644,7 @@ func (c *Consumer) fetch() ([]Message, error) {
 		wg.Add(1)
 		go func(leader int32, entries []protocol.FetchEntry) {
 			defer wg.Done()
-			resp, err := c.net.Send(c.self, leader, &protocol.FetchRequest{
+			resp, err := c.send(leader, &protocol.FetchRequest{
 				ReplicaID:  -1,
 				Isolation:  iso,
 				MaxBytes:   1 << 20,
@@ -778,9 +788,6 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 	}
 	budget := retry.NewBudget(requestTimeout)
 	retries := c.metrics.retryAttempts("offset_commit")
-	c.traceMu.Lock()
-	tr := c.trace
-	c.traceMu.Unlock()
 	return retryErr("offset commit", retry.Do(c.cfg.Retry, budget, c.cancel, func(attempt int) (bool, error) {
 		if attempt > 0 {
 			retries.Inc()
@@ -795,12 +802,12 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 			c.coordinator = coord
 			c.mu.Unlock()
 		}
-		resp, err := c.net.SendTraced(c.self, coord, &protocol.OffsetCommitRequest{
+		resp, err := c.send(coord, &protocol.OffsetCommitRequest{
 			Group:        group,
 			MemberID:     memberID,
 			GenerationID: gen,
 			Offsets:      offsets,
-		}, tr)
+		})
 		if err != nil {
 			coord = 0
 			return false, err
@@ -833,7 +840,7 @@ func (c *Consumer) Committed(tps ...protocol.TopicPartition) (map[protocol.Topic
 		if err != nil {
 			return true, err
 		}
-		resp, serr := c.net.Send(c.self, coord, &protocol.OffsetFetchRequest{Group: group, TPs: tps})
+		resp, serr := c.send(coord, &protocol.OffsetFetchRequest{Group: group, TPs: tps})
 		if serr != nil {
 			return false, serr
 		}
@@ -889,7 +896,8 @@ func (c *Consumer) Close() {
 	c.mu.Unlock()
 	c.stopHeartbeat()
 	if inGroup && memberID != "" {
-		c.net.Send(c.self, coord, &protocol.LeaveGroupRequest{Group: c.cfg.Group, MemberID: memberID})
+		// Best-effort goodbye; the session timeout reaps us either way.
+		_, _ = c.send(coord, &protocol.LeaveGroupRequest{Group: c.cfg.Group, MemberID: memberID})
 	}
 	c.net.Unregister(c.self)
 }

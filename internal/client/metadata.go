@@ -94,7 +94,8 @@ func newMetadata(net *transport.Network, self, controller int32, policy retry.Po
 
 // refresh fetches metadata for the named topics.
 func (m *metadata) refresh(topics ...string) error {
-	resp, err := m.net.Send(m.self, m.controller, &protocol.MetadataRequest{Topics: topics})
+	// Metadata is shared across operations, so lookups carry no trace.
+	resp, err := m.net.SendTraced(m.self, m.controller, &protocol.MetadataRequest{Topics: topics}, nil)
 	if err != nil {
 		return err
 	}
@@ -162,7 +163,7 @@ func (m *metadata) invalidate(topic string) {
 func (m *metadata) findCoordinator(key string, typ protocol.CoordinatorType, budget *retry.Budget) (int32, error) {
 	var node int32
 	err := retry.Do(m.policy, budget, m.cancel, func(int) (bool, error) {
-		resp, err := m.net.Send(m.self, m.controller, &protocol.FindCoordinatorRequest{Key: key, Type: typ})
+		resp, err := m.net.SendTraced(m.self, m.controller, &protocol.FindCoordinatorRequest{Key: key, Type: typ}, nil)
 		if err != nil {
 			return false, err
 		}

@@ -239,7 +239,12 @@ func (th *Thread) run() {
 				th.shutdown()
 				return
 			}
-			time.Sleep(th.cfg.PollInterval)
+			// Back off through the clock, not a bare sleep, so Stop can
+			// interrupt the wait instead of eating a full poll interval.
+			select {
+			case <-th.stopCh:
+			case <-retry.Wall.After(th.cfg.PollInterval):
+			}
 			continue
 		}
 		for _, m := range msgs {
@@ -324,13 +329,13 @@ func (th *Thread) abortAndRejoin() {
 	switch th.cfg.Guarantee {
 	case ExactlyOnceV2:
 		if th.inTxn {
-			th.producer.AbortTxn() // best effort; fenced producers cannot
+			_ = th.producer.AbortTxn() // best effort; fenced producers cannot
 			th.inTxn = false
 		}
 	case ExactlyOnceV1:
 		for id, open := range th.taskTxnOpen {
 			if open {
-				th.taskProducers[id].AbortTxn()
+				_ = th.taskProducers[id].AbortTxn() // best effort during recovery
 				th.taskTxnOpen[id] = false
 			}
 		}
@@ -369,13 +374,13 @@ func (th *Thread) onRevoked([]protocol.TopicPartition) {
 		// The failed commit leaves uncommitted input consumed: abort the
 		// open transaction and rewind to committed offsets.
 		if th.cfg.Guarantee == ExactlyOnceV2 && th.inTxn {
-			th.producer.AbortTxn()
+			_ = th.producer.AbortTxn() // the rewind below restores consistency
 			th.inTxn = false
 		}
 		if th.cfg.Guarantee == ExactlyOnceV1 {
 			for id, open := range th.taskTxnOpen {
 				if open {
-					th.taskProducers[id].AbortTxn()
+					_ = th.taskProducers[id].AbortTxn() // the rewind below restores consistency
 					th.taskTxnOpen[id] = false
 				}
 			}
@@ -689,7 +694,7 @@ func (th *Thread) finishCommit(offsets []protocol.OffsetEntry) {
 	if th.cfg.PurgeRepartition {
 		for _, e := range offsets {
 			if th.cfg.RepartitionTopics[e.TP.Topic] {
-				th.admin.DeleteRecords(e.TP, e.Offset) // best effort
+				_ = th.admin.DeleteRecords(e.TP, e.Offset) // best effort; purge retries next commit
 			}
 		}
 	}

@@ -353,7 +353,9 @@ func (st *subtask) run() {
 		case id := <-st.completeCh:
 			_ = id
 			if st.preCommitted != nil {
-				st.preCommitted.CommitTxn()
+				// Baseline sim: a failed second-phase commit surfaces in the
+				// output consistency check, not here.
+				_ = st.preCommitted.CommitTxn()
 				st.preCommitted = nil
 			}
 		default:
@@ -386,7 +388,8 @@ func (st *subtask) process(m client.Message) {
 	// Emit through the open (uncommitted) transaction; downstream
 	// read-committed consumers will not see it until the checkpoint
 	// completes and the txn commits.
-	st.producers[st.active].SendTo(
+	// Send failures surface through emitted-vs-consumed accounting.
+	_ = st.producers[st.active].SendTo(
 		protocol.TopicPartition{Topic: st.j.cfg.OutputTopic, Partition: st.partition % st.outputParts()},
 		protocol.Record{Key: m.Record.Key, Value: next, Timestamp: m.Record.Timestamp},
 	)
@@ -423,10 +426,10 @@ func (st *subtask) snapshot(req barrierReq) {
 	// Two-phase-commit sink, phase one: flush everything; the transaction
 	// stays open until the coordinator confirms the checkpoint.
 	cur := st.producers[st.active]
-	cur.Flush()
+	_ = cur.Flush() // pre-commit failures abort at the CommitTxn phase
 	st.preCommitted = cur
 	st.active = 1 - st.active
-	st.producers[st.active].BeginTxn()
+	_ = st.producers[st.active].BeginTxn() // a dead coordinator fails the next send
 
 	select {
 	case req.acks <- snapshotAck{partition: st.partition, offset: st.offset, files: uploaded}:

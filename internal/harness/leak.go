@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the slice of *testing.T the leak guard needs; declared here so
+// this package (linked into the benchmark binaries) never imports
+// "testing".
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// LeakGuard snapshots the goroutine population so a test can assert in
+// teardown that everything it spawned — stream threads, replica fetchers,
+// coordinator timers — actually exited. The chaos and broker-failure
+// tests wire it in: a leaked goroutine after Close means a retry loop
+// or heartbeat survived its client, exactly the class of bug that turns
+// the deterministic harness flaky.
+type LeakGuard struct {
+	before   int
+	baseline map[string]int
+}
+
+// NewLeakGuard records the current goroutine count and a per-creation-site
+// census. Take it before the cluster under test is built.
+func NewLeakGuard() *LeakGuard {
+	return &LeakGuard{before: runtime.NumGoroutine(), baseline: census()}
+}
+
+// Check waits up to settle for the goroutine count to return to the
+// snapshot level (shutdown is asynchronous: closed clients unwind their
+// retry loops on their next wakeup), then reports every goroutine whose
+// creation site gained population since the snapshot, labeled with its
+// current state. Zero or negative settle uses a 2s default.
+func (g *LeakGuard) Check(t TB, settle time.Duration) {
+	t.Helper()
+	if settle <= 0 {
+		settle = 2 * time.Second
+	}
+	deadline := time.Now().Add(settle)
+	for runtime.NumGoroutine() > g.before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	now := runtime.NumGoroutine()
+	if now <= g.before {
+		return
+	}
+	leaks := diffCensus(g.baseline, census())
+	if len(leaks) == 0 {
+		// Count is elevated but every site balances — churn caught
+		// mid-flight (e.g. a timer goroutine being reaped); not a leak.
+		return
+	}
+	t.Errorf("goroutine leak: %d before, %d after settle; leaked by creation site:\n%s",
+		g.before, now, strings.Join(leaks, "\n"))
+}
+
+// census counts live goroutines by signature: the "created by" site when
+// present (the stable identity of a goroutine class), else its top frame.
+func census() map[string]int {
+	out := make(map[string]int)
+	for _, rec := range goroutineStacks() {
+		out[rec.site]++
+	}
+	return out
+}
+
+// diffCensus renders the sites whose population grew, labeled with a
+// sample state, sorted for stable test output.
+func diffCensus(before, after map[string]int) []string {
+	var lines []string
+	states := make(map[string]string)
+	for _, rec := range goroutineStacks() {
+		if states[rec.site] == "" {
+			states[rec.site] = rec.state
+		}
+	}
+	for site, n := range after {
+		if grew := n - before[site]; grew > 0 {
+			lines = append(lines, fmt.Sprintf("  +%d  %s  [%s]", grew, site, states[site]))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+type goroutineRec struct {
+	state string // e.g. "chan receive", "select"
+	site  string // creation site (or top frame)
+}
+
+// goroutineStacks parses runtime.Stack(all=true) into one record per
+// goroutine.
+func goroutineStacks() []goroutineRec {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var recs []goroutineRec
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		lines := strings.Split(strings.TrimSpace(block), "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], "goroutine ") {
+			continue
+		}
+		rec := goroutineRec{state: stateOf(lines[0])}
+		for i := len(lines) - 1; i > 0; i-- {
+			if rest, ok := strings.CutPrefix(lines[i], "created by "); ok {
+				rec.site = "created by " + strings.TrimSpace(strings.SplitN(rest, " in goroutine", 2)[0])
+				break
+			}
+		}
+		if rec.site == "" && len(lines) > 1 {
+			rec.site = strings.TrimSpace(lines[1])
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// stateOf extracts "chan receive" from "goroutine 7 [chan receive]:".
+func stateOf(header string) string {
+	if i := strings.Index(header, "["); i >= 0 {
+		if j := strings.Index(header[i:], "]"); j > 0 {
+			return header[i+1 : i+j]
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errDrop flags statement-position calls to exported internal/broker and
+// internal/client APIs whose trailing error result is silently discarded.
+// Those errors carry the protocol outcomes the exactly-once guarantee
+// depends on (fenced epochs, aborted transactions, lost leadership);
+// dropping one turns a consistency violation into a silent no-op. An
+// explicit `_ =` assignment is allowed — it documents the decision.
+type errDrop struct{ module string }
+
+func (errDrop) Name() string { return "errdrop" }
+func (errDrop) Doc() string {
+	return "no silently discarded errors from internal/broker and internal/client APIs"
+}
+
+func (e errDrop) Run(p *Pass) {
+	scoped := map[string]bool{
+		e.module + "/internal/broker": true,
+		e.module + "/internal/client": true,
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || !scoped[fn.Pkg().Path()] {
+				return true
+			}
+			if !fn.Exported() || !lastResultIsError(fn) {
+				return true
+			}
+			p.Reportf(call.Pos(), "errdrop",
+				"%s result dropped: handle the error or discard it explicitly with _ =", qualifiedName(fn))
+			return true
+		})
+	}
+}
+
+// qualifiedName renders Type.Method or pkg.Func for a diagnostic.
+func qualifiedName(fn *types.Func) string {
+	if recv := signature(fn).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,321 @@
+// Package lint implements kslint, the repo's stdlib-only static-analysis
+// pass. The paper's guarantees (exactly-once commit cycles, revision-based
+// completeness) only reproduce while the harness stays deterministic and
+// the broker/client hot paths keep their concurrency discipline; kslint
+// machine-checks those invariants instead of leaving them to review:
+//
+//	nosleep      no raw time.Sleep in production code (waits go through
+//	             the retry clock so fault-injection timing is deterministic)
+//	norawrand    no global math/rand functions (seeded *rand.Rand only)
+//	lockheld-rpc no mutex held across a transport RPC or channel send
+//	sendtraced   client-side RPCs use SendTraced so obs spans stay complete
+//	errdrop      no silently discarded errors from broker/client APIs
+//	obsnames     metric families follow the DESIGN §7 naming scheme and
+//	             each family is registered from a single package
+//
+// Analyzers are written purely on go/ast + go/parser + go/types; see
+// loader.go for how the module is type-checked without x/tools. Findings
+// can be suppressed per line with `//kslint:ignore <rule>[,<rule>] reason`
+// and per path prefix through Config.Allow.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position (module-relative file).
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Module string // module path, e.g. "kstreams"
+	Fset   *token.FileSet
+	Pkg    *Package
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.report(Diagnostic{Pos: p.Fset.Position(pos), Rule: rule, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one kslint rule.
+type Analyzer interface {
+	// Name is the rule id used in output, allowlists, and ignore comments.
+	Name() string
+	// Doc is the one-line description printed by kslint -list.
+	Doc() string
+	// Run inspects one package and reports findings on the pass.
+	Run(*Pass)
+}
+
+// Finalizer is implemented by analyzers that also need a module-wide view
+// (e.g. obsnames' single-registration-package check); Finalize runs once
+// after every package's Run.
+type Finalizer interface {
+	Finalize(report func(Diagnostic))
+}
+
+// Config scopes the rules: Allow maps a rule name to module-relative path
+// prefixes (directories or files) exempt from it.
+type Config struct {
+	Allow map[string][]string
+}
+
+// DefaultConfig is the repository policy. Allowlist rationale:
+//
+//   - nosleep: internal/retry owns the Clock implementation (the one
+//     place raw sleeps are the point); internal/harness and
+//     internal/experiments are the wall-clock experiment drivers; cmd
+//     and examples are interactive demos.
+//   - sendtraced: internal/transport defines Send; broker-to-broker and
+//     controller RPCs (internal/broker, internal/cluster) carry no
+//     client trace context by design — spans attribute *client*
+//     operations; cmd and examples are untraced tooling.
+func DefaultConfig() Config {
+	return Config{Allow: map[string][]string{
+		"nosleep": {
+			"internal/retry",
+			"internal/harness",
+			"internal/experiments",
+			"cmd",
+			"examples",
+		},
+		"sendtraced": {
+			"internal/transport",
+			"internal/broker",
+			"internal/cluster",
+			"cmd",
+			"examples",
+		},
+	}}
+}
+
+// allowed reports whether file (module-relative) is exempt from rule.
+func (c Config) allowed(rule, file string) bool {
+	for _, prefix := range c.Allow[rule] {
+		prefix = strings.TrimSuffix(prefix, "/")
+		if file == prefix || strings.HasPrefix(file, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full rule set for a module path.
+func Analyzers(module string) []Analyzer {
+	return []Analyzer{
+		noSleep{},
+		noRawRand{},
+		lockHeld{module: module},
+		sendTraced{module: module},
+		errDrop{module: module},
+		newObsNames(module),
+	}
+}
+
+// Run lints the module rooted at root: every package is loaded and
+// type-checked, each analyzer (optionally restricted to ruleFilter names)
+// runs over it, and the surviving diagnostics — after per-path allowlists
+// and //kslint:ignore suppressions — are returned stable-sorted by
+// file, line, column, rule, message so CI diffs are reproducible.
+func Run(root string, cfg Config, ruleFilter []string) ([]Diagnostic, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	analyzers := Analyzers(mod.Path)
+	if len(ruleFilter) > 0 {
+		keep := make(map[string]bool, len(ruleFilter))
+		for _, r := range ruleFilter {
+			keep[strings.TrimSpace(r)] = true
+		}
+		var sel []Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name()] {
+				sel = append(sel, a)
+			}
+		}
+		analyzers = sel
+	}
+	return RunAnalyzers(mod, cfg, analyzers), nil
+}
+
+// RunAnalyzers applies analyzers to an already-loaded module. Split out
+// so tests can lint fixture packages with a custom config.
+func RunAnalyzers(mod *Module, cfg Config, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range mod.Pkgs {
+		pass := &Pass{Module: mod.Path, Fset: mod.Fset, Pkg: pkg, report: report}
+		for _, a := range analyzers {
+			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if f, ok := a.(Finalizer); ok {
+			f.Finalize(report)
+		}
+	}
+	diags = filter(mod, cfg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// LintPackage runs analyzers over a single (usually fixture) package.
+func LintPackage(loader *Loader, pkg *Package, cfg Config, analyzers []Analyzer) []Diagnostic {
+	mod := &Module{Root: loader.Root(), Path: loader.ModulePath(), Fset: loader.Fset(), Pkgs: []*Package{pkg}}
+	return RunAnalyzers(mod, cfg, analyzers)
+}
+
+// filter drops allowlisted and comment-suppressed diagnostics.
+func filter(mod *Module, cfg Config, diags []Diagnostic) []Diagnostic {
+	suppressed := make(map[string]map[int][]string)
+	for _, pkg := range mod.Pkgs {
+		for file, lines := range pkg.suppress {
+			suppressed[file] = lines
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if cfg.allowed(d.Rule, d.Pos.Filename) {
+			continue
+		}
+		if rulesSuppressed(suppressed[d.Pos.Filename][d.Pos.Line], d.Rule) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func rulesSuppressed(rules []string, rule string) bool {
+	for _, r := range rules {
+		if r == rule || r == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions extracts //kslint:ignore directives from a file. A
+// directive suppresses the named rules on its own line (trailing comment)
+// and on the line below it (standalone comment above the statement):
+//
+//	foo()            //kslint:ignore errdrop best-effort cleanup
+//	//kslint:ignore nosleep settle delay is part of the scenario
+//	time.Sleep(d)
+func suppressions(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := make(map[int][]string)
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, "//kslint:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			var rules []string
+			for _, r := range strings.Split(fields[0], ",") {
+				if r = strings.TrimSpace(r); r != "" {
+					rules = append(rules, r)
+				}
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], rules...)
+			out[line+1] = append(out[line+1], rules...)
+		}
+	}
+	return out
+}
+
+// --- shared type-resolution helpers used by the analyzers ---
+
+// calleeFunc resolves the *types.Func a call invokes (package function or
+// method), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (receiver-less), e.g. time.Sleep.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && signature(fn).Recv() == nil
+}
+
+// isMethod reports whether fn is a method named name on the named type
+// typeName (possibly behind a pointer) declared in pkgPath.
+func isMethod(fn *types.Func, pkgPath, typeName, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	recv := signature(fn).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// signature returns fn's *types.Signature (portable across go versions).
+func signature(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}
+
+// lastResultIsError reports whether fn's final result is the error type.
+func lastResultIsError(fn *types.Func) bool {
+	res := signature(fn).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test view of a module package: the
+// unit analyzers run over. Dir is module-relative ("" for the root
+// package) so diagnostic positions are stable across machines.
+type Package struct {
+	Dir      string
+	Path     string
+	Pkg      *types.Package
+	Info     *types.Info
+	Files    []*ast.File
+	suppress map[string]map[int][]string // rel file -> line -> suppressed rules
+}
+
+// Module is the loaded view of the whole repository.
+type Module struct {
+	Root string // absolute filesystem root (dir holding go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // stable order by Dir
+}
+
+// Loader parses and type-checks module packages using only the standard
+// library: module-internal imports are resolved recursively against the
+// repository tree and everything else goes through the source importer
+// (stdlib from $GOROOT/src), so kslint needs no x/tools dependency and
+// no pre-built export data.
+type Loader struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader opens the module rooted at root (the directory containing
+// go.mod) and prepares a shared type-checking cache.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		root:    abs,
+		module:  mod,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// ModulePath returns the module path declared in go.mod.
+func (l *Loader) ModulePath() string { return l.module }
+
+// Fset returns the shared file set (positions are module-relative).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// repository tree, everything else delegates to the stdlib source
+// importer.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	if importPath != l.module && !strings.HasPrefix(importPath, l.module+"/") {
+		return l.std.Import(importPath)
+	}
+	pkg, err := l.load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Pkg, nil
+}
+
+// dirFor maps an import path to its module-relative directory.
+func (l *Loader) dirFor(importPath string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(importPath, l.module), "/")
+}
+
+// load type-checks one module package (non-test files only), memoized.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := l.dirFor(importPath)
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sources := make(map[string][]byte)
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sources[path.Join(rel, name)] = data
+	}
+	pkg, err := l.check(importPath, rel, sources)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[importPath] = pkg
+	return pkg, nil
+}
+
+// check parses and type-checks one package from in-memory sources keyed
+// by module-relative filename. It is shared by the on-disk loader and the
+// test-fixture loader.
+func (l *Loader) check(importPath, rel string, sources map[string][]byte) (*Package, error) {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	suppress := make(map[string]map[int][]string)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		if s := suppressions(l.fset, f); len(s) > 0 {
+			suppress[name] = s
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	return &Package{Dir: rel, Path: importPath, Pkg: tpkg, Info: info, Files: files, suppress: suppress}, nil
+}
+
+// LoadFixture type-checks in-memory sources as the package at dirRel
+// (which need not exist on disk); imports of module packages resolve
+// against the real tree. Used by analyzer tests.
+func (l *Loader) LoadFixture(dirRel string, files map[string]string) (*Package, error) {
+	sources := make(map[string][]byte, len(files))
+	for name, src := range files {
+		sources[path.Join(dirRel, name)] = []byte(src)
+	}
+	return l.check(path.Join(l.module, dirRel), dirRel, sources)
+}
+
+// LoadAll discovers every package directory under the module root and
+// loads each one, returning them in stable Dir order.
+func (l *Loader) LoadAll() (*Module, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			rel, err := filepath.Rel(l.root, filepath.Dir(p))
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			dirs = append(dirs, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	dirs = dedupe(dirs)
+	mod := &Module{Root: l.root, Path: l.module, Fset: l.fset}
+	for _, rel := range dirs {
+		importPath := l.module
+		if rel != "" {
+			importPath = path.Join(l.module, rel)
+		}
+		pkg, err := l.load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		mod.Pkgs = append(mod.Pkgs, pkg)
+	}
+	return mod, nil
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockHeld is an intra-procedural check that no sync.Mutex/RWMutex is
+// held across a transport RPC ((*Network).Send/SendTraced) or a blocking
+// channel send. The transport invokes the destination handler
+// synchronously in the caller's goroutine, so an RPC made under a lock
+// can re-enter the same lock through the handler (deadlock) and at
+// minimum serializes every contender behind an injected network delay —
+// the hazard class the retry chaos tests hunt dynamically, checked here
+// statically.
+//
+// The analysis walks each function body in order, tracking the set of
+// held locks per path: branches fork a copy of the set and re-join on
+// the intersection (a lock counts as held after an if/switch only when
+// every path kept it). `defer mu.Unlock()` leaves the lock held for the
+// rest of the body, matching its runtime meaning. Channel sends that are
+// select comm-clauses are skipped — a select is cancellable. FuncLit
+// bodies are analyzed as independent functions (they usually run on
+// another goroutine).
+type lockHeld struct{ module string }
+
+func (lockHeld) Name() string { return "lockheld-rpc" }
+func (lockHeld) Doc() string {
+	return "no mutex held across a transport Send/SendTraced or a blocking channel send"
+}
+
+func (l lockHeld) Run(p *Pass) {
+	w := &lockWalker{pass: p, transport: l.module + "/internal/transport"}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.stmts(fn.Body.List, lockset{})
+				}
+			case *ast.FuncLit:
+				w.stmts(fn.Body.List, lockset{})
+			}
+			return true
+		})
+	}
+}
+
+// lockset maps a lock's receiver expression (e.g. "b.mu") to where it was
+// acquired.
+type lockset map[string]token.Pos
+
+func (s lockset) clone() lockset {
+	out := make(lockset, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b lockset) lockset {
+	out := lockset{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass      *Pass
+	transport string
+}
+
+// stmts processes a statement list in order, threading the held set.
+func (w *lockWalker) stmts(list []ast.Stmt, held lockset) lockset {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held lockset) lockset {
+	switch st := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(st.List, held)
+	case *ast.ExprStmt:
+		if key, op, ok := w.lockOp(st.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = st.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return held
+		}
+		w.scan(st.X, held)
+		return held
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// body; only scan the call's arguments (evaluated now).
+		if _, _, ok := w.lockOp(st.Call); ok {
+			return held
+		}
+		for _, a := range st.Call.Args {
+			w.scan(a, held)
+		}
+		return held
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			w.scan(a, held)
+		}
+		return held
+	case *ast.SendStmt:
+		w.reportHeld(st.Pos(), held, "channel send")
+		w.scan(st.Chan, held)
+		w.scan(st.Value, held)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.scan(e, held)
+		}
+		for _, e := range st.Lhs {
+			w.scan(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		w.scan(st.Decl, held)
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scan(e, held)
+		}
+		return held
+	case *ast.IncDecStmt:
+		w.scan(st.X, held)
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	case *ast.IfStmt:
+		held = w.stmt(st.Init, held)
+		w.scan(st.Cond, held)
+		then := w.stmts(st.Body.List, held.clone())
+		alt := held.clone()
+		altTerm := false
+		if st.Else != nil {
+			alt = w.stmt(st.Else, alt)
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				altTerm = terminates(blk.List)
+			}
+		}
+		// A branch that returns (or breaks out) never reaches the code
+		// after the if, so it must not weaken the join.
+		switch {
+		case terminates(st.Body.List) && altTerm:
+			return held // unreachable fall-through; keep pre-state
+		case terminates(st.Body.List):
+			return alt
+		case altTerm:
+			return then
+		}
+		return intersect(then, alt)
+	case *ast.ForStmt:
+		held = w.stmt(st.Init, held)
+		w.scan(st.Cond, held)
+		body := w.stmts(st.Body.List, held.clone())
+		w.stmt(st.Post, body)
+		return held
+	case *ast.RangeStmt:
+		w.scan(st.X, held)
+		w.stmts(st.Body.List, held.clone())
+		return held
+	case *ast.SwitchStmt:
+		held = w.stmt(st.Init, held)
+		w.scan(st.Tag, held)
+		return w.clauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(st.Init, held)
+		w.stmt(st.Assign, held)
+		return w.clauses(st.Body, held)
+	case *ast.SelectStmt:
+		// Comm clauses are cancellable by construction; only walk the
+		// bodies. Recv comms with assignments still get scanned.
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := held.clone()
+			if cc.Comm != nil {
+				if _, ok := cc.Comm.(*ast.SendStmt); !ok {
+					branch = w.stmt(cc.Comm, branch)
+				}
+			}
+			w.stmts(cc.Body, branch)
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+// clauses walks a switch body; the result is the intersection of every
+// clause's outcome plus the fall-through state when there is no default.
+func (w *lockWalker) clauses(body *ast.BlockStmt, held lockset) lockset {
+	result := held
+	sawDefault := false
+	first := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scan(e, held)
+		}
+		if cc.List == nil {
+			sawDefault = true
+		}
+		out := w.stmts(cc.Body, held.clone())
+		if terminates(cc.Body) {
+			continue // this clause never falls out of the switch
+		}
+		if first {
+			result = out
+			first = false
+		} else {
+			result = intersect(result, out)
+		}
+	}
+	if !sawDefault {
+		result = intersect(result, held)
+	}
+	return result
+}
+
+// terminates reports whether a statement list always transfers control
+// away (return, branch, or panic as its final statement).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+// scan inspects an expression (or decl) for transport RPC calls made
+// while locks are held, skipping nested FuncLit bodies.
+func (w *lockWalker) scan(n ast.Node, held lockset) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(w.pass.Pkg.Info, e)
+			if isMethod(fn, w.transport, "Network", "Send") || isMethod(fn, w.transport, "Network", "SendTraced") {
+				w.reportHeld(e.Pos(), held, "transport RPC")
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) reportHeld(pos token.Pos, held lockset, what string) {
+	for key, at := range held {
+		w.pass.Reportf(pos, "lockheld-rpc",
+			"%s while holding %s (locked at %s): release the lock first — the handler runs synchronously and may re-enter it",
+			what, key, w.pass.Fset.Position(at))
+	}
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// sync.RWMutex (including one embedded in a struct) and returns the
+// receiver expression as the lock's identity.
+func (w *lockWalker) lockOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(w.pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if recv := signature(fn).Recv(); recv == nil || !isMutexType(recv.Type()) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}

@@ -1,0 +1,51 @@
+package lint
+
+import "go/ast"
+
+// noRawRand flags global math/rand (and math/rand/v2) package functions
+// in production code. The global source is shared mutable state: two
+// goroutines interleaving draws make workload generation and jitter
+// schedules depend on scheduling, so experiment runs stop being
+// reproducible under a fixed seed. Constructors (New, NewSource, NewZipf,
+// NewPCG, ...) and methods on a seeded *rand.Rand are fine — that is the
+// required pattern.
+type noRawRand struct{}
+
+func (noRawRand) Name() string { return "norawrand" }
+func (noRawRand) Doc() string {
+	return "no global math/rand functions in production code; draw from a seeded *rand.Rand"
+}
+
+// globalRandFuncs are the package-level functions that consume the shared
+// global source. Constructors are deliberately absent.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+}
+
+func (noRawRand) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if (path == "math/rand" || path == "math/rand/v2") &&
+				signature(fn).Recv() == nil && globalRandFuncs[fn.Name()] {
+				p.Reportf(call.Pos(), "norawrand",
+					"global %s.%s draws from the shared source: use a seeded *rand.Rand so runs are reproducible", path, fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package lint
+
+import "go/ast"
+
+// noSleep flags raw time.Sleep calls in production code. A bare sleep in
+// the broker/client/core hot paths is invisible to fault injection and to
+// Close/kill cancellation: the determinism chaos tests rely on (and the
+// paper's repeatable commit-cycle timing) requires waits to go through
+// internal/retry's backoff loops or the retry.Clock so tests can observe,
+// clamp, and cancel them.
+type noSleep struct{}
+
+func (noSleep) Name() string { return "nosleep" }
+func (noSleep) Doc() string {
+	return "no raw time.Sleep in production code; wait via internal/retry (Loop.Wait or Clock)"
+}
+
+func (noSleep) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p.Pkg.Info, call); isPkgFunc(fn, "time", "Sleep") {
+				p.Reportf(call.Pos(), "nosleep",
+					"raw time.Sleep: route the wait through internal/retry (Loop.Wait or Clock.Sleep) so fault-injection timing stays deterministic and cancellable")
+			}
+			return true
+		})
+	}
+}

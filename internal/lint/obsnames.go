@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// obsNames enforces the DESIGN §7 metric namespace on every registration
+// against the internal/obs registry (Counter, Gauge, Histogram,
+// SizeHistogram):
+//
+//   - the family name must be a compile-time constant — dynamic names
+//     defeat dashboards and make snapshots non-reproducible;
+//   - it must follow the area_noun_unit scheme: a known area prefix
+//     (transport, broker, group, txn, client, stream) followed by
+//     lower_snake_case words;
+//   - counter families end in _total (the two pre-§7 legacy aggregate
+//     counters are grandfathered);
+//   - each family is registered from a single package, so ownership of a
+//     name is unambiguous (checked module-wide in Finalize).
+type obsNames struct {
+	module   string
+	families map[string]map[string]token.Position // name -> registering pkg dir -> first pos
+}
+
+func newObsNames(module string) *obsNames {
+	return &obsNames{module: module, families: make(map[string]map[string]token.Position)}
+}
+
+func (*obsNames) Name() string { return "obsnames" }
+func (*obsNames) Doc() string {
+	return "obs metric families follow the DESIGN §7 area_noun_unit scheme, from a single package"
+}
+
+var (
+	obsNameRE  = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+	obsAreas   = map[string]bool{"transport": true, "broker": true, "group": true, "txn": true, "client": true, "stream": true}
+	obsRegFns  = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "SizeHistogram": true}
+	legacyObs  = map[string]bool{"transport_rpcs_attempted": true, "transport_rpcs_delivered": true}
+	obsAreaMsg = "transport|broker|group|txn|client|stream"
+)
+
+func (o *obsNames) Run(p *Pass) {
+	obsPkg := o.module + "/internal/obs"
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if fn == nil || !obsRegFns[fn.Name()] || !isMethod(fn, obsPkg, "Registry", fn.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := p.Pkg.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				p.Reportf(arg.Pos(), "obsnames",
+					"metric family name must be a compile-time constant string, not a computed value")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			o.checkName(p, arg.Pos(), fn.Name(), name)
+			byPkg := o.families[name]
+			if byPkg == nil {
+				byPkg = make(map[string]token.Position)
+				o.families[name] = byPkg
+			}
+			if _, seen := byPkg[p.Pkg.Dir]; !seen {
+				byPkg[p.Pkg.Dir] = p.Fset.Position(arg.Pos())
+			}
+			return true
+		})
+	}
+}
+
+func (o *obsNames) checkName(p *Pass, pos token.Pos, kind, name string) {
+	if legacyObs[name] {
+		return
+	}
+	if !obsNameRE.MatchString(name) {
+		p.Reportf(pos, "obsnames",
+			"metric family %q is not area_noun_unit lower_snake_case (see DESIGN §7)", name)
+		return
+	}
+	area := name[:strings.Index(name, "_")]
+	if !obsAreas[area] {
+		p.Reportf(pos, "obsnames",
+			"metric family %q has unknown area %q: the DESIGN §7 namespace starts with %s", name, area, obsAreaMsg)
+	}
+	if kind == "Counter" && !strings.HasSuffix(name, "_total") {
+		p.Reportf(pos, "obsnames",
+			"counter family %q must end in _total (see DESIGN §7)", name)
+	}
+}
+
+// Finalize reports families registered from more than one package.
+func (o *obsNames) Finalize(report func(Diagnostic)) {
+	names := make([]string, 0, len(o.families))
+	for name := range o.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		byPkg := o.families[name]
+		if len(byPkg) < 2 {
+			continue
+		}
+		dirs := make([]string, 0, len(byPkg))
+		for d := range byPkg {
+			dirs = append(dirs, d)
+		}
+		sort.Strings(dirs)
+		for _, d := range dirs[1:] {
+			report(Diagnostic{
+				Pos:  byPkg[d],
+				Rule: "obsnames",
+				Message: "metric family \"" + name + "\" is registered from multiple packages (" +
+					strings.Join(dirs, ", ") + "): one package must own each family",
+			})
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package lint
+
+import "go/ast"
+
+// sendTraced flags direct (*transport.Network).Send calls outside the
+// allowlist. Send is SendTraced with a nil trace: a client-side call site
+// that uses it silently opts the RPC out of span attribution, leaving
+// holes in the per-commit traces DESIGN §7 promises (every broker
+// round-trip of an operation lands in its trace). Client code must call
+// SendTraced and thread the attached trace — or pass an explicit nil
+// where an operation genuinely has no trace context.
+type sendTraced struct{ module string }
+
+func (sendTraced) Name() string { return "sendtraced" }
+func (sendTraced) Doc() string {
+	return "client-side transport RPCs must use SendTraced so obs spans stay complete"
+}
+
+func (s sendTraced) Run(p *Pass) {
+	transportPkg := s.module + "/internal/transport"
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Pkg.Info, call)
+			if isMethod(fn, transportPkg, "Network", "Send") {
+				p.Reportf(call.Pos(), "sendtraced",
+					"direct transport.Send drops the RPC from obs traces: call SendTraced with the operation's trace (or an explicit nil)")
+			}
+			return true
+		})
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"kstreams/internal/retry"
 )
 
 // Config sets the simulated storage costs.
@@ -23,11 +25,15 @@ type Config struct {
 	PerKB time.Duration
 	// GetLatency is charged once per object read.
 	GetLatency time.Duration
+	// Clock paces the simulated latencies (nil uses the wall clock), so
+	// checkpoint-cost experiments can run against a virtual clock.
+	Clock retry.Clock
 }
 
 // Store is a concurrency-safe simulated object store.
 type Store struct {
-	cfg Config
+	cfg   Config
+	clock retry.Clock
 
 	mu      sync.RWMutex
 	objects map[string][]byte
@@ -39,15 +45,13 @@ type Store struct {
 
 // New returns an empty store.
 func New(cfg Config) *Store {
-	return &Store{cfg: cfg, objects: make(map[string][]byte)}
+	return &Store{cfg: cfg, clock: retry.Or(cfg.Clock), objects: make(map[string][]byte)}
 }
 
 // Put writes an object, charging the configured latency.
 func (s *Store) Put(key string, data []byte) {
 	d := s.cfg.PutLatency + time.Duration(len(data)/1024)*s.cfg.PerKB
-	if d > 0 {
-		time.Sleep(d)
-	}
+	s.clock.Sleep(d)
 	cp := append([]byte(nil), data...)
 	s.mu.Lock()
 	s.objects[key] = cp
@@ -58,9 +62,7 @@ func (s *Store) Put(key string, data []byte) {
 
 // Get reads an object.
 func (s *Store) Get(key string) ([]byte, bool) {
-	if s.cfg.GetLatency > 0 {
-		time.Sleep(s.cfg.GetLatency)
-	}
+	s.clock.Sleep(s.cfg.GetLatency)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	data, ok := s.objects[key]

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"kstreams/internal/obs"
+	"kstreams/internal/retry"
 )
 
 // ErrUnreachable reports that the destination is crashed, unregistered, or
@@ -37,6 +38,9 @@ type Options struct {
 	Jitter time.Duration
 	// Seed makes jitter deterministic; 0 uses a fixed default seed.
 	Seed int64
+	// Clock paces the injected latency (nil uses the wall clock). Tests
+	// substitute a virtual clock to collapse or observe network delays.
+	Clock retry.Clock
 }
 
 // Network is the shared fabric. The zero value is not usable; call New.
@@ -50,6 +54,7 @@ type Network struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+	clock retry.Clock
 
 	nextClientID atomic.Int32
 
@@ -74,6 +79,7 @@ func New(opts Options) *Network {
 		crashed:     make(map[int32]bool),
 		partitioned: make(map[[2]int32]bool),
 		rng:         rand.New(rand.NewSource(seed)),
+		clock:       retry.Or(opts.Clock),
 		obs:         reg,
 		rpcs:        reg.Counter("transport_rpcs_attempted"),
 		delivered:   reg.Counter("transport_rpcs_delivered"),
@@ -85,6 +91,10 @@ func New(opts Options) *Network {
 // Obs returns the network's metrics registry, the single registry shared
 // by every component of the embedded cluster.
 func (n *Network) Obs() *obs.Registry { return n.obs }
+
+// Clock returns the fabric's clock, the shared time source for components
+// that charge simulated latencies (brokers reuse it for append delays).
+func (n *Network) Clock() retry.Clock { return n.clock }
 
 // Register installs (or replaces) the handler for a node id.
 func (n *Network) Register(id int32, h Handler) {
@@ -212,7 +222,5 @@ func (n *Network) delay() {
 		d += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
 		n.rngMu.Unlock()
 	}
-	if d > 0 {
-		time.Sleep(d)
-	}
+	n.clock.Sleep(d)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"kstreams/internal/harness"
 	"kstreams/kafka"
 	"kstreams/streams"
 )
@@ -14,6 +15,11 @@ import (
 // coordinator partitions) crashes and restarts while an exactly-once app
 // is processing; the final counts must equal exactly the input.
 func TestExactlyOnceUnderBrokerCrash(t *testing.T) {
+	// Registered before the cluster exists so the check runs after its
+	// Cleanup-driven Close: a goroutine that outlives the cluster is a
+	// retry loop or fetcher that survived its client.
+	guard := harness.NewLeakGuard()
+	t.Cleanup(func() { guard.Check(t, 3*time.Second) })
 	c := testCluster(t)
 	if err := c.CreateTopic("bc-in", 4, false); err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"kstreams/internal/harness"
 	"kstreams/kafka"
 	"kstreams/streams"
 )
@@ -20,6 +21,11 @@ func TestChaosExactlyOnce(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test is slow")
 	}
+	// Teardown leak check: after Close, no stream thread, heartbeat, or
+	// replica fetcher may survive — leftover goroutines make the chaos
+	// schedule nondeterministic for whoever runs next.
+	guard := harness.NewLeakGuard()
+	defer guard.Check(t, 3*time.Second)
 	c, err := kafka.NewCluster(kafka.ClusterConfig{
 		Brokers:               3,
 		RPCLatency:            30 * time.Microsecond,
