@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kstreams/internal/experiments"
+	"kstreams/internal/harness"
 	"kstreams/internal/protocol"
 	"kstreams/internal/storage"
 	"kstreams/internal/store"
@@ -16,6 +17,16 @@ import (
 // reduced scale (cmd/ksbench runs the full-size versions). Each reports
 // throughput and latency via b.ReportMetric, so `go test -bench=.` prints
 // the figure's series. See DESIGN.md §3 for the experiment index.
+
+// guardLeaks arms a goroutine leak check for a macro-benchmark: each
+// experiment run spins up an embedded cluster plus client fleet, and a
+// leaked replica fetcher or heartbeat loop would poison every benchmark
+// that runs after it in the same process.
+func guardLeaks(b *testing.B) {
+	b.Helper()
+	guard := harness.NewLeakGuard()
+	b.Cleanup(func() { guard.Check(b, 5*time.Second) })
+}
 
 func benchCluster() experiments.ClusterParams {
 	p := experiments.DefaultCluster()
@@ -32,6 +43,7 @@ func benchCluster() experiments.ClusterParams {
 func BenchmarkFig5aPartitions(b *testing.B) {
 	for _, parts := range []int32{1, 10, 100} {
 		b.Run(fmt.Sprintf("partitions=%d", parts), func(b *testing.B) {
+			guardLeaks(b)
 			p := experiments.DefaultFig5a()
 			p.Cluster = benchCluster()
 			p.Partitions = []int32{parts}
@@ -59,6 +71,7 @@ func BenchmarkFig5aPartitions(b *testing.B) {
 func BenchmarkFig5bCommitInterval(b *testing.B) {
 	for _, interval := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
 		b.Run(fmt.Sprintf("interval=%v", interval), func(b *testing.B) {
+			guardLeaks(b)
 			p := experiments.DefaultFig5b()
 			p.Cluster = benchCluster()
 			p.Intervals = []time.Duration{interval}
@@ -83,6 +96,7 @@ func BenchmarkFig5bCommitInterval(b *testing.B) {
 // BenchmarkBloombergEOSOverhead reproduces the Section 6.1 finding: the
 // MxFlow pipeline's EOS overhead across load points.
 func BenchmarkBloombergEOSOverhead(b *testing.B) {
+	guardLeaks(b)
 	p := experiments.DefaultBloomberg()
 	p.Cluster = benchCluster()
 	p.Threads = 2
@@ -103,6 +117,7 @@ func BenchmarkBloombergEOSOverhead(b *testing.B) {
 // sub-second enrichment at 100ms commits and consolidated aggregation
 // output at 1500ms.
 func BenchmarkExpediaCommitInterval(b *testing.B) {
+	guardLeaks(b)
 	p := experiments.DefaultExpedia()
 	p.Cluster = benchCluster()
 	p.Events = 2000
@@ -123,6 +138,7 @@ func BenchmarkExpediaCommitInterval(b *testing.B) {
 func BenchmarkAblationGracePeriod(b *testing.B) {
 	for _, grace := range []int64{0, 500, 2000} {
 		b.Run(fmt.Sprintf("grace=%dms", grace), func(b *testing.B) {
+			guardLeaks(b)
 			p := experiments.DefaultGrace()
 			p.Cluster = benchCluster()
 			p.Records = 8000
@@ -142,6 +158,7 @@ func BenchmarkAblationGracePeriod(b *testing.B) {
 // BenchmarkAblationSuppression measures the output-volume reduction from
 // the suppress operator (Sections 5, 6.2).
 func BenchmarkAblationSuppression(b *testing.B) {
+	guardLeaks(b)
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunSuppression(benchCluster(), 3000, nil)
 		if err != nil {
@@ -156,6 +173,7 @@ func BenchmarkAblationSuppression(b *testing.B) {
 // BenchmarkAblationEOSVersions compares per-thread (eos-v2) and per-task
 // (eos-v1) transactional producers (Section 6.1 / Kafka 2.6).
 func BenchmarkAblationEOSVersions(b *testing.B) {
+	guardLeaks(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunEOSVersions(benchCluster(), 15000, 8, nil)
 		if err != nil {
@@ -171,6 +189,7 @@ func BenchmarkAblationEOSVersions(b *testing.B) {
 // BenchmarkAblationIdempotence measures the idempotent producer's overhead
 // on the plain produce path (Section 4.3: "negligible").
 func BenchmarkAblationIdempotence(b *testing.B) {
+	guardLeaks(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunIdempotence(benchCluster(), 10000, nil)
 		if err != nil {

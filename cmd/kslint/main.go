@@ -1,17 +1,21 @@
 // Command kslint runs the repo's custom static-analysis pass (see
-// internal/lint): six analyzers that machine-check the determinism,
-// locking, and observability invariants the reproduction's guarantees
-// rest on. It loads the module with go/parser + go/types only (no
-// x/tools), so it builds anywhere the repo builds.
+// internal/lint): ten analyzers that machine-check the determinism,
+// locking, transaction-protocol, and observability invariants the
+// reproduction's guarantees rest on. It loads the module with go/parser +
+// go/types only (no x/tools), so it builds anywhere the repo builds.
 //
 // Usage:
 //
-//	kslint [-root dir] [-rules nosleep,errdrop,...] [-list]
+//	kslint [-root dir] [-rules nosleep,errdrop,...] [-list] [-json] [-graph]
 //
-// Output is one line per finding — file:line:col: rule: message —
-// stable-sorted so CI diffs are reproducible. Exit status 1 when any
-// diagnostic survives the per-path allowlists and //kslint:ignore
-// suppressions, 2 on load/type-check failure.
+// Default output is one line per finding — file:line:col: rule: message —
+// stable-sorted so CI diffs are reproducible. -json emits the same
+// findings as a JSON array (an empty array when clean) for tooling;
+// -graph prints the interprocedural call graph that the wallclock,
+// lockorder, and txnproto rules walk, and exits without linting. Exit
+// status 1 when any diagnostic survives the per-path allowlists and
+// //kslint:ignore / //kslint:file-ignore suppressions, 2 on
+// load/type-check failure.
 package main
 
 import (
@@ -27,6 +31,8 @@ func main() {
 	root := flag.String("root", ".", "module root (directory containing go.mod)")
 	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
 	list := flag.Bool("list", false, "print the rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	graph := flag.Bool("graph", false, "dump the module call graph and exit")
 	flag.Parse()
 
 	if *list {
@@ -36,20 +42,45 @@ func main() {
 		return
 	}
 
+	if *graph {
+		loader, err := lint.NewLoader(*root)
+		if err != nil {
+			fail(err)
+		}
+		mod, err := loader.LoadAll()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(lint.BuildCallGraph(mod).Dump())
+		return
+	}
+
 	var filter []string
 	if *rules != "" {
 		filter = strings.Split(*rules, ",")
 	}
 	diags, err := lint.Run(*root, lint.DefaultConfig(), filter)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kslint:", err)
-		os.Exit(2)
+		fail(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		data, err := lint.ToJSON(diags)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "kslint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kslint:", err)
+	os.Exit(2)
 }

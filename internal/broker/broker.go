@@ -11,6 +11,7 @@ import (
 
 	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/storage"
 	"kstreams/internal/transport"
 	"kstreams/internal/wal"
@@ -95,6 +96,7 @@ func (c *Config) fill() {
 type Broker struct {
 	cfg     Config
 	net     *transport.Network
+	clock   retry.Clock // the transport fabric's shared time source
 	metrics *brokerMetrics
 
 	mu         sync.RWMutex
@@ -123,6 +125,7 @@ func New(net *transport.Network, cfg Config) *Broker {
 	b := &Broker{
 		cfg:        cfg,
 		net:        net,
+		clock:      net.Clock(),
 		metrics:    newBrokerMetrics(net.Obs()),
 		partitions: make(map[protocol.TopicPartition]*partition),
 		stopCh:     make(chan struct{}),
@@ -215,7 +218,7 @@ func (b *Broker) handleRPC(from int32, req any) any {
 }
 
 func (b *Broker) handleProduce(r *protocol.ProduceRequest) *protocol.ProduceResponse {
-	defer b.metrics.produceLat.ObserveSince(time.Now())
+	defer b.metrics.produceLat.ObserveSince(b.clock.Now())
 	// Append every partition first, then wait for replication of all of
 	// them: the acks=all round-trips of independent partitions overlap.
 	resp := &protocol.ProduceResponse{}
@@ -248,7 +251,7 @@ func (b *Broker) handleFetch(r *protocol.FetchRequest) *protocol.FetchResponse {
 	if r.ReplicaID >= 0 {
 		fetchLat = b.metrics.fetchReplica
 	}
-	defer fetchLat.ObserveSince(time.Now())
+	defer fetchLat.ObserveSince(b.clock.Now())
 	resp := &protocol.FetchResponse{}
 	maxBytes := r.MaxBytes
 	if maxBytes <= 0 {
@@ -437,7 +440,7 @@ func (b *Broker) handleWriteTxnMarkers(r *protocol.WriteTxnMarkersRequest) *prot
 			}
 		}
 		mb := protocol.NewMarkerBatch(r.ProducerID, r.ProducerEpoch,
-			time.Now().UnixMilli(),
+			b.clock.Now().UnixMilli(),
 			protocol.ControlMarker{Type: r.Type, CoordinatorEpoch: r.CoordinatorEpoch})
 		res := p.appendAsLeader(b.cfg.ID, mb)
 		if debugOn {
@@ -453,11 +456,11 @@ func (b *Broker) handleWriteTxnMarkers(r *protocol.WriteTxnMarkersRequest) *prot
 // per cycle, covering every partition this broker follows from it.
 func (b *Broker) replicaLoop() {
 	defer b.wg.Done()
-	lastDebug := time.Now()
+	lastDebug := b.clock.Now()
 	idle := b.cfg.ReplicaPollInterval
 	for {
-		if debugOn && time.Since(lastDebug) > 5*time.Second {
-			lastDebug = time.Now()
+		if debugOn && b.clock.Now().Sub(lastDebug) > 5*time.Second {
+			lastDebug = b.clock.Now()
 			b.mu.RLock()
 			counts := map[int32]int{}
 			total := 0
@@ -485,7 +488,7 @@ func (b *Broker) replicaLoop() {
 		select {
 		case <-b.stopCh:
 			return
-		case <-time.After(idle):
+		case <-b.clock.After(idle):
 		}
 		// Exponential idle backoff: tight polling while data flows (so
 		// acks=all appends commit quickly), cheap when quiescent — large
@@ -512,7 +515,7 @@ func (b *Broker) replicateOnce() bool {
 
 	moved := false
 	for leader, parts := range byLeader {
-		cycleStart := time.Now()
+		cycleStart := b.clock.Now()
 		req := &protocol.FetchRequest{ReplicaID: b.cfg.ID, MaxBytes: 1 << 20}
 		for _, p := range parts {
 			req.Entries = append(req.Entries, protocol.FetchEntry{
@@ -520,7 +523,7 @@ func (b *Broker) replicateOnce() bool {
 			})
 		}
 		b.replProbe.Lock()
-		b.replProbe.target, b.replProbe.since, b.replProbe.active = leader, time.Now(), true
+		b.replProbe.target, b.replProbe.since, b.replProbe.active = leader, b.clock.Now(), true
 		b.replProbe.Unlock()
 		resp, err := b.net.Send(b.cfg.ID, leader, req)
 		b.replProbe.Lock()
@@ -554,7 +557,7 @@ func (b *Broker) replicateOnce() bool {
 			}
 		}
 		if debugOn {
-			if d := time.Since(cycleStart); d > 200*time.Millisecond {
+			if d := b.clock.Now().Sub(cycleStart); d > 200*time.Millisecond {
 				log.Printf("broker %d: slow replica cycle to leader %d: %v (%d partitions)",
 					b.cfg.ID, leader, d.Round(time.Millisecond), len(parts))
 			}
@@ -563,27 +566,43 @@ func (b *Broker) replicateOnce() bool {
 	return moved
 }
 
-// maintenanceLoop runs compaction and coordinator liveness ticks.
+// maintenanceLoop runs compaction and coordinator liveness ticks. Both
+// cadences ride the broker clock (deadline tracking instead of tickers,
+// since clock.After re-arms per wait) so fault injection can warp them.
 func (b *Broker) maintenanceLoop() {
 	defer b.wg.Done()
-	cleanTicker := time.NewTicker(maxDuration(b.cfg.CleanerInterval, time.Second))
-	defer cleanTicker.Stop()
-	sessionTicker := time.NewTicker(b.cfg.GroupSessionCheckInterval)
-	defer sessionTicker.Stop()
+	cleanInterval := maxDuration(b.cfg.CleanerInterval, time.Second)
+	sessionInterval := b.cfg.GroupSessionCheckInterval
+	nextClean := b.clock.Now().Add(cleanInterval)
+	nextSession := b.clock.Now().Add(sessionInterval)
 	for {
+		now := b.clock.Now()
+		wait := nextClean.Sub(now)
+		if d := nextSession.Sub(now); d < wait {
+			wait = d
+		}
+		if wait < 0 {
+			wait = 0
+		}
 		select {
 		case <-b.stopCh:
 			return
-		case <-cleanTicker.C:
+		case <-b.clock.After(wait):
+		}
+		now = b.clock.Now()
+		if !now.Before(nextClean) {
+			nextClean = now.Add(cleanInterval)
 			if b.cfg.CleanerInterval > 0 {
 				b.CompactAll()
 			}
-		case <-sessionTicker.C:
+		}
+		if !now.Before(nextSession) {
+			nextSession = now.Add(sessionInterval)
 			if debugOn {
 				b.replProbe.Lock()
-				if b.replProbe.active && time.Since(b.replProbe.since) > 2*time.Second {
+				if b.replProbe.active && now.Sub(b.replProbe.since) > 2*time.Second {
 					log.Printf("broker %d: replica fetch to leader %d STUCK for %v",
-						b.cfg.ID, b.replProbe.target, time.Since(b.replProbe.since).Round(time.Second))
+						b.cfg.ID, b.replProbe.target, now.Sub(b.replProbe.since).Round(time.Second))
 				}
 				b.replProbe.Unlock()
 			}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 )
 
 // Group coordinator: manages consumer group membership (join/sync/
@@ -41,6 +42,7 @@ type member struct {
 type group struct {
 	name    string
 	partIdx int32
+	clock   retry.Clock
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -57,10 +59,11 @@ type group struct {
 	pendingTxn map[int64][]protocol.OffsetEntry
 }
 
-func newGroup(name string, partIdx int32) *group {
+func newGroup(name string, partIdx int32, clock retry.Clock) *group {
 	g := &group{
 		name:       name,
 		partIdx:    partIdx,
+		clock:      retry.Or(clock),
 		members:    make(map[string]*member),
 		committed:  make(map[protocol.TopicPartition]protocol.OffsetEntry),
 		pendingTxn: make(map[int64][]protocol.OffsetEntry),
@@ -202,7 +205,7 @@ func (gc *groupCoordinator) groupFor(name string, create bool) *group {
 	defer gc.mu.Unlock()
 	g, ok := gc.groups[name]
 	if !ok && create {
-		g = newGroup(name, CoordinatorPartition(name, gc.b.cfg.OffsetsPartitions))
+		g = newGroup(name, CoordinatorPartition(name, gc.b.cfg.OffsetsPartitions), gc.b.clock)
 		gc.groups[name] = g
 	}
 	return g
@@ -246,7 +249,7 @@ func (gc *groupCoordinator) handleJoin(r *protocol.JoinGroupRequest) *protocol.J
 	if m.sessionTimeout <= 0 {
 		m.sessionTimeout = 10 * time.Second
 	}
-	m.lastSeen = time.Now()
+	m.lastSeen = g.clock.Now()
 	m.joined = true
 
 	if g.state != groupPreparing {
@@ -260,8 +263,8 @@ func (gc *groupCoordinator) handleJoin(r *protocol.JoinGroupRequest) *protocol.J
 		g.cond.Broadcast()
 	}
 
-	deadline := time.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
-	for g.state == groupPreparing && !g.allJoinedLocked() && time.Now().Before(deadline) {
+	deadline := g.clock.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
+	for g.state == groupPreparing && !g.allJoinedLocked() && g.clock.Now().Before(deadline) {
 		g.waitLocked(deadline)
 	}
 	if g.state == groupPreparing {
@@ -317,7 +320,7 @@ func (g *group) waitLocked(deadline time.Time) {
 	done := make(chan struct{})
 	go func() {
 		select {
-		case <-time.After(20 * time.Millisecond):
+		case <-g.clock.After(20 * time.Millisecond):
 			g.cond.Broadcast()
 		case <-done:
 		}
@@ -357,14 +360,14 @@ func (gc *groupCoordinator) handleSync(r *protocol.SyncGroupRequest) *protocol.S
 		g.state = groupStable
 		g.cond.Broadcast()
 	}
-	deadline := time.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
-	for g.state == groupAwaitingSync && r.GenerationID == g.generation && time.Now().Before(deadline) {
+	deadline := g.clock.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
+	for g.state == groupAwaitingSync && r.GenerationID == g.generation && g.clock.Now().Before(deadline) {
 		g.waitLocked(deadline)
 	}
 	if g.state != groupStable || r.GenerationID != g.generation {
 		return &protocol.SyncGroupResponse{Err: protocol.ErrRebalanceInProgress}
 	}
-	m.lastSeen = time.Now()
+	m.lastSeen = g.clock.Now()
 	return &protocol.SyncGroupResponse{
 		Partitions: m.assignment,
 		UserData:   m.assignUserData,
@@ -388,7 +391,7 @@ func (gc *groupCoordinator) handleHeartbeat(r *protocol.HeartbeatRequest) *proto
 	if r.GenerationID != g.generation {
 		return &protocol.HeartbeatResponse{Err: protocol.ErrIllegalGeneration}
 	}
-	m.lastSeen = time.Now()
+	m.lastSeen = g.clock.Now()
 	if g.state != groupStable {
 		return &protocol.HeartbeatResponse{Err: protocol.ErrRebalanceInProgress}
 	}
@@ -428,7 +431,7 @@ func (gc *groupCoordinator) tick() {
 		groups = append(groups, g)
 	}
 	gc.mu.Unlock()
-	now := time.Now()
+	now := gc.b.clock.Now()
 	for _, g := range groups {
 		g.mu.Lock()
 		changed := false
@@ -500,7 +503,7 @@ func (gc *groupCoordinator) appendOffsets(p *partition, groupName string, offset
 		BaseSequence:  protocol.NoSequence,
 		Transactional: txn,
 	}
-	now := time.Now().UnixMilli()
+	now := gc.b.clock.Now().UnixMilli()
 	for _, e := range offsets {
 		b.Records = append(b.Records, protocol.Record{
 			Key:       offsetKey(groupName, e.TP),
@@ -533,7 +536,7 @@ func (gc *groupCoordinator) handleOffsetCommit(r *protocol.OffsetCommitRequest) 
 			return &protocol.OffsetCommitResponse{Err: protocol.ErrIllegalGeneration}
 		}
 		g.mu.Lock()
-		m.lastSeen = time.Now()
+		m.lastSeen = g.clock.Now()
 		g.mu.Unlock()
 	}
 	if err := gc.appendOffsets(p, r.Group, r.Offsets, protocol.NoProducerID, 0, false); err != protocol.ErrNone {

@@ -235,7 +235,7 @@ func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.
 	epoch := p.leaderEpoch
 	p.mu.Unlock()
 
-	appendStart := time.Now()
+	appendStart := p.clock.Now()
 	p.clock.Sleep(p.appendDelay)
 	ar := p.log.Append(b)
 	p.appendLat.ObserveSince(appendStart)
@@ -278,12 +278,12 @@ func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.
 func (p *partition) waitCommitted(selfID int32, epoch int32, last int64) protocol.ErrorCode {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	deadline := time.Now().Add(produceTimeout)
+	deadline := p.clock.Now().Add(produceTimeout)
 	for p.hw <= last {
 		if !p.isLeader || p.stopped || p.leaderEpoch != epoch {
 			return protocol.ErrNotLeader
 		}
-		if time.Now().After(deadline) {
+		if p.clock.Now().After(deadline) {
 			isr := append([]int32(nil), p.isr...)
 			leo := make(map[int32]int64, len(p.followerLEO))
 			for id, off := range p.followerLEO {
@@ -292,7 +292,7 @@ func (p *partition) waitCommitted(selfID int32, epoch int32, last int64) protoco
 			hw := p.hw
 			ages := make(map[int32]time.Duration, len(p.lastFetch))
 			for id, at := range p.lastFetch {
-				ages[id] = time.Since(at).Round(time.Millisecond)
+				ages[id] = p.clock.Now().Sub(at).Round(time.Millisecond)
 			}
 			log.Printf("broker %d: produce to %s timed out waiting for replication: hw=%d last=%d leo=%d isr=%v followerLEO=%v fetchAges=%v",
 				selfID, p.tp, hw, last, p.log.EndOffset(), isr, leo, ages)
@@ -309,7 +309,7 @@ func (p *partition) waitLocked(deadline time.Time) {
 	done := make(chan struct{})
 	go func() {
 		select {
-		case <-time.After(10 * time.Millisecond):
+		case <-p.clock.After(10 * time.Millisecond):
 			p.cond.Broadcast()
 		case <-done:
 		}
@@ -329,7 +329,7 @@ func (p *partition) fetchAsLeader(selfID, replicaID int32, offset int64, maxByte
 	}
 	if replicaID >= 0 {
 		// Replica fetch: the offset is the follower's log end offset.
-		p.lastFetch[replicaID] = time.Now()
+		p.lastFetch[replicaID] = p.clock.Now()
 		if prev, ok := p.followerLEO[replicaID]; !ok || offset > prev {
 			p.followerLEO[replicaID] = offset
 			p.advanceHWLocked()

@@ -132,7 +132,7 @@ func (tc *txnCoordinator) takePartition(idx int32, p *partition) {
 					tc.txns[m.ID] = e
 				}
 				e.meta = m
-				e.last = time.Now()
+				e.last = tc.b.clock.Now()
 				tc.mu.Unlock()
 			}
 			off = b.LastOffset() + 1
@@ -187,7 +187,7 @@ func (tc *txnCoordinator) persist(p *partition, m txnMeta) protocol.ErrorCode {
 		Records: []protocol.Record{{
 			Key:       []byte("txn|" + m.ID),
 			Value:     v,
-			Timestamp: time.Now().UnixMilli(),
+			Timestamp: tc.b.clock.Now().UnixMilli(),
 		}},
 	}
 	res := p.appendAsLeader(tc.b.cfg.ID, b)
@@ -280,7 +280,7 @@ func (tc *txnCoordinator) handleInitProducerID(r *protocol.InitProducerIDRequest
 // awaitCompletion blocks while the entry's transaction is in a Prepare
 // state (its phase-two goroutine is still writing markers).
 func (tc *txnCoordinator) awaitCompletion(e *txnEntry) protocol.ErrorCode {
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := tc.b.clock.Now().Add(10 * time.Second)
 	for {
 		tc.mu.Lock()
 		st := e.meta.State
@@ -288,13 +288,13 @@ func (tc *txnCoordinator) awaitCompletion(e *txnEntry) protocol.ErrorCode {
 		if st != TxnPrepareCommit && st != TxnPrepareAbort {
 			return protocol.ErrNone
 		}
-		if time.Now().After(deadline) {
+		if tc.b.clock.Now().After(deadline) {
 			return protocol.ErrConcurrentTransactions
 		}
 		select {
 		case <-tc.stopCh:
 			return protocol.ErrBrokerUnavailable
-		case <-time.After(2 * time.Millisecond):
+		case <-tc.b.clock.After(2 * time.Millisecond):
 		}
 	}
 }
@@ -304,7 +304,7 @@ func (tc *txnCoordinator) awaitCompletion(e *txnEntry) protocol.ErrorCode {
 func (tc *txnCoordinator) setMeta(e *txnEntry, m txnMeta) {
 	tc.mu.Lock()
 	e.meta = m
-	e.last = time.Now()
+	e.last = tc.b.clock.Now()
 	tc.mu.Unlock()
 }
 
@@ -411,7 +411,7 @@ func (tc *txnCoordinator) handleEndTxn(r *protocol.EndTxnRequest) *protocol.EndT
 	} else {
 		m.State = TxnPrepareAbort
 	}
-	prepareStart := time.Now()
+	prepareStart := tc.b.clock.Now()
 	if errc := tc.persist(p, m); errc != protocol.ErrNone {
 		return &protocol.EndTxnResponse{Err: errc}
 	}
@@ -453,7 +453,7 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 	if commit {
 		markerTPs = tc.b.metrics.markerCommitTPs
 	}
-	markersStart := time.Now()
+	markersStart := tc.b.clock.Now()
 	pending := make(map[protocol.TopicPartition]bool, len(m.Partitions))
 	for _, tp := range m.Partitions {
 		pending[tp] = true
@@ -516,7 +516,7 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 			select {
 			case <-tc.stopCh:
 				return
-			case <-time.After(5 * time.Millisecond):
+			case <-tc.b.clock.After(5 * time.Millisecond):
 			}
 		}
 	}
@@ -543,7 +543,7 @@ func (tc *txnCoordinator) completeTxn(e *txnEntry, commit bool) {
 	} else {
 		done.State = TxnCompleteAbort
 	}
-	completeStart := time.Now()
+	completeStart := tc.b.clock.Now()
 	if errc := tc.persist(p, done); errc != protocol.ErrNone {
 		return
 	}
@@ -610,7 +610,7 @@ func (tc *txnCoordinator) tick() {
 		p *partition
 	}
 	var victims []victim
-	now := time.Now()
+	now := tc.b.clock.Now()
 	tc.mu.Lock()
 	for _, e := range tc.txns {
 		timeout := time.Duration(e.meta.TimeoutMs) * time.Millisecond

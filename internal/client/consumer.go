@@ -481,13 +481,12 @@ func (c *Consumer) startHeartbeat() {
 	c.hbDone.Add(1)
 	go func() {
 		defer c.hbDone.Done()
-		t := time.NewTicker(c.cfg.HeartbeatInterval)
-		defer t.Stop()
+		clock := c.net.Clock()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-t.C:
+			case <-clock.After(c.cfg.HeartbeatInterval):
 			}
 			resp, err := c.send(coord, &protocol.HeartbeatRequest{
 				Group: c.cfg.Group, MemberID: memberID, GenerationID: gen,
@@ -618,7 +617,7 @@ func (c *Consumer) StableOffset(tp protocol.TopicPartition) (int64, error) {
 // fetch reads every assigned partition from its leader, one RPC per
 // leader, in parallel.
 func (c *Consumer) fetch() ([]Message, error) {
-	defer c.metrics.fetchLat.ObserveSince(time.Now())
+	defer c.metrics.fetchLat.ObserveSince(c.net.Clock().Now())
 	c.mu.Lock()
 	byLeader := make(map[int32][]protocol.FetchEntry)
 	for _, tp := range c.assignment {

@@ -253,7 +253,7 @@ func (p *Producer) SendTo(tp protocol.TopicPartition, rec protocol.Record) error
 // a single registration request") and batches are grouped into one produce
 // RPC per leader broker.
 func (p *Producer) Flush() error {
-	defer p.metrics.produceLat.ObserveSince(time.Now())
+	defer p.metrics.produceLat.ObserveSince(p.net.Clock().Now())
 	type pendingBatch struct {
 		tp    protocol.TopicPartition
 		batch *protocol.RecordBatch
@@ -374,7 +374,7 @@ func (p *Producer) flushPartition(tp protocol.TopicPartition) error {
 		Records:       recs,
 	}
 	p.mu.Unlock()
-	defer p.metrics.produceLat.ObserveSince(time.Now())
+	defer p.metrics.produceLat.ObserveSince(p.net.Clock().Now())
 	p.metrics.batchRecords.Observe(int64(len(recs)))
 
 	if needRegister {

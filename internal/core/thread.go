@@ -74,6 +74,7 @@ type Thread struct {
 
 	lastCommit    time.Time
 	lastCommitted map[protocol.TopicPartition]int64
+	clock         retry.Clock // the network fabric's shared time source
 
 	obs *threadObs
 	// maxEventTs is the freshest event timestamp observed on any input;
@@ -103,6 +104,7 @@ func NewThread(cfg ThreadConfig) (*Thread, error) {
 	th := &Thread{
 		cfg:           cfg,
 		name:          name,
+		clock:         cfg.Net.Clock(),
 		tasks:         make(map[TaskID]*Task),
 		taskProducers: make(map[TaskID]*client.Producer),
 		taskTxnOpen:   make(map[TaskID]bool),
@@ -213,11 +215,11 @@ func (th *Thread) Err() error { return th.runErr }
 
 func (th *Thread) run() {
 	defer close(th.done)
-	th.lastCommit = time.Now()
-	lastDebug := time.Now()
+	th.lastCommit = th.clock.Now()
+	lastDebug := th.clock.Now()
 	for {
-		if debugOn && time.Since(lastDebug) > time.Second {
-			lastDebug = time.Now()
+		if debugOn && th.clock.Now().Sub(lastDebug) > time.Second {
+			lastDebug = th.clock.Now()
 			buf := 0
 			pos := ""
 			for id, t := range th.tasks {
@@ -225,7 +227,7 @@ func (th *Thread) run() {
 				pos += fmt.Sprintf(" %s:%v", id, t.Positions())
 			}
 			fmt.Printf("[debug] thread %s: tasks=%d buffered=%d inTxn=%v commitAge=%v pos=%s assign=%v\n",
-				th.name, len(th.tasks), buf, th.inTxn, time.Since(th.lastCommit), pos, th.consumer.Assignment())
+				th.name, len(th.tasks), buf, th.inTxn, th.clock.Now().Sub(th.lastCommit), pos, th.consumer.Assignment())
 		}
 		select {
 		case <-th.stopCh:
@@ -243,7 +245,7 @@ func (th *Thread) run() {
 			// interrupt the wait instead of eating a full poll interval.
 			select {
 			case <-th.stopCh:
-			case <-retry.Wall.After(th.cfg.PollInterval):
+			case <-th.clock.After(th.cfg.PollInterval):
 			}
 			continue
 		}
@@ -275,7 +277,7 @@ func (th *Thread) run() {
 				}
 			}
 		}
-		if time.Since(th.lastCommit) >= th.cfg.CommitInterval {
+		if th.clock.Now().Sub(th.lastCommit) >= th.cfg.CommitInterval {
 			if err := th.commit(); err != nil {
 				if debugOn {
 					fmt.Printf("[debug] thread %s: commit error: %v\n", th.name, err)
@@ -288,7 +290,7 @@ func (th *Thread) run() {
 		if !worked && len(msgs) == 0 {
 			select {
 			case <-th.stopCh:
-			case <-time.After(th.cfg.PollInterval):
+			case <-th.clock.After(th.cfg.PollInterval):
 			}
 		}
 	}
@@ -501,7 +503,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		if from >= end {
 			return nil
 		}
-		restoreStart := time.Now()
+		restoreStart := th.clock.Now()
 		th.restoreConsumer.Assign(tp)
 		th.restoreConsumer.Seek(tp, from)
 		drain := retry.New(restorePolicy, retry.NewBudget(30*time.Second), th.stopCh)
@@ -559,13 +561,13 @@ func (th *Thread) attachTrace(tr *obs.Trace) {
 
 // commit runs one commit cycle per the configured guarantee.
 func (th *Thread) commit() error {
-	start := time.Now()
+	start := th.clock.Now()
 	tr := obs.NewTrace(th.name + "-commit")
 	th.attachTrace(tr)
 	th.cycleCommits = 0
 	defer func() {
 		th.attachTrace(nil)
-		th.lastCommit = time.Now()
+		th.lastCommit = th.clock.Now()
 		if th.cycleCommits > 0 {
 			tr.Finish()
 			th.obs.commitLat.ObserveSince(start)

@@ -170,16 +170,15 @@ func (j *Job) latestCheckpoint() *checkpointMeta {
 func (j *Job) coordinate(fromID int64) {
 	defer j.wg.Done()
 	id := fromID
-	ticker := time.NewTicker(j.cfg.CheckpointInterval)
-	defer ticker.Stop()
+	clock := j.cfg.Net.Clock()
 	for {
 		select {
 		case <-j.stopCh:
 			return
-		case <-ticker.C:
+		case <-clock.After(j.cfg.CheckpointInterval):
 		}
 		id++
-		start := time.Now()
+		start := clock.Now()
 		meta := checkpointMeta{ID: id, Offsets: make(map[int32]int64), Files: make(map[string][]int)}
 		acks := make(chan snapshotAck, len(j.subtasks))
 		for _, st := range j.subtasks {
@@ -204,7 +203,7 @@ func (j *Job) coordinate(fromID int64) {
 		for _, st := range j.subtasks {
 			st.notifyComplete(id)
 		}
-		d := time.Since(start)
+		d := clock.Now().Sub(start)
 		j.checkpoints.Add(1)
 		j.lastCkpt.Store(int64(d))
 		j.totalCkpt.Add(int64(d))
@@ -367,7 +366,7 @@ func (st *subtask) run() {
 				select {
 				case <-st.j.stopCh:
 					return
-				case <-time.After(st.j.cfg.PollInterval):
+				case <-st.j.cfg.Net.Clock().After(st.j.cfg.PollInterval):
 				}
 				continue
 			}

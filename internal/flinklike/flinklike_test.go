@@ -8,6 +8,7 @@ import (
 
 	"kstreams/internal/client"
 	"kstreams/internal/cluster"
+	"kstreams/internal/harness"
 	"kstreams/internal/objstore"
 	"kstreams/internal/protocol"
 )
@@ -34,6 +35,10 @@ func i64b(v int64) []byte {
 
 func testSetup(t *testing.T, parts int32) (*cluster.Cluster, *objstore.Store) {
 	t.Helper()
+	// Registered before the cluster's Close so it runs after it: every
+	// subtask, coordinator, and client goroutine must be gone by teardown.
+	guard := harness.NewLeakGuard()
+	t.Cleanup(func() { guard.Check(t, 5*time.Second) })
 	c, err := cluster.New(cluster.Config{Brokers: 3, TxnTimeout: 5 * time.Second})
 	if err != nil {
 		t.Fatal(err)

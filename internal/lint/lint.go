@@ -12,14 +12,27 @@
 //	errdrop      no silently discarded errors from broker/client APIs
 //	obsnames     metric families follow the DESIGN §7 naming scheme and
 //	             each family is registered from a single package
+//	wallclock    no production call closure reaches raw wall-clock time
+//	             outside the retry.Clock / obs seams (interprocedural)
+//	lockorder    no cycle in the module-wide lock-order graph — potential
+//	             deadlocks reported with a call-graph witness path
+//	lockbalance  no mutex still held (and not defer-unlocked) on any
+//	             path out of a function
+//	txnproto     transactional producers follow begin→offsets→commit/abort
+//	             on every path, seen through wrappers and interfaces
 //
-// Analyzers are written purely on go/ast + go/parser + go/types; see
-// loader.go for how the module is type-checked without x/tools. Findings
-// can be suppressed per line with `//kslint:ignore <rule>[,<rule>] reason`
-// and per path prefix through Config.Allow.
+// The last four are interprocedural: they query the module-wide call
+// graph built in callgraph.go (static dispatch plus interface-method
+// resolution over the module's concrete types). Analyzers are written
+// purely on go/ast + go/parser + go/types; see loader.go for how the
+// module is type-checked without x/tools. Findings can be suppressed per
+// line with `//kslint:ignore <rule>[,<rule>] reason`, per file with
+// `//kslint:file-ignore <rule> reason`, and per path prefix through
+// Config.Allow.
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -39,11 +52,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Pass hands one type-checked package to an analyzer.
+// Pass hands one type-checked package to an analyzer, together with the
+// module-wide call graph the interprocedural rules query. Graph is the
+// same object across every package's pass, so a Finalizer may retain it.
 type Pass struct {
 	Module string // module path, e.g. "kstreams"
 	Fset   *token.FileSet
 	Pkg    *Package
+	Graph  *CallGraph
 	report func(Diagnostic)
 }
 
@@ -85,10 +101,19 @@ type Config struct {
 //     controller RPCs (internal/broker, internal/cluster) carry no
 //     client trace context by design — spans attribute *client*
 //     operations; cmd and examples are untraced tooling.
+//   - wallclock: same rationale as nosleep, interprocedurally — the
+//     harness/experiment drivers and interactive tooling run in real
+//     time on purpose, so their closures may reach the wall clock.
 func DefaultConfig() Config {
 	return Config{Allow: map[string][]string{
 		"nosleep": {
 			"internal/retry",
+			"internal/harness",
+			"internal/experiments",
+			"cmd",
+			"examples",
+		},
+		"wallclock": {
 			"internal/harness",
 			"internal/experiments",
 			"cmd",
@@ -124,6 +149,10 @@ func Analyzers(module string) []Analyzer {
 		sendTraced{module: module},
 		errDrop{module: module},
 		newObsNames(module),
+		wallClock{module: module},
+		newLockOrder(module),
+		lockBalance{},
+		newTxnProto(module),
 	}
 }
 
@@ -163,8 +192,9 @@ func Run(root string, cfg Config, ruleFilter []string) ([]Diagnostic, error) {
 func RunAnalyzers(mod *Module, cfg Config, analyzers []Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
+	graph := BuildCallGraph(mod)
 	for _, pkg := range mod.Pkgs {
-		pass := &Pass{Module: mod.Path, Fset: mod.Fset, Pkg: pkg, report: report}
+		pass := &Pass{Module: mod.Path, Fset: mod.Fset, Pkg: pkg, Graph: graph, report: report}
 		for _, a := range analyzers {
 			a.Run(pass)
 		}
@@ -203,9 +233,13 @@ func LintPackage(loader *Loader, pkg *Package, cfg Config, analyzers []Analyzer)
 // filter drops allowlisted and comment-suppressed diagnostics.
 func filter(mod *Module, cfg Config, diags []Diagnostic) []Diagnostic {
 	suppressed := make(map[string]map[int][]string)
+	fileIgnored := make(map[string][]string)
 	for _, pkg := range mod.Pkgs {
 		for file, lines := range pkg.suppress {
 			suppressed[file] = lines
+		}
+		for file, rules := range pkg.fileIgnore {
+			fileIgnored[file] = rules
 		}
 	}
 	var out []Diagnostic
@@ -214,6 +248,9 @@ func filter(mod *Module, cfg Config, diags []Diagnostic) []Diagnostic {
 			continue
 		}
 		if rulesSuppressed(suppressed[d.Pos.Filename][d.Pos.Line], d.Rule) {
+			continue
+		}
+		if rulesSuppressed(fileIgnored[d.Pos.Filename], d.Rule) {
 			continue
 		}
 		out = append(out, d)
@@ -261,6 +298,56 @@ func suppressions(fset *token.FileSet, f *ast.File) map[int][]string {
 		}
 	}
 	return out
+}
+
+// fileIgnores extracts //kslint:file-ignore directives: each suppresses
+// the named rules (or "all") for the entire file it appears in. Like the
+// line form, a reason is required by convention and carried in the
+// comment:
+//
+//	//kslint:file-ignore wallclock this file owns the wall-clock seam
+func fileIgnores(f *ast.File) []string {
+	var rules []string
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			rest, ok := strings.CutPrefix(c.Text, "//kslint:file-ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			for _, r := range strings.Split(fields[0], ",") {
+				if r = strings.TrimSpace(r); r != "" {
+					rules = append(rules, r)
+				}
+			}
+		}
+	}
+	return rules
+}
+
+// JSONDiagnostic is the stable wire form of a finding for kslint -json.
+type JSONDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// ToJSON renders diagnostics as an indented JSON array in the same
+// stable order RunAnalyzers emits them (an empty slice renders as []).
+func ToJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // --- shared type-resolution helpers used by the analyzers ---

@@ -18,12 +18,17 @@ import (
 // unit analyzers run over. Dir is module-relative ("" for the root
 // package) so diagnostic positions are stable across machines.
 type Package struct {
-	Dir      string
-	Path     string
-	Pkg      *types.Package
-	Info     *types.Info
-	Files    []*ast.File
-	suppress map[string]map[int][]string // rel file -> line -> suppressed rules
+	Dir   string
+	Path  string
+	Pkg   *types.Package
+	Info  *types.Info
+	Files []*ast.File
+	// Funcs indexes every declared function and method to its syntax —
+	// the per-package summary the interprocedural layer (callgraph.go)
+	// builds its nodes from.
+	Funcs      map[*types.Func]*ast.FuncDecl
+	suppress   map[string]map[int][]string // rel file -> line -> suppressed rules
+	fileIgnore map[string][]string         // rel file -> rules ignored for the whole file
 }
 
 // Module is the loaded view of the whole repository.
@@ -160,6 +165,7 @@ func (l *Loader) check(importPath, rel string, sources map[string][]byte) (*Pack
 	sort.Strings(names)
 	var files []*ast.File
 	suppress := make(map[string]map[int][]string)
+	fileIgnore := make(map[string][]string)
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, name, sources[name], parser.ParseComments)
 		if err != nil {
@@ -168,6 +174,9 @@ func (l *Loader) check(importPath, rel string, sources map[string][]byte) (*Pack
 		files = append(files, f)
 		if s := suppressions(l.fset, f); len(s) > 0 {
 			suppress[name] = s
+		}
+		if rules := fileIgnores(f); len(rules) > 0 {
+			fileIgnore[name] = rules
 		}
 	}
 	info := &types.Info{
@@ -181,7 +190,22 @@ func (l *Loader) check(importPath, rel string, sources map[string][]byte) (*Pack
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
 	}
-	return &Package{Dir: rel, Path: importPath, Pkg: tpkg, Info: info, Files: files, suppress: suppress}, nil
+	funcs := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				funcs[fn] = fd
+			}
+		}
+	}
+	return &Package{
+		Dir: rel, Path: importPath, Pkg: tpkg, Info: info, Files: files,
+		Funcs: funcs, suppress: suppress, fileIgnore: fileIgnore,
+	}, nil
 }
 
 // LoadFixture type-checks in-memory sources as the package at dirRel

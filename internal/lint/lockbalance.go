@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockBalance checks that no mutex leaks out of a function: on every
+// path to a return (or to falling off the end), each acquired lock has
+// either been unlocked on that path or has a deferred unlock registered
+// before the exit. It reuses the shared lockWalker, so branch forks and
+// intersection joins make the check path-sensitive: an early return
+// inside `if cond { mu.Unlock(); return }` is clean, an early return
+// before the unlock is a leak.
+//
+// Deferred unlocks are tracked in statement order, which is exactly the
+// flow-sensitivity the idiom needs: `mu.Lock(); defer mu.Unlock()`
+// covers every later exit, while a return between the Lock and the defer
+// is still (correctly) a leak.
+type lockBalance struct{}
+
+func (lockBalance) Name() string { return "lockbalance" }
+func (lockBalance) Doc() string {
+	return "every acquired mutex is unlocked or defer-unlocked on every path out of the function"
+}
+
+func (lockBalance) Run(p *Pass) {
+	check := func(body *ast.BlockStmt) {
+		deferred := make(map[string]bool)
+		w := &lockWalker{pass: p, hooks: lockHooks{
+			keyOf: func(recv ast.Expr) (string, bool) { return types.ExprString(recv), true },
+			onDefer: func(key, op string, pos token.Pos) {
+				if op == "Unlock" || op == "RUnlock" {
+					deferred[key] = true
+				}
+			},
+			onExit: func(pos token.Pos, held lockset) {
+				var leaked []string
+				for key := range held {
+					if !deferred[key] {
+						leaked = append(leaked, key)
+					}
+				}
+				sort.Strings(leaked)
+				for _, key := range leaked {
+					p.Reportf(pos, "lockbalance",
+						"%s is still held at function exit (locked at %s) with no unlock or deferred unlock on this path",
+						key, p.Fset.Position(held[key]))
+				}
+			},
+		}}
+		w.walkBody(body)
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					check(fn.Body)
+				}
+			case *ast.FuncLit:
+				check(fn.Body)
+			}
+			return true
+		})
+	}
+}

@@ -15,14 +15,10 @@ import (
 // the hazard class the retry chaos tests hunt dynamically, checked here
 // statically.
 //
-// The analysis walks each function body in order, tracking the set of
-// held locks per path: branches fork a copy of the set and re-join on
-// the intersection (a lock counts as held after an if/switch only when
-// every path kept it). `defer mu.Unlock()` leaves the lock held for the
-// rest of the body, matching its runtime meaning. Channel sends that are
-// select comm-clauses are skipped — a select is cancellable. FuncLit
-// bodies are analyzed as independent functions (they usually run on
-// another goroutine).
+// The path-sensitive held-set machinery lives in lockWalker, which is
+// shared with the lockorder and lockbalance rules through hooks: the
+// walker owns branching/join/defer/select semantics, the rules own what
+// to do at acquisitions, expressions, sends, and exits.
 type lockHeld struct{ module string }
 
 func (lockHeld) Name() string { return "lockheld-rpc" }
@@ -31,23 +27,48 @@ func (lockHeld) Doc() string {
 }
 
 func (l lockHeld) Run(p *Pass) {
-	w := &lockWalker{pass: p, transport: l.module + "/internal/transport"}
+	transport := l.module + "/internal/transport"
+	reportHeld := func(pos token.Pos, held lockset, what string) {
+		for key, at := range held {
+			p.Reportf(pos, "lockheld-rpc",
+				"%s while holding %s (locked at %s): release the lock first — the handler runs synchronously and may re-enter it",
+				what, key, p.Fset.Position(at))
+		}
+	}
+	w := &lockWalker{pass: p, hooks: lockHooks{
+		keyOf: func(recv ast.Expr) (string, bool) { return types.ExprString(recv), true },
+		onExpr: func(n ast.Node, held lockset) {
+			ast.Inspect(n, func(x ast.Node) bool {
+				switch e := x.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					fn := calleeFunc(p.Pkg.Info, e)
+					if isMethod(fn, transport, "Network", "Send") || isMethod(fn, transport, "Network", "SendTraced") {
+						reportHeld(e.Pos(), held, "transport RPC")
+					}
+				}
+				return true
+			})
+		},
+		onSend: func(pos token.Pos, held lockset) { reportHeld(pos, held, "channel send") },
+	}}
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					w.stmts(fn.Body.List, lockset{})
+					w.walkBody(fn.Body)
 				}
 			case *ast.FuncLit:
-				w.stmts(fn.Body.List, lockset{})
+				w.walkBody(fn.Body)
 			}
 			return true
 		})
 	}
 }
 
-// lockset maps a lock's receiver expression (e.g. "b.mu") to where it was
+// lockset maps a lock's identity (per the rule's keyOf) to where it was
 // acquired.
 type lockset map[string]token.Pos
 
@@ -69,9 +90,47 @@ func intersect(a, b lockset) lockset {
 	return out
 }
 
+// lockHooks parameterize the shared walker. Any hook may be nil.
+type lockHooks struct {
+	// keyOf names a lock from its receiver expression; ok=false makes the
+	// walker ignore the operation entirely (e.g. a function-local mutex
+	// when only type-level classes matter).
+	keyOf func(recv ast.Expr) (string, bool)
+	// onAcquire fires at each Lock/RLock, with the set held just before.
+	onAcquire func(key, op string, pos token.Pos, held lockset)
+	// onDefer fires for a deferred lock operation (usually Unlock).
+	onDefer func(key, op string, pos token.Pos)
+	// onExpr fires for every scanned non-lock expression while at least
+	// one lock is held.
+	onExpr func(n ast.Node, held lockset)
+	// onSend fires at a blocking (non-select) channel send while at least
+	// one lock is held.
+	onSend func(pos token.Pos, held lockset)
+	// onExit fires at each return statement and at a fall-off-the-end,
+	// with that path's held set.
+	onExit func(pos token.Pos, held lockset)
+}
+
+// lockWalker walks one function body in order, tracking the set of held
+// locks per path: branches fork a copy of the set and re-join on the
+// intersection (a lock counts as held after an if/switch only when every
+// path kept it). `defer mu.Unlock()` leaves the lock held for the rest
+// of the body, matching its runtime meaning. Channel sends that are
+// select comm-clauses are exempt from onSend — a select is cancellable.
+// FuncLit bodies are not descended into — they run on their own schedule
+// and are walked as independent bodies by the rules that care.
 type lockWalker struct {
-	pass      *Pass
-	transport string
+	pass  *Pass
+	hooks lockHooks
+}
+
+// walkBody processes one function (or FuncLit) body from an empty held
+// set, firing onExit at the fall-through if the body does not terminate.
+func (w *lockWalker) walkBody(body *ast.BlockStmt) {
+	held := w.stmts(body.List, lockset{})
+	if !terminates(body.List) && w.hooks.onExit != nil {
+		w.hooks.onExit(body.End(), held)
+	}
 }
 
 // stmts processes a statement list in order, threading the held set.
@@ -92,6 +151,9 @@ func (w *lockWalker) stmt(s ast.Stmt, held lockset) lockset {
 		if key, op, ok := w.lockOp(st.X); ok {
 			switch op {
 			case "Lock", "RLock":
+				if w.hooks.onAcquire != nil {
+					w.hooks.onAcquire(key, op, st.Pos(), held)
+				}
 				held[key] = st.Pos()
 			case "Unlock", "RUnlock":
 				delete(held, key)
@@ -103,7 +165,12 @@ func (w *lockWalker) stmt(s ast.Stmt, held lockset) lockset {
 	case *ast.DeferStmt:
 		// defer mu.Unlock() keeps the lock held for the rest of the
 		// body; only scan the call's arguments (evaluated now).
-		if _, _, ok := w.lockOp(st.Call); ok {
+		if recv, op, ok := mutexOp(w.pass.Pkg.Info, st.Call); ok {
+			if w.hooks.onDefer != nil {
+				if key, keyOK := w.key(recv); keyOK {
+					w.hooks.onDefer(key, op, st.Pos())
+				}
+			}
 			return held
 		}
 		for _, a := range st.Call.Args {
@@ -116,7 +183,9 @@ func (w *lockWalker) stmt(s ast.Stmt, held lockset) lockset {
 		}
 		return held
 	case *ast.SendStmt:
-		w.reportHeld(st.Pos(), held, "channel send")
+		if w.hooks.onSend != nil && len(held) > 0 {
+			w.hooks.onSend(st.Pos(), held)
+		}
 		w.scan(st.Chan, held)
 		w.scan(st.Value, held)
 		return held
@@ -134,6 +203,9 @@ func (w *lockWalker) stmt(s ast.Stmt, held lockset) lockset {
 	case *ast.ReturnStmt:
 		for _, e := range st.Results {
 			w.scan(e, held)
+		}
+		if w.hooks.onExit != nil {
+			w.hooks.onExit(st.Pos(), held)
 		}
 		return held
 	case *ast.IncDecStmt:
@@ -256,59 +328,62 @@ func terminates(list []ast.Stmt) bool {
 	return false
 }
 
-// scan inspects an expression (or decl) for transport RPC calls made
-// while locks are held, skipping nested FuncLit bodies.
+// scan hands an expression (or decl) to the rule's onExpr hook while
+// locks are held.
 func (w *lockWalker) scan(n ast.Node, held lockset) {
-	if n == nil || len(held) == 0 {
+	if n == nil || len(held) == 0 || w.hooks.onExpr == nil {
 		return
 	}
-	ast.Inspect(n, func(x ast.Node) bool {
-		switch e := x.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.CallExpr:
-			fn := calleeFunc(w.pass.Pkg.Info, e)
-			if isMethod(fn, w.transport, "Network", "Send") || isMethod(fn, w.transport, "Network", "SendTraced") {
-				w.reportHeld(e.Pos(), held, "transport RPC")
-			}
-		}
-		return true
-	})
+	w.hooks.onExpr(n, held)
 }
 
-func (w *lockWalker) reportHeld(pos token.Pos, held lockset, what string) {
-	for key, at := range held {
-		w.pass.Reportf(pos, "lockheld-rpc",
-			"%s while holding %s (locked at %s): release the lock first — the handler runs synchronously and may re-enter it",
-			what, key, w.pass.Fset.Position(at))
+// key applies the rule's keyOf to a lock receiver expression.
+func (w *lockWalker) key(recv ast.Expr) (string, bool) {
+	if w.hooks.keyOf == nil {
+		return "", false
 	}
+	return w.hooks.keyOf(recv)
 }
 
-// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on a sync.Mutex or
-// sync.RWMutex (including one embedded in a struct) and returns the
-// receiver expression as the lock's identity.
+// lockOp recognizes a mutex operation and names the lock via keyOf.
 func (w *lockWalker) lockOp(e ast.Expr) (key, op string, ok bool) {
+	recv, op, ok := mutexOp(w.pass.Pkg.Info, e)
+	if !ok {
+		return "", "", false
+	}
+	key, ok = w.key(recv)
+	if !ok {
+		return "", "", false
+	}
+	return key, op, true
+}
+
+// mutexOp recognizes a sync.Mutex/RWMutex Lock/RLock/Unlock/RUnlock call
+// and returns the receiver expression and operation name. Shared by the
+// intra-procedural lockheld-rpc walker and the interprocedural lockorder
+// summaries (which key the receiver by type rather than by spelling).
+func mutexOp(info *types.Info, e ast.Expr) (recv ast.Expr, op string, ok bool) {
 	call, isCall := ast.Unparen(e).(*ast.CallExpr)
 	if !isCall {
-		return "", "", false
+		return nil, "", false
 	}
 	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return nil, "", false
 	}
-	fn := calleeFunc(w.pass.Pkg.Info, call)
+	fn := calleeFunc(info, call)
 	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
+		return nil, "", false
 	}
 	switch fn.Name() {
 	case "Lock", "RLock", "Unlock", "RUnlock":
 	default:
-		return "", "", false
+		return nil, "", false
 	}
-	if recv := signature(fn).Recv(); recv == nil || !isMutexType(recv.Type()) {
-		return "", "", false
+	if r := signature(fn).Recv(); r == nil || !isMutexType(r.Type()) {
+		return nil, "", false
 	}
-	return types.ExprString(sel.X), fn.Name(), true
+	return sel.X, fn.Name(), true
 }
 
 func isMutexType(t types.Type) bool {

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClock is the interprocedural companion to nosleep: it flags any
+// production function whose call closure reaches raw wall-clock time —
+// time.Now, time.Since, time.Sleep, time.After, time.NewTimer,
+// time.NewTicker, time.Tick — without going through one of the module's
+// two sanctioned time seams:
+//
+//   - internal/retry owns behavioral time: retry.Clock (Now/Sleep/After)
+//     and the backoff loops, so fault injection can observe, clamp, and
+//     cancel every wait;
+//   - internal/obs owns observational time: traces and histograms stamp
+//     their own clocks internally.
+//
+// nosleep catches a literal time.Sleep in the function under review;
+// this rule closes the helper hole — a production function calling a
+// helper (possibly through an interface method implemented in another
+// package) that sleeps or reads the wall clock is just as
+// nondeterministic, and the taint walk over the call graph sees it. The
+// finding carries the shortest witness chain from the function to the
+// offending time call.
+type wallClock struct {
+	module string
+}
+
+func (wallClock) Name() string { return "wallclock" }
+func (wallClock) Doc() string {
+	return "no production call closure reaches raw time.Now/Since/Sleep/After/Ticker outside the retry.Clock and obs seams"
+}
+
+// wallFuncs are the time package functions that read or wait on the wall
+// clock. Constructors of durations (time.Duration math) are pure and
+// deliberately absent.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Sleep": true, "After": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true, "Until": true,
+}
+
+func (w wallClock) seam(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case w.module + "/internal/retry", w.module + "/internal/obs":
+		return true
+	}
+	return false
+}
+
+func (w wallClock) isWallCall(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+		signature(fn).Recv() == nil && wallFuncs[fn.Name()]
+}
+
+func (w wallClock) Run(p *Pass) {
+	if p.Pkg.Path == w.module+"/internal/retry" || p.Pkg.Path == w.module+"/internal/obs" {
+		return // the seams themselves own raw wall time
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			steps := p.Graph.FindPath(fn, w.isWallCall, w.seam)
+			if steps == nil {
+				continue
+			}
+			last := steps[len(steps)-1]
+			p.Reportf(steps[0].Pos, "wallclock",
+				"call closure reaches %s outside the retry.Clock/obs seams: %s (time call at %s); thread a retry.Clock (retry.Wall at the edge) or move the timestamp into an obs instrument",
+				p.Graph.displayName(last.Fn),
+				p.Graph.renderPath(fn, steps),
+				p.Fset.Position(last.Pos))
+		}
+	}
+}

@@ -195,7 +195,7 @@ func (n *Network) SendTraced(from, to int32, req any, tr *obs.Trace) (any, error
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
 	endSpan := tr.StartSpan(kind)
-	start := time.Now()
+	start := n.clock.Now()
 	n.delay()
 	n.mu.RLock()
 	h, ok := n.handlers[to]
