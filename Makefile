@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet fmt lint test test-race test-obs bench-obs build
+.PHONY: check vet fmt lint test test-race test-obs bench-obs build sim
 
-check: vet fmt lint test-race bench-obs
+check: vet fmt lint test-race bench-obs sim
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,9 @@ test-obs:
 # the benchmarks print per-op costs and the guard test enforces the bound.
 bench-obs:
 	$(GO) test ./internal/obs/ -bench Obs -benchtime 100x -run TestCounterOpOverheadGuard -count=1
+
+# sim: the deterministic fault-schedule simulator (DESIGN.md §9) over a
+# fixed seed sweep. A failing seed prints its minimal reproducer and the
+# replay command.
+sim:
+	$(GO) run ./cmd/kssim -seeds 50 -short

@@ -1,0 +1,122 @@
+// Command kssim runs the deterministic fault-schedule simulator (see
+// internal/sim and DESIGN.md §9): a full embedded cluster plus a
+// counting topology on a virtual clock, a seeded schedule of broker
+// crashes, partitions, delay spikes, instance kills, and coordinator
+// failovers, and five machine-checked invariants (exactly-once output
+// equivalence, offset monotonicity, LSO<=HW, read-committed isolation,
+// store/changelog equality).
+//
+//	kssim -seeds 50 -short          # CI sweep: seeds 1..50, short workload
+//	kssim -seed 1337                # one full-profile run, report to stdout
+//	kssim -seed 1337 -schedule f    # replay a (possibly shrunk) schedule
+//
+// On a failing seed, kssim shrinks the schedule to a minimal reproducer,
+// writes it next to the working directory as kssim-seed<N>.sched, prints
+// the exact replay command, and exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kstreams/internal/sim"
+	"kstreams/kafka"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "run exactly this seed (0 = use -seeds sweep)")
+	seeds := flag.Int("seeds", 0, "sweep seeds 1..N")
+	short := flag.Bool("short", false, "short workload profile (CI per-PR)")
+	schedFile := flag.String("schedule", "", "replay a schedule file instead of generating from the seed")
+	outDir := flag.String("out", ".", "directory for failing-schedule artifacts")
+	inject := flag.String("inject", "", "arm a deliberate bug (drop-abort-markers) to self-test the checkers")
+	shrink := flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
+	verbose := flag.Bool("v", false, "print the report for passing runs too")
+	flag.Parse()
+
+	var faults *kafka.Faults
+	switch *inject {
+	case "":
+	case "drop-abort-markers":
+		faults = &kafka.Faults{}
+		faults.DropAbortMarkers.Store(true)
+	default:
+		fmt.Fprintf(os.Stderr, "kssim: unknown -inject %q\n", *inject)
+		os.Exit(2)
+	}
+
+	var schedule *sim.Schedule
+	if *schedFile != "" {
+		f, err := os.Open(*schedFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kssim: %v\n", err)
+			os.Exit(2)
+		}
+		s, err := sim.ParseSchedule(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kssim: %v\n", err)
+			os.Exit(2)
+		}
+		schedule = &s
+	}
+
+	var list []int64
+	switch {
+	case *seed != 0:
+		list = []int64{*seed}
+	case *seeds > 0:
+		for s := int64(1); s <= int64(*seeds); s++ {
+			list = append(list, s)
+		}
+	default:
+		list = []int64{1}
+	}
+
+	failures := 0
+	for _, s := range list {
+		cfg := sim.Config{Seed: s, Short: *short, Schedule: schedule, Faults: faults}
+		start := time.Now()
+		rep := sim.Run(cfg)
+		dur := time.Since(start).Round(time.Millisecond)
+		if rep.OK() {
+			if *verbose {
+				fmt.Print(rep.Text())
+			}
+			fmt.Printf("kssim: seed %d PASS (%s wall)\n", s, dur)
+			continue
+		}
+		failures++
+		fmt.Printf("kssim: seed %d FAIL (%s wall)\n", s, dur)
+		fmt.Print(rep.Text())
+		if !*shrink {
+			continue
+		}
+
+		res := sim.Shrink(cfg, rep.Sched, rep)
+		fmt.Printf("kssim: shrunk to %d events in %d reruns\n", len(res.Schedule.Events), res.Runs)
+		fmt.Print(res.Report.Text())
+
+		path := fmt.Sprintf("%s/kssim-seed%d.sched", *outDir, s)
+		if err := os.WriteFile(path, []byte(res.Schedule.Render()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kssim: writing %s: %v\n", path, err)
+		} else {
+			fmt.Printf("kssim: minimal schedule written to %s\n", path)
+			fmt.Printf("kssim: replay with: kssim -seed %d -schedule %s", s, path)
+			if *short {
+				fmt.Printf(" -short")
+			}
+			if *inject != "" {
+				fmt.Printf(" -inject %s", *inject)
+			}
+			fmt.Println()
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("kssim: %d of %d seeds failed\n", failures, len(list))
+		os.Exit(1)
+	}
+	fmt.Printf("kssim: all %d seeds passed\n", len(list))
+}

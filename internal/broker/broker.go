@@ -66,6 +66,9 @@ type Config struct {
 	TxnPartitions     int32
 	// TxnTimeout aborts transactions idle longer than this.
 	TxnTimeout time.Duration
+	// Faults, when non-nil, enables deliberate protocol-bug injection for
+	// harness self-tests; nil means no faults are ever active.
+	Faults *Faults
 }
 
 func (c *Config) fill() {
@@ -425,6 +428,12 @@ func (b *Broker) handleWriteTxnMarkers(r *protocol.WriteTxnMarkersRequest) *prot
 			resp.Results = append(resp.Results, protocol.ProduceResult{
 				TP: tp, Err: protocol.ErrUnknownTopicOrPartition,
 			})
+			continue
+		}
+		if b.cfg.Faults != nil && r.Type == protocol.MarkerAbort && b.cfg.Faults.DropAbortMarkers.Load() {
+			// Injected bug: acknowledge the abort marker without writing
+			// it, leaving the aborted range unfenced on the log.
+			resp.Results = append(resp.Results, protocol.ProduceResult{TP: tp})
 			continue
 		}
 		if !p.log.HasOngoing(r.ProducerID) {

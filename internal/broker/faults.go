@@ -1,0 +1,16 @@
+package broker
+
+import "sync/atomic"
+
+// Faults is a bag of deliberately injectable protocol bugs, shared by
+// every broker in a cluster. The simulator's self-test flips one on and
+// asserts that the invariant checkers catch it — proving the harness can
+// actually see the class of bug it exists to find. All fields default to
+// off; production paths never set them.
+type Faults struct {
+	// DropAbortMarkers makes handleWriteTxnMarkers acknowledge abort
+	// markers without appending them, so aborted data is never fenced off
+	// the log: read-committed consumers will observe aborted records
+	// (invariant I4) and the LSO stalls below the HW.
+	DropAbortMarkers atomic.Bool
+}

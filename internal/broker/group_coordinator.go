@@ -35,6 +35,13 @@ type member struct {
 	sessionTimeout time.Duration
 	lastSeen       time.Time
 	joined         bool
+	// joinParked is true while the member's join request is blocked in
+	// the rebalance barrier. A rebalance reset must not clear such a
+	// member's joined flag: it cannot rejoin (its one request is already
+	// here), and evicting it bounces it back as a brand-new member whose
+	// join resets the next round — mutual eviction that livelocks the
+	// group at RPC speed.
+	joinParked     bool
 	assignment     []protocol.TopicPartition
 	assignUserData []byte
 }
@@ -52,6 +59,13 @@ type group struct {
 	members    map[string]*member
 	leader     string
 	nextMember int
+	// persistedGen is the highest generation durably recorded in the
+	// offsets log as a group-metadata record. Generations (and the member
+	// id counter) must survive coordinator failover, or a re-formed group
+	// would hand out the same (member id, generation) pairs again and a
+	// zombie's transactional offset commit would pass fencing (Kafka
+	// persists GroupMetadata in __consumer_offsets for the same reason).
+	persistedGen int32
 
 	// committed holds materialized offsets; pendingTxn stages transactional
 	// offset commits until their marker resolves them.
@@ -151,6 +165,28 @@ func (gc *groupCoordinator) observeBatch(idx int32, b *protocol.RecordBatch) {
 		return
 	}
 	for i := range b.Records {
+		if name, ok := parseGroupMetaKey(b.Records[i].Key); ok {
+			gen, next, ok := parseGroupMetaValue(b.Records[i].Value)
+			if !ok {
+				continue
+			}
+			g := gc.groupFor(name, true)
+			g.mu.Lock()
+			// Adopt monotonically: a failed-over coordinator resumes the
+			// generation sequence instead of restarting it, keeping old
+			// (member, generation) pairs permanently fenced.
+			if gen > g.generation {
+				g.generation = gen
+			}
+			if gen > g.persistedGen {
+				g.persistedGen = gen
+			}
+			if next > g.nextMember {
+				g.nextMember = next
+			}
+			g.mu.Unlock()
+			continue
+		}
 		groupName, tp, ok := parseOffsetKey(b.Records[i].Key)
 		if !ok {
 			continue
@@ -223,11 +259,24 @@ func (gc *groupCoordinator) ownsGroup(name string) (*partition, bool) {
 // --- membership ---
 
 func (gc *groupCoordinator) handleJoin(r *protocol.JoinGroupRequest) *protocol.JoinGroupResponse {
-	if _, ok := gc.ownsGroup(r.Group); !ok {
+	p, ok := gc.ownsGroup(r.Group)
+	if !ok {
 		return &protocol.JoinGroupResponse{Err: protocol.ErrNotCoordinator}
 	}
 	g := gc.groupFor(r.Group, true)
+	resp := gc.joinLocked(g, r)
+	if resp.Err == protocol.ErrNone {
+		// No member may act on a generation that is not durable: a crash
+		// of this coordinator would otherwise reset the counter and
+		// un-fence zombies holding the old numbers.
+		if code := gc.persistGroupMeta(p, g); code != protocol.ErrNone {
+			return &protocol.JoinGroupResponse{Err: code}
+		}
+	}
+	return resp
+}
 
+func (gc *groupCoordinator) joinLocked(g *group, r *protocol.JoinGroupRequest) *protocol.JoinGroupResponse {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
@@ -253,20 +302,25 @@ func (gc *groupCoordinator) handleJoin(r *protocol.JoinGroupRequest) *protocol.J
 	m.joined = true
 
 	if g.state != groupPreparing {
-		// Start a new rebalance round: everyone else must rejoin.
+		// Start a new rebalance round: everyone else must rejoin. Members
+		// whose join request is already parked in the barrier stay joined
+		// — they are carried into this round and answered with its
+		// generation.
 		g.state = groupPreparing
 		for _, other := range g.members {
-			if other != m {
+			if other != m && !other.joinParked {
 				other.joined = false
 			}
 		}
 		g.cond.Broadcast()
 	}
 
+	m.joinParked = true
 	deadline := g.clock.Now().Add(gc.b.cfg.GroupRebalanceTimeout)
 	for g.state == groupPreparing && !g.allJoinedLocked() && g.clock.Now().Before(deadline) {
 		g.waitLocked(deadline)
 	}
+	m.joinParked = false
 	if g.state == groupPreparing {
 		// Complete the round (possibly evicting stragglers).
 		for mid, other := range g.members {
@@ -457,6 +511,68 @@ func (gc *groupCoordinator) tick() {
 		}
 		g.mu.Unlock()
 	}
+}
+
+// --- group metadata persistence ---
+
+func groupMetaKey(groupName string) []byte {
+	return []byte("g|" + groupName)
+}
+
+func parseGroupMetaKey(k []byte) (string, bool) {
+	s := string(k)
+	if !strings.HasPrefix(s, "g|") {
+		return "", false
+	}
+	return s[2:], true
+}
+
+func groupMetaValue(generation int32, nextMember int) []byte {
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint32(out[:4], uint32(generation))
+	binary.BigEndian.PutUint64(out[4:], uint64(nextMember))
+	return out
+}
+
+func parseGroupMetaValue(v []byte) (int32, int, bool) {
+	if len(v) != 12 {
+		return 0, 0, false
+	}
+	return int32(binary.BigEndian.Uint32(v[:4])), int(binary.BigEndian.Uint64(v[4:])), true
+}
+
+// persistGroupMeta appends a group-metadata record (generation and member
+// id counter) to the group's offsets partition if the current generation
+// is newer than the last persisted one. Concurrent joiners may append the
+// same snapshot twice; replay takes the maximum, so duplicates are
+// harmless. Called without g.mu held — the append blocks on replication.
+func (gc *groupCoordinator) persistGroupMeta(p *partition, g *group) protocol.ErrorCode {
+	g.mu.Lock()
+	gen := g.generation
+	next := g.nextMember
+	stale := gen <= g.persistedGen
+	g.mu.Unlock()
+	if stale {
+		return protocol.ErrNone
+	}
+	b := &protocol.RecordBatch{
+		ProducerID:   protocol.NoProducerID,
+		BaseSequence: protocol.NoSequence,
+		Records: []protocol.Record{{
+			Key:       groupMetaKey(g.name),
+			Value:     groupMetaValue(gen, next),
+			Timestamp: gc.b.clock.Now().UnixMilli(),
+		}},
+	}
+	if res := p.appendAsLeader(gc.b.cfg.ID, b); res.Err != protocol.ErrNone {
+		return res.Err
+	}
+	g.mu.Lock()
+	if gen > g.persistedGen {
+		g.persistedGen = gen
+	}
+	g.mu.Unlock()
+	return protocol.ErrNone
 }
 
 // --- offsets ---

@@ -350,7 +350,15 @@ func (p *partition) fetchAsLeader(selfID, replicaID int32, offset int64, maxByte
 	p.mu.Unlock()
 
 	out.HighWatermark = hw
-	out.LastStableOffset = p.lastStable()
+	// Compute the LSO from the same HW snapshot the response reports:
+	// recomputing via lastStable() could read a fresher, higher HW and
+	// hand a consumer an observation where LSO > HW.
+	lso := hw
+	if fu := p.log.FirstUnstable(); fu >= 0 && fu < lso {
+		lso = fu
+	}
+	p.lsoGauge.Set(lso)
+	out.LastStableOffset = lso
 	out.LogStartOffset = p.log.StartOffset()
 
 	maxOffset := p.log.EndOffset() // replicas read everything

@@ -37,7 +37,7 @@ func NewAdmin(net *transport.Network, controller int32, cancel <-chan struct{}) 
 		net:        net,
 		self:       self,
 		controller: controller,
-		meta:       newMetadata(net, self, controller, retry.Policy{}, merged),
+		meta:       newMetadata(net, self, controller, retry.Policy{Clock: net.Clock()}, merged),
 		closeCh:    closeCh,
 		cancel:     merged,
 	}
@@ -70,7 +70,7 @@ func (a *Admin) Partitions(topic string) (int32, error) {
 // effort — it reclaims space, it is not needed for correctness.
 func (a *Admin) DeleteRecords(tp protocol.TopicPartition, beforeOffset int64) error {
 	budget := retry.NewBudget(requestTimeout)
-	return retryErr(fmt.Sprintf("delete records on %s", tp), retry.Do(retry.Policy{}, budget, a.cancel, func(int) (bool, error) {
+	return retryErr(fmt.Sprintf("delete records on %s", tp), retry.Do(retry.Policy{Clock: a.net.Clock()}, budget, a.cancel, func(int) (bool, error) {
 		leader, err := a.meta.leaderFor(tp)
 		if err != nil {
 			return false, err

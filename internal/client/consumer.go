@@ -105,6 +105,10 @@ type ConsumerConfig struct {
 	// Cancel, when non-nil, interrupts in-flight retries when it closes,
 	// in addition to Close (a stream thread passes its kill signal).
 	Cancel <-chan struct{}
+	// ObserveFetch, when non-nil, is called with the watermarks of every
+	// successful fetch response partition, before records are delivered.
+	// The simulator's invariant checkers observe LSO/HW consistency here.
+	ObserveFetch func(tp protocol.TopicPartition, hw, lso, logStart int64)
 }
 
 // Message is one consumed record.
@@ -163,6 +167,9 @@ func NewConsumer(net *transport.Network, cfg ConsumerConfig) *Consumer {
 	}
 	if cfg.Assignor == nil {
 		cfg.Assignor = RangeAssignor{}
+	}
+	if cfg.Retry.Clock == nil {
+		cfg.Retry.Clock = net.Clock()
 	}
 	self := net.AllocClientID()
 	net.Register(self, func(int32, any) any { return nil })
@@ -300,9 +307,12 @@ func (c *Consumer) ensureMembership() error {
 		return nil
 	}
 	// Revoke the old assignment before rebalancing so the application can
-	// commit and release state.
+	// commit and release state. Eager protocol: ownership ends when the
+	// rejoin starts, not when the new assignment arrives — until the sync
+	// completes this member owns nothing, and Assignment must say so.
 	c.mu.Lock()
 	old := c.assignment
+	c.assignment = nil
 	c.mu.Unlock()
 	if len(old) > 0 && c.cfg.OnRevoked != nil {
 		c.cfg.OnRevoked(old)
@@ -675,6 +685,9 @@ func (c *Consumer) fetch() ([]Message, error) {
 				continue
 			default:
 				continue
+			}
+			if c.cfg.ObserveFetch != nil {
+				c.cfg.ObserveFetch(part.TP, part.HighWatermark, part.LastStableOffset, part.LogStartOffset)
 			}
 			msgs = append(msgs, c.deliver(part)...)
 		}

@@ -81,6 +81,9 @@ func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) 
 	if cfg.TransactionalID != "" {
 		cfg.Idempotent = true
 	}
+	if cfg.Retry.Clock == nil {
+		cfg.Retry.Clock = net.Clock()
+	}
 	self := net.AllocClientID()
 	net.Register(self, func(int32, any) any { return nil })
 	closeCh := make(chan struct{})

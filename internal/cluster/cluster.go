@@ -13,6 +13,7 @@ import (
 
 	"kstreams/internal/broker"
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/storage"
 	"kstreams/internal/transport"
 )
@@ -50,6 +51,17 @@ type Config struct {
 	TxnTimeout time.Duration
 	// Seed makes transport jitter deterministic.
 	Seed int64
+	// Clock is the time source for the transport fabric and every broker
+	// wait (nil uses the wall clock). The simulator substitutes a virtual
+	// clock so the whole cluster runs on simulated time.
+	Clock retry.Clock
+	// ReplicaPollInterval overrides the follower fetch cadence; 0 keeps
+	// the broker default. Simulations coarsen it so replication progress
+	// aligns with virtual-clock quanta.
+	ReplicaPollInterval time.Duration
+	// Faults, when non-nil, is shared with every broker so tests can
+	// toggle deliberate protocol bugs (see broker.Faults).
+	Faults *broker.Faults
 }
 
 func (c *Config) fill() {
@@ -87,7 +99,7 @@ func New(cfg Config) (*Cluster, error) {
 	cfg.fill()
 	c := &Cluster{
 		cfg:      cfg,
-		net:      transport.New(transport.Options{RPCLatency: cfg.RPCLatency, Jitter: cfg.Jitter, Seed: cfg.Seed}),
+		net:      transport.New(transport.Options{RPCLatency: cfg.RPCLatency, Jitter: cfg.Jitter, Seed: cfg.Seed, Clock: cfg.Clock}),
 		brokers:  make(map[int32]*broker.Broker),
 		backends: make(map[int32]storage.Backend),
 	}
@@ -133,6 +145,8 @@ func (c *Cluster) startBroker(id int32, be storage.Backend) *broker.Broker {
 		OffsetsPartitions:     c.cfg.OffsetsPartitions,
 		TxnPartitions:         c.cfg.TxnPartitions,
 		TxnTimeout:            c.cfg.TxnTimeout,
+		ReplicaPollInterval:   c.cfg.ReplicaPollInterval,
+		Faults:                c.cfg.Faults,
 	})
 }
 
@@ -203,6 +217,10 @@ func (c *Cluster) Broker(id int32) *broker.Broker {
 func (c *Cluster) LeaderOf(tp protocol.TopicPartition) int32 {
 	return c.ctl.leaderOf(tp)
 }
+
+// TxnPartitions returns the effective __transaction_state partition
+// count (after defaulting), which maps transactional ids to coordinators.
+func (c *Cluster) TxnPartitions() int32 { return c.cfg.TxnPartitions }
 
 // RPCCount proxies the transport's delivered-RPC counter (the Figure-5
 // write-amplification proxy).

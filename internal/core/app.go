@@ -36,6 +36,10 @@ type AppConfig struct {
 	// SessionTimeout / HeartbeatInterval tune group liveness.
 	SessionTimeout    time.Duration
 	HeartbeatInterval time.Duration
+	// PollInterval is the stream threads' idle sleep between empty polls
+	// (0 = thread default). Simulations coarsen it to align poll wakeups
+	// with virtual-clock quanta.
+	PollInterval time.Duration
 	// DisablePurge turns off repartition-topic purging.
 	DisablePurge bool
 }
@@ -223,6 +227,7 @@ func (a *App) Start() error {
 			RepartitionTopics: repTopics,
 			SessionTimeout:    a.cfg.SessionTimeout,
 			HeartbeatInterval: a.cfg.HeartbeatInterval,
+			PollInterval:      a.cfg.PollInterval,
 			PurgeRepartition:  !a.cfg.DisablePurge,
 		})
 		if err != nil {
@@ -343,6 +348,7 @@ func (a *App) AddThread() error {
 		RepartitionTopics: repTopics,
 		SessionTimeout:    a.cfg.SessionTimeout,
 		HeartbeatInterval: a.cfg.HeartbeatInterval,
+		PollInterval:      a.cfg.PollInterval,
 		PurgeRepartition:  !a.cfg.DisablePurge,
 	})
 	if err != nil {

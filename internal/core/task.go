@@ -424,18 +424,22 @@ func (r *StoreRegistry) setClean(id TaskID, clean bool) {
 	}
 }
 
-// QueryKV looks up a key in a task's key-value store instance, across all
-// live entries of the registry (interactive queries, the paper's Section 8
-// "consistent state query serving" direction). Reads see committed state
-// plus the owning thread's in-flight writes (uncached stores) — like Kafka
-// Streams' interactive queries, reads are not transactionally isolated.
+// QueryKV looks up a key in a task's key-value store instance, across the
+// in-use entries of the registry (interactive queries, the paper's
+// Section 8 "consistent state query serving" direction). Only stores of
+// currently-assigned tasks answer: sticky copies retained after a task
+// migrated away are restoration caches, not queryable state — serving
+// them would return values frozen at the moment the task left. Reads see
+// committed state plus the owning thread's in-flight writes (uncached
+// stores) — like Kafka Streams' interactive queries, reads are not
+// transactionally isolated.
 func (r *StoreRegistry) QueryKV(storeName string, spec *StoreSpec, key any) (any, bool) {
 	kb := spec.KeySerde.Encode(key)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	suffix := "/" + storeName
 	for k, e := range r.entries {
-		if e.kv == nil || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
+		if e.kv == nil || !e.inUse || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
 			continue
 		}
 		if vb, ok := e.kv.Get(kb); ok && vb != nil {
@@ -445,13 +449,14 @@ func (r *StoreRegistry) QueryKV(storeName string, spec *StoreSpec, key any) (any
 	return nil, false
 }
 
-// RangeKV folds every entry of a named store across all tasks.
+// RangeKV folds every entry of a named store across the currently
+// assigned tasks (stale sticky copies are excluded, as in QueryKV).
 func (r *StoreRegistry) RangeKV(storeName string, spec *StoreSpec, fn func(key, value any) bool) {
 	r.mu.Lock()
 	entries := make([]*registryEntry, 0)
 	suffix := "/" + storeName
 	for k, e := range r.entries {
-		if e.kv != nil && len(k) >= len(suffix) && k[len(k)-len(suffix):] == suffix {
+		if e.kv != nil && e.inUse && len(k) >= len(suffix) && k[len(k)-len(suffix):] == suffix {
 			entries = append(entries, e)
 		}
 	}

@@ -167,6 +167,14 @@ func NewThread(cfg ThreadConfig) (*Thread, error) {
 // Name returns the thread's client id.
 func (th *Thread) Name() string { return th.name }
 
+// restoreRetry is restorePolicy on the thread's clock, so restoration
+// backoff elapses in virtual time under simulation.
+func (th *Thread) restoreRetry() retry.Policy {
+	p := restorePolicy
+	p.Clock = th.clock
+	return p
+}
+
 // userData reports current task ownership for sticky assignment.
 func (th *Thread) userData() []byte {
 	var names []string
@@ -482,7 +490,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		// transaction, or the restore would miss its committed tail and
 		// resume from newer offsets with stale state.
 		var end int64
-		stabilize := retry.New(restorePolicy, retry.NewBudget(30*time.Second), th.stopCh)
+		stabilize := retry.New(th.restoreRetry(), retry.NewBudget(30*time.Second), th.stopCh)
 		for {
 			lso, err := th.restoreConsumer.StableOffset(tp)
 			if err != nil {
@@ -506,7 +514,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		restoreStart := th.clock.Now()
 		th.restoreConsumer.Assign(tp)
 		th.restoreConsumer.Seek(tp, from)
-		drain := retry.New(restorePolicy, retry.NewBudget(30*time.Second), th.stopCh)
+		drain := retry.New(th.restoreRetry(), retry.NewBudget(30*time.Second), th.stopCh)
 		for th.restoreConsumer.Position(tp) < end {
 			msgs, err := th.restoreConsumer.Poll()
 			if err != nil {

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+)
+
+// SeedTB is the slice of *testing.T the seed helper needs; declared here
+// for the same reason as TB in leak.go — this package links into the
+// benchmark binaries and must not import "testing".
+type SeedTB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Failed() bool
+	Cleanup(func())
+}
+
+// Seed returns the randomness seed for a test: the KSTREAMS_SEED
+// environment variable when set, otherwise the given default. When the
+// test fails, the seed in effect is logged so the exact schedule — crash
+// victims, fault timings, key choices — can be replayed:
+//
+//	KSTREAMS_SEED=42 go test -run TestChaosExactlyOnce ./streams/
+//
+// Every source of randomness in a failure-injecting test must flow from
+// this value (directly or via derived sub-seeds); an unseeded rand or a
+// wall-clock-dependent branch makes the printed seed a lie.
+func Seed(t SeedTB, fallback int64) int64 {
+	t.Helper()
+	seed := fallback
+	if env := os.Getenv("KSTREAMS_SEED"); env != "" {
+		if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+			seed = v
+		} else {
+			t.Logf("harness: ignoring unparsable KSTREAMS_SEED=%q: %v", env, err)
+		}
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("harness: test failed with seed %d; replay with KSTREAMS_SEED=%d", seed, seed)
+		}
+	})
+	return seed
+}

@@ -1,0 +1,117 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBudgetEdgeCases table-drives the deadline-budget boundaries that
+// the client retry loops depend on: a zero budget must fail the very
+// first Wait without sleeping, and a budget smaller than the first
+// backoff must clamp the sleep to the remainder instead of overshooting.
+func TestBudgetEdgeCases(t *testing.T) {
+	pol := Policy{Initial: 40 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: 0}
+	cases := []struct {
+		name string
+		d    time.Duration
+		// maxSlept bounds the wall time Wait may consume before failing.
+		maxSlept time.Duration
+	}{
+		{name: "zero budget", d: 0, maxSlept: 10 * time.Millisecond},
+		{name: "budget below first backoff", d: 5 * time.Millisecond, maxSlept: 30 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			l := New(pol, NewBudget(tc.d), nil)
+			start := time.Now()
+			var err error
+			// The loop must terminate within a few Waits — an unclamped
+			// implementation would sleep the full 40ms interval each time.
+			for i := 0; i < 5; i++ {
+				if err = l.Wait(); err != nil {
+					break
+				}
+			}
+			if !errors.Is(err, ErrBudgetExhausted) {
+				t.Fatalf("want ErrBudgetExhausted, got %v", err)
+			}
+			if el := time.Since(start); el > tc.maxSlept {
+				t.Fatalf("Wait slept %v; budget of %v should clamp it under %v", el, tc.d, tc.maxSlept)
+			}
+		})
+	}
+}
+
+// TestCheckZeroBudget: the non-blocking half must also see an
+// already-expired budget, so retry-immediately branches cannot spin past
+// the deadline.
+func TestCheckZeroBudget(t *testing.T) {
+	t.Parallel()
+	l := New(Policy{}, NewBudget(0), nil)
+	if err := l.Check(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Check on zero budget: want ErrBudgetExhausted, got %v", err)
+	}
+}
+
+// TestCancelMidSleep closes the cancel channel while Wait is blocked in
+// its backoff sleep; Wait must return ErrCanceled promptly rather than
+// finishing the interval.
+func TestCancelMidSleep(t *testing.T) {
+	t.Parallel()
+	cancel := make(chan struct{})
+	l := New(Policy{Initial: 10 * time.Second, Max: 10 * time.Second, Jitter: 0}, nil, cancel)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	if err := l.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancel took %v; must interrupt the sleep, not wait it out", el)
+	}
+}
+
+// TestOrNil pins the optional-clock idiom: Or(nil) is Wall, a non-nil
+// clock passes through, and NewBudgetOn(nil, d) therefore measures
+// against the wall clock instead of panicking.
+func TestOrNil(t *testing.T) {
+	t.Parallel()
+	if Or(nil) != Wall {
+		t.Fatal("Or(nil) must be Wall")
+	}
+	v := NewVirtual(time.Unix(0, 0), time.Millisecond)
+	if Or(v) != Clock(v) {
+		t.Fatal("Or must pass a non-nil clock through")
+	}
+	b := NewBudgetOn(nil, time.Hour)
+	if b.Expired() {
+		t.Fatal("fresh wall budget expired immediately")
+	}
+	if rem := b.Remaining(); rem <= 0 || rem > time.Hour {
+		t.Fatalf("remaining %v out of range", rem)
+	}
+}
+
+// TestBudgetOnVirtualClock: a budget measured on a virtual clock expires
+// only when virtual time advances, regardless of wall time.
+func TestBudgetOnVirtualClock(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(time.Unix(0, 0), time.Millisecond)
+	b := NewBudgetOn(v, 50*time.Millisecond)
+	if b.Expired() {
+		t.Fatal("expired before virtual time moved")
+	}
+	v.Advance(49 * time.Millisecond)
+	if b.Expired() {
+		t.Fatal("expired 1ms early")
+	}
+	v.Advance(time.Millisecond)
+	if !b.Expired() {
+		t.Fatal("did not expire once virtual time passed the deadline")
+	}
+}

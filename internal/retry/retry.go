@@ -51,6 +51,10 @@ type Policy struct {
 	Seed uint64
 	// Retriable classifies attempt errors for Do; nil retries everything.
 	Retriable Classifier
+	// Clock is the time source backoff waits sleep on; nil uses Wall.
+	// Simulations substitute a virtual clock here so retry schedules
+	// elapse in virtual time.
+	Clock Clock
 }
 
 // Defaults for zero Policy fields.
@@ -80,6 +84,7 @@ func (p Policy) withDefaults() Policy {
 	if p.Seed == 0 {
 		p.Seed = 0x6b737472656d7301 // arbitrary fixed default
 	}
+	p.Clock = Or(p.Clock)
 	return p
 }
 
@@ -89,16 +94,31 @@ func (p Policy) withDefaults() Policy {
 // independent timers. A nil *Budget means unlimited.
 type Budget struct {
 	deadline time.Time
+	clock    Clock // nil means Wall; set by NewBudgetOn
 }
 
-// NewBudget starts a budget of d from now.
+// NewBudget starts a budget of d from now on the wall clock.
 func NewBudget(d time.Duration) *Budget {
 	return &Budget{deadline: time.Now().Add(d)}
 }
 
+// NewBudgetOn starts a budget of d measured against clock c, so a
+// simulation's deadlines expire in virtual time. A nil c uses Wall.
+func NewBudgetOn(c Clock, d time.Duration) *Budget {
+	c = Or(c)
+	return &Budget{deadline: c.Now().Add(d), clock: c}
+}
+
+func (b *Budget) now() time.Time {
+	if b.clock == nil {
+		return time.Now()
+	}
+	return b.clock.Now()
+}
+
 // Expired reports whether the budget has no time left.
 func (b *Budget) Expired() bool {
-	return b != nil && !time.Now().Before(b.deadline)
+	return b != nil && !b.now().Before(b.deadline)
 }
 
 // Remaining returns the time left (negative once expired); a nil budget
@@ -107,7 +127,7 @@ func (b *Budget) Remaining() time.Duration {
 	if b == nil {
 		return time.Duration(1<<63 - 1)
 	}
-	return time.Until(b.deadline)
+	return b.deadline.Sub(b.now())
 }
 
 // clamp bounds a wait to the remaining budget.
@@ -115,7 +135,7 @@ func (b *Budget) clamp(d time.Duration) time.Duration {
 	if b == nil {
 		return d
 	}
-	if rem := time.Until(b.deadline); rem < d {
+	if rem := b.deadline.Sub(b.now()); rem < d {
 		return rem
 	}
 	return d
@@ -202,12 +222,22 @@ func (l *Loop) Wait() error {
 	}
 	d := l.budget.clamp(l.NextDelay())
 	if d > 0 {
-		t := time.NewTimer(d)
-		defer t.Stop()
-		select {
-		case <-l.cancel:
-			return ErrCanceled
-		case <-t.C:
+		if l.p.Clock == Wall {
+			// Fast path: a stoppable timer instead of Wall.After's
+			// unreclaimable time.After channel.
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-l.cancel:
+				return ErrCanceled
+			case <-t.C:
+			}
+		} else {
+			select {
+			case <-l.cancel:
+				return ErrCanceled
+			case <-l.p.Clock.After(d):
+			}
 		}
 		l.slept += d
 	}

@@ -1,0 +1,176 @@
+package retry
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Virtual is a deterministic Clock for simulation: time only moves when
+// the test driver calls Step or Advance. Goroutines that Sleep or select
+// on After park on a waiter heap; the driver observes the parked
+// population (Waiters) and the activity counter (Activity), and once the
+// system is quiescent advances virtual time to the earliest registered
+// deadline, waking everything due at once.
+//
+// Deadlines are rounded up to a quantum so that independently-started
+// periodic loops (replica polls, heartbeats, poll intervals) coalesce
+// onto shared wake points instead of generating one scheduler step per
+// goroutine per period. The rounding only ever delays a wake — never
+// reorders two waits of different lengths started at the same instant —
+// so components above it observe a slightly coarser but still monotonic
+// and deterministic timeline.
+type Virtual struct {
+	mu      sync.Mutex
+	base    time.Time
+	now     time.Duration // offset from base
+	quantum time.Duration
+	waiters waiterHeap
+	seq     uint64
+	// activity counts clock interactions (Now/After/Sleep registrations
+	// and waiter fires). The sim driver samples it to detect quiescence:
+	// a stable count across a settle window means no goroutine is
+	// actively spinning against the clock.
+	activity atomic.Uint64
+}
+
+type waiter struct {
+	deadline time.Duration // offset from base
+	seq      uint64        // FIFO tiebreak for equal deadlines
+	ch       chan time.Time
+}
+
+type waiterHeap []waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// NewVirtual returns a virtual clock reading start. quantum <= 0 disables
+// deadline coalescing (every wait keeps its exact deadline).
+func NewVirtual(start time.Time, quantum time.Duration) *Virtual {
+	return &Virtual{base: start, quantum: quantum}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.activity.Add(1)
+	v.mu.Lock()
+	t := v.base.Add(v.now)
+	v.mu.Unlock()
+	return t
+}
+
+// Sleep parks the goroutine until virtual time has advanced past d.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// After registers a waiter due at now+d (rounded up to the quantum) and
+// returns its channel. The channel is buffered, so a waiter abandoned by
+// a select (e.g. cancellation won the race) never blocks the clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.activity.Add(1)
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	if d <= 0 {
+		t := v.base.Add(v.now)
+		v.mu.Unlock()
+		ch <- t // buffered: never blocks
+		return ch
+	}
+	deadline := v.now + d
+	if v.quantum > 0 {
+		if rem := deadline % v.quantum; rem != 0 {
+			deadline += v.quantum - rem
+		}
+	}
+	v.seq++
+	heap.Push(&v.waiters, waiter{deadline: deadline, seq: v.seq, ch: ch})
+	v.mu.Unlock()
+	return ch
+}
+
+// Advance moves virtual time forward by d, firing every waiter whose
+// deadline is reached.
+func (v *Virtual) Advance(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.now += d
+	n := v.fireDueLocked()
+	v.mu.Unlock()
+	return n
+}
+
+// Step advances virtual time to the earliest registered deadline and
+// fires everything due there. It reports how many waiters fired and
+// whether there was any waiter at all (false means the clock is idle and
+// stepping cannot unblock anything).
+func (v *Virtual) Step() (fired int, ok bool) {
+	v.mu.Lock()
+	if len(v.waiters) == 0 {
+		v.mu.Unlock()
+		return 0, false
+	}
+	if d := v.waiters[0].deadline; d > v.now {
+		v.now = d
+	}
+	n := v.fireDueLocked()
+	v.mu.Unlock()
+	return n, true
+}
+
+func (v *Virtual) fireDueLocked() int {
+	n := 0
+	for len(v.waiters) > 0 && v.waiters[0].deadline <= v.now {
+		w := heap.Pop(&v.waiters).(waiter)
+		w.ch <- v.base.Add(v.now) // buffered: never blocks
+		n++
+	}
+	if n > 0 {
+		v.activity.Add(uint64(n))
+	}
+	return n
+}
+
+// NextDeadline returns the earliest registered deadline, if any.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return v.base.Add(v.waiters[0].deadline), true
+}
+
+// Waiters returns how many goroutines are currently parked on the clock.
+func (v *Virtual) Waiters() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// Activity returns the monotone interaction counter; a value stable
+// across a real-time settle window indicates quiescence.
+func (v *Virtual) Activity() uint64 {
+	return v.activity.Load()
+}

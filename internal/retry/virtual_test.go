@@ -1,0 +1,137 @@
+package retry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestVirtualQuantumCoalescing: waits registered within one quantum of
+// each other must land on the same rounded deadline, so one Step wakes
+// them all — the property that keeps the simulator's step count
+// proportional to distinct deadlines, not goroutines.
+func TestVirtualQuantumCoalescing(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(time.Unix(0, 0), time.Millisecond)
+	a := v.After(300 * time.Microsecond)
+	b := v.After(700 * time.Microsecond)
+	c := v.After(time.Millisecond)
+	if dl, ok := v.NextDeadline(); !ok || dl != time.Unix(0, 0).Add(time.Millisecond) {
+		t.Fatalf("deadlines not rounded to the quantum: %v %v", dl, ok)
+	}
+	fired, ok := v.Step()
+	if !ok || fired != 3 {
+		t.Fatalf("one step should fire all three coalesced waiters, fired %d ok=%v", fired, ok)
+	}
+	for i, ch := range []<-chan time.Time{a, b, c} {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("waiter %d did not fire", i)
+		}
+	}
+	if now := v.Now(); now != time.Unix(0, 0).Add(time.Millisecond) {
+		t.Fatalf("clock at %v, want the quantum boundary", now)
+	}
+}
+
+// TestVirtualStepOrder: Step must fire strictly in deadline order, one
+// distinct deadline at a time, never reordering two waits of different
+// lengths registered at the same instant.
+func TestVirtualStepOrder(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(time.Unix(0, 0), time.Millisecond)
+	var mu sync.Mutex
+	var order []int
+
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		i, d := i, d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-v.After(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}()
+	}
+	// Wait until all three goroutines are parked before stepping.
+	for w := 0; v.Waiters() != 3; w++ {
+		if w > 1e6 {
+			t.Fatal("goroutines never parked on the clock")
+		}
+		runtime.Gosched()
+	}
+	// Step one deadline at a time, waiting for each woken goroutine to
+	// record itself — stepping twice in a row would let two woken
+	// goroutines race to append and scramble the observed order.
+	for expect := 1; expect <= 3; expect++ {
+		if fired, ok := v.Step(); !ok || fired != 1 {
+			t.Fatalf("step %d fired %d ok=%v, want exactly one waiter", expect, fired, ok)
+		}
+		for w := 0; ; w++ {
+			mu.Lock()
+			n := len(order)
+			mu.Unlock()
+			if n == expect {
+				break
+			}
+			if w > 1e6 {
+				t.Fatalf("woken goroutine %d never recorded", expect)
+			}
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("waiters fired out of deadline order: %v (want [1 2 0])", order)
+	}
+	if now := v.Now(); now != time.Unix(0, 0).Add(30*time.Millisecond) {
+		t.Fatalf("clock at %v after draining, want +30ms", now)
+	}
+}
+
+// TestVirtualSleepZero: non-positive sleeps must not park (a parked
+// zero-sleep would deadlock the driver's quiescence detection).
+func TestVirtualSleepZero(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(time.Unix(0, 0), time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep(0) parked on the virtual clock")
+	}
+}
+
+// TestVirtualAdvancePartial: Advance fires exactly the waiters whose
+// deadlines are reached and leaves the rest registered.
+func TestVirtualAdvancePartial(t *testing.T) {
+	t.Parallel()
+	v := NewVirtual(time.Unix(0, 0), time.Millisecond)
+	near := v.After(2 * time.Millisecond)
+	far := v.After(50 * time.Millisecond)
+	if fired := v.Advance(2 * time.Millisecond); fired != 1 {
+		t.Fatalf("Advance(2ms) fired %d waiters, want 1", fired)
+	}
+	select {
+	case <-near:
+	default:
+		t.Fatal("near waiter did not fire")
+	}
+	select {
+	case <-far:
+		t.Fatal("far waiter fired 48ms early")
+	default:
+	}
+	if v.Waiters() != 1 {
+		t.Fatalf("waiters=%d, want the far waiter still parked", v.Waiters())
+	}
+}

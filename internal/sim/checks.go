@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+)
+
+// scanCommitted reads a topic's committed prefix (offset 0 up to the LSO
+// at call time) with a fresh read-committed consumer and returns the
+// messages per partition, in offset order.
+func (r *runner) scanCommitted(topic string) map[int32][]client.Message {
+	cons := client.NewConsumer(r.cluster.Net(), client.ConsumerConfig{
+		Controller: r.cluster.Controller(),
+		Isolation:  protocol.ReadCommitted,
+	})
+	defer cons.Abandon()
+
+	out := make(map[int32][]client.Message)
+	for p := int32(0); p < numParts; p++ {
+		tp := protocol.TopicPartition{Topic: topic, Partition: p}
+		target, err := cons.StableOffset(tp)
+		if err != nil {
+			r.viol.add("L", "scan %s: stable offset: %v", tp, err)
+			continue
+		}
+		cons.Assign(tp)
+		cons.Seek(tp, 0)
+		idle := 0
+		for cons.Position(tp) < target {
+			msgs, err := cons.Poll()
+			if err != nil || len(msgs) == 0 {
+				idle++
+				if idle > 1000 {
+					r.viol.add("L", "scan %s: stalled at %d of %d (last err %v)", tp, cons.Position(tp), target, err)
+					break
+				}
+				continue
+			}
+			idle = 0
+			out[p] = append(out[p], msgs...)
+		}
+	}
+	return out
+}
+
+// checkStores verifies I5 while the applications are still live: the
+// union of every instance's locally hosted "counts" store must equal a
+// read-committed replay of the changelog topic. A key hosted by two
+// instances at once with different values is also an I5 violation (two
+// owners for one task).
+func (r *runner) checkStores() {
+	replayed := make(map[string]int64)
+	for p, msgs := range r.scanCommitted(changelogTopic) {
+		for _, m := range msgs {
+			if len(m.Record.Value) == 0 {
+				// Tombstone: the key was deleted.
+				k, ok := decodeKeyOnly(m.Record.Key)
+				if ok {
+					delete(replayed, k)
+				}
+				continue
+			}
+			k, n, ok := decodeCount(m.Record)
+			if !ok {
+				r.viol.add("I5", "changelog p%d@%d: undecodable record", p, m.Offset)
+				continue
+			}
+			replayed[k] = n
+		}
+	}
+
+	hosted := make(map[string]int64)
+	for _, app := range r.liveApps() {
+		app.RangeKV(storeNm, func(key, value any) bool {
+			k, ok1 := key.(string)
+			n, ok2 := value.(int64)
+			if !ok1 || !ok2 {
+				r.viol.add("I5", "store entry with unexpected types %T/%T", key, value)
+				return true
+			}
+			if prev, dup := hosted[k]; dup && prev != n {
+				r.viol.add("I5", "key %s hosted twice with different values (%d vs %d)", k, prev, n)
+			}
+			hosted[k] = n
+			return true
+		})
+	}
+
+	for k, n := range replayed {
+		if got, ok := hosted[k]; !ok {
+			r.viol.add("I5", "key %s: in changelog replay (=%d) but missing from hosted stores", k, n)
+		} else if got != n {
+			r.viol.add("I5", "key %s: store=%d changelog-replay=%d", k, got, n)
+		}
+	}
+	for k, n := range hosted {
+		if _, ok := replayed[k]; !ok {
+			r.viol.add("I5", "key %s: in hosted store (=%d) but missing from changelog replay", k, n)
+		}
+	}
+}
+
+// finalChecks runs after the applications closed gracefully: compute the
+// exactly-once reference from the committed input, then hold the
+// committed output to it (I1), and require every partition's transaction
+// ranges to be decided (LSO == HW) at quiescence.
+func (r *runner) finalChecks() {
+	// Reference: per-key occurrence counts over the committed input. This
+	// is exactly what a single-threaded failure-free run of the counting
+	// topology would produce as final state.
+	reference := make(map[string]int64)
+	committed := 0
+	for p, msgs := range r.scanCommitted(inTopic) {
+		for _, m := range msgs {
+			committed++
+			if isAbortTagged(m.Record.Value) {
+				r.viol.add("I4", "sim-in p%d@%d: aborted record %q in committed prefix", p, m.Offset, m.Record.Value)
+				continue
+			}
+			k, ok := decodeKeyOnly(m.Record.Key)
+			if !ok {
+				r.viol.add("L", "sim-in p%d@%d: undecodable key", p, m.Offset)
+				continue
+			}
+			reference[k]++
+		}
+	}
+	r.rep.CommittedInput = committed
+	r.rep.AbortedRounds = r.oracle.abortedRounds
+	r.rep.CommittedRounds = r.oracle.committedRounds
+	r.rep.Indeterminate = r.oracle.indeterminate
+
+	// Committed output: per-key counts must increase strictly (no
+	// duplicate emission survives read-committed) and finish exactly at
+	// the reference value (no loss, no double count).
+	final := make(map[string]int64)
+	lastPerKey := make(map[string]int64)
+	for p, msgs := range r.scanCommitted(outTopic) {
+		for _, m := range msgs {
+			k, n, ok := decodeCount(m.Record)
+			if !ok {
+				r.viol.add("I1", "sim-out p%d@%d: undecodable count record", p, m.Offset)
+				continue
+			}
+			if last, seen := lastPerKey[k]; seen && n <= last {
+				r.viol.add("I1", "key %s: committed output count went %d -> %d", k, last, n)
+			}
+			lastPerKey[k] = n
+			final[k] = n
+		}
+	}
+	for k, want := range reference {
+		if got, ok := final[k]; !ok {
+			r.viol.add("I1", "key %s: expected final count %d, no output", k, want)
+		} else if got != want {
+			r.viol.add("I1", "key %s: final count %d, reference %d", k, got, want)
+		}
+	}
+	for k, got := range final {
+		if _, ok := reference[k]; !ok {
+			r.viol.add("I1", "key %s: output count %d for key never committed to input", k, got)
+		}
+	}
+	r.rep.FinalCounts = final
+
+	// Decidedness: after drain + graceful close every transaction is
+	// resolved, so the last stable offset must have caught up to the high
+	// watermark everywhere. A dropped abort marker pins the LSO forever
+	// and is caught here deterministically.
+	cons := client.NewConsumer(r.cluster.Net(), client.ConsumerConfig{
+		Controller: r.cluster.Controller(),
+		Isolation:  protocol.ReadCommitted,
+	})
+	defer cons.Abandon()
+	for _, tp := range r.allPartitions() {
+		hw, err1 := cons.EndOffset(tp)
+		lso, err2 := cons.StableOffset(tp)
+		if err1 != nil || err2 != nil {
+			r.viol.add("L", "decidedness probe %s: %v / %v", tp, err1, err2)
+			continue
+		}
+		if lso != hw {
+			r.viol.add("I3", "%s: undecided transaction range at quiescence: LSO %d != HW %d", tp, lso, hw)
+		}
+	}
+}
+
+func decodeKeyOnly(key []byte) (string, bool) {
+	if len(key) == 0 {
+		return "", false
+	}
+	return string(key), true
+}

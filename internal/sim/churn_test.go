@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
+	"kstreams/kafka"
+)
+
+// TestSimRebalanceChurn property-tests the group protocol under member
+// churn on the simulator's virtual clock: across 100 seeds, consumers
+// join, leave gracefully, and die silently at random. At no point may two
+// members of the same generation own the same partition, and once churn
+// stops the survivors must converge to a single generation covering every
+// partition exactly once.
+func TestSimRebalanceChurn(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			for _, v := range runChurn(seed) {
+				t.Error(v)
+			}
+		})
+	}
+}
+
+const (
+	churnTopic = "churn"
+	churnParts = int32(8)
+	churnGroup = "churn-group"
+)
+
+func runChurn(seed int64) []string {
+	clock := retry.NewVirtual(time.Unix(1_700_000_000, 0).UTC(), quantum)
+	cluster, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               1,
+		ReplicationFactor:     1,
+		Seed:                  seed,
+		Clock:                 clock,
+		ReplicaPollInterval:   replicaPoll,
+		OffsetsPartitions:     1,
+		GroupRebalanceTimeout: rebalanceTimeout,
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("new cluster: %v", err)}
+	}
+
+	drv := newDriver(clock, cluster.Net(), Schedule{}, func(Event) {})
+	var fails []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer cluster.Close()
+		fails = churnScript(seed, clock, cluster)
+	}()
+	if !drv.run(done) {
+		fails = append(fails, "wall cap exceeded")
+	}
+	return fails
+}
+
+// member is one group member with its own poll loop, as a real consumer
+// would run on its own thread. Polling from a shared loop would serialize
+// the join barrier: one member blocked in a rejoin stops the others from
+// rejoining, the coordinator evicts them as stragglers, and the group
+// thrashes — an artifact of the harness, not a protocol property.
+type member struct {
+	c    *client.Consumer
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startMember(clock *retry.Virtual, cluster *kafka.Cluster, id int) *member {
+	c := client.NewConsumer(cluster.Net(), client.ConsumerConfig{
+		Controller:        cluster.Controller(),
+		Group:             churnGroup,
+		ClientID:          fmt.Sprintf("m%d", id),
+		SessionTimeout:    sessionTimeout,
+		HeartbeatInterval: heartbeatIvl,
+	})
+	c.Subscribe(churnTopic)
+	m := &member{c: c, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		for {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			// Errors are rebalances in progress; membership is what the
+			// loop drives, delivery is irrelevant (the topic is empty).
+			_, _ = c.Poll()
+			clock.Sleep(pollInterval)
+		}
+	}()
+	return m
+}
+
+// halt stops the poll loop and waits it out (a blocked rejoin finishes or
+// times out on the virtual clock first).
+func (m *member) halt() {
+	close(m.stop)
+	<-m.done
+}
+
+func churnScript(seed int64, clock *retry.Virtual, cluster *kafka.Cluster) []string {
+	var fails []string
+	failf := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+	if err := cluster.CreateTopic(churnTopic, churnParts, false); err != nil {
+		return []string{fmt.Sprintf("create topic: %v", err)}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nextID := 0
+	spawn := func() *member {
+		m := startMember(clock, cluster, nextID)
+		nextID++
+		return m
+	}
+	live := []*member{spawn(), spawn(), spawn()}
+
+	// Churn phase: random joins, graceful leaves, and silent deaths.
+	for step := 0; step < 20; step++ {
+		if d := doubleAssigned(live); d != "" {
+			failf("churn step %d: %s", step, d)
+		}
+		switch rng.Intn(4) {
+		case 0:
+			if len(live) < 5 {
+				live = append(live, spawn())
+			}
+		case 1:
+			if len(live) > 1 {
+				i := rng.Intn(len(live))
+				live[i].halt()
+				live[i].c.Close() // graceful leave-group
+				live = append(live[:i], live[i+1:]...)
+			}
+		case 2:
+			if len(live) > 1 {
+				i := rng.Intn(len(live))
+				live[i].halt()
+				live[i].c.Abandon() // silent death: eviction by session timeout
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		clock.Sleep(100 * time.Millisecond)
+	}
+
+	// Settle phase: no more churn; the group must converge.
+	converged := false
+	for i := 0; i < 200; i++ {
+		if d := doubleAssigned(live); d != "" {
+			failf("settle step %d: %s", i, d)
+			break
+		}
+		if isConverged(live) {
+			converged = true
+			break
+		}
+		clock.Sleep(100 * time.Millisecond)
+	}
+	if !converged && len(fails) == 0 {
+		failf("group never converged with %d members: %s", len(live), describeAssignments(live))
+	}
+	for _, m := range live {
+		m.halt()
+		m.c.Close()
+	}
+	return fails
+}
+
+// doubleAssigned reports a partition owned by two members of the same
+// generation. Members of different generations may transiently disagree
+// (one has not completed its rejoin); that is protocol-legal and ignored.
+func doubleAssigned(live []*member) string {
+	owner := make(map[int32]map[protocol.TopicPartition]string)
+	for _, m := range live {
+		gen := m.c.Generation()
+		if gen <= 0 {
+			continue
+		}
+		owned := m.c.Assignment()
+		if m.c.Generation() != gen {
+			// A rebalance completed between the two reads; skip this
+			// sample rather than pin the new assignment on the old
+			// generation.
+			continue
+		}
+		byTP := owner[gen]
+		if byTP == nil {
+			byTP = make(map[protocol.TopicPartition]string)
+			owner[gen] = byTP
+		}
+		for _, tp := range owned {
+			if prev, ok := byTP[tp]; ok {
+				return fmt.Sprintf("%s owned by both %s and %s in generation %d", tp, prev, m.c.MemberID(), gen)
+			}
+			byTP[tp] = m.c.MemberID()
+		}
+	}
+	return ""
+}
+
+func isConverged(live []*member) bool {
+	if len(live) == 0 {
+		return false
+	}
+	gen := live[0].c.Generation()
+	if gen <= 0 {
+		return false
+	}
+	total := 0
+	for _, m := range live {
+		if m.c.Generation() != gen {
+			return false
+		}
+		total += len(m.c.Assignment())
+	}
+	// Disjointness is doubleAssigned's job; equal generations plus a full
+	// count means every partition is owned exactly once.
+	return total == int(churnParts)
+}
+
+func describeAssignments(live []*member) string {
+	var parts []string
+	for _, m := range live {
+		parts = append(parts, fmt.Sprintf("%s gen=%d owns=%d", m.c.MemberID(), m.c.Generation(), len(m.c.Assignment())))
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstreams/internal/retry"
+	"kstreams/internal/transport"
+)
+
+// driver advances virtual time. It runs on the test's goroutine while the
+// scenario script runs beside it; each iteration waits (in real time) for
+// the system to go quiescent — every goroutine parked in Clock.Sleep/After
+// and no RPC in flight — then either applies the next due schedule event
+// or steps the clock to the earliest registered deadline.
+//
+// Quiescence is a heuristic: a goroutine between a returned RPC and its
+// next clock wait is invisible for a few microseconds. A false advance is
+// safe — it can only move time to the next already-registered deadline,
+// never reorder two registered waits — so safety invariants are
+// unaffected; the settle window just keeps the timeline reproducible.
+type driver struct {
+	clock *retry.Virtual
+	net   *transport.Network
+	start time.Time
+
+	apply func(Event) // runs one schedule event (driver goroutine)
+
+	mu      sync.Mutex
+	pending []Event // schedule events not yet applied, sorted by At
+
+	// eventsInFlight counts apply goroutines still running.
+	eventsInFlight atomic.Int64
+
+	stop atomic.Bool
+}
+
+const (
+	// Quiescence is sampled between bursts of runtime.Gosched yields
+	// rather than timed sleeps: time.Sleep has a ~1ms floor on stock
+	// kernels, which would put a millisecond of wall time under every
+	// virtual step. Yielding gives every runnable goroutine the CPU and
+	// returns in microseconds once they are all parked.
+	settleSampleYields = 32
+	// settleRounds consecutive stable samples (activity counter
+	// unchanged, no RPC in flight) declare the system quiescent.
+	settleRounds = 4
+	// settleRoundsBlocked is the longer window used when RPCs are still
+	// in flight: a handler parked in a replication wait (cond.Wait) keeps
+	// InFlight nonzero forever, and only advancing the clock — waking the
+	// follower poll loops — can unblock it.
+	settleRoundsBlocked = 24
+	// wallCap aborts a run whose script wedged on something that virtual
+	// time cannot unblock (a bug in the harness or the system under test).
+	wallCap = 10 * time.Minute
+)
+
+func newDriver(clock *retry.Virtual, net *transport.Network, sched Schedule, apply func(Event)) *driver {
+	d := &driver{clock: clock, net: net, apply: apply, start: clock.Now()}
+	d.pending = append(d.pending, sched.Events...)
+	sortEvents(d.pending)
+	return d
+}
+
+// settle blocks until the system looks quiescent: clock activity stable
+// with no RPC in flight (fast path), or stable for the longer blocked
+// window when handlers are parked mid-RPC waiting for replication.
+func (d *driver) settle() {
+	stable := 0
+	last := d.clock.Activity()
+	for {
+		if d.stop.Load() {
+			return
+		}
+		for i := 0; i < settleSampleYields; i++ {
+			runtime.Gosched()
+		}
+		cur := d.clock.Activity()
+		if cur != last {
+			stable = 0
+			last = cur
+			continue
+		}
+		stable++
+		if d.net.InFlight() == 0 {
+			if stable >= settleRounds {
+				return
+			}
+		} else if stable >= settleRoundsBlocked {
+			return
+		}
+	}
+}
+
+// run steps until done closes (the scenario script finished) or the wall
+// cap expires. It returns false on wall-cap timeout.
+func (d *driver) run(done <-chan struct{}) bool {
+	deadline := retry.Wall.Now().Add(wallCap)
+	for {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		if retry.Wall.Now().After(deadline) {
+			d.stop.Store(true)
+			return false
+		}
+		d.settle()
+		d.tick()
+	}
+}
+
+// tick performs one scheduling decision: apply the next due schedule
+// event, or advance the clock toward min(next event, next deadline).
+func (d *driver) tick() {
+	now := d.clock.Now().Sub(d.start)
+
+	d.mu.Lock()
+	var next *Event
+	if len(d.pending) > 0 {
+		next = &d.pending[0]
+	}
+	// Apply every event due at or before the current virtual time.
+	if next != nil && next.At <= now {
+		ev := d.pending[0]
+		d.pending = d.pending[1:]
+		d.mu.Unlock()
+		d.eventsInFlight.Add(1)
+		// Fault application can block on virtual time (a broker Stop
+		// waits for loops parked on the clock), so it runs beside the
+		// driver, which keeps stepping.
+		go func() {
+			defer d.eventsInFlight.Add(-1)
+			d.apply(ev)
+		}()
+		return
+	}
+	d.mu.Unlock()
+
+	if next != nil {
+		// Advance no further than the next schedule event.
+		if dl, ok := d.clock.NextDeadline(); !ok || dl.Sub(d.start) > next.At {
+			d.clock.Advance(next.At - now)
+			return
+		}
+	}
+	if _, ok := d.clock.Step(); !ok && next == nil {
+		// Nothing is waiting on the clock and no events remain: the
+		// script is doing synchronous work; yield and settle again.
+		runtime.Gosched()
+	}
+}
+
+// eventsDone reports whether every schedule event has been applied and
+// its apply goroutine has returned.
+func (d *driver) eventsDone() bool {
+	d.mu.Lock()
+	n := len(d.pending)
+	d.mu.Unlock()
+	return n == 0 && d.eventsInFlight.Load() == 0
+}

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind names a fault-schedule event. Events come in open/close pairs
+// (crash/restore, partition/heal, delay/undelay, kill-app/restart-app,
+// crash-txncoord/restore-txncoord); the generator always emits both
+// halves and the shrinker removes them together, so a shrunk schedule
+// never leaves a broker crashed or a link cut at drain time.
+type Kind string
+
+// Schedule event kinds.
+const (
+	KindCrash           Kind = "crash"
+	KindRestore         Kind = "restore"
+	KindPartition       Kind = "partition"
+	KindHeal            Kind = "heal"
+	KindDelay           Kind = "delay"
+	KindUndelay         Kind = "undelay"
+	KindKillApp         Kind = "kill-app"
+	KindRestartApp      Kind = "restart-app"
+	KindCrashTxnCoord   Kind = "crash-txncoord"
+	KindRestoreTxnCoord Kind = "restore-txncoord"
+)
+
+// Event is one scheduled fault at a virtual time offset from run start.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	// A and B are broker ids (crash/restore use A; partition/heal use
+	// both). crash-txncoord resolves its target at apply time.
+	A, B int32
+	// Extra is the injected per-RPC latency for delay events.
+	Extra time.Duration
+	// App is the application-instance index for kill/restart events.
+	App int
+	// Pair links an open event to its close; both halves share the id.
+	Pair int
+}
+
+func (e Event) String() string {
+	at := fmt.Sprintf("t=%dms", e.At.Milliseconds())
+	switch e.Kind {
+	case KindCrash, KindRestore:
+		return fmt.Sprintf("%s %s broker %d", at, e.Kind, e.A)
+	case KindPartition, KindHeal:
+		return fmt.Sprintf("%s %s brokers %d %d", at, e.Kind, e.A, e.B)
+	case KindDelay:
+		return fmt.Sprintf("%s delay +%dms", at, e.Extra.Milliseconds())
+	case KindUndelay:
+		return fmt.Sprintf("%s undelay", at)
+	case KindKillApp, KindRestartApp:
+		return fmt.Sprintf("%s %s instance %d", at, e.Kind, e.App)
+	default: // crash-txncoord / restore-txncoord
+		return fmt.Sprintf("%s %s", at, e.Kind)
+	}
+}
+
+// Schedule is a seeded fault schedule: the events, sorted by time.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// sortEvents orders by (At, Pair, Kind) so rendering and application
+// order are stable even when two events share a timestamp.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		if evs[i].Pair != evs[j].Pair {
+			return evs[i].Pair < evs[j].Pair
+		}
+		return evs[i].Kind < evs[j].Kind
+	})
+}
+
+// Generate derives the fault schedule from a seed. The generator keeps
+// the run recoverable: at most one broker is down at a time (txn
+// coordinator crashes count), every fault is healed before the drain
+// window, and delay spikes are bounded.
+func Generate(seed int64, brokers int32, apps int, loadWindow time.Duration, short bool) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	nPairs := 3 + rng.Intn(4) // 3..6
+	if short {
+		nPairs = 2 + rng.Intn(3) // 2..4
+	}
+	s := Schedule{Seed: seed}
+	// Earliest event: after startup/rebalance settles. Latest close: before
+	// the drain window so the cluster is whole when the checkers run.
+	lo := 300 * time.Millisecond
+	hi := loadWindow + 400*time.Millisecond
+	durRange := func(min, max time.Duration) time.Duration {
+		return min + time.Duration(rng.Int63n(int64(max-min)))
+	}
+	// brokerFreeAt serializes broker-down pairs so two never overlap.
+	brokerFreeAt := lo
+	appFreeAt := lo
+	for pair := 1; pair <= nPairs; pair++ {
+		kindRoll := rng.Intn(10)
+		switch {
+		case kindRoll < 3: // broker crash/restore
+			at := brokerFreeAt + durRange(0, 400*time.Millisecond)
+			down := durRange(400*time.Millisecond, time.Second)
+			if at+down > hi {
+				continue
+			}
+			b := 1 + rng.Int31n(brokers)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindCrash, A: b, Pair: pair},
+				Event{At: at + down, Kind: KindRestore, A: b, Pair: pair})
+			brokerFreeAt = at + down + 600*time.Millisecond
+		case kindRoll < 4: // txn-coordinator failover
+			at := brokerFreeAt + durRange(0, 400*time.Millisecond)
+			down := durRange(400*time.Millisecond, time.Second)
+			if at+down > hi {
+				continue
+			}
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindCrashTxnCoord, Pair: pair},
+				Event{At: at + down, Kind: KindRestoreTxnCoord, Pair: pair})
+			brokerFreeAt = at + down + 600*time.Millisecond
+		case kindRoll < 6: // pairwise partition/heal
+			at := lo + durRange(0, hi-lo-800*time.Millisecond)
+			dur := durRange(300*time.Millisecond, 800*time.Millisecond)
+			a := 1 + rng.Int31n(brokers)
+			b := 1 + rng.Int31n(brokers)
+			if a == b {
+				b = 1 + (a % brokers)
+			}
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindPartition, A: a, B: b, Pair: pair},
+				Event{At: at + dur, Kind: KindHeal, A: a, B: b, Pair: pair})
+		case kindRoll < 8: // transport delay spike
+			at := lo + durRange(0, hi-lo-700*time.Millisecond)
+			dur := durRange(200*time.Millisecond, 600*time.Millisecond)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindDelay, Extra: time.Duration(1+rng.Intn(10)) * time.Millisecond, Pair: pair},
+				Event{At: at + dur, Kind: KindUndelay, Pair: pair})
+		default: // stream-instance kill + replace
+			at := appFreeAt + durRange(0, 500*time.Millisecond)
+			gap := durRange(300*time.Millisecond, 600*time.Millisecond)
+			if at+gap > hi {
+				continue
+			}
+			app := rng.Intn(apps)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindKillApp, App: app, Pair: pair},
+				Event{At: at + gap, Kind: KindRestartApp, App: app, Pair: pair})
+			appFreeAt = at + gap + 700*time.Millisecond
+		}
+	}
+	sortEvents(s.Events)
+	return s
+}
+
+// Render writes the schedule in its replayable text form.
+func (s Schedule) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# kssim schedule seed=%d\n", s.Seed)
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindCrash, KindRestore:
+			fmt.Fprintf(&b, "%d %s %d\n", e.At.Milliseconds(), e.Kind, e.A)
+		case KindPartition, KindHeal:
+			fmt.Fprintf(&b, "%d %s %d %d\n", e.At.Milliseconds(), e.Kind, e.A, e.B)
+		case KindDelay:
+			fmt.Fprintf(&b, "%d %s %d\n", e.At.Milliseconds(), e.Kind, e.Extra.Milliseconds())
+		case KindKillApp, KindRestartApp:
+			fmt.Fprintf(&b, "%d %s %d\n", e.At.Milliseconds(), e.Kind, e.App)
+		default:
+			fmt.Fprintf(&b, "%d %s\n", e.At.Milliseconds(), e.Kind)
+		}
+	}
+	return b.String()
+}
+
+// ParseSchedule reads the Render text form back. Pair ids are re-derived
+// by matching each open event to the first unmatched close of its
+// counterpart kind (and arguments, where the kind carries any).
+func ParseSchedule(r io.Reader) (Schedule, error) {
+	var s Schedule
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			// The header comment carries the generating seed; recover it so
+			// a replayed schedule reports under its original identity.
+			if i := strings.LastIndex(text, "seed="); i >= 0 {
+				fmt.Sscanf(text[i+len("seed="):], "%d", &s.Seed)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sim: schedule line %d: %q", line, text)
+		}
+		var ms int64
+		if _, err := fmt.Sscanf(fields[0], "%d", &ms); err != nil {
+			return s, fmt.Errorf("sim: schedule line %d: bad time %q", line, fields[0])
+		}
+		e := Event{At: time.Duration(ms) * time.Millisecond, Kind: Kind(fields[1])}
+		argInt := func(i int) (int64, error) {
+			if len(fields) <= i {
+				return 0, fmt.Errorf("sim: schedule line %d: missing argument", line)
+			}
+			var v int64
+			_, err := fmt.Sscanf(fields[i], "%d", &v)
+			return v, err
+		}
+		var err error
+		var v, w int64
+		switch e.Kind {
+		case KindCrash, KindRestore:
+			if v, err = argInt(2); err == nil {
+				e.A = int32(v)
+			}
+		case KindPartition, KindHeal:
+			if v, err = argInt(2); err == nil {
+				e.A = int32(v)
+				if w, err = argInt(3); err == nil {
+					e.B = int32(w)
+				}
+			}
+		case KindDelay:
+			if v, err = argInt(2); err == nil {
+				e.Extra = time.Duration(v) * time.Millisecond
+			}
+		case KindKillApp, KindRestartApp:
+			if v, err = argInt(2); err == nil {
+				e.App = int(v)
+			}
+		case KindUndelay, KindCrashTxnCoord, KindRestoreTxnCoord:
+		default:
+			return s, fmt.Errorf("sim: schedule line %d: unknown kind %q", line, fields[1])
+		}
+		if err != nil {
+			return s, fmt.Errorf("sim: schedule line %d: %v", line, err)
+		}
+		s.Events = append(s.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	rePair(&s)
+	return s, nil
+}
+
+// closeKind maps an open event kind to its close; ok is false for closes.
+func closeKind(k Kind) (Kind, bool) {
+	switch k {
+	case KindCrash:
+		return KindRestore, true
+	case KindPartition:
+		return KindHeal, true
+	case KindDelay:
+		return KindUndelay, true
+	case KindKillApp:
+		return KindRestartApp, true
+	case KindCrashTxnCoord:
+		return KindRestoreTxnCoord, true
+	}
+	return "", false
+}
+
+func sameTarget(open, cl Event) bool {
+	switch open.Kind {
+	case KindCrash:
+		return open.A == cl.A
+	case KindPartition:
+		return open.A == cl.A && open.B == cl.B
+	case KindKillApp:
+		return open.App == cl.App
+	}
+	return true
+}
+
+// rePair assigns fresh Pair ids by matching open events (in time order)
+// to the first later unmatched close of the counterpart kind and target.
+func rePair(s *Schedule) {
+	sortEvents(s.Events)
+	next := 1
+	for i := range s.Events {
+		s.Events[i].Pair = 0
+	}
+	for i := range s.Events {
+		ck, isOpen := closeKind(s.Events[i].Kind)
+		if !isOpen || s.Events[i].Pair != 0 {
+			continue
+		}
+		s.Events[i].Pair = next
+		for j := i + 1; j < len(s.Events); j++ {
+			if s.Events[j].Pair == 0 && s.Events[j].Kind == ck && sameTarget(s.Events[i], s.Events[j]) {
+				s.Events[j].Pair = next
+				break
+			}
+		}
+		next++
+	}
+	// Orphan closes (possible in a hand-edited file) get their own ids.
+	for i := range s.Events {
+		if s.Events[i].Pair == 0 {
+			s.Events[i].Pair = next
+			next++
+		}
+	}
+}
+
+// pairs groups the schedule's events by Pair id, in first-occurrence
+// order — the unit of removal during shrinking.
+func (s Schedule) pairs() [][]Event {
+	order := make([]int, 0, len(s.Events))
+	byPair := make(map[int][]Event)
+	for _, e := range s.Events {
+		if _, seen := byPair[e.Pair]; !seen {
+			order = append(order, e.Pair)
+		}
+		byPair[e.Pair] = append(byPair[e.Pair], e)
+	}
+	out := make([][]Event, 0, len(order))
+	for _, id := range order {
+		out = append(out, byPair[id])
+	}
+	return out
+}
+
+// withoutPair returns a copy of the schedule minus one pair group.
+func (s Schedule) withoutPair(pairID int) Schedule {
+	out := Schedule{Seed: s.Seed}
+	for _, e := range s.Events {
+		if e.Pair != pairID {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package sim
+
+import "time"
+
+// maxShrinkRuns caps the total reruns a shrink may spend; each rerun is
+// a full simulation, so the budget matters more than minimality.
+const maxShrinkRuns = 40
+
+// ShrinkResult is the outcome of minimizing a failing schedule.
+type ShrinkResult struct {
+	Schedule Schedule
+	Report   *Report // report of the minimal failing run
+	Runs     int     // simulations spent shrinking
+}
+
+// Shrink minimizes a failing schedule: first greedy fault-pair removal to
+// a fixpoint (a pair is removed atomically — a crash never survives
+// without its restore), then time-bisection pulling each surviving pair
+// toward t=0. The failure need not be the identical violation — any
+// failing rerun counts, which is standard shrinking practice.
+func Shrink(cfg Config, sched Schedule, firstFailure *Report) ShrinkResult {
+	res := ShrinkResult{Schedule: sched, Report: firstFailure}
+	rerun := func(s Schedule) *Report {
+		res.Runs++
+		c := cfg
+		c.Schedule = &s
+		return Run(c)
+	}
+
+	// Phase 1: drop whole pairs while the failure reproduces.
+	improved := true
+	for improved && res.Runs < maxShrinkRuns {
+		improved = false
+		for _, grp := range res.Schedule.pairs() {
+			if res.Runs >= maxShrinkRuns {
+				break
+			}
+			cand := res.Schedule.withoutPair(grp[0].Pair)
+			if rep := rerun(cand); !rep.OK() {
+				res.Schedule = cand
+				res.Report = rep
+				improved = true
+				break
+			}
+		}
+	}
+
+	// Phase 2: halve each pair's start time (preserving intra-pair gaps)
+	// while the failure reproduces, so the reproducer is also short.
+	for _, grp := range res.Schedule.pairs() {
+		if res.Runs >= maxShrinkRuns {
+			break
+		}
+		base := grp[0].At
+		if base < 2*quantum {
+			continue
+		}
+		cand := shiftPair(res.Schedule, grp[0].Pair, base/2)
+		if rep := rerun(cand); !rep.OK() {
+			res.Schedule = cand
+			res.Report = rep
+		}
+	}
+	return res
+}
+
+// shiftPair returns a copy of s with every event of the pair moved so the
+// pair's first event lands at newStart, keeping intra-pair gaps, rounded
+// to the clock quantum.
+func shiftPair(s Schedule, pair int, newStart time.Duration) Schedule {
+	var base time.Duration = -1
+	for _, e := range s.Events {
+		if e.Pair == pair {
+			base = e.At
+			break
+		}
+	}
+	out := Schedule{Seed: s.Seed, Events: make([]Event, len(s.Events))}
+	copy(out.Events, s.Events)
+	if base < 0 {
+		return out
+	}
+	delta := newStart - base
+	for i := range out.Events {
+		if out.Events[i].Pair == pair {
+			at := out.Events[i].At + delta
+			at = at.Round(quantum)
+			if at < 0 {
+				at = 0
+			}
+			out.Events[i].At = at
+		}
+	}
+	sortEvents(out.Events)
+	return out
+}

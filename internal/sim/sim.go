@@ -1,0 +1,450 @@
+// Package sim is the deterministic fault-schedule simulator: it runs a
+// full in-process cluster plus a streams topology on a virtual clock,
+// drives a seeded schedule of broker crashes, network partitions, delay
+// spikes, stream-instance kills, and txn-coordinator failovers, and then
+// checks the paper's consistency claims as machine-verified invariants:
+//
+//	I1 exactly-once output equivalence vs a single-threaded reference
+//	I2 per-partition offset monotonicity at every consumer
+//	I3 LSO <= HW at every fetch observation point
+//	I4 read-committed consumers never observe aborted records
+//	I5 state-store contents equal a replay of the changelog
+//
+// Time only advances when every goroutine is parked in Clock.Sleep/After
+// and no RPC is in flight (see driver), so a seed fully determines the
+// fault schedule and the run is replayable: kssim -seed N.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// Simulation topology names.
+const (
+	appID    = "simapp"
+	inTopic  = "sim-in"
+	outTopic = "sim-out"
+	storeNm  = "counts"
+)
+
+const changelogTopic = appID + "-" + storeNm + "-changelog"
+
+// Cadences. All waits in the system run on the virtual clock; these are
+// coarse (vs the wall-clock defaults) so periodic loops coalesce onto
+// the clock's quantum instead of generating one step per microsecond.
+const (
+	quantum          = time.Millisecond
+	replicaPoll      = 2 * time.Millisecond
+	pollInterval     = 4 * time.Millisecond
+	commitInterval   = 40 * time.Millisecond
+	heartbeatIvl     = 100 * time.Millisecond
+	sessionTimeout   = 1200 * time.Millisecond
+	rebalanceTimeout = 500 * time.Millisecond
+	txnTimeoutV      = 4 * time.Second
+	watcherPoll      = 10 * time.Millisecond
+	roundGap         = 50 * time.Millisecond
+	drainProbe       = 100 * time.Millisecond
+	drainStable      = 6 // consecutive unchanged probes => drained
+	drainCap         = 60 * time.Second
+)
+
+const (
+	numBrokers   = 3
+	numInstances = 2
+	numParts     = 2
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Seed determines the fault schedule and the workload's keys/aborts.
+	Seed int64
+	// Short runs the reduced workload (CI per-PR profile).
+	Short bool
+	// Schedule overrides the generated schedule (replay and shrinking).
+	Schedule *Schedule
+	// Faults, when non-nil, arms deliberate protocol bugs so tests can
+	// prove the invariant checkers catch them.
+	Faults *kafka.Faults
+}
+
+func (c Config) rounds() int {
+	if c.Short {
+		return 15
+	}
+	return 30
+}
+
+// loadWindow is the nominal virtual duration of the produce phase.
+func (c Config) loadWindow() time.Duration {
+	return time.Duration(c.rounds()) * roundGap
+}
+
+// Run executes one simulation and returns its report. It never panics on
+// invariant violations — they are collected into the report so the
+// caller (test or kssim) can decide to shrink and replay.
+func Run(cfg Config) *Report {
+	r := newRunner(cfg)
+	return r.run()
+}
+
+// violations collects invariant failures concurrently. Each entry is
+// prefixed with its invariant tag (I1..I5, or L for liveness/harness).
+type violations struct {
+	mu   sync.Mutex
+	list []string
+}
+
+func (v *violations) add(tag, format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.list = append(v.list, tag+": "+fmt.Sprintf(format, args...))
+}
+
+// sorted returns the deduplicated, sorted violation list — sorted so the
+// report is byte-identical regardless of goroutine interleaving.
+func (v *violations) sorted() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	seen := make(map[string]bool, len(v.list))
+	out := make([]string, 0, len(v.list))
+	for _, s := range v.list {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+type runner struct {
+	cfg   Config
+	sched Schedule
+	clock *retry.Virtual
+
+	cluster *kafka.Cluster
+	driver  *driver
+
+	appsMu sync.Mutex
+	apps   []*streams.App // by instance index; nil while killed
+
+	// delayNS is the active transport delay spike (0 = none), read by the
+	// installed DelayFn.
+	delayNS atomic.Int64
+
+	// coordTarget remembers which broker a crash-txncoord event took down.
+	coordTarget atomic.Int32
+
+	pairMu   sync.Mutex
+	pairDone map[int]chan struct{}
+	pairOpen map[int]bool
+
+	watch  *watcher
+	oracle *oracle
+	viol   *violations
+
+	rep *Report
+}
+
+func newRunner(cfg Config) *runner {
+	r := &runner{
+		cfg:      cfg,
+		viol:     &violations{},
+		apps:     make([]*streams.App, numInstances),
+		pairDone: make(map[int]chan struct{}),
+		pairOpen: make(map[int]bool),
+	}
+	if cfg.Schedule != nil {
+		r.sched = *cfg.Schedule
+	} else {
+		r.sched = Generate(cfg.Seed, numBrokers, numInstances, cfg.loadWindow(), cfg.Short)
+	}
+	for _, e := range r.sched.Events {
+		if _, isOpen := closeKind(e.Kind); isOpen {
+			r.pairOpen[e.Pair] = true
+		}
+	}
+	return r
+}
+
+// txnIDOfInstance names the transactional id of an instance's only
+// stream thread (AppID-InstanceID-Index), the target of txn-coordinator
+// failover events.
+func txnIDOfInstance(idx int) string {
+	return fmt.Sprintf("%s-%s-0", appID, instanceID(idx))
+}
+
+func instanceID(idx int) string { return fmt.Sprintf("i%d", idx) }
+
+func (r *runner) run() *Report {
+	rep := &Report{Seed: r.cfg.Seed, Short: r.cfg.Short, Sched: r.sched,
+		Rounds: r.cfg.rounds(), RecordsPerRound: recordsPerRound}
+	r.rep = rep
+
+	// Fixed epoch so broker-stamped times are seed-independent.
+	r.clock = retry.NewVirtual(time.Unix(1_700_000_000, 0).UTC(), quantum)
+
+	cluster, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               numBrokers,
+		ReplicationFactor:     3,
+		Seed:                  r.cfg.Seed,
+		Clock:                 r.clock,
+		ReplicaPollInterval:   replicaPoll,
+		OffsetsPartitions:     4,
+		TxnPartitions:         4,
+		TxnTimeout:            txnTimeoutV,
+		GroupRebalanceTimeout: rebalanceTimeout,
+		Faults:                r.cfg.Faults,
+	})
+	if err != nil {
+		r.viol.add("L", "cluster start: %v", err)
+		rep.Violations = r.viol.sorted()
+		return rep
+	}
+	r.cluster = cluster
+	defer func() {
+		rep.Violations = r.viol.sorted()
+		rep.finish()
+	}()
+
+	cluster.Net().SetDelayFn(func(from, to int32, kind string) time.Duration {
+		return time.Duration(r.delayNS.Load())
+	})
+
+	r.driver = newDriver(r.clock, cluster.Net(), r.sched, r.applyEvent)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.script()
+	}()
+	if ok := r.driver.run(done); !ok {
+		r.viol.add("L", "wall-clock cap exceeded: scenario wedged outside virtual time")
+	}
+	return rep
+}
+
+// script is the scenario, run beside the stepping driver: start the
+// topology, drive the workload, drain, then check every invariant.
+func (r *runner) script() {
+	defer r.cluster.Close()
+
+	if err := r.cluster.CreateTopic(inTopic, numParts, false); err != nil {
+		r.viol.add("L", "create %s: %v", inTopic, err)
+		return
+	}
+	if err := r.cluster.CreateTopic(outTopic, numParts, false); err != nil {
+		r.viol.add("L", "create %s: %v", outTopic, err)
+		return
+	}
+	for i := 0; i < numInstances; i++ {
+		if err := r.startInstance(i); err != nil {
+			r.viol.add("L", "start instance %d: %v", i, err)
+			return
+		}
+	}
+
+	r.watch = newWatcher(r)
+	r.watch.start()
+
+	r.oracle = newOracle(r)
+	r.oracle.run()
+
+	r.drain()
+	r.checkStores()
+	r.closeApps()
+	r.finalChecks()
+	r.watch.stop()
+}
+
+// buildApp compiles a fresh counting topology instance: per-key counts of
+// sim-in materialized into the "counts" store and streamed to sim-out.
+func buildApp(cluster *kafka.Cluster, instance string) (*streams.App, error) {
+	b := streams.NewBuilder(appID)
+	b.Stream(inTopic, streams.StringSerde, streams.StringSerde).
+		GroupByKey().
+		Count(storeNm).
+		ToStream().
+		To(outTopic)
+	return streams.NewApp(b, streams.Config{
+		Cluster:           cluster,
+		InstanceID:        instance,
+		Guarantee:         streams.ExactlyOnce,
+		CommitInterval:    commitInterval,
+		NumThreads:        1,
+		TxnTimeout:        txnTimeoutV,
+		SessionTimeout:    sessionTimeout,
+		HeartbeatInterval: heartbeatIvl,
+		PollInterval:      pollInterval,
+	})
+}
+
+func (r *runner) startInstance(idx int) error {
+	app, err := buildApp(r.cluster, instanceID(idx))
+	if err != nil {
+		return err
+	}
+	if err := app.Start(); err != nil {
+		return err
+	}
+	r.appsMu.Lock()
+	r.apps[idx] = app
+	r.appsMu.Unlock()
+	return nil
+}
+
+func (r *runner) liveApps() []*streams.App {
+	r.appsMu.Lock()
+	defer r.appsMu.Unlock()
+	out := make([]*streams.App, 0, len(r.apps))
+	for _, a := range r.apps {
+		if a != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (r *runner) closeApps() {
+	for _, a := range r.liveApps() {
+		a.Close()
+	}
+	r.appsMu.Lock()
+	for i := range r.apps {
+		r.apps[i] = nil
+	}
+	r.appsMu.Unlock()
+}
+
+// pairCh returns the completion channel for a pair's open event.
+func (r *runner) pairCh(pair int) chan struct{} {
+	r.pairMu.Lock()
+	defer r.pairMu.Unlock()
+	ch, ok := r.pairDone[pair]
+	if !ok {
+		ch = make(chan struct{})
+		r.pairDone[pair] = ch
+	}
+	return ch
+}
+
+// applyEvent executes one schedule event. Close events wait for their
+// open half to finish first (CrashBroker can block on virtual time, and
+// restoring a broker mid-Stop would race the controller bookkeeping).
+func (r *runner) applyEvent(ev Event) {
+	if _, isOpen := closeKind(ev.Kind); isOpen {
+		defer close(r.pairCh(ev.Pair))
+	} else if r.pairOpen[ev.Pair] {
+		<-r.pairCh(ev.Pair)
+	}
+	switch ev.Kind {
+	case KindCrash:
+		r.cluster.CrashBroker(ev.A)
+	case KindRestore:
+		if err := r.cluster.RestartBroker(ev.A); err != nil {
+			r.viol.add("L", "restart broker %d: %v", ev.A, err)
+		}
+	case KindPartition:
+		r.cluster.Net().Partition(ev.A, ev.B)
+	case KindHeal:
+		r.cluster.Net().Heal(ev.A, ev.B)
+	case KindDelay:
+		r.delayNS.Store(int64(ev.Extra))
+	case KindUndelay:
+		r.delayNS.Store(0)
+	case KindKillApp:
+		r.appsMu.Lock()
+		app := r.apps[ev.App]
+		r.apps[ev.App] = nil
+		r.appsMu.Unlock()
+		if app != nil {
+			app.Kill()
+		}
+	case KindRestartApp:
+		if err := r.startInstance(ev.App); err != nil {
+			r.viol.add("L", "restart instance %d: %v", ev.App, err)
+		}
+	case KindCrashTxnCoord:
+		// Resolve the current coordinator of instance 0's thread txn id.
+		b := r.cluster.TxnCoordinator(txnIDOfInstance(0))
+		if b > 0 {
+			r.coordTarget.Store(b)
+			r.cluster.CrashBroker(b)
+		}
+	case KindRestoreTxnCoord:
+		if b := r.coordTarget.Swap(0); b > 0 {
+			if err := r.cluster.RestartBroker(b); err != nil {
+				r.viol.add("L", "restart txn coordinator %d: %v", b, err)
+			}
+		}
+	}
+}
+
+// drain steps virtual time until the cluster's externally visible state
+// (HW and LSO of every simulation partition, records seen by the
+// watcher) has been stable for drainStable probes — i.e. all in-flight
+// processing, recovery, and marker writes have landed.
+func (r *runner) drain() {
+	probe := client.NewConsumer(r.cluster.Net(), client.ConsumerConfig{
+		Controller: r.cluster.Controller(),
+		Isolation:  protocol.ReadCommitted,
+	})
+	defer probe.Abandon()
+	start := r.clock.Now()
+	stable := 0
+	last := ""
+	for {
+		r.clock.Sleep(drainProbe)
+		if r.clock.Now().Sub(start) > drainCap {
+			r.viol.add("L", "drain: no quiescence within %s virtual (last state %s)", drainCap, last)
+			return
+		}
+		if !r.driver.eventsDone() {
+			continue
+		}
+		fp := fmt.Sprintf("watch=%d", r.watch.delivered.Load())
+		ok := true
+		for _, tp := range r.allPartitions() {
+			hw, err1 := probe.EndOffset(tp)
+			lso, err2 := probe.StableOffset(tp)
+			if err1 != nil || err2 != nil {
+				ok = false
+				break
+			}
+			fp += fmt.Sprintf(" %s:%d/%d", tp, lso, hw)
+		}
+		if !ok {
+			stable = 0
+			continue
+		}
+		if fp == last {
+			stable++
+			if stable >= drainStable {
+				return
+			}
+		} else {
+			stable = 0
+			last = fp
+		}
+	}
+}
+
+func (r *runner) allPartitions() []protocol.TopicPartition {
+	var tps []protocol.TopicPartition
+	for _, topic := range []string{inTopic, outTopic, changelogTopic} {
+		for p := int32(0); p < numParts; p++ {
+			tps = append(tps, protocol.TopicPartition{Topic: topic, Partition: p})
+		}
+	}
+	return tps
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kstreams/kafka"
+)
+
+// TestSim sweeps the short workload profile over 50 distinct seeds. Every
+// seed must come back green on all five invariants; a failure prints the
+// full report plus the replay command.
+func TestSim(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep := Run(Config{Seed: seed, Short: true})
+			if !rep.OK() {
+				t.Fatalf("invariant violation; replay with: kssim -seed %d -short\n%s", seed, rep.Text())
+			}
+		})
+	}
+}
+
+// TestSimDeterministicReport runs the same seed twice and requires the
+// rendered reports to be byte-identical: the virtual clock and seeded
+// schedule leave no room for wall-time or map-order leakage.
+func TestSimDeterministicReport(t *testing.T) {
+	t.Parallel()
+	a := Run(Config{Seed: 7, Short: true}).Text()
+	b := Run(Config{Seed: 7, Short: true}).Text()
+	if a != b {
+		t.Fatalf("same seed produced different reports:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestSimInjectedBugShrinks self-tests the checkers: with abort markers
+// deliberately dropped, the run must fail (aborted records become visible
+// and the LSO wedges below the HW) and the shrinker must reduce the
+// schedule to a handful of events — the bug does not need faults to fire.
+func TestSimInjectedBugShrinks(t *testing.T) {
+	t.Parallel()
+	faults := &kafka.Faults{}
+	faults.DropAbortMarkers.Store(true)
+	cfg := Config{Seed: 3, Short: true, Faults: faults}
+	rep := Run(cfg)
+	if rep.OK() {
+		t.Fatal("dropped abort markers went undetected")
+	}
+	caught := false
+	for _, v := range rep.Violations {
+		if strings.HasPrefix(v, "I1:") || strings.HasPrefix(v, "I3:") || strings.HasPrefix(v, "I4:") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("expected an I1/I3/I4 violation, got:\n%s", rep.Text())
+	}
+
+	res := Shrink(cfg, rep.Sched, rep)
+	if len(res.Schedule.Events) > 5 {
+		t.Fatalf("shrinker left %d events (want <= 5):\n%s", len(res.Schedule.Events), res.Schedule.Render())
+	}
+	if res.Report.OK() {
+		t.Fatal("shrunk schedule no longer reproduces the failure")
+	}
+}
+
+// TestScheduleRoundTrip checks Render/ParseSchedule are inverses for
+// generated schedules across seeds.
+func TestScheduleRoundTrip(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 25; seed++ {
+		s := Generate(seed, numBrokers, numInstances, Config{Seed: seed, Short: true}.loadWindow(), true)
+		parsed, err := ParseSchedule(strings.NewReader(s.Render()))
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\nrendered:\n%s", seed, err, s.Render())
+		}
+		if parsed.Render() != s.Render() {
+			t.Fatalf("seed %d: round trip diverged:\n--- original ---\n%s\n--- reparsed ---\n%s", seed, s.Render(), parsed.Render())
+		}
+	}
+}

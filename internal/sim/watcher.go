@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/streams"
+)
+
+// watcher is a read-committed observer pinned (via manual assignment) to
+// every simulation partition. It checks the online invariants on each
+// fetch and delivery:
+//
+//	I2: delivered offsets per partition strictly increase
+//	I3: LSO <= HW on every fetch response (via ObserveFetch)
+//	I4: no abort-tagged input value is ever delivered read-committed
+//	I1 (online half): per-key counts on sim-out strictly increase —
+//	    a duplicate or replayed aggregate emission would repeat or
+//	    regress a count.
+type watcher struct {
+	r    *runner
+	cons *client.Consumer
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	// delivered totals records seen; part of the drain fingerprint.
+	delivered atomic.Int64
+
+	mu         sync.Mutex
+	lastOffset map[protocol.TopicPartition]int64
+	lastCount  map[string]int64 // sim-out per-key last value
+}
+
+func newWatcher(r *runner) *watcher {
+	w := &watcher{
+		r:          r,
+		stopCh:     make(chan struct{}),
+		lastOffset: make(map[protocol.TopicPartition]int64),
+		lastCount:  make(map[string]int64),
+	}
+	w.cons = client.NewConsumer(r.cluster.Net(), client.ConsumerConfig{
+		Controller: r.cluster.Controller(),
+		Isolation:  protocol.ReadCommitted,
+		Reset:      client.ResetEarliest,
+		ObserveFetch: func(tp protocol.TopicPartition, hw, lso, logStart int64) {
+			if lso > hw {
+				r.viol.add("I3", "%s: LSO %d > HW %d observed at fetch", tp, lso, hw)
+			}
+			if logStart > lso {
+				r.viol.add("I3", "%s: log start %d > LSO %d observed at fetch", tp, logStart, lso)
+			}
+		},
+	})
+	w.cons.Assign(r.allPartitions()...)
+	return w
+}
+
+func (w *watcher) start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.loop()
+	}()
+}
+
+func (w *watcher) stop() {
+	close(w.stopCh)
+	w.wg.Wait()
+	w.cons.Abandon()
+}
+
+func (w *watcher) loop() {
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		default:
+		}
+		msgs, err := w.cons.Poll()
+		if err == nil {
+			w.observe(msgs)
+		}
+		// Poll errors are transient (leader elections mid-crash); the
+		// next cycle retries with fresh metadata.
+		w.r.clock.Sleep(watcherPoll)
+	}
+}
+
+func (w *watcher) observe(msgs []client.Message) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, m := range msgs {
+		w.delivered.Add(1)
+		if last, ok := w.lastOffset[m.TP]; ok && m.Offset <= last {
+			w.r.viol.add("I2", "%s: delivered offset %d after %d (non-monotonic)", m.TP, m.Offset, last)
+		}
+		w.lastOffset[m.TP] = m.Offset
+		switch m.TP.Topic {
+		case inTopic:
+			if isAbortTagged(m.Record.Value) {
+				w.r.viol.add("I4", "%s@%d: read-committed delivery of aborted record %q", m.TP, m.Offset, m.Record.Value)
+			}
+		case outTopic:
+			k, n, ok := decodeCount(m.Record)
+			if !ok {
+				w.r.viol.add("I1", "%s@%d: undecodable count record", m.TP, m.Offset)
+				continue
+			}
+			if last, seen := w.lastCount[k]; seen && n <= last {
+				w.r.viol.add("I1", "key %s: count went %d -> %d (duplicate or lost aggregate emission)", k, last, n)
+			}
+			w.lastCount[k] = n
+		}
+	}
+}
+
+// decodeCount decodes a sim-out (or counts-changelog) record into its
+// string key and int64 count.
+func decodeCount(rec protocol.Record) (string, int64, bool) {
+	if len(rec.Key) == 0 || len(rec.Value) != 8 {
+		return "", 0, false
+	}
+	k, ok := streams.StringSerde.Decode(rec.Key).(string)
+	if !ok {
+		return "", 0, false
+	}
+	n, ok := streams.Int64Serde.Decode(rec.Value).(int64)
+	if !ok {
+		return "", 0, false
+	}
+	return k, n, true
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+)
+
+// Workload shape: the oracle produces rounds of records under a
+// transactional producer, deliberately aborting a fraction of rounds so
+// the read-committed path is exercised. Values are tagged with the
+// intended outcome ("c|" commit, "a|" abort); a tagged-abort value seen
+// by any read-committed consumer is an I4 violation by construction.
+const (
+	recordsPerRound = 4
+	abortFraction   = 0.2
+	numKeys         = 6
+)
+
+const (
+	tagCommit = "c|"
+	tagAbort  = "a|"
+)
+
+// oracle is the external workload generator. Its randomness is seeded
+// independently of the schedule (seed+1) so shrinking the schedule never
+// changes the workload.
+type oracle struct {
+	r   *runner
+	rng *rand.Rand
+
+	// Deterministic outcome tallies for the report.
+	committedRounds int
+	abortedRounds   int
+	// indeterminate counts rounds whose transaction outcome is unknown
+	// (an error escaped the retry budget mid-commit). Normally zero.
+	indeterminate int
+}
+
+func newOracle(r *runner) *oracle {
+	return &oracle{r: r, rng: rand.New(rand.NewSource(r.cfg.Seed + 1))}
+}
+
+func key(i int) string { return fmt.Sprintf("k%d", i) }
+
+// run produces every round, spacing rounds on the virtual clock so the
+// fault schedule interleaves with the load window.
+func (o *oracle) run() {
+	p, err := client.NewProducer(o.r.cluster.Net(), client.ProducerConfig{
+		Controller:      o.r.cluster.Controller(),
+		TransactionalID: "sim-oracle",
+		TxnTimeout:      txnTimeoutV,
+	})
+	if err != nil {
+		o.r.viol.add("L", "oracle producer init: %v", err)
+		return
+	}
+	defer p.Close()
+	for round := 0; round < o.r.cfg.rounds(); round++ {
+		o.r.clock.Sleep(roundGap)
+		abort := o.rng.Float64() < abortFraction
+		// Draw the round's keys before attempting the txn so the rng
+		// stream is consumed identically even when a txn fails.
+		keys := make([]string, recordsPerRound)
+		for i := range keys {
+			keys[i] = key(o.rng.Intn(numKeys))
+		}
+		switch err := o.txn(p, round, keys, abort); {
+		case err != nil:
+			o.indeterminate++
+			o.r.viol.add("L", "oracle round %d: %v", round, err)
+		case abort:
+			o.abortedRounds++
+		default:
+			o.committedRounds++
+		}
+	}
+}
+
+// txn runs one transactional round. Aborted rounds still Flush first so
+// the doomed records land in the log — AbortTxn would otherwise just
+// clear the client buffer and read-committed filtering would go untested.
+func (o *oracle) txn(p *client.Producer, round int, keys []string, abort bool) error {
+	if err := p.BeginTxn(); err != nil {
+		return fmt.Errorf("begin: %w", err)
+	}
+	tag := tagCommit
+	if abort {
+		tag = tagAbort
+	}
+	for i, k := range keys {
+		rec := protocol.Record{
+			Key:       []byte(k),
+			Value:     []byte(fmt.Sprintf("%sr%03d.%d", tag, round, i)),
+			Timestamp: o.r.clock.Now().UnixMilli(),
+		}
+		if err := p.Send(inTopic, rec); err != nil {
+			// Clean up so the next round can begin a fresh txn.
+			if aerr := p.AbortTxn(); aerr != nil {
+				return fmt.Errorf("send: %v; abort: %w", err, aerr)
+			}
+			return fmt.Errorf("send: %w", err)
+		}
+	}
+	if abort {
+		if err := p.Flush(); err != nil {
+			if aerr := p.AbortTxn(); aerr != nil {
+				return fmt.Errorf("flush: %v; abort: %w", err, aerr)
+			}
+			return fmt.Errorf("flush: %w", err)
+		}
+		if err := p.AbortTxn(); err != nil {
+			return fmt.Errorf("abort: %w", err)
+		}
+		return nil
+	}
+	if err := p.CommitTxn(); err != nil {
+		return fmt.Errorf("commit: %w", err)
+	}
+	return nil
+}
+
+// isAbortTagged reports whether a record value carries the abort tag.
+func isAbortTagged(value []byte) bool {
+	return strings.HasPrefix(string(value), tagAbort)
+}

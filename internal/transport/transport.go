@@ -30,6 +30,15 @@ var ErrUnreachable = errors.New("transport: destination unreachable")
 // Handler processes one request and returns the response.
 type Handler func(from int32, req any) any
 
+// DelayFn computes an extra per-RPC delay from the sender, destination,
+// and RPC kind. The simulator installs a seeded one to create
+// deterministic latency spikes on chosen links.
+type DelayFn func(from, to int32, kind string) time.Duration
+
+// DropFn decides whether to drop an RPC outright (the sender observes
+// ErrUnreachable, as if the link flaked mid-flight).
+type DropFn func(from, to int32, kind string) bool
+
 // Options configures a Network.
 type Options struct {
 	// RPCLatency is the base one-way-plus-return delay charged per Send.
@@ -56,7 +65,12 @@ type Network struct {
 	rng   *rand.Rand
 	clock retry.Clock
 
+	hookMu  sync.RWMutex
+	delayFn DelayFn
+	dropFn  DropFn
+
 	nextClientID atomic.Int32
+	inflight     atomic.Int64
 
 	// All metrics live in obs; rpcs/delivered back the legacy
 	// RPCCount/RPCAttempts accessors and are the cross-kind totals.
@@ -152,6 +166,26 @@ func (n *Network) Heal(a, b int32) {
 	delete(n.partitioned, pairKey(a, b))
 }
 
+// SetDelayFn installs (or clears, with nil) the per-RPC extra-delay hook.
+func (n *Network) SetDelayFn(fn DelayFn) {
+	n.hookMu.Lock()
+	defer n.hookMu.Unlock()
+	n.delayFn = fn
+}
+
+// SetDropFn installs (or clears, with nil) the per-RPC drop hook.
+func (n *Network) SetDropFn(fn DropFn) {
+	n.hookMu.Lock()
+	defer n.hookMu.Unlock()
+	n.dropFn = fn
+}
+
+func (n *Network) hooks() (DelayFn, DropFn) {
+	n.hookMu.RLock()
+	defer n.hookMu.RUnlock()
+	return n.delayFn, n.dropFn
+}
+
 // RPCCount returns the number of Sends actually delivered to a handler —
 // the proxy for the "write amplification" cost discussed in paper
 // Section 4.3 (Figure 5). Attempts that failed fast against a crashed,
@@ -163,6 +197,12 @@ func (n *Network) RPCCount() int64 { return n.delivered.Value() }
 // between RPCAttempts and RPCCount measures how hard clients hammered
 // unreachable destinations — the quantity the retry backoff bounds.
 func (n *Network) RPCAttempts() int64 { return n.rpcs.Value() }
+
+// InFlight returns how many Sends are currently between dispatch and
+// return. The deterministic simulator treats a nonzero value as
+// "not quiescent": some goroutine is executing a handler rather than
+// parked on the clock, so advancing virtual time would race it.
+func (n *Network) InFlight() int64 { return n.inflight.Load() }
 
 // unreachable reports whether from → to is currently undeliverable.
 func (n *Network) unreachable(from, to int32) bool {
@@ -194,9 +234,16 @@ func (n *Network) SendTraced(from, to int32, req any, tr *obs.Trace) (any, error
 		km.failed.Inc()
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
+	delayFn, dropFn := n.hooks()
+	if dropFn != nil && dropFn(from, to, kind) {
+		km.failed.Inc()
+		return nil, fmt.Errorf("%w: %d -> %d (dropped)", ErrUnreachable, from, to)
+	}
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
 	endSpan := tr.StartSpan(kind)
 	start := n.clock.Now()
-	n.delay()
+	n.delay(delayFn, from, to, kind)
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	dead := n.crashed[to] || n.crashed[from]
@@ -215,12 +262,15 @@ func (n *Network) SendTraced(from, to int32, req any, tr *obs.Trace) (any, error
 	return resp, nil
 }
 
-func (n *Network) delay() {
+func (n *Network) delay(fn DelayFn, from, to int32, kind string) {
 	d := n.opts.RPCLatency
 	if n.opts.Jitter > 0 {
 		n.rngMu.Lock()
 		d += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
 		n.rngMu.Unlock()
+	}
+	if fn != nil {
+		d += fn(from, to, kind)
 	}
 	n.clock.Sleep(d)
 }

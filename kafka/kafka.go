@@ -9,10 +9,12 @@ package kafka
 import (
 	"time"
 
+	"kstreams/internal/broker"
 	"kstreams/internal/client"
 	"kstreams/internal/cluster"
 	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
 	"kstreams/internal/transport"
 )
 
@@ -72,7 +74,25 @@ type ClusterConfig struct {
 	GroupRebalanceTimeout time.Duration
 	// Seed makes network jitter deterministic.
 	Seed int64
+	// Clock substitutes the time source for the transport fabric and every
+	// broker wait; nil uses the wall clock. The deterministic simulator
+	// passes a virtual clock here.
+	Clock retry.Clock
+	// ReplicaPollInterval overrides the follower fetch cadence (0 keeps
+	// the broker default).
+	ReplicaPollInterval time.Duration
+	// OffsetsPartitions / TxnPartitions size the internal coordinator
+	// topics (0 keeps the defaults).
+	OffsetsPartitions int32
+	TxnPartitions     int32
+	// Faults, when non-nil, arms deliberate protocol-bug injection for
+	// harness self-tests (see Faults).
+	Faults *Faults
 }
+
+// Faults is the cluster-wide injectable-bug switchboard, aliased from the
+// broker package so harness self-tests can flip bugs through the facade.
+type Faults = broker.Faults
 
 // Cluster is an embedded Kafka cluster.
 type Cluster struct {
@@ -91,6 +111,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		TxnTimeout:            cfg.TxnTimeout,
 		GroupRebalanceTimeout: cfg.GroupRebalanceTimeout,
 		Seed:                  cfg.Seed,
+		Clock:                 cfg.Clock,
+		ReplicaPollInterval:   cfg.ReplicaPollInterval,
+		OffsetsPartitions:     cfg.OffsetsPartitions,
+		TxnPartitions:         cfg.TxnPartitions,
+		Faults:                cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -112,6 +137,15 @@ func (c *Cluster) RestartBroker(id int32) error { return c.inner.RestartBroker(i
 // LeaderOf returns the leader broker id of a partition (-1 if offline).
 func (c *Cluster) LeaderOf(topic string, partition int32) int32 {
 	return c.inner.LeaderOf(protocol.TopicPartition{Topic: topic, Partition: partition})
+}
+
+// TxnCoordinator returns the broker currently leading the
+// __transaction_state partition owning txnID — the coordinator a
+// transactional producer with that id talks to. Returns -1 when that
+// partition has no leader (coordinator failover in progress).
+func (c *Cluster) TxnCoordinator(txnID string) int32 {
+	part := broker.CoordinatorPartition(txnID, c.inner.TxnPartitions())
+	return c.inner.LeaderOf(protocol.TopicPartition{Topic: broker.TxnTopic, Partition: part})
 }
 
 // RPCCount returns the RPCs delivered by the network, a proxy for the

@@ -41,6 +41,9 @@ type Config struct {
 	// SessionTimeout / HeartbeatInterval tune group liveness.
 	SessionTimeout    time.Duration
 	HeartbeatInterval time.Duration
+	// PollInterval is the stream threads' idle sleep between empty polls
+	// (0 = default). The deterministic simulator coarsens it.
+	PollInterval time.Duration
 	// DisablePurge keeps consumed repartition records (default purge on).
 	DisablePurge bool
 }
@@ -67,6 +70,7 @@ func NewApp(b *Builder, cfg Config) (*App, error) {
 		TxnTimeout:        cfg.TxnTimeout,
 		SessionTimeout:    cfg.SessionTimeout,
 		HeartbeatInterval: cfg.HeartbeatInterval,
+		PollInterval:      cfg.PollInterval,
 		DisablePurge:      cfg.DisablePurge,
 	})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"kstreams/internal/harness"
 	"kstreams/kafka"
 	"kstreams/streams"
 )
@@ -22,7 +23,7 @@ import (
 func TestRetryBoundedUnderCrashedLeader(t *testing.T) {
 	c, err := kafka.NewCluster(kafka.ClusterConfig{
 		Brokers: 1,
-		Seed:    11,
+		Seed:    harness.Seed(t, 11),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +136,7 @@ func TestRetryBoundedUnderCrashedLeader(t *testing.T) {
 // unblocks the in-flight Poll within ~100 ms (previously it slept
 // through bare time.Sleep calls until the full join deadline expired).
 func TestConsumerCloseInterruptsJoin(t *testing.T) {
-	c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3, Seed: 12})
+	c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3, Seed: harness.Seed(t, 12)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestKillInterruptsCommitRetry(t *testing.T) {
 		Brokers:               1,
 		TxnTimeout:            2 * time.Second,
 		GroupRebalanceTimeout: 300 * time.Millisecond,
-		Seed:                  13,
+		Seed:                  harness.Seed(t, 13),
 	})
 	if err != nil {
 		t.Fatal(err)

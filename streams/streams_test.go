@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"kstreams/internal/harness"
 	"kstreams/kafka"
 	"kstreams/streams"
 )
@@ -16,6 +17,7 @@ func testCluster(t *testing.T) *kafka.Cluster {
 		Brokers:               3,
 		TxnTimeout:            2 * time.Second,
 		GroupRebalanceTimeout: 300 * time.Millisecond,
+		Seed:                  harness.Seed(t, 1),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -783,7 +785,7 @@ func TestDeterministicReplay(t *testing.T) {
 	// Invariant 9: with EOS and deterministic operators, repeated runs over
 	// the same input produce identical output sequences per partition.
 	run := func() []string {
-		c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 1, Seed: 7})
+		c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 1, Seed: harness.Seed(t, 7)})
 		if err != nil {
 			t.Fatal(err)
 		}
