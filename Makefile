@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt lint test test-race test-obs bench-obs build sim
+.PHONY: check vet fmt lint test test-race test-obs bench-obs bench-matrix bench-matrix-update build sim
 
 check: vet fmt lint test-race bench-obs sim
 
@@ -38,6 +38,18 @@ test-obs:
 # the benchmarks print per-op costs and the guard test enforces the bound.
 bench-obs:
 	$(GO) test ./internal/obs/ -bench Obs -benchtime 100x -run TestCounterOpOverheadGuard -count=1
+
+# bench-matrix: the produce/fetch macro-bench matrix (DESIGN.md §10).
+# Writes fresh BENCH_*.json into bench-artifacts/ and fails on a >10%
+# records/sec regression against the files committed at the repo root.
+# The out and baseline dirs must differ: writing into the baseline dir
+# first would make the comparison read the fresh numbers back.
+bench-matrix:
+	$(GO) run ./cmd/ksbench -matrix -quick -out bench-artifacts -against .
+
+# bench-matrix-update regenerates the committed baseline trajectory.
+bench-matrix-update:
+	$(GO) run ./cmd/ksbench -matrix -quick -out .
 
 # sim: the deterministic fault-schedule simulator (DESIGN.md §9) over a
 # fixed seed sweep. A failing seed prints its minimal reproducer and the

@@ -12,6 +12,14 @@
 //	ksbench -experiment all
 //
 // -quick shrinks record counts and sweep ranges for a fast sanity pass.
+//
+// Separately from the paper experiments, -matrix runs the produce/fetch
+// macro-bench matrix (DESIGN.md §10) and writes one BENCH_<scenario>.json
+// per scenario into -out. With -against DIR the fresh numbers are compared
+// to the committed baseline files in DIR and the process exits non-zero on
+// a >10% records/sec regression:
+//
+//	ksbench -matrix -out . -against .
 package main
 
 import (
@@ -28,11 +36,29 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	verbose := flag.Bool("v", true, "narrate progress")
 	metrics := flag.Bool("metrics", false, "print the obs RPC/latency breakdown after fig5 runs")
+	matrix := flag.Bool("matrix", false, "run the produce/fetch bench matrix instead of paper experiments")
+	out := flag.String("out", ".", "directory BENCH_<scenario>.json files are written to (-matrix)")
+	against := flag.String("against", "", "baseline directory to compare the matrix against (-matrix)")
 	flag.Parse()
 
 	var prog *experiments.Progress
 	if *verbose {
 		prog = &experiments.Progress{W: os.Stderr}
+	}
+
+	if *matrix {
+		results, err := experiments.RunMatrix(*quick, *out, prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matrix failed: %v\n", err)
+			os.Exit(1)
+		}
+		if *against != "" {
+			if err := experiments.CompareAgainst(results, *against, prog); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	run := func(name string, fn func() error) {

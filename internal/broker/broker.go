@@ -66,6 +66,9 @@ type Config struct {
 	TxnPartitions     int32
 	// TxnTimeout aborts transactions idle longer than this.
 	TxnTimeout time.Duration
+	// ProduceTimeout bounds how long an acks=all append waits for
+	// replication before reporting ErrRequestTimedOut.
+	ProduceTimeout time.Duration
 	// Faults, when non-nil, enables deliberate protocol-bug injection for
 	// harness self-tests; nil means no faults are ever active.
 	Faults *Faults
@@ -92,6 +95,9 @@ func (c *Config) fill() {
 	}
 	if c.TxnTimeout <= 0 {
 		c.TxnTimeout = 60 * time.Second
+	}
+	if c.ProduceTimeout <= 0 {
+		c.ProduceTimeout = defaultProduceTimeout
 	}
 }
 
@@ -236,6 +242,13 @@ func (b *Broker) handleProduce(r *protocol.ProduceRequest) *protocol.ProduceResp
 		}
 		res, wait := p.appendOnly(b.cfg.ID, e.Batch)
 		resp.Results = append(resp.Results, res)
+		if wait != nil && r.Acks == protocol.AcksLeader && !p.hasAppendHook() {
+			// acks=leader: the append is durable on the leader, so reply
+			// without waiting for replication. Partitions owned by a
+			// coordinator are excluded — their append hook must only fire
+			// once the batch is committed, so they always wait.
+			wait = nil
+		}
 		waits[i] = wait
 	}
 	for i, wait := range waits {
@@ -332,6 +345,7 @@ func (b *Broker) handleLeaderAndISR(r *protocol.LeaderAndISRRequest) *protocol.L
 			return &protocol.LeaderAndISRResponse{Err: protocol.ErrInvalidRecord}
 		}
 		p = newPartition(r.TP, r.Config, b.cfg.ID, l, b.cfg.AppendLatency, b.net.Clock())
+		p.produceTimeout = b.cfg.ProduceTimeout
 		p.onISRChange = b.forwardISRChange
 		p.appendLat = b.metrics.appendLat
 		tpLabels := []obs.Label{

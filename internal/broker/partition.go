@@ -16,9 +16,11 @@ import (
 	"kstreams/internal/wal"
 )
 
-// produceTimeout bounds how long an acks=all append waits for replication
-// before reporting ErrRequestTimedOut.
-const produceTimeout = 10 * time.Second
+// defaultProduceTimeout bounds how long an acks=all append waits for
+// replication before reporting ErrRequestTimedOut when Config.ProduceTimeout
+// is unset. The deadline is measured on the partition's injected clock, so
+// it holds under the simulator's virtual time as well as wall time.
+const defaultProduceTimeout = 10 * time.Second
 
 // partition is one replica of a topic partition hosted by this broker.
 type partition struct {
@@ -44,7 +46,13 @@ type partition struct {
 	// reported by its replica fetches.
 	followerLEO map[int32]int64
 	// lastFetch records each follower's last replica fetch (diagnostics).
+	// Stamped from p.clock — never the wall clock — so the ages printed in
+	// replication-stall diagnostics stay meaningful under virtual time.
 	lastFetch map[int32]time.Time
+
+	// produceTimeout bounds acks=all replication waits; zero selects
+	// defaultProduceTimeout.
+	produceTimeout time.Duration
 
 	// appendDelay models storage latency per leader append, paced by the
 	// hosting broker's clock (the transport fabric's shared time source).
@@ -142,6 +150,14 @@ func (p *partition) leader() (int32, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.leaderID, p.isLeader
+}
+
+// hasAppendHook reports whether a coordinator owns this partition (its
+// append hook must only fire after commit, so acks=leader never applies).
+func (p *partition) hasAppendHook() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.onAppend != nil
 }
 
 func (p *partition) highWatermark() int64 {
@@ -278,7 +294,11 @@ func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.
 func (p *partition) waitCommitted(selfID int32, epoch int32, last int64) protocol.ErrorCode {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	deadline := p.clock.Now().Add(produceTimeout)
+	timeout := p.produceTimeout
+	if timeout <= 0 {
+		timeout = defaultProduceTimeout
+	}
+	deadline := p.clock.Now().Add(timeout)
 	for p.hw <= last {
 		if !p.isLeader || p.stopped || p.leaderEpoch != epoch {
 			return protocol.ErrNotLeader

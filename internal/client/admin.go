@@ -69,7 +69,7 @@ func (a *Admin) Partitions(topic string) (int32, error) {
 // purging). Failures are returned but callers may treat purging as best
 // effort — it reclaims space, it is not needed for correctness.
 func (a *Admin) DeleteRecords(tp protocol.TopicPartition, beforeOffset int64) error {
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(a.net.Clock(), requestTimeout)
 	return retryErr(fmt.Sprintf("delete records on %s", tp), retry.Do(retry.Policy{Clock: a.net.Clock()}, budget, a.cancel, func(int) (bool, error) {
 		leader, err := a.meta.leaderFor(tp)
 		if err != nil {

@@ -334,7 +334,7 @@ func (c *Consumer) joinGroup() error {
 	// findCoordinator lookup — the inner calls spend the same allowance
 	// instead of starting fresh timers, so join cannot overshoot its
 	// stated deadline.
-	budget := retry.NewBudget(requestTimeout * 2)
+	budget := retry.NewBudgetOn(c.cfg.Retry.Clock, requestTimeout*2)
 	loop := retry.New(c.cfg.Retry, budget, c.cancel)
 	retries := c.metrics.retryAttempts("join_group")
 	fail := func(err error) error {
@@ -575,7 +575,7 @@ func (c *Consumer) ensurePositions() error {
 }
 
 func (c *Consumer) listOffset(tp protocol.TopicPartition, t int64) (int64, error) {
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(c.cfg.Retry.Clock, requestTimeout)
 	retries := c.metrics.retryAttempts("list_offsets")
 	offset := int64(-1)
 	err := retry.Do(c.cfg.Retry, budget, c.cancel, func(attempt int) (bool, error) {
@@ -692,9 +692,15 @@ func (c *Consumer) fetch() ([]Message, error) {
 			msgs = append(msgs, c.deliver(part)...)
 		}
 	}
+	// Compare the TP fields directly: TP.String() formats (allocates) per
+	// comparison, which dominated the fetch path at high record rates.
 	sort.SliceStable(msgs, func(i, j int) bool {
-		if msgs[i].TP != msgs[j].TP {
-			return msgs[i].TP.String() < msgs[j].TP.String()
+		a, b := msgs[i].TP, msgs[j].TP
+		if a.Topic != b.Topic {
+			return a.Topic < b.Topic
+		}
+		if a.Partition != b.Partition {
+			return a.Partition < b.Partition
 		}
 		return msgs[i].Offset < msgs[j].Offset
 	})
@@ -739,14 +745,21 @@ func (c *Consumer) deliver(part protocol.FetchPartition) []Message {
 	// abort marker. Ranges must be consumed as their markers pass: a batch
 	// the same producer writes after an abort marker belongs to a new
 	// transaction, not the closed range.
-	abortedStarts := make(map[int64][]int64) // pid -> ascending range starts
-	for _, a := range part.AbortedTxns {
-		abortedStarts[a.ProducerID] = append(abortedStarts[a.ProducerID], a.FirstOffset)
+	// The common fetch carries no aborted transactions: leave both maps
+	// nil then (reads of a nil map are fine) instead of allocating two
+	// maps per partition per poll.
+	var abortedStarts map[int64][]int64 // pid -> ascending range starts
+	var activeAborted map[int64]bool
+	if len(part.AbortedTxns) > 0 {
+		abortedStarts = make(map[int64][]int64, len(part.AbortedTxns))
+		for _, a := range part.AbortedTxns {
+			abortedStarts[a.ProducerID] = append(abortedStarts[a.ProducerID], a.FirstOffset)
+		}
+		for _, starts := range abortedStarts {
+			sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		}
+		activeAborted = make(map[int64]bool, len(abortedStarts))
 	}
-	for _, starts := range abortedStarts {
-		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	}
-	activeAborted := make(map[int64]bool)
 	var msgs []Message
 	for _, b := range part.Batches {
 		if b.LastOffset() < pos {
@@ -798,7 +811,7 @@ func (c *Consumer) Commit(offsets []protocol.OffsetEntry) error {
 	if group == "" {
 		return fmt.Errorf("client: commit without a group")
 	}
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(c.cfg.Retry.Clock, requestTimeout)
 	retries := c.metrics.retryAttempts("offset_commit")
 	return retryErr("offset commit", retry.Do(c.cfg.Retry, budget, c.cancel, func(attempt int) (bool, error) {
 		if attempt > 0 {
@@ -845,7 +858,7 @@ func (c *Consumer) Committed(tps ...protocol.TopicPartition) (map[protocol.Topic
 	if group == "" {
 		return nil, fmt.Errorf("client: committed offsets without a group")
 	}
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(c.cfg.Retry.Clock, requestTimeout)
 	var out map[protocol.TopicPartition]int64
 	err := retry.Do(c.cfg.Retry, budget, c.cancel, func(int) (bool, error) {
 		coord, err := c.meta.findCoordinator(group, protocol.CoordinatorGroup, budget)

@@ -28,6 +28,12 @@ type ProducerConfig struct {
 	// BatchRecords flushes a partition's buffered records as one batch when
 	// this many have accumulated (Flush sends the remainder).
 	BatchRecords int
+	// Acks selects produce durability: AcksAll (the default) waits until
+	// the batch is replicated to the full ISR; AcksLeader returns once the
+	// leader has it locally. Idempotent and transactional producers always
+	// use AcksAll — exactly-once cannot survive losing acknowledged
+	// records on leader failover.
+	Acks protocol.AckMode
 	// Retry overrides the backoff schedule for request loops; the zero
 	// value uses the package defaults (see internal/retry).
 	Retry retry.Policy
@@ -81,6 +87,9 @@ func NewProducer(net *transport.Network, cfg ProducerConfig) (*Producer, error) 
 	if cfg.TransactionalID != "" {
 		cfg.Idempotent = true
 	}
+	if cfg.Idempotent {
+		cfg.Acks = protocol.AcksAll
+	}
 	if cfg.Retry.Clock == nil {
 		cfg.Retry.Clock = net.Clock()
 	}
@@ -130,7 +139,7 @@ func (p *Producer) send(to int32, req any) (any, error) {
 
 // initProducerID performs the registration round-trip of Figure 4.b.
 func (p *Producer) initProducerID() error {
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(p.cfg.Retry.Clock, requestTimeout)
 	retries := p.metrics.retryAttempts("init_producer_id")
 	req := &protocol.InitProducerIDRequest{
 		TransactionalID: p.cfg.TransactionalID,
@@ -320,7 +329,7 @@ func (p *Producer) Flush() error {
 		}
 	}
 	for leader, group := range byLeader {
-		req := &protocol.ProduceRequest{TransactionalID: p.cfg.TransactionalID}
+		req := &protocol.ProduceRequest{TransactionalID: p.cfg.TransactionalID, Acks: p.cfg.Acks}
 		for _, pb := range group {
 			req.Entries = append(req.Entries, protocol.ProduceEntry{TP: pb.tp, Batch: pb.batch})
 		}
@@ -403,9 +412,10 @@ func (p *Producer) flushPartition(tp protocol.TopicPartition) error {
 // is exactly the duplicated-append hazard idempotence neutralizes
 // (paper Section 2.1, "the inter-processor RPC can fail").
 func (p *Producer) produce(tp protocol.TopicPartition, batch *protocol.RecordBatch) error {
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(p.cfg.Retry.Clock, requestTimeout)
 	req := &protocol.ProduceRequest{
 		TransactionalID: p.cfg.TransactionalID,
+		Acks:            p.cfg.Acks,
 		Entries:         []protocol.ProduceEntry{{TP: tp, Batch: batch}},
 	}
 	retries := p.metrics.retryAttempts("produce")
@@ -495,7 +505,7 @@ func (p *Producer) SendOffsetsToTxn(group string, offsets []protocol.OffsetEntry
 		GenerationID:    generation,
 		Offsets:         offsets,
 	}
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(p.cfg.Retry.Clock, requestTimeout)
 	retries := p.metrics.retryAttempts("txn_offset_commit")
 	return retryErr("txn offset commit", retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
 		if attempt > 0 {
@@ -570,7 +580,7 @@ func (p *Producer) endTxn(commit bool) error {
 
 // txnRequest runs a coordinator request with retry and fencing handling.
 func (p *Producer) txnRequest(do func(coord int32) (protocol.ErrorCode, error)) error {
-	budget := retry.NewBudget(requestTimeout)
+	budget := retry.NewBudgetOn(p.cfg.Retry.Clock, requestTimeout)
 	retries := p.metrics.retryAttempts("txn")
 	return retryErr("transaction request", retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
 		if attempt > 0 {

@@ -490,7 +490,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		// transaction, or the restore would miss its committed tail and
 		// resume from newer offsets with stale state.
 		var end int64
-		stabilize := retry.New(th.restoreRetry(), retry.NewBudget(30*time.Second), th.stopCh)
+		stabilize := retry.New(th.restoreRetry(), retry.NewBudgetOn(th.clock, 30*time.Second), th.stopCh)
 		for {
 			lso, err := th.restoreConsumer.StableOffset(tp)
 			if err != nil {
@@ -514,7 +514,7 @@ func (th *Thread) restoreTask(t *Task) error {
 		restoreStart := th.clock.Now()
 		th.restoreConsumer.Assign(tp)
 		th.restoreConsumer.Seek(tp, from)
-		drain := retry.New(th.restoreRetry(), retry.NewBudget(30*time.Second), th.stopCh)
+		drain := retry.New(th.restoreRetry(), retry.NewBudgetOn(th.clock, 30*time.Second), th.stopCh)
 		for th.restoreConsumer.Position(tp) < end {
 			msgs, err := th.restoreConsumer.Poll()
 			if err != nil {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func matrixFixture(scenario string, produceRPS, fetchRPS float64) MatrixResult {
+	return MatrixResult{
+		SchemaVersion: BenchSchemaVersion,
+		Scenario:      scenario,
+		Params:        MatrixParams{Partitions: 1, BatchRecords: 256, Acks: "all", Records: 1000, ValueBytes: 100},
+		Produce:       PhaseStats{RecordsPerSec: produceRPS},
+		Fetch:         PhaseStats{RecordsPerSec: fetchRPS},
+	}
+}
+
+func TestScenarioNamesAreDerivedFromParams(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range matrixScenarios(true) {
+		name := ScenarioName(p)
+		if names[name] {
+			t.Fatalf("duplicate scenario name %q", name)
+		}
+		names[name] = true
+	}
+	if got := ScenarioName(MatrixParams{Partitions: 8, BatchRecords: 16, Acks: "leader"}); got != "p8_b16_acksleader" {
+		t.Fatalf("ScenarioName = %q", got)
+	}
+	if got := ScenarioName(MatrixParams{Partitions: 1, BatchRecords: 256, Acks: "all", EOS: true}); got != "p1_b256_acksall_eos" {
+		t.Fatalf("ScenarioName = %q", got)
+	}
+}
+
+func TestMatrixScenariosCoverAllAxes(t *testing.T) {
+	scenarios := matrixScenarios(false)
+	var batch, parts, acks, eos bool
+	base := scenarios[0]
+	for _, p := range scenarios[1:] {
+		batch = batch || p.BatchRecords != base.BatchRecords
+		parts = parts || p.Partitions != base.Partitions
+		acks = acks || p.Acks != base.Acks
+		eos = eos || p.EOS != base.EOS
+	}
+	if !batch || !parts || !acks || !eos {
+		t.Fatalf("matrix misses an axis: batch=%v partitions=%v acks=%v eos=%v", batch, parts, acks, eos)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := matrixFixture("p1_b256_acksall", 1000, 2000)
+	path := filepath.Join(dir, BenchFileName(want.Scenario))
+	if err := writeBench(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The committed artifact must be timestamp-free and stable.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf), "time") {
+		t.Fatalf("bench JSON contains a time field:\n%s", buf)
+	}
+}
+
+func TestCompareAgainstFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := matrixFixture("p1_b256_acksall", 1000, 2000)
+	if err := writeBench(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within tolerance (−10% exactly is allowed; the gate is strict-greater).
+	ok := matrixFixture("p1_b256_acksall", 900, 1800)
+	if err := CompareAgainst([]MatrixResult{ok}, dir, nil); err != nil {
+		t.Fatalf("within-tolerance result rejected: %v", err)
+	}
+
+	bad := matrixFixture("p1_b256_acksall", 1000, 1700)
+	err := CompareAgainst([]MatrixResult{bad}, dir, nil)
+	if err == nil {
+		t.Fatal("15% fetch regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "fetch regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+}
+
+func TestCompareAgainstSkipsIncomparable(t *testing.T) {
+	dir := t.TempDir()
+	base := matrixFixture("p1_b256_acksall", 1000, 2000)
+	base.Params.Records = 999 // params differ from the fresh run below
+	if err := writeBench(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
+		t.Fatal(err)
+	}
+	fresh := matrixFixture("p1_b256_acksall", 10, 10) // huge drop, but incomparable
+	if err := CompareAgainst([]MatrixResult{fresh}, dir, nil); err != nil {
+		t.Fatalf("incomparable baseline should be skipped: %v", err)
+	}
+	// No baseline at all: also skipped.
+	missing := matrixFixture("p9_b9_acksall", 10, 10)
+	if err := CompareAgainst([]MatrixResult{missing}, dir, nil); err != nil {
+		t.Fatalf("missing baseline should be skipped: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 )
 
 // RecordBatch is the unit of appending, replication, and fetching. All
@@ -68,6 +69,19 @@ const (
 
 	flagTransactional byte = 1 << 0
 	flagControl       byte = 1 << 1
+
+	// headerBytes is the fixed frame prefix: uint32 length, magic, flags,
+	// crc32c. The length field counts everything after itself.
+	headerBytes = 4 + 1 + 1 + 4
+	// fixedBodyBytes is the fixed-size portion of the body: baseOffset,
+	// producerID, producerEpoch, baseSequence, recordCount.
+	fixedBodyBytes = 8 + 8 + 2 + 4 + 4
+	// minRecordBytes is the smallest wire size of one record: timestamp,
+	// nil key length, nil value length, zero header count.
+	minRecordBytes = 8 + 4 + 4 + 4
+	// minHeaderBytes is the smallest wire size of one header: empty key
+	// length plus nil value length.
+	minHeaderBytes = 4 + 4
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -75,51 +89,37 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorruptBatch reports a CRC mismatch or malformed framing on decode.
 var ErrCorruptBatch = errors.New("protocol: corrupt record batch")
 
-// EncodeBatch serializes the batch with a leading total-length frame so that
-// consecutive batches can be scanned out of a segment file. Layout after the
-// uint32 length: magic, flags, crc32c (over the remainder), baseOffset,
-// producerID, producerEpoch, baseSequence, recordCount, records.
-func EncodeBatch(b *RecordBatch) []byte {
-	body := make([]byte, 0, 64+32*len(b.Records))
-	var scratch [8]byte
-
-	put64 := func(v int64) {
-		binary.BigEndian.PutUint64(scratch[:8], uint64(v))
-		body = append(body, scratch[:8]...)
-	}
-	put32 := func(v int32) {
-		binary.BigEndian.PutUint32(scratch[:4], uint32(v))
-		body = append(body, scratch[:4]...)
-	}
-	put16 := func(v int16) {
-		binary.BigEndian.PutUint16(scratch[:2], uint16(v))
-		body = append(body, scratch[:2]...)
-	}
-	putBytes := func(p []byte) {
-		if p == nil {
-			put32(-1)
-			return
-		}
-		put32(int32(len(p)))
-		body = append(body, p...)
-	}
-
-	put64(b.BaseOffset)
-	put64(b.ProducerID)
-	put16(b.ProducerEpoch)
-	put32(b.BaseSequence)
-	put32(int32(len(b.Records)))
+// EncodedBatchSize returns the exact number of bytes EncodeBatch produces
+// for b, letting callers size buffers without encoding twice.
+func EncodedBatchSize(b *RecordBatch) int {
+	n := headerBytes + fixedBodyBytes
 	for i := range b.Records {
 		r := &b.Records[i]
-		put64(r.Timestamp)
-		putBytes(r.Key)
-		putBytes(r.Value)
-		put32(int32(len(r.Headers)))
+		n += 8 + 4 + len(r.Key) + 4 + len(r.Value) + 4
 		for _, h := range r.Headers {
-			putBytes([]byte(h.Key))
-			putBytes(h.Value)
+			n += 4 + len(h.Key) + 4 + len(h.Value)
 		}
 	}
+	return n
+}
+
+// AppendBatch appends the length-framed encoding of b to dst and returns
+// the extended slice. It grows dst at most once (to the exact final size)
+// and computes the CRC32C in a single pass over the finished body, so an
+// encode through a pooled buffer performs zero allocations. Layout after
+// the uint32 length frame: magic, flags, crc32c (over the remainder),
+// baseOffset, producerID, producerEpoch, baseSequence, recordCount,
+// records.
+func AppendBatch(dst []byte, b *RecordBatch) []byte {
+	size := EncodedBatchSize(b)
+	base := len(dst)
+	if cap(dst)-base < size {
+		grown := make([]byte, base, base+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+size]
+	out := dst[base:]
 
 	var flags byte
 	if b.Transactional {
@@ -128,25 +128,114 @@ func EncodeBatch(b *RecordBatch) []byte {
 	if b.Control {
 		flags |= flagControl
 	}
-	crc := crc32.Checksum(body, castagnoli)
-
-	out := make([]byte, 4+2+4+len(body))
-	binary.BigEndian.PutUint32(out[0:4], uint32(2+4+len(body)))
+	binary.BigEndian.PutUint32(out[0:4], uint32(size-4))
 	out[4] = batchMagic
 	out[5] = flags
+	// out[6:10] holds the CRC, filled after the body is complete.
+
+	i := headerBytes
+	put64 := func(v int64) {
+		binary.BigEndian.PutUint64(out[i:i+8], uint64(v))
+		i += 8
+	}
+	put32 := func(v int32) {
+		binary.BigEndian.PutUint32(out[i:i+4], uint32(v))
+		i += 4
+	}
+	putBytes := func(p []byte) {
+		if p == nil {
+			put32(-1)
+			return
+		}
+		put32(int32(len(p)))
+		i += copy(out[i:], p)
+	}
+
+	put64(b.BaseOffset)
+	put64(b.ProducerID)
+	binary.BigEndian.PutUint16(out[i:i+2], uint16(b.ProducerEpoch))
+	i += 2
+	put32(b.BaseSequence)
+	put32(int32(len(b.Records)))
+	for ri := range b.Records {
+		r := &b.Records[ri]
+		put64(r.Timestamp)
+		putBytes(r.Key)
+		putBytes(r.Value)
+		put32(int32(len(r.Headers)))
+		for _, h := range r.Headers {
+			put32(int32(len(h.Key)))
+			i += copy(out[i:], h.Key)
+			putBytes(h.Value)
+		}
+	}
+
+	crc := crc32.Checksum(out[headerBytes:], castagnoli)
 	binary.BigEndian.PutUint32(out[6:10], crc)
-	copy(out[10:], body)
-	return out
+	return dst
+}
+
+// EncodeBatch serializes the batch with a leading total-length frame so that
+// consecutive batches can be scanned out of a segment file. The result is a
+// single exact-size allocation; hot paths that can recycle buffers should
+// prefer AppendBatch with a frame buffer from GetFrameBuf.
+func EncodeBatch(b *RecordBatch) []byte {
+	return AppendBatch(nil, b)
+}
+
+// maxPooledFrame bounds the capacity of buffers returned to the frame
+// pool so one giant batch cannot pin memory for the process lifetime.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
+// GetFrameBuf returns a reusable encode/read buffer. Callers append into
+// (*buf)[:0] (or resize it) and hand it back with PutFrameBuf once the
+// bytes have been copied to their destination (a segment file, a hash).
+// The buffer must not be retained past PutFrameBuf.
+func GetFrameBuf() *[]byte {
+	return framePool.Get().(*[]byte)
+}
+
+// PutFrameBuf recycles a buffer obtained from GetFrameBuf. Oversized
+// buffers are dropped instead of pooled.
+func PutFrameBuf(buf *[]byte) {
+	if buf == nil || cap(*buf) > maxPooledFrame {
+		return
+	}
+	*buf = (*buf)[:0]
+	framePool.Put(buf)
 }
 
 // DecodeBatch reads one length-framed batch from the front of buf and
-// returns it together with the total number of bytes consumed.
+// returns it together with the total number of bytes consumed. Record keys,
+// values, and header values are defensive copies, safe to retain after buf
+// is reused.
 func DecodeBatch(buf []byte) (RecordBatch, int, error) {
+	return decodeBatch(buf, false)
+}
+
+// DecodeBatchShared is DecodeBatch without the defensive copies: record
+// keys, values, and header values alias buf directly. The caller must
+// guarantee buf stays live and immutable for as long as the returned
+// batch (or anything that aliases its records) is reachable — the WAL
+// uses it when decoding into its long-lived batch cache.
+func DecodeBatchShared(buf []byte) (RecordBatch, int, error) {
+	return decodeBatch(buf, true)
+}
+
+func decodeBatch(buf []byte, share bool) (RecordBatch, int, error) {
 	if len(buf) < 4 {
 		return RecordBatch{}, 0, ErrCorruptBatch
 	}
 	frame := int(binary.BigEndian.Uint32(buf[0:4]))
-	if frame < 6 || len(buf) < 4+frame {
+	// The frame must at least hold magic+flags+crc and the fixed body.
+	if frame < headerBytes-4+fixedBodyBytes || len(buf) < 4+frame {
 		return RecordBatch{}, 0, ErrCorruptBatch
 	}
 	total := 4 + frame
@@ -154,8 +243,14 @@ func DecodeBatch(buf []byte) (RecordBatch, int, error) {
 		return RecordBatch{}, 0, fmt.Errorf("%w: bad magic %d", ErrCorruptBatch, buf[4])
 	}
 	flags := buf[5]
+	// The flags byte is outside the CRC, so unknown bits are rejected
+	// outright: tolerating them would let a single flipped bit survive
+	// the checksum and change re-encoded bytes.
+	if flags&^(flagTransactional|flagControl) != 0 {
+		return RecordBatch{}, 0, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBatch, flags)
+	}
 	crc := binary.BigEndian.Uint32(buf[6:10])
-	body := buf[10:total]
+	body := buf[headerBytes:total]
 	if crc32.Checksum(body, castagnoli) != crc {
 		return RecordBatch{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorruptBatch)
 	}
@@ -178,14 +273,6 @@ func DecodeBatch(buf []byte) (RecordBatch, int, error) {
 		pos += 4
 		return v, true
 	}
-	get16 := func() (int16, bool) {
-		if pos+2 > len(body) {
-			return 0, false
-		}
-		v := int16(binary.BigEndian.Uint16(body[pos : pos+2]))
-		pos += 2
-		return v, true
-	}
 	getBytes := func() ([]byte, bool) {
 		n, ok := get32()
 		if !ok {
@@ -194,11 +281,18 @@ func DecodeBatch(buf []byte) (RecordBatch, int, error) {
 		if n < 0 {
 			return nil, true
 		}
-		if pos+int(n) > len(body) {
+		if int(n) > len(body)-pos {
 			return nil, false
 		}
-		p := make([]byte, n)
-		copy(p, body[pos:pos+int(n)])
+		var p []byte
+		if share {
+			// Three-index slice: an append through the result cannot
+			// scribble past the field into the shared buffer.
+			p = body[pos : pos+int(n) : pos+int(n)]
+		} else {
+			p = make([]byte, n)
+			copy(p, body[pos:pos+int(n)])
+		}
 		pos += int(n)
 		return p, true
 	}
@@ -214,14 +308,20 @@ func DecodeBatch(buf []byte) (RecordBatch, int, error) {
 	if b.ProducerID, ok = get64(); !ok {
 		return fail()
 	}
-	if b.ProducerEpoch, ok = get16(); !ok {
+	if pos+2 > len(body) {
 		return fail()
 	}
+	b.ProducerEpoch = int16(binary.BigEndian.Uint16(body[pos : pos+2]))
+	pos += 2
 	if b.BaseSequence, ok = get32(); !ok {
 		return fail()
 	}
 	count, ok := get32()
-	if !ok || count < 0 {
+	// A hostile count is rejected (and the prealloc capped) against the
+	// bytes actually present: every record occupies at least
+	// minRecordBytes, so a count the body cannot hold is corrupt rather
+	// than an invitation to allocate gigabytes.
+	if !ok || count < 0 || int64(count)*minRecordBytes > int64(len(body)-pos) {
 		return fail()
 	}
 	b.Records = make([]Record, 0, count)
@@ -237,8 +337,11 @@ func DecodeBatch(buf []byte) (RecordBatch, int, error) {
 			return fail()
 		}
 		hc, ok := get32()
-		if !ok || hc < 0 {
+		if !ok || hc < 0 || int64(hc)*minHeaderBytes > int64(len(body)-pos) {
 			return fail()
+		}
+		if hc > 0 {
+			r.Headers = make([]Header, 0, hc)
 		}
 		for j := int32(0); j < hc; j++ {
 			k, ok := getBytes()

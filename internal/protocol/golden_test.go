@@ -1,0 +1,253 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// goldenBatches are representative batches whose encodings are pinned below.
+// Zero-copy fetch hands stored encodings straight to consumers, so the wire
+// format is a compatibility surface: any byte-level drift must fail here
+// loudly rather than surface as cross-version corruption.
+func goldenBatches() map[string]*RecordBatch {
+	plain := &RecordBatch{
+		BaseOffset: 7, ProducerID: NoProducerID, BaseSequence: NoSequence,
+		Records: []Record{
+			{Key: []byte("user-1"), Value: []byte("pageview"), Timestamp: 1000},
+			{Key: nil, Value: []byte("tick"), Timestamp: 1001},
+		},
+	}
+	txn := &RecordBatch{
+		BaseOffset: 120, ProducerID: 9, ProducerEpoch: 2, BaseSequence: 33,
+		Transactional: true,
+		Records: []Record{
+			{Key: []byte("k"), Value: []byte("v"), Timestamp: 2000,
+				Headers: []Header{
+					{Key: "source", Value: []byte("topic-a")},
+					{Key: "empty", Value: nil},
+				}},
+		},
+	}
+	ctrl := NewMarkerBatch(9, 2, 3000, ControlMarker{Type: MarkerCommit, CoordinatorEpoch: 5})
+	ctrl.BaseOffset = 121
+	return map[string]*RecordBatch{"plain": plain, "transactional": txn, "control": ctrl}
+}
+
+var goldenHex = map[string]string{
+	"plain":         "0000005a0200d473fc9c0000000000000007ffffffffffffffff0000ffffffff0000000200000000000003e800000006757365722d310000000870616765766965770000000000000000000003e9ffffffff000000047469636b00000000",
+	"transactional": "000000580201255fb835000000000000007800000000000000090002000000210000000100000000000007d0000000016b00000001760000000200000006736f7572636500000007746f7069632d6100000005656d707479ffffffff",
+	"control":       "000000390203d0457622000000000000007900000000000000090002ffffffff000000010000000000000bb8ffffffff00000005010000000500000000",
+}
+
+func TestEncodeBatchGoldenBytes(t *testing.T) {
+	for name, b := range goldenBatches() {
+		want, err := hex.DecodeString(goldenHex[name])
+		if err != nil {
+			t.Fatalf("bad golden hex for %s: %v", name, err)
+		}
+		got := EncodeBatch(b)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: encoding drifted from golden bytes\n got %x\nwant %x", name, got, want)
+		}
+	}
+}
+
+func TestAppendBatchMatchesEncode(t *testing.T) {
+	for name, b := range goldenBatches() {
+		want := EncodeBatch(b)
+		if len(want) != EncodedBatchSize(b) {
+			t.Errorf("%s: EncodedBatchSize = %d, encoding is %d bytes",
+				name, EncodedBatchSize(b), len(want))
+		}
+		// Appending onto a non-empty prefix must leave the prefix intact.
+		prefix := []byte("prefix")
+		got := AppendBatch(append([]byte(nil), prefix...), b)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("%s: AppendBatch clobbered the prefix", name)
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%s: AppendBatch and EncodeBatch disagree", name)
+		}
+	}
+}
+
+func TestAppendBatchPooledZeroAlloc(t *testing.T) {
+	b := sampleBatch()
+	buf := GetFrameBuf()
+	defer PutFrameBuf(buf)
+	*buf = AppendBatch((*buf)[:0], b) // warm the buffer to full size
+	allocs := testing.AllocsPerRun(100, func() {
+		*buf = AppendBatch((*buf)[:0], b)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendBatch into warm pooled buffer allocates %v/op, want 0", allocs)
+	}
+	out, n, err := DecodeBatch(*buf)
+	if err != nil || n != len(*buf) {
+		t.Fatalf("decode pooled encoding: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(*b, out) {
+		t.Fatal("pooled encoding does not round-trip")
+	}
+}
+
+func TestPutFrameBufDropsOversized(t *testing.T) {
+	big := make([]byte, 0, maxPooledFrame+1)
+	PutFrameBuf(&big) // must not panic or pin; nothing observable to assert
+	PutFrameBuf(nil)  // nil is tolerated
+}
+
+func TestDecodeBatchSharedAliases(t *testing.T) {
+	b := sampleBatch()
+	buf := EncodeBatch(b)
+	shared, n, err := DecodeBatchShared(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("shared decode: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(*b, shared) {
+		t.Fatal("shared decode does not round-trip")
+	}
+	// Mutating the backing buffer must show through the shared batch
+	// (proving zero-copy) while a plain DecodeBatch stays isolated.
+	isolated, _, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := shared.Records[0].Value
+	old := v[0]
+	// Locate the byte inside buf and flip it there.
+	idx := bytes.Index(buf, []byte("v1"))
+	if idx < 0 {
+		t.Fatal("value bytes not found in encoding")
+	}
+	buf[idx] = 'z'
+	if v[0] != 'z' {
+		t.Error("DecodeBatchShared returned a copy, expected an alias")
+	}
+	if isolated.Records[0].Value[0] != old {
+		t.Error("DecodeBatch returned an alias, expected a copy")
+	}
+}
+
+func TestDecodeBatchSharedAppendCannotScribble(t *testing.T) {
+	b := &RecordBatch{
+		ProducerID: NoProducerID, BaseSequence: NoSequence,
+		Records: []Record{
+			{Key: []byte("a"), Value: []byte("b"), Timestamp: 1},
+			{Key: []byte("c"), Value: []byte("d"), Timestamp: 2},
+		},
+	}
+	buf := EncodeBatch(b)
+	orig := append([]byte(nil), buf...)
+	shared, _, err := DecodeBatchShared(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An append through an aliased field must reallocate (full-slice
+	// expressions cap the alias), never write into the shared buffer.
+	_ = append(shared.Records[0].Value, 'X')
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("append through shared field scribbled on the backing buffer")
+	}
+}
+
+// TestDecodeBatchHostileInput covers the framing attacks a broker reading
+// a torn or corrupted segment tail (or a fuzzer) can present: truncated
+// frames, frames claiming more bytes than exist, record/header counts the
+// body cannot hold, and field lengths running past the body.
+func TestDecodeBatchHostileInput(t *testing.T) {
+	valid := EncodeBatch(sampleBatch())
+	mutate := func(f func(p []byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	fixCRC := func(p []byte) []byte {
+		binary.BigEndian.PutUint32(p[6:10], crcOf(p[10:]))
+		return p
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"three bytes": {0, 0, 0},
+		"zero frame":  {0, 0, 0, 0},
+		"tiny frame":  {0, 0, 0, 5, 2, 0, 0, 0, 0},
+		"frame past end": mutate(func(p []byte) []byte {
+			binary.BigEndian.PutUint32(p[0:4], uint32(len(p))) // one byte too many
+			return p
+		}),
+		"giant frame": mutate(func(p []byte) []byte {
+			binary.BigEndian.PutUint32(p[0:4], 1<<31-1)
+			return p
+		}),
+		"hostile record count": mutate(func(p []byte) []byte {
+			// recordCount sits after 8+8+2+4 bytes of body.
+			binary.BigEndian.PutUint32(p[10+22:], 1<<30)
+			return fixCRC(p)
+		}),
+		"negative record count": mutate(func(p []byte) []byte {
+			binary.BigEndian.PutUint32(p[10+22:], 0xffffffff)
+			return fixCRC(p)
+		}),
+		"hostile header count": mutate(func(p []byte) []byte {
+			// First record: ts(8) keyLen(4)+2 valLen(4)+2 then headerCount.
+			binary.BigEndian.PutUint32(p[10+26+8+4+2+4+2:], 1<<30)
+			return fixCRC(p)
+		}),
+		"key length past body": mutate(func(p []byte) []byte {
+			binary.BigEndian.PutUint32(p[10+26+8:], 1<<20)
+			return fixCRC(p)
+		}),
+		"truncated mid-record": fixCRC(func() []byte {
+			p := append([]byte(nil), valid[:len(valid)-10]...)
+			binary.BigEndian.PutUint32(p[0:4], uint32(len(p)-4))
+			return p
+		}()),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeBatch(buf); !errors.Is(err, ErrCorruptBatch) {
+			t.Errorf("%s: want ErrCorruptBatch, got %v", name, err)
+		}
+		if _, _, err := DecodeBatchShared(buf); !errors.Is(err, ErrCorruptBatch) {
+			t.Errorf("%s (shared): want ErrCorruptBatch, got %v", name, err)
+		}
+	}
+}
+
+func crcOf(body []byte) uint32 {
+	return crc32.Checksum(body, castagnoli)
+}
+
+// FuzzDecodeBatch asserts DecodeBatch never panics and never silently
+// mis-frames: any successful decode must re-encode to the exact bytes it
+// consumed, and the shared variant must agree with the copying one.
+func FuzzDecodeBatch(f *testing.F) {
+	for _, b := range goldenBatches() {
+		f.Add(EncodeBatch(b))
+	}
+	f.Add(EncodeBatch(sampleBatch()))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, n, err := DecodeBatch(data)
+		sb, sn, serr := DecodeBatchShared(data)
+		if (err == nil) != (serr == nil) || n != sn {
+			t.Fatalf("copying and shared decode disagree: (%d,%v) vs (%d,%v)", n, err, sn, serr)
+		}
+		if err != nil {
+			return
+		}
+		if n < headerBytes || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if !reflect.DeepEqual(b, sb) {
+			t.Fatal("copying and shared decode returned different batches")
+		}
+		if re := EncodeBatch(&b); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", data[:n], re)
+		}
+	})
+}

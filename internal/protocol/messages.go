@@ -87,10 +87,25 @@ type ProduceEntry struct {
 	Batch *RecordBatch
 }
 
+// AckMode selects when a produce response is sent.
+type AckMode int8
+
+const (
+	// AcksAll replies after the batch is committed: replicated to the full
+	// ISR and covered by the high watermark (the default, and the only mode
+	// that preserves exactly-once guarantees across leader failover).
+	AcksAll AckMode = iota
+	// AcksLeader replies as soon as the leader has appended the batch to
+	// its local log, before replication. Lower latency, weaker durability:
+	// an unlucky leader failure can lose acknowledged records.
+	AcksLeader
+)
+
 // ProduceRequest appends batches. TransactionalID is set for transactional
 // producers so brokers can sanity-check partition registration.
 type ProduceRequest struct {
 	TransactionalID string
+	Acks            AckMode
 	Entries         []ProduceEntry
 }
 

@@ -1,0 +1,128 @@
+package wal
+
+import (
+	"sync"
+
+	"kstreams/internal/protocol"
+)
+
+// DefaultCacheBytes bounds the decoded-batch cache when Config.CacheBytes
+// is zero. Sized so a busy partition serves tail fetches (the common case:
+// consumers and followers read what was just appended) without touching
+// the segment file or the decoder at all.
+const DefaultCacheBytes = 32 << 20
+
+// batchCache memoizes decoded batches by base offset so the fetch path can
+// hand out the batch decoded at append time instead of re-reading and
+// re-decoding the segment bytes on every fetch. Entries are accounted by
+// their encoded size and evicted FIFO — the appended-order queue matches
+// log access patterns (tail readers) closely enough that LRU bookkeeping
+// on every hit isn't worth the contention.
+//
+// Cached *RecordBatch values are shared: every reader of the same offset
+// gets the same pointer, and the WAL populates entries straight from the
+// append path. Callers must treat fetched batches as immutable (see
+// DESIGN.md §10 for the ownership rules).
+//
+// Lock order: batchCache.mu nests strictly inside Log.mu and never
+// acquires any other lock.
+type batchCache struct {
+	mu     sync.Mutex
+	limit  int64
+	bytes  int64
+	byBase map[int64]cacheEntry
+	// fifo holds insertion-ordered base offsets; head indexes the oldest
+	// live element. Stale bases (invalidated entries) are skipped lazily
+	// at eviction time.
+	fifo []int64
+	head int
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	b    *protocol.RecordBatch
+	size int64
+}
+
+func newBatchCache(limit int64) *batchCache {
+	if limit == 0 {
+		limit = DefaultCacheBytes
+	}
+	if limit < 0 {
+		limit = 0 // disabled: every put is over budget
+	}
+	return &batchCache{limit: limit, byBase: make(map[int64]cacheEntry)}
+}
+
+func (c *batchCache) get(base int64) *protocol.RecordBatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byBase[base]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return e.b
+}
+
+func (c *batchCache) put(base int64, b *protocol.RecordBatch, size int64) {
+	if size > c.limit {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byBase[base]; ok {
+		return
+	}
+	for c.bytes+size > c.limit && c.head < len(c.fifo) {
+		old := c.fifo[c.head]
+		c.head++
+		if e, ok := c.byBase[old]; ok {
+			c.bytes -= e.size
+			delete(c.byBase, old)
+		}
+	}
+	if c.head == len(c.fifo) {
+		c.fifo = c.fifo[:0]
+		c.head = 0
+	} else if c.head > len(c.fifo)/2 {
+		c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
+		c.head = 0
+	}
+	c.byBase[base] = cacheEntry{b: b, size: size}
+	c.fifo = append(c.fifo, base)
+	c.bytes += size
+}
+
+// invalidateFrom drops every entry at or beyond offset. Truncation may
+// re-append different content at the same offsets, so these entries must
+// not survive.
+func (c *batchCache) invalidateFrom(offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for base, e := range c.byBase {
+		if base >= offset {
+			c.bytes -= e.size
+			delete(c.byBase, base)
+		}
+	}
+}
+
+// reset empties the cache. Compaction rewrites batch boundaries within the
+// cleaned region, so offset-keyed entries can no longer be trusted.
+func (c *batchCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byBase = make(map[int64]cacheEntry)
+	c.fifo = c.fifo[:0]
+	c.head = 0
+	c.bytes = 0
+}
+
+func (c *batchCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

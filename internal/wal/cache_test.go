@@ -1,0 +1,302 @@
+package wal
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kstreams/internal/protocol"
+	"kstreams/internal/storage"
+)
+
+func cacheTestLog(t *testing.T, cfg Config) *Log {
+	t.Helper()
+	l, err := Open(storage.NewMem(), "p0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		b := &protocol.RecordBatch{
+			ProducerID:   protocol.NoProducerID,
+			BaseSequence: protocol.NoSequence,
+			Records: []protocol.Record{{
+				Key:       []byte(fmt.Sprintf("k%d", i)),
+				Value:     []byte(fmt.Sprintf("v%d", i)),
+				Timestamp: int64(i),
+			}},
+		}
+		if res := l.Append(b); res.Err != protocol.ErrNone {
+			t.Fatalf("append %d: %v", i, res.Err)
+		}
+	}
+}
+
+// TestReadServesAppendedBatchFromCache pins the zero-copy contract: a tail
+// fetch immediately after an append returns the very batch pointer the
+// append decoded, without re-reading the segment.
+func TestReadServesAppendedBatchFromCache(t *testing.T) {
+	l := cacheTestLog(t, Config{})
+	b := &protocol.RecordBatch{
+		ProducerID:   protocol.NoProducerID,
+		BaseSequence: protocol.NoSequence,
+		Records:      []protocol.Record{{Key: []byte("k"), Value: []byte("v"), Timestamp: 1}},
+	}
+	if res := l.Append(b); res.Err != protocol.ErrNone {
+		t.Fatal(res.Err)
+	}
+	got, err := l.Read(0, 1, 1<<20)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("read: %d batches, err %v", len(got), err)
+	}
+	if got[0] != b {
+		t.Error("tail fetch did not serve the appended batch pointer (cache miss)")
+	}
+	hits, misses := l.CacheStats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("cache stats = %d hits / %d misses, want 1/0", hits, misses)
+	}
+}
+
+func TestReadCacheMissDecodesAndCaches(t *testing.T) {
+	l := cacheTestLog(t, Config{})
+	appendN(t, l, 3)
+	// Evict everything the appends cached, then read twice: first read
+	// misses and repopulates, second hits.
+	l.cache.reset()
+	first, err := l.Read(0, 3, 1<<20)
+	if err != nil || len(first) != 3 {
+		t.Fatalf("first read: %d batches, err %v", len(first), err)
+	}
+	second, err := l.Read(0, 3, 1<<20)
+	if err != nil || len(second) != 3 {
+		t.Fatalf("second read: %d batches, err %v", len(second), err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("batch %d: second read did not reuse cached pointer", i)
+		}
+	}
+	hits, misses := l.CacheStats()
+	if misses != 3 || hits != 3 {
+		t.Errorf("cache stats = %d hits / %d misses, want 3/3", hits, misses)
+	}
+}
+
+func TestCacheDisabledStillReads(t *testing.T) {
+	l := cacheTestLog(t, Config{CacheBytes: -1})
+	appendN(t, l, 2)
+	got, err := l.Read(0, 2, 1<<20)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("read: %d batches, err %v", len(got), err)
+	}
+	hits, _ := l.CacheStats()
+	if hits != 0 {
+		t.Errorf("disabled cache reported %d hits", hits)
+	}
+}
+
+func TestCacheEvictsFIFOUnderByteBudget(t *testing.T) {
+	c := newBatchCache(100)
+	mk := func(i int) *protocol.RecordBatch {
+		return &protocol.RecordBatch{BaseOffset: int64(i)}
+	}
+	for i := 0; i < 5; i++ {
+		c.put(int64(i), mk(i), 40) // budget holds two entries
+	}
+	if c.bytes > 100 {
+		t.Fatalf("cache over budget: %d bytes", c.bytes)
+	}
+	if c.get(0) != nil || c.get(1) != nil || c.get(2) != nil {
+		t.Error("oldest entries survived eviction")
+	}
+	if c.get(3) == nil || c.get(4) == nil {
+		t.Error("newest entries were evicted")
+	}
+	// An entry larger than the whole budget is refused outright.
+	c.put(99, mk(99), 1000)
+	if c.get(99) != nil {
+		t.Error("over-budget entry was cached")
+	}
+}
+
+func TestTruncateInvalidatesCache(t *testing.T) {
+	l := cacheTestLog(t, Config{})
+	appendN(t, l, 5)
+	if err := l.TruncateTo(2); err != nil {
+		t.Fatal(err)
+	}
+	// Re-append different content at the truncated offsets; reads must see
+	// the new records, not stale cached batches.
+	for i := 2; i < 5; i++ {
+		b := &protocol.RecordBatch{
+			ProducerID:   protocol.NoProducerID,
+			BaseSequence: protocol.NoSequence,
+			Records:      []protocol.Record{{Key: []byte("nk"), Value: []byte(fmt.Sprintf("new%d", i)), Timestamp: int64(i)}},
+		}
+		if res := l.Append(b); res.Err != protocol.ErrNone {
+			t.Fatal(res.Err)
+		}
+	}
+	got, err := l.Read(2, 5, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := fmt.Sprintf("new%d", i+2)
+		if string(b.Records[0].Value) != want {
+			t.Errorf("offset %d: value %q, want %q (stale cache survived truncation)",
+				b.BaseOffset, b.Records[0].Value, want)
+		}
+	}
+}
+
+func TestCompactionResetsCache(t *testing.T) {
+	l := cacheTestLog(t, Config{Compacted: true, SegmentBytes: 1})
+	for i := 0; i < 6; i++ {
+		b := &protocol.RecordBatch{
+			ProducerID:   protocol.NoProducerID,
+			BaseSequence: protocol.NoSequence,
+			Records:      []protocol.Record{{Key: []byte("same-key"), Value: []byte(fmt.Sprintf("v%d", i)), Timestamp: int64(i)}},
+		}
+		if res := l.Append(b); res.Err != protocol.ErrNone {
+			t.Fatal(res.Err)
+		}
+	}
+	if _, err := l.Read(0, 6, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(6); err != nil {
+		t.Fatal(err)
+	}
+	if l.Compactions() == 0 {
+		t.Skip("no compaction pass ran")
+	}
+	got, err := l.Read(0, 6, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the latest value per key survives below the active segment;
+	// every returned record must be one of the appended values and the
+	// final offset must carry the final value.
+	last := got[len(got)-1]
+	if string(last.Records[len(last.Records)-1].Value) != "v5" {
+		t.Errorf("latest value lost after compaction: %+v", last)
+	}
+}
+
+// TestConcurrentAppendFetchRace drives appends and reads from parallel
+// goroutines (run under -race in CI). It verifies the publish ordering the
+// fetch path depends on: index metadata becomes visible only after the
+// batch bytes are durably in the segment, so a racing read can never
+// observe a torn or half-written batch, and every offset it does observe
+// carries exactly the content appended there.
+func TestConcurrentAppendFetchRace(t *testing.T) {
+	l := cacheTestLog(t, Config{SegmentBytes: 4096})
+	const total = 400
+	var wg sync.WaitGroup
+	readers := 4
+	errs := make(chan error, readers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			b := &protocol.RecordBatch{
+				ProducerID:   protocol.NoProducerID,
+				BaseSequence: protocol.NoSequence,
+				Records: []protocol.Record{{
+					Key:       []byte(fmt.Sprintf("k%d", i)),
+					Value:     []byte(fmt.Sprintf("v%d", i)),
+					Timestamp: int64(i),
+				}},
+			}
+			if res := l.Append(b); res.Err != protocol.ErrNone {
+				errs <- fmt.Errorf("append %d: %v", i, res.Err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var next int64
+			for next < total {
+				end := l.EndOffset()
+				if end <= next {
+					continue
+				}
+				batches, err := l.Read(next, end, 1<<20)
+				if err != nil {
+					errs <- fmt.Errorf("read at %d: %w", next, err)
+					return
+				}
+				for _, b := range batches {
+					for i := range b.Records {
+						off := b.BaseOffset + int64(i)
+						wantK, wantV := fmt.Sprintf("k%d", off), fmt.Sprintf("v%d", off)
+						if string(b.Records[i].Key) != wantK || string(b.Records[i].Value) != wantV {
+							errs <- fmt.Errorf("offset %d: got (%q,%q), want (%q,%q)",
+								off, b.Records[i].Key, b.Records[i].Value, wantK, wantV)
+							return
+						}
+					}
+					next = b.LastOffset() + 1
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The log end is only advanced after bytes hit the segment, so a full
+	// re-read must round-trip every record.
+	all, err := l.Read(0, total, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, b := range all {
+		n += len(b.Records)
+	}
+	if n != total {
+		t.Fatalf("re-read %d records, want %d", n, total)
+	}
+}
+
+// TestSharedDecodeRoundTripsThroughLog guards the wal-level use of
+// DecodeBatchShared: what comes back from Read must equal what went in,
+// byte for byte, even though the records alias the read buffer.
+func TestSharedDecodeRoundTripsThroughLog(t *testing.T) {
+	l := cacheTestLog(t, Config{})
+	in := &protocol.RecordBatch{
+		ProducerID: 3, ProducerEpoch: 1, BaseSequence: 0, Transactional: true,
+		Records: []protocol.Record{
+			{Key: []byte("a"), Value: []byte("1"), Timestamp: 10,
+				Headers: []protocol.Header{{Key: "h", Value: []byte("x")}}},
+			{Key: nil, Value: []byte("2"), Timestamp: 11},
+		},
+	}
+	if res := l.Append(in); res.Err != protocol.ErrNone {
+		t.Fatal(res.Err)
+	}
+	l.cache.reset() // force the read to go through the segment + shared decode
+	got, err := l.Read(0, 2, 1<<20)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("read: %d batches, err %v", len(got), err)
+	}
+	if !reflect.DeepEqual(*in, *got[0]) {
+		t.Fatalf("round-trip mismatch:\n in %+v\nout %+v", in, got[0])
+	}
+}

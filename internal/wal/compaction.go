@@ -75,7 +75,9 @@ func (l *Log) Compact(cleanUpTo int64) error {
 			if _, err := seg.file.ReadAt(buf, m.pos); err != nil {
 				return err
 			}
-			b, _, err := protocol.DecodeBatch(buf)
+			// Survivor records alias buf only until they are re-encoded
+			// into the clean segment below, so the shared decode is safe.
+			b, _, err := protocol.DecodeBatchShared(buf)
 			if err != nil {
 				return err
 			}
@@ -105,6 +107,8 @@ func (l *Log) Compact(cleanUpTo int64) error {
 		return err
 	}
 	clean := &segment{base: base, name: finalName, file: cf}
+	encBuf := protocol.GetFrameBuf()
+	defer protocol.PutFrameBuf(encBuf)
 	for _, rr := range regionRecs {
 		if latest[string(rr.r.Key)] != rr.offset {
 			continue
@@ -115,7 +119,8 @@ func (l *Log) Compact(cleanUpTo int64) error {
 			BaseSequence: protocol.NoSequence,
 			Records:      []protocol.Record{rr.r},
 		}
-		enc := protocol.EncodeBatch(b)
+		enc := protocol.AppendBatch((*encBuf)[:0], b)
+		*encBuf = enc
 		pos, err := cf.Append(enc)
 		if err != nil {
 			return err
@@ -148,6 +153,10 @@ func (l *Log) Compact(cleanUpTo int64) error {
 		}
 	}
 	l.aborted = liveAborted
+	// Compaction regrouped records into fresh single-record batches, so
+	// offset-keyed cache entries for the region are stale. Drop them all
+	// rather than tracking which offsets the region covered.
+	l.cache.reset()
 	l.compactions++
 	return nil
 }

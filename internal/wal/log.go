@@ -25,6 +25,9 @@ type Config struct {
 	Compacted bool
 	// Fsync forces a sync after every append (filesystem backend only).
 	Fsync bool
+	// CacheBytes bounds the decoded-batch cache serving zero-copy fetches.
+	// Zero selects DefaultCacheBytes; negative disables the cache.
+	CacheBytes int64
 }
 
 // DefaultSegmentBytes is used when Config.SegmentBytes is zero.
@@ -81,6 +84,11 @@ type Log struct {
 	ongoing map[int64]int64
 	aborted []AbortedRange
 
+	// cache serves decoded batches to the fetch path without re-reading
+	// or re-decoding segment bytes. Entries are published only after the
+	// backing bytes are durable; see appendLocked.
+	cache *batchCache
+
 	// compactions counts completed compaction passes (metrics/tests).
 	compactions int
 }
@@ -99,6 +107,7 @@ func Open(backend storage.Backend, dir string, cfg Config) (*Log, error) {
 		cfg:       cfg,
 		producers: newProducerStateTable(),
 		ongoing:   make(map[int64]int64),
+		cache:     newBatchCache(cfg.CacheBytes),
 	}
 	names, err := backend.List(dir + "/")
 	if err != nil {
@@ -160,7 +169,9 @@ func (l *Log) recoverSegment(seg *segment) error {
 	}
 	var pos int64
 	for pos < size {
-		b, n, err := protocol.DecodeBatch(buf[pos:])
+		// Shared decode: recovery only extracts metadata and producer
+		// state, so aliasing the scan buffer avoids copying every batch.
+		b, n, err := protocol.DecodeBatchShared(buf[pos:])
 		if err != nil {
 			// Torn tail: discard the rest.
 			if terr := seg.file.Truncate(pos); terr != nil {
@@ -279,17 +290,29 @@ func (l *Log) appendLocked(b *protocol.RecordBatch) error {
 		}
 		seg = l.segments[len(l.segments)-1]
 	}
-	enc := protocol.EncodeBatch(b)
+	// Encode into a pooled frame buffer: File.Append copies the bytes
+	// (both backends), so the buffer can go back to the pool immediately.
+	encBuf := protocol.GetFrameBuf()
+	enc := protocol.AppendBatch((*encBuf)[:0], b)
+	*encBuf = enc
 	pos, err := seg.file.Append(enc)
 	if err != nil {
+		protocol.PutFrameBuf(encBuf)
 		return err
 	}
 	if l.cfg.Fsync {
 		if err := seg.file.Sync(); err != nil {
+			protocol.PutFrameBuf(encBuf)
 			return err
 		}
 	}
-	l.indexBatch(seg, b, pos, int32(len(enc)))
+	size := int32(len(enc))
+	protocol.PutFrameBuf(encBuf)
+	l.indexBatch(seg, b, pos, size)
+	// Publish to the cache only now: the bytes are durable (and synced if
+	// configured), so a concurrent fetch served from the cache can never
+	// observe a batch whose backing storage write could still fail.
+	l.cache.put(b.BaseOffset, b, int64(size))
 	l.nextOffset = b.LastOffset() + 1
 	return nil
 }
@@ -371,14 +394,22 @@ func (l *Log) Read(offset, maxOffset int64, maxBytes int) ([]*protocol.RecordBat
 			if total > 0 && total+int(m.size) > maxBytes {
 				return out, nil
 			}
+			if b := l.cache.get(m.baseOffset); b != nil {
+				out = append(out, b)
+				total += int(m.size)
+				continue
+			}
 			buf := make([]byte, m.size)
 			if _, err := seg.file.ReadAt(buf, m.pos); err != nil {
 				return nil, err
 			}
-			b, _, err := protocol.DecodeBatch(buf)
+			// Shared decode: the batch aliases buf, which is never reused
+			// or mutated — readers treat batches as immutable (DESIGN §10).
+			b, _, err := protocol.DecodeBatchShared(buf)
 			if err != nil {
 				return nil, err
 			}
+			l.cache.put(m.baseOffset, &b, int64(m.size))
 			out = append(out, &b)
 			total += int(m.size)
 		}
@@ -434,6 +465,9 @@ func (l *Log) TruncateTo(offset int64) error {
 		seg.metas = seg.metas[:cut]
 	}
 	l.nextOffset = offset
+	// Re-appends after truncation may place different content at the same
+	// offsets; cached batches at or beyond the cut must not survive.
+	l.cache.invalidateFrom(offset)
 	l.rebuildStateLocked()
 	return nil
 }
@@ -450,7 +484,8 @@ func (l *Log) rebuildStateLocked() {
 			if _, err := seg.file.ReadAt(buf, m.pos); err != nil {
 				continue
 			}
-			b, _, err := protocol.DecodeBatch(buf)
+			// Shared decode: trackBatch retains no byte slices.
+			b, _, err := protocol.DecodeBatchShared(buf)
 			if err != nil {
 				continue
 			}
@@ -494,6 +529,11 @@ func (l *Log) Size() int64 {
 		n += seg.size()
 	}
 	return n
+}
+
+// CacheStats reports decoded-batch cache hits and misses (tests/metrics).
+func (l *Log) CacheStats() (hits, misses int64) {
+	return l.cache.stats()
 }
 
 // Compactions returns how many compaction passes have completed.

@@ -186,6 +186,11 @@ type ProducerConfig struct {
 	TxnTimeout time.Duration
 	// BatchRecords is the per-partition batch size.
 	BatchRecords int
+	// AcksLeader acknowledges produces after the leader's local append
+	// instead of waiting for full-ISR replication: lower latency, weaker
+	// durability. Ignored (acks=all enforced) for idempotent and
+	// transactional producers.
+	AcksLeader bool
 }
 
 // Producer appends records to topic partitions.
@@ -201,11 +206,19 @@ func (c *Cluster) NewProducer(cfg ProducerConfig) (*Producer, error) {
 		TransactionalID: cfg.TransactionalID,
 		TxnTimeout:      cfg.TxnTimeout,
 		BatchRecords:    cfg.BatchRecords,
+		Acks:            acksOf(cfg.AcksLeader),
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Producer{inner: p}, nil
+}
+
+func acksOf(leaderOnly bool) protocol.AckMode {
+	if leaderOnly {
+		return protocol.AcksLeader
+	}
+	return protocol.AcksAll
 }
 
 // Send buffers a record, routed by key hash.

@@ -206,3 +206,46 @@ func TestPublicSeekAndEndOffset(t *testing.T) {
 		t.Fatalf("seek ignored: %+v", msgs)
 	}
 }
+
+func TestPublicAcksLeaderProduceConsume(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("t", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer(kafka.ProducerConfig{AcksLeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 50; i++ {
+		if err := p.Send("t", kafka.Record{
+			Key: []byte(fmt.Sprintf("k%d", i)), Value: []byte("v"), Timestamp: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// acks=leader: Flush returns after the leader append, before full
+	// replication; consumers still only see records once the high
+	// watermark (replication) catches up.
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cons := c.NewConsumer(kafka.ConsumerConfig{})
+	defer cons.Close()
+	cons.Assign("t", 0, 1)
+	seen := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for seen < 50 && time.Now().Before(deadline) {
+		msgs, err := cons.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen += len(msgs)
+		if len(msgs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if seen != 50 {
+		t.Fatalf("consumed %d of 50", seen)
+	}
+}
