@@ -35,9 +35,12 @@ test-obs:
 	$(GO) test -race -count=1 ./internal/obs/
 
 # bench-obs proves the disabled/idle registry stays out of the hot path:
-# the benchmarks print per-op costs and the guard test enforces the bound.
+# the benchmarks print per-op costs and the guard tests enforce the
+# bounds (counter ops, the disabled flight recorder, and the per-record
+# watermark tracker).
 bench-obs:
-	$(GO) test ./internal/obs/ -bench Obs -benchtime 100x -run TestCounterOpOverheadGuard -count=1
+	$(GO) test ./internal/obs/ -bench Obs -benchtime 100x -run 'TestCounterOpOverheadGuard|TestFlightRecorderDisabledOverheadGuard' -count=1
+	$(GO) test ./internal/core/ -run TestWatermarkOpOverheadGuard -count=1
 
 # bench-matrix: the produce/fetch macro-bench matrix (DESIGN.md §10).
 # Writes fresh BENCH_*.json into bench-artifacts/ and fails on a >10%

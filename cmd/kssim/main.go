@@ -32,6 +32,7 @@ func main() {
 	schedFile := flag.String("schedule", "", "replay a schedule file instead of generating from the seed")
 	outDir := flag.String("out", ".", "directory for failing-schedule artifacts")
 	inject := flag.String("inject", "", "arm a deliberate bug (drop-abort-markers) to self-test the checkers")
+	flightRec := flag.String("flightrec", "", "enable the flight recorder; dump artifacts into this directory on violations")
 	shrink := flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
 	verbose := flag.Bool("v", false, "print the report for passing runs too")
 	flag.Parse()
@@ -77,7 +78,7 @@ func main() {
 
 	failures := 0
 	for _, s := range list {
-		cfg := sim.Config{Seed: s, Short: *short, Schedule: schedule, Faults: faults}
+		cfg := sim.Config{Seed: s, Short: *short, Schedule: schedule, Faults: faults, FlightRecDir: *flightRec}
 		start := time.Now()
 		rep := sim.Run(cfg)
 		dur := time.Since(start).Round(time.Millisecond)
@@ -91,6 +92,9 @@ func main() {
 		failures++
 		fmt.Printf("kssim: seed %d FAIL (%s wall)\n", s, dur)
 		fmt.Print(rep.Text())
+		if rep.FlightDump != "" {
+			fmt.Printf("kssim: flight recorder dump: %s\n", rep.FlightDump)
+		}
 		if !*shrink {
 			continue
 		}

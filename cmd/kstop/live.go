@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kstreams/internal/harness"
+	"kstreams/internal/obs"
+)
+
+// fetchSnapshot pulls one /snapshot from a cluster's export endpoint
+// (see internal/obs/export.go) and decodes it into the same Snapshot
+// shape the registry produced on the other side.
+func fetchSnapshot(client *http.Client, endpoint string) (*obs.Snapshot, error) {
+	resp, err := client.Get(endpoint + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /snapshot: %s", resp.Status)
+	}
+	var s obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decoding /snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// renderLive writes one frame of the operator view: the cluster-wide
+// completeness lag, per-task watermarks, partition HW/LSO/ISR, and the
+// hottest latency histograms by p99.
+func renderLive(w io.Writer, endpoint string, frame int, s *obs.Snapshot) {
+	fmt.Fprintf(w, "kstop live — %s  frame %d\n", endpoint, frame)
+	if lag, ok := s.Gauges["completeness_lag_ms"]; ok {
+		fmt.Fprintf(w, "completeness lag (worst task, event time): %d ms\n", lag)
+	} else {
+		fmt.Fprintln(w, "completeness lag: no stream tasks reporting yet")
+	}
+	fmt.Fprintln(w)
+
+	if tbl := watermarkTable(s); tbl != nil {
+		fmt.Fprint(w, tbl)
+	}
+	if tbl := partitionTable(s); tbl != nil {
+		fmt.Fprint(w, tbl)
+	}
+	if tbl := latencyTable(s); tbl != nil {
+		fmt.Fprint(w, tbl)
+	}
+}
+
+// watermarkTable renders one row per stream task: its event-time
+// watermark and how far behind the thread's max observed event time it
+// sits, plus the task's out-of-order/late tallies.
+func watermarkTable(s *obs.Snapshot) *harness.Table {
+	var tasks []string
+	for k := range s.Gauges {
+		if obs.BaseName(k) == "completeness_task_watermark" {
+			tasks = append(tasks, obs.LabelValue(k, "task"))
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	sort.Strings(tasks)
+	tbl := harness.NewTable("stream tasks", "task", "watermark", "lag", "out-of-order", "late")
+	for _, task := range tasks {
+		l := "{task=" + task + "}"
+		tbl.Add(task,
+			s.Gauges["completeness_task_watermark"+l],
+			fmt.Sprintf("%dms", s.Gauges["completeness_task_lag_ms"+l]),
+			s.Counters["completeness_out_of_order_total"+l],
+			s.Counters["completeness_late_records_total"+l])
+	}
+	return tbl
+}
+
+// partitionTable renders the broker-side view: high watermark, last
+// stable offset, and ISR size per partition, keyed off the HW gauge
+// family (every partition a broker leads registers one).
+func partitionTable(s *obs.Snapshot) *harness.Table {
+	type tp struct {
+		topic string
+		part  int
+	}
+	var tps []tp
+	for k := range s.Gauges {
+		if obs.BaseName(k) == "broker_partition_high_watermark" {
+			p, _ := strconv.Atoi(obs.LabelValue(k, "partition"))
+			tps = append(tps, tp{topic: obs.LabelValue(k, "topic"), part: p})
+		}
+	}
+	if len(tps) == 0 {
+		return nil
+	}
+	sort.Slice(tps, func(i, j int) bool {
+		if tps[i].topic != tps[j].topic {
+			return tps[i].topic < tps[j].topic
+		}
+		return tps[i].part < tps[j].part
+	})
+	tbl := harness.NewTable("partitions", "topic", "part", "hw", "lso", "isr")
+	for _, t := range tps {
+		l := fmt.Sprintf("{partition=%d,topic=%s}", t.part, t.topic)
+		tbl.Add(t.topic, t.part,
+			s.Gauges["broker_partition_high_watermark"+l],
+			s.Gauges["broker_partition_last_stable_offset"+l],
+			s.Gauges["broker_partition_isr_size"+l])
+	}
+	return tbl
+}
+
+// latencyTable renders the top histograms by p99 — the quickest way to
+// spot which path (produce, fetch, commit, restore) is hurting.
+const latencyTopN = 8
+
+func latencyTable(s *obs.Snapshot) *harness.Table {
+	type row struct {
+		name string
+		h    obs.HistogramStat
+	}
+	var rows []row
+	for k, h := range s.Histograms {
+		if h.Count > 0 {
+			rows = append(rows, row{name: k, h: h})
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].h.P99 != rows[j].h.P99 {
+			return rows[i].h.P99 > rows[j].h.P99
+		}
+		return rows[i].name < rows[j].name
+	})
+	if len(rows) > latencyTopN {
+		rows = rows[:latencyTopN]
+	}
+	tbl := harness.NewTable(fmt.Sprintf("top %d histograms by p99", len(rows)),
+		"name", "count", "p50", "p99", "max")
+	for _, r := range rows {
+		tbl.Add(r.name, r.h.Count,
+			obs.FormatValue(r.h.P50, r.h.Unit),
+			obs.FormatValue(r.h.P99, r.h.Unit),
+			obs.FormatValue(r.h.Max, r.h.Unit))
+	}
+	return tbl
+}
+
+// runLive polls endpoint every refresh and repaints the view. frames
+// bounds the loop (0 = run until interrupted). Returns the first fetch
+// error after the endpoint was healthy once — a dead endpoint on frame
+// one is a usage error, a dead endpoint later means the cluster went away.
+func runLive(w io.Writer, endpoint string, refresh time.Duration, frames int) error {
+	endpoint = strings.TrimSuffix(endpoint, "/")
+	if !strings.Contains(endpoint, "://") {
+		endpoint = "http://" + endpoint
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	clear := ""
+	if fi, err := os.Stdout.Stat(); w == os.Stdout && err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		clear = "\x1b[H\x1b[2J" // home + clear: repaint in place on a terminal
+	}
+	for frame := 1; frames <= 0 || frame <= frames; frame++ {
+		s, err := fetchSnapshot(client, endpoint)
+		if err != nil {
+			if frame == 1 {
+				return fmt.Errorf("kstop: no export endpoint at %s (start one with Cluster.ServeObs): %w", endpoint, err)
+			}
+			return fmt.Errorf("kstop: endpoint lost after %d frames: %w", frame-1, err)
+		}
+		fmt.Fprint(w, clear)
+		renderLive(w, endpoint, frame, s)
+		if frames > 0 && frame == frames {
+			break
+		}
+		select {
+		case <-time.After(refresh):
+		case <-interrupt:
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kstreams/internal/obs"
+	"kstreams/kafka"
+)
+
+// TestRenderLive renders a synthetic snapshot and checks every section
+// lands: the completeness rollup line, the per-task watermark table, the
+// partition table, and the p99-sorted histogram leaderboard.
+func TestRenderLive(t *testing.T) {
+	s := &obs.Snapshot{
+		Counters: map[string]int64{
+			"completeness_out_of_order_total{task=0_1}": 7,
+			"completeness_late_records_total{task=0_1}": 2,
+		},
+		Gauges: map[string]int64{
+			"completeness_lag_ms":                                           120,
+			"completeness_task_watermark{task=0_1}":                         5000,
+			"completeness_task_lag_ms{task=0_1}":                            120,
+			"completeness_task_watermark{task=0_0}":                         6000,
+			"completeness_task_lag_ms{task=0_0}":                            40,
+			"broker_partition_high_watermark{partition=0,topic=events}":     42,
+			"broker_partition_last_stable_offset{partition=0,topic=events}": 40,
+			"broker_partition_isr_size{partition=0,topic=events}":           3,
+		},
+		Histograms: map[string]obs.HistogramStat{
+			"client_produce_latency": {Count: 10, P50: 1000, P99: 9000, Max: 9500, Unit: obs.UnitNanoseconds},
+			"client_fetch_latency":   {Count: 20, P50: 500, P99: 2000, Max: 2500, Unit: obs.UnitNanoseconds},
+			"empty_histogram":        {},
+		},
+	}
+	var b strings.Builder
+	renderLive(&b, "http://example:1", 3, s)
+	out := b.String()
+
+	for _, want := range []string{
+		"completeness lag (worst task, event time): 120 ms",
+		"0_0", "0_1", "7", // both tasks plus the out-of-order count
+		"events", "42", "40", "3",
+		"client_produce_latency", "client_fetch_latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live view missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "empty_histogram") {
+		t.Errorf("live view shows a histogram with zero samples:\n%s", out)
+	}
+	// The slower path must lead the leaderboard.
+	if p, f := strings.Index(out, "client_produce_latency"), strings.Index(out, "client_fetch_latency"); p > f {
+		t.Errorf("histograms not sorted by p99 descending:\n%s", out)
+	}
+}
+
+// TestRunLiveAgainstExportPlane drives the real path end to end: a
+// cluster serving its export plane, two polled frames, and the broker
+// gauges showing up in the rendered view.
+func TestRunLiveAgainstExportPlane(t *testing.T) {
+	c, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("t", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer(kafka.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("t", kafka.Record{Key: []byte("k"), Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	addr, err := c.ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := runLive(&b, addr, 10*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "frame 2") {
+		t.Errorf("live view did not reach frame 2:\n%s", out)
+	}
+	if !strings.Contains(out, "broker_partition") && !strings.Contains(out, "partitions") {
+		t.Errorf("live view missing the partition table:\n%s", out)
+	}
+}
+
+// TestRunLiveDeadEndpoint: a first-frame connection failure is a usage
+// error and must say so instead of looping.
+func TestRunLiveDeadEndpoint(t *testing.T) {
+	var b strings.Builder
+	err := runLive(&b, "127.0.0.1:1", 10*time.Millisecond, 2)
+	if err == nil || !strings.Contains(err.Error(), "no export endpoint") {
+		t.Fatalf("expected a no-endpoint error, got: %v", err)
+	}
+}

@@ -5,13 +5,20 @@
 // commits, internal repartition/changelog topics, and the compiled
 // processing topology. It doubles as a smoke test of the metadata paths.
 //
-// Run with: go run ./cmd/kstop
+//	go run ./cmd/kstop                           # one-shot inspection
+//	go run ./cmd/kstop -live                     # refreshing view, self-hosted demo
+//	go run ./cmd/kstop -live -endpoint host:port # watch a running cluster's export plane
+//
+// The live view polls the /snapshot endpoint served by Cluster.ServeObs
+// and repaints per-task watermarks and event-time lag, partition
+// HW/LSO/ISR, and the hottest latency histograms (DESIGN.md §11).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"kstreams/internal/client"
@@ -25,30 +32,27 @@ import (
 func main() {
 	records := flag.Int("records", 5000, "records to run through the demo app")
 	crash := flag.Bool("crash", true, "crash and restart a broker mid-run")
+	live := flag.Bool("live", false, "refreshing operator view instead of the one-shot inspection")
+	endpoint := flag.String("endpoint", "", "export endpoint to watch with -live; empty self-hosts a demo cluster")
+	refresh := flag.Duration("refresh", time.Second, "repaint interval for -live")
+	frames := flag.Int("frames", 0, "stop -live after this many frames (0 = until interrupted)")
 	flag.Parse()
 
-	cluster, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3})
-	if err != nil {
-		log.Fatal(err)
+	if *live && *endpoint != "" {
+		if err := runLive(os.Stdout, *endpoint, *refresh, *frames); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
-	defer cluster.Close()
-	must(cluster.CreateTopic("events", 4, false))
-	must(cluster.CreateTopic("totals", 4, false))
 
-	b := streams.NewBuilder("kstop-demo")
-	b.Stream("events", streams.StringSerde, streams.StringSerde).
-		GroupBy(func(k, v any) any { return v }, streams.StringSerde).
-		Count("totals-store").
-		ToStream().
-		To("totals")
-	app, err := streams.NewApp(b, streams.Config{
-		Cluster:        cluster,
-		Guarantee:      streams.ExactlyOnce,
-		CommitInterval: 100 * time.Millisecond,
-	})
-	must(err)
-	must(app.Start())
+	cluster, app := buildDemo()
+	defer cluster.Close()
 	defer app.Close()
+
+	if *live {
+		must(liveDemo(cluster, *refresh, *frames))
+		return
+	}
 
 	prod, err := cluster.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 256})
 	must(err)
@@ -122,6 +126,71 @@ func main() {
 	fmt.Printf("app metrics: processed=%d emitted=%d commits=%d restores=%d\n",
 		m.Processed, m.Emitted, m.Commits, m.Restores)
 	fmt.Printf("network: %d RPCs total\n", cluster.RPCCount())
+}
+
+// buildDemo stands up the 3-broker cluster and the counting topology
+// every kstop mode runs against.
+func buildDemo() (*kafka.Cluster, *streams.App) {
+	cluster, err := kafka.NewCluster(kafka.ClusterConfig{Brokers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(cluster.CreateTopic("events", 4, false))
+	must(cluster.CreateTopic("totals", 4, false))
+
+	b := streams.NewBuilder("kstop-demo")
+	b.Stream("events", streams.StringSerde, streams.StringSerde).
+		GroupBy(func(k, v any) any { return v }, streams.StringSerde).
+		Count("totals-store").
+		ToStream().
+		To("totals")
+	app, err := streams.NewApp(b, streams.Config{
+		Cluster:        cluster,
+		Guarantee:      streams.ExactlyOnce,
+		CommitInterval: 100 * time.Millisecond,
+	})
+	must(err)
+	must(app.Start())
+	return cluster, app
+}
+
+// liveDemo serves the export plane off the demo cluster, keeps a steady
+// trickle of records flowing so the watermarks have something to chase,
+// and points the live view at its own endpoint.
+func liveDemo(cluster *kafka.Cluster, refresh time.Duration, frames int) error {
+	addr, err := cluster.ServeObs("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kstop: demo export plane at http://%s (curl /metrics, /snapshot, /trace)\n", addr)
+
+	prod, err := cluster.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 64})
+	if err != nil {
+		return err
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer prod.Close()
+		gen := workload.NewStream(1, workload.StreamSpec{Keys: 40})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k, v, ts := gen.Next()
+			if err := prod.Send("events", kafka.Record{Key: k, Value: v, Timestamp: ts}); err != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	err = runLive(os.Stdout, addr, refresh, frames)
+	close(stop)
+	<-done
+	return err
 }
 
 func must(err error) {

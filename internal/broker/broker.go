@@ -354,6 +354,7 @@ func (b *Broker) handleLeaderAndISR(r *protocol.LeaderAndISRRequest) *protocol.L
 		}
 		p.hwGauge = b.metrics.reg.Gauge("broker_partition_high_watermark", tpLabels...)
 		p.lsoGauge = b.metrics.reg.Gauge("broker_partition_last_stable_offset", tpLabels...)
+		p.isrGauge = b.metrics.reg.Gauge("broker_partition_isr_size", tpLabels...)
 		b.partitions[r.TP] = p
 	}
 	b.mu.Unlock()

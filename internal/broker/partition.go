@@ -64,6 +64,7 @@ type partition struct {
 	appendLat *obs.Histogram
 	hwGauge   *obs.Gauge
 	lsoGauge  *obs.Gauge
+	isrGauge  *obs.Gauge
 
 	// onAppend, when set by a coordinator that owns this partition, runs
 	// after every successful leader append (data and markers) so the
@@ -102,6 +103,7 @@ func (p *partition) becomeLeader(epoch int32, replicas, isr []int32) {
 	p.leaderID = p.self
 	p.replicas = replicas
 	p.isr = isr
+	p.isrGauge.Set(int64(len(isr)))
 	p.isLeader = true
 	p.followerLEO = make(map[int32]int64)
 	p.lastFetch = make(map[int32]time.Time)
@@ -121,6 +123,7 @@ func (p *partition) becomeFollower(epoch int32, leader int32, replicas, isr []in
 	p.leaderID = leader
 	p.replicas = replicas
 	p.isr = isr
+	p.isrGauge.Set(int64(len(isr)))
 	p.isLeader = false
 	p.cond.Broadcast()
 	return p.log.TruncateTo(p.hw)
@@ -135,6 +138,7 @@ func (p *partition) setISR(epoch int32, isr []int32) {
 	}
 	p.leaderEpoch = epoch
 	p.isr = isr
+	p.isrGauge.Set(int64(len(isr)))
 	p.advanceHWLocked()
 	p.cond.Broadcast()
 }

@@ -81,6 +81,7 @@ func (c *Context) SchedulePunctuation(interval int64, fn func(streamTime int64))
 // CountLateDrop increments the completeness metric for a record discarded
 // beyond its operator's grace period.
 func (c *Context) CountLateDrop() {
+	c.task.tobs.late.Inc()
 	c.task.metrics.LateDropped++
 	c.task.metrics.shared.lateDropped.Add(1)
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"kstreams/internal/client"
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/store"
 )
@@ -51,6 +52,7 @@ type taskConfig struct {
 	partitionsOf   func(topic string) int32
 	registry       *StoreRegistry
 	metrics        *AtomicMetrics
+	obsReg         *obs.Registry
 }
 
 // Task executes one sub-topology instance for one input partition: it
@@ -76,6 +78,8 @@ type Task struct {
 	streamTime   int64
 	punctuations []*punctuation
 
+	wm      wmTracker
+	tobs    *taskObs
 	metrics *taskMetrics
 	procErr error
 
@@ -115,6 +119,8 @@ func NewTask(id TaskID, sub *SubTopology, cfg taskConfig, collector Collector) (
 		t.queues[tp] = nil
 		t.queueOrder = append(t.queueOrder, tp)
 	}
+	t.wm = newWmTracker(len(t.queueOrder))
+	t.tobs = newTaskObs(cfg.obsReg, id)
 	for _, storeName := range sub.Stores {
 		spec, ok := cfg.topology.specs[storeName]
 		if !ok {
@@ -200,21 +206,21 @@ func (t *Task) Buffered() int {
 // record was processed and any processing error.
 func (t *Task) ProcessOne() (bool, error) {
 	var pick protocol.TopicPartition
-	found := false
+	pickIdx := -1
 	var bestTs int64
-	for _, tp := range t.queueOrder {
+	for i, tp := range t.queueOrder {
 		q := t.queues[tp]
 		if len(q) == 0 {
 			continue
 		}
 		ts := q[0].Record.Timestamp
-		if !found || ts < bestTs {
-			found = true
+		if pickIdx < 0 || ts < bestTs {
+			pickIdx = i
 			bestTs = ts
 			pick = tp
 		}
 	}
-	if !found {
+	if pickIdx < 0 {
 		return false, nil
 	}
 	msg := t.queues[pick][0]
@@ -226,6 +232,9 @@ func (t *Task) ProcessOne() (bool, error) {
 	ts := msg.Record.Timestamp
 	if ts > t.streamTime {
 		t.streamTime = ts
+	}
+	if t.wm.observe(pickIdx, ts) {
+		t.tobs.outOfOrder.Inc()
 	}
 	t.metrics.addProcessed()
 	t.dirty = true

@@ -427,6 +427,7 @@ func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
 			partitionsOf:   th.cfg.PartitionsOf,
 			registry:       th.cfg.Registry,
 			metrics:        th.cfg.Metrics,
+			obsReg:         th.obs.reg,
 		}, collector)
 		if err != nil {
 			th.runErr = err
@@ -698,6 +699,21 @@ func (th *Thread) finishCommit(offsets []protocol.OffsetEntry) {
 	for id, t := range th.tasks {
 		if st := t.StreamTime(); st >= 0 && th.maxEventTs >= 0 {
 			th.obs.taskLag(id).Set(th.maxEventTs - st)
+		}
+		// Completeness view (DESIGN §11): the watermark gauge is the task's
+		// event-time frontier; its lag against the freshest timestamp the
+		// thread has seen on any input is how far behind event time this
+		// task's output is. Timestamps are milliseconds, so lag is in ms.
+		if wm := t.Watermark(); wm >= 0 {
+			t.tobs.watermark.Set(wm)
+			if th.maxEventTs >= 0 {
+				lag := th.maxEventTs - wm
+				if lag < 0 {
+					lag = 0
+				}
+				t.tobs.lag.Set(lag)
+				t.tobs.lagHist.Observe(lag)
+			}
 		}
 	}
 	th.cfg.Metrics.AddCommit()

@@ -1,0 +1,81 @@
+package core
+
+import "kstreams/internal/obs"
+
+// wmTracker maintains one task's event-time watermark: the minimum, over
+// every input partition that has delivered data, of the maximum record
+// timestamp seen on that partition. That is the completeness frontier of
+// the paper — every event at or before the watermark has been consumed,
+// so output up to it can no longer be revised by in-order input. The
+// tracker is task-confined (no locking) and its per-record cost is a few
+// integer compares over the task's input list (one or two entries for
+// every topology in this repo).
+type wmTracker struct {
+	// perInput is the max observed timestamp per source partition, indexed
+	// like Task.queueOrder; -1 until that input delivers its first record.
+	perInput []int64
+	// watermark is monotone: inputs only advance their max, and the guard
+	// in observe keeps a late-starting idle input (whose first record may
+	// sit below the current frontier) from ever pulling it backwards.
+	watermark int64
+}
+
+func newWmTracker(inputs int) wmTracker {
+	per := make([]int64, inputs)
+	for i := range per {
+		per[i] = -1
+	}
+	return wmTracker{perInput: per, watermark: -1}
+}
+
+// observe folds one processed record from input idx and reports whether
+// it was out of order (behind that input's previous maximum). Idle
+// inputs — partitions that have never delivered — are excluded from the
+// merge rather than pinning the watermark at -1 forever; DESIGN §11
+// spells out this choice.
+func (w *wmTracker) observe(idx int, ts int64) bool {
+	prev := w.perInput[idx]
+	if prev >= 0 && ts < prev {
+		return true
+	}
+	w.perInput[idx] = ts
+	min := int64(-1)
+	for _, v := range w.perInput {
+		if v < 0 {
+			continue
+		}
+		if min < 0 || v < min {
+			min = v
+		}
+	}
+	if min > w.watermark {
+		w.watermark = min
+	}
+	return false
+}
+
+// Watermark exposes the task's current event-time watermark (-1 before
+// any input has delivered data).
+func (t *Task) Watermark() int64 { return t.wm.watermark }
+
+// taskObs holds one task's completeness instrument handles, resolved
+// once at task construction so the per-record path touches only cached
+// atomics. All handles are nil-safe (nil registry → no-op instruments).
+type taskObs struct {
+	watermark  *obs.Gauge     // completeness_task_watermark: event-time frontier (ms)
+	lag        *obs.Gauge     // completeness_task_lag_ms: freshest input ts − watermark
+	lagHist    *obs.Histogram // completeness_lag_observed_ms: lag samples across commits
+	outOfOrder *obs.Counter   // records behind their input's frontier
+	late       *obs.Counter   // records dropped at window close (grace expired)
+}
+
+func newTaskObs(reg *obs.Registry, id TaskID) *taskObs {
+	task := obs.L("task", id.String())
+	return &taskObs{
+		watermark:  reg.Gauge("completeness_task_watermark", task),
+		lag:        reg.Gauge("completeness_task_lag_ms", task),
+		lagHist:    reg.SizeHistogram("completeness_lag_observed_ms"),
+		outOfOrder: reg.Counter("completeness_out_of_order_total", task),
+		late:       reg.Counter("completeness_late_records_total", task),
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/obs"
+)
+
+// buildObsTask is buildTask with a live metrics registry attached, so
+// completeness instruments are observable.
+func buildObsTask(t *testing.T, topo *Topology, reg *obs.Registry) *Task {
+	t.Helper()
+	sub := topo.SubTopologies()[0]
+	task, err := NewTask(TaskID{SubTopology: sub.ID, Partition: 0}, sub, taskConfig{
+		topology:       topo,
+		changelogTopic: func(s string) string { return "app-" + s + "-changelog" },
+		partitionsOf:   func(string) int32 { return 2 },
+		registry:       NewStoreRegistry(),
+		metrics:        &AtomicMetrics{},
+		obsReg:         reg,
+	}, &captureCollector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func twoSourceTopology(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	topo.AddSource("a", "alpha", fakeSerde{}, fakeSerde{})
+	topo.AddSource("b", "beta", fakeSerde{}, fakeSerde{})
+	var seen []string
+	topo.AddProcessor("p", func() Processor { return &orderProc{seen: &seen} }, "a", "b")
+	topo.AddStore(StoreSpec{Name: "glue", KeySerde: fakeSerde{}, ValSerde: fakeSerde{}}, "p")
+	if err := topo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func drain(t *testing.T, task *Task) {
+	t.Helper()
+	for task.Buffered() > 0 {
+		if ok, err := task.ProcessOne(); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+}
+
+// TestWatermarkMinOverInputs: the task watermark is the min over its
+// input partitions' observed frontiers, not the max the stream time
+// tracks: the slowest input bounds completeness.
+func TestWatermarkMinOverInputs(t *testing.T) {
+	reg := obs.NewRegistry()
+	task := buildObsTask(t, twoSourceTopology(t), reg)
+	if task.Watermark() != -1 {
+		t.Fatalf("watermark before data = %d, want -1", task.Watermark())
+	}
+	tpA, m1 := msg("alpha", 0, 0, "a1", 100)
+	_, m2 := msg("alpha", 0, 1, "a2", 300)
+	tpB, m3 := msg("beta", 0, 0, "b1", 50)
+	_, m4 := msg("beta", 0, 1, "b2", 200)
+	task.AddRecords(tpA, []client.Message{m1, m2})
+	task.AddRecords(tpB, []client.Message{m3, m4})
+	drain(t, task)
+	if st, wm := task.StreamTime(), task.Watermark(); st != 300 || wm != 200 {
+		t.Fatalf("streamTime=%d watermark=%d, want 300 and min-input 200", st, wm)
+	}
+	if got := reg.Snapshot().SumCounter("completeness_out_of_order_total"); got != 0 {
+		t.Fatalf("in-order run counted %d out-of-order records", got)
+	}
+}
+
+// TestWatermarkMonotonePerTask: an input delivering behind its own
+// frontier counts out-of-order and never drags the watermark backwards —
+// including the idle-input case where a late-starting partition's first
+// record sits below the already-established frontier.
+func TestWatermarkMonotonePerTask(t *testing.T) {
+	reg := obs.NewRegistry()
+	task := buildObsTask(t, twoSourceTopology(t), reg)
+
+	// Only alpha delivers: the watermark follows the sole active input.
+	tpA, m1 := msg("alpha", 0, 0, "a1", 100)
+	task.AddRecords(tpA, []client.Message{m1})
+	drain(t, task)
+	if wm := task.Watermark(); wm != 100 {
+		t.Fatalf("single active input watermark = %d, want 100", wm)
+	}
+
+	// alpha goes backwards: out-of-order, watermark holds.
+	_, m2 := msg("alpha", 0, 1, "a2", 40)
+	task.AddRecords(tpA, []client.Message{m2})
+	drain(t, task)
+	if wm := task.Watermark(); wm != 100 {
+		t.Fatalf("watermark after out-of-order record = %d, want 100", wm)
+	}
+	if got := reg.Snapshot().SumCounter("completeness_out_of_order_total"); got != 1 {
+		t.Fatalf("out-of-order total = %d, want 1", got)
+	}
+
+	// beta wakes up below the frontier: merged min is 60, but the
+	// watermark is monotone and must hold at 100.
+	tpB, m3 := msg("beta", 0, 0, "b1", 60)
+	task.AddRecords(tpB, []client.Message{m3})
+	drain(t, task)
+	if wm := task.Watermark(); wm != 100 {
+		t.Fatalf("watermark after idle input woke below frontier = %d, want 100", wm)
+	}
+	// beta is now the slow input: advancing alpha does not move the
+	// watermark until beta passes it.
+	_, m4 := msg("alpha", 0, 2, "a3", 500)
+	task.AddRecords(tpA, []client.Message{m4})
+	drain(t, task)
+	if wm := task.Watermark(); wm != 100 {
+		t.Fatalf("watermark = %d, want 100 while beta lags at 60", wm)
+	}
+	_, m5 := msg("beta", 0, 1, "b2", 450)
+	task.AddRecords(tpB, []client.Message{m5})
+	drain(t, task)
+	if wm := task.Watermark(); wm != 450 {
+		t.Fatalf("watermark = %d, want min(500, 450)", wm)
+	}
+}
+
+// TestWatermarkOpOverheadGuard enforces the ≤50ns design target for the
+// per-record watermark fold the same way the obs counter guard does:
+// amortized over a big loop, hard-gated at 1µs so CI noise cannot flake
+// it while a map lookup, lock, or allocation still trips it.
+func TestWatermarkOpOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	const iters = 5_000_000
+	wm := newWmTracker(2)
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 3; attempt++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			wm.observe(i&1, int64(i))
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	perOp := best / iters
+	t.Logf("watermark observe: %v/op", perOp)
+	if perOp > time.Microsecond {
+		t.Fatalf("watermark observe costs %v/op, want ~<50ns", perOp)
+	}
+}

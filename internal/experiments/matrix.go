@@ -60,6 +60,11 @@ type MatrixResult struct {
 	Params        MatrixParams `json:"params"`
 	Produce       PhaseStats   `json:"produce"`
 	Fetch         PhaseStats   `json:"fetch"`
+	// EventTimeLagP99Ms is the p99 of (fetch wall time − record event
+	// time) over the first full drain: the completeness measure a
+	// caught-up consumer sees (DESIGN.md §11). Additive field, so the
+	// schema version stays at 1; absent in older baselines means 0.
+	EventTimeLagP99Ms float64 `json:"event_time_lag_p99_ms"`
 }
 
 // matrixScenarios sweeps the four required axes: batch size, partition
@@ -129,8 +134,9 @@ func RunMatrix(quick bool, outDir string, prog *Progress) ([]MatrixResult, error
 		}
 		prog.logf("  produce %.0f rec/s %.1f MB/s p99=%.3fms allocs/op=%.1f",
 			res.Produce.RecordsPerSec, res.Produce.MBPerSec, res.Produce.P99Ms, res.Produce.AllocsPerOp)
-		prog.logf("  fetch   %.0f rec/s %.1f MB/s p99=%.3fms allocs/op=%.1f",
-			res.Fetch.RecordsPerSec, res.Fetch.MBPerSec, res.Fetch.P99Ms, res.Fetch.AllocsPerOp)
+		prog.logf("  fetch   %.0f rec/s %.1f MB/s p99=%.3fms allocs/op=%.1f event-time-lag-p99=%.0fms",
+			res.Fetch.RecordsPerSec, res.Fetch.MBPerSec, res.Fetch.P99Ms, res.Fetch.AllocsPerOp,
+			res.EventTimeLagP99Ms)
 		if outDir != "" {
 			if err := writeBench(filepath.Join(outDir, BenchFileName(name)), res); err != nil {
 				return nil, err
@@ -163,6 +169,9 @@ func runScenarioBest(p MatrixParams) (MatrixResult, error) {
 		}
 		if res.Fetch.RecordsPerSec > best.Fetch.RecordsPerSec {
 			best.Fetch = res.Fetch
+			// The lag sample rides with the fetch pick: both come from
+			// the same drain, so mixing runs would misattribute.
+			best.EventTimeLagP99Ms = res.EventTimeLagP99Ms
 		}
 	}
 	return best, nil
@@ -196,13 +205,14 @@ func runScenario(p MatrixParams) (MatrixResult, error) {
 	res.Produce = phaseStats(p.Records, bytesTotal, produceElapsed, produceAllocs,
 		snap.Histograms["client_produce_latency"])
 
-	fetched, fetchElapsed, fetchAllocs, err := fetchPhase(c, topic, p)
+	fetched, fetchElapsed, fetchAllocs, lagP99, err := fetchPhase(c, topic, p)
 	if err != nil {
 		return res, err
 	}
 	snap = c.ObsSnapshot()
 	res.Fetch = phaseStats(fetched, bytesTotal/int64(p.Records)*int64(fetched), fetchElapsed, fetchAllocs,
 		snap.Histograms["client_fetch_latency"])
+	res.EventTimeLagP99Ms = lagP99
 	return res, nil
 }
 
@@ -240,12 +250,21 @@ func producePhase(c *kafka.Cluster, topic string, p MatrixParams) (bytes int64, 
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
+	// Event time is stamped in wall-clock ms — the same clock the fetch
+	// phase reads — so event-time lag is measurable end to end. The stamp
+	// is refreshed every 1 Ki records, not per record: at millisecond
+	// precision that loses nothing, and a per-record time.Now() costs
+	// measurable throughput on the fastest (acks=leader) scenario.
+	nowMs := time.Now().UnixMilli()
 	for i := 0; i < p.Records; i++ {
 		key := make([]byte, 8)
 		for b, v := 0, i; b < 8; b, v = b+1, v>>8 {
 			key[b] = byte(v)
 		}
-		rec := kafka.Record{Key: key, Value: val, Timestamp: int64(i)}
+		if i&1023 == 1023 {
+			nowMs = time.Now().UnixMilli()
+		}
+		rec := kafka.Record{Key: key, Value: val, Timestamp: nowMs}
 		if err := prod.SendTo(topic, int32(i)%p.Partitions, rec); err != nil {
 			return 0, 0, 0, err
 		}
@@ -290,7 +309,7 @@ const fetchDrainCap = 150_000
 // fetchPhase drains every produced record from offset 0 through one
 // consumer assigned all partitions, repeating whole passes until the
 // measurement window is long enough. Returns the total records fetched.
-func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, elapsed time.Duration, allocs uint64, err error) {
+func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, elapsed time.Duration, allocs uint64, lagP99Ms float64, err error) {
 	iso := kafka.ReadUncommitted
 	if p.EOS {
 		iso = kafka.ReadCommitted
@@ -320,7 +339,7 @@ func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, el
 		for _, part := range parts {
 			end, err := cons.EndOffset(topic, part)
 			if err != nil {
-				return 0, 0, 0, err
+				return 0, 0, 0, 0, err
 			}
 			sum += end
 		}
@@ -328,7 +347,7 @@ func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, el
 			break
 		}
 		if time.Now().After(hwDeadline) {
-			return 0, 0, 0, fmt.Errorf("high watermark stalled at %d of %d records", sum, p.Records)
+			return 0, 0, 0, 0, fmt.Errorf("high watermark stalled at %d of %d records", sum, p.Records)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -339,13 +358,18 @@ func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, el
 	for i, part := range parts {
 		end, err := cons.EndOffset(topic, part)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, 0, err
 		}
 		seekTo[i] = end - int64(drain/len(parts))
 		if seekTo[i] < 0 {
 			seekTo[i] = 0
 		}
 	}
+	// Event-time lag is sampled on the first pass only: that is the
+	// caught-up consumer's view (delivery wall time minus the wall-ms
+	// event time the producer stamped). Later passes re-read the same
+	// log and would only measure how long the benchmark has been running.
+	var lagHist obs.Histogram
 	start := time.Now()
 	deadline := time.Now().Add(2 * time.Minute)
 	for pass := 0; pass == 0 || time.Since(start) < fetchMinWindow; pass++ {
@@ -359,17 +383,25 @@ func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, el
 		for {
 			msgs, err := cons.Poll()
 			if err != nil {
-				return 0, 0, 0, err
+				return 0, 0, 0, 0, err
 			}
 			if len(msgs) == 0 {
 				if got > 0 {
 					break
 				}
 				if time.Now().After(deadline) {
-					return 0, 0, 0, fmt.Errorf("fetch pass %d got no records", pass)
+					return 0, 0, 0, 0, fmt.Errorf("fetch pass %d got no records", pass)
 				}
 				time.Sleep(100 * time.Microsecond)
 				continue
+			}
+			if pass == 0 {
+				nowMs := time.Now().UnixMilli()
+				for _, m := range msgs {
+					if lag := nowMs - m.Timestamp; lag >= 0 {
+						lagHist.Observe(lag)
+					}
+				}
 			}
 			got += len(msgs)
 		}
@@ -377,7 +409,7 @@ func fetchPhase(c *kafka.Cluster, topic string, p MatrixParams) (fetched int, el
 	}
 	elapsed = time.Since(start)
 	runtime.ReadMemStats(&msAfter)
-	return fetched, elapsed, msAfter.Mallocs - msBefore.Mallocs, nil
+	return fetched, elapsed, msAfter.Mallocs - msBefore.Mallocs, float64(lagHist.Quantile(99)), nil
 }
 
 func phaseStats(records int, bytes int64, elapsed time.Duration, allocs uint64, h obs.HistogramStat) PhaseStats {

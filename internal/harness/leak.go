@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"kstreams/internal/obs"
 )
 
 // TB is the slice of *testing.T the leak guard needs; declared here so
@@ -57,8 +59,15 @@ func (g *LeakGuard) Check(t TB, settle time.Duration) {
 		// mid-flight (e.g. a timer goroutine being reaped); not a leak.
 		return
 	}
-	t.Errorf("goroutine leak: %d before, %d after settle; leaked by creation site:\n%s",
-		g.before, now, strings.Join(leaks, "\n"))
+	// A leak means some component outlived its shutdown: dump the flight
+	// recorder (when one is installed) so the recent spans and fault
+	// events around the failure survive as a post-mortem artifact.
+	dumped := ""
+	if path, ok := obs.DumpGlobalFlightRecorder("goroutine-leak"); ok {
+		dumped = "\nflight recorder dumped to " + path
+	}
+	t.Errorf("goroutine leak: %d before, %d after settle; leaked by creation site:\n%s%s",
+		g.before, now, strings.Join(leaks, "\n"), dumped)
 }
 
 // census counts live goroutines by signature: the "created by" site when

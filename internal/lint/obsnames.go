@@ -16,8 +16,8 @@ import (
 //   - the family name must be a compile-time constant — dynamic names
 //     defeat dashboards and make snapshots non-reproducible;
 //   - it must follow the area_noun_unit scheme: a known area prefix
-//     (transport, broker, group, txn, client, stream) followed by
-//     lower_snake_case words;
+//     (transport, broker, group, txn, client, stream, completeness,
+//     export, flightrec, obs) followed by lower_snake_case words;
 //   - counter families end in _total (the two pre-§7 legacy aggregate
 //     counters are grandfathered);
 //   - each family is registered from a single package, so ownership of a
@@ -37,11 +37,18 @@ func (*obsNames) Doc() string {
 }
 
 var (
-	obsNameRE  = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
-	obsAreas   = map[string]bool{"transport": true, "broker": true, "group": true, "txn": true, "client": true, "stream": true}
+	obsNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+	obsAreas  = map[string]bool{
+		"transport": true, "broker": true, "group": true, "txn": true,
+		"client": true, "stream": true,
+		// Completeness-observability families (DESIGN §11): event-time
+		// watermark/lag, the HTTP export plane, the span flight recorder,
+		// and the registry's own meta-metrics (label-cardinality guard).
+		"completeness": true, "export": true, "flightrec": true, "obs": true,
+	}
 	obsRegFns  = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "SizeHistogram": true}
 	legacyObs  = map[string]bool{"transport_rpcs_attempted": true, "transport_rpcs_delivered": true}
-	obsAreaMsg = "transport|broker|group|txn|client|stream"
+	obsAreaMsg = "transport|broker|group|txn|client|stream|completeness|export|flightrec|obs"
 )
 
 func (o *obsNames) Run(p *Pass) {

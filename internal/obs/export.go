@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ExportServer is the opt-in HTTP export plane over one registry: the
+// runtime surface that turns the in-process instruments into something a
+// human (kstop -live) or a scraper (Prometheus) can watch while the
+// cluster runs.
+//
+//	GET /metrics   Prometheus text exposition (counters, gauges,
+//	               histograms as summaries)
+//	GET /snapshot  the Snapshot struct as JSON (round-trips through
+//	               snapshot.go)
+//	GET /trace     recently finished traces with their spans, as JSON
+//	GET /flightrec the attached flight recorder's ring as a dump
+//	               artifact (404 when no recorder is attached)
+type ExportServer struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeExport starts the export plane on addr ("127.0.0.1:0" picks a
+// free port) and returns once the listener is bound.
+func ServeExport(reg *Registry, addr string) (*ExportServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e := &ExportServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/snapshot", e.handleSnapshot)
+	mux.HandleFunc("/trace", e.handleTrace)
+	mux.HandleFunc("/flightrec", e.handleFlightRec)
+	mux.HandleFunc("/", e.handleNotFound)
+	e.srv = &http.Server{Handler: mux}
+	go e.srv.Serve(ln)
+	return e, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (e *ExportServer) Addr() string {
+	if e == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// Close stops the server and its listener.
+func (e *ExportServer) Close() error {
+	if e == nil {
+		return nil
+	}
+	return e.srv.Close()
+}
+
+func (e *ExportServer) count(path string) {
+	e.reg.Counter("export_http_requests_total", L("path", path)).Inc()
+}
+
+func (e *ExportServer) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	e.reg.Counter("export_http_errors_total").Inc()
+	http.NotFound(w, r)
+}
+
+func (e *ExportServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	e.count("metrics")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, e.reg.Snapshot())
+}
+
+func (e *ExportServer) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	e.count("snapshot")
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(e.reg.Snapshot()); err != nil {
+		e.reg.Counter("export_http_errors_total").Inc()
+	}
+}
+
+// exportTrace / exportSpan are the /trace wire shapes. Span offsets are
+// relative to the trace start so the JSON carries no wall-clock epoch.
+type exportTrace struct {
+	Name  string       `json:"name"`
+	DurNS int64        `json:"dur_ns"`
+	Spans []exportSpan `json:"spans"`
+}
+
+type exportSpan struct {
+	Name     string `json:"name"`
+	OffsetNS int64  `json:"offset_ns"`
+	DurNS    int64  `json:"dur_ns"`
+}
+
+func (e *ExportServer) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	e.count("trace")
+	traces := e.reg.RecentTraces()
+	out := make([]exportTrace, 0, len(traces))
+	for _, t := range traces {
+		et := exportTrace{Name: t.Name, DurNS: int64(t.Dur()), Spans: []exportSpan{}}
+		for _, s := range t.Spans() {
+			et.Spans = append(et.Spans, exportSpan{
+				Name:     s.Name,
+				OffsetNS: int64(s.Start.Sub(t.Start)),
+				DurNS:    int64(s.Dur),
+			})
+		}
+		out = append(out, et)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		e.reg.Counter("export_http_errors_total").Inc()
+	}
+}
+
+func (e *ExportServer) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	f := e.reg.FlightRecorder()
+	if f == nil {
+		e.handleNotFound(w, r)
+		return
+	}
+	e.count("flightrec")
+	w.Header().Set("Content-Type", "application/json")
+	if err := f.WriteJSON(w, "http"); err != nil {
+		e.reg.Counter("export_http_errors_total").Inc()
+	}
+}
+
+// --- Prometheus text exposition ---
+
+// WritePrometheus renders a snapshot in the Prometheus text format
+// (version 0.0.4): counters and gauges as typed samples, histograms as
+// summaries (p50/p95/p99 quantiles plus _sum and _count, where _sum is
+// approximated as mean×count — the histogram keeps no exact sum).
+// Values keep the instrument's native unit (nanoseconds for latency
+// histograms, raw counts otherwise).
+func WritePrometheus(w io.Writer, s *Snapshot) {
+	if s == nil {
+		return
+	}
+	writePromFamilies(w, s.Counters, "counter")
+	writePromFamilies(w, s.Gauges, "gauge")
+
+	names := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, full := range names {
+		h := s.Histograms[full]
+		base := BaseName(full)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s summary\n", base)
+		}
+		for _, q := range [...]struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(w, "%s%s %d\n", base, promLabels(full, "quantile", q.q), q.v)
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, promLabels(full), h.Mean*h.Count)
+		fmt.Fprintf(w, "%s_count%s %d\n", base, promLabels(full), h.Count)
+	}
+}
+
+func writePromFamilies(w io.Writer, vals map[string]int64, typ string) {
+	names := make([]string, 0, len(vals))
+	for k := range vals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, full := range names {
+		base := BaseName(full)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+		}
+		fmt.Fprintf(w, "%s%s %d\n", base, promLabels(full), vals[full])
+	}
+}
+
+// promLabels converts the canonical "{k=v,...}" block of a full metric
+// name into Prometheus syntax ({k="v",...}), appending any extra
+// key/value pairs (given as alternating strings). Returns "" for an
+// unlabeled name with no extras.
+func promLabels(full string, extra ...string) string {
+	var pairs []string
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		for _, kv := range strings.Split(strings.TrimSuffix(full[i+1:], "}"), ",") {
+			if k, v, ok := strings.Cut(kv, "="); ok {
+				pairs = append(pairs, k+`="`+promEscape(v)+`"`)
+			}
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		pairs = append(pairs, extra[i]+`="`+promEscape(extra[i+1])+`"`)
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

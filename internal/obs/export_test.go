@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func startExport(t *testing.T, r *Registry) *ExportServer {
+	t.Helper()
+	e, err := ServeExport(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeExport: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// Prometheus text format: every non-comment line is
+// name{label="v",...} value — with metric names and label keys in the
+// legal charset and values plain integers here.
+var promLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? -?[0-9]+$`)
+
+func TestExportMetricsIsValidPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport_rpcs_total", L("kind", "Produce")).Add(7)
+	r.Counter("transport_rpcs_total", L("kind", "Fetch")).Add(3)
+	r.Gauge("broker_partition_high_watermark", L("topic", "t"), L("partition", "0")).Set(42)
+	r.Histogram("client_commit_latency_ns").Observe(1000)
+	r.Histogram("client_commit_latency_ns").Observe(2000)
+	e := startExport(t, r)
+
+	code, body := get(t, "http://"+e.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", code)
+	}
+	types := map[string]string{}
+	samples := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if prev, dup := types[name]; dup {
+				t.Fatalf("family %s typed twice (%s, %s)", name, prev, typ)
+			}
+			types[name] = typ
+			continue
+		}
+		if !promLineRE.MatchString(line) {
+			t.Fatalf("invalid Prometheus sample line %q", line)
+		}
+		samples[line] = true
+	}
+	if types["transport_rpcs_total"] != "counter" ||
+		types["broker_partition_high_watermark"] != "gauge" ||
+		types["client_commit_latency_ns"] != "summary" {
+		t.Fatalf("family types wrong: %v", types)
+	}
+	for _, want := range []string{
+		`transport_rpcs_total{kind="Produce"} 7`,
+		`transport_rpcs_total{kind="Fetch"} 3`,
+		`broker_partition_high_watermark{partition="0",topic="t"} 42`,
+		`client_commit_latency_ns_count 2`,
+	} {
+		if !samples[want] {
+			t.Fatalf("missing sample %q in:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, `client_commit_latency_ns{quantile="0.99"}`) {
+		t.Fatalf("no p99 quantile sample in:\n%s", body)
+	}
+}
+
+func TestExportSnapshotRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("transport_rpcs_total", L("kind", "Produce")).Add(11)
+	r.Gauge("completeness_task_lag_ms", L("task", "events-0")).Set(250)
+	r.Histogram("client_commit_latency_ns").Observe(5000)
+	e := startExport(t, r)
+
+	code, body := get(t, "http://"+e.Addr()+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("GET /snapshot status %d", code)
+	}
+	var got Snapshot
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	want := r.Snapshot()
+	if got.Counters["transport_rpcs_total{kind=Produce}"] != want.Counters["transport_rpcs_total{kind=Produce}"] {
+		t.Fatalf("counter did not round-trip: %v vs %v", got.Counters, want.Counters)
+	}
+	if got.Gauges["completeness_lag_ms"] != 250 {
+		t.Fatalf("rollup gauge = %d, want 250", got.Gauges["completeness_lag_ms"])
+	}
+	h := got.Histograms["client_commit_latency_ns"]
+	if h.Count != 1 || h.Unit != UnitNanoseconds {
+		t.Fatalf("histogram stat did not round-trip: %+v", h)
+	}
+}
+
+func TestExportTraceAndFlightRec(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTrace("commit")
+	tr.StartSpan("EndTxn")()
+	tr.Finish()
+	r.RecordTrace(tr)
+	e := startExport(t, r)
+
+	code, body := get(t, "http://"+e.Addr()+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace status %d", code)
+	}
+	var traces []exportTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Name != "commit" || len(traces[0].Spans) != 1 {
+		t.Fatalf("traces = %+v", traces)
+	}
+
+	// No recorder attached: /flightrec is a 404 and counts an error.
+	if code, _ := get(t, "http://"+e.Addr()+"/flightrec"); code != http.StatusNotFound {
+		t.Fatalf("GET /flightrec without recorder status %d, want 404", code)
+	}
+	f := NewFlightRecorder(64)
+	r.SetFlightRecorder(f)
+	f.Record("fault", "crash", "", 1, 0)
+	code, body = get(t, "http://"+e.Addr()+"/flightrec")
+	if code != http.StatusOK {
+		t.Fatalf("GET /flightrec status %d", code)
+	}
+	reason, evs, err := ParseFlightDump(strings.NewReader(body))
+	if err != nil || reason != "http" || len(evs) != 1 {
+		t.Fatalf("flightrec dump: reason=%q evs=%d err=%v", reason, len(evs), err)
+	}
+
+	// Unknown paths 404 and count errors; requests counted per path.
+	if code, _ := get(t, "http://"+e.Addr()+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("GET /nope status %d", code)
+	}
+	s := r.Snapshot()
+	if s.Counter("export_http_requests_total{path=trace}") != 1 {
+		t.Fatalf("trace requests not counted: %v", s.Counters)
+	}
+	if s.Counter("export_http_errors_total") != 2 {
+		t.Fatalf("export_http_errors_total = %d, want 2 (bare /flightrec + /nope)", s.Counter("export_http_errors_total"))
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRingKeepsNewest(t *testing.T) {
+	f := NewFlightRecorder(64)
+	for i := 0; i < 100; i++ {
+		f.Record("note", "n", "", int64(i), 0)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("resident events = %d, want 64", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(36 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest evicted first)", i, ev.Seq, want)
+		}
+	}
+	if f.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", f.Len())
+	}
+}
+
+func TestNilFlightRecorderIsNoOp(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("note", "n", "", 0, 0)
+	if f.Events() != nil || f.Len() != 0 {
+		t.Fatal("nil recorder recorded")
+	}
+	if err := f.DumpFile("/nonexistent/should/not/matter", "x"); err != nil {
+		t.Fatalf("nil DumpFile errored: %v", err)
+	}
+}
+
+func TestFlightRecorderDumpRoundTrips(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record("fault", "crash-broker", "broker 2", 123, 0)
+	f.Record("violation", "I1", "read-committed saw aborted data", 456, 0)
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := f.DumpFile(path, "test-reason"); err != nil {
+		t.Fatalf("DumpFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, evs, err := ParseFlightDump(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ParseFlightDump: %v", err)
+	}
+	if reason != "test-reason" {
+		t.Fatalf("reason = %q", reason)
+	}
+	if len(evs) != 2 || evs[0].Name != "crash-broker" || evs[1].Kind != "violation" {
+		t.Fatalf("events round-tripped wrong: %+v", evs)
+	}
+}
+
+func TestFlightRecorderCountsThroughRegistry(t *testing.T) {
+	r := NewRegistry()
+	f := NewFlightRecorder(64)
+	r.SetFlightRecorder(f)
+	if r.FlightRecorder() != f {
+		t.Fatal("recorder not attached")
+	}
+	for i := 0; i < 70; i++ {
+		f.Record("note", "n", "", int64(i), 0)
+	}
+	s := r.Snapshot()
+	if got := s.Counter("flightrec_events_total"); got != 70 {
+		t.Fatalf("flightrec_events_total = %d, want 70", got)
+	}
+	if got := s.Counter("flightrec_overwrites_total"); got != 6 {
+		t.Fatalf("flightrec_overwrites_total = %d, want 6", got)
+	}
+	path := filepath.Join(t.TempDir(), "f.json")
+	if err := f.DumpFile(path, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot().Counter("flightrec_dumps_total"); got != 1 {
+		t.Fatalf("flightrec_dumps_total = %d, want 1", got)
+	}
+}
+
+func TestFlightRecorderCapturesTraces(t *testing.T) {
+	r := NewRegistry()
+	f := NewFlightRecorder(64)
+	r.SetFlightRecorder(f)
+	tr := NewTrace("commit")
+	done := tr.StartSpan("EndTxn")
+	time.Sleep(time.Millisecond)
+	done()
+	tr.Finish()
+	r.RecordTrace(tr)
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want trace+span", len(evs))
+	}
+	if evs[0].Kind != "trace" || evs[0].Name != "commit" {
+		t.Fatalf("first event %+v, want the trace", evs[0])
+	}
+	if evs[1].Kind != "span" || evs[1].Name != "commit/EndTxn" || evs[1].Dur <= 0 {
+		t.Fatalf("second event %+v, want the span with a duration", evs[1])
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	f := NewFlightRecorder(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record("note", "n", "", int64(i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != 4000 {
+		t.Fatalf("Len = %d, want 4000", f.Len())
+	}
+	evs := f.Events()
+	if len(evs) != 128 {
+		t.Fatalf("resident = %d, want 128", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("events not in strict seq order")
+		}
+	}
+}
+
+func TestGlobalFlightRecorderDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "global.json")
+	f := NewFlightRecorder(64)
+	SetGlobalFlightRecorder(f, path)
+	defer SetGlobalFlightRecorder(nil, "")
+	GlobalFlightRecorder().Record("note", "hello", "", 1, 0)
+	got, ok := DumpGlobalFlightRecorder("leak")
+	if !ok || got != path {
+		t.Fatalf("DumpGlobalFlightRecorder = %q, %v", got, ok)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, evs, err := ParseFlightDump(bytes.NewReader(data))
+	if err != nil || reason != "leak" || len(evs) != 1 {
+		t.Fatalf("dump parse: reason=%q evs=%d err=%v", reason, len(evs), err)
+	}
+	SetGlobalFlightRecorder(nil, "")
+	if _, ok := DumpGlobalFlightRecorder("x"); ok {
+		t.Fatal("dump succeeded with no recorder installed")
+	}
+}
+
+func TestLabelCardinalityGuardSpills(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelCap(4)
+	var inCap []*Gauge
+	for i := 0; i < 4; i++ {
+		inCap = append(inCap, r.Gauge("stream_task_lag", L("task", string(rune('a'+i)))))
+	}
+	over1 := r.Gauge("stream_task_lag", L("task", "overflow-1"))
+	over2 := r.Gauge("stream_task_lag", L("task", "overflow-2"))
+	if over1 != over2 {
+		t.Fatal("spilled label-sets did not share the overflow bucket")
+	}
+	for _, g := range inCap {
+		if g == over1 {
+			t.Fatal("in-cap gauge aliased to the overflow bucket")
+		}
+	}
+	// The cached redirect must return the same bucket on re-lookup.
+	if r.Gauge("stream_task_lag", L("task", "overflow-1")) != over1 {
+		t.Fatal("redirect cache broken")
+	}
+	s := r.Snapshot()
+	if _, ok := s.Gauges["stream_task_lag{label=_overflow}"]; !ok {
+		t.Fatalf("no overflow bucket in snapshot: %v", s.Gauges)
+	}
+	if _, ok := s.Gauges["stream_task_lag{task=overflow-1}"]; ok {
+		t.Fatal("spilled label-set leaked into the snapshot")
+	}
+	if got := s.Counter("obs_label_overflow_total{family=stream_task_lag}"); got != 2 {
+		t.Fatalf("obs_label_overflow_total = %d, want 2", got)
+	}
+	// Unlabeled instruments never spill, and other kinds guard too.
+	if r.Counter("stream_task_lag_unrelated_total") == nil {
+		t.Fatal("unlabeled counter nil")
+	}
+	r.SetLabelCap(1)
+	c1 := r.Counter("stream_evts_total", L("task", "a"))
+	c2 := r.Counter("stream_evts_total", L("task", "b"))
+	c3 := r.Counter("stream_evts_total", L("task", "c"))
+	if c1 == c2 || c2 != c3 {
+		t.Fatal("counter spill wrong")
+	}
+	h1 := r.Histogram("stream_lat_ns", L("task", "a"))
+	h2 := r.Histogram("stream_lat_ns", L("task", "b"))
+	h3 := r.Histogram("stream_lat_ns", L("task", "c"))
+	if h1 == h2 || h2 != h3 {
+		t.Fatal("histogram spill wrong")
+	}
+}
+
+func TestCompletenessRollupInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	s := r.Snapshot()
+	if _, ok := s.Gauges["completeness_lag_ms"]; ok {
+		t.Fatal("rollup present with no task gauges")
+	}
+	r.Gauge("completeness_task_lag_ms", L("task", "events-0")).Set(120)
+	r.Gauge("completeness_task_lag_ms", L("task", "events-1")).Set(45)
+	s = r.Snapshot()
+	if got := s.Gauges["completeness_lag_ms"]; got != 120 {
+		t.Fatalf("completeness_lag_ms = %d, want max task lag 120", got)
+	}
+}

@@ -124,12 +124,29 @@ func (g *Gauge) Value() int64 {
 // Registry holds metric families by canonical name. Instruments are
 // created on first use and live forever (no eviction): the families the
 // system emits — per-RPC-kind, per-topic-partition, per-stream-task — are
-// bounded by the workload's shape.
+// bounded by the workload's shape. As a backstop against a family whose
+// labels are NOT bounded (per-partition watermarks at thousands of
+// partitions, a bug interpolating a value into a label), each family is
+// capped at DefaultLabelCap distinct label-sets; further label-sets spill
+// into a single {label=_overflow} bucket and count an
+// obs_label_overflow_total{family=...} overflow counter.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Cardinality guard state (all under mu). familySets counts distinct
+	// label-sets created per family; the alias maps cache spilled full
+	// name → overflow instrument so hot paths keep their read-lock fast
+	// path after a spill.
+	labelCap     int
+	familySets   map[string]int
+	counterAlias map[string]*Counter
+	gaugeAlias   map[string]*Gauge
+	histAlias    map[string]*Histogram
+
+	flight atomic.Pointer[FlightRecorder]
 
 	traceMu sync.Mutex
 	traces  []*Trace // ring of recently finished traces
@@ -139,13 +156,71 @@ type Registry struct {
 // recentTraceCap bounds the kept-trace ring.
 const recentTraceCap = 16
 
+// DefaultLabelCap is the per-family distinct-label-set cap. Real
+// workloads sit far below it; hitting it means a label is carrying an
+// unbounded value.
+const DefaultLabelCap = 1024
+
+// aliasCap bounds the spill-redirect cache itself (the guard must not
+// become its own cardinality leak); past it, spilled lookups still work
+// but take the slow path every call.
+const aliasCap = 4 * DefaultLabelCap
+
+// overflowLabelValue marks the bucket absorbing spilled label-sets.
+const overflowLabelValue = "_overflow"
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:     make(map[string]*Counter),
+		gauges:       make(map[string]*Gauge),
+		hists:        make(map[string]*Histogram),
+		labelCap:     DefaultLabelCap,
+		familySets:   make(map[string]int),
+		counterAlias: make(map[string]*Counter),
+		gaugeAlias:   make(map[string]*Gauge),
+		histAlias:    make(map[string]*Histogram),
 	}
+}
+
+// SetLabelCap overrides the per-family distinct-label-set cap (tests,
+// tools). Instruments already created keep their identity; only future
+// label-sets are affected.
+func (r *Registry) SetLabelCap(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.labelCap = n
+	r.mu.Unlock()
+}
+
+// spill decides, under r.mu, whether a brand-new label-set for family
+// name must divert to the overflow bucket, counting the diversion when
+// so. Unlabeled instruments never spill (one per family by definition).
+func (r *Registry) spill(name string, labels []Label) bool {
+	if len(labels) == 0 {
+		return false
+	}
+	if r.familySets[name] < r.labelCap {
+		r.familySets[name]++
+		return false
+	}
+	// Created via direct map access: Registry.Counter would deadlock on
+	// mu, and the guard's own counter must never itself spill.
+	oname := fullName("obs_label_overflow_total", []Label{L("family", name)})
+	oc := r.counters[oname]
+	if oc == nil {
+		oc = &Counter{}
+		r.counters[oname] = oc
+	}
+	oc.Inc()
+	return true
+}
+
+// overflowName is the canonical identity of family name's spill bucket.
+func overflowName(name string) string {
+	return fullName(name, []Label{L("label", overflowLabelValue)})
 }
 
 // Counter returns (creating if needed) the counter for name+labels. Hot
@@ -158,16 +233,35 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	full := fullName(name, labels)
 	r.mu.RLock()
 	c := r.counters[full]
+	if c == nil {
+		c = r.counterAlias[full]
+	}
 	r.mu.RUnlock()
 	if c != nil {
 		return c
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c = r.counters[full]; c == nil {
-		c = &Counter{}
-		r.counters[full] = c
+	if c = r.counters[full]; c != nil {
+		return c
 	}
+	if c = r.counterAlias[full]; c != nil {
+		return c
+	}
+	if r.spill(name, labels) {
+		oname := overflowName(name)
+		c = r.counters[oname]
+		if c == nil {
+			c = &Counter{}
+			r.counters[oname] = c
+		}
+		if len(r.counterAlias) < aliasCap {
+			r.counterAlias[full] = c
+		}
+		return c
+	}
+	c = &Counter{}
+	r.counters[full] = c
 	return c
 }
 
@@ -179,16 +273,35 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	full := fullName(name, labels)
 	r.mu.RLock()
 	g := r.gauges[full]
+	if g == nil {
+		g = r.gaugeAlias[full]
+	}
 	r.mu.RUnlock()
 	if g != nil {
 		return g
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if g = r.gauges[full]; g == nil {
-		g = &Gauge{}
-		r.gauges[full] = g
+	if g = r.gauges[full]; g != nil {
+		return g
 	}
+	if g = r.gaugeAlias[full]; g != nil {
+		return g
+	}
+	if r.spill(name, labels) {
+		oname := overflowName(name)
+		g = r.gauges[oname]
+		if g == nil {
+			g = &Gauge{}
+			r.gauges[oname] = g
+		}
+		if len(r.gaugeAlias) < aliasCap {
+			r.gaugeAlias[full] = g
+		}
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[full] = g
 	return g
 }
 
@@ -211,17 +324,59 @@ func (r *Registry) histogram(name string, unit Unit, labels []Label) *Histogram 
 	full := fullName(name, labels)
 	r.mu.RLock()
 	h := r.hists[full]
+	if h == nil {
+		h = r.histAlias[full]
+	}
 	r.mu.RUnlock()
 	if h != nil {
 		return h
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if h = r.hists[full]; h == nil {
-		h = &Histogram{unit: unit}
-		r.hists[full] = h
+	if h = r.hists[full]; h != nil {
+		return h
 	}
+	if h = r.histAlias[full]; h != nil {
+		return h
+	}
+	if r.spill(name, labels) {
+		oname := overflowName(name)
+		h = r.hists[oname]
+		if h == nil {
+			h = &Histogram{unit: unit}
+			r.hists[oname] = h
+		}
+		if len(r.histAlias) < aliasCap {
+			r.histAlias[full] = h
+		}
+		return h
+	}
+	h = &Histogram{unit: unit}
+	r.hists[full] = h
 	return h
+}
+
+// SetFlightRecorder attaches a flight recorder to the registry: finished
+// traces recorded via RecordTrace are fed into its ring, and its
+// flightrec_* counters are wired up. A nil recorder detaches.
+func (r *Registry) SetFlightRecorder(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	if f != nil {
+		f.events = r.Counter("flightrec_events_total")
+		f.overwrites = r.Counter("flightrec_overwrites_total")
+		f.dumps = r.Counter("flightrec_dumps_total")
+	}
+	r.flight.Store(f)
+}
+
+// FlightRecorder returns the attached recorder (nil when none).
+func (r *Registry) FlightRecorder() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight.Load()
 }
 
 // RecordTrace keeps a finished trace in the recent-trace ring for
@@ -230,6 +385,7 @@ func (r *Registry) RecordTrace(t *Trace) {
 	if r == nil || t == nil {
 		return
 	}
+	r.flight.Load().recordTrace(t)
 	r.traceMu.Lock()
 	defer r.traceMu.Unlock()
 	if len(r.traces) < recentTraceCap {

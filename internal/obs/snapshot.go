@@ -58,6 +58,22 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, g := range gauges {
 		s.Gauges[k] = g.Value()
 	}
+	// Cluster-wide completeness rollup: the worst per-task event-time lag
+	// is how far behind event time the whole application's output is (the
+	// paper's completeness measure). Computed at snapshot time so per-task
+	// updates stay a bare gauge store.
+	rollup, found := int64(0), false
+	for k, v := range s.Gauges {
+		if BaseName(k) == "completeness_task_lag_ms" {
+			found = true
+			if v > rollup {
+				rollup = v
+			}
+		}
+	}
+	if found {
+		s.Gauges["completeness_lag_ms"] = rollup
+	}
 	for k, h := range hists {
 		s.Histograms[k] = HistogramStat{
 			Count: h.Count(),

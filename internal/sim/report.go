@@ -28,6 +28,12 @@ type Report struct {
 	Hash        uint64 // FNV-1a over the sorted final (key,count) pairs
 
 	Violations []string
+
+	// FlightDump is the flight-recorder artifact written on the first
+	// violation (empty when recording was off or the run passed). Kept out
+	// of Text(): paths are machine-specific, and Text must stay
+	// byte-identical across machines.
+	FlightDump string
 }
 
 // invariant tags in render order, with display names.

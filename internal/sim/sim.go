@@ -17,12 +17,14 @@ package sim
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kstreams/internal/client"
+	"kstreams/internal/obs"
 	"kstreams/internal/protocol"
 	"kstreams/internal/retry"
 	"kstreams/kafka"
@@ -64,6 +66,10 @@ const (
 	numParts     = 2
 )
 
+// flightRecCap sizes the flight recorder ring: large enough to hold the
+// commit traces and fault events of several rounds around a violation.
+const flightRecCap = 4096
+
 // Config parameterizes one simulation run.
 type Config struct {
 	// Seed determines the fault schedule and the workload's keys/aborts.
@@ -75,6 +81,12 @@ type Config struct {
 	// Faults, when non-nil, arms deliberate protocol bugs so tests can
 	// prove the invariant checkers catch them.
 	Faults *kafka.Faults
+	// FlightRecDir, when set, enables the span flight recorder for the
+	// run: traces, schedule fault events, and invariant violations are
+	// kept in a ring, and the ring is dumped to
+	// <dir>/kssim-flight-seed<N>.json on the first violation — every red
+	// run ships its own post-mortem artifact.
+	FlightRecDir string
 }
 
 func (c Config) rounds() int {
@@ -102,12 +114,20 @@ func Run(cfg Config) *Report {
 type violations struct {
 	mu   sync.Mutex
 	list []string
+	// onAdd observes every violation as it lands (flight recording). Set
+	// before the run starts; called outside the lock.
+	onAdd func(tag, msg string)
 }
 
 func (v *violations) add(tag, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.list = append(v.list, tag+": "+fmt.Sprintf(format, args...))
+	v.list = append(v.list, tag+": "+msg)
+	hook := v.onAdd
+	v.mu.Unlock()
+	if hook != nil {
+		hook(tag, msg)
+	}
 }
 
 // sorted returns the deduplicated, sorted violation list — sorted so the
@@ -153,6 +173,11 @@ type runner struct {
 	oracle *oracle
 	viol   *violations
 
+	// flightRec is non-nil when Config.FlightRecDir enables recording;
+	// dumpOnce guards the dump-on-first-violation.
+	flightRec *obs.FlightRecorder
+	dumpOnce  sync.Once
+
 	rep *Report
 }
 
@@ -194,6 +219,20 @@ func (r *runner) run() *Report {
 	// Fixed epoch so broker-stamped times are seed-independent.
 	r.clock = retry.NewVirtual(time.Unix(1_700_000_000, 0).UTC(), quantum)
 
+	if r.cfg.FlightRecDir != "" {
+		r.flightRec = obs.NewFlightRecorder(flightRecCap)
+		dumpPath := filepath.Join(r.cfg.FlightRecDir,
+			fmt.Sprintf("kssim-flight-seed%d.json", r.cfg.Seed))
+		r.viol.onAdd = func(tag, msg string) {
+			r.flightRec.Record("violation", tag, msg, r.clock.Now().UnixNano(), 0)
+			r.dumpOnce.Do(func() {
+				if err := r.flightRec.DumpFile(dumpPath, tag+": "+msg); err == nil {
+					rep.FlightDump = dumpPath
+				}
+			})
+		}
+	}
+
 	cluster, err := kafka.NewCluster(kafka.ClusterConfig{
 		Brokers:               numBrokers,
 		ReplicationFactor:     3,
@@ -212,6 +251,11 @@ func (r *runner) run() *Report {
 		return rep
 	}
 	r.cluster = cluster
+	if r.flightRec != nil {
+		// Commit traces and fault events share one ring with violations,
+		// so a dump shows what the system was doing when the check fired.
+		cluster.Obs().SetFlightRecorder(r.flightRec)
+	}
 	defer func() {
 		rep.Violations = r.viol.sorted()
 		rep.finish()
@@ -347,6 +391,7 @@ func (r *runner) applyEvent(ev Event) {
 	} else if r.pairOpen[ev.Pair] {
 		<-r.pairCh(ev.Pair)
 	}
+	r.flightRec.Record("fault", string(ev.Kind), ev.String(), r.clock.Now().UnixNano(), 0)
 	switch ev.Kind {
 	case KindCrash:
 		r.cluster.CrashBroker(ev.A)

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
+	"kstreams/internal/obs"
 	"kstreams/kafka"
 )
 
@@ -16,11 +18,55 @@ func TestSim(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			rep := Run(Config{Seed: seed, Short: true})
+			// Flight recording stays on for the whole sweep: it must never
+			// perturb a green run (and a red one ships its own artifact).
+			rep := Run(Config{Seed: seed, Short: true, FlightRecDir: t.TempDir()})
 			if !rep.OK() {
 				t.Fatalf("invariant violation; replay with: kssim -seed %d -short\n%s", seed, rep.Text())
 			}
+			if rep.FlightDump != "" {
+				t.Fatalf("passing run wrote a flight dump: %s", rep.FlightDump)
+			}
 		})
+	}
+}
+
+// TestSimFlightRecorderDumpsOnViolation: with a seeded protocol bug
+// tripping I1/I3/I4, the flight recorder must write a parseable artifact
+// carrying the violation plus the spans and fault events around it.
+func TestSimFlightRecorderDumpsOnViolation(t *testing.T) {
+	t.Parallel()
+	faults := &kafka.Faults{}
+	faults.DropAbortMarkers.Store(true)
+	dir := t.TempDir()
+	rep := Run(Config{Seed: 3, Short: true, Faults: faults, FlightRecDir: dir})
+	if rep.OK() {
+		t.Fatal("dropped abort markers went undetected")
+	}
+	if rep.FlightDump == "" {
+		t.Fatalf("failing run left no flight dump; violations:\n%s", rep.Text())
+	}
+	f, err := os.Open(rep.FlightDump)
+	if err != nil {
+		t.Fatalf("flight dump missing: %v", err)
+	}
+	defer f.Close()
+	reason, evs, err := obs.ParseFlightDump(f)
+	if err != nil {
+		t.Fatalf("flight dump not parseable: %v", err)
+	}
+	if reason == "" {
+		t.Fatal("flight dump has empty reason")
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	if kinds["violation"] == 0 {
+		t.Fatalf("dump has no violation event; kinds: %v", kinds)
+	}
+	if kinds["trace"] == 0 && kinds["span"] == 0 {
+		t.Fatalf("dump has no recorded spans; kinds: %v", kinds)
 	}
 }
 

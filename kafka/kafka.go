@@ -7,6 +7,7 @@
 package kafka
 
 import (
+	"sync"
 	"time"
 
 	"kstreams/internal/broker"
@@ -97,6 +98,9 @@ type Faults = broker.Faults
 // Cluster is an embedded Kafka cluster.
 type Cluster struct {
 	inner *cluster.Cluster
+
+	exportMu sync.Mutex
+	export   *obs.ExportServer
 }
 
 // NewCluster starts an embedded cluster.
@@ -165,8 +169,35 @@ func (c *Cluster) Obs() *obs.Registry { return c.inner.Net().Obs() }
 // ObsSnapshot captures a point-in-time view of every instrument.
 func (c *Cluster) ObsSnapshot() *obs.Snapshot { return c.Obs().Snapshot() }
 
-// Close stops all brokers.
-func (c *Cluster) Close() { c.inner.Close() }
+// ServeObs starts the opt-in HTTP export plane over the cluster's
+// registry (Prometheus /metrics, JSON /snapshot, /trace, /flightrec —
+// see obs.ServeExport) and returns the bound host:port. Pass
+// "127.0.0.1:0" to pick a free port. Idempotent: a second call returns
+// the address already serving. The server stops with Close.
+func (c *Cluster) ServeObs(addr string) (string, error) {
+	c.exportMu.Lock()
+	defer c.exportMu.Unlock()
+	if c.export != nil {
+		return c.export.Addr(), nil
+	}
+	e, err := obs.ServeExport(c.Obs(), addr)
+	if err != nil {
+		return "", err
+	}
+	c.export = e
+	return e.Addr(), nil
+}
+
+// Close stops all brokers (and the export plane, if serving).
+func (c *Cluster) Close() {
+	c.exportMu.Lock()
+	if c.export != nil {
+		c.export.Close()
+		c.export = nil
+	}
+	c.exportMu.Unlock()
+	c.inner.Close()
+}
 
 // Net exposes the transport fabric for the streams runtime.
 func (c *Cluster) Net() *transport.Network { return c.inner.Net() }

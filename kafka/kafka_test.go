@@ -1,11 +1,16 @@
 package kafka_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
+	"kstreams/internal/obs"
 	"kstreams/kafka"
 )
 
@@ -247,5 +252,67 @@ func TestPublicAcksLeaderProduceConsume(t *testing.T) {
 	}
 	if seen != 50 {
 		t.Fatalf("consumed %d of 50", seen)
+	}
+}
+
+// TestPublicServeObs: the export plane serves live cluster metrics over
+// HTTP, is idempotent on a second call, and dies with the cluster.
+func TestPublicServeObs(t *testing.T) {
+	c := newCluster(t)
+	if err := c.CreateTopic("t", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.NewProducer(kafka.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Send("t", kafka.Record{Key: []byte("k"), Value: []byte("v"), Timestamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, err := c.ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := c.ServeObs("127.0.0.1:0"); err != nil || again != addr {
+		t.Fatalf("second ServeObs = %q, %v; want %q", again, err, addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "broker_partition_high_watermark{partition=\"0\",topic=\"t\"} 1") {
+		t.Fatalf("metrics missing partition high watermark:\n%s", body)
+	}
+	if !strings.Contains(string(body), "broker_partition_isr_size{partition=\"0\",topic=\"t\"} 3") {
+		t.Fatalf("metrics missing full ISR size:\n%s", body)
+	}
+
+	var snap obs.Snapshot
+	resp, err = http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges["broker_partition_high_watermark{partition=0,topic=t}"] != 1 {
+		t.Fatalf("snapshot gauge missing: %v", snap.Gauges)
+	}
+
+	c.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("export plane still serving after cluster Close")
 	}
 }

@@ -1,0 +1,137 @@
+package streams_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// completenessLag polls the cluster-wide completeness rollup (worst
+// per-task event-time lag, ms) until cond holds or the deadline passes,
+// returning the last observed value. Both task watermarks must have
+// reported at least once before cond is consulted: gauges appear on the
+// first commit after a task processes data.
+func completenessLag(t *testing.T, c *kafka.Cluster, wait time.Duration, cond func(int64) bool) int64 {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	var last int64 = -1
+	for time.Now().Before(deadline) {
+		s := c.ObsSnapshot()
+		tasks := 0
+		for k := range s.Gauges {
+			if len(k) > 27 && k[:27] == "completeness_task_watermark" {
+				tasks++
+			}
+		}
+		if lag, ok := s.Gauges["completeness_lag_ms"]; ok && tasks >= 2 {
+			last = lag
+			if cond(lag) {
+				return lag
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("completeness_lag_ms never converged; last observed %d ms", last)
+	return last
+}
+
+// TestCompletenessLagConvergesAndRecovers is the end-to-end completeness
+// story (DESIGN.md §11) in three acts:
+//
+//  1. Drain a bounded input whose partitions end at nearly the same event
+//     time: the worst-task lag converges to ~0.
+//  2. Crash the leader of events-0 and burst records a minute of event
+//     time ahead into events-1 only: partition 0's task holds the
+//     watermark back while the thread's max event time races ahead, so
+//     the rollup spikes by the injected skew.
+//  3. Restart the broker and let partition 0 catch up to the same event
+//     time: the rollup falls back to ~0.
+func TestCompletenessLagConvergesAndRecovers(t *testing.T) {
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               3,
+		TxnTimeout:            5 * time.Second,
+		GroupRebalanceTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTopic("events", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("out", 2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	b := streams.NewBuilder("completeness")
+	b.Stream("events", streams.StringSerde, streams.StringSerde).To("out")
+	app, err := streams.NewApp(b, streams.Config{
+		Cluster:           c,
+		Guarantee:         streams.ExactlyOnce,
+		CommitInterval:    30 * time.Millisecond,
+		SessionTimeout:    2 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+		TxnTimeout:        5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Event times are synthetic ms on a fixed epoch: the lag computation
+	// only ever compares event times to each other, never to the wall
+	// clock, so the test is immune to scheduling delays.
+	const epoch = int64(1_700_000_000_000)
+	send := func(part int32, ts int64, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			k := []byte(fmt.Sprintf("k%d", i%32))
+			if err := p.SendTo("events", part, kafka.Record{Key: k, Value: k, Timestamp: ts + int64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Act 1: both partitions end within 200 event-ms of each other.
+	send(0, epoch, 200)
+	send(1, epoch, 200)
+	converged := completenessLag(t, c, 15*time.Second, func(lag int64) bool { return lag <= 500 })
+	t.Logf("act 1: drained input, completeness lag %d ms", converged)
+
+	// Act 2: kill the leader of events-0, then advance event time by a
+	// minute on partition 1 only.
+	const skewMs = 60_000
+	victim := c.LeaderOf("events", 0)
+	c.CrashBroker(victim)
+	send(1, epoch+skewMs, 200)
+	spike := completenessLag(t, c, 20*time.Second, func(lag int64) bool { return lag >= skewMs/2 })
+	t.Logf("act 2: crashed broker %d, burst ahead on events-1, completeness lag %d ms", victim, spike)
+
+	// Act 3: bring the broker back and let partition 0 catch up to the
+	// same event time as partition 1.
+	if err := c.RestartBroker(victim); err != nil {
+		t.Fatal(err)
+	}
+	send(0, epoch+skewMs, 200)
+	recovered := completenessLag(t, c, 20*time.Second, func(lag int64) bool { return lag <= 500 })
+	t.Logf("act 3: restarted broker %d, events-0 caught up, completeness lag %d ms", victim, recovered)
+
+	if spike < skewMs/2 || recovered > 500 {
+		t.Fatalf("lag trajectory wrong: converged=%d spike=%d recovered=%d", converged, spike, recovered)
+	}
+}
