@@ -1,6 +1,6 @@
 // Command kslint runs the repo's custom static-analysis pass (see
-// internal/lint): ten analyzers that machine-check the determinism,
-// locking, transaction-protocol, and observability invariants the
+// internal/lint): fourteen analyzers that machine-check the determinism,
+// locking, memory-lifetime, transaction-protocol, and observability invariants the
 // reproduction's guarantees rest on. It loads the module with go/parser +
 // go/types only (no x/tools), so it builds anywhere the repo builds.
 //

@@ -78,10 +78,15 @@ type partition struct {
 
 func newPartition(tp protocol.TopicPartition, cfg protocol.TopicConfig, self int32, log *wal.Log, appendDelay time.Duration, clock retry.Clock) *partition {
 	p := &partition{
-		tp:          tp,
-		cfg:         cfg,
-		self:        self,
-		log:         log,
+		tp:   tp,
+		cfg:  cfg,
+		self: self,
+		log:  log,
+		// No leader is known until the first leaderAndISR lands. The zero
+		// value would read as node 0 — the controller — and the replica
+		// loop would fetch from it (the partition is visible in the
+		// broker's map before becomeLeader/becomeFollower runs).
+		leaderID:    -1,
 		followerLEO: make(map[int32]int64),
 		lastFetch:   make(map[int32]time.Time),
 		appendDelay: appendDelay,
@@ -244,6 +249,8 @@ func (p *partition) appendAsLeader(selfID int32, b *protocol.RecordBatch) protoc
 // it) and then fires the coordinator append hook. Multi-partition produce
 // requests append everything first and run the waits afterwards, so the
 // replication round-trips of independent partitions overlap.
+//
+//kslint:hotpath
 func (p *partition) appendOnly(selfID int32, b *protocol.RecordBatch) (protocol.ProduceResult, func() protocol.ErrorCode) {
 	res := protocol.ProduceResult{TP: p.tp}
 	p.mu.Lock()
@@ -308,23 +315,30 @@ func (p *partition) waitCommitted(selfID int32, epoch int32, last int64) protoco
 			return protocol.ErrNotLeader
 		}
 		if p.clock.Now().After(deadline) {
-			isr := append([]int32(nil), p.isr...)
-			leo := make(map[int32]int64, len(p.followerLEO))
-			for id, off := range p.followerLEO {
-				leo[id] = off
-			}
-			hw := p.hw
-			ages := make(map[int32]time.Duration, len(p.lastFetch))
-			for id, at := range p.lastFetch {
-				ages[id] = p.clock.Now().Sub(at).Round(time.Millisecond)
-			}
-			log.Printf("broker %d: produce to %s timed out waiting for replication: hw=%d last=%d leo=%d isr=%v followerLEO=%v fetchAges=%v",
-				selfID, p.tp, hw, last, p.log.EndOffset(), isr, leo, ages)
+			p.logStallLocked(selfID, last)
 			return protocol.ErrRequestTimedOut
 		}
 		p.waitLocked(deadline)
 	}
 	return protocol.ErrNone
+}
+
+// logStallLocked snapshots follower state and reports a replication
+// stall. p.mu must be held.
+//
+//kslint:coldpath runs once per timed-out produce, never in steady state
+func (p *partition) logStallLocked(selfID int32, last int64) {
+	isr := append([]int32(nil), p.isr...)
+	leo := make(map[int32]int64, len(p.followerLEO))
+	for id, off := range p.followerLEO {
+		leo[id] = off
+	}
+	ages := make(map[int32]time.Duration, len(p.lastFetch))
+	for id, at := range p.lastFetch {
+		ages[id] = p.clock.Now().Sub(at).Round(time.Millisecond)
+	}
+	log.Printf("broker %d: produce to %s timed out waiting for replication: hw=%d last=%d leo=%d isr=%v followerLEO=%v fetchAges=%v",
+		selfID, p.tp, p.hw, last, p.log.EndOffset(), isr, leo, ages)
 }
 
 // waitLocked blocks on the condition variable with a coarse timeout pulse
@@ -343,6 +357,8 @@ func (p *partition) waitLocked(deadline time.Time) {
 }
 
 // fetchAsLeader serves a replica or consumer fetch for this partition.
+//
+//kslint:hotpath
 func (p *partition) fetchAsLeader(selfID, replicaID int32, offset int64, maxBytes, maxRecords int, iso protocol.IsolationLevel) protocol.FetchPartition {
 	out := protocol.FetchPartition{TP: p.tp}
 	p.mu.Lock()

@@ -37,6 +37,8 @@ const requestTimeout = 15 * time.Second
 // Cancellation maps onto ErrClosed so callers that already handle a
 // closed client (e.g. the stream thread) treat an interrupted retry the
 // same way.
+//
+//kslint:coldpath formats an error label only after the retried operation has already failed
 func retryErr(op string, err error) error {
 	switch {
 	case err == nil:
@@ -127,6 +129,7 @@ func (m *metadata) leaderFor(tp protocol.TopicPartition) (int32, error) {
 			return -1, err
 		}
 	}
+	//kslint:ignore hotalloc error construction after metadata refresh failed, not the routed send path
 	return -1, fmt.Errorf("client: no leader for %s", tp)
 }
 
@@ -178,6 +181,7 @@ func (m *metadata) findCoordinator(key string, typ protocol.CoordinatorType, bud
 		return false, fc.Err.Err()
 	})
 	if err != nil {
+		//kslint:ignore hotalloc label formatting runs only after coordinator discovery failed
 		return -1, retryErr(fmt.Sprintf("find coordinator for %q", key), err)
 	}
 	return node, nil

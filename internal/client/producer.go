@@ -223,9 +223,11 @@ func (p *Producer) BeginTxn() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.cfg.TransactionalID == "" {
+		//kslint:ignore hotalloc misuse error raised once, before any record flows
 		return fmt.Errorf("client: BeginTxn on non-transactional producer")
 	}
 	if p.inTxn {
+		//kslint:ignore hotalloc misuse error on a protocol violation, not steady state
 		return fmt.Errorf("client: transaction already in progress")
 	}
 	p.inTxn = true
@@ -418,8 +420,8 @@ func (p *Producer) produce(tp protocol.TopicPartition, batch *protocol.RecordBat
 		Acks:            p.cfg.Acks,
 		Entries:         []protocol.ProduceEntry{{TP: tp, Batch: batch}},
 	}
-	retries := p.metrics.retryAttempts("produce")
-	return retryErr(fmt.Sprintf("produce to %s", tp), retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
+	retries := p.metrics.produceRetryCounter()
+	err := retry.Do(p.cfg.Retry, budget, p.cancel, func(attempt int) (bool, error) {
 		if attempt > 0 {
 			retries.Inc()
 		}
@@ -445,7 +447,14 @@ func (p *Producer) produce(tp protocol.TopicPartition, batch *protocol.RecordBat
 			p.meta.invalidate(tp.Topic)
 			return false, res.Err.Err()
 		}
-	}))
+	})
+	if err == nil {
+		return nil
+	}
+	// The label formats only after the produce has already failed, so the
+	// steady-state batch send pays no fmt cost.
+	//kslint:ignore hotalloc label formatting runs only on the produce failure path
+	return retryErr(fmt.Sprintf("produce to %s", tp), err)
 }
 
 // addPartitionsToTxn registers partitions with the coordinator before the

@@ -204,6 +204,8 @@ func (t *Task) Buffered() int {
 // ProcessOne processes the buffered record with the smallest timestamp
 // (ties broken by partition order for determinism). It reports whether a
 // record was processed and any processing error.
+//
+//kslint:hotpath
 func (t *Task) ProcessOne() (bool, error) {
 	var pick protocol.TopicPartition
 	pickIdx := -1
@@ -283,6 +285,7 @@ func (t *Task) deliver(nodeName string, key, value any, ts int64) {
 		t.metrics.addEmitted()
 	default:
 		if t.procErr == nil {
+			//kslint:ignore hotalloc a forward to a source node is a topology-wiring bug caught on the first record, not steady state
 			t.procErr = fmt.Errorf("core: forward to source node %q", nodeName)
 		}
 	}

@@ -456,6 +456,8 @@ func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
 // ensureTaskProducer returns (creating if needed) the eos-v1 per-task
 // transactional producer, whose id is appID-taskID so that a migrated
 // task's new owner fences the old one.
+//
+//kslint:coldpath producer construction runs once per task assignment and is cached; steady-state sends reuse the cached producer
 func (th *Thread) ensureTaskProducer(id TaskID) (*client.Producer, error) {
 	if p, ok := th.taskProducers[id]; ok {
 		return p, nil

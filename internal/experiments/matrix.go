@@ -50,6 +50,12 @@ type PhaseStats struct {
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
+	// RunSpreadPct is (max−min)/median × 100 of records/sec across the
+	// reps of one invocation: how noisy the machine was when this number
+	// was taken, committed alongside it so a trajectory reader can judge
+	// whether a delta is signal. Additive field — the schema stays at
+	// version 1; absent in older baselines means unrecorded.
+	RunSpreadPct float64 `json:"run_spread_pct,omitempty"`
 }
 
 // MatrixResult is the unit the JSON file holds. No timestamps, host
@@ -127,8 +133,8 @@ func RunMatrix(quick bool, outDir string, prog *Progress) ([]MatrixResult, error
 	var out []MatrixResult
 	for _, p := range matrixScenarios(quick) {
 		name := ScenarioName(p)
-		prog.logf("matrix: %s (records=%d, best of %d)", name, p.Records, matrixReps)
-		res, err := runScenarioBest(p)
+		prog.logf("matrix: %s (records=%d, median of %d)", name, p.Records, matrixReps)
+		res, err := runScenarioMedian(p)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", name, err)
 		}
@@ -147,34 +153,65 @@ func RunMatrix(quick bool, outDir string, prog *Progress) ([]MatrixResult, error
 	return out, nil
 }
 
-// matrixReps runs each scenario several times and keeps the best run
-// per phase (by records/sec). Scheduler noise only ever slows a run
-// down, so the max is the closest observation of the data plane's
-// actual cost — and what keeps the >10% CI gate from flapping.
-const matrixReps = 5
+// matrixReps runs each scenario several times and keeps the median run
+// per phase (by records/sec). Best-of tracked the fastest observation,
+// which is biased high: one lucky rep could mask a real regression, and
+// a baseline recorded on a quiet machine made the >10% CI gate flap on a
+// loaded one. The median is robust against an outlier in either
+// direction, and the recorded spread says how much the reps disagreed.
+const matrixReps = 3
 
-func runScenarioBest(p MatrixParams) (MatrixResult, error) {
-	var best MatrixResult
+func runScenarioMedian(p MatrixParams) (MatrixResult, error) {
+	reps := make([]MatrixResult, 0, matrixReps)
 	for i := 0; i < matrixReps; i++ {
 		res, err := runScenario(p)
 		if err != nil {
 			return res, err
 		}
-		if i == 0 {
-			best = res
-			continue
+		reps = append(reps, res)
+	}
+	produceRate := func(r MatrixResult) float64 { return r.Produce.RecordsPerSec }
+	fetchRate := func(r MatrixResult) float64 { return r.Fetch.RecordsPerSec }
+	out := reps[medianRep(reps, produceRate)]
+	fetchPick := reps[medianRep(reps, fetchRate)]
+	out.Fetch = fetchPick.Fetch
+	// The lag sample rides with the fetch pick: both come from the same
+	// drain, so mixing runs would misattribute.
+	out.EventTimeLagP99Ms = fetchPick.EventTimeLagP99Ms
+	out.Produce.RunSpreadPct = spreadPct(reps, produceRate)
+	out.Fetch.RunSpreadPct = spreadPct(reps, fetchRate)
+	return out, nil
+}
+
+// medianRep returns the index of the rep whose keyed rate is the median
+// (upper median for even counts).
+func medianRep(reps []MatrixResult, key func(MatrixResult) float64) int {
+	idx := make([]int, len(reps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return key(reps[idx[a]]) < key(reps[idx[b]]) })
+	return idx[len(idx)/2]
+}
+
+// spreadPct is the relative range of the keyed rate across reps:
+// (max−min)/median × 100.
+func spreadPct(reps []MatrixResult, key func(MatrixResult) float64) float64 {
+	min, max := key(reps[0]), key(reps[0])
+	for _, r := range reps[1:] {
+		v := key(r)
+		if v < min {
+			min = v
 		}
-		if res.Produce.RecordsPerSec > best.Produce.RecordsPerSec {
-			best.Produce = res.Produce
-		}
-		if res.Fetch.RecordsPerSec > best.Fetch.RecordsPerSec {
-			best.Fetch = res.Fetch
-			// The lag sample rides with the fetch pick: both come from
-			// the same drain, so mixing runs would misattribute.
-			best.EventTimeLagP99Ms = res.EventTimeLagP99Ms
+		if v > max {
+			max = v
 		}
 	}
-	return best, nil
+	med := key(reps[medianRep(reps, key)])
+	if med <= 0 {
+		return 0
+	}
+	return round1((max - min) / med * 100)
 }
 
 func runScenario(p MatrixParams) (MatrixResult, error) {

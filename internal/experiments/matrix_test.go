@@ -100,6 +100,63 @@ func TestCompareAgainstFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestMedianRepAndSpread(t *testing.T) {
+	// Phases pick their medians independently: the produce median can
+	// come from a different rep than the fetch median.
+	reps := []MatrixResult{
+		matrixFixture("s", 900, 2200),
+		matrixFixture("s", 1000, 1800),
+		matrixFixture("s", 1400, 2000),
+	}
+	produce := func(r MatrixResult) float64 { return r.Produce.RecordsPerSec }
+	fetch := func(r MatrixResult) float64 { return r.Fetch.RecordsPerSec }
+	if got := produce(reps[medianRep(reps, produce)]); got != 1000 {
+		t.Fatalf("produce median = %v, want 1000", got)
+	}
+	if got := fetch(reps[medianRep(reps, fetch)]); got != 2000 {
+		t.Fatalf("fetch median = %v, want 2000", got)
+	}
+	if got := spreadPct(reps, produce); got != 50 { // (1400−900)/1000
+		t.Fatalf("produce spread = %v%%, want 50", got)
+	}
+	if got := spreadPct(reps, fetch); got != 20 { // (2200−1800)/2000
+		t.Fatalf("fetch spread = %v%%, want 20", got)
+	}
+}
+
+func TestBenchSpreadFieldIsAdditive(t *testing.T) {
+	// run_spread_pct rides on schema v1: it serializes when set, is
+	// omitted when zero (so pre-spread baselines and fresh files diff
+	// cleanly), and a baseline without it still loads and compares.
+	dir := t.TempDir()
+	res := matrixFixture("p1_b256_acksall", 1000, 2000)
+	res.Produce.RunSpreadPct = 3.5
+	path := filepath.Join(dir, BenchFileName(res.Scenario))
+	if err := writeBench(path, res); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(buf), "run_spread_pct"); got != 1 {
+		t.Fatalf("want exactly the produce spread serialized (fetch is zero), got %d occurrences:\n%s", got, buf)
+	}
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != 1 || got.Produce.RunSpreadPct != 3.5 {
+		t.Fatalf("schema must stay v1 with the spread intact: %+v", got)
+	}
+	// The gate compares records/sec only; spread never fails a build.
+	fresh := matrixFixture("p1_b256_acksall", 1000, 2000)
+	fresh.Fetch.RunSpreadPct = 99
+	if err := CompareAgainst([]MatrixResult{fresh}, dir, nil); err != nil {
+		t.Fatalf("spread differences must not gate: %v", err)
+	}
+}
+
 func TestCompareAgainstSkipsIncomparable(t *testing.T) {
 	dir := t.TempDir()
 	base := matrixFixture("p1_b256_acksall", 1000, 2000)

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// atomicMix enforces all-or-nothing atomicity per variable: any struct
+// field or package-level variable that is accessed through sync/atomic
+// anywhere in the module must be accessed atomically everywhere. A plain
+// read racing an atomic store is just as much a data race as two plain
+// accesses — the atomic call on one side buys nothing — and it is the
+// easiest regression to introduce: the field looks like an ordinary
+// int64, so a new code path reads it directly and the race detector only
+// catches it if a test happens to exercise both sides concurrently.
+//
+// Phase 1 (per-package Run) takes a module-wide census: every
+// sync/atomic.{Add,Load,Store,Swap,CompareAndSwap}* call whose address
+// argument is `&x` or `&s.f` marks the *types.Var behind it as
+// atomic-class. Typed atomics (atomic.Int64 and friends) are ignored —
+// the type system already prevents plain access. Locals are ignored:
+// a local only races if it escapes, and then it is a field or global at
+// the point of sharing.
+//
+// Phase 2 (Finalize) rescans every file for plain uses of censused
+// variables. Exempt: the atomic-call operands themselves, composite-lit
+// field keys (initialization before the value is shared), and accesses
+// inside constructors (functions named New*/new*/init) for the same
+// reason. Findings point at the plain access, naming the first atomic
+// use so the reader can see both sides of the race.
+type atomicMix struct {
+	module string
+	fset   *token.FileSet
+	pkgs   []*Package
+}
+
+func newAtomicMix(module string) *atomicMix { return &atomicMix{module: module} }
+
+func (*atomicMix) Name() string { return "atomicmix" }
+func (*atomicMix) Doc() string {
+	return "a field accessed via sync/atomic anywhere must be accessed atomically everywhere (module-wide census)"
+}
+
+// Run only accumulates packages; the analysis is module-wide.
+func (a *atomicMix) Run(p *Pass) {
+	a.fset = p.Fset
+	a.pkgs = append(a.pkgs, p.Pkg)
+}
+
+// atomicCallVar resolves a sync/atomic call to the variable its address
+// argument points at, or nil. ident is the operand identifier to exempt
+// from the plain-access scan (the field selector or the bare name).
+func atomicCallVar(info *types.Info, call *ast.CallExpr) (*types.Var, *ast.Ident) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, nil
+	}
+	if sig := signature(fn); sig != nil && sig.Recv() != nil {
+		return nil, nil // typed atomics police themselves
+	}
+	name := fn.Name()
+	if !strings.HasPrefix(name, "Add") && !strings.HasPrefix(name, "Load") &&
+		!strings.HasPrefix(name, "Store") && !strings.HasPrefix(name, "Swap") &&
+		!strings.HasPrefix(name, "CompareAndSwap") {
+		return nil, nil
+	}
+	if len(call.Args) == 0 {
+		return nil, nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil, nil
+	}
+	switch operand := ast.Unparen(addr.X).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[operand.Sel].(*types.Var); ok {
+			return v, operand.Sel
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[operand].(*types.Var); ok {
+			return v, operand
+		}
+	}
+	return nil, nil
+}
+
+// tracked reports whether v is in scope for the census: a struct field,
+// or a package-level variable. Locals are excluded.
+func trackedAtomicVar(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func constructorExempt(fd *ast.FuncDecl) bool {
+	n := fd.Name.Name
+	return n == "init" || strings.HasPrefix(n, "New") || strings.HasPrefix(n, "new")
+}
+
+func (a *atomicMix) Finalize(report func(Diagnostic)) {
+	// Phase 1: census. classes maps each atomic-accessed var to its first
+	// atomic-use position; exempt holds operand identifiers of atomic
+	// calls and composite-literal keys, by position.
+	classes := make(map[*types.Var]token.Position)
+	exempt := make(map[token.Pos]bool)
+	for _, pkg := range a.pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					v, id := atomicCallVar(pkg.Info, x)
+					if v == nil || !trackedAtomicVar(v) {
+						return true
+					}
+					exempt[id.Pos()] = true
+					if _, have := classes[v]; !have {
+						classes[v] = a.fset.Position(x.Pos())
+					}
+				case *ast.KeyValueExpr:
+					if key, ok := x.Key.(*ast.Ident); ok {
+						exempt[key.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(classes) == 0 {
+		return
+	}
+
+	// Phase 2: find plain accesses. Package-level GenDecls are
+	// initialization; constructor bodies are exempt wholesale.
+	var found []Diagnostic
+	seen := make(map[token.Pos]bool)
+	for _, pkg := range a.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || constructorExempt(fd) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || exempt[id.Pos()] || seen[id.Pos()] {
+						return true
+					}
+					v, ok := pkg.Info.Uses[id].(*types.Var)
+					if !ok {
+						return true
+					}
+					first, censused := classes[v]
+					if !censused {
+						return true
+					}
+					seen[id.Pos()] = true
+					found = append(found, Diagnostic{
+						Pos:  a.fset.Position(id.Pos()),
+						Rule: "atomicmix",
+						Message: "plain access to " + v.Name() +
+							", which is accessed via sync/atomic elsewhere (first at " + first.String() +
+							"): mixing atomic and plain access is a data race",
+					})
+					return true
+				})
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	for _, d := range found {
+		report(d)
+	}
+}

@@ -20,8 +20,19 @@
 //	             path out of a function
 //	txnproto     transactional producers follow begin→offsets→commit/abort
 //	             on every path, seen through wrappers and interfaces
+//	poollife     no use, alias, or second Put of a pooled buffer after it
+//	             was released to its pool (path-sensitive, with release
+//	             summaries over the call graph)
+//	zerocopy     no retention or mutation of zero-copy batch views
+//	             (shared decode results, WAL cache entries) outside the
+//	             DESIGN §10 ownership contract (taint, witness chains)
+//	atomicmix    a field accessed via sync/atomic anywhere is accessed
+//	             atomically everywhere (module-wide census)
+//	hotalloc     no fmt/log, unpreallocated grow-append, interface
+//	             boxing, or per-record allocation reachable from
+//	             //kslint:hotpath roots; //kslint:coldpath is the seam
 //
-// The last four are interprocedural: they query the module-wide call
+// The last eight are interprocedural: they query the module-wide call
 // graph built in callgraph.go (static dispatch plus interface-method
 // resolution over the module's concrete types). Analyzers are written
 // purely on go/ast + go/parser + go/types; see loader.go for how the
@@ -153,6 +164,10 @@ func Analyzers(module string) []Analyzer {
 		newLockOrder(module),
 		lockBalance{},
 		newTxnProto(module),
+		newPoolLife(module),
+		newZeroCopy(module),
+		newAtomicMix(module),
+		newHotAlloc(module),
 	}
 }
 

@@ -1,0 +1,523 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kstreams/internal/lint"
+)
+
+// Fixture tests for the four memory-safety rules (poollife, zerocopy,
+// atomicmix, hotalloc): each gets true positives that must fire and
+// near-misses that must stay silent, exercising the interprocedural
+// summaries in both directions.
+
+// --- poollife ---
+
+func TestPoolLifeFlagsUseAfterPut(t *testing.T) {
+	// grab wraps sync.Pool.Get, so the use-after-release is only visible
+	// through the returns-pooled summary.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/poollife_uap", `
+package fixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func grab() *[]byte { return pool.Get().(*[]byte) }
+
+func UseAfterPut() int {
+	buf := grab()
+	pool.Put(buf)
+	return len(*buf)
+}
+`, "poollife")
+	wantFindings(t, diags, "poollife")
+	if !strings.Contains(diags[0].Message, "used after release") ||
+		!strings.Contains(diags[0].Message, "buf") {
+		t.Fatalf("want a use-after-release finding naming buf: %s", diags[0].Message)
+	}
+}
+
+func TestPoolLifeFlagsDoublePutThroughWrapper(t *testing.T) {
+	// recycle releases its parameter on the caller's behalf; the second
+	// Put is a double release only the releases-param summary can see.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/poollife_double", `
+package fixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func recycle(b *[]byte) { pool.Put(b) }
+
+func DoublePut() {
+	buf := pool.Get().(*[]byte)
+	recycle(buf)
+	pool.Put(buf)
+}
+`, "poollife")
+	wantFindings(t, diags, "poollife")
+	if !strings.Contains(diags[0].Message, "released twice") {
+		t.Fatalf("want a double-release finding: %s", diags[0].Message)
+	}
+}
+
+func TestPoolLifeAcceptsReleaseAndReturnBranch(t *testing.T) {
+	// The WAL append idiom: an error branch that releases and returns
+	// must not poison the fall-through path. The frame pool in
+	// internal/protocol is a designated source like sync.Pool.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/poollife_branch", `
+package fixture
+
+import "kstreams/internal/protocol"
+
+func Encode(data []byte) int {
+	buf := protocol.GetFrameBuf()
+	*buf = append(*buf, data...)
+	if len(data) == 0 {
+		protocol.PutFrameBuf(buf)
+		return 0
+	}
+	n := len(*buf)
+	protocol.PutFrameBuf(buf)
+	return n
+}
+`, "poollife")
+	wantFindings(t, diags)
+}
+
+func TestPoolLifeAcceptsDeferredPut(t *testing.T) {
+	// defer Put is the normal pattern: every use in the body happens
+	// before the deferred release runs.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/poollife_defer", `
+package fixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func WithDefer(data []byte) int {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	*buf = append(*buf, data...)
+	return len(*buf)
+}
+`, "poollife")
+	wantFindings(t, diags)
+}
+
+// --- zerocopy ---
+
+func TestZeroCopyFlagsRetentionInGlobal(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/zerocopy_retain", `
+package fixture
+
+import "kstreams/internal/protocol"
+
+var stash []protocol.Record
+
+func Retain(frame []byte) {
+	b, _, _ := protocol.DecodeBatchShared(frame)
+	stash = b.Records
+}
+`, "zerocopy")
+	wantFindings(t, diags, "zerocopy")
+	if !strings.Contains(diags[0].Message, "protocol.DecodeBatchShared result") ||
+		!strings.Contains(diags[0].Message, "retained in package-level var stash") {
+		t.Fatalf("finding should carry provenance and the retention target: %s", diags[0].Message)
+	}
+}
+
+func TestZeroCopyFlagsMutationThroughView(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/zerocopy_mutate", `
+package fixture
+
+import "kstreams/internal/protocol"
+
+func Patch(frame []byte) {
+	b, _, _ := protocol.DecodeBatchShared(frame)
+	v := b.Records[0].Value
+	v[0] ^= 1
+}
+`, "zerocopy")
+	wantFindings(t, diags, "zerocopy")
+	if !strings.Contains(diags[0].Message, "mutated through an aliasing view") {
+		t.Fatalf("want a mutation finding: %s", diags[0].Message)
+	}
+}
+
+func TestZeroCopyFlagsRetentionThroughHelper(t *testing.T) {
+	// hold stores its parameter into a package-level slice; the caller's
+	// finding flows through the retains-parameter summary.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/zerocopy_helper", `
+package fixture
+
+import "kstreams/internal/protocol"
+
+var keep [][]byte
+
+func hold(p []byte) { keep = append(keep, p) }
+
+func Stash(frame []byte) {
+	b, _, _ := protocol.DecodeBatchShared(frame)
+	hold(b.Records[0].Value)
+}
+`, "zerocopy")
+	wantFindings(t, diags, "zerocopy")
+	if !strings.Contains(diags[0].Message, "hold, which leaves it retained in package-level var keep") {
+		t.Fatalf("finding should name the retaining helper and its sink: %s", diags[0].Message)
+	}
+}
+
+func TestZeroCopyAcceptsClone(t *testing.T) {
+	// Record.Clone is the sanctioned escape hatch: a deep copy owns its
+	// bytes, so retaining it is fine.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/zerocopy_clone", `
+package fixture
+
+import "kstreams/internal/protocol"
+
+var kept []byte
+
+func CloneThenKeep(frame []byte) {
+	b, _, _ := protocol.DecodeBatchShared(frame)
+	r := b.Records[0].Clone()
+	kept = r.Value
+}
+`, "zerocopy")
+	wantFindings(t, diags)
+}
+
+func TestZeroCopyAcceptsLocalUseAndStringCopy(t *testing.T) {
+	// Reading the view inside the borrow and converting to string (which
+	// copies) both honor the ownership contract.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/zerocopy_local", `
+package fixture
+
+import "kstreams/internal/protocol"
+
+var name string
+
+func Inspect(frame []byte) int {
+	b, _, _ := protocol.DecodeBatchShared(frame)
+	name = string(b.Records[0].Key)
+	n := 0
+	for _, r := range b.Records {
+		n += len(r.Value)
+	}
+	return n
+}
+`, "zerocopy")
+	wantFindings(t, diags)
+}
+
+// --- atomicmix ---
+
+func TestAtomicMixFlagsPlainReadOfAtomicField(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/atomicmix_field", `
+package fixture
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) Read() int64 { return c.n }
+`, "atomicmix")
+	wantFindings(t, diags, "atomicmix")
+	if !strings.Contains(diags[0].Message, "plain access to n") ||
+		!strings.Contains(diags[0].Message, "data race") {
+		t.Fatalf("want a plain-access finding on field n: %s", diags[0].Message)
+	}
+}
+
+func TestAtomicMixFlagsPlainWriteOfAtomicGlobal(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/atomicmix_global", `
+package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+func Bump() { atomic.AddInt64(&hits, 1) }
+
+func Reset() { hits = 0 }
+`, "atomicmix")
+	wantFindings(t, diags, "atomicmix")
+	if !strings.Contains(diags[0].Message, "plain access to hits") {
+		t.Fatalf("want a plain-access finding on hits: %s", diags[0].Message)
+	}
+}
+
+func TestAtomicMixAcceptsConstructorAndCompositeLit(t *testing.T) {
+	// Initialization before the value is shared is not a race: composite
+	// literal keys and constructor bodies are exempt.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/atomicmix_init", `
+package fixture
+
+import "sync/atomic"
+
+type gauge struct{ v int64 }
+
+func (g *gauge) Set(x int64) { atomic.StoreInt64(&g.v, x) }
+
+func NewGauge(x int64) *gauge {
+	g := &gauge{}
+	g.v = x
+	return g
+}
+
+func fresh(x int64) *gauge { return &gauge{v: x} }
+`, "atomicmix")
+	wantFindings(t, diags)
+}
+
+func TestAtomicMixAcceptsConsistentAndTypedAtomics(t *testing.T) {
+	// A var accessed atomically everywhere is fine, and typed atomics
+	// (atomic.Int64) are out of scope: the type system already forbids
+	// plain access.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/atomicmix_ok", `
+package fixture
+
+import "sync/atomic"
+
+var total int64
+
+var typed atomic.Int64
+
+func Add(d int64) { atomic.AddInt64(&total, d) }
+
+func Get() int64 { return atomic.LoadInt64(&total) }
+
+func TypedBump() { typed.Store(typed.Load() + 1) }
+`, "atomicmix")
+	wantFindings(t, diags)
+}
+
+// --- hotalloc ---
+
+func TestHotAllocFlagsFmtThroughHelper(t *testing.T) {
+	// render is hot only by reachability from the annotated root; the
+	// finding must spell out the chain.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/hotalloc_fmt", `
+package fixture
+
+import "fmt"
+
+//kslint:hotpath
+func Process(n int) string { return render(n) }
+
+func render(n int) string { return fmt.Sprintf("record %d", n) }
+`, "hotalloc")
+	wantFindings(t, diags, "hotalloc")
+	msg := diags[0].Message
+	if !strings.Contains(msg, "fmt.Sprintf") || !strings.Contains(msg, "hot via") ||
+		!strings.Contains(msg, "Process") || !strings.Contains(msg, "render") {
+		t.Fatalf("want a fmt finding carrying the hot chain: %s", msg)
+	}
+}
+
+func TestHotAllocFlagsGrowAppendAndConversion(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/hotalloc_grow", `
+package fixture
+
+//kslint:hotpath
+func Gather(keys []string) [][]byte {
+	var out [][]byte
+	for _, k := range keys {
+		out = append(out, []byte(k))
+	}
+	return out
+}
+`, "hotalloc")
+	wantFindings(t, diags, "hotalloc", "hotalloc")
+	if !strings.Contains(diags[0].Message, "grow-append to out") {
+		t.Fatalf("want a grow-append finding: %s", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "conversion in a loop") {
+		t.Fatalf("want a per-iteration conversion finding: %s", diags[1].Message)
+	}
+}
+
+func TestHotAllocFlagsInterfaceBoxing(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/hotalloc_box", `
+package fixture
+
+type payload struct{ a int64 }
+
+func sink(v any) {}
+
+//kslint:hotpath
+func Emit(p payload) { sink(p) }
+`, "hotalloc")
+	wantFindings(t, diags, "hotalloc")
+	if !strings.Contains(diags[0].Message, "boxes a") ||
+		!strings.Contains(diags[0].Message, "payload") ||
+		!strings.Contains(diags[0].Message, "sink") {
+		t.Fatalf("want a boxing finding naming the type and callee: %s", diags[0].Message)
+	}
+}
+
+func TestHotAllocAcceptsColdpathSeam(t *testing.T) {
+	// A coldpath helper is the sanctioned place for error formatting:
+	// reachability stops at the seam.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/hotalloc_cold", `
+package fixture
+
+import "fmt"
+
+//kslint:hotpath
+func Handle(n int) error {
+	if n < 0 {
+		return fail(n)
+	}
+	return nil
+}
+
+//kslint:coldpath error formatting runs only on the failure path
+func fail(n int) error { return fmt.Errorf("bad record %d", n) }
+`, "hotalloc")
+	wantFindings(t, diags)
+}
+
+func TestHotAllocAcceptsPreallocAndUnreachable(t *testing.T) {
+	// Preallocated appends and parameter-owned append targets are exempt,
+	// and a fmt call in a function no root reaches is not hot at all.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/hotalloc_ok", `
+package fixture
+
+import "fmt"
+
+//kslint:hotpath
+func Copy(keys []string) []string {
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+//kslint:hotpath
+func Fill(dst []byte, src []byte) []byte {
+	for _, b := range src {
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+func debugDump(keys []string) string { return fmt.Sprint(keys) }
+`, "hotalloc")
+	wantFindings(t, diags)
+}
+
+// --- determinism and JSON across the four rules ---
+
+// memsafetyDeterminismSrc triggers each of the four rules exactly once.
+const memsafetyDeterminismSrc = `
+package fixture
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kstreams/internal/protocol"
+)
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var stash []protocol.Record
+
+var flags int64
+
+func PoolBug() int {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	return len(*buf)
+}
+
+func Retain(frame []byte) {
+	b, _, _ := protocol.DecodeBatchShared(frame)
+	stash = b.Records
+}
+
+func Flag() { atomic.StoreInt64(&flags, 1) }
+
+func Peek() int64 { return flags }
+
+//kslint:hotpath
+func Hot(n int) string { return fmt.Sprintf("%d", n) }
+`
+
+var memsafetyRules = []string{"poollife", "zerocopy", "atomicmix", "hotalloc"}
+
+func TestMemSafetyDeterministicOutput(t *testing.T) {
+	// Same loaded package, fresh analyzer instances each run (Finalizer
+	// state must not leak), byte-identical renderings.
+	ldr := testLoader(t)
+	pkg, err := ldr.LoadFixture("lintfixture/memsafety_det",
+		map[string]string{"fixture.go": memsafetyDeterminismSrc})
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	run := func() []lint.Diagnostic {
+		return lint.LintPackage(ldr, pkg, lint.Config{}, pickAnalyzers(ldr, memsafetyRules))
+	}
+	first := run()
+	wantFindings(t, first, "poollife", "zerocopy", "atomicmix", "hotalloc")
+	for i := 0; i < 3; i++ {
+		if got := render(run()); got != render(first) {
+			t.Fatalf("memory-safety rules are not deterministic:\n--- first ---\n%s--- run %d ---\n%s",
+				render(first), i+2, got)
+		}
+	}
+}
+
+func TestMemSafetyJSONRoundTrip(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/memsafety_json",
+		memsafetyDeterminismSrc, memsafetyRules...)
+	wantFindings(t, diags, "poollife", "zerocopy", "atomicmix", "hotalloc")
+
+	data, err := lint.ToJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []lint.JSONDiagnostic
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("kslint -json output must be parseable: %v", err)
+	}
+	want := make([]lint.JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		want = append(want, lint.JSONDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	if !reflect.DeepEqual(decoded, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %#v\nwant %#v", decoded, want)
+	}
+}
+
+func TestMemSafetySuppressions(t *testing.T) {
+	// Line ignores with a reason silence exactly the named rule — the
+	// policy the module-wide cleanup relies on.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/memsafety_suppress", `
+package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+func Bump() { atomic.AddInt64(&hits, 1) }
+
+func Reset() {
+	//kslint:ignore atomicmix reset runs only between test iterations, never concurrently
+	hits = 0
+}
+`, "atomicmix")
+	wantFindings(t, diags)
+}

@@ -64,6 +64,8 @@ func bucketUpper(idx int) int64 {
 }
 
 // Observe records one sample.
+//
+//kslint:hotpath
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

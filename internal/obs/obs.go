@@ -79,9 +79,13 @@ func LabelValue(full, key string) string {
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//kslint:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n.
+//
+//kslint:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -100,6 +104,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//kslint:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)

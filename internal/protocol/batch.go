@@ -110,6 +110,8 @@ func EncodedBatchSize(b *RecordBatch) int {
 // the uint32 length frame: magic, flags, crc32c (over the remainder),
 // baseOffset, producerID, producerEpoch, baseSequence, recordCount,
 // records.
+//
+//kslint:hotpath
 func AppendBatch(dst []byte, b *RecordBatch) []byte {
 	size := EncodedBatchSize(b)
 	base := len(dst)
@@ -225,8 +227,21 @@ func DecodeBatch(buf []byte) (RecordBatch, int, error) {
 // guarantee buf stays live and immutable for as long as the returned
 // batch (or anything that aliases its records) is reachable — the WAL
 // uses it when decoding into its long-lived batch cache.
+//
+//kslint:hotpath
 func DecodeBatchShared(buf []byte) (RecordBatch, int, error) {
 	return decodeBatch(buf, true)
+}
+
+// errCRCMismatch is built once: the decode hot path returns it without
+// formatting anything.
+var errCRCMismatch = fmt.Errorf("%w: crc mismatch", ErrCorruptBatch)
+
+// corruptf wraps ErrCorruptBatch with formatted detail.
+//
+//kslint:coldpath corruption errors terminate the decode; formatting never runs for a valid batch
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorruptBatch}, args...)...)
 }
 
 func decodeBatch(buf []byte, share bool) (RecordBatch, int, error) {
@@ -240,19 +255,19 @@ func decodeBatch(buf []byte, share bool) (RecordBatch, int, error) {
 	}
 	total := 4 + frame
 	if buf[4] != batchMagic {
-		return RecordBatch{}, 0, fmt.Errorf("%w: bad magic %d", ErrCorruptBatch, buf[4])
+		return RecordBatch{}, 0, corruptf("bad magic %d", buf[4])
 	}
 	flags := buf[5]
 	// The flags byte is outside the CRC, so unknown bits are rejected
 	// outright: tolerating them would let a single flipped bit survive
 	// the checksum and change re-encoded bytes.
 	if flags&^(flagTransactional|flagControl) != 0 {
-		return RecordBatch{}, 0, fmt.Errorf("%w: unknown flags %#x", ErrCorruptBatch, flags)
+		return RecordBatch{}, 0, corruptf("unknown flags %#x", flags)
 	}
 	crc := binary.BigEndian.Uint32(buf[6:10])
 	body := buf[headerBytes:total]
 	if crc32.Checksum(body, castagnoli) != crc {
-		return RecordBatch{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorruptBatch)
+		return RecordBatch{}, 0, errCRCMismatch
 	}
 
 	pos := 0
@@ -341,6 +356,7 @@ func decodeBatch(buf []byte, share bool) (RecordBatch, int, error) {
 			return fail()
 		}
 		if hc > 0 {
+			//kslint:ignore hotalloc the headers slice is the decode output itself, sized exactly once per record that has headers
 			r.Headers = make([]Header, 0, hc)
 		}
 		for j := int32(0); j < hc; j++ {
@@ -352,6 +368,7 @@ func decodeBatch(buf []byte, share bool) (RecordBatch, int, error) {
 			if !ok {
 				return fail()
 			}
+			//kslint:ignore hotalloc header keys are string-typed in the Record API; the copy is the decode output, not a transient
 			r.Headers = append(r.Headers, Header{Key: string(k), Value: v})
 		}
 		b.Records = append(b.Records, r)
@@ -373,6 +390,7 @@ func EncodeMarker(m ControlMarker) []byte {
 // DecodeMarker parses a control marker from a control record's value.
 func DecodeMarker(p []byte) (ControlMarker, error) {
 	if len(p) != 5 {
+		//kslint:ignore hotalloc a malformed marker is corruption, never the steady-state commit path
 		return ControlMarker{}, fmt.Errorf("protocol: marker payload length %d", len(p))
 	}
 	m := ControlMarker{
@@ -380,6 +398,7 @@ func DecodeMarker(p []byte) (ControlMarker, error) {
 		CoordinatorEpoch: int32(binary.BigEndian.Uint32(p[1:5])),
 	}
 	if m.Type != MarkerCommit && m.Type != MarkerAbort {
+		//kslint:ignore hotalloc an unknown marker type is corruption, never the steady-state commit path
 		return ControlMarker{}, fmt.Errorf("protocol: unknown marker type %d", p[0])
 	}
 	return m, nil

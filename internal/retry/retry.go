@@ -267,6 +267,7 @@ func Do(p Policy, budget *Budget, cancel <-chan struct{}, op func(attempt int) (
 		}
 		if werr := l.Wait(); werr != nil {
 			if err != nil {
+				//kslint:ignore hotalloc wraps the terminal error after the retry budget is exhausted
 				return fmt.Errorf("%w (last attempt: %v)", werr, err)
 			}
 			return werr

@@ -10,14 +10,23 @@ import (
 	"kstreams/kafka"
 )
 
-// TestSim sweeps the short workload profile over 50 distinct seeds. Every
+// TestSim sweeps the short workload profile over distinct seeds. Every
 // seed must come back green on all five invariants; a failure prints the
 // full report plus the replay command.
+//
+// The default run covers a reduced seed range, serially: the simulator's
+// settle detection is wall-time sensitive, and dozens of parallel
+// simulations contending for CPU flake on loaded machines (the L/I1
+// reproducer in EXPERIMENTS.md). The full 50-seed sweep still runs on
+// every CI round, but in its own serial step — `make sim-sweep`, which
+// sets KSTREAMS_SIM_SWEEP=1 and pins -p 1.
 func TestSim(t *testing.T) {
-	for seed := int64(1); seed <= 50; seed++ {
-		seed := seed
+	seeds := int64(8)
+	if os.Getenv("KSTREAMS_SIM_SWEEP") != "" {
+		seeds = 50
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel()
 			// Flight recording stays on for the whole sweep: it must never
 			// perturb a green run (and a red one ships its own artifact).
 			rep := Run(Config{Seed: seed, Short: true, FlightRecDir: t.TempDir()})

@@ -112,7 +112,7 @@ func (s *memWindow) Fetch(key []byte, from, to int64) []WindowEntry {
 	if !ok {
 		return nil
 	}
-	var out []WindowEntry
+	out := make([]WindowEntry, 0, len(wins))
 	for start, v := range wins {
 		if start >= from && start <= to {
 			out = append(out, WindowEntry{Key: key, Start: start, Value: v})
@@ -125,12 +125,19 @@ func (s *memWindow) Fetch(key []byte, from, to int64) []WindowEntry {
 func (s *memWindow) FetchAll(from, to int64) []WindowEntry {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var out []WindowEntry
+	count := 0
+	for start, keys := range s.byTime {
+		if start >= from && start <= to {
+			count += len(keys)
+		}
+	}
+	out := make([]WindowEntry, 0, count)
 	for start, keys := range s.byTime {
 		if start < from || start > to {
 			continue
 		}
 		for k, v := range keys {
+			//kslint:ignore hotalloc window keys are stored as map strings; the copy out is the API's owned result
 			out = append(out, WindowEntry{Key: []byte(k), Start: start, Value: v})
 		}
 	}

@@ -66,9 +66,17 @@ type kindMetrics struct {
 }
 
 func (n *Network) kindMetrics(kind string) *kindMetrics {
+	//kslint:ignore hotalloc sync.Map's API takes any; kind strings are a small fixed set interned by the compiler
 	if v, ok := n.kindCache.Load(kind); ok {
 		return v.(*kindMetrics)
 	}
+	return n.registerKindMetrics(kind)
+}
+
+// registerKindMetrics builds and caches the per-kind instrument handles.
+//
+//kslint:coldpath runs once per RPC kind; every later call hits the kindCache Load fast path
+func (n *Network) registerKindMetrics(kind string) *kindMetrics {
 	m := &kindMetrics{
 		attempted: n.obs.Counter("transport_rpc_attempted_total", obs.L("kind", kind)),
 		delivered: n.obs.Counter("transport_rpc_delivered_total", obs.L("kind", kind)),

@@ -232,11 +232,13 @@ func (n *Network) SendTraced(from, to int32, req any, tr *obs.Trace) (any, error
 	km.attempted.Inc()
 	if n.unreachable(from, to) {
 		km.failed.Inc()
+		//kslint:ignore hotalloc error construction on an unreachable peer, not the delivery path
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
 	delayFn, dropFn := n.hooks()
 	if dropFn != nil && dropFn(from, to, kind) {
 		km.failed.Inc()
+		//kslint:ignore hotalloc error construction on an injected drop, not the delivery path
 		return nil, fmt.Errorf("%w: %d -> %d (dropped)", ErrUnreachable, from, to)
 	}
 	n.inflight.Add(1)
@@ -252,6 +254,7 @@ func (n *Network) SendTraced(from, to int32, req any, tr *obs.Trace) (any, error
 	if !ok || dead || cut {
 		km.failed.Inc()
 		endSpan()
+		//kslint:ignore hotalloc error construction on a crashed or partitioned peer, not the delivery path
 		return nil, fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
 	}
 	resp := h(from, req)

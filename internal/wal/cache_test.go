@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -272,6 +273,118 @@ func TestConcurrentAppendFetchRace(t *testing.T) {
 	}
 	if n != total {
 		t.Fatalf("re-read %d records, want %d", n, total)
+	}
+}
+
+// TestZeroCopyReaderSurvivesEviction pins the reader half of the DESIGN
+// §10 ownership contract under -race: a consumer holding Record.Value
+// views fetched through the cache must keep seeing the original bytes
+// while eviction churn — a tiny byte budget fed by concurrent appends,
+// plus full resets — drops and repopulates entries underneath it.
+// Eviction drops references, never bytes: a dropped batch stays intact
+// for whoever still holds it, and nothing on the log side may ever write
+// through a handed-out view. The race detector sees any violation of
+// the second half directly; the content checks catch the first.
+func TestZeroCopyReaderSurvivesEviction(t *testing.T) {
+	l := cacheTestLog(t, Config{CacheBytes: 2048, SegmentBytes: 8192})
+	const preload = 50
+	const total = 300
+	appendN(t, l, preload)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 6)
+
+	// Appender: keeps the FIFO cache evicting for the whole test.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := preload; i < total; i++ {
+			b := &protocol.RecordBatch{
+				ProducerID:   protocol.NoProducerID,
+				BaseSequence: protocol.NoSequence,
+				Records: []protocol.Record{{
+					Key:       []byte(fmt.Sprintf("k%d", i)),
+					Value:     []byte(fmt.Sprintf("v%d", i)),
+					Timestamp: int64(i),
+				}},
+			}
+			if res := l.Append(b); res.Err != protocol.ErrNone {
+				errs <- fmt.Errorf("append %d: %v", i, res.Err)
+				return
+			}
+		}
+	}()
+
+	// Evictor: full resets on top of the byte-budget churn, so readers
+	// also cross the compaction-style drop-everything path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				l.cache.reset()
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// Readers: fetch, hold the raw value views, and re-verify every view
+	// they have ever taken on each pass — any eviction that freed or
+	// recycled the backing bytes shows up as corrupted history.
+	verify := func(held map[int64][]byte) error {
+		for off, v := range held {
+			if want := fmt.Sprintf("v%d", off); string(v) != want {
+				return fmt.Errorf("held view for offset %d changed under eviction: got %q, want %q", off, v, want)
+			}
+		}
+		return nil
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			held := make(map[int64][]byte)
+			done := false
+			for !done {
+				select {
+				case <-stop:
+					done = true // one final pass over the full log
+				default:
+				}
+				batches, err := l.Read(0, l.EndOffset(), 1<<20)
+				if err != nil {
+					errs <- fmt.Errorf("read: %w", err)
+					return
+				}
+				for _, b := range batches {
+					for i := range b.Records {
+						held[b.BaseOffset+int64(i)] = b.Records[i].Value
+					}
+				}
+				if err := verify(held); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if len(held) != total {
+				errs <- fmt.Errorf("final pass held %d views, want %d", len(held), total)
+				return
+			}
+			errs <- nil
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -62,6 +62,7 @@ func (int64Serde) Encode(v any) []byte {
 
 func (int64Serde) Decode(p []byte) any {
 	if len(p) != 8 {
+		//kslint:ignore hotalloc panic path on corrupt input, never a valid record
 		panic(fmt.Sprintf("streams: int64 serde: %d bytes", len(p)))
 	}
 	return int64(binary.BigEndian.Uint64(p))
@@ -76,6 +77,7 @@ func toInt64(v any) int64 {
 	case int32:
 		return int64(x)
 	default:
+		//kslint:ignore hotalloc panic path on a type-mismatched topology, never a valid record
 		panic(fmt.Sprintf("streams: int64 serde: %T", v))
 	}
 }
@@ -93,6 +95,7 @@ func (float64Serde) Encode(v any) []byte {
 
 func (float64Serde) Decode(p []byte) any {
 	if len(p) != 8 {
+		//kslint:ignore hotalloc panic path on corrupt input, never a valid record
 		panic(fmt.Sprintf("streams: float64 serde: %d bytes", len(p)))
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(p))
@@ -106,6 +109,7 @@ type jsonSerde[T any] struct{}
 func (jsonSerde[T]) Encode(v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {
+		//kslint:ignore hotalloc panic path on an unmarshalable value, never a valid record
 		panic(fmt.Sprintf("streams: json encode: %v", err))
 	}
 	return b
@@ -114,6 +118,7 @@ func (jsonSerde[T]) Encode(v any) []byte {
 func (jsonSerde[T]) Decode(p []byte) any {
 	var v T
 	if err := json.Unmarshal(p, &v); err != nil {
+		//kslint:ignore hotalloc panic path on corrupt input, never a valid record
 		panic(fmt.Sprintf("streams: json decode: %v", err))
 	}
 	return v
@@ -156,10 +161,16 @@ type listSerde struct{ inner Serde }
 
 func (s listSerde) Encode(v any) []byte {
 	items := v.([]any)
-	var out []byte
+	// Encode items first so out is sized exactly once.
+	encoded := make([][]byte, len(items))
+	total := 0
+	for i, it := range items {
+		encoded[i] = s.inner.Encode(it)
+		total += 4 + len(encoded[i])
+	}
+	out := make([]byte, 0, total)
 	var scratch [4]byte
-	for _, it := range items {
-		b := s.inner.Encode(it)
+	for _, b := range encoded {
 		binary.BigEndian.PutUint32(scratch[:], uint32(len(b)))
 		out = append(out, scratch[:]...)
 		out = append(out, b...)
@@ -168,7 +179,17 @@ func (s listSerde) Encode(v any) []byte {
 }
 
 func (s listSerde) Decode(p []byte) any {
-	var items []any
+	// Count frames first so items is sized exactly once.
+	count := 0
+	for q := p; len(q) >= 4; count++ {
+		n := int(binary.BigEndian.Uint32(q[:4]))
+		q = q[4:]
+		if n > len(q) {
+			break
+		}
+		q = q[n:]
+	}
+	items := make([]any, 0, count)
 	for len(p) >= 4 {
 		n := int(binary.BigEndian.Uint32(p[:4]))
 		p = p[4:]

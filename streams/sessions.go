@@ -1,5 +1,7 @@
 package streams
 
+//kslint:file-ignore hotalloc the operator API is any-typed by design (Context.Forward, TaskWindow.Put); boxing at the DSL boundary is inherent and amortized by the commit cadence
+
 import (
 	"encoding/binary"
 

@@ -36,9 +36,11 @@ func (w TimeWindows) AdvanceBy(advanceMs int64) TimeWindows {
 // WindowsFor returns the start timestamps of every window containing ts.
 func (w TimeWindows) WindowsFor(ts int64) []int64 {
 	if w.AdvanceMs <= 0 || w.SizeMs <= 0 {
+		//kslint:ignore hotalloc panics on a misconfigured topology, before any record flows
 		panic(fmt.Sprintf("streams: invalid windows %+v", w))
 	}
-	var starts []int64
+	// A timestamp falls into at most ceil(size/advance) hopping windows.
+	starts := make([]int64, 0, (w.SizeMs+w.AdvanceMs-1)/w.AdvanceMs)
 	first := ts - w.SizeMs + w.AdvanceMs
 	if first < 0 {
 		first = 0
