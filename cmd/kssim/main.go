@@ -13,6 +13,15 @@
 // On a failing seed, kssim shrinks the schedule to a minimal reproducer,
 // writes it next to the working directory as kssim-seed<N>.sched, prints
 // the exact replay command, and exits 1.
+//
+// -leakcheck arms harness.LeakGuard around the whole sweep: after the
+// last seed, every goroutine spawned during simulation must have exited.
+// This is the dynamic half of the goroutine-lifecycle contract whose
+// static half is kslint's goleak/chanown rules (DESIGN.md §12) — the
+// sweep exercises crash/partition/failover paths the rules reason about,
+// so a divergence (guard fires, rules clean — or a rule finding with no
+// observed leak) is a bug in one of the two and gets a fix or a written
+// suppression, never silence.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"kstreams/internal/harness"
 	"kstreams/internal/sim"
 	"kstreams/kafka"
 )
@@ -34,6 +44,7 @@ func main() {
 	inject := flag.String("inject", "", "arm a deliberate bug (drop-abort-markers) to self-test the checkers")
 	flightRec := flag.String("flightrec", "", "enable the flight recorder; dump artifacts into this directory on violations")
 	shrink := flag.Bool("shrink", true, "shrink failing schedules to a minimal reproducer")
+	leakCheck := flag.Bool("leakcheck", false, "assert every goroutine spawned during the sweep exited (harness.LeakGuard)")
 	verbose := flag.Bool("v", false, "print the report for passing runs too")
 	flag.Parse()
 
@@ -74,6 +85,11 @@ func main() {
 		}
 	default:
 		list = []int64{1}
+	}
+
+	var guard *harness.LeakGuard
+	if *leakCheck {
+		guard = harness.NewLeakGuard()
 	}
 
 	failures := 0
@@ -118,9 +134,28 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if guard != nil {
+		tb := &leakTB{}
+		guard.Check(tb, 0)
+		if tb.failed {
+			os.Exit(1)
+		}
+		fmt.Println("kssim: leak check passed (all simulation goroutines exited)")
+	}
 	if failures > 0 {
 		fmt.Printf("kssim: %d of %d seeds failed\n", failures, len(list))
 		os.Exit(1)
 	}
 	fmt.Printf("kssim: all %d seeds passed\n", len(list))
+}
+
+// leakTB adapts harness.TB to a command-line process: guard failures
+// print to stderr and flip the exit status instead of failing a test.
+type leakTB struct{ failed bool }
+
+func (*leakTB) Helper() {}
+
+func (tb *leakTB) Errorf(format string, args ...any) {
+	tb.failed = true
+	fmt.Fprintf(os.Stderr, "kssim: "+format+"\n", args...)
 }

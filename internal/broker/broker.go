@@ -262,13 +262,17 @@ func (b *Broker) handleProduce(r *protocol.ProduceRequest) *protocol.ProduceResp
 	return resp
 }
 
+// handleFetch assembles the fetch response for every requested
+// partition: the encode half of the consumer/replica read path.
+//
+//kslint:hotpath
 func (b *Broker) handleFetch(r *protocol.FetchRequest) *protocol.FetchResponse {
 	fetchLat := b.metrics.fetchConsumer
 	if r.ReplicaID >= 0 {
 		fetchLat = b.metrics.fetchReplica
 	}
 	defer fetchLat.ObserveSince(b.clock.Now())
-	resp := &protocol.FetchResponse{}
+	resp := &protocol.FetchResponse{Parts: make([]protocol.FetchPartition, 0, len(r.Entries))}
 	maxBytes := r.MaxBytes
 	if maxBytes <= 0 {
 		maxBytes = 1 << 20

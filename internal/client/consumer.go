@@ -891,16 +891,26 @@ func (c *Consumer) Committed(tps ...protocol.TopicPartition) (map[protocol.Topic
 // Abandon releases the consumer without leaving the group — the crash
 // path: the coordinator discovers the death via session timeout.
 func (c *Consumer) Abandon() {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.beginClose() {
 		return
+	}
+	c.stopHeartbeat()
+	c.net.Unregister(c.self)
+}
+
+// beginClose transitions the consumer to closed and fires the
+// cancellation channel, reporting whether this call won the transition.
+// Abandon and Close both route through it, so Consumer.closeCh keeps a
+// single closing function (chanown).
+func (c *Consumer) beginClose() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
 	}
 	c.closed = true
 	close(c.closeCh)
-	c.mu.Unlock()
-	c.stopHeartbeat()
-	c.net.Unregister(c.self)
+	return true
 }
 
 // Close leaves the group and releases the network endpoint. Closing
@@ -908,13 +918,10 @@ func (c *Consumer) Abandon() {
 // coordinator unblocks promptly instead of holding its goroutine (and
 // the stream thread driving it) for the full deadline.
 func (c *Consumer) Close() {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.beginClose() {
 		return
 	}
-	c.closed = true
-	close(c.closeCh)
+	c.mu.Lock()
 	coord := c.coordinator
 	memberID := c.memberID
 	inGroup := c.inGroup

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,9 +91,15 @@ type Thread struct {
 	// in a retry unblocks promptly instead of serving out the deadline. A
 	// graceful Stop does not fire it, so the final commit can still run.
 	killCh chan struct{}
-	done   chan struct{}
-	killed atomic.Bool
-	runErr error
+	// stopOnce/killOnce own the closes of stopCh/killCh: Stop and Kill
+	// can race (an app shutting down while the sim injects a crash), and
+	// the old select-guarded close was not atomic — two racing callers
+	// could both observe "not closed" and both close, panicking.
+	stopOnce sync.Once
+	killOnce sync.Once
+	done     chan struct{}
+	killed   atomic.Bool
+	runErr   error
 }
 
 // NewThread builds a thread with its consumer and producer clients.
@@ -190,13 +197,16 @@ func (th *Thread) Start() {
 	go th.run()
 }
 
+// signalStop fires the stop signal exactly once. Stop and Kill both
+// route through it, so Thread.stopCh keeps a single closing function
+// (chanown) and concurrent Stop/Kill cannot double-close.
+func (th *Thread) signalStop() {
+	th.stopOnce.Do(func() { close(th.stopCh) })
+}
+
 // Stop terminates the loop and waits for the final commit.
 func (th *Thread) Stop() {
-	select {
-	case <-th.stopCh:
-	default:
-		close(th.stopCh)
-	}
+	th.signalStop()
 	<-th.done
 }
 
@@ -205,16 +215,8 @@ func (th *Thread) Stop() {
 // In-flight transactions are left open for the coordinator to abort.
 func (th *Thread) Kill() {
 	th.killed.Store(true)
-	select {
-	case <-th.killCh:
-	default:
-		close(th.killCh)
-	}
-	select {
-	case <-th.stopCh:
-	default:
-		close(th.stopCh)
-	}
+	th.killOnce.Do(func() { close(th.killCh) })
+	th.signalStop()
 	<-th.done
 }
 

@@ -1,0 +1,478 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// chanOwn enforces close ownership on channels that outlive a function:
+// package-level channels and struct-field channels (DESIGN.md §12).
+//
+// Two checks:
+//
+//  1. Single closer (module-wide census): each channel class is closed
+//     by exactly one function. Two closers is how shutdown races start —
+//     the select-guarded `close` idiom is not atomic, so two paths that
+//     both "close if not closed" can still panic; ownership means one
+//     function (often a sync.Once body) performs every close and the
+//     rest signal through it. Closes through a local alias
+//     (stop := c.hbStop; close(stop)) count against the field.
+//  2. No send after close (per function, path-sensitive): on any path
+//     where a channel was closed — locals included — a later send or
+//     second close on that path is a guaranteed panic. The walk forks at
+//     branches and joins by union, excluding terminating branches, the
+//     same gen/kill discipline as poollife; calls are checked against
+//     send summaries propagated over the call graph, so a close followed
+//     by a call into a helper that sends on the same class is caught.
+//
+// Deferred closes are exempt from check 2's ordering (they run at
+// return, after every send in the body), but count as closers in the
+// census.
+type chanOwn struct {
+	module string
+	fset   *token.FileSet
+	graph  *CallGraph
+}
+
+func newChanOwn(module string) *chanOwn { return &chanOwn{module: module} }
+
+func (*chanOwn) Name() string { return "chanown" }
+func (*chanOwn) Doc() string {
+	return "each long-lived channel has exactly one closing function, and no send or second close is reachable after a close on any path"
+}
+
+func (c *chanOwn) Run(p *Pass) {
+	c.fset = p.Fset
+	c.graph = p.Graph
+}
+
+// closeSite records one close of a channel class.
+type closeSite struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+func (c *chanOwn) Finalize(report func(Diagnostic)) {
+	if c.graph == nil {
+		return
+	}
+	sends := c.sendSummaries()
+
+	closers := make(map[string][]closeSite)
+	var found []Diagnostic
+	for _, fn := range c.graph.Funcs() {
+		node := c.graph.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		info := node.Pkg.Info
+		aliases := chanAliases(info, node.Decl.Body)
+		// Census: every close in the body (func literals included — the
+		// literal's close still belongs to this function's code).
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg, ok := isCloseCall(info, call)
+			if !ok {
+				return true
+			}
+			if cls := chanClassOf(info, arg, aliases); cls != "" {
+				closers[cls] = append(closers[cls], closeSite{fn: fn, pos: call.Pos()})
+			}
+			return true
+		})
+		// Path check: close→send / close→close ordering inside the body.
+		w := &coWalker{info: info, fset: c.fset, aliases: aliases, sends: sends, graph: c.graph}
+		w.block(node.Decl.Body, make(coState))
+		found = append(found, w.found...)
+	}
+
+	// Census verdicts: more than one distinct closing function.
+	classes := make([]string, 0, len(closers))
+	for cls := range closers {
+		classes = append(classes, cls)
+	}
+	sort.Strings(classes)
+	for _, cls := range classes {
+		sites := closers[cls]
+		sort.Slice(sites, func(i, j int) bool {
+			return c.fset.Position(sites[i].pos).String() < c.fset.Position(sites[j].pos).String()
+		})
+		var fns []string
+		seen := make(map[*types.Func]bool)
+		for _, s := range sites {
+			if !seen[s.fn] {
+				seen[s.fn] = true
+				fns = append(fns, c.graph.displayName(s.fn))
+			}
+		}
+		if len(fns) <= 1 {
+			continue
+		}
+		found = append(found, Diagnostic{
+			Pos:  c.fset.Position(sites[0].pos),
+			Rule: "chanown",
+			Message: "channel " + strings.TrimPrefix(cls, c.module+"/") + " is closed by " +
+				strconv.Itoa(len(fns)) + " functions (" + strings.Join(fns, ", ") +
+				"); close ownership requires exactly one — route the others through a single closing helper",
+		})
+	}
+
+	sortDiags(found)
+	for _, d := range found {
+		report(d)
+	}
+}
+
+// sendSummaries computes, to a fixpoint over the call graph, the channel
+// classes each module function may send on (directly or via callees).
+func (c *chanOwn) sendSummaries() map[*types.Func]map[string]bool {
+	sends := make(map[*types.Func]map[string]bool)
+	mark := func(fn *types.Func, cls string) bool {
+		m := sends[fn]
+		if m == nil {
+			m = make(map[string]bool)
+			sends[fn] = m
+		}
+		if m[cls] {
+			return false
+		}
+		m[cls] = true
+		return true
+	}
+	// Seed: direct sends on field / package-level channels.
+	for _, fn := range c.graph.Funcs() {
+		node := c.graph.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		info := node.Pkg.Info
+		aliases := chanAliases(info, node.Decl.Body)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			s, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if cls := chanClassOf(info, s.Chan, aliases); cls != "" {
+				mark(fn, cls)
+			}
+			return true
+		})
+	}
+	// Propagate caller ← callee until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range c.graph.Funcs() {
+			node := c.graph.Node(fn)
+			if node == nil {
+				continue
+			}
+			for _, e := range node.Edges {
+				for cls := range sends[e.Callee.Origin()] {
+					if mark(fn, cls) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sends
+}
+
+// coKey identifies a channel inside the path walk: a class string for
+// field / package-level channels, or the local object.
+type coKey struct {
+	obj types.Object
+	cls string
+}
+
+func (k coKey) String() string {
+	if k.cls != "" {
+		return k.cls
+	}
+	return k.obj.Name()
+}
+
+// coState maps closed channels to their close position on this path.
+type coState map[coKey]token.Pos
+
+func (s coState) clone() coState {
+	out := make(coState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// coWalker is the path-sensitive close/send walker. It mirrors the
+// poollife walk shape: statements thread state, branches fork and join
+// by union, terminating branches drop out of the join.
+type coWalker struct {
+	info    *types.Info
+	fset    *token.FileSet
+	aliases map[types.Object]string
+	sends   map[*types.Func]map[string]bool
+	graph   *CallGraph
+	found   []Diagnostic
+	seen    map[token.Pos]bool
+}
+
+func (w *coWalker) keyOf(e ast.Expr) (coKey, bool) {
+	if cls := chanClassOf(w.info, e, w.aliases); cls != "" {
+		return coKey{cls: cls}, true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		obj := w.info.Uses[id]
+		if obj == nil {
+			obj = w.info.Defs[id]
+		}
+		if obj != nil && isChanType(obj.Type()) {
+			return coKey{obj: obj}, true
+		}
+	}
+	return coKey{}, false
+}
+
+func (w *coWalker) report(pos token.Pos, msg string) {
+	if w.seen == nil {
+		w.seen = make(map[token.Pos]bool)
+	}
+	if w.seen[pos] {
+		return
+	}
+	w.seen[pos] = true
+	w.found = append(w.found, Diagnostic{Pos: w.fset.Position(pos), Rule: "chanown", Message: msg})
+}
+
+// block walks stmts with state, returning the state at fall-through.
+// A nil return means every path out of the block terminates.
+func (w *coWalker) block(b *ast.BlockStmt, st coState) coState {
+	if b == nil {
+		return st
+	}
+	return w.stmts(b.List, st)
+}
+
+func (w *coWalker) stmts(list []ast.Stmt, st coState) coState {
+	for _, s := range list {
+		if st = w.stmt(s, st); st == nil {
+			return nil
+		}
+	}
+	return st
+}
+
+func (w *coWalker) stmt(s ast.Stmt, st coState) coState {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		w.exprs(x.Results, st)
+		return nil
+	case *ast.BranchStmt:
+		return nil // break/continue/goto end this straight-line path
+	case *ast.ExprStmt:
+		w.expr(x.X, st)
+	case *ast.SendStmt:
+		w.checkSend(x, st)
+		w.expr(x.Value, st)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.expr(r, st)
+		}
+		// Re-making a closed channel reopens it on this path.
+		for i, l := range x.Lhs {
+			if k, ok := w.keyOf(l); ok && i < len(x.Rhs) {
+				if call, isCall := ast.Unparen(x.Rhs[i]).(*ast.CallExpr); isCall {
+					if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "make" {
+						delete(st, k)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// Defers run at return, after the body's sends: census-only.
+		for _, a := range x.Call.Args {
+			w.expr(a, st)
+		}
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			w.expr(a, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(vs.Values, st)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			if st = w.stmt(x.Init, st); st == nil {
+				return nil
+			}
+		}
+		w.expr(x.Cond, st)
+		thenSt := w.block(x.Body, st.clone())
+		var elseSt coState
+		if x.Else != nil {
+			elseSt = w.stmt(x.Else, st.clone())
+		} else {
+			elseSt = st.clone()
+		}
+		return mergeCO(thenSt, elseSt)
+	case *ast.BlockStmt:
+		return w.block(x, st)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			if st = w.stmt(x.Init, st); st == nil {
+				return nil
+			}
+		}
+		// Two passes over the body: the second sees closes from the
+		// first, catching close-then-send across iterations.
+		first := w.block(x.Body, st.clone())
+		if first != nil {
+			w.block(x.Body, first.clone())
+			st = mergeCO(st, first)
+		}
+		return st
+	case *ast.RangeStmt:
+		w.expr(x.X, st)
+		first := w.block(x.Body, st.clone())
+		if first != nil {
+			w.block(x.Body, first.clone())
+			st = mergeCO(st, first)
+		}
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(x, st)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, st)
+	}
+	return st
+}
+
+// branches forks state per case clause and joins by union.
+func (w *coWalker) branches(s ast.Stmt, st coState) coState {
+	var bodies [][]ast.Stmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			if st = w.stmt(x.Init, st); st == nil {
+				return nil
+			}
+		}
+		if x.Tag != nil {
+			w.expr(x.Tag, st)
+		}
+		for _, cl := range x.Body.List {
+			bodies = append(bodies, cl.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			if st = w.stmt(x.Init, st); st == nil {
+				return nil
+			}
+		}
+		for _, cl := range x.Body.List {
+			bodies = append(bodies, cl.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, cl := range x.Body.List {
+			comm := cl.(*ast.CommClause)
+			if send, ok := comm.Comm.(*ast.SendStmt); ok {
+				w.checkSend(send, st)
+			}
+			bodies = append(bodies, comm.Body)
+		}
+	}
+	if len(bodies) == 0 {
+		return st
+	}
+	var out coState
+	for _, body := range bodies {
+		if end := w.stmts(body, st.clone()); end != nil {
+			out = mergeCO(out, end)
+		}
+	}
+	// A switch/select without a covering default can fall through.
+	return mergeCO(out, st)
+}
+
+func mergeCO(a, b coState) coState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			a[k] = v
+		}
+	}
+	return a
+}
+
+func (w *coWalker) exprs(list []ast.Expr, st coState) {
+	for _, e := range list {
+		w.expr(e, st)
+	}
+}
+
+// expr scans an expression for closes and calls that matter to state.
+func (w *coWalker) expr(e ast.Expr, st coState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs on another frame; not this path
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if arg, isClose := isCloseCall(w.info, call); isClose {
+			if k, ok := w.keyOf(arg); ok {
+				if prev, closed := st[k]; closed {
+					w.report(call.Pos(), "channel "+k.String()+" closed twice on this path (previous close at "+
+						w.fset.Position(prev).String()+"); closing a closed channel panics")
+				} else {
+					st[k] = call.Pos()
+				}
+			}
+			return true
+		}
+		// A call into a function that may send on a closed class.
+		if fn := calleeFunc(w.info, call); fn != nil {
+			if m := w.sends[fn.Origin()]; m != nil {
+				for k, pos := range st {
+					if k.cls != "" && m[k.cls] {
+						w.report(call.Pos(), "call to "+w.graph.displayName(fn.Origin())+
+							" may send on "+k.String()+" after it was closed at "+
+							w.fset.Position(pos).String()+"; sending on a closed channel panics")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *coWalker) checkSend(s *ast.SendStmt, st coState) {
+	k, ok := w.keyOf(s.Chan)
+	if !ok {
+		return
+	}
+	if pos, closed := st[k]; closed {
+		w.report(s.Arrow, "send on "+k.String()+" after it was closed at "+
+			w.fset.Position(pos).String()+"; sending on a closed channel panics")
+	}
+}

@@ -1,0 +1,227 @@
+package lint
+
+// Shared machinery for the goroutine-lifecycle rules (goleak, chanown,
+// waitbalance, spinloop; DESIGN.md §12). The rules agree on three
+// resolutions so their findings compose:
+//
+//   - a *signal channel* is `chan struct{}` — the repo's stop/done idiom.
+//     Receiving from one is a termination witness; `clock.After` channels
+//     carry time.Time and deliberately do not qualify (a tick is not a
+//     shutdown order).
+//   - a *channel class* names a channel that outlives one function: a
+//     struct field ("pkg.Type.field") or a package-level var ("pkg.var").
+//     Locals that alias one (stop := c.hbStop) resolve to the same class,
+//     one assignment level deep, so a close through the alias still
+//     counts against the field's ownership.
+//   - a *spawned body* is what a `go` statement runs: a FuncLit checked
+//     in place, or a declared function/method resolved through the call
+//     graph. Func values and stdlib callees are unresolvable and skipped.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// isChanType reports whether t is (or points at) a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isSignalChan reports whether t is a channel of struct{} — the
+// stop/done signal idiom (ctx.Done() has this shape too).
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// chanClassOf resolves the channel class of e: "pkg.Type.field" for a
+// struct-field channel, "pkg.var" for a package-level channel, or "" for
+// locals, parameters, and anything else. aliases (optional) maps local
+// objects to the class they were assigned from.
+func chanClassOf(info *types.Info, e ast.Expr, aliases map[types.Object]string) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Obj() != nil {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Obj().Name()
+			}
+			return ""
+		}
+		// Qualified package-level var: pkg.Var.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		if aliases != nil {
+			return aliases[obj]
+		}
+	}
+	return ""
+}
+
+// chanAliases maps each local channel variable in body to the channel
+// class it aliases (stop := c.hbStop), flow-insensitively and one level
+// deep. Good enough for the close-through-local idiom; a re-aliased
+// local resolves to its last recorded source.
+func chanAliases(info *types.Info, body *ast.BlockStmt) map[types.Object]string {
+	out := make(map[types.Object]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asn, ok := n.(*ast.AssignStmt)
+		if !ok || len(asn.Lhs) != len(asn.Rhs) {
+			return true
+		}
+		for i := range asn.Lhs {
+			id, ok := ast.Unparen(asn.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil || !isChanType(obj.Type()) {
+				continue
+			}
+			if cls := chanClassOf(info, asn.Rhs[i], nil); cls != "" {
+				out[obj] = cls
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCloseCall reports whether call is the builtin close and returns its
+// argument.
+func isCloseCall(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "close" || len(call.Args) != 1 {
+		return nil, false
+	}
+	if _, builtin := info.Uses[fun].(*types.Builtin); !builtin {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// spawnTargets resolves what a go statement runs: the FuncLit spawned in
+// place (lit non-nil), or the declared module function the call graph
+// knows (fn non-nil). Both nil means the target is a func value or an
+// external function the analysis cannot enter.
+func spawnTargets(info *types.Info, graph *CallGraph, g *ast.GoStmt) (lit *ast.FuncLit, fn *types.Func) {
+	if l, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return l, nil
+	}
+	callee := calleeFunc(info, g.Call)
+	if callee == nil {
+		return nil, nil
+	}
+	callee = callee.Origin()
+	if node := graph.Node(callee); node != nil && node.Decl != nil {
+		return nil, callee
+	}
+	return nil, nil
+}
+
+// litCallees lists the module functions a FuncLit calls directly
+// (nested go statements excluded: those goroutines are checked at their
+// own spawn sites). Order follows the source, so downstream walks stay
+// deterministic.
+func litCallees(info *types.Info, graph *CallGraph, lit *ast.FuncLit) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if g, ok := m.(*ast.GoStmt); ok {
+				// Still resolve arguments, but not the spawned call.
+				for _, a := range g.Call.Args {
+					walk(a)
+				}
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			fn = fn.Origin()
+			if seen[fn] {
+				return true
+			}
+			if node := graph.Node(fn); node != nil && node.Decl != nil {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+			return true
+		})
+	}
+	walk(lit.Body)
+	return out
+}
+
+// sortDiags orders findings by position for deterministic module-wide
+// reporting (the Finalize-based rules collect before emitting).
+func sortDiags(found []Diagnostic) {
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// wgMethod reports whether call invokes sync.WaitGroup's name method and
+// returns the receiver expression.
+func wgMethod(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if !isMethod(fn, "sync", "WaitGroup", name) {
+		return nil, false
+	}
+	return sel.X, true
+}

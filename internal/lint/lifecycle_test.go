@@ -1,0 +1,630 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kstreams/internal/lint"
+)
+
+// Fixture tests for the four goroutine-lifecycle rules (goleak, chanown,
+// waitbalance, spinloop): each gets true positives that must fire and
+// near-misses that must stay silent, exercising the interprocedural
+// machinery (spawn-closure BFS, close census, cross-goroutine Done
+// matching, hot-reachability) in both directions.
+
+// --- goleak ---
+
+func TestGoLeakFlagsUnwitnessedLiteral(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/goleak_lit", `
+package fixture
+
+func step() {}
+
+func Spawn() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+`, "goleak")
+	wantFindings(t, diags, "goleak")
+	if !strings.Contains(diags[0].Message, "no termination witness") ||
+		!strings.Contains(diags[0].Message, "spawned func literal") {
+		t.Fatalf("want an unwitnessed-literal finding: %s", diags[0].Message)
+	}
+}
+
+func TestGoLeakFlagsLoopThroughCallGraph(t *testing.T) {
+	// The loop is two hops from the spawn: go worker() → pump() → for {}.
+	// Only the call-graph BFS can see it, and the chain must say how.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/goleak_chain", `
+package fixture
+
+func step() {}
+
+func pump() {
+	for {
+		step()
+	}
+}
+
+func worker() { pump() }
+
+func Spawn() { go worker() }
+`, "goleak")
+	wantFindings(t, diags, "goleak")
+	if !strings.Contains(diags[0].Message, "worker") || !strings.Contains(diags[0].Message, "pump") {
+		t.Fatalf("want the spawn→worker→pump chain in the finding: %s", diags[0].Message)
+	}
+}
+
+func TestGoLeakAcceptsSignalSelectLoop(t *testing.T) {
+	// The production idiom: an infinite loop gated on a stop channel. The
+	// return under the signal receive is the termination witness.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/goleak_signal", `
+package fixture
+
+func sink(int) {}
+
+func Run(stop chan struct{}, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-in:
+				sink(v)
+			}
+		}
+	}()
+}
+`, "goleak")
+	wantFindings(t, diags)
+}
+
+func TestGoLeakAcceptsBoundedLoop(t *testing.T) {
+	// A conditional loop is the author's own bound; only for{} counts as
+	// an infinite-loop hazard.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/goleak_bounded", `
+package fixture
+
+func step() {}
+
+func Spawn() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			step()
+		}
+	}()
+}
+`, "goleak")
+	wantFindings(t, diags)
+}
+
+func TestGoLeakHonorsFiniteAnnotation(t *testing.T) {
+	// //kslint:finite on the callee's doc comment asserts termination the
+	// analysis cannot see; the BFS must not enter the function.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/goleak_finite", `
+package fixture
+
+func step() {}
+
+// drain works a backlog the enqueue side has already capped.
+//
+//kslint:finite backlog is bounded by the enqueue cap
+func drain() {
+	for {
+		step()
+	}
+}
+
+func Spawn() { go drain() }
+`, "goleak")
+	wantFindings(t, diags)
+}
+
+// --- chanown ---
+
+func TestChanOwnFlagsTwoClosers(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/chanown_two", `
+package fixture
+
+var done = make(chan struct{})
+
+func StopA() { close(done) }
+
+func StopB() { close(done) }
+`, "chanown")
+	wantFindings(t, diags, "chanown")
+	if !strings.Contains(diags[0].Message, "closed by 2 functions") {
+		t.Fatalf("want a close-ownership finding: %s", diags[0].Message)
+	}
+}
+
+func TestChanOwnFlagsSendAfterClose(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/chanown_sendafter", `
+package fixture
+
+type S struct {
+	ch chan struct{}
+}
+
+func (s *S) Shutdown() {
+	close(s.ch)
+	s.ch <- struct{}{}
+}
+`, "chanown")
+	wantFindings(t, diags, "chanown")
+	if !strings.Contains(diags[0].Message, "after it was closed") {
+		t.Fatalf("want a send-after-close finding: %s", diags[0].Message)
+	}
+}
+
+func TestChanOwnAcceptsSingleOwner(t *testing.T) {
+	// One closing function and sends only on other paths: the contract.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/chanown_single", `
+package fixture
+
+var done = make(chan struct{})
+
+func Publish() { done <- struct{}{} }
+
+func Stop() { close(done) }
+`, "chanown")
+	wantFindings(t, diags)
+}
+
+func TestChanOwnAcceptsReopenWithMake(t *testing.T) {
+	// Assigning a fresh make() after close reopens the channel on that
+	// path; the send targets the new channel, not the closed one.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/chanown_reopen", `
+package fixture
+
+type R struct {
+	ch chan struct{}
+}
+
+func (r *R) Cycle() {
+	close(r.ch)
+	r.ch = make(chan struct{})
+	r.ch <- struct{}{}
+}
+`, "chanown")
+	wantFindings(t, diags)
+}
+
+// --- waitbalance ---
+
+func TestWaitBalanceFlagsSurplusAdd(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/waitbalance_hang", `
+package fixture
+
+import "sync"
+
+func Hang() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+`, "waitbalance")
+	wantFindings(t, diags, "waitbalance")
+	if !strings.Contains(diags[0].Message, "Wait will hang") {
+		t.Fatalf("want a surplus-Add finding: %s", diags[0].Message)
+	}
+}
+
+func TestWaitBalanceFlagsAddInSpawnedGoroutine(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/waitbalance_race", `
+package fixture
+
+import "sync"
+
+func Race() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		wg.Done()
+	}()
+	wg.Wait()
+}
+`, "waitbalance")
+	wantFindings(t, diags, "waitbalance")
+	if !strings.Contains(diags[0].Message, "races the parent's Wait") {
+		t.Fatalf("want an Add-inside-goroutine finding: %s", diags[0].Message)
+	}
+}
+
+func TestWaitBalanceAcceptsDeferredDone(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/waitbalance_ok", `
+package fixture
+
+import "sync"
+
+func work() {}
+
+func Balanced() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+`, "waitbalance")
+	wantFindings(t, diags)
+}
+
+func TestWaitBalanceAcceptsNonLiteralAdd(t *testing.T) {
+	// Add(n) with a runtime count is unknowable statically; the rule
+	// prefers silence to guessing.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/waitbalance_dyn", `
+package fixture
+
+import "sync"
+
+func Fan(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+`, "waitbalance")
+	wantFindings(t, diags)
+}
+
+// --- spinloop ---
+
+func TestSpinLoopFlagsHotPoll(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/spinloop_poll", `
+package fixture
+
+var ready bool
+
+//kslint:hotpath
+func HotPoll() {
+	for {
+		if ready {
+			return
+		}
+	}
+}
+`, "spinloop")
+	wantFindings(t, diags, "spinloop")
+	if !strings.Contains(diags[0].Message, "busy-spin") {
+		t.Fatalf("want a busy-spin finding: %s", diags[0].Message)
+	}
+}
+
+func TestSpinLoopFlagsSpinThroughCallGraph(t *testing.T) {
+	// The spin is one call away from the hot root; the finding must carry
+	// the hot-via chain.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/spinloop_chain", `
+package fixture
+
+var ready bool
+
+func spin() {
+	for {
+		if ready {
+			return
+		}
+	}
+}
+
+//kslint:hotpath
+func HotRoot() { spin() }
+`, "spinloop")
+	wantFindings(t, diags, "spinloop")
+	if !strings.Contains(diags[0].Message, "hot via") || !strings.Contains(diags[0].Message, "HotRoot") {
+		t.Fatalf("want the hot-via chain in the finding: %s", diags[0].Message)
+	}
+}
+
+func TestSpinLoopAcceptsBlockingLoop(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/spinloop_block", `
+package fixture
+
+func use(struct{}) {}
+
+//kslint:hotpath
+func HotWait(ch chan struct{}) {
+	for {
+		use(<-ch)
+	}
+}
+`, "spinloop")
+	wantFindings(t, diags)
+}
+
+func TestSpinLoopAcceptsCASRetry(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/spinloop_cas", `
+package fixture
+
+import "sync/atomic"
+
+//kslint:hotpath
+func HotIncr(v *int64) {
+	for {
+		old := atomic.LoadInt64(v)
+		if atomic.CompareAndSwapInt64(v, old, old+1) {
+			return
+		}
+	}
+}
+`, "spinloop")
+	wantFindings(t, diags)
+}
+
+func TestSpinLoopIgnoresColdLoops(t *testing.T) {
+	// The identical poll loop with no //kslint:hotpath root in its
+	// reachability cone is not the rule's business.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/spinloop_cold", `
+package fixture
+
+var ready bool
+
+func ColdPoll() {
+	for {
+		if ready {
+			return
+		}
+	}
+}
+`, "spinloop")
+	wantFindings(t, diags)
+}
+
+// --- determinism, JSON, SARIF, suppressions across the four rules ---
+
+// lifecycleDeterminismSrc triggers each of the four rules exactly once.
+const lifecycleDeterminismSrc = `
+package fixture
+
+import "sync"
+
+var done = make(chan struct{})
+
+func StopA() { close(done) }
+
+func StopB() { close(done) }
+
+func step() {}
+
+func Leak() {
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+func Hang() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+var ready bool
+
+//kslint:hotpath
+func HotPoll() {
+	for {
+		if ready {
+			return
+		}
+	}
+}
+`
+
+var lifecycleRules = []string{"goleak", "chanown", "waitbalance", "spinloop"}
+
+var lifecycleWant = []string{"chanown", "goleak", "waitbalance", "spinloop"}
+
+func TestLifecycleDeterministicOutput(t *testing.T) {
+	// Same loaded package, fresh analyzer instances each run (Finalizer
+	// state must not leak), byte-identical renderings.
+	ldr := testLoader(t)
+	pkg, err := ldr.LoadFixture("lintfixture/lifecycle_det",
+		map[string]string{"fixture.go": lifecycleDeterminismSrc})
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	run := func() []lint.Diagnostic {
+		return lint.LintPackage(ldr, pkg, lint.Config{}, pickAnalyzers(ldr, lifecycleRules))
+	}
+	first := run()
+	wantFindings(t, first, lifecycleWant...)
+	for i := 0; i < 3; i++ {
+		if got := render(run()); got != render(first) {
+			t.Fatalf("lifecycle rules are not deterministic:\n--- first ---\n%s--- run %d ---\n%s",
+				render(first), i+2, got)
+		}
+	}
+}
+
+func TestLifecycleJSONRoundTrip(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/lifecycle_json",
+		lifecycleDeterminismSrc, lifecycleRules...)
+	wantFindings(t, diags, lifecycleWant...)
+
+	data, err := lint.ToJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []lint.JSONDiagnostic
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("kslint -json output must be parseable: %v", err)
+	}
+	want := make([]lint.JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		want = append(want, lint.JSONDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+	if !reflect.DeepEqual(decoded, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %#v\nwant %#v", decoded, want)
+	}
+}
+
+// sarifShape mirrors the subset of SARIF 2.1.0 the round-trip asserts on.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI       string `json:"uri"`
+						URIBaseID string `json:"uriBaseId"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestLifecycleSARIFRoundTrip(t *testing.T) {
+	diags := lintFixture(t, lint.Config{}, "lintfixture/lifecycle_sarif",
+		lifecycleDeterminismSrc, lifecycleRules...)
+	wantFindings(t, diags, lifecycleWant...)
+
+	data, err := lint.ToSARIF(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifShape
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("kslint -sarif output must be parseable: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("want a SARIF 2.1.0 log, got version %q schema %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "kslint" {
+		t.Fatalf("driver name = %q, want kslint", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(lint.Analyzers("")); got != want {
+		t.Fatalf("rule table has %d entries, want all %d registered rules", got, want)
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(diags))
+	}
+	for i, res := range run.Results {
+		d := diags[i]
+		if res.RuleID != d.Rule || res.Level != "error" {
+			t.Fatalf("result %d: ruleId %q level %q, want %q error", i, res.RuleID, res.Level, d.Rule)
+		}
+		if run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Fatalf("result %d: ruleIndex %d points at %q, want %q",
+				i, res.RuleIndex, run.Tool.Driver.Rules[res.RuleIndex].ID, res.RuleID)
+		}
+		if !strings.Contains(res.Message.Text, d.Message) {
+			t.Fatalf("result %d message %q does not carry the finding %q", i, res.Message.Text, d.Message)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != d.Pos.Filename || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Fatalf("result %d: uri %q base %q, want %q %%SRCROOT%%",
+				i, loc.ArtifactLocation.URI, loc.ArtifactLocation.URIBaseID, d.Pos.Filename)
+		}
+		if loc.Region.StartLine != d.Pos.Line || loc.Region.StartColumn != d.Pos.Column {
+			t.Fatalf("result %d: region %d:%d, want %d:%d",
+				i, loc.Region.StartLine, loc.Region.StartColumn, d.Pos.Line, d.Pos.Column)
+		}
+	}
+
+	again, err := lint.ToSARIF(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("ToSARIF is not byte-identical across calls on the same findings")
+	}
+}
+
+func TestLifecycleSuppressions(t *testing.T) {
+	// Line ignores with a reason silence exactly the named rule at the
+	// reported position — the policy every intentional exception in the
+	// module relies on.
+	diags := lintFixture(t, lint.Config{}, "lintfixture/lifecycle_suppress", `
+package fixture
+
+import "sync"
+
+var done = make(chan struct{})
+
+// StopA is the lexically-first closer, where the census reports.
+func StopA() {
+	//kslint:ignore chanown fixture exercises the suppression path
+	close(done)
+}
+
+func StopB() { close(done) }
+
+func step() {}
+
+func Leak() {
+	//kslint:ignore goleak fixture exercises the suppression path
+	go func() {
+		for {
+			step()
+		}
+	}()
+}
+
+func Hang() {
+	var wg sync.WaitGroup
+	//kslint:ignore waitbalance fixture exercises the suppression path
+	wg.Add(2)
+	go func() { wg.Done() }()
+	wg.Wait()
+}
+
+var ready bool
+
+//kslint:hotpath
+func HotPoll() {
+	//kslint:ignore spinloop fixture exercises the suppression path
+	for {
+		if ready {
+			return
+		}
+	}
+}
+`, lifecycleRules...)
+	wantFindings(t, diags)
+}

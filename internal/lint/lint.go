@@ -31,15 +31,29 @@
 //	hotalloc     no fmt/log, unpreallocated grow-append, interface
 //	             boxing, or per-record allocation reachable from
 //	             //kslint:hotpath roots; //kslint:coldpath is the seam
+//	goleak       every production go statement has a termination witness:
+//	             a signal-channel (chan struct{}) receive, an exit path,
+//	             a bound, or a //kslint:finite reason on its function
+//	chanown      each package-level or struct-field channel has exactly
+//	             one closing function, and no send or second close is
+//	             reachable after a close on any path
+//	waitbalance  sync.WaitGroup Add(n) literals balance the Done sites of
+//	             the function and every goroutine it spawns; no Add
+//	             inside a spawned goroutine
+//	spinloop     no loop reachable from a //kslint:hotpath root can
+//	             busy-spin: unbounded loops block on a channel, cond, or
+//	             clock each iteration
 //
-// The last eight are interprocedural: they query the module-wide call
+// The last twelve are interprocedural: they query the module-wide call
 // graph built in callgraph.go (static dispatch plus interface-method
 // resolution over the module's concrete types). Analyzers are written
 // purely on go/ast + go/parser + go/types; see loader.go for how the
 // module is type-checked without x/tools. Findings can be suppressed per
 // line with `//kslint:ignore <rule>[,<rule>] reason`, per file with
 // `//kslint:file-ignore <rule> reason`, and per path prefix through
-// Config.Allow.
+// Config.Allow; the goroutine-lifecycle rules (DESIGN.md §12) honor
+// `//kslint:finite <reason>` on a function's doc comment as a
+// termination assertion.
 package lint
 
 import (
@@ -48,7 +62,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -115,6 +128,10 @@ type Config struct {
 //   - wallclock: same rationale as nosleep, interprocedurally — the
 //     harness/experiment drivers and interactive tooling run in real
 //     time on purpose, so their closures may reach the wall clock.
+//     internal/lint itself is on the list for one reason: the linter
+//     times its own analysis (timing.go) for the `make lint` budget
+//     gate, and developer tooling measuring itself has no determinism
+//     contract to protect.
 func DefaultConfig() Config {
 	return Config{Allow: map[string][]string{
 		"nosleep": {
@@ -127,6 +144,7 @@ func DefaultConfig() Config {
 		"wallclock": {
 			"internal/harness",
 			"internal/experiments",
+			"internal/lint",
 			"cmd",
 			"examples",
 		},
@@ -168,6 +186,10 @@ func Analyzers(module string) []Analyzer {
 		newZeroCopy(module),
 		newAtomicMix(module),
 		newHotAlloc(module),
+		newGoLeak(module),
+		newChanOwn(module),
+		newWaitBalance(module),
+		newSpinLoop(module),
 	}
 }
 
@@ -177,65 +199,15 @@ func Analyzers(module string) []Analyzer {
 // and //kslint:ignore suppressions — are returned stable-sorted by
 // file, line, column, rule, message so CI diffs are reproducible.
 func Run(root string, cfg Config, ruleFilter []string) ([]Diagnostic, error) {
-	loader, err := NewLoader(root)
-	if err != nil {
-		return nil, err
-	}
-	mod, err := loader.LoadAll()
-	if err != nil {
-		return nil, err
-	}
-	analyzers := Analyzers(mod.Path)
-	if len(ruleFilter) > 0 {
-		keep := make(map[string]bool, len(ruleFilter))
-		for _, r := range ruleFilter {
-			keep[strings.TrimSpace(r)] = true
-		}
-		var sel []Analyzer
-		for _, a := range analyzers {
-			if keep[a.Name()] {
-				sel = append(sel, a)
-			}
-		}
-		analyzers = sel
-	}
-	return RunAnalyzers(mod, cfg, analyzers), nil
+	diags, _, err := RunTimed(root, cfg, ruleFilter)
+	return diags, err
 }
 
 // RunAnalyzers applies analyzers to an already-loaded module. Split out
-// so tests can lint fixture packages with a custom config.
+// so tests can lint fixture packages with a custom config. Delegates to
+// RunAnalyzersTimed (timing.go) and drops the breakdown.
 func RunAnalyzers(mod *Module, cfg Config, analyzers []Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	report := func(d Diagnostic) { diags = append(diags, d) }
-	graph := BuildCallGraph(mod)
-	for _, pkg := range mod.Pkgs {
-		pass := &Pass{Module: mod.Path, Fset: mod.Fset, Pkg: pkg, Graph: graph, report: report}
-		for _, a := range analyzers {
-			a.Run(pass)
-		}
-	}
-	for _, a := range analyzers {
-		if f, ok := a.(Finalizer); ok {
-			f.Finalize(report)
-		}
-	}
-	diags = filter(mod, cfg, diags)
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		return a.Message < b.Message
-	})
+	diags, _ := RunAnalyzersTimed(mod, cfg, analyzers)
 	return diags
 }
 

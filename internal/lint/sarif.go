@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF (Static Analysis Results Interchange Format) 2.1.0 output, the
+// wire form GitHub code scanning ingests. The emitted log carries one run
+// with the full rule table (so a clean run still documents what was
+// checked) and one result per diagnostic, in the same stable order
+// RunAnalyzers returns them — byte-identical across reruns of the same
+// tree, like every other kslint output mode.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// ToSARIF renders diagnostics as a SARIF 2.1.0 log. Every registered rule
+// appears in the driver's rule table; each finding references its rule by
+// id and index and is reported at level "error" — kslint has no warning
+// tier, a surviving finding fails the build. File URIs are the
+// module-relative paths kslint already reports, slash-separated, against
+// the %SRCROOT% base GitHub resolves to the checkout root.
+func ToSARIF(diags []Diagnostic) ([]byte, error) {
+	analyzers := Analyzers("")
+	rules := make([]sarifRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		index[a.Name()] = i
+		rules = append(rules, sarifRule{
+			ID:               a.Name(),
+			ShortDescription: sarifMessage{Text: a.Doc()},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: index[d.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Rule + ": " + d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(d.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "kslint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

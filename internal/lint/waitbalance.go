@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// waitBalance checks sync.WaitGroup Add/Done/Wait balance across
+// goroutine boundaries. For each function that calls Add on a group, the
+// rule matches literal Add(n) counts against Done calls — the function's
+// own (deferred or inline, the lockbalance treatment), plus the Done
+// sites inside each goroutine it spawns: a spawned FuncLit is scanned in
+// place, a spawned method resolves through the call graph so the
+// Add-here/Done-in-worker split (Broker.New adds, replicaLoop dones)
+// still balances. Loop bodies must balance on their own — an Add inside
+// a loop matched only outside it means the counter drifts per iteration.
+//
+// Findings:
+//   - surplus Adds: Wait hangs forever once the spawned goroutines exit;
+//   - surplus Dones: the counter goes negative and panics;
+//   - Add inside a spawned goroutine: races the parent's Wait (the
+//     canonical misuse the sync docs call out).
+//
+// Non-literal Add(n), Done under a loop in a spawned body, and spawns
+// the graph cannot resolve make the group's balance unknowable, and the
+// function is skipped — the rule prefers silence to guessing. Functions
+// that only Done (workers) are the callee half of a cross-function
+// balance and are skipped too.
+type waitBalance struct {
+	module string
+	fset   *token.FileSet
+	graph  *CallGraph
+}
+
+func newWaitBalance(module string) *waitBalance { return &waitBalance{module: module} }
+
+func (*waitBalance) Name() string { return "waitbalance" }
+func (*waitBalance) Doc() string {
+	return "sync.WaitGroup Add(n) literals balance the Done sites of this function and every goroutine it spawns; no Add inside a spawned goroutine"
+}
+
+func (w *waitBalance) Run(p *Pass) {
+	w.fset = p.Fset
+	w.graph = p.Graph
+}
+
+// wbKey identifies a WaitGroup: a field class string or a local object.
+type wbKey struct {
+	obj types.Object
+	cls string
+}
+
+func (k wbKey) String() string {
+	if k.cls != "" {
+		return k.cls
+	}
+	return k.obj.Name()
+}
+
+// wbTally accumulates one group's balance inside one scope.
+type wbTally struct {
+	delta    int
+	unknown  bool
+	firstAdd token.Pos
+	hasAdd   bool
+}
+
+func (w *waitBalance) Finalize(report func(Diagnostic)) {
+	if w.graph == nil {
+		return
+	}
+	var found []Diagnostic
+	for _, fn := range w.graph.Funcs() {
+		node := w.graph.Node(fn)
+		if node == nil || node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		fw := &wbWalker{
+			info:  node.Pkg.Info,
+			fset:  w.fset,
+			graph: w.graph,
+		}
+		tallies := make(map[wbKey]*wbTally)
+		fw.scan(node.Decl.Body, tallies)
+		for k, t := range tallies {
+			if d := verdict(w.fset, k, t); d != nil {
+				found = append(found, *d)
+			}
+		}
+		found = append(found, fw.found...)
+	}
+	// A body spawned from several sites is scanned once per site; its
+	// violations must still report once.
+	seen := make(map[string]bool)
+	dedup := found[:0]
+	for _, d := range found {
+		key := d.Pos.String() + "|" + d.Message
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, d)
+		}
+	}
+	sortDiags(dedup)
+	for _, d := range dedup {
+		report(d)
+	}
+}
+
+// verdict turns a scope's tally into a finding, or nil when balanced or
+// unknowable.
+func verdict(fset *token.FileSet, k wbKey, t *wbTally) *Diagnostic {
+	if t.unknown || !t.hasAdd || t.delta == 0 {
+		return nil
+	}
+	msg := k.String() + ": "
+	if t.delta > 0 {
+		msg += strconv.Itoa(t.delta) + " Add(s) have no matching Done in this function or the goroutines it spawns; Wait will hang"
+	} else {
+		msg += strconv.Itoa(-t.delta) + " more Done(s) than Add(s); the WaitGroup counter goes negative and panics"
+	}
+	return &Diagnostic{Pos: fset.Position(t.firstAdd), Rule: "waitbalance", Message: msg}
+}
+
+type wbWalker struct {
+	info  *types.Info
+	fset  *token.FileSet
+	graph *CallGraph
+	found []Diagnostic
+}
+
+func (w *wbWalker) keyOf(recv ast.Expr) (wbKey, bool) {
+	if cls := chanClassOf(w.info, deref(recv), nil); cls != "" {
+		return wbKey{cls: cls}, true
+	}
+	if id, ok := ast.Unparen(deref(recv)).(*ast.Ident); ok {
+		obj := w.info.Uses[id]
+		if obj == nil {
+			obj = w.info.Defs[id]
+		}
+		if obj != nil {
+			return wbKey{obj: obj}, true
+		}
+	}
+	return wbKey{}, false
+}
+
+// deref strips a leading & so (&wg) and wg resolve to the same key.
+func deref(e ast.Expr) ast.Expr {
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return ast.Unparen(e)
+}
+
+func tallyFor(tallies map[wbKey]*wbTally, k wbKey) *wbTally {
+	t := tallies[k]
+	if t == nil {
+		t = &wbTally{}
+		tallies[k] = t
+	}
+	return t
+}
+
+// scan walks one scope (a function body or a loop body), accumulating
+// Add/Done/spawn balance into tallies. Loop bodies get their own tally
+// scope; their verdicts are reported at the loop.
+func (w *wbWalker) scan(n ast.Node, tallies map[wbKey]*wbTally) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false // a literal's calls run on its own frame (or goroutine)
+		case *ast.ForStmt:
+			w.loopScope(x.Body, x.For, tallies)
+			return false
+		case *ast.RangeStmt:
+			w.loopScope(x.Body, x.For, tallies)
+			return false
+		case *ast.GoStmt:
+			w.spawn(x, tallies)
+			return false
+		case *ast.CallExpr:
+			w.call(x, tallies, false)
+		}
+		return true
+	})
+}
+
+// loopScope tallies a loop body independently: per-iteration imbalance is
+// its own finding, and an unknown inside poisons the enclosing tally.
+func (w *wbWalker) loopScope(body *ast.BlockStmt, pos token.Pos, outer map[wbKey]*wbTally) {
+	inner := make(map[wbKey]*wbTally)
+	w.scan(body, inner)
+	for k, t := range inner {
+		switch {
+		case t.unknown:
+			tallyFor(outer, k).unknown = true
+		case t.hasAdd && t.delta != 0:
+			if d := verdict(w.fset, k, t); d != nil {
+				d.Message = d.Message + " (per loop iteration)"
+				w.found = append(w.found, *d)
+			}
+		case !t.hasAdd && t.delta != 0:
+			// Dones without Adds in a loop: the enclosing function's
+			// Adds cannot match a per-iteration Done count statically.
+			tallyFor(outer, k).unknown = true
+		}
+	}
+}
+
+// call tallies one Add/Done/Wait call. spawned marks calls inside a
+// goroutine body, where Add is a race with the parent's Wait.
+func (w *wbWalker) call(call *ast.CallExpr, tallies map[wbKey]*wbTally, spawned bool) {
+	if recv, ok := wgMethod(w.info, call, "Add"); ok {
+		k, okKey := w.keyOf(recv)
+		if !okKey {
+			return
+		}
+		t := tallyFor(tallies, k)
+		if spawned {
+			w.found = append(w.found, Diagnostic{
+				Pos: w.fset.Position(call.Pos()), Rule: "waitbalance",
+				Message: k.String() + ": Add inside a spawned goroutine races the parent's Wait; Add before the go statement",
+			})
+			return
+		}
+		if !t.hasAdd {
+			t.hasAdd = true
+			t.firstAdd = call.Pos()
+		}
+		n, okLit := intLit(call.Args)
+		if !okLit {
+			t.unknown = true
+			return
+		}
+		t.delta += n
+		return
+	}
+	if recv, ok := wgMethod(w.info, call, "Done"); ok {
+		if k, okKey := w.keyOf(recv); okKey {
+			tallyFor(tallies, k).delta--
+		}
+		return
+	}
+}
+
+// intLit extracts a literal int argument: Add(2) → 2.
+func intLit(args []ast.Expr) (int, bool) {
+	if len(args) != 1 {
+		return 0, false
+	}
+	lit, ok := ast.Unparen(args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	n, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// spawn credits the Done sites of the goroutine a go statement starts.
+func (w *wbWalker) spawn(gs *ast.GoStmt, tallies map[wbKey]*wbTally) {
+	lit, fn := spawnTargets(w.info, w.graph, gs)
+	switch {
+	case lit != nil:
+		w.spawnedBody(lit.Body, w.info, tallies)
+	case fn != nil:
+		node := w.graph.Node(fn)
+		w.spawnedBody(node.Decl.Body, node.Pkg.Info, tallies)
+	default:
+		// Unresolvable spawn: if it captures or receives a WaitGroup we
+		// cannot see its Dones; poison every group mentioned in the args.
+		for _, a := range gs.Call.Args {
+			w.poisonWaitGroups(a, tallies)
+		}
+	}
+}
+
+// spawnedBody counts Done calls (and flags Adds) inside one spawned
+// goroutine body. info may differ from the walker's package when the
+// spawned method lives elsewhere; keys still unify through field classes.
+// Groups declared *inside* the spawned body are its own private fan-out
+// (completeTxn's per-broker WaitGroup) — they balance when the spawned
+// function is analyzed as a function, so they neither credit nor race
+// the parent's tally here.
+func (w *wbWalker) spawnedBody(body *ast.BlockStmt, info *types.Info, tallies map[wbKey]*wbTally) {
+	sw := &wbWalker{info: info, fset: w.fset, graph: w.graph}
+	ownGroup := func(k wbKey) bool {
+		return k.obj != nil && k.obj.Pos() >= body.Pos() && k.obj.Pos() <= body.End()
+	}
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				return false // nested spawn tallies at its own site
+			case *ast.ForStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.CallExpr:
+				if recv, ok := wgMethod(info, x, "Done"); ok {
+					if k, okKey := sw.keyOf(recv); okKey && !ownGroup(k) {
+						if inLoop {
+							tallyFor(tallies, k).unknown = true
+						} else {
+							tallyFor(tallies, k).delta--
+						}
+					}
+					return true
+				}
+				if recv, ok := wgMethod(info, x, "Add"); ok {
+					if k, okKey := sw.keyOf(recv); okKey && !ownGroup(k) {
+						w.found = append(w.found, Diagnostic{
+							Pos: w.fset.Position(x.Pos()), Rule: "waitbalance",
+							Message: k.String() + ": Add inside a spawned goroutine races the parent's Wait; Add before the go statement",
+						})
+						tallyFor(tallies, k).unknown = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// poisonWaitGroups marks every WaitGroup-typed expression under e
+// unknowable.
+func (w *wbWalker) poisonWaitGroups(e ast.Expr, tallies map[wbKey]*wbTally) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		t := w.info.TypeOf(ex)
+		if t == nil {
+			return true
+		}
+		if p, okp := t.(*types.Pointer); okp {
+			t = p.Elem()
+		}
+		named, okn := t.(*types.Named)
+		if !okn || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "WaitGroup" {
+			return true
+		}
+		if k, okk := w.keyOf(ex); okk {
+			tallyFor(tallies, k).unknown = true
+		}
+		return true
+	})
+}

@@ -55,6 +55,10 @@ func newBatchCache(limit int64) *batchCache {
 	return &batchCache{limit: limit, byBase: make(map[int64]cacheEntry)}
 }
 
+// get returns the cached batch at base, or nil on a miss: the read side
+// of the decode cache every fetch consults before touching segments.
+//
+//kslint:hotpath
 func (c *batchCache) get(base int64) *protocol.RecordBatch {
 	c.mu.Lock()
 	defer c.mu.Unlock()
