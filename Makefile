@@ -62,17 +62,24 @@ bench-obs:
 	$(GO) test ./internal/obs/ -bench Obs -benchtime 100x -run 'TestCounterOpOverheadGuard|TestFlightRecorderDisabledOverheadGuard' -count=1
 	$(GO) test ./internal/core/ -run TestWatermarkOpOverheadGuard -count=1
 
-# bench-matrix: the produce/fetch macro-bench matrix (DESIGN.md §10).
-# Writes fresh BENCH_*.json into bench-artifacts/ and fails on a >10%
-# records/sec regression against the files committed at the repo root.
-# The out and baseline dirs must differ: writing into the baseline dir
-# first would make the comparison read the fresh numbers back.
+# bench-matrix: the produce/fetch macro-bench matrix (DESIGN.md §10)
+# plus the recovery MTTR pair (DESIGN.md §13). Writes fresh BENCH_*.json
+# into bench-artifacts/ and fails on a >10% records/sec regression — or a
+# >10% MTTR regression past the 25ms noise floor — against the files
+# committed at the repo root. The matrix runs -quick (its baselines are
+# quick-profile); the recovery pair runs the full profile because MTTR
+# only separates from scheduler jitter with real state to restore, and
+# the committed recovery baselines are full-profile. The out and
+# baseline dirs must differ: writing into the baseline dir first would
+# make the comparison read the fresh numbers back.
 bench-matrix:
 	$(GO) run ./cmd/ksbench -matrix -quick -out bench-artifacts -against .
+	$(GO) run ./cmd/ksbench -recovery -out bench-artifacts -against .
 
 # bench-matrix-update regenerates the committed baseline trajectory.
 bench-matrix-update:
 	$(GO) run ./cmd/ksbench -matrix -quick -out .
+	$(GO) run ./cmd/ksbench -recovery -out .
 
 # sim: the deterministic fault-schedule simulator (DESIGN.md §9) over a
 # fixed seed sweep. A failing seed prints its minimal reproducer and the

@@ -14,12 +14,17 @@
 // -quick shrinks record counts and sweep ranges for a fast sanity pass.
 //
 // Separately from the paper experiments, -matrix runs the produce/fetch
-// macro-bench matrix (DESIGN.md §10) and writes one BENCH_<scenario>.json
-// per scenario into -out. With -against DIR the fresh numbers are compared
-// to the committed baseline files in DIR and the process exits non-zero on
-// a >10% records/sec regression:
+// macro-bench matrix (DESIGN.md §10) and -recovery runs the recovery MTTR
+// pair (DESIGN.md §13); each writes one BENCH_<scenario>.json per scenario
+// into -out. With -against DIR the fresh numbers are compared to the
+// committed baseline files in DIR and the process exits non-zero on a >10%
+// records/sec regression (or a >10% MTTR regression past the noise floor
+// for the recovery pair). The flags compose, but note -quick shrinks the
+// recovery state size too — a quick run is incomparable to a full-profile
+// baseline and the gate will skip it:
 //
-//	ksbench -matrix -out . -against .
+//	ksbench -matrix -quick -out . -against .
+//	ksbench -recovery -out . -against .   # full profile, matches baselines
 package main
 
 import (
@@ -37,8 +42,9 @@ func main() {
 	verbose := flag.Bool("v", true, "narrate progress")
 	metrics := flag.Bool("metrics", false, "print the obs RPC/latency breakdown after fig5 runs")
 	matrix := flag.Bool("matrix", false, "run the produce/fetch bench matrix instead of paper experiments")
-	out := flag.String("out", ".", "directory BENCH_<scenario>.json files are written to (-matrix)")
-	against := flag.String("against", "", "baseline directory to compare the matrix against (-matrix)")
+	recovery := flag.Bool("recovery", false, "run the recovery MTTR scenarios instead of paper experiments")
+	out := flag.String("out", ".", "directory BENCH_<scenario>.json files are written to (-matrix/-recovery)")
+	against := flag.String("against", "", "baseline directory to compare the matrix against (-matrix/-recovery)")
 	flag.Parse()
 
 	var prog *experiments.Progress
@@ -46,16 +52,31 @@ func main() {
 		prog = &experiments.Progress{W: os.Stderr}
 	}
 
-	if *matrix {
-		results, err := experiments.RunMatrix(*quick, *out, prog)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "matrix failed: %v\n", err)
-			os.Exit(1)
-		}
-		if *against != "" {
-			if err := experiments.CompareAgainst(results, *against, prog); err != nil {
-				fmt.Fprintf(os.Stderr, "%v\n", err)
+	if *matrix || *recovery {
+		if *matrix {
+			results, err := experiments.RunMatrix(*quick, *out, prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "matrix failed: %v\n", err)
 				os.Exit(1)
+			}
+			if *against != "" {
+				if err := experiments.CompareAgainst(results, *against, prog); err != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *recovery {
+			rec, err := experiments.RunRecovery(*quick, *out, prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "recovery bench failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *against != "" {
+				if err := experiments.CompareRecoveryAgainst(rec, *against, prog); err != nil {
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					os.Exit(1)
+				}
 			}
 		}
 		return

@@ -41,7 +41,12 @@ type member struct {
 	// here), and evicting it bounces it back as a brand-new member whose
 	// join resets the next round — mutual eviction that livelocks the
 	// group at RPC speed.
-	joinParked     bool
+	joinParked bool
+	// owned is the partition set the member reported still holding at its
+	// last join (cooperative protocol). The leader sees it per member and
+	// withholds partitions that would move between live owners, so a
+	// partition is never assigned to two members of the same generation.
+	owned          []protocol.TopicPartition
 	assignment     []protocol.TopicPartition
 	assignUserData []byte
 }
@@ -294,6 +299,7 @@ func (gc *groupCoordinator) joinLocked(g *group, r *protocol.JoinGroupRequest) *
 	}
 	m.subscription = r.Subscription
 	m.userData = r.UserData
+	m.owned = r.Owned
 	m.sessionTimeout = time.Duration(r.SessionTimeoutMs) * time.Millisecond
 	if m.sessionTimeout <= 0 {
 		m.sessionTimeout = 10 * time.Second
@@ -354,6 +360,7 @@ func (gc *groupCoordinator) joinLocked(g *group, r *protocol.JoinGroupRequest) *
 				MemberID:     other.id,
 				Subscription: other.subscription,
 				UserData:     other.userData,
+				Owned:        other.owned,
 			})
 		}
 	}

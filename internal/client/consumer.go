@@ -96,7 +96,23 @@ type ConsumerConfig struct {
 	// UserData is called at each join to produce assignor input (e.g.
 	// Streams' previously-owned tasks for stickiness).
 	UserData func() []byte
+	// Cooperative selects incremental rebalancing: the member keeps
+	// processing its current assignment while a rejoin runs in the
+	// background, reports the partitions it still owns at join time, and
+	// — once the new assignment arrives — revokes only the partitions
+	// that actually moved away. The group leader withholds any partition
+	// moving between live owners for one generation, so ownership is
+	// handed over only after the old owner revoked it and rejoined
+	// (which it triggers itself when its revoked set is non-empty).
+	// Under the default eager protocol every rebalance revokes
+	// everything before the join starts.
+	Cooperative bool
 	// OnRevoked and OnAssigned run around rebalances, inside Poll.
+	// Eager protocol: OnRevoked receives the full old assignment and
+	// OnAssigned the full new one. Cooperative protocol: both receive
+	// only the delta (partitions leaving, partitions arriving), and
+	// OnAssigned fires after every completed rebalance even when the
+	// delta is empty so the application can refresh assignment metadata.
 	OnRevoked  func([]protocol.TopicPartition)
 	OnAssigned func([]protocol.TopicPartition)
 	// Retry overrides the backoff schedule for request loops; the zero
@@ -146,6 +162,18 @@ type Consumer struct {
 	needRejoin atomic.Bool
 	hbStop     chan struct{}
 	hbDone     sync.WaitGroup
+
+	// Cooperative rebalance state: joinInFlight is true while a
+	// background joinGroup runs; its result is staged in pendingAssign
+	// and applied (with delta callbacks) by the next Poll, on the
+	// polling goroutine. joinErr carries a terminal join failure to the
+	// next Poll. joinDone lets Close wait out the background goroutine.
+	joinInFlight  bool
+	pendingAssign *stagedAssignment
+	joinErr       error
+	joinDone      sync.WaitGroup
+	// fetchPaused gates Poll's fetch (see PauseFetch).
+	fetchPaused atomic.Bool
 
 	metrics *clientMetrics
 	// trace, when attached, tags the consumer's offset-commit RPCs with
@@ -292,14 +320,30 @@ func (c *Consumer) Poll() ([]Message, error) {
 			return nil, err
 		}
 	}
+	if c.fetchPaused.Load() {
+		return nil, nil
+	}
 	if err := c.ensurePositions(); err != nil {
 		return nil, err
 	}
 	return c.fetch()
 }
 
+// PauseFetch stops Poll from returning records (membership management
+// still runs) until resumed with PauseFetch(false). The cooperative
+// protocol keeps fetching through rebalances by design; a processor that
+// has torn down ALL of its task state (abort-and-rejoin recovery) must
+// pause the flow, or records are consumed — and their positions advanced
+// past — while nothing exists to process them.
+func (c *Consumer) PauseFetch(paused bool) {
+	c.fetchPaused.Store(paused)
+}
+
 // ensureMembership joins or rejoins the group when required.
 func (c *Consumer) ensureMembership() error {
+	if c.cfg.Cooperative {
+		return c.ensureMembershipCooperative()
+	}
 	c.mu.Lock()
 	joined := c.inGroup
 	c.mu.Unlock()
@@ -317,6 +361,7 @@ func (c *Consumer) ensureMembership() error {
 	if len(old) > 0 && c.cfg.OnRevoked != nil {
 		c.cfg.OnRevoked(old)
 	}
+	c.metrics.revokedParts.Add(int64(len(old)))
 	if err := c.joinGroup(); err != nil {
 		return err
 	}
@@ -327,6 +372,140 @@ func (c *Consumer) ensureMembership() error {
 		c.cfg.OnAssigned(assigned)
 	}
 	return nil
+}
+
+// stagedAssignment is a completed cooperative sync waiting to be applied
+// on the polling goroutine.
+type stagedAssignment struct {
+	partitions []protocol.TopicPartition
+	userData   []byte
+}
+
+// ensureMembershipCooperative runs the incremental protocol: the rejoin
+// happens on a background goroutine while Poll keeps fetching the current
+// assignment, and the staged result is applied here — on the polling
+// goroutine, where the revoke/assign callbacks are safe to run — as a
+// delta against what the member already owns.
+func (c *Consumer) ensureMembershipCooperative() error {
+	c.mu.Lock()
+	if p := c.pendingAssign; p != nil {
+		c.pendingAssign = nil
+		old := c.assignment
+		c.mu.Unlock()
+		c.applyCooperativeAssignment(old, p)
+		return nil
+	}
+	if err := c.joinErr; err != nil {
+		c.joinErr = nil
+		c.mu.Unlock()
+		return err
+	}
+	if c.closed || c.joinInFlight || (c.inGroup && !c.needRejoin.Load()) {
+		c.mu.Unlock()
+		return nil
+	}
+	c.joinInFlight = true
+	c.joinDone.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.joinDone.Done()
+		err := c.joinGroup()
+		c.mu.Lock()
+		c.joinInFlight = false
+		if err != nil && !c.closed {
+			c.joinErr = err
+		}
+		c.mu.Unlock()
+	}()
+	return nil
+}
+
+// applyCooperativeAssignment installs a synced assignment incrementally:
+// only partitions that left the member are revoked, only new ones are
+// announced, and positions of retained partitions survive untouched — the
+// unaffected tasks never stop. A non-empty revoked set triggers the
+// follow-up rejoin that lets the leader hand the freed partitions to
+// their new owner in the next generation.
+func (c *Consumer) applyCooperativeAssignment(old []protocol.TopicPartition, p *stagedAssignment) {
+	revoked := tpDiff(old, p.partitions)
+	added := tpDiff(p.partitions, old)
+	// Revoke before the switch: during the callback the member still owns
+	// the partitions and can commit their final offsets (the staged
+	// generation is already installed, so the commit passes fencing).
+	if len(revoked) > 0 && c.cfg.OnRevoked != nil {
+		c.cfg.OnRevoked(revoked)
+	}
+	c.metrics.revokedParts.Add(int64(len(revoked)))
+	c.mu.Lock()
+	c.assignment = p.partitions
+	c.assignData = p.userData
+	pos := make(map[protocol.TopicPartition]int64, len(p.partitions))
+	for _, tp := range p.partitions {
+		if off, ok := c.pos[tp]; ok {
+			pos[tp] = off
+		}
+	}
+	c.pos = pos
+	c.mu.Unlock()
+	if c.cfg.OnAssigned != nil {
+		c.cfg.OnAssigned(added)
+	}
+	if len(revoked) > 0 {
+		c.needRejoin.Store(true)
+	}
+}
+
+// Rebalancing reports whether a cooperative rebalance is pending, in
+// flight, or staged but not yet applied. While true, the group generation
+// may be moving under the member, so periodic offset commits risk
+// ErrIllegalGeneration fencing; a stream thread defers them until the new
+// assignment is applied.
+func (c *Consumer) Rebalancing() bool {
+	if c.needRejoin.Load() {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.joinInFlight || c.pendingAssign != nil
+}
+
+// tpDiff returns the partitions in a that are not in b.
+func tpDiff(a, b []protocol.TopicPartition) []protocol.TopicPartition {
+	in := make(map[protocol.TopicPartition]bool, len(b))
+	for _, tp := range b {
+		in[tp] = true
+	}
+	var out []protocol.TopicPartition
+	for _, tp := range a {
+		if !in[tp] {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// withholdMoving edits a cooperative leader's assignment in place: a
+// partition still owned by one member cannot be handed to another in the
+// same generation, so it is withheld from its new target. The old owner's
+// assignment no longer contains it, which makes the owner revoke it and
+// rejoin; the follow-up generation then assigns it for real.
+func withholdMoving(assignments map[string][]protocol.TopicPartition, members []protocol.JoinGroupMember) {
+	owner := make(map[protocol.TopicPartition]string)
+	for _, m := range members {
+		for _, tp := range m.Owned {
+			owner[tp] = m.MemberID
+		}
+	}
+	for mid, tps := range assignments {
+		kept := tps[:0]
+		for _, tp := range tps {
+			if o, ok := owner[tp]; ok && o != mid {
+				continue
+			}
+			kept = append(kept, tp)
+		}
+		assignments[mid] = kept
+	}
 }
 
 func (c *Consumer) joinGroup() error {
@@ -362,6 +541,12 @@ func (c *Consumer) joinGroup() error {
 		if c.cfg.UserData != nil {
 			userData = c.cfg.UserData()
 		}
+		var owned []protocol.TopicPartition
+		if c.cfg.Cooperative {
+			c.mu.Lock()
+			owned = append([]protocol.TopicPartition(nil), c.assignment...)
+			c.mu.Unlock()
+		}
 		resp, serr := c.send(coord, &protocol.JoinGroupRequest{
 			Group:            c.cfg.Group,
 			MemberID:         memberID,
@@ -370,6 +555,7 @@ func (c *Consumer) joinGroup() error {
 			Subscription:     subs,
 			ProtocolName:     c.cfg.Assignor.Name(),
 			UserData:         userData,
+			Owned:            owned,
 		})
 		if serr != nil {
 			if err := loop.Wait(); err != nil {
@@ -421,6 +607,9 @@ func (c *Consumer) joinGroup() error {
 				}
 				return n
 			})
+			if c.cfg.Cooperative {
+				withholdMoving(assignments, jr.Members)
+			}
 			for mid, tps := range assignments {
 				sync.Assignments = append(sync.Assignments, protocol.MemberAssignment{
 					MemberID:   mid,
@@ -460,17 +649,24 @@ func (c *Consumer) joinGroup() error {
 		}
 
 		c.mu.Lock()
-		c.assignment = sr.Partitions
-		c.assignData = sr.UserData
-		// Positions for partitions we no longer own are dropped; newly
-		// assigned partitions initialize from committed offsets.
-		pos := make(map[protocol.TopicPartition]int64)
-		for _, tp := range sr.Partitions {
-			if off, ok := c.pos[tp]; ok {
-				pos[tp] = off
+		if c.cfg.Cooperative {
+			// Stage the result; the polling goroutine applies it as a
+			// delta (applyCooperativeAssignment). Assignment and
+			// positions stay untouched so in-flight fetches continue.
+			c.pendingAssign = &stagedAssignment{partitions: sr.Partitions, userData: sr.UserData}
+		} else {
+			c.assignment = sr.Partitions
+			c.assignData = sr.UserData
+			// Positions for partitions we no longer own are dropped; newly
+			// assigned partitions initialize from committed offsets.
+			pos := make(map[protocol.TopicPartition]int64)
+			for _, tp := range sr.Partitions {
+				if off, ok := c.pos[tp]; ok {
+					pos[tp] = off
+				}
 			}
+			c.pos = pos
 		}
-		c.pos = pos
 		c.inGroup = true
 		c.mu.Unlock()
 		c.needRejoin.Store(false)
@@ -894,6 +1090,10 @@ func (c *Consumer) Abandon() {
 	if !c.beginClose() {
 		return
 	}
+	// A background cooperative join may start a heartbeat on success;
+	// wait it out (closing fired the cancellation channel, so it returns
+	// promptly) before stopping heartbeats, or the new one would leak.
+	c.joinDone.Wait()
 	c.stopHeartbeat()
 	c.net.Unregister(c.self)
 }
@@ -921,6 +1121,9 @@ func (c *Consumer) Close() {
 	if !c.beginClose() {
 		return
 	}
+	// See Abandon: drain any background cooperative join before touching
+	// the heartbeat it might start.
+	c.joinDone.Wait()
 	c.mu.Lock()
 	coord := c.coordinator
 	memberID := c.memberID

@@ -16,6 +16,7 @@ type clientMetrics struct {
 	batchRecords   *obs.Histogram // records per produced batch
 	fetchRecords   *obs.Histogram // records per fetch round
 	produceRetries *obs.Counter   // cached: produce runs per batch, the lookup shouldn't
+	revokedParts   *obs.Counter   // partitions revoked across rebalances (delta-only under cooperative)
 }
 
 func newClientMetrics(net *transport.Network) *clientMetrics {
@@ -27,6 +28,7 @@ func newClientMetrics(net *transport.Network) *clientMetrics {
 		batchRecords:   reg.SizeHistogram("client_batch_records"),
 		fetchRecords:   reg.SizeHistogram("client_fetch_records"),
 		produceRetries: reg.Counter("client_retry_attempts_total", obs.L("op", "produce")),
+		revokedParts:   reg.Counter("rebalance_partitions_revoked_total"),
 	}
 }
 

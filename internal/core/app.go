@@ -42,6 +42,12 @@ type AppConfig struct {
 	PollInterval time.Duration
 	// DisablePurge turns off repartition-topic purging.
 	DisablePurge bool
+	// NumStandbyReplicas is the number of warm standby replicas the
+	// assignor places per task on other instances (DESIGN §13). Each
+	// thread tails the changelogs of its standby tasks so a failover
+	// promotes a warm copy and replays only the tail. Zero disables
+	// standbys.
+	NumStandbyReplicas int
 }
 
 func (c *AppConfig) fill() {
@@ -210,25 +216,26 @@ func (a *App) Start() error {
 	partitionsOf := func(topic string) int32 { return a.partitions[topic] }
 	for i := 0; i < a.cfg.NumThreads; i++ {
 		th, err := NewThread(ThreadConfig{
-			AppID:             a.cfg.ApplicationID,
-			InstanceID:        a.cfg.InstanceID,
-			Index:             i,
-			Net:               a.cfg.Net,
-			Controller:        a.cfg.Controller,
-			Guarantee:         a.cfg.Guarantee,
-			CommitInterval:    a.cfg.CommitInterval,
-			TxnTimeout:        a.cfg.TxnTimeout,
-			Topology:          a.topology,
-			Registry:          a.registry,
-			Metrics:           a.metrics,
-			PartitionsOf:      partitionsOf,
-			ChangelogTopic:    a.ChangelogTopic,
-			SourceTopics:      sourceTopics,
-			RepartitionTopics: repTopics,
-			SessionTimeout:    a.cfg.SessionTimeout,
-			HeartbeatInterval: a.cfg.HeartbeatInterval,
-			PollInterval:      a.cfg.PollInterval,
-			PurgeRepartition:  !a.cfg.DisablePurge,
+			AppID:              a.cfg.ApplicationID,
+			InstanceID:         a.cfg.InstanceID,
+			Index:              i,
+			Net:                a.cfg.Net,
+			Controller:         a.cfg.Controller,
+			Guarantee:          a.cfg.Guarantee,
+			CommitInterval:     a.cfg.CommitInterval,
+			TxnTimeout:         a.cfg.TxnTimeout,
+			Topology:           a.topology,
+			Registry:           a.registry,
+			Metrics:            a.metrics,
+			PartitionsOf:       partitionsOf,
+			ChangelogTopic:     a.ChangelogTopic,
+			SourceTopics:       sourceTopics,
+			RepartitionTopics:  repTopics,
+			SessionTimeout:     a.cfg.SessionTimeout,
+			HeartbeatInterval:  a.cfg.HeartbeatInterval,
+			PollInterval:       a.cfg.PollInterval,
+			PurgeRepartition:   !a.cfg.DisablePurge,
+			NumStandbyReplicas: a.cfg.NumStandbyReplicas,
 		})
 		if err != nil {
 			return err
@@ -331,25 +338,26 @@ func (a *App) AddThread() error {
 		repTopics[topic] = true
 	}
 	th, err := NewThread(ThreadConfig{
-		AppID:             a.cfg.ApplicationID,
-		InstanceID:        a.cfg.InstanceID,
-		Index:             idx,
-		Net:               a.cfg.Net,
-		Controller:        a.cfg.Controller,
-		Guarantee:         a.cfg.Guarantee,
-		CommitInterval:    a.cfg.CommitInterval,
-		TxnTimeout:        a.cfg.TxnTimeout,
-		Topology:          a.topology,
-		Registry:          a.registry,
-		Metrics:           a.metrics,
-		PartitionsOf:      partitionsOf,
-		ChangelogTopic:    a.ChangelogTopic,
-		SourceTopics:      sourceTopics,
-		RepartitionTopics: repTopics,
-		SessionTimeout:    a.cfg.SessionTimeout,
-		HeartbeatInterval: a.cfg.HeartbeatInterval,
-		PollInterval:      a.cfg.PollInterval,
-		PurgeRepartition:  !a.cfg.DisablePurge,
+		AppID:              a.cfg.ApplicationID,
+		InstanceID:         a.cfg.InstanceID,
+		Index:              idx,
+		Net:                a.cfg.Net,
+		Controller:         a.cfg.Controller,
+		Guarantee:          a.cfg.Guarantee,
+		CommitInterval:     a.cfg.CommitInterval,
+		TxnTimeout:         a.cfg.TxnTimeout,
+		Topology:           a.topology,
+		Registry:           a.registry,
+		Metrics:            a.metrics,
+		PartitionsOf:       partitionsOf,
+		ChangelogTopic:     a.ChangelogTopic,
+		SourceTopics:       sourceTopics,
+		RepartitionTopics:  repTopics,
+		SessionTimeout:     a.cfg.SessionTimeout,
+		HeartbeatInterval:  a.cfg.HeartbeatInterval,
+		PollInterval:       a.cfg.PollInterval,
+		PurgeRepartition:   !a.cfg.DisablePurge,
+		NumStandbyReplicas: a.cfg.NumStandbyReplicas,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 
 	"kstreams/internal/client"
@@ -15,6 +16,13 @@ import (
 type AssignorUserData struct {
 	Instance  string   `json:"instance"`
 	PrevTasks []string `json:"prev_tasks"`
+	// PrevStandby reports the tasks the thread currently tails as warm
+	// standbys; the leader prefers re-placing a standby where one already
+	// exists, and a member whose active owner died is promoted in place.
+	PrevStandby []string `json:"prev_standby,omitempty"`
+	// StandbyTasks is leader→member only: the standby replicas this
+	// member must tail after the rebalance.
+	StandbyTasks []string `json:"standby_tasks,omitempty"`
 }
 
 // EncodeUserData serializes assignor user data.
@@ -29,6 +37,11 @@ func EncodeUserData(d AssignorUserData) []byte {
 // balances task counts across members.
 type StreamsAssignor struct {
 	Topology *Topology
+	// NumStandbys is the number of warm standby replicas to place per
+	// task, each on a member of a *different instance* than the active
+	// owner (a standby on the same instance shares the registry — and the
+	// fault domain — with the active, so it would add nothing).
+	NumStandbys int
 }
 
 // Name implements client.Assignor.
@@ -57,16 +70,22 @@ func (a *StreamsAssignor) Assign(members []protocol.JoinGroupMember, partitionsO
 	})
 	sort.Slice(members, func(i, j int) bool { return members[i].MemberID < members[j].MemberID })
 
-	prevOwner := make(map[string]string) // task string -> member id
+	prevOwner := make(map[string]string)     // task string -> member id
+	prevStandby := make(map[string][]string) // task string -> member ids tailing it
+	instance := make(map[string]string)      // member id -> instance
 	for _, m := range members {
 		var ud AssignorUserData
 		if err := json.Unmarshal(m.UserData, &ud); err != nil {
 			continue
 		}
+		instance[m.MemberID] = ud.Instance
 		for _, t := range ud.PrevTasks {
 			if _, taken := prevOwner[t]; !taken {
 				prevOwner[t] = m.MemberID
 			}
+		}
+		for _, t := range ud.PrevStandby {
+			prevStandby[t] = append(prevStandby[t], m.MemberID)
 		}
 	}
 
@@ -86,6 +105,22 @@ func (a *StreamsAssignor) Assign(members []protocol.JoinGroupMember, partitionsO
 			assigned[owner] = append(assigned[owner], t)
 			continue
 		}
+		// Promotion stickiness: the previous owner is gone (or full), but
+		// a member tailing the task as a standby holds a warm copy of its
+		// state — placing the active there turns failover into a tail
+		// replay instead of a full changelog restore. prevStandby lists
+		// are built in sorted member order, so the choice is deterministic.
+		promoted := false
+		for _, sb := range prevStandby[t.String()] {
+			if sb != owner && memberSet[sb] && len(assigned[sb]) < capacity {
+				assigned[sb] = append(assigned[sb], t)
+				promoted = true
+				break
+			}
+		}
+		if promoted {
+			continue
+		}
 		unplaced = append(unplaced, t)
 	}
 	// Balance pass: remaining tasks go to the least-loaded member
@@ -100,7 +135,57 @@ func (a *StreamsAssignor) Assign(members []protocol.JoinGroupMember, partitionsO
 		assigned[best] = append(assigned[best], t)
 	}
 
-	// Translate tasks to partitions and echo the task list as user data.
+	// Standby pass: each task gets up to NumStandbys warm replicas, every
+	// one on a different instance than the active owner (and than each
+	// other). Members already tailing the task keep their standby; the
+	// rest goes to the least-standby-loaded eligible member.
+	standbys := make(map[string][]TaskID, len(members))
+	if a.NumStandbys > 0 && len(members) > 1 {
+		activeOf := make(map[string]string, len(tasks))
+		for mid, ts := range assigned {
+			for _, t := range ts {
+				activeOf[t.String()] = mid
+			}
+		}
+		for _, t := range tasks {
+			active := activeOf[t.String()]
+			placed := map[string]bool{active: true}
+			placedInst := map[string]bool{instance[active]: true}
+			want := a.NumStandbys
+			pick := func(mid string) {
+				if want == 0 || placed[mid] || placedInst[instance[mid]] {
+					return
+				}
+				standbys[mid] = append(standbys[mid], t)
+				placed[mid] = true
+				placedInst[instance[mid]] = true
+				want--
+			}
+			for _, sb := range prevStandby[t.String()] {
+				if memberSet[sb] {
+					pick(sb)
+				}
+			}
+			for want > 0 {
+				best := ""
+				for _, m := range members {
+					mid := m.MemberID
+					if placed[mid] || placedInst[instance[mid]] {
+						continue
+					}
+					if best == "" || len(standbys[mid]) < len(standbys[best]) {
+						best = mid
+					}
+				}
+				if best == "" {
+					break // no instance left to host another replica
+				}
+				pick(best)
+			}
+		}
+	}
+
+	// Translate tasks to partitions and echo the task lists as user data.
 	outParts := make(map[string][]protocol.TopicPartition, len(members))
 	outData := make(map[string][]byte, len(members))
 	for mid, ts := range assigned {
@@ -113,10 +198,24 @@ func (a *StreamsAssignor) Assign(members []protocol.JoinGroupMember, partitionsO
 				tps = append(tps, protocol.TopicPartition{Topic: topic, Partition: t.Partition})
 			}
 		}
+		var standbyNames []string
+		for _, t := range standbys[mid] {
+			standbyNames = append(standbyNames, t.String())
+		}
 		outParts[mid] = tps
-		outData[mid], _ = json.Marshal(AssignorUserData{PrevTasks: names})
+		outData[mid], _ = json.Marshal(AssignorUserData{PrevTasks: names, StandbyTasks: standbyNames})
 	}
 	return outParts, outData
+}
+
+// ParseTaskID inverts TaskID.String (the "sub_partition" form used in
+// assignor user data); ok is false for malformed input.
+func ParseTaskID(s string) (TaskID, bool) {
+	var sub, part int
+	if _, err := fmt.Sscanf(s, "%d_%d", &sub, &part); err != nil {
+		return TaskID{}, false
+	}
+	return TaskID{SubTopology: sub, Partition: int32(part)}, true
 }
 
 // TasksFromAssignment groups a consumer's partition assignment back into

@@ -14,6 +14,12 @@ type threadObs struct {
 	restoreDur     *obs.Histogram // one changelog replay with at least one record
 	restoreRecords *obs.Counter
 	restoreBytes   *obs.Counter
+	// standbyRecords counts committed changelog records applied to warm
+	// replicas; mttr is the per-task takeover latency in milliseconds
+	// (task creation through restore completion, DESIGN §13) — a standby
+	// promotion replays only the tail, a cold start the full changelog.
+	standbyRecords *obs.Counter
+	mttr           *obs.Histogram
 }
 
 func newThreadObs(net *transport.Network) *threadObs {
@@ -24,7 +30,18 @@ func newThreadObs(net *transport.Network) *threadObs {
 		restoreDur:     reg.Histogram("stream_restore_duration"),
 		restoreRecords: reg.Counter("stream_restore_records_total"),
 		restoreBytes:   reg.Counter("stream_restore_bytes_total"),
+		standbyRecords: reg.Counter("standby_records_applied_total"),
+		mttr:           reg.SizeHistogram("recovery_mttr_ms"),
 	}
+}
+
+// standbyLag returns the per-task standby replication lag gauge:
+// committed changelog records the warm replica has not applied yet.
+func (o *threadObs) standbyLag(id TaskID) *obs.Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.reg.Gauge("standby_lag_records", obs.L("task", id.String()))
 }
 
 // taskLag returns the per-task event-time lag gauge: the freshest event

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/internal/retry"
+	"kstreams/internal/store"
+)
+
+// standbyStore is one changelog partition a standby task tails.
+type standbyStore struct {
+	id       TaskID
+	name     string
+	spec     *StoreSpec
+	tp       protocol.TopicPartition
+	windowed bool
+}
+
+// standbyManager keeps warm replicas of the tasks the assignor placed here
+// as standbys: it continuously tails their changelog partitions
+// (read-committed, so replicas only ever hold committed state) into
+// registry entries marked standby, advancing each entry's restoredOffset.
+// When the active task later lands on this instance, acquire promotes the
+// entry and the restore replays only the tail past restoredOffset instead
+// of the whole changelog — failover at tail-replay cost.
+//
+// The manager owns no goroutine: the thread's run loop drives poll(),
+// rate-limited to half the commit interval, because the changelog only
+// advances when the active task commits — tailing faster buys nothing.
+type standbyManager struct {
+	cfg      ThreadConfig
+	registry *StoreRegistry
+	consumer *client.Consumer
+	clock    retry.Clock
+	obs      *threadObs
+	interval time.Duration
+
+	// tasks is the current standby set; guarded because userData reads it
+	// from the consumer's background join goroutine while the poll
+	// goroutine updates it.
+	mu    sync.Mutex
+	tasks map[TaskID][]standbyStore
+
+	// byTP, lso, and lastPoll are confined to the thread's poll goroutine.
+	byTP     map[protocol.TopicPartition]standbyStore
+	lso      map[protocol.TopicPartition]int64
+	lastPoll time.Time
+}
+
+func newStandbyManager(cfg ThreadConfig, kill <-chan struct{}, tobs *threadObs) *standbyManager {
+	sm := &standbyManager{
+		cfg:      cfg,
+		registry: cfg.Registry,
+		clock:    cfg.Net.Clock(),
+		obs:      tobs,
+		tasks:    make(map[TaskID][]standbyStore),
+		byTP:     make(map[protocol.TopicPartition]standbyStore),
+		lso:      make(map[protocol.TopicPartition]int64),
+	}
+	sm.interval = cfg.CommitInterval / 2
+	if sm.interval < cfg.PollInterval {
+		sm.interval = cfg.PollInterval
+	}
+	sm.consumer = client.NewConsumer(cfg.Net, client.ConsumerConfig{
+		Controller:   cfg.Controller,
+		Isolation:    protocol.ReadCommitted,
+		Reset:        client.ResetEarliest,
+		Cancel:       kill,
+		ObserveFetch: sm.observeFetch,
+	})
+	return sm
+}
+
+// observeFetch records each changelog partition's last stable offset; the
+// standby lag gauge is LSO minus tail position. Runs inside the manager's
+// own consumer.Poll, on the thread's poll goroutine.
+func (sm *standbyManager) observeFetch(tp protocol.TopicPartition, _, lso, _ int64) {
+	sm.lso[tp] = lso
+}
+
+// TaskIDs snapshots the standby set (sorted order not needed: consumers
+// are the assignor's prev-standby stickiness and tests).
+func (sm *standbyManager) TaskIDs() []TaskID {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]TaskID, 0, len(sm.tasks))
+	for id := range sm.tasks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// storesFor enumerates a task's changelogged stores.
+func (sm *standbyManager) storesFor(id TaskID) []standbyStore {
+	subs := sm.cfg.Topology.SubTopologies()
+	if id.SubTopology < 0 || id.SubTopology >= len(subs) {
+		return nil
+	}
+	var out []standbyStore
+	for _, storeName := range subs[id.SubTopology].Stores {
+		spec, ok := sm.cfg.Topology.specs[storeName]
+		if !ok || !spec.Changelog {
+			continue
+		}
+		topic := sm.cfg.ChangelogTopic(storeName)
+		n := sm.cfg.PartitionsOf(topic)
+		if n <= 0 {
+			continue
+		}
+		out = append(out, standbyStore{
+			id:       id,
+			name:     storeName,
+			spec:     spec,
+			tp:       protocol.TopicPartition{Topic: topic, Partition: id.Partition % n},
+			windowed: spec.Windowed,
+		})
+	}
+	return out
+}
+
+// setTasks reconciles the standby set against the assignor's latest
+// standby list: dropped tasks demote their entries back to sticky caches,
+// new tasks register standby entries and start tailing from whatever
+// restoredOffset the registry already holds (sticky reuse).
+func (sm *standbyManager) setTasks(ids []TaskID) {
+	want := make(map[TaskID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	sm.mu.Lock()
+	for id := range sm.tasks {
+		if !want[id] {
+			delete(sm.tasks, id)
+			sm.registry.releaseStandby(id)
+		}
+	}
+	sm.mu.Unlock()
+	for _, id := range ids {
+		sm.mu.Lock()
+		_, have := sm.tasks[id]
+		sm.mu.Unlock()
+		if have {
+			continue
+		}
+		stores := sm.storesFor(id)
+		ok := len(stores) > 0
+		for _, st := range stores {
+			if !sm.registry.acquireStandby(st.id, st.name, st.spec) {
+				// The task is actively owned on this instance; a standby
+				// here would race the owner and replicate nothing.
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		sm.mu.Lock()
+		sm.tasks[id] = stores
+		sm.mu.Unlock()
+	}
+	sm.rebuildAssignment()
+}
+
+// rebuildAssignment points the tail consumer at the current standby
+// changelog partitions; newly added partitions seek to the registry's
+// restored offset so a sticky warm entry resumes instead of re-reading.
+func (sm *standbyManager) rebuildAssignment() {
+	sm.mu.Lock()
+	var all []standbyStore
+	for _, stores := range sm.tasks {
+		all = append(all, stores...)
+	}
+	sm.mu.Unlock()
+	byTP := make(map[protocol.TopicPartition]standbyStore, len(all))
+	tps := make([]protocol.TopicPartition, 0, len(all))
+	for _, st := range all {
+		if _, dup := byTP[st.tp]; dup {
+			continue
+		}
+		byTP[st.tp] = st
+		tps = append(tps, st.tp)
+	}
+	sm.consumer.Assign(tps...)
+	for _, st := range all {
+		if sm.consumer.Position(st.tp) < 0 {
+			sm.consumer.Seek(st.tp, sm.registry.RestoredOffset(st.id, st.name))
+		}
+	}
+	sm.byTP = byTP
+}
+
+// drop removes one task locally (its entry was promoted out from under
+// the tailer) without demoting registry state.
+func (sm *standbyManager) drop(id TaskID) {
+	sm.mu.Lock()
+	_, ok := sm.tasks[id]
+	delete(sm.tasks, id)
+	sm.mu.Unlock()
+	if ok {
+		sm.rebuildAssignment()
+	}
+}
+
+// poll runs one rate-limited tail round: fetch committed changelog
+// records, apply them batch-wise under the registry's standby apply lock,
+// advance restoredOffset, and refresh the lag gauges.
+func (sm *standbyManager) poll() {
+	now := sm.clock.Now()
+	if now.Sub(sm.lastPoll) < sm.interval {
+		return
+	}
+	sm.lastPoll = now
+	if len(sm.byTP) == 0 {
+		return
+	}
+	msgs, err := sm.consumer.Poll()
+	if err != nil {
+		return
+	}
+	var dropped []TaskID
+	for i := 0; i < len(msgs); {
+		tp := msgs[i].TP
+		j := i
+		for j < len(msgs) && msgs[j].TP == tp {
+			j++
+		}
+		st, ok := sm.byTP[tp]
+		if !ok {
+			i = j
+			continue
+		}
+		e, ok := sm.registry.beginStandbyApply(st.id, st.name)
+		if !ok {
+			// Promoted (or gone): stop tailing this task.
+			dropped = append(dropped, st.id)
+			i = j
+			continue
+		}
+		for _, m := range msgs[i:j] {
+			applyStandbyRecord(e, st.windowed, m.Record.Key, m.Record.Value)
+			sm.obs.standbyRecords.Inc()
+		}
+		// restoredOffset is written under applyMu; the promoting acquire
+		// barriers on applyMu before the restore reads it, so the offset
+		// and the store contents move as one consistent changelog prefix.
+		e.restoredOffset = sm.consumer.Position(tp)
+		sm.registry.endStandbyApply(e)
+		i = j
+	}
+	for _, id := range dropped {
+		sm.drop(id)
+	}
+	sm.updateLag()
+}
+
+// updateLag publishes per-task standby lag: committed changelog records
+// not yet applied to the replica, summed over the task's stores.
+func (sm *standbyManager) updateLag() {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	for id, stores := range sm.tasks {
+		total := int64(0)
+		for _, st := range stores {
+			lso, ok := sm.lso[st.tp]
+			if !ok {
+				continue
+			}
+			if pos := sm.consumer.Position(st.tp); pos >= 0 && lso > pos {
+				total += lso - pos
+			}
+		}
+		sm.obs.standbyLag(id).Set(total)
+	}
+}
+
+// close releases the tail consumer. Standby entries stay in the registry
+// as clean sticky caches — exactly the state a restart resumes from.
+func (sm *standbyManager) close(killed bool) {
+	if killed {
+		sm.consumer.Abandon()
+		return
+	}
+	sm.consumer.Close()
+}
+
+// applyStandbyRecord mirrors TaskKV.restore / TaskWindow.restore onto a
+// bare registry entry: committed changelog records go straight to the
+// inner store — no cache, no changelog re-emission, no listeners.
+func applyStandbyRecord(e *registryEntry, windowed bool, kb, vb []byte) {
+	if windowed {
+		key, start, ok := store.DecodeWindowKey(kb)
+		if !ok {
+			return
+		}
+		e.win.Put(key, start, vb)
+		return
+	}
+	if vb == nil {
+		e.kv.Delete(kb)
+		return
+	}
+	e.kv.Put(kb, vb)
+}

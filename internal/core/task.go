@@ -383,6 +383,18 @@ type registryEntry struct {
 	restoredOffset int64
 	clean          bool
 	inUse          bool
+	// standby marks a warm replica: a standby tailer applies committed
+	// changelog records into the entry, keeping restoredOffset current,
+	// until the active task is assigned here and promotes it. Standby
+	// entries never serve queries — their state may lag the active's, and
+	// surfacing both would show one key with two values (sim I5).
+	standby bool
+	// applyMu serializes standby tail batches against promotion: acquire
+	// takes it once to wait out an in-flight batch before clearing the
+	// standby flag, so the promoted store plus its restoredOffset are a
+	// consistent changelog prefix and tail replay cannot interleave with
+	// a straggling standby apply.
+	applyMu sync.Mutex
 }
 
 // NewStoreRegistry returns an empty registry.
@@ -399,6 +411,14 @@ func (r *StoreRegistry) acquire(id TaskID, storeName string, spec *StoreSpec) *r
 	defer r.mu.Unlock()
 	k := regKey(id, storeName)
 	e, ok := r.entries[k]
+	if ok && e.clean && e.standby {
+		// Promote the warm standby: wait out an in-flight tail batch,
+		// then take the store over. The caller's restore then replays
+		// only the changelog tail past restoredOffset.
+		e.applyMu.Lock()
+		e.standby = false
+		e.applyMu.Unlock()
+	}
 	if !ok || !e.clean {
 		// Fresh store (or wiped after an unclean close): restore from zero.
 		e = &registryEntry{restoredOffset: 0, clean: true}
@@ -411,6 +431,75 @@ func (r *StoreRegistry) acquire(id TaskID, storeName string, spec *StoreSpec) *r
 	}
 	e.inUse = true
 	return e
+}
+
+// acquireStandby registers (or keeps) a warm-standby entry for one store
+// of a task. It reports false when the task is actively owned on this
+// instance — tailing into a live store would race the owner — or when it
+// just got promoted; the standby manager then drops the task.
+func (r *StoreRegistry) acquireStandby(id TaskID, storeName string, spec *StoreSpec) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := regKey(id, storeName)
+	e, ok := r.entries[k]
+	if ok && e.inUse {
+		return false
+	}
+	if !ok || !e.clean {
+		e = &registryEntry{restoredOffset: 0, clean: true}
+		if spec.Windowed {
+			e.win = store.NewWindow()
+		} else {
+			e.kv = store.NewKV()
+		}
+		r.entries[k] = e
+	}
+	// The standby flag is written under both r.mu and applyMu (here and
+	// in acquire/releaseStandby), so holders of either lock read it safely.
+	e.applyMu.Lock()
+	e.standby = true
+	e.applyMu.Unlock()
+	return true
+}
+
+// releaseStandby demotes a task's standby entries back to plain sticky
+// caches (the replica moved elsewhere). The state is kept — it is still a
+// valid changelog prefix up to restoredOffset, exactly what stickiness
+// preserves.
+func (r *StoreRegistry) releaseStandby(id TaskID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, e := range r.entries {
+		if hasTaskPrefix(k, id) && !e.inUse {
+			e.applyMu.Lock()
+			e.standby = false
+			e.applyMu.Unlock()
+		}
+	}
+}
+
+// beginStandbyApply locks one standby entry for a tail batch, returning
+// false when the entry is gone, promoted, or actively owned — the signal
+// for the tailer to stop. endStandbyApply releases it.
+func (r *StoreRegistry) beginStandbyApply(id TaskID, storeName string) (*registryEntry, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[regKey(id, storeName)]
+	if !ok || !e.standby || e.inUse {
+		r.mu.Unlock()
+		return nil, false
+	}
+	r.mu.Unlock()
+	e.applyMu.Lock()
+	if !e.standby {
+		e.applyMu.Unlock()
+		return nil, false
+	}
+	//kslint:ignore lockbalance applyMu is deliberately held across the tail batch; endStandbyApply releases it
+	return e, true
+}
+
+func (r *StoreRegistry) endStandbyApply(e *registryEntry) {
+	e.applyMu.Unlock()
 }
 
 func (r *StoreRegistry) release(id TaskID, clean bool) {
@@ -451,7 +540,10 @@ func (r *StoreRegistry) QueryKV(storeName string, spec *StoreSpec, key any) (any
 	defer r.mu.Unlock()
 	suffix := "/" + storeName
 	for k, e := range r.entries {
-		if e.kv == nil || !e.inUse || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
+		// Standby replicas are excluded like sticky copies: they lag the
+		// active store, and answering from both would surface one key
+		// with two values.
+		if e.kv == nil || !e.inUse || e.standby || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
 			continue
 		}
 		if vb, ok := e.kv.Get(kb); ok && vb != nil {
@@ -468,7 +560,7 @@ func (r *StoreRegistry) RangeKV(storeName string, spec *StoreSpec, fn func(key, 
 	entries := make([]*registryEntry, 0)
 	suffix := "/" + storeName
 	for k, e := range r.entries {
-		if e.kv != nil && e.inUse && len(k) >= len(suffix) && k[len(k)-len(suffix):] == suffix {
+		if e.kv != nil && e.inUse && !e.standby && len(k) >= len(suffix) && k[len(k)-len(suffix):] == suffix {
 			entries = append(entries, e)
 		}
 	}
@@ -489,7 +581,7 @@ func (r *StoreRegistry) QueryWindow(storeName string, spec *StoreSpec, key any, 
 	defer r.mu.Unlock()
 	suffix := "/" + storeName
 	for k, e := range r.entries {
-		if e.win == nil || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
+		if e.win == nil || e.standby || len(k) < len(suffix) || k[len(k)-len(suffix):] != suffix {
 			continue
 		}
 		if vb, ok := e.win.Get(kb, start); ok && vb != nil {

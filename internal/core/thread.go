@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -52,6 +53,11 @@ type ThreadConfig struct {
 	// PurgeRepartition enables delete-records on consumed repartition
 	// topics after commits (paper Section 3.2). Default true.
 	PurgeRepartition bool
+	// NumStandbyReplicas is the number of warm standby replicas the
+	// assignor places per task (on other instances); this thread also
+	// runs a standby tailer for the replicas assigned to it. Zero
+	// disables standbys (failover replays the full changelog).
+	NumStandbyReplicas int
 }
 
 // Thread runs read-process-write cycles: poll records, process them
@@ -72,6 +78,14 @@ type Thread struct {
 	tasks       map[TaskID]*Task
 	inTxn       bool
 	taskTxnOpen map[TaskID]bool
+
+	// standby tails this thread's standby replicas (nil when disabled).
+	standby *standbyManager
+	// nameMu guards prevTasks, the task-name snapshot userData reports:
+	// under the cooperative protocol the join (and thus userData) runs on
+	// a background goroutine while the poll goroutine mutates th.tasks.
+	nameMu    sync.Mutex
+	prevTasks []string
 
 	lastCommit    time.Time
 	lastCommitted map[protocol.TopicPartition]int64
@@ -134,12 +148,19 @@ func NewThread(cfg ThreadConfig) (*Thread, error) {
 		Reset:             client.ResetEarliest,
 		SessionTimeout:    cfg.SessionTimeout,
 		HeartbeatInterval: cfg.HeartbeatInterval,
-		Assignor:          &StreamsAssignor{Topology: cfg.Topology},
+		Assignor:          &StreamsAssignor{Topology: cfg.Topology, NumStandbys: cfg.NumStandbyReplicas},
 		UserData:          th.userData,
 		OnRevoked:         th.onRevoked,
 		OnAssigned:        th.onAssigned,
-		Cancel:            th.killCh,
+		// Incremental rebalancing (DESIGN §13): unaffected tasks keep
+		// processing through the generation bump; only moved partitions
+		// are revoked, as a delta, after the new assignment arrives.
+		Cooperative: true,
+		Cancel:      th.killCh,
 	})
+	if cfg.NumStandbyReplicas > 0 {
+		th.standby = newStandbyManager(cfg, th.killCh, th.obs)
+	}
 	th.restoreConsumer = client.NewConsumer(cfg.Net, client.ConsumerConfig{
 		Controller: cfg.Controller,
 		Isolation:  protocol.ReadCommitted,
@@ -182,13 +203,32 @@ func (th *Thread) restoreRetry() retry.Policy {
 	return p
 }
 
-// userData reports current task ownership for sticky assignment.
+// userData reports current task ownership (and standby replicas) for
+// sticky assignment. It runs on the consumer's background join goroutine,
+// so it reads the locked snapshot, never th.tasks directly.
 func (th *Thread) userData() []byte {
-	var names []string
+	th.nameMu.Lock()
+	names := append([]string(nil), th.prevTasks...)
+	th.nameMu.Unlock()
+	var standby []string
+	if th.standby != nil {
+		for _, id := range th.standby.TaskIDs() {
+			standby = append(standby, id.String())
+		}
+	}
+	return EncodeUserData(AssignorUserData{Instance: th.cfg.InstanceID, PrevTasks: names, PrevStandby: standby})
+}
+
+// snapshotTaskNames refreshes the snapshot userData reports; called after
+// every th.tasks mutation on the poll goroutine.
+func (th *Thread) snapshotTaskNames() {
+	names := make([]string, 0, len(th.tasks))
 	for id := range th.tasks {
 		names = append(names, id.String())
 	}
-	return EncodeUserData(AssignorUserData{Instance: th.cfg.InstanceID, PrevTasks: names})
+	th.nameMu.Lock()
+	th.prevTasks = names
+	th.nameMu.Unlock()
 }
 
 // Start launches the processing loop.
@@ -287,7 +327,15 @@ func (th *Thread) run() {
 				}
 			}
 		}
-		if th.clock.Now().Sub(th.lastCommit) >= th.cfg.CommitInterval {
+		if th.standby != nil {
+			th.standby.poll()
+		}
+		// The periodic commit defers while a cooperative rebalance is in
+		// flight: a commit against the old generation would fence (Illegal
+		// Generation) and trigger a destructive abort-and-rejoin even though
+		// nothing is wrong. onRevoked still commits at the protocol-safe
+		// point, after the new generation is installed.
+		if th.clock.Now().Sub(th.lastCommit) >= th.cfg.CommitInterval && !th.consumer.Rebalancing() {
 			if err := th.commit(); err != nil {
 				if debugOn {
 					fmt.Printf("[debug] thread %s: commit error: %v\n", th.name, err)
@@ -373,18 +421,30 @@ func (th *Thread) abortAndRejoin() {
 		p.Close()
 		delete(th.taskProducers, id)
 	}
+	th.snapshotTaskNames()
 	// The aborted transaction's consumed records were never committed:
 	// rewind to the committed offsets or they would be skipped.
 	th.consumer.ResetPositions()
+	// Every task is gone, but under the cooperative protocol the rejoin
+	// runs in the background while Poll keeps fetching the old assignment.
+	// Pause the fetch until onAssigned rebuilds the tasks — consumed
+	// records would otherwise be dropped on the floor with their positions
+	// advanced, and the next commit would seal the gap (data loss).
+	th.consumer.PauseFetch(true)
 	th.consumer.Subscribe(th.cfg.SourceTopics...) // forces a rejoin
 }
 
 // onRevoked commits in-progress work before partitions are taken away.
-func (th *Thread) onRevoked([]protocol.TopicPartition) {
+// Under the cooperative protocol tps is a delta — only the partitions
+// actually moving to another member — so unaffected tasks stay open and
+// keep processing through the rebalance (DESIGN §13).
+func (th *Thread) onRevoked(tps []protocol.TopicPartition) {
 	clean := th.commit() == nil
 	if !clean {
 		// The failed commit leaves uncommitted input consumed: abort the
-		// open transaction and rewind to committed offsets.
+		// open transaction and rewind to committed offsets. The aborted
+		// transaction spanned every task, so the delta no longer bounds the
+		// damage — all tasks close unclean below.
 		if th.cfg.Guarantee == ExactlyOnceV2 && th.inTxn {
 			_ = th.producer.AbortTxn() // the rewind below restores consistency
 			th.inTxn = false
@@ -399,29 +459,53 @@ func (th *Thread) onRevoked([]protocol.TopicPartition) {
 		}
 		th.consumer.ResetPositions()
 	}
+	if debugOn {
+		fmt.Printf("[debug] thread %s: onRevoked tps=%v clean=%v gen=%d\n", th.name, tps, clean, th.consumer.Generation())
+	}
+	revoked := TasksFromAssignment(th.cfg.Topology, tps)
 	for id, t := range th.tasks {
+		if clean {
+			if _, moving := revoked[id]; !moving {
+				continue // retained task: survives the generation bump live
+			}
+		}
 		t.Close(clean)
 		delete(th.tasks, id)
-	}
-	if th.cfg.Guarantee == ExactlyOnceV1 {
-		for id, p := range th.taskProducers {
+		if p, ok := th.taskProducers[id]; ok {
 			p.Close()
 			delete(th.taskProducers, id)
 		}
-		th.taskTxnOpen = make(map[TaskID]bool)
+		delete(th.taskTxnOpen, id)
 	}
+	th.snapshotTaskNames()
 }
 
 // onAssigned builds tasks for the new assignment, restoring their stores
 // from changelogs before processing resumes (paper Section 3.3: "an exact
 // copy of the state is restored by replaying the corresponding changelog
-// topics").
-func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
-	th.lastCommitted = make(map[protocol.TopicPartition]int64)
-	for id := range TasksFromAssignment(th.cfg.Topology, tps) {
+// topics"). The delta argument is deliberately ignored: after a fencing
+// recovery wiped every task the cooperative rejoin's delta is empty, so
+// missing tasks must be rebuilt from the full assignment — the existing-
+// task check below makes that idempotent for retained tasks.
+func (th *Thread) onAssigned([]protocol.TopicPartition) {
+	full := th.consumer.Assignment()
+	if debugOn {
+		fmt.Printf("[debug] thread %s: onAssigned full=%v gen=%d\n", th.name, full, th.consumer.Generation())
+	}
+	owned := make(map[protocol.TopicPartition]bool, len(full))
+	for _, tp := range full {
+		owned[tp] = true
+	}
+	for tp := range th.lastCommitted {
+		if !owned[tp] {
+			delete(th.lastCommitted, tp)
+		}
+	}
+	for id := range TasksFromAssignment(th.cfg.Topology, full) {
 		if _, exists := th.tasks[id]; exists {
 			continue
 		}
+		takeoverStart := th.clock.Now()
 		collector := th.collectorFor(id)
 		t, err := NewTask(id, th.cfg.Topology.SubTopologies()[id.SubTopology], taskConfig{
 			topology:       th.cfg.Topology,
@@ -445,6 +529,11 @@ func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
 			}
 		}
 		th.tasks[id] = t
+		// MTTR (DESIGN §13): takeover latency from task creation through
+		// restore completion. Detection time (session timeout) is excluded
+		// by construction — this measures how fast state comes back once
+		// the group has reacted, which is the axis standbys improve.
+		th.obs.mttr.Observe(th.clock.Now().Sub(takeoverStart).Milliseconds())
 		if th.cfg.Guarantee == ExactlyOnceV1 {
 			// Eager init fences the task's previous owner immediately and
 			// guarantees a producer exists for offset-only commits.
@@ -453,6 +542,28 @@ func (th *Thread) onAssigned(tps []protocol.TopicPartition) {
 			}
 		}
 	}
+	th.snapshotTaskNames()
+	th.consumer.PauseFetch(false) // tasks exist again; resume the flow
+	th.updateStandbys()
+}
+
+// updateStandbys reconciles the standby tailer against the leader's latest
+// standby placement, carried in the assignment user data.
+func (th *Thread) updateStandbys() {
+	if th.standby == nil {
+		return
+	}
+	var ud AssignorUserData
+	if b := th.consumer.AssignmentUserData(); len(b) > 0 {
+		_ = json.Unmarshal(b, &ud)
+	}
+	ids := make([]TaskID, 0, len(ud.StandbyTasks))
+	for _, s := range ud.StandbyTasks {
+		if id, ok := ParseTaskID(s); ok {
+			ids = append(ids, id)
+		}
+	}
+	th.standby.setTasks(ids)
 }
 
 // ensureTaskProducer returns (creating if needed) the eos-v1 per-task
@@ -539,6 +650,9 @@ func (th *Thread) restoreTask(t *Task) error {
 		}
 		th.cfg.Registry.SetRestoredOffset(t.id, storeName, th.restoreConsumer.Position(tp))
 		th.obs.restoreDur.ObserveSince(restoreStart)
+		if debugOn {
+			fmt.Printf("[debug] thread %s: restored %s %s from=%d end=%d\n", th.name, t.id, tp, from, end)
+		}
 		return nil
 	}
 	for name, kv := range t.kvs {
@@ -740,6 +854,9 @@ func (th *Thread) shutdown() {
 	for id, t := range th.tasks {
 		t.Close(clean)
 		delete(th.tasks, id)
+	}
+	if th.standby != nil {
+		th.standby.close(th.killed.Load())
 	}
 	if th.killed.Load() {
 		// Drop off the network without leaving the group: the session

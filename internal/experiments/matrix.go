@@ -144,7 +144,7 @@ func RunMatrix(quick bool, outDir string, prog *Progress) ([]MatrixResult, error
 			res.Fetch.RecordsPerSec, res.Fetch.MBPerSec, res.Fetch.P99Ms, res.Fetch.AllocsPerOp,
 			res.EventTimeLagP99Ms)
 		if outDir != "" {
-			if err := writeBench(filepath.Join(outDir, BenchFileName(name)), res); err != nil {
+			if err := writeBenchJSON(filepath.Join(outDir, BenchFileName(name)), res); err != nil {
 				return nil, err
 			}
 		}
@@ -467,12 +467,21 @@ func phaseStats(records int, bytes int64, elapsed time.Duration, allocs uint64, 
 func round1(v float64) float64 { return float64(int64(v*10+0.5)) / 10 }
 func roundMs(ns int64) float64 { return float64(ns/1000) / 1000 } // ns → ms, µs precision
 
-func writeBench(path string, res MatrixResult) error {
-	buf, err := json.MarshalIndent(res, "", "  ")
+// writeBenchJSON writes any bench artifact (matrix or recovery result)
+// in the committed, diff-stable form.
+func writeBenchJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func unmarshalBench(buf []byte, path string, v any) error {
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadBench reads one committed BENCH_*.json.
@@ -482,10 +491,7 @@ func LoadBench(path string) (MatrixResult, error) {
 	if err != nil {
 		return res, err
 	}
-	if err := json.Unmarshal(buf, &res); err != nil {
-		return res, fmt.Errorf("%s: %w", path, err)
-	}
-	return res, nil
+	return res, unmarshalBench(buf, path, &res)
 }
 
 // regressionTolerance is the CI gate: a scenario fails when its new

@@ -53,7 +53,7 @@ func TestBenchRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	want := matrixFixture("p1_b256_acksall", 1000, 2000)
 	path := filepath.Join(dir, BenchFileName(want.Scenario))
-	if err := writeBench(path, want); err != nil {
+	if err := writeBenchJSON(path, want); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LoadBench(path)
@@ -80,7 +80,7 @@ func TestBenchRoundTrip(t *testing.T) {
 func TestCompareAgainstFlagsRegression(t *testing.T) {
 	dir := t.TempDir()
 	base := matrixFixture("p1_b256_acksall", 1000, 2000)
-	if err := writeBench(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
+	if err := writeBenchJSON(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
 		t.Fatal(err)
 	}
 
@@ -132,7 +132,7 @@ func TestBenchSpreadFieldIsAdditive(t *testing.T) {
 	res := matrixFixture("p1_b256_acksall", 1000, 2000)
 	res.Produce.RunSpreadPct = 3.5
 	path := filepath.Join(dir, BenchFileName(res.Scenario))
-	if err := writeBench(path, res); err != nil {
+	if err := writeBenchJSON(path, res); err != nil {
 		t.Fatal(err)
 	}
 	buf, err := os.ReadFile(path)
@@ -161,7 +161,7 @@ func TestCompareAgainstSkipsIncomparable(t *testing.T) {
 	dir := t.TempDir()
 	base := matrixFixture("p1_b256_acksall", 1000, 2000)
 	base.Params.Records = 999 // params differ from the fresh run below
-	if err := writeBench(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
+	if err := writeBenchJSON(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
 		t.Fatal(err)
 	}
 	fresh := matrixFixture("p1_b256_acksall", 10, 10) // huge drop, but incomparable

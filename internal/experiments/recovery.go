@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kstreams/internal/obs"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// The recovery scenarios of the bench matrix (DESIGN.md §13): build real
+// store state under exactly-once load on two instances, kill one, and
+// measure how fast the survivor takes the dead instance's tasks over. The
+// two scenarios differ in exactly one axis — warm standby replicas on or
+// off — at identical state size, so the committed pair quantifies what
+// standby tailing buys:
+//
+//	recovery_cold     Standbys=0: takeover restores each task by replaying
+//	                  its full changelog partition from offset zero.
+//	recovery_standby  Standbys=1: takeover promotes the warm standby copy
+//	                  and replays only the tail the tailer had not applied.
+//
+// mttr_ms is the maximum of the recovery_mttr_ms histogram: per promoted
+// task, the wall time from takeover start to the task being processable
+// (store restored, producer initialized). Failure *detection* — the
+// session timeout the coordinator needs to declare the instance dead — is
+// deliberately excluded: it is a configured constant, identical in both
+// scenarios, and including it would let a 1s timeout mask the difference
+// between replaying a million records and promoting a warm copy.
+// catchup_recs_per_sec is the complementary end-to-end view: records
+// produced after the kill divided by the time until the survivor's stores
+// reflect every one of them (this one does include detection).
+
+// RecoveryParams pins the scenario axes. Comparisons require identical
+// params, so cold vs standby stay at the same state size by construction.
+type RecoveryParams struct {
+	Records        int   `json:"records"`
+	CatchupRecords int   `json:"catchup_records"`
+	Keys           int   `json:"keys"`
+	Partitions     int32 `json:"partitions"`
+	Standbys       int   `json:"standbys"`
+}
+
+// RecoveryResult is the committed artifact. Like MatrixResult, no
+// timestamps or host names: the files must diff cleanly across PRs.
+type RecoveryResult struct {
+	SchemaVersion     int            `json:"schema_version"`
+	Scenario          string         `json:"scenario"`
+	Params            RecoveryParams `json:"params"`
+	MTTRMs            float64        `json:"mttr_ms"`
+	CatchupRecsPerSec float64        `json:"catchup_recs_per_sec"`
+	// RestoreRecords is how many changelog records the takeover replayed;
+	// ChangelogRecords is the whole changelog at that moment. Cold restores
+	// approach the full length, warm promotions only the tail — the pair
+	// shows which path a run actually took.
+	RestoreRecords   int64   `json:"restore_records"`
+	ChangelogRecords int64   `json:"changelog_records"`
+	RunSpreadPct     float64 `json:"run_spread_pct,omitempty"`
+}
+
+func recoveryScenarios(quick bool) []RecoveryParams {
+	// Key cardinality is the state-size lever: every commit flushes one
+	// changelog record per dirty key, so a cold takeover has hundreds of
+	// thousands of records to replay while a warm promotion replays only
+	// the unapplied tail. Too few keys and the cold restore finishes in
+	// single-digit milliseconds — the scenarios would measure task setup,
+	// not recovery work.
+	base := RecoveryParams{
+		Records:        250_000,
+		CatchupRecords: 25_000,
+		Keys:           25_000,
+		Partitions:     4,
+	}
+	if quick {
+		base.Records = 50_000
+		base.CatchupRecords = 10_000
+		base.Keys = 5_000
+	}
+	standby := base
+	standby.Standbys = 1
+	return []RecoveryParams{base, standby}
+}
+
+// RecoveryScenarioName derives the scenario id (and file name) from the
+// only axis the scenarios vary.
+func RecoveryScenarioName(p RecoveryParams) string {
+	if p.Standbys > 0 {
+		return "recovery_standby"
+	}
+	return "recovery_cold"
+}
+
+// recoveryReps mirrors the matrix: median-of-3 by MTTR, with the spread
+// recorded so the trajectory says how noisy the machine was.
+const recoveryReps = 3
+
+// RunRecovery runs both recovery scenarios and writes one
+// BENCH_<scenario>.json each into outDir (skipped when empty).
+func RunRecovery(quick bool, outDir string, prog *Progress) ([]RecoveryResult, error) {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var out []RecoveryResult
+	for _, p := range recoveryScenarios(quick) {
+		name := RecoveryScenarioName(p)
+		prog.logf("recovery: %s (records=%d keys=%d, median of %d)", name, p.Records, p.Keys, recoveryReps)
+		res, err := runRecoveryMedian(p)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		prog.logf("  mttr=%.0fms catchup=%.0f rec/s restored=%d of %d changelog records",
+			res.MTTRMs, res.CatchupRecsPerSec, res.RestoreRecords, res.ChangelogRecords)
+		if outDir != "" {
+			if err := writeBenchJSON(filepath.Join(outDir, BenchFileName(name)), res); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runRecoveryMedian(p RecoveryParams) (RecoveryResult, error) {
+	reps := make([]RecoveryResult, 0, recoveryReps)
+	for i := 0; i < recoveryReps; i++ {
+		res, err := runRecoveryScenario(p)
+		if err != nil {
+			return res, err
+		}
+		reps = append(reps, res)
+	}
+	mttr := func(r RecoveryResult) float64 { return r.MTTRMs }
+	idx := make([]int, len(reps))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := range idx { // insertion sort by MTTR; three elements
+		for j := i; j > 0 && mttr(reps[idx[j]]) < mttr(reps[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	out := reps[idx[len(idx)/2]]
+	min, max := mttr(reps[idx[0]]), mttr(reps[idx[len(idx)-1]])
+	if med := out.MTTRMs; med > 0 {
+		out.RunSpreadPct = round1((max - min) / med * 100)
+	}
+	return out, nil
+}
+
+func runRecoveryScenario(p RecoveryParams) (RecoveryResult, error) {
+	res := RecoveryResult{SchemaVersion: BenchSchemaVersion, Scenario: RecoveryScenarioName(p), Params: p}
+	// Zero network/storage latency, as in the data-plane matrix: the
+	// scenario measures restore and promotion work, not the latency model.
+	c, err := kafka.NewCluster(kafka.ClusterConfig{
+		Brokers:               3,
+		Seed:                  1,
+		ReplicaPollInterval:   200 * time.Microsecond,
+		TxnTimeout:            30 * time.Second,
+		GroupRebalanceTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	const inTopic = "rec-in"
+	const storeName = "rec-store"
+	if err := c.CreateTopic(inTopic, p.Partitions, false); err != nil {
+		return res, err
+	}
+
+	newApp := func(instance string) (*streams.App, error) {
+		b := streams.NewBuilder("rec")
+		b.Stream(inTopic, streams.StringSerde, streams.BytesSerde).
+			GroupByKey().
+			Count(storeName)
+		app, err := streams.NewApp(b, streams.Config{
+			Cluster:            c,
+			InstanceID:         instance,
+			Guarantee:          streams.ExactlyOnce,
+			CommitInterval:     30 * time.Millisecond,
+			NumThreads:         1,
+			TxnTimeout:         30 * time.Second,
+			SessionTimeout:     time.Second,
+			HeartbeatInterval:  100 * time.Millisecond,
+			NumStandbyReplicas: p.Standbys,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return app, app.Start()
+	}
+	victim, err := newApp("i0")
+	if err != nil {
+		return res, err
+	}
+	survivor, err := newApp("i1")
+	if err != nil {
+		return res, err
+	}
+	defer survivor.Close()
+
+	keys := make([]string, p.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%05d", i)
+	}
+	produce := func(n int) error {
+		prod, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true, BatchRecords: 512})
+		if err != nil {
+			return err
+		}
+		defer prod.Close()
+		val := []byte("v")
+		for i := 0; i < n; i++ {
+			if err := prod.Send(inTopic, kafka.Record{
+				Key: []byte(keys[i%len(keys)]), Value: val, Timestamp: int64(i),
+			}); err != nil {
+				return err
+			}
+		}
+		return prod.Flush()
+	}
+	// waitCounts blocks until every key's count reaches want on any live
+	// instance; committed store state is the only exact completion signal
+	// under EOS (per-app processed counters double-count aborted retries).
+	waitCounts := func(apps []*streams.App, want int64, timeout time.Duration) error {
+		deadline := time.Now().Add(timeout)
+		next := 0 // resume scanning where the last pass stalled
+		for time.Now().Before(deadline) {
+			done := true
+			for n := 0; n < len(keys); n++ {
+				k := keys[(next+n)%len(keys)]
+				ok := false
+				for _, app := range apps {
+					if v, hosted := app.QueryKV(storeName, k); hosted && v.(int64) >= want {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					done = false
+					next = (next + n) % len(keys)
+					break
+				}
+			}
+			if done {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return fmt.Errorf("counts never reached %d per key (victim=%v survivor=%v)",
+			want, victim.Err(), survivor.Err())
+	}
+
+	perKey := int64(p.Records / p.Keys)
+	if err := produce(p.Records); err != nil {
+		return res, err
+	}
+	if err := waitCounts([]*streams.App{victim, survivor}, perKey, 2*time.Minute); err != nil {
+		return res, fmt.Errorf("phase 1: %w", err)
+	}
+	if p.Standbys > 0 {
+		// The comparison is only honest once the standby copies are warm:
+		// records applied and replication lag drained back to zero.
+		deadline := time.Now().Add(time.Minute)
+		for {
+			s := c.ObsSnapshot()
+			if s.Counter("standby_records_applied_total") > 0 && gaugeSum(s, "standby_lag_records") == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("standby never caught up")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	before := c.ObsSnapshot()
+	killAt := time.Now()
+	victim.Kill()
+	if err := produce(p.CatchupRecords); err != nil {
+		return res, err
+	}
+	catchPerKey := perKey + int64(p.CatchupRecords/p.Keys)
+	if err := waitCounts([]*streams.App{survivor}, catchPerKey, 2*time.Minute); err != nil {
+		return res, fmt.Errorf("catch-up: %w", err)
+	}
+	catchup := time.Since(killAt).Seconds()
+	after := c.ObsSnapshot()
+
+	mttr := after.Histograms["recovery_mttr_ms"]
+	if mttr.Count <= before.Histograms["recovery_mttr_ms"].Count {
+		return res, fmt.Errorf("takeover recorded no recovery_mttr_ms observation")
+	}
+	// The histogram is cumulative, but the pre-kill observations are the
+	// instances' startup task creations against an empty changelog (sub-ms
+	// by construction — state only exists after phase 1), so the maximum
+	// is the failover takeover in both scenarios.
+	res.MTTRMs = float64(mttr.Max)
+	res.CatchupRecsPerSec = round1(float64(p.CatchupRecords) / catchup)
+	res.RestoreRecords = after.Counter("stream_restore_records_total") - before.Counter("stream_restore_records_total")
+
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	changelog := "rec-" + storeName + "-changelog"
+	for part := int32(0); part < p.Partitions; part++ {
+		end, err := cons.EndOffset(changelog, part)
+		if err != nil {
+			return res, err
+		}
+		res.ChangelogRecords += end
+	}
+	return res, nil
+}
+
+func gaugeSum(s *obs.Snapshot, base string) int64 {
+	total := int64(0)
+	for k, v := range s.Gauges {
+		if obs.BaseName(k) == base {
+			total += v
+		}
+	}
+	return total
+}
+
+// mttrNoiseFloorMs keeps the gate meaningful at small absolute values: a
+// warm promotion takes single-digit milliseconds and a cold replay tens,
+// where a 10% relative delta is scheduler jitter, not a regression (the
+// committed run_spread_pct documents exactly how much the reps disagree).
+// The floor is sized from observed run-to-run medians of the cold
+// scenario on a loaded machine (29–74ms for the same binary), which put
+// even the median well past a tighter floor. A real regression — losing
+// warm promotion, an accidentally quadratic restore — shifts MTTR by
+// the floor many times over.
+const mttrNoiseFloorMs = 50.0
+
+// CompareRecoveryAgainst gates on MTTR: a scenario regresses when its new
+// mttr_ms exceeds the committed baseline by more than 10% AND by more
+// than the absolute noise floor. Missing baselines are reported and
+// skipped, as are mismatched params or schema versions.
+func CompareRecoveryAgainst(results []RecoveryResult, baselineDir string, prog *Progress) error {
+	var regressions []string
+	for _, res := range results {
+		path := filepath.Join(baselineDir, BenchFileName(res.Scenario))
+		base, err := LoadRecovery(path)
+		if os.IsNotExist(err) {
+			prog.logf("recovery: %s has no baseline, skipping compare", res.Scenario)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if base.SchemaVersion != res.SchemaVersion || base.Params != res.Params {
+			prog.logf("recovery: %s baseline params/schema differ, skipping compare", res.Scenario)
+			continue
+		}
+		if base.MTTRMs <= 0 {
+			prog.logf("recovery: %s baseline mttr is zero, skipping compare", res.Scenario)
+			continue
+		}
+		delta := (res.MTTRMs - base.MTTRMs) / base.MTTRMs
+		prog.logf("recovery: %s mttr %+.1f%% (%.0f -> %.0f ms), catchup %.0f -> %.0f rec/s",
+			res.Scenario, delta*100, base.MTTRMs, res.MTTRMs,
+			base.CatchupRecsPerSec, res.CatchupRecsPerSec)
+		if delta > regressionTolerance && res.MTTRMs-base.MTTRMs > mttrNoiseFloorMs {
+			regressions = append(regressions,
+				fmt.Sprintf("%s mttr regressed %.1f%% (%.0f -> %.0f ms)",
+					res.Scenario, delta*100, base.MTTRMs, res.MTTRMs))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("recovery bench regressions:\n  %s", joinLines(regressions))
+	}
+	return nil
+}
+
+// LoadRecovery reads one committed BENCH_recovery_*.json.
+func LoadRecovery(path string) (RecoveryResult, error) {
+	var res RecoveryResult
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	return res, unmarshalBench(buf, path, &res)
+}

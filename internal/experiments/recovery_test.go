@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func recoveryFixture(standbys int, mttrMs float64) RecoveryResult {
+	return RecoveryResult{
+		SchemaVersion: BenchSchemaVersion,
+		Scenario:      RecoveryScenarioName(RecoveryParams{Standbys: standbys}),
+		Params: RecoveryParams{
+			Records: 250_000, CatchupRecords: 25_000, Keys: 25_000,
+			Partitions: 4, Standbys: standbys,
+		},
+		MTTRMs:            mttrMs,
+		CatchupRecsPerSec: 20_000,
+		RestoreRecords:    100_000,
+		ChangelogRecords:  200_000,
+	}
+}
+
+func TestRecoveryBenchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := recoveryFixture(1, 3)
+	path := filepath.Join(dir, BenchFileName(want.Scenario))
+	if err := writeBenchJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecovery(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCompareRecoveryFlagsMTTRRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := recoveryFixture(0, 100)
+	if err := writeBenchJSON(filepath.Join(dir, BenchFileName(base.Scenario)), base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inside the relative tolerance: fine.
+	ok := recoveryFixture(0, 109)
+	if err := CompareRecoveryAgainst([]RecoveryResult{ok}, dir, nil); err != nil {
+		t.Fatalf("within-tolerance result rejected: %v", err)
+	}
+	// Over 10% but under the absolute noise floor: still fine.
+	jitter := recoveryFixture(0, 145)
+	if err := CompareRecoveryAgainst([]RecoveryResult{jitter}, dir, nil); err != nil {
+		t.Fatalf("sub-floor jitter rejected: %v", err)
+	}
+	// Over both: regression.
+	bad := recoveryFixture(0, 180)
+	err := CompareRecoveryAgainst([]RecoveryResult{bad}, dir, nil)
+	if err == nil {
+		t.Fatal("80% MTTR regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "mttr regressed") {
+		t.Fatalf("unexpected gate error: %v", err)
+	}
+
+	// A scenario with no baseline must be able to land.
+	fresh := recoveryFixture(1, 3)
+	if err := CompareRecoveryAgainst([]RecoveryResult{fresh}, dir, nil); err != nil {
+		t.Fatalf("missing baseline rejected: %v", err)
+	}
+
+	// Mismatched params are not comparable and must be skipped.
+	moved := recoveryFixture(0, 500)
+	moved.Params.Keys = 1
+	if err := CompareRecoveryAgainst([]RecoveryResult{moved}, dir, nil); err != nil {
+		t.Fatalf("param-mismatched result rejected instead of skipped: %v", err)
+	}
+}
+
+// TestRecoveryQuickScenariosDivisible guards the completion math: waits
+// are per-key exact counts, so record totals must divide by key count in
+// both profiles.
+func TestRecoveryQuickScenariosDivisible(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		for _, p := range recoveryScenarios(quick) {
+			if p.Records%p.Keys != 0 || p.CatchupRecords%p.Keys != 0 {
+				t.Errorf("quick=%v %s: records %d / catchup %d not divisible by keys %d",
+					quick, RecoveryScenarioName(p), p.Records, p.CatchupRecords, p.Keys)
+			}
+		}
+	}
+}

@@ -45,10 +45,13 @@ var (
 		// watermark/lag, the HTTP export plane, the span flight recorder,
 		// and the registry's own meta-metrics (label-cardinality guard).
 		"completeness": true, "export": true, "flightrec": true, "obs": true,
+		// Recovery families (DESIGN §13): cooperative-rebalance revocation
+		// accounting, standby-replica tailing lag, and failover MTTR.
+		"rebalance": true, "standby": true, "recovery": true,
 	}
 	obsRegFns  = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "SizeHistogram": true}
 	legacyObs  = map[string]bool{"transport_rpcs_attempted": true, "transport_rpcs_delivered": true}
-	obsAreaMsg = "transport|broker|group|txn|client|stream|completeness|export|flightrec|obs"
+	obsAreaMsg = "transport|broker|group|txn|client|stream|completeness|export|flightrec|obs|rebalance|standby|recovery"
 )
 
 func (o *obsNames) Run(p *Pass) {

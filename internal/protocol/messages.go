@@ -311,6 +311,12 @@ type JoinGroupRequest struct {
 	ProtocolName string
 	// UserData is opaque assignor input (e.g. previously owned tasks).
 	UserData []byte
+	// Owned lists the partitions the member still holds at join time.
+	// Cooperative members keep processing these through the join round;
+	// the leader withholds any partition moving between members for one
+	// generation so ownership is handed over only after the old owner
+	// has revoked it (and rejoined). Eager members send nil.
+	Owned []TopicPartition
 }
 
 // JoinGroupMember is a member's subscription as seen by the group leader.
@@ -318,6 +324,9 @@ type JoinGroupMember struct {
 	MemberID     string
 	Subscription []string
 	UserData     []byte
+	// Owned is the member's currently-held partitions (cooperative
+	// protocol); the leader uses it to withhold moving partitions.
+	Owned []TopicPartition
 }
 
 // JoinGroupResponse tells the member its id, the generation, and — if it

@@ -1,0 +1,47 @@
+package sim
+
+import "testing"
+
+// TestChurnRegressionPinnedSeeds replays three pinned churn seeds as a
+// serial regression suite. The 100-seed sweeps above run their seeds in
+// parallel, which is the fast default but load-sensitive: a machine under
+// CPU contention can starve a member's poll goroutine long enough for the
+// coordinator to evict it, turning a protocol regression into a flake (or
+// a flake into noise that hides one). The pinned seeds replay one at a
+// time, off the parallel schedule, so a red here is a real protocol bug.
+//
+// The seeds cover the three rebalance-heavy paths: eager churn with silent
+// deaths (session-timeout evictions), cooperative churn (join-barrier
+// withholding plus follow-up generations), and cooperative churn at the
+// member cap (maximum concurrent ownership movement).
+//
+// Deliberately named off the `^TestSim$` sweep anchor: `make sim-sweep`
+// must not pick these up a second time.
+func TestChurnRegressionPinnedSeeds(t *testing.T) {
+	cases := []struct {
+		name        string
+		seed        int64
+		cooperative bool
+	}{
+		{"eager-silent-deaths", 17, false},
+		{"cooperative-churn", 42, true},
+		{"cooperative-member-cap", 88, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Serial on purpose — no t.Parallel (see doc comment).
+			fails := runChurn(tc.seed, tc.cooperative)
+			for _, v := range fails {
+				t.Error(v)
+			}
+			if len(fails) > 0 {
+				mode := "TestSimRebalanceChurn"
+				if tc.cooperative {
+					mode = "TestSimRebalanceChurnCooperative"
+				}
+				t.Errorf("replay: go test ./internal/sim -count=1 -run '%s/seed=%d$'", mode, tc.seed)
+			}
+		})
+	}
+}

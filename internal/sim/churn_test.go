@@ -24,10 +24,49 @@ func TestSimRebalanceChurn(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			for _, v := range runChurn(seed) {
+			fails := runChurn(seed, false)
+			for _, v := range fails {
 				t.Error(v)
 			}
+			if len(fails) > 0 {
+				t.Errorf("replay: go test ./internal/sim -count=1 -run 'TestSimRebalanceChurn/seed=%d$'", seed)
+			}
 		})
+	}
+}
+
+// TestSimRebalanceChurnCooperative runs the same churn property under the
+// incremental protocol: 100 seeds of joins, leaves, and silent deaths with
+// Cooperative members. The invariants are unchanged — no same-generation
+// double-ownership, convergence once churn stops — and are in fact sharper
+// here, because cooperative members keep reporting (and processing) their
+// old assignment through the join barrier, so any hole in the leader's
+// moving-partition withholding shows up as double-ownership immediately.
+func TestSimRebalanceChurnCooperative(t *testing.T) {
+	for seed := int64(1); seed <= 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			fails := runChurn(seed, true)
+			for _, v := range fails {
+				t.Error(v)
+			}
+			if len(fails) > 0 {
+				t.Errorf("replay: go test ./internal/sim -count=1 -run 'TestSimRebalanceChurnCooperative/seed=%d$'", seed)
+			}
+		})
+	}
+}
+
+// TestSimCooperativeNoPause pins the no-pause property of cooperative
+// rebalancing: when a member joins a settled group, the partitions each
+// incumbent keeps (owned both before and after the rebalance) must stay in
+// its reported assignment through every intermediate generation. Under the
+// eager protocol every incumbent's assignment collapses to nil for the
+// whole join barrier — the processing pause this protocol exists to remove.
+func TestSimCooperativeNoPause(t *testing.T) {
+	for _, v := range runSim(1, noPauseScript) {
+		t.Error(v)
 	}
 }
 
@@ -37,7 +76,15 @@ const (
 	churnGroup = "churn-group"
 )
 
-func runChurn(seed int64) []string {
+func runChurn(seed int64, cooperative bool) []string {
+	return runSim(seed, func(clock *retry.Virtual, cluster *kafka.Cluster) []string {
+		return churnScript(seed, clock, cluster, cooperative)
+	})
+}
+
+// runSim stands up a one-broker simulated cluster on a virtual clock and
+// runs the script against it under the sim driver's wall cap.
+func runSim(seed int64, script func(*retry.Virtual, *kafka.Cluster) []string) []string {
 	clock := retry.NewVirtual(time.Unix(1_700_000_000, 0).UTC(), quantum)
 	cluster, err := kafka.NewCluster(kafka.ClusterConfig{
 		Brokers:               1,
@@ -58,7 +105,7 @@ func runChurn(seed int64) []string {
 	go func() {
 		defer close(done)
 		defer cluster.Close()
-		fails = churnScript(seed, clock, cluster)
+		fails = script(clock, cluster)
 	}()
 	if !drv.run(done) {
 		fails = append(fails, "wall cap exceeded")
@@ -77,13 +124,14 @@ type member struct {
 	done chan struct{}
 }
 
-func startMember(clock *retry.Virtual, cluster *kafka.Cluster, id int) *member {
+func startMember(clock *retry.Virtual, cluster *kafka.Cluster, id int, cooperative bool) *member {
 	c := client.NewConsumer(cluster.Net(), client.ConsumerConfig{
 		Controller:        cluster.Controller(),
 		Group:             churnGroup,
 		ClientID:          fmt.Sprintf("m%d", id),
 		SessionTimeout:    sessionTimeout,
 		HeartbeatInterval: heartbeatIvl,
+		Cooperative:       cooperative,
 	})
 	c.Subscribe(churnTopic)
 	m := &member{c: c, stop: make(chan struct{}), done: make(chan struct{})}
@@ -111,7 +159,7 @@ func (m *member) halt() {
 	<-m.done
 }
 
-func churnScript(seed int64, clock *retry.Virtual, cluster *kafka.Cluster) []string {
+func churnScript(seed int64, clock *retry.Virtual, cluster *kafka.Cluster, cooperative bool) []string {
 	var fails []string
 	failf := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf(format, args...))
@@ -122,7 +170,7 @@ func churnScript(seed int64, clock *retry.Virtual, cluster *kafka.Cluster) []str
 	rng := rand.New(rand.NewSource(seed))
 	nextID := 0
 	spawn := func() *member {
-		m := startMember(clock, cluster, nextID)
+		m := startMember(clock, cluster, nextID, cooperative)
 		nextID++
 		return m
 	}
@@ -229,6 +277,117 @@ func isConverged(live []*member) bool {
 	// Disjointness is doubleAssigned's job; equal generations plus a full
 	// count means every partition is owned exactly once.
 	return total == int(churnParts)
+}
+
+// noPauseScript drives the scenario behind TestSimCooperativeNoPause: two
+// cooperative members settle, a third joins, and every assignment sample
+// taken on the incumbents during the rebalance must contain the partitions
+// they end up keeping. A vanish-and-return would mean the member tore the
+// task down and rebuilt it — a processing pause on unaffected work.
+func noPauseScript(clock *retry.Virtual, cluster *kafka.Cluster) []string {
+	var fails []string
+	failf := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+	if err := cluster.CreateTopic(churnTopic, churnParts, false); err != nil {
+		return []string{fmt.Sprintf("create topic: %v", err)}
+	}
+	a := startMember(clock, cluster, 0, true)
+	b := startMember(clock, cluster, 1, true)
+	live := []*member{a, b}
+	defer func() {
+		for _, m := range live {
+			m.halt()
+			m.c.Close()
+		}
+	}()
+
+	settle := func(label string) bool {
+		for i := 0; i < 400; i++ {
+			if d := doubleAssigned(live); d != "" {
+				failf("%s: %s", label, d)
+				return false
+			}
+			if isConverged(live) {
+				return true
+			}
+			clock.Sleep(50 * time.Millisecond)
+		}
+		failf("%s: never converged: %s", label, describeAssignments(live))
+		return false
+	}
+	if !settle("warmup") {
+		return fails
+	}
+	incumbents := []*member{a, b}
+	before := make(map[*member]map[protocol.TopicPartition]bool)
+	for _, m := range incumbents {
+		before[m] = ownedSet(m)
+	}
+
+	// Third member joins; sample the incumbents densely (every poll
+	// interval on the virtual clock) until the group converges again.
+	live = append(live, startMember(clock, cluster, 2, true))
+	samples := make(map[*member][]map[protocol.TopicPartition]bool)
+	converged := false
+	for i := 0; i < 4000; i++ {
+		for _, m := range incumbents {
+			samples[m] = append(samples[m], ownedSet(m))
+		}
+		if d := doubleAssigned(live); d != "" {
+			failf("join phase: %s", d)
+			return fails
+		}
+		if isConverged(live) {
+			converged = true
+			break
+		}
+		clock.Sleep(pollInterval)
+	}
+	if !converged {
+		failf("group never converged after join: %s", describeAssignments(live))
+		return fails
+	}
+
+	for _, m := range incumbents {
+		retained := make(map[protocol.TopicPartition]bool)
+		for tp := range ownedSet(m) {
+			if before[m][tp] {
+				retained[tp] = true
+			}
+		}
+		// With 8 partitions over 2→3 members, every incumbent keeps at
+		// least one partition under any contiguous split; retaining
+		// nothing would itself be an eager-style full revocation.
+		if len(retained) == 0 {
+			failf("member %s retained no partitions across the rebalance (before=%d after=%d)",
+				m.c.MemberID(), len(before[m]), len(ownedSet(m)))
+			continue
+		}
+	sampleScan:
+		for i, s := range samples[m] {
+			if len(s) == 0 {
+				failf("member %s reported an empty assignment at sample %d — full processing pause", m.c.MemberID(), i)
+				break
+			}
+			for tp := range retained {
+				if !s[tp] {
+					failf("partition %s vanished from %s at sample %d despite being retained — unaffected task paused",
+						tp, m.c.MemberID(), i)
+					break sampleScan
+				}
+			}
+		}
+	}
+	return fails
+}
+
+func ownedSet(m *member) map[protocol.TopicPartition]bool {
+	s := make(map[protocol.TopicPartition]bool)
+	for _, tp := range m.c.Assignment() {
+		s[tp] = true
+	}
+	return s
 }
 
 func describeAssignments(live []*member) string {

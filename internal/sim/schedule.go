@@ -12,9 +12,10 @@ import (
 
 // Kind names a fault-schedule event. Events come in open/close pairs
 // (crash/restore, partition/heal, delay/undelay, kill-app/restart-app,
-// crash-txncoord/restore-txncoord); the generator always emits both
-// halves and the shrinker removes them together, so a shrunk schedule
-// never leaves a broker crashed or a link cut at drain time.
+// crash-txncoord/restore-txncoord, add-thread/remove-thread); the
+// generator always emits both halves and the shrinker removes them
+// together, so a shrunk schedule never leaves a broker crashed or a
+// link cut at drain time.
 type Kind string
 
 // Schedule event kinds.
@@ -29,6 +30,12 @@ const (
 	KindRestartApp      Kind = "restart-app"
 	KindCrashTxnCoord   Kind = "crash-txncoord"
 	KindRestoreTxnCoord Kind = "restore-txncoord"
+	// add-thread/remove-thread scale an instance up by one stream thread
+	// and back down — a pair of cooperative rebalances with live task
+	// migration (and standby reshuffling) but no failure, the scaling
+	// direction of the recovery protocol (DESIGN §13).
+	KindAddThread    Kind = "add-thread"
+	KindRemoveThread Kind = "remove-thread"
 )
 
 // Event is one scheduled fault at a virtual time offset from run start.
@@ -57,7 +64,7 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s delay +%dms", at, e.Extra.Milliseconds())
 	case KindUndelay:
 		return fmt.Sprintf("%s undelay", at)
-	case KindKillApp, KindRestartApp:
+	case KindKillApp, KindRestartApp, KindAddThread, KindRemoveThread:
 		return fmt.Sprintf("%s %s instance %d", at, e.Kind, e.App)
 	default: // crash-txncoord / restore-txncoord
 		return fmt.Sprintf("%s %s", at, e.Kind)
@@ -70,17 +77,30 @@ type Schedule struct {
 	Events []Event
 }
 
-// sortEvents orders by (At, Pair, Kind) so rendering and application
-// order are stable even when two events share a timestamp.
+// sortEvents orders by (At, Kind, targets) so rendering and application
+// order are stable even when two events share a timestamp. The tie-break
+// deliberately ignores Pair: pair ids are generation-order on a fresh
+// schedule but re-derived time-order after ParseSchedule, so any ordering
+// that consults them breaks the Render/Parse round trip.
 func sortEvents(evs []Event) {
 	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].At != evs[j].At {
-			return evs[i].At < evs[j].At
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
 		}
-		if evs[i].Pair != evs[j].Pair {
-			return evs[i].Pair < evs[j].Pair
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
 		}
-		return evs[i].Kind < evs[j].Kind
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		return a.Extra < b.Extra
 	})
 }
 
@@ -99,14 +119,17 @@ func Generate(seed int64, brokers int32, apps int, loadWindow time.Duration, sho
 	// the drain window so the cluster is whole when the checkers run.
 	lo := 300 * time.Millisecond
 	hi := loadWindow + 400*time.Millisecond
+	// Whole milliseconds only: the virtual clock steps in 1ms quanta, and
+	// Render prints millisecond offsets — sub-ms event times would be
+	// truncated on render and re-sorted differently after a parse.
 	durRange := func(min, max time.Duration) time.Duration {
-		return min + time.Duration(rng.Int63n(int64(max-min)))
+		return min + time.Duration(rng.Int63n(int64((max-min)/time.Millisecond)))*time.Millisecond
 	}
 	// brokerFreeAt serializes broker-down pairs so two never overlap.
 	brokerFreeAt := lo
 	appFreeAt := lo
 	for pair := 1; pair <= nPairs; pair++ {
-		kindRoll := rng.Intn(10)
+		kindRoll := rng.Intn(12)
 		switch {
 		case kindRoll < 3: // broker crash/restore
 			at := brokerFreeAt + durRange(0, 400*time.Millisecond)
@@ -146,7 +169,7 @@ func Generate(seed int64, brokers int32, apps int, loadWindow time.Duration, sho
 			s.Events = append(s.Events,
 				Event{At: at, Kind: KindDelay, Extra: time.Duration(1+rng.Intn(10)) * time.Millisecond, Pair: pair},
 				Event{At: at + dur, Kind: KindUndelay, Pair: pair})
-		default: // stream-instance kill + replace
+		case kindRoll < 10: // stream-instance kill + replace
 			at := appFreeAt + durRange(0, 500*time.Millisecond)
 			gap := durRange(300*time.Millisecond, 600*time.Millisecond)
 			if at+gap > hi {
@@ -157,6 +180,21 @@ func Generate(seed int64, brokers int32, apps int, loadWindow time.Duration, sho
 				Event{At: at, Kind: KindKillApp, App: app, Pair: pair},
 				Event{At: at + gap, Kind: KindRestartApp, App: app, Pair: pair})
 			appFreeAt = at + gap + 700*time.Millisecond
+		default: // live scale-up then scale-down of one instance
+			// Serialized on appFreeAt with kill/restart pairs so a scale
+			// window never overlaps an instance death — remove-thread on a
+			// freshly replaced (single-thread) instance would be a no-op
+			// that leaves the extra thread behind.
+			at := appFreeAt + durRange(0, 500*time.Millisecond)
+			up := durRange(300*time.Millisecond, 700*time.Millisecond)
+			if at+up > hi {
+				continue
+			}
+			app := rng.Intn(apps)
+			s.Events = append(s.Events,
+				Event{At: at, Kind: KindAddThread, App: app, Pair: pair},
+				Event{At: at + up, Kind: KindRemoveThread, App: app, Pair: pair})
+			appFreeAt = at + up + 700*time.Millisecond
 		}
 	}
 	sortEvents(s.Events)
@@ -175,7 +213,7 @@ func (s Schedule) Render() string {
 			fmt.Fprintf(&b, "%d %s %d %d\n", e.At.Milliseconds(), e.Kind, e.A, e.B)
 		case KindDelay:
 			fmt.Fprintf(&b, "%d %s %d\n", e.At.Milliseconds(), e.Kind, e.Extra.Milliseconds())
-		case KindKillApp, KindRestartApp:
+		case KindKillApp, KindRestartApp, KindAddThread, KindRemoveThread:
 			fmt.Fprintf(&b, "%d %s %d\n", e.At.Milliseconds(), e.Kind, e.App)
 		default:
 			fmt.Fprintf(&b, "%d %s\n", e.At.Milliseconds(), e.Kind)
@@ -237,7 +275,7 @@ func ParseSchedule(r io.Reader) (Schedule, error) {
 			if v, err = argInt(2); err == nil {
 				e.Extra = time.Duration(v) * time.Millisecond
 			}
-		case KindKillApp, KindRestartApp:
+		case KindKillApp, KindRestartApp, KindAddThread, KindRemoveThread:
 			if v, err = argInt(2); err == nil {
 				e.App = int(v)
 			}
@@ -270,6 +308,8 @@ func closeKind(k Kind) (Kind, bool) {
 		return KindRestartApp, true
 	case KindCrashTxnCoord:
 		return KindRestoreTxnCoord, true
+	case KindAddThread:
+		return KindRemoveThread, true
 	}
 	return "", false
 }
@@ -280,7 +320,7 @@ func sameTarget(open, cl Event) bool {
 		return open.A == cl.A
 	case KindPartition:
 		return open.A == cl.A && open.B == cl.B
-	case KindKillApp:
+	case KindKillApp, KindAddThread:
 		return open.App == cl.App
 	}
 	return true

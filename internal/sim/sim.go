@@ -1,8 +1,10 @@
 // Package sim is the deterministic fault-schedule simulator: it runs a
 // full in-process cluster plus a streams topology on a virtual clock,
 // drives a seeded schedule of broker crashes, network partitions, delay
-// spikes, stream-instance kills, and txn-coordinator failovers, and then
-// checks the paper's consistency claims as machine-verified invariants:
+// spikes, stream-instance kills, txn-coordinator failovers, and live
+// thread scale-up/down (cooperative rebalances with standby replicas in
+// play), and then checks the paper's consistency claims as
+// machine-verified invariants:
 //
 //	I1 exactly-once output equivalence vs a single-threaded reference
 //	I2 per-partition offset monotonicity at every consumer
@@ -330,6 +332,10 @@ func buildApp(cluster *kafka.Cluster, instance string) (*streams.App, error) {
 		SessionTimeout:    sessionTimeout,
 		HeartbeatInterval: heartbeatIvl,
 		PollInterval:      pollInterval,
+		// One warm replica per task: every schedule now also exercises
+		// standby tailing, and every kill-app recovery goes through the
+		// promotion path — I5 (store ≡ changelog) covers promoted stores.
+		NumStandbyReplicas: 1,
 	})
 }
 
@@ -418,6 +424,26 @@ func (r *runner) applyEvent(ev Event) {
 	case KindRestartApp:
 		if err := r.startInstance(ev.App); err != nil {
 			r.viol.add("L", "restart instance %d: %v", ev.App, err)
+		}
+	case KindAddThread:
+		r.appsMu.Lock()
+		app := r.apps[ev.App]
+		r.appsMu.Unlock()
+		if app != nil {
+			if err := app.AddThread(); err != nil {
+				r.viol.add("L", "add thread on instance %d: %v", ev.App, err)
+			}
+		}
+	case KindRemoveThread:
+		r.appsMu.Lock()
+		app := r.apps[ev.App]
+		r.appsMu.Unlock()
+		// The extra thread exists unless the add half failed (already a
+		// violation) or was skipped because the instance was down.
+		if app != nil && app.NumThreads() > 1 {
+			if err := app.RemoveThread(); err != nil {
+				r.viol.add("L", "remove thread on instance %d: %v", ev.App, err)
+			}
 		}
 	case KindCrashTxnCoord:
 		// Resolve the current coordinator of instance 0's thread txn id.

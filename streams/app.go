@@ -46,6 +46,11 @@ type Config struct {
 	PollInterval time.Duration
 	// DisablePurge keeps consumed repartition records (default purge on).
 	DisablePurge bool
+	// NumStandbyReplicas is the number of warm standby replicas kept per
+	// task on other instances: each replica continuously tails the task's
+	// changelogs so failover promotes a warm copy and replays only the
+	// tail instead of the full changelog (default 0 = cold failover).
+	NumStandbyReplicas int
 }
 
 // App is a running (or runnable) Streams application instance.
@@ -60,18 +65,19 @@ func NewApp(b *Builder, cfg Config) (*App, error) {
 		return nil, err
 	}
 	inner, err := core.NewApp(topo, core.AppConfig{
-		ApplicationID:     b.appID,
-		InstanceID:        cfg.InstanceID,
-		Net:               cfg.Cluster.Net(),
-		Controller:        cfg.Cluster.Controller(),
-		Guarantee:         cfg.Guarantee,
-		CommitInterval:    cfg.CommitInterval,
-		NumThreads:        cfg.NumThreads,
-		TxnTimeout:        cfg.TxnTimeout,
-		SessionTimeout:    cfg.SessionTimeout,
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		PollInterval:      cfg.PollInterval,
-		DisablePurge:      cfg.DisablePurge,
+		ApplicationID:      b.appID,
+		InstanceID:         cfg.InstanceID,
+		Net:                cfg.Cluster.Net(),
+		Controller:         cfg.Cluster.Controller(),
+		Guarantee:          cfg.Guarantee,
+		CommitInterval:     cfg.CommitInterval,
+		NumThreads:         cfg.NumThreads,
+		TxnTimeout:         cfg.TxnTimeout,
+		SessionTimeout:     cfg.SessionTimeout,
+		HeartbeatInterval:  cfg.HeartbeatInterval,
+		PollInterval:       cfg.PollInterval,
+		DisablePurge:       cfg.DisablePurge,
+		NumStandbyReplicas: cfg.NumStandbyReplicas,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,167 @@
+package streams_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/internal/client"
+	"kstreams/internal/protocol"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestOffsetResetReplayEquivalence checks determinism of recovery-by-replay
+// (DESIGN §13): run a windowed aggregation to completion, reset the group
+// to offset zero (the application-reset tool's semantics: committed offsets
+// back to the log start, state wiped by purging the changelog), and re-run
+// on a fresh instance. The second pass must produce byte-identical final
+// aggregate output — same window keys, same encoded counts — because the
+// input log, not any instance-local state, is the source of truth.
+func TestOffsetResetReplayEquivalence(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("rr-in", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("rr-out", 2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("rr")
+		b.Stream("rr-in", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			WindowedBy(streams.TimeWindowsOf(1000)).
+			Count("rr-store").
+			ToStream().
+			ToWith("rr-out", streams.WindowedSerde(streams.StringSerde), streams.Int64Serde, nil)
+		return b
+	}
+	run := func(instance string) *streams.App {
+		cfg := appConfig(c, streams.ExactlyOnce)
+		cfg.InstanceID = instance
+		app, err := streams.NewApp(build(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+
+	// Deterministic input: 4 keys × 40 rounds, timestamps stepping 250ms,
+	// so every 1000ms window holds exactly 4 records per key.
+	keys := []string{"ra", "rb", "rc", "rd"}
+	const rounds = 40
+	const windows = rounds * 250 / 1000
+	p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, k := range keys {
+			p.Send("rr-in", kafka.Record{Key: []byte(k), Value: []byte("v"), Timestamp: int64(r * 250)})
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	// consumeRaw builds the latest-wins output table at the byte level,
+	// starting each partition at the given offsets (nil = log start).
+	consumeRaw := func(from map[int32]int64, want int) map[string][]byte {
+		t.Helper()
+		cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+		defer cons.Close()
+		var offs []kafka.Offset
+		for part := int32(0); part < 2; part++ {
+			o := kafka.Offset{Topic: "rr-out", Partition: part, Offset: -1}
+			if from != nil {
+				o.Offset = from[part]
+			}
+			offs = append(offs, o)
+		}
+		cons.AssignParts(offs)
+		table := make(map[string][]byte)
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			msgs, err := cons.Poll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range msgs {
+				table[string(m.Key)] = m.Value
+			}
+			if len(table) == want {
+				complete := true
+				for _, v := range table {
+					if streams.Int64Serde.Decode(v) != int64(4) {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					return table
+				}
+			}
+			if len(msgs) == 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		t.Fatalf("output never converged: %d window entries, want %d", len(table), want)
+		return nil
+	}
+
+	app1 := run("one")
+	first := consumeRaw(nil, windows*len(keys))
+	app1.Close()
+
+	// End offsets of the first run's output, so the second pass is read in
+	// isolation.
+	mark := clusterEndOffsets(t, c, "rr-out", 2)
+
+	// Reset, exactly like the application-reset tool: group offsets back
+	// to zero and local state invalidated by purging the changelog (the
+	// replay will rebuild it from the input alone).
+	bare := c.NewConsumer(kafka.ConsumerConfig{Group: "rr"})
+	if err := bare.Commit([]kafka.Offset{
+		{Topic: "rr-in", Partition: 0, Offset: 0},
+		{Topic: "rr-in", Partition: 1, Offset: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bare.Close()
+	admin := client.NewAdmin(c.Net(), c.Controller(), nil)
+	defer admin.Close()
+	for part := int32(0); part < 2; part++ {
+		tp := protocol.TopicPartition{Topic: "rr-rr-store-changelog", Partition: part}
+		end, err := admin.Partitions("rr-rr-store-changelog")
+		if err != nil || end == 0 {
+			t.Fatalf("changelog missing: %v", err)
+		}
+		hw := clusterEndOffsets(t, c, "rr-rr-store-changelog", 2)[part]
+		if err := admin.DeleteRecords(tp, hw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	app2 := run("two")
+	defer app2.Close()
+	second := consumeRaw(mark, windows*len(keys))
+
+	if len(first) != len(second) {
+		t.Fatalf("replay produced %d window entries, original %d", len(second), len(first))
+	}
+	for k, v := range first {
+		got, ok := second[k]
+		if !ok {
+			t.Fatalf("replay missing window entry %q", fmt.Sprintf("%x", k))
+		}
+		if !bytes.Equal(v, got) {
+			t.Fatalf("replay diverged for window entry %x: %x != %x", k, got, v)
+		}
+	}
+}

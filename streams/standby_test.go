@@ -1,0 +1,223 @@
+package streams_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kstreams/internal/obs"
+	"kstreams/kafka"
+	"kstreams/streams"
+)
+
+// TestStandbyPromotion is the warm-failover fault test (DESIGN §13): two
+// instances with one standby replica per task, state built under load, the
+// active instance killed. The survivor must promote its warm standby
+// copies — restoring by replaying only the changelog tail, not the whole
+// changelog — and the promoted stores must be exactly the state a cold
+// changelog replay would produce (invariant I5's store≡changelog form).
+func TestStandbyPromotion(t *testing.T) {
+	c := testCluster(t)
+	if err := c.CreateTopic("sb-in", 2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() *streams.Builder {
+		b := streams.NewBuilder("sb")
+		b.Stream("sb-in", streams.StringSerde, streams.StringSerde).
+			GroupByKey().
+			Count("sb-store")
+		return b
+	}
+	newApp := func(instance string) *streams.App {
+		cfg := appConfig(c, streams.ExactlyOnce)
+		cfg.InstanceID = instance
+		cfg.CommitInterval = 20 * time.Millisecond
+		cfg.NumStandbyReplicas = 1
+		app, err := streams.NewApp(build(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	appA := newApp("a")
+	appB := newApp("b")
+	defer appB.Close()
+
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sk-%02d", i)
+	}
+	produce := func(rounds int) {
+		p, err := c.NewProducer(kafka.ProducerConfig{Idempotent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for r := 0; r < rounds; r++ {
+			for _, k := range keys {
+				p.Send("sb-in", kafka.Record{Key: []byte(k), Value: []byte("v"), Timestamp: int64(r)})
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// query asks both instances; exactly one may host a key (standby
+	// replicas must never serve queries — that would show one key with
+	// two, possibly diverging, values).
+	query := func(k string) (int64, int) {
+		hosts, v := 0, int64(0)
+		if got, ok := appA.QueryKV("sb-store", k); ok {
+			hosts, v = hosts+1, got.(int64)
+		}
+		if got, ok := appB.QueryKV("sb-store", k); ok {
+			hosts, v = hosts+1, got.(int64)
+		}
+		return v, hosts
+	}
+	waitCounts := func(want int64, within time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(within)
+		for time.Now().Before(deadline) {
+			done := true
+			for _, k := range keys {
+				if v, _ := query(k); v != want {
+					done = false
+					break
+				}
+			}
+			if done {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		for _, k := range keys {
+			if v, hosts := query(k); v != want {
+				t.Fatalf("key %s = %d (hosts=%d), want %d (errA=%v errB=%v)",
+					k, v, hosts, want, appA.Err(), appB.Err())
+			}
+		}
+	}
+	gaugeSum := func(s *obs.Snapshot, base string) int64 {
+		total := int64(0)
+		for k, v := range s.Gauges {
+			if obs.BaseName(k) == base {
+				total += v
+			}
+		}
+		return total
+	}
+
+	const phase1 = 40
+	produce(phase1)
+	waitCounts(phase1, 15*time.Second)
+
+	// Every key is hosted exactly once: standby copies are warm but dark.
+	for _, k := range keys {
+		if _, hosts := query(k); hosts != 1 {
+			t.Fatalf("key %s hosted by %d instances, want exactly 1", k, hosts)
+		}
+	}
+
+	// Wait for the standby tailers to drain the changelog: records have
+	// been applied and the replication lag is back to zero.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		s := c.ObsSnapshot()
+		if s.Counter("standby_records_applied_total") > 0 && gaugeSum(s, "standby_lag_records") == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			s := c.ObsSnapshot()
+			t.Fatalf("standby never caught up: applied=%d lag=%d",
+				s.Counter("standby_records_applied_total"), gaugeSum(s, "standby_lag_records"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	before := c.ObsSnapshot()
+	appA.Kill()
+
+	// The survivor takes over everything; promoted standbys resume the
+	// counts without losing a single increment.
+	const phase2 = 20
+	produce(phase2)
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, k := range keys {
+			if v, ok := appB.QueryKV("sb-store", k); !ok || v != int64(phase1+phase2) {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, k := range keys {
+		if v, ok := appB.QueryKV("sb-store", k); !ok || v != int64(phase1+phase2) {
+			t.Fatalf("after failover key %s = %v (ok=%v), want %d (err=%v)",
+				k, v, ok, phase1+phase2, appB.Err())
+		}
+	}
+	after := c.ObsSnapshot()
+
+	// Promotion must have replayed only the changelog tail. The changelog
+	// holds one committed count record per dirty key per commit — far more
+	// records than the post-catch-up tail — so a cold replay would show up
+	// as a restore of at least half the log.
+	changelog := consumeTable(t, c, "sb-sb-store-changelog", 2, str, i64,
+		func(map[any]any) bool { return false }, 2*time.Second)
+	changelogLen := int64(0)
+	for tp, off := range clusterEndOffsets(t, c, "sb-sb-store-changelog", 2) {
+		_ = tp
+		changelogLen += off
+	}
+	restored := after.Counter("stream_restore_records_total") - before.Counter("stream_restore_records_total")
+	if restored > changelogLen/2 {
+		t.Fatalf("failover restored %d of %d changelog records — cold replay, not a warm promotion", restored, changelogLen)
+	}
+
+	// The promoted stores must equal the changelog replay exactly
+	// (invariant I5): same keys, same counts.
+	finalStore := map[any]any{}
+	appB.RangeKV("sb-store", func(k, v any) bool {
+		finalStore[k] = v
+		return true
+	})
+	if len(finalStore) != len(changelog) {
+		t.Fatalf("store has %d keys, changelog replay %d", len(finalStore), len(changelog))
+	}
+	for k, v := range changelog {
+		if finalStore[k] != v {
+			t.Fatalf("store[%v] = %v, changelog replay says %v", k, finalStore[k], v)
+		}
+	}
+
+	// Takeover latency was recorded: the promotion observed recovery_mttr_ms.
+	if st, ok := after.Histograms["recovery_mttr_ms"]; !ok || st.Count == 0 {
+		t.Fatalf("recovery_mttr_ms never observed: %+v", after.Histograms["recovery_mttr_ms"])
+	}
+}
+
+// clusterEndOffsets reads the high-water mark of every partition of a topic.
+func clusterEndOffsets(t *testing.T, c *kafka.Cluster, topic string, partitions int32) map[int32]int64 {
+	t.Helper()
+	cons := c.NewConsumer(kafka.ConsumerConfig{Isolation: kafka.ReadCommitted})
+	defer cons.Close()
+	out := make(map[int32]int64, partitions)
+	for p := int32(0); p < partitions; p++ {
+		off, err := cons.EndOffset(topic, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = off
+	}
+	return out
+}
